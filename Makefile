@@ -1,0 +1,22 @@
+# Convenience targets for the SEVeriFast reproduction.
+
+PY ?= python3
+
+.PHONY: install test bench examples report all
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PY) $$ex > /dev/null || exit 1; done
+
+report:
+	$(PY) -m repro report
+
+all: test bench examples

@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``benchmarks/test_fig*.py`` regenerates one table or figure from the
+paper: it runs the simulated experiment, prints the same rows/series the
+paper reports, writes them under ``benchmarks/results/``, and asserts the
+*shape* criteria recorded in EXPERIMENTS.md (who wins, by what factor,
+where the trend bends).  Absolute values are the cost model's calibrated
+milliseconds, not a claim about this machine.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.hw.costmodel import CostModel
+from repro.hw.platform import Machine
+
+#: Build scale for benchmark images (functional bytes only; timing is
+#: charged at the paper's nominal sizes regardless).
+BENCH_SCALE = 1.0 / 1024.0
+
+#: Measurement noise matching the paper's small error bars (§6.1 reports
+#: one standard deviation over 100 runs).
+BENCH_JITTER = 0.03
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_machine(seed: int = 0, jitter: float = BENCH_JITTER) -> Machine:
+    """A fresh machine with seeded measurement noise."""
+    return Machine(cost=CostModel(jitter_rel=jitter, jitter_seed=seed))
+
+
+def emit(name: str, text: str, csv_headers=None, csv_rows=None) -> None:
+    """Print a result block and persist it under benchmarks/results/.
+
+    With ``csv_headers``/``csv_rows`` the series is also written as
+    ``<name>.csv`` (the artifact-style data drop for external plotting).
+    """
+    banner = f"=== {name} ==="
+    print(f"\n{banner}\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if csv_headers is not None and csv_rows is not None:
+        from repro.analysis.export import write_csv
+
+        write_csv(RESULTS_DIR / f"{name}.csv", csv_headers, csv_rows)

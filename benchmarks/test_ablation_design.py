@@ -1,0 +1,179 @@
+"""Ablations of SEVeriFast's remaining design choices (DESIGN.md §5).
+
+- out-of-band vs in-VMM component hashing (§4.3);
+- transparent huge pages vs 4 KiB pages for the pvalidate sweep (§6.1);
+- SEV generation (base / ES / SNP) end-to-end;
+- the future-work what-if: a multi-core PSP dividing the Fig. 12 slope.
+"""
+
+import pytest
+
+from repro.analysis.render import format_table
+from repro.analysis.stats import linear_fit
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.sev.policy import GuestPolicy, SevMode
+from repro.vmm.firecracker import FirecrackerVMM
+from repro.vmm.timeline import BootPhase
+
+from bench_common import BENCH_SCALE, emit
+
+CONFIG = VmConfig(kernel=AWS, scale=BENCH_SCALE, attest=False)
+
+
+def _boot(
+    machine: Machine,
+    config: VmConfig = CONFIG,
+    pass_hashes: bool = True,
+    **vmm_kwargs,
+):
+    sf = SEVeriFast(machine=machine)
+    prepared = sf.prepare(config, machine)
+    vmm = FirecrackerVMM(machine, **vmm_kwargs)
+    return machine.sim.run_process(
+        vmm.boot_severifast(
+            config,
+            prepared.artifacts,
+            prepared.initrd,
+            hashes=prepared.hashes if pass_hashes else None,
+        )
+    )
+
+
+# -- §4.3: out-of-band hashing --------------------------------------------------
+
+
+def _oob_ablation():
+    oob = _boot(Machine(), precomputed_hashes=True)
+    inband = _boot(Machine(), pass_hashes=False, precomputed_hashes=False)
+    return oob, inband
+
+
+def test_ablation_oob_hashing(benchmark):
+    oob, inband = benchmark.pedantic(_oob_ablation, rounds=1, iterations=1)
+    delta = inband.timeline.duration(BootPhase.VMM) - oob.timeline.duration(
+        BootPhase.VMM
+    )
+    emit(
+        "ablation_oob_hashing",
+        format_table(
+            ["hashing", "VMM phase (ms)", "boot (ms)"],
+            [
+                ["out-of-band (§4.3)", f"{oob.timeline.duration(BootPhase.VMM):.2f}",
+                 f"{oob.boot_ms:.2f}"],
+                ["in the VMM", f"{inband.timeline.duration(BootPhase.VMM):.2f}",
+                 f"{inband.boot_ms:.2f}"],
+            ],
+            title="Out-of-band hashing ablation (§4.3)",
+        )
+        + f"\ncritical-path saving: {delta:.2f} ms (paper: up to ~23 ms)",
+    )
+    assert 5.0 < delta < 30.0
+    assert oob.launch_digest == inband.launch_digest  # no security delta
+
+
+# -- §6.1: huge pages for pvalidate ----------------------------------------------
+
+
+def _hugepage_ablation():
+    huge = _boot(Machine(huge_pages=True))
+    small = _boot(Machine(huge_pages=False))
+    return huge, small
+
+
+def test_ablation_huge_pages(benchmark):
+    huge, small = benchmark.pedantic(_hugepage_ablation, rounds=1, iterations=1)
+    huge_verify = huge.timeline.duration(BootPhase.BOOT_VERIFICATION)
+    small_verify = small.timeline.duration(BootPhase.BOOT_VERIFICATION)
+    emit(
+        "ablation_huge_pages",
+        format_table(
+            ["pages", "verification (ms)", "boot (ms)"],
+            [
+                ["2 MiB (THP on)", f"{huge_verify:.2f}", f"{huge.boot_ms:.2f}"],
+                ["4 KiB", f"{small_verify:.2f}", f"{small.boot_ms:.2f}"],
+            ],
+            title="pvalidate granularity ablation (§6.1)",
+        ),
+    )
+    # §6.1: the sweep drops from >60 ms to <1 ms with huge pages.
+    delta = small_verify - huge_verify
+    assert delta == pytest.approx(60.0, rel=0.25)
+
+
+# -- SEV generations ----------------------------------------------------------------
+
+
+def _mode_sweep():
+    out = {}
+    for mode in SevMode:
+        config = VmConfig(
+            kernel=AWS, scale=BENCH_SCALE, attest=False,
+            sev_policy=GuestPolicy(mode=mode),
+        )
+        out[mode] = _boot(Machine(), config)
+    return out
+
+
+def test_ablation_sev_modes(benchmark):
+    results = benchmark.pedantic(_mode_sweep, rounds=1, iterations=1)
+    rows = [
+        [
+            mode.value,
+            f"{r.timeline.duration(BootPhase.VMM):.2f}",
+            f"{r.timeline.duration(BootPhase.BOOT_VERIFICATION):.2f}",
+            f"{r.timeline.duration(BootPhase.LINUX_BOOT):.2f}",
+            f"{r.boot_ms:.2f}",
+        ]
+        for mode, r in results.items()
+    ]
+    emit(
+        "ablation_sev_modes",
+        format_table(
+            ["mode", "vmm", "verification", "linux", "boot (ms)"],
+            rows,
+            title="SEV generation ablation (base SEV / SEV-ES / SEV-SNP)",
+        ),
+    )
+    boots = [results[m].boot_ms for m in (SevMode.SEV, SevMode.SEV_ES, SevMode.SEV_SNP)]
+    assert boots == sorted(boots)  # protection costs accumulate
+
+
+# -- future work: multi-core PSP -------------------------------------------------------
+
+
+def _psp_scaling():
+    sf = SEVeriFast()
+    out = {}
+    for cores in (1, 2, 4):
+        counts = [1, 10, 20]
+        means = []
+        for n in counts:
+            machine = Machine(psp_parallelism=cores)
+            results = sf.concurrent_boots(CONFIG, count=n, machine=machine)
+            means.append(sum(r.boot_ms for r in results) / n)
+        slope, _b, _r2 = linear_fit(counts, means)
+        out[cores] = (means, slope)
+    return out
+
+
+def test_ablation_psp_parallelism(benchmark):
+    out = benchmark.pedantic(_psp_scaling, rounds=1, iterations=1)
+    rows = [
+        [cores, f"{means[0]:.1f}", f"{means[-1]:.1f}", f"{slope:.2f}"]
+        for cores, (means, slope) in out.items()
+    ]
+    emit(
+        "ablation_psp_parallelism",
+        format_table(
+            ["PSP cores", "mean @1 VM (ms)", "mean @20 VMs (ms)", "slope (ms/VM)"],
+            rows,
+            title="Future-work what-if: multi-core PSP (§6.2)",
+        ),
+    )
+    slopes = {cores: slope for cores, (_m, slope) in out.items()}
+    # Doubling PSP capacity roughly halves the Fig. 12 slope.
+    assert slopes[2] == pytest.approx(slopes[1] / 2, rel=0.25)
+    assert slopes[4] == pytest.approx(slopes[1] / 4, rel=0.35)

@@ -1,0 +1,78 @@
+"""Fig. 4 — pre-encryption time vs. region size (+ the §3.2 data points).
+
+Paper: LAUNCH_UPDATE_DATA cost grows linearly with size; even the
+smallest boot-code candidates are prohibitively expensive (840 ms for the
+3.3 MiB Lupine bzImage, 5.65 s for the 23 MiB vmlinux, 2.85 s for a
+12 MiB initrd).
+"""
+
+import pytest
+
+from repro.analysis.render import format_table
+from repro.analysis.stats import linear_fit
+from repro.common import KiB, MiB, human_size
+from repro.formats.kernels import synthetic_bytes
+
+from bench_common import bench_machine, emit
+
+SIZES = [16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, int(3.3 * MiB), 12 * MiB, 23 * MiB, 64 * MiB]
+
+
+def _preencrypt_one(machine, nominal_size: int) -> float:
+    """Time one LAUNCH_UPDATE_DATA over a region of ``nominal_size``."""
+    ctx = machine.new_sev_context()
+    memory = machine.new_guest_memory(size=max(nominal_size, 1 * MiB), sev_ctx=ctx)
+    actual = min(nominal_size, 16 * KiB)
+    memory.host_write(0, synthetic_bytes(actual, 2.0, seed=nominal_size & 0xFFFF))
+    memory.rmp.assign_all()
+
+    start = machine.sim.now
+
+    def flow():
+        yield from machine.psp.launch_start(ctx)
+        update_start = machine.sim.now
+        yield from machine.psp.launch_update_data(
+            ctx, memory, 0, actual, nominal_size=nominal_size
+        )
+        return machine.sim.now - update_start
+
+    return machine.sim.run_process(flow())
+
+
+def _sweep():
+    samples = {}
+    for size in SIZES:
+        machine = bench_machine(seed=size & 0xFFFF, jitter=0.0)
+        samples[size] = _preencrypt_one(machine, size)
+    return samples
+
+
+def test_fig4_preencryption_linear(benchmark):
+    samples = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [[human_size(size), f"{ms:.2f}"] for size, ms in samples.items()]
+    slope, intercept, r2 = linear_fit(
+        [s / MiB for s in samples], list(samples.values())
+    )
+    emit(
+        "fig4_preencryption",
+        format_table(
+            ["region size", "pre-encryption (ms)"],
+            rows,
+            title="LAUNCH_UPDATE_DATA time vs size (Fig. 4)",
+        )
+        + f"\nfit: {slope:.1f} ms/MiB, r^2={r2:.4f}",
+        csv_headers=["size_bytes", "preencrypt_ms"],
+        csv_rows=[[size, ms] for size, ms in samples.items()],
+    )
+
+    # Shape: linear growth at ~250 ms/MiB (paper: 245-257 ms/MiB anchors).
+    assert r2 > 0.999
+    assert slope == pytest.approx(250.0, rel=0.1)
+
+    # §3.2 anchors.
+    assert samples[int(3.3 * MiB)] == pytest.approx(840.0, rel=0.15)
+    assert samples[12 * MiB] == pytest.approx(2850.0, rel=0.15)
+    assert samples[23 * MiB] == pytest.approx(5650.0, rel=0.15)
+    # Two orders of magnitude above a ~40 ms microVM boot.
+    assert samples[23 * MiB] > 100 * 40.0

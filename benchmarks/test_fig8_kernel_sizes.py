@@ -1,0 +1,55 @@
+"""Fig. 8 (table) — guest kernel sizes.
+
+Paper: Lupine 23M/3.3M, AWS 43M/7.1M, Ubuntu 61M/15M (vmlinux/bzImage).
+Our builders must reproduce both the nominal sizes (exactly, by
+construction) and the compression *ratios* (by calibration of the
+synthetic content against our own LZ4 codec).
+"""
+
+import pytest
+
+from repro.analysis.render import format_table
+from repro.common import human_size
+from repro.formats.kernels import KERNEL_CONFIGS, build_kernel
+
+from bench_common import BENCH_SCALE, emit
+
+
+def _build_all():
+    return {name: build_kernel(cfg, BENCH_SCALE) for name, cfg in KERNEL_CONFIGS.items()}
+
+
+def test_fig8_kernel_sizes(benchmark):
+    artifacts = benchmark.pedantic(_build_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, art in artifacts.items():
+        target_ratio = art.config.vmlinux_size / art.config.bzimage_size
+        built_ratio = len(art.vmlinux.data) / len(art.bzimage.data)
+        rows.append(
+            [
+                name,
+                human_size(art.vmlinux.nominal_size),
+                human_size(art.bzimage.nominal_size),
+                f"{target_ratio:.2f}",
+                f"{built_ratio:.2f}",
+            ]
+        )
+    emit(
+        "fig8_kernel_sizes",
+        format_table(
+            ["kernel config", "vmlinux size", "bzImage size",
+             "paper ratio", "built ratio"],
+            rows,
+            title="Guest kernels (Fig. 8)",
+        ),
+    )
+
+    expected = {"lupine": ("23M", "3.3M"), "aws": ("43M", "7.1M"), "ubuntu": ("61M", "15M")}
+    for name, art in artifacts.items():
+        vm, bz = expected[name]
+        assert human_size(art.vmlinux.nominal_size) == vm
+        assert human_size(art.bzimage.nominal_size) == bz
+        target = art.config.vmlinux_size / art.config.bzimage_size
+        built = len(art.vmlinux.data) / len(art.bzimage.data)
+        assert built == pytest.approx(target, rel=0.2), name

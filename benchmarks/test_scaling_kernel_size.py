@@ -1,0 +1,88 @@
+"""Scaling sweep — SEVeriFast boot time vs. kernel size.
+
+The paper includes the Lupine config "only as a lower bound to
+illustrate how SEVeriFast scales with respect to kernel size" (§6.1).
+This sweep makes the scaling law explicit with synthetic kernels from
+8 MiB to 96 MiB: boot time grows linearly in kernel size, but the
+SEV-specific part (pre-encryption) stays flat — only the measured-
+direct-boot and decompression terms scale.
+"""
+
+import pytest
+
+from repro.analysis.render import format_table
+from repro.analysis.stats import linear_fit
+from repro.common import MiB
+from repro.core.config import GuestLayout, VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import custom_kernel_config
+from repro.hw.platform import Machine
+from repro.vmm.timeline import BootPhase
+
+from bench_common import BENCH_SCALE, emit
+
+SIZES_MIB = [8, 16, 32, 48, 64, 96]
+
+
+def _sweep():
+    out = {}
+    for size in SIZES_MIB:
+        kernel = custom_kernel_config(size)
+        memory = 512 * MiB  # room for the largest sweep points
+        config = VmConfig(
+            kernel=kernel,
+            scale=BENCH_SCALE,
+            attest=False,
+            memory_size=memory,
+            layout=GuestLayout.for_kernel(kernel, memory),
+        )
+        machine = Machine()
+        result = SEVeriFast(machine=machine).cold_boot(
+            config, machine=machine, attest=False
+        )
+        out[size] = result
+    return out
+
+
+def test_scaling_with_kernel_size(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = []
+    csv_rows = []
+    for size, result in results.items():
+        pre = result.timeline.duration(BootPhase.PRE_ENCRYPTION)
+        verify = result.timeline.duration(BootPhase.BOOT_VERIFICATION)
+        decompress = result.timeline.duration(BootPhase.BOOTSTRAP_LOADER)
+        rows.append(
+            [f"{size} MiB", f"{pre:.2f}", f"{verify:.2f}",
+             f"{decompress:.2f}", f"{result.boot_ms:.2f}"]
+        )
+        csv_rows.append([size, pre, verify, decompress, result.boot_ms])
+    emit(
+        "scaling_kernel_size",
+        format_table(
+            ["kernel size", "pre-enc (ms)", "verification (ms)",
+             "decompress (ms)", "boot (ms)"],
+            rows,
+            title="SEVeriFast boot time vs kernel size",
+        ),
+        csv_headers=["size_mib", "preenc_ms", "verify_ms", "decompress_ms", "boot_ms"],
+        csv_rows=csv_rows,
+    )
+
+    boots = [results[s].boot_ms for s in SIZES_MIB]
+    slope, _intercept, r2 = linear_fit(SIZES_MIB, boots)
+    assert r2 > 0.97  # boot time ~ linear in kernel size
+    assert slope > 0
+
+    # The root of trust does not grow with the kernel: pre-encryption is
+    # flat across a 12x kernel-size range.
+    pres = [results[s].timeline.duration(BootPhase.PRE_ENCRYPTION) for s in SIZES_MIB]
+    assert max(pres) - min(pres) < 0.5
+
+    # Verification scales with transferred bytes.
+    verifies = [
+        results[s].timeline.duration(BootPhase.BOOT_VERIFICATION) for s in SIZES_MIB
+    ]
+    assert verifies == sorted(verifies)
+    assert verifies[-1] > verifies[0] * 1.5

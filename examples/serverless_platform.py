@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Confidential serverless: a trace-driven FaaS platform comparison.
+
+Runs the same synthetic invocation trace (Zipf-popular functions, Poisson
+arrivals) against three platforms on the simulated EPYC host:
+
+- stock Firecracker (no confidentiality),
+- SEVeriFast (confidential, fast cold boot),
+- QEMU/OVMF SEV (confidential, mainstream boot path),
+
+and reports cold-start fractions and invocation start-delay percentiles —
+the serverless metrics the paper's introduction motivates.
+
+Run:  python examples/serverless_platform.py
+"""
+
+from repro.analysis.render import format_table
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.trace import synthesize_trace
+from repro.vmm.firecracker import FirecrackerVMM
+from repro.vmm.qemu import QemuVMM
+
+SCALE = 1.0 / 1024.0
+
+
+def run_platform(kind: str, trace):
+    machine = Machine()
+    config = VmConfig(kernel=AWS, scale=SCALE, attest=False)
+    sf = SEVeriFast(machine=machine)
+    prepared = sf.prepare(config, machine) if kind != "stock" else None
+
+    def boot():
+        if kind == "stock":
+            from repro.formats.kernels import build_initrd, build_kernel
+
+            vmm = FirecrackerVMM(machine)
+            result = yield from vmm.boot_stock(
+                config, build_kernel(AWS, SCALE), build_initrd(SCALE)
+            )
+        elif kind == "severifast":
+            vmm = FirecrackerVMM(machine)
+            result = yield from vmm.boot_severifast(
+                config, prepared.artifacts, prepared.initrd, hashes=prepared.hashes
+            )
+        else:  # qemu
+            vmm = QemuVMM(machine)
+            result = yield from vmm.boot_sev_ovmf(
+                config, prepared.artifacts, prepared.initrd
+            )
+        return result
+
+    platform = ServerlessPlatform(machine.sim, boot, keepalive_ms=15_000.0)
+    return platform.run(trace)
+
+
+def main() -> None:
+    trace = synthesize_trace(
+        num_functions=12,
+        horizon_ms=60_000.0,
+        mean_rate_per_s=3.0,
+        mean_exec_ms=80.0,
+        seed=11,
+    )
+    print(
+        f"trace: {len(trace)} invocations over {trace.horizon_ms / 1000:.0f} s, "
+        f"{len(trace.functions)} functions\n"
+    )
+
+    rows = []
+    for kind, label in (
+        ("stock", "Firecracker (no SEV)"),
+        ("severifast", "SEVeriFast (SEV-SNP)"),
+        ("qemu", "QEMU/OVMF (SEV-SNP)"),
+    ):
+        stats = run_platform(kind, trace)
+        rows.append(
+            [
+                label,
+                f"{stats.cold_starts}/{len(stats.outcomes)}",
+                f"{stats.mean_cold_boot_ms:.0f}",
+                f"{stats.mean_start_delay_ms:.1f}",
+                f"{stats.latency_percentile(50):.1f}",
+                f"{stats.latency_percentile(95):.1f}",
+                f"{stats.latency_percentile(99):.1f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["platform", "cold starts", "mean cold boot (ms)",
+             "mean delay (ms)", "p50", "p95", "p99"],
+            rows,
+            title="Invocation start delay by platform",
+        )
+    )
+    print(
+        "\nTakeaway: SEVeriFast brings confidential cold starts within the"
+        "\nsame order of magnitude as plain microVMs, while the mainstream"
+        "\nSEV stack pushes tail latency out by seconds."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP 517 editable-install path is unavailable; ``pip install -e .
+--no-use-pep517`` (or ``python setup.py develop``) uses this shim instead.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""SEVeriFast reproduction.
+
+A functional + timing simulation of *SEVeriFast: Minimizing the root of
+trust for fast startup of SEV microVMs* (Holmes, Waterman, Williams —
+ASPLOS 2024).  See DESIGN.md for the system inventory and the hardware
+substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+
+Package map:
+
+- :mod:`repro.core` — the SEVeriFast pipeline and public API.
+- :mod:`repro.crypto` — from-scratch SHA-2, HMAC, AES/XEX, ECDSA, LZ4.
+- :mod:`repro.formats` — ELF64, bzImage, CPIO, synthetic kernels.
+- :mod:`repro.hw` — memory, page tables, RMP, PSP, cost model, machine.
+- :mod:`repro.sev` — launch commands, measurement, attestation, owner.
+- :mod:`repro.guest` — boot verifier, boot data, OVMF, Linux boot.
+- :mod:`repro.vmm` — Firecracker and QEMU monitors, boot timelines.
+- :mod:`repro.serverless` — invocation traces and a FaaS scheduler.
+- :mod:`repro.sim` — the discrete-event engine everything runs on.
+- :mod:`repro.analysis` — statistics and text rendering for benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,16 @@
+"""Analysis helpers: statistics, CDFs, and text rendering for the harness."""
+
+from repro.analysis.stats import Summary, cdf_points, linear_fit, summarize
+from repro.analysis.render import ascii_bar_chart, format_table
+from repro.analysis.export import read_csv, write_csv
+
+__all__ = [
+    "Summary",
+    "ascii_bar_chart",
+    "cdf_points",
+    "format_table",
+    "linear_fit",
+    "read_csv",
+    "write_csv",
+    "summarize",
+]

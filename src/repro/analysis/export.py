@@ -1,0 +1,39 @@
+"""CSV export for benchmark series.
+
+The paper's artifact drops experiment data under ``severifast/data`` and
+regenerates plots from it; our harness mirrors that by writing a CSV per
+experiment next to the plain-text table, so downstream plotting (outside
+this offline environment) needs no re-running.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Sequence
+
+
+def write_csv(
+    path: pathlib.Path | str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> pathlib.Path:
+    """Write one experiment's series; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def read_csv(path: pathlib.Path | str) -> tuple[list[str], list[list[str]]]:
+    """Read back (headers, rows) — used by tests to round-trip exports."""
+    with pathlib.Path(path).open(newline="") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"empty CSV: {path}")
+    return rows[0], rows[1:]

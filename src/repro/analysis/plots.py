@@ -1,0 +1,92 @@
+"""ASCII line plots for benchmark series.
+
+The paper's figures are line plots (Fig. 4's linear growth, Fig. 9's
+CDFs, Fig. 12's diverging series); these render the same series in a
+terminal so `pytest benchmarks/` output is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+Point = tuple[float, float]
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[Point]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more (x, y) series on a shared-axis character grid."""
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return title
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.6g}"
+    bottom_label = f"{y_min:.6g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = f"{x_min:.6g}".ljust(width - 8) + f"{x_max:.6g}".rjust(8)
+    lines.append(" " * (label_width + 2) + x_axis)
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_cdf_chart(
+    samples_by_series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Render empirical CDFs (Fig. 9 style): y is cumulative fraction."""
+    series: dict[str, list[Point]] = {}
+    for name, samples in samples_by_series.items():
+        ordered = sorted(samples)
+        n = len(ordered)
+        series[name] = [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+    return ascii_line_chart(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        x_label="ms",
+        y_label="CDF",
+    )

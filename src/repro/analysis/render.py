@@ -1,0 +1,49 @@
+"""Plain-text rendering for benchmark output (tables and bar charts).
+
+The harness prints the same rows/series the paper's figures show; these
+helpers keep that output aligned and readable in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width table with a separator rule under the header."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    items: Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "ms",
+    title: str = "",
+) -> str:
+    """Horizontal bars scaled to the maximum value."""
+    if not items:
+        return title
+    peak = max(value for _label, value in items) or 1.0
+    label_width = max(len(label) for label, _value in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.2f} {unit}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Statistics used by the benchmark harness (means, stddev, CDFs, fits).
+
+The paper reports averages over 100 runs with one-standard-deviation
+error bars (§6.1), CDFs (Fig. 9), and a linear trend (Fig. 12); these
+helpers compute exactly those.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / stddev / extrema of a sample."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} ± {self.stddev:.2f} ms (n={self.count})"
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Mean and population standard deviation (the paper's error bars)."""
+    if not samples:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((x - mean) ** 2 for x in samples) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        stddev=math.sqrt(variance),
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+def cdf_points(samples: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as (value, cumulative_fraction) pairs (Fig. 9)."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    return [(value, (i + 1) / n) for i, value in enumerate(ordered)]
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile."""
+    if not samples:
+        raise ValueError("cannot take a percentile of an empty sample")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, math.ceil(pct / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Least-squares fit y = a*x + b; returns (slope, intercept, r^2).
+
+    Used to quantify the Fig. 12 claim that average boot time grows
+    linearly with concurrency, with slope ≈ total PSP time per launch.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length samples of size >= 2")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("degenerate x sample")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if syy == 0:
+        r2 = 1.0
+    else:
+        residual = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+        r2 = 1.0 - residual / syy
+    return slope, intercept, r2

@@ -1,0 +1,300 @@
+"""Command-line interface.
+
+Mirrors the tooling the paper's artifact ships as shell scripts:
+
+- ``boot`` — cold-boot one microVM on a chosen stack and print the phase
+  breakdown (the per-run view behind Figs. 9-11).
+- ``digest`` — the §4.2 expected-measurement tool: print the launch
+  digest a guest owner should demand for a VM configuration.
+- ``kernels`` — the Fig. 8 kernel table for the synthetic builders.
+- ``sweep`` — the Fig. 12 concurrency sweep.
+
+Usage::
+
+    python -m repro.cli boot --kernel aws --stack severifast
+    python -m repro.cli digest --kernel aws
+    python -m repro.cli kernels
+    python -m repro.cli sweep --max-vms 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.render import format_table
+from repro.analysis.stats import linear_fit
+from repro.common import human_size
+from repro.core.config import KernelFormat, VmConfig
+from repro.core.digest_tool import compute_expected_digest
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import DEFAULT_SCALE, KERNEL_CONFIGS, build_kernel
+from repro.guest.bootverifier import verifier_binary
+
+
+def _add_kernel_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=sorted(KERNEL_CONFIGS),
+        default="aws",
+        help="guest kernel configuration (Fig. 8)",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> VmConfig:
+    if getattr(args, "config", None):
+        from repro.vmm.fcconfig import load_vm_config
+
+        return load_vm_config(args.config, scale=args.scale)
+    return VmConfig(
+        kernel=KERNEL_CONFIGS[args.kernel],
+        kernel_format=KernelFormat(args.format),
+        scale=args.scale,
+        attest=not getattr(args, "no_attest", False),
+    )
+
+
+def _cmd_boot(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    sf = SEVeriFast()
+    if args.stack == "severifast":
+        result = sf.cold_boot(config)
+    elif args.stack == "stock":
+        result = sf.cold_boot_stock(config)
+    elif args.stack == "naive":
+        result = sf.cold_boot_naive(config)
+    else:
+        result, _extras = sf.cold_boot_qemu(config)
+
+    rows = [[phase, f"{ms:.2f}"] for phase, ms in result.timeline.breakdown().items()]
+    rows.append(["boot time", f"{result.boot_ms:.2f}"])
+    if result.attested:
+        rows.append(["total (with attestation)", f"{result.total_ms:.2f}"])
+    print(
+        format_table(
+            ["phase", "ms"],
+            rows,
+            title=f"{args.stack} boot of the {args.kernel} kernel",
+        )
+    )
+    print(f"init executed: {result.init_executed}  attested: {result.attested}")
+    if result.launch_digest:
+        print(f"launch digest: {result.launch_digest.hex()}")
+    return 0
+
+
+def _cmd_digest(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    sf = SEVeriFast()
+    prepared = sf.prepare(config)
+    digest = compute_expected_digest(config, verifier_binary(), prepared.hashes)
+    print(f"kernel hash : {prepared.hashes.kernel_hash.hex()}")
+    print(f"initrd hash : {prepared.hashes.initrd_hash.hex()}")
+    print(f"launch digest (expected): {digest.hex()}")
+    return 0
+
+
+def _cmd_kernels(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, config in KERNEL_CONFIGS.items():
+        artifacts = build_kernel(config, DEFAULT_SCALE)
+        rows.append(
+            [
+                name,
+                human_size(config.vmlinux_size),
+                human_size(config.bzimage_size),
+                f"{len(artifacts.vmlinux.data) / len(artifacts.bzimage.data):.2f}",
+                config.description,
+            ]
+        )
+    print(
+        format_table(
+            ["config", "vmlinux", "bzImage", "built ratio", "description"],
+            rows,
+            title="Guest kernels (Fig. 8)",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sf = SEVeriFast()
+    config = VmConfig(
+        kernel=KERNEL_CONFIGS[args.kernel], scale=args.scale, attest=False
+    )
+    counts = [n for n in (1, 2, 5, 10, 20, 30, 40, 50) if n <= args.max_vms]
+    rows = []
+    means = []
+    for count in counts:
+        results = sf.concurrent_boots(config, count=count, sev=True)
+        mean = sum(r.boot_ms for r in results) / count
+        means.append(mean)
+        rows.append([count, f"{mean:.1f}"])
+    print(
+        format_table(
+            ["concurrent VMs", "mean SEV boot (ms)"],
+            rows,
+            title="Concurrent launches (Fig. 12)",
+        )
+    )
+    if len(counts) >= 2:
+        slope, _intercept, r2 = linear_fit(counts, means)
+        print(f"trend: {slope:.1f} ms per extra VM (r^2 = {r2:.4f})")
+    return 0
+
+
+def _cmd_serverless(args: argparse.Namespace) -> int:
+    """Trace-driven FaaS comparison (the §1-2 motivation, quantified)."""
+    from repro.hw.platform import Machine
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.serverless.trace import synthesize_trace
+    from repro.vmm.firecracker import FirecrackerVMM
+
+    trace = synthesize_trace(
+        num_functions=args.functions,
+        horizon_ms=args.horizon_s * 1000.0,
+        mean_rate_per_s=args.rate,
+        seed=args.seed,
+    )
+    rows = []
+    for sev in (False, True):
+        machine = Machine()
+        config = VmConfig(
+            kernel=KERNEL_CONFIGS[args.kernel], scale=args.scale, attest=False
+        )
+        sf = SEVeriFast(machine=machine)
+        prepared = sf.prepare(config, machine) if sev else None
+
+        def boot():
+            vmm = FirecrackerVMM(machine)
+            if sev:
+                result = yield from vmm.boot_severifast(
+                    config,
+                    prepared.artifacts,
+                    prepared.initrd,
+                    hashes=prepared.hashes,
+                )
+            else:
+                from repro.formats.kernels import build_initrd, build_kernel
+
+                result = yield from vmm.boot_stock(
+                    config,
+                    build_kernel(config.kernel, config.scale),
+                    build_initrd(config.scale),
+                )
+            return result
+
+        platform = ServerlessPlatform(machine.sim, boot, sev=sev)
+        stats = platform.run(trace)
+        rows.append(
+            [
+                "SEVeriFast" if sev else "stock",
+                f"{stats.cold_starts}/{len(stats.outcomes)}",
+                f"{stats.mean_cold_boot_ms:.0f}",
+                f"{stats.latency_percentile(95):.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["platform", "cold starts", "mean cold boot (ms)", "p95 delay (ms)"],
+            rows,
+            title=f"{len(trace)} invocations over {args.horizon_s}s",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Collate benchmarks/results/*.txt into one experiment report."""
+    import pathlib
+
+    results_dir = pathlib.Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(
+            f"no results at {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    blocks = sorted(results_dir.glob("*.txt"))
+    if not blocks:
+        print(f"no .txt results under {results_dir}")
+        return 1
+    for path in blocks:
+        print(f"===== {path.stem} =====")
+        print(path.read_text().rstrip())
+        print()
+    print(f"({len(blocks)} experiments; CSVs alongside where applicable)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SEVeriFast reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    boot = sub.add_parser("boot", help="cold-boot one microVM")
+    _add_kernel_arg(boot)
+    boot.add_argument(
+        "--stack",
+        choices=["severifast", "qemu", "stock", "naive"],
+        default="severifast",
+    )
+    boot.add_argument(
+        "--format", choices=[f.value for f in KernelFormat], default="bzimage"
+    )
+    boot.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    boot.add_argument("--no-attest", action="store_true")
+    boot.add_argument(
+        "--config", help="Firecracker-style JSON VM configuration file"
+    )
+    boot.set_defaults(func=_cmd_boot)
+
+    digest = sub.add_parser("digest", help="expected-measurement tool (§4.2)")
+    _add_kernel_arg(digest)
+    digest.add_argument(
+        "--format", choices=[f.value for f in KernelFormat], default="bzimage"
+    )
+    digest.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    digest.add_argument(
+        "--config", help="Firecracker-style JSON VM configuration file (§4.2)"
+    )
+    digest.set_defaults(func=_cmd_digest)
+
+    kernels = sub.add_parser("kernels", help="Fig. 8 kernel table")
+    kernels.set_defaults(func=_cmd_kernels)
+
+    sweep = sub.add_parser("sweep", help="Fig. 12 concurrency sweep")
+    _add_kernel_arg(sweep)
+    sweep.add_argument("--max-vms", type=int, default=20)
+    sweep.add_argument("--scale", type=float, default=1.0 / 1024.0)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    serverless = sub.add_parser(
+        "serverless", help="trace-driven FaaS comparison (stock vs SEVeriFast)"
+    )
+    _add_kernel_arg(serverless)
+    serverless.add_argument("--functions", type=int, default=8)
+    serverless.add_argument("--horizon-s", type=float, default=30.0)
+    serverless.add_argument("--rate", type=float, default=2.0)
+    serverless.add_argument("--seed", type=int, default=0)
+    serverless.add_argument("--scale", type=float, default=1.0 / 1024.0)
+    serverless.set_defaults(func=_cmd_serverless)
+
+    report = sub.add_parser(
+        "report", help="collate benchmarks/results/ into one report"
+    )
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Shared units and the :class:`Blob` abstraction.
+
+The reproduction runs *functionally* on real bytes (hashes must match,
+decompression must actually decode, tampering must actually be caught) but
+charges *virtual time* based on the sizes the paper's components have on
+real hardware.  To keep both honest at once, byte buffers travel through
+the system as :class:`Blob` objects:
+
+- ``data`` — the actual bytes the simulation operates on.  Image builders
+  may build at a reduced ``scale`` (e.g. 1/64 of the paper's sizes) so the
+  test suite stays fast.
+- ``nominal_size`` — the size in bytes that the cost model charges for.
+  At ``scale=1`` the two are equal.
+
+Every timed operation (PSP pre-encryption, guest copy+hash, decompression)
+takes its duration from ``nominal_size`` and its *result* from ``data``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+PAGE_SIZE = 4 * KiB
+HUGE_PAGE_SIZE = 2 * MiB
+
+
+@dataclass(frozen=True)
+class Blob:
+    """A byte buffer with an independent nominal (charged) size."""
+
+    data: bytes
+    nominal_size: int = -1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nominal_size < 0:
+            object.__setattr__(self, "nominal_size", len(self.data))
+        if self.nominal_size < len(self.data):
+            raise ValueError(
+                f"nominal size {self.nominal_size} smaller than actual "
+                f"{len(self.data)} for blob {self.label!r}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def scale(self) -> float:
+        """Ratio of actual to nominal bytes (1.0 for unscaled blobs)."""
+        if self.nominal_size == 0:
+            return 1.0
+        return len(self.data) / self.nominal_size
+
+    def with_label(self, label: str) -> "Blob":
+        return Blob(self.data, self.nominal_size, label)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return (value + alignment - 1) // alignment * alignment
+
+
+def human_size(num_bytes: float) -> str:
+    """Render a byte count the way the paper's tables do (e.g. '7.1M')."""
+    for unit, factor in (("G", GiB), ("M", MiB), ("K", KiB)):
+        if num_bytes >= factor:
+            value = num_bytes / factor
+            if value >= 10:
+                return f"{value:.0f}{unit}"
+            return f"{value:.1f}{unit}"
+    return f"{num_bytes:.0f}B"

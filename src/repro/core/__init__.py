@@ -1,0 +1,41 @@
+"""SEVeriFast — the paper's primary contribution as a library.
+
+Public API:
+
+- :class:`repro.core.config.VmConfig` / :class:`repro.core.config.GuestLayout`
+  — what to boot and where it lives in guest memory.
+- :mod:`repro.core.oob_hash` — out-of-band kernel/initrd hashing (§4.3):
+  hashes computed off the critical path, serialized to a "hashes file".
+- :mod:`repro.core.digest_tool` — the guest owner's expected-measurement
+  calculator (§4.2): reproduces the launch digest from the boot verifier,
+  boot data structures, and the hashes file.
+- :class:`repro.core.severifast.SEVeriFast` — the end-to-end pipeline:
+  build images, boot through Firecracker with the SEVeriFast path, attest
+  against a guest owner.
+
+``SEVeriFast`` resolves lazily to keep the package import-cycle free
+(the pipeline pulls in guest/VMM modules which in turn need
+:mod:`repro.core.config`).
+"""
+
+from repro.core.config import GuestLayout, KernelFormat, VmConfig
+from repro.core.oob_hash import HashesFile, hash_boot_components
+from repro.core.digest_tool import compute_expected_digest
+
+__all__ = [
+    "GuestLayout",
+    "HashesFile",
+    "KernelFormat",
+    "SEVeriFast",
+    "VmConfig",
+    "compute_expected_digest",
+    "hash_boot_components",
+]
+
+
+def __getattr__(name: str):
+    if name == "SEVeriFast":
+        from repro.core.severifast import SEVeriFast
+
+        return SEVeriFast
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

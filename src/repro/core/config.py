@@ -1,0 +1,160 @@
+"""VM configuration and guest-physical memory layout.
+
+The layout mirrors the modified Firecracker's choices: the boot verifier
+replaces the kernel as the initial boot code (§4.1), boot data structures
+live in low memory (Fig. 7), and the kernel/initrd are staged in shared
+pages high in guest memory for the verifier to copy down (§2.5).
+
+All addresses are guest-physical and nominal (the sparse memory model
+makes unscaled addressing cheap regardless of build scale).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common import KiB, MiB
+from repro.formats.kernels import DEFAULT_SCALE, KernelConfig, AWS
+from repro.sev.policy import GuestPolicy
+
+
+class KernelFormat(enum.Enum):
+    """Which kernel the VMM hands to the guest."""
+
+    BZIMAGE = "bzimage"  #: compressed bzImage (the SEVeriFast design choice)
+    VMLINUX = "vmlinux"  #: uncompressed ELF via the fw_cfg protocol (§5)
+
+
+@dataclass(frozen=True)
+class GuestLayout:
+    """Where everything lives in guest-physical memory."""
+
+    # Shared communication pages, low memory:
+    ghcb_addr: int = 0x0000_7000  #: GHCB for #VC exits (SEV-ES/SNP)
+    virtio_queue_addr: int = 0x0005_0000  #: virtio-blk split ring
+    virtio_bounce_addr: int = 0x0006_0000  #: bounce buffers (swiotlb-style)
+    net_tx_queue_addr: int = 0x0007_0000  #: virtio-net TX ring
+    net_rx_queue_addr: int = 0x0007_1000  #: virtio-net RX ring
+    net_tx_buffer_addr: int = 0x0007_2000  #: TX frame bounce buffer
+    net_rx_buffer_addr: int = 0x0007_3000  #: RX frame bounce buffer
+
+    # Pre-encrypted (root-of-trust) components, low memory:
+    boot_params_addr: int = 0x0001_0000  #: the Linux zero page
+    cmdline_addr: int = 0x0002_0000
+    hashes_addr: int = 0x0003_0000  #: out-of-band kernel/initrd hashes page
+    page_table_addr: int = 0x0000_A000  #: PML4 (PDPT/PD follow)
+    mptable_addr: int = 0x0009_F000  #: top of conventional memory
+    #: (page-aligned: LAUNCH_UPDATE_DATA operates on whole pages)
+    verifier_addr: int = 0x0010_0000  #: boot verifier entry (1 MiB)
+
+    # Shared (plain-text) staging areas, high memory:
+    kernel_stage_addr: int = 0x0900_0000
+    initrd_stage_addr: int = 0x0A00_0000
+
+    # Encrypted destinations the verifier copies into:
+    kernel_copy_addr: int = 0x0500_0000  #: bzImage / vmlinux encrypted copy
+    kernel_load_addr: int = 0x0100_0000  #: where the vmlinux runs
+    initrd_load_addr: int = 0x0D00_0000
+
+    @classmethod
+    def for_kernel(cls, kernel: "KernelConfig", memory_size: int = 256 * MiB) -> "GuestLayout":
+        """Pack a layout around a kernel's nominal sizes.
+
+        The defaults fit the paper's three configs; synthetic kernels
+        from :func:`repro.formats.kernels.custom_kernel_config` can be
+        bigger, so this computes non-overlapping regions from the sizes.
+        """
+        from repro.common import align_up
+
+        align = 16 * MiB
+        kernel_load = 0x0100_0000
+        kernel_copy = align_up(kernel_load + kernel.vmlinux_size, align)
+        kernel_stage = align_up(kernel_copy + kernel.vmlinux_size, align)
+        initrd_stage = align_up(kernel_stage + kernel.bzimage_size, align)
+        initrd_load = align_up(initrd_stage + 16 * MiB, align)
+        layout = cls(
+            kernel_load_addr=kernel_load,
+            kernel_copy_addr=kernel_copy,
+            kernel_stage_addr=kernel_stage,
+            initrd_stage_addr=initrd_stage,
+            initrd_load_addr=initrd_load,
+        )
+        layout.validate(memory_size, kernel)
+        return layout
+
+    def validate(self, memory_size: int, kernel: "KernelConfig") -> None:
+        """Reject layouts whose regions collide or overflow guest memory.
+
+        Uses the kernel's *nominal* sizes so a layout that only works at
+        a reduced build scale is still rejected.
+        """
+        regions = [
+            ("ghcb", self.ghcb_addr, 4096),
+            ("virtio queue", self.virtio_queue_addr, 4096),
+            ("virtio bounce", self.virtio_bounce_addr, 4096),
+            ("net tx queue", self.net_tx_queue_addr, 4096),
+            ("net rx queue", self.net_rx_queue_addr, 4096),
+            ("net tx buffer", self.net_tx_buffer_addr, 4096),
+            ("net rx buffer", self.net_rx_buffer_addr, 4096),
+            ("page tables", self.page_table_addr, 3 * 4096),
+            ("boot_params", self.boot_params_addr, 4096),
+            ("cmdline", self.cmdline_addr, 4096),
+            ("hashes", self.hashes_addr, 4096),
+            ("mptable", self.mptable_addr, 4096),
+            ("verifier", self.verifier_addr, 1024 * 1024),  # any shim variant
+            ("vmlinux", self.kernel_load_addr, kernel.vmlinux_size),
+            ("kernel copy", self.kernel_copy_addr, kernel.vmlinux_size),
+            ("kernel stage", self.kernel_stage_addr, kernel.bzimage_size),
+            ("initrd stage", self.initrd_stage_addr, 16 * 1024 * 1024),
+            ("initrd", self.initrd_load_addr, 16 * 1024 * 1024),
+        ]
+        for name, start, size in regions:
+            if start % 4096 != 0:
+                raise ValueError(f"{name} region at {start:#x} is not page-aligned")
+            if start + size > memory_size:
+                raise ValueError(
+                    f"{name} region [{start:#x}, {start + size:#x}) exceeds "
+                    f"guest memory ({memory_size:#x})"
+                )
+        ordered = sorted(regions, key=lambda r: r[1])
+        for (name_a, start_a, size_a), (name_b, start_b, _size_b) in zip(
+            ordered, ordered[1:]
+        ):
+            if start_a + size_a > start_b:
+                raise ValueError(
+                    f"layout overlap: {name_a!r} runs into {name_b!r} "
+                    f"({start_a:#x}+{size_a:#x} > {start_b:#x})"
+                )
+
+
+@dataclass(frozen=True)
+class VmConfig:
+    """One microVM's configuration (the Firecracker VM config file)."""
+
+    kernel: KernelConfig = AWS
+    kernel_format: KernelFormat = KernelFormat.BZIMAGE
+    memory_size: int = 256 * MiB  #: §6.1: 256 MB per VM
+    vcpus: int = 1
+    cmdline: str = (
+        "reboot=k panic=1 pci=off nomodule 8250.nr_uarts=0 "
+        "i8042.noaux i8042.nomux i8042.nopnp i8042.dumbkbd "
+        "console=ttyS0 root=/dev/vda ro init=/init random.trust_cpu=on"
+    )  #: Firecracker's default ~155-byte command line (§4.2)
+    sev_policy: GuestPolicy = field(default_factory=GuestPolicy)
+    layout: GuestLayout = field(default_factory=GuestLayout)
+    #: build scale for synthetic images (timing is nominal regardless)
+    scale: float = DEFAULT_SCALE
+    #: perform remote attestation after boot (off for Lupine, §6.1)
+    attest: bool = True
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1:
+            raise ValueError("at least one vCPU required")
+        if len(self.cmdline.encode()) >= 4 * KiB:
+            raise ValueError("kernel command line exceeds 4 KiB")
+        self.layout.validate(self.memory_size, self.kernel)
+
+    @property
+    def cmdline_bytes(self) -> bytes:
+        return self.cmdline.encode() + b"\x00"

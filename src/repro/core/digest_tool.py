@@ -1,0 +1,61 @@
+"""The expected-launch-measurement tool (§4.2).
+
+Pre-encrypting several small components instead of one binary blob makes
+the expected launch digest harder to compute, so SEVeriFast ships a tool
+that reproduces it offline.  Given the boot verifier, the out-of-band
+hashes file, and the Firecracker VM configuration, the tool generates the
+command line, mptable, and boot_params exactly as the VMM will, then
+folds everything into the digest chain in launch order.
+
+:func:`preencrypted_regions` is the *single source of truth* for what the
+root of trust contains — the VMM pre-encrypts exactly this list, and the
+guest owner's expected digest is computed from exactly this list.  Any
+divergence (a malicious VMM pre-encrypting different bytes) shows up as a
+digest mismatch at attestation, which is §2.6's attack 2/3 detection.
+"""
+
+from __future__ import annotations
+
+from repro.common import Blob
+from repro.core.config import VmConfig
+from repro.core.oob_hash import HashesFile
+from repro.guest.bootdata import build_boot_params, build_mptable
+from repro.sev.measurement import expected_digest
+
+
+def preencrypted_regions(
+    config: VmConfig,
+    verifier: Blob,
+    hashes: HashesFile,
+) -> list[tuple[int, bytes, int]]:
+    """The (gpa, plaintext, nominal) regions forming the root of trust.
+
+    Order matters: the digest chain is order-sensitive, and the VMM issues
+    LAUNCH_UPDATE_DATA in exactly this order.
+    """
+    layout = config.layout
+    boot_params = build_boot_params(
+        cmdline_ptr=layout.cmdline_addr,
+        ramdisk_image=layout.initrd_load_addr,
+        ramdisk_size=hashes.initrd_len,
+        memory_size=config.memory_size,
+    )
+    mptable = build_mptable(config.vcpus, layout.mptable_addr)
+    return [
+        (layout.verifier_addr, verifier.data, verifier.nominal_size),
+        (layout.boot_params_addr, boot_params, len(boot_params)),
+        (layout.cmdline_addr, config.cmdline_bytes, len(config.cmdline_bytes)),
+        (layout.mptable_addr, mptable, len(mptable)),
+        (layout.hashes_addr, hashes.to_page(), len(hashes.to_page())),
+    ]
+
+
+def compute_expected_digest(
+    config: VmConfig,
+    verifier: Blob,
+    hashes: HashesFile,
+) -> bytes:
+    """What the guest owner expects to see in the attestation report."""
+    return expected_digest(
+        [(gpa, data, nominal) for gpa, data, nominal in preencrypted_regions(config, verifier, hashes)]
+    )

@@ -1,0 +1,234 @@
+"""SEVeriFast's end-to-end public API.
+
+:class:`SEVeriFast` wires the whole stack together: build the kernel and
+initrd images, pre-compute the out-of-band hashes and the expected launch
+digest, stand up a guest owner holding the workload secret, and run cold
+boots — SEVeriFast, stock Firecracker, naive pre-encryption, or the
+QEMU/OVMF baseline — on a simulated SEV-SNP machine.
+
+Quick start::
+
+    from repro.core import SEVeriFast, VmConfig
+    from repro.formats.kernels import AWS
+
+    sf = SEVeriFast()
+    result = sf.cold_boot(VmConfig(kernel=AWS))
+    print(result.boot_ms, result.attested, result.secret)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common import Blob
+from repro.core.config import KernelFormat, VmConfig
+from repro.core.digest_tool import compute_expected_digest
+from repro.core.oob_hash import HashesFile, hash_boot_components
+from repro.formats.bzimage import CompressionAlgo
+from repro.formats.kernels import KernelArtifacts, build_initrd, build_kernel
+from repro.guest.bootverifier import verifier_binary
+from repro.hw.platform import Machine
+from repro.sev.guestowner import GuestOwner
+from repro.vmm.firecracker import FirecrackerVMM
+from repro.vmm.fwcfg import FwCfgDevice
+from repro.vmm.qemu import QemuBootExtras, QemuVMM
+from repro.vmm.timeline import BootResult
+
+DEFAULT_SECRET = b"the-function's-database-credentials"
+
+
+@dataclass(frozen=True)
+class PreparedBoot:
+    """Everything computed off the critical path for one VM config."""
+
+    config: VmConfig
+    artifacts: KernelArtifacts
+    initrd: Blob
+    hashes: HashesFile
+    expected_digest: bytes
+    owner: GuestOwner
+
+
+class SEVeriFast:
+    """Facade over image building, preparation, and boot pipelines."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        compression: CompressionAlgo = CompressionAlgo.LZ4,
+        secret: bytes = DEFAULT_SECRET,
+    ):
+        self._shared_machine = machine
+        self.compression = compression
+        self.secret = secret
+
+    # -- preparation (off the critical path, §4.2/§4.3) ---------------------
+
+    def machine(self) -> Machine:
+        """The shared machine, or a fresh one per boot when none was given."""
+        return self._shared_machine if self._shared_machine else Machine()
+
+    def prepare(self, config: VmConfig, machine: Optional[Machine] = None) -> PreparedBoot:
+        """Build images, hashes, expected digest, and the guest owner."""
+        machine = machine or self.machine()
+        artifacts = build_kernel(config.kernel, config.scale, self.compression)
+        initrd = build_initrd(config.scale)
+        if config.kernel_format is KernelFormat.BZIMAGE:
+            kernel_blob = artifacts.bzimage
+            hashes = hash_boot_components(kernel_blob, initrd)
+        else:
+            fw_cfg = FwCfgDevice.from_vmlinux(
+                artifacts.vmlinux.data, artifacts.vmlinux.nominal_size
+            )
+            hashes = hash_boot_components(
+                Blob(
+                    fw_cfg.protocol_hash_input(),
+                    artifacts.vmlinux.nominal_size,
+                    "vmlinux-protocol",
+                ),
+                initrd,
+            )
+        digest = compute_expected_digest(config, verifier_binary(), hashes)
+        # The owner trusts only AMD's root key; the chip's VCEK is proven
+        # through the ARK->ASK->VCEK chain the platform ships (§6.1).
+        owner = GuestOwner.with_chain(
+            trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+            cert_chain=machine.psp.cert_chain,
+            expected_digest=digest,
+            secret=self.secret,
+        )
+        return PreparedBoot(
+            config=config,
+            artifacts=artifacts,
+            initrd=initrd,
+            hashes=hashes,
+            expected_digest=digest,
+            owner=owner,
+        )
+
+    # -- boot pipelines ---------------------------------------------------------
+
+    def cold_boot(
+        self,
+        config: VmConfig,
+        machine: Optional[Machine] = None,
+        prepared: Optional[PreparedBoot] = None,
+        attest: Optional[bool] = None,
+    ) -> BootResult:
+        """One SEVeriFast cold boot (the paper's headline pipeline)."""
+        machine = machine or self.machine()
+        prepared = prepared or self.prepare(config, machine)
+        vmm = FirecrackerVMM(machine)
+        do_attest = config.attest if attest is None else attest
+        owner = prepared.owner if do_attest else None
+        return machine.sim.run_process(
+            vmm.boot_severifast(
+                config,
+                prepared.artifacts,
+                prepared.initrd,
+                owner=owner,
+                hashes=prepared.hashes,
+            ),
+            name=f"severifast-{config.kernel.name}",
+        )
+
+    def cold_boot_stock(
+        self, config: VmConfig, machine: Optional[Machine] = None
+    ) -> BootResult:
+        """Stock (non-SEV) Firecracker direct boot."""
+        machine = machine or self.machine()
+        artifacts = build_kernel(config.kernel, config.scale, self.compression)
+        initrd = build_initrd(config.scale)
+        vmm = FirecrackerVMM(machine)
+        return machine.sim.run_process(
+            vmm.boot_stock(config, artifacts, initrd),
+            name=f"stock-{config.kernel.name}",
+        )
+
+    def cold_boot_naive(
+        self, config: VmConfig, machine: Optional[Machine] = None
+    ) -> BootResult:
+        """The §3.2 strawman: pre-encrypt the kernel/initrd themselves."""
+        machine = machine or self.machine()
+        prepared = self.prepare(config, machine)
+        vmm = FirecrackerVMM(machine)
+        return machine.sim.run_process(
+            vmm.boot_naive_preencrypt(config, prepared.artifacts, prepared.initrd),
+            name=f"naive-{config.kernel.name}",
+        )
+
+    def cold_boot_qemu(
+        self,
+        config: VmConfig,
+        machine: Optional[Machine] = None,
+        sev: bool = True,
+        attest: Optional[bool] = None,
+    ) -> tuple[BootResult, QemuBootExtras]:
+        """The QEMU/OVMF baseline boot."""
+        machine = machine or self.machine()
+        prepared = self.prepare(config, machine)
+        vmm = QemuVMM(machine)
+        if sev:
+            do_attest = config.attest if attest is None else attest
+            owner = None
+            if do_attest:
+                # The guest owner's expected digest reflects *QEMU's* root
+                # of trust (OVMF volume + boot data + hashes page).
+                from repro.vmm.qemu import ovmf_volume, qemu_expected_digest
+
+                volume = ovmf_volume(machine.cost.ovmf_volume_size)
+                owner = GuestOwner(
+                    trusted_vcek=machine.psp.vcek.public,
+                    expected_digest=qemu_expected_digest(
+                        config, volume, prepared.hashes
+                    ),
+                    secret=self.secret,
+                )
+            gen = vmm.boot_sev_ovmf(
+                config, prepared.artifacts, prepared.initrd, owner=owner
+            )
+        else:
+            gen = vmm.boot_nonsev_ovmf(config, prepared.artifacts, prepared.initrd)
+        return machine.sim.run_process(gen, name=f"qemu-{config.kernel.name}")
+
+    # -- concurrency (Fig. 12) -----------------------------------------------------
+
+    def concurrent_boots(
+        self,
+        config: VmConfig,
+        count: int,
+        sev: bool = True,
+        attest: bool = False,
+        machine: Optional[Machine] = None,
+    ) -> list[BootResult]:
+        """Launch ``count`` guests at t=0 on one machine (one shared PSP)."""
+        machine = machine or Machine()
+        prepared = self.prepare(config, machine) if sev else None
+        artifacts = build_kernel(config.kernel, config.scale, self.compression)
+        initrd = build_initrd(config.scale)
+        results: list[BootResult] = []
+
+        def one_boot():
+            vmm = FirecrackerVMM(machine)
+            if sev:
+                assert prepared is not None
+                result = yield from vmm.boot_severifast(
+                    config,
+                    prepared.artifacts,
+                    prepared.initrd,
+                    owner=prepared.owner if attest else None,
+                    hashes=prepared.hashes,
+                )
+            else:
+                result = yield from vmm.boot_stock(config, artifacts, initrd)
+            results.append(result)
+
+        procs = [
+            machine.sim.process(one_boot(), name=f"boot-{i}") for i in range(count)
+        ]
+        machine.sim.run()
+        for proc in procs:
+            if not proc.ok:
+                raise proc.value
+        return results

@@ -1,0 +1,43 @@
+"""Cryptographic substrate, implemented from scratch.
+
+Every primitive the SEV boot path depends on is implemented here on top of
+plain Python integers / ``bytes`` (no third-party crypto libraries):
+
+- :mod:`repro.crypto.sha2` — SHA-256 / SHA-384 / SHA-512 (FIPS 180-4).
+- :mod:`repro.crypto.hmacmod` — HMAC (RFC 2104) and HKDF (RFC 5869).
+- :mod:`repro.crypto.aes` — AES-128 block cipher (FIPS 197).
+- :mod:`repro.crypto.memenc` — XEX-mode memory encryption with a
+  physical-address tweak, modelling the SEV AES engine in the memory
+  controller.
+- :mod:`repro.crypto.ecdsa` — ECDSA over NIST P-256, used for
+  VCEK-style attestation-report signatures.
+- :mod:`repro.crypto.lz4` — LZ4 block-format codec, used for bzImage
+  payload compression.
+- :mod:`repro.crypto.gzipcodec` — DEFLATE comparator codec (wraps the
+  stdlib, used only as the *slow decompression* baseline in Fig. 5).
+
+Where bulk data makes the pure-Python implementations too slow for test
+suites (hashing a multi-megabyte kernel), functions accept
+``accelerated=True`` to dispatch to the stdlib implementation of the *same*
+algorithm; property tests in ``tests/crypto`` pin the two implementations
+together.
+"""
+
+from repro.crypto.sha2 import sha256, sha384, sha512
+from repro.crypto.hmacmod import hkdf_expand, hkdf_extract, hmac_sha256
+from repro.crypto.aes import AES128
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.crypto.lz4 import lz4_compress, lz4_decompress
+
+__all__ = [
+    "AES128",
+    "MemoryEncryptionEngine",
+    "hkdf_expand",
+    "hkdf_extract",
+    "hmac_sha256",
+    "lz4_compress",
+    "lz4_decompress",
+    "sha256",
+    "sha384",
+    "sha512",
+]

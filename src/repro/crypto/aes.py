@@ -1,0 +1,174 @@
+"""AES-128 block cipher (FIPS 197), implemented from scratch.
+
+This is the cipher behind :mod:`repro.crypto.memenc`, our model of the AES
+engine embedded in the EPYC memory controller.  The S-box is computed from
+the GF(2^8) inverse at import time rather than pasted in, so the table
+itself is verified by construction.
+"""
+
+from __future__ import annotations
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8) (0 maps to 0)."""
+    if a == 0:
+        return 0
+    # a^(254) = a^-1 in GF(2^8)
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = _gf_mul(result, power)
+        power = _gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    sbox = bytearray(256)
+    inv = bytearray(256)
+    for x in range(256):
+        b = _gf_inv(x)
+        # Affine transformation.
+        y = 0
+        for bit in range(8):
+            y |= (
+                ((b >> bit) & 1)
+                ^ ((b >> ((bit + 4) % 8)) & 1)
+                ^ ((b >> ((bit + 5) % 8)) & 1)
+                ^ ((b >> ((bit + 6) % 8)) & 1)
+                ^ ((b >> ((bit + 7) % 8)) & 1)
+                ^ ((0x63 >> bit) & 1)
+            ) << bit
+        sbox[x] = y
+        inv[y] = x
+    return bytes(sbox), bytes(inv)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+# Precomputed GF multiplication tables for MixColumns.
+_MUL2 = bytes(_gf_mul(x, 2) for x in range(256))
+_MUL3 = bytes(_gf_mul(x, 3) for x in range(256))
+_MUL9 = bytes(_gf_mul(x, 9) for x in range(256))
+_MUL11 = bytes(_gf_mul(x, 11) for x in range(256))
+_MUL13 = bytes(_gf_mul(x, 13) for x in range(256))
+_MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
+
+
+class AES128:
+    """AES with a 128-bit key; 10 rounds; single-block encrypt/decrypt."""
+
+    BLOCK_SIZE = 16
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise ValueError("AES-128 requires a 16-byte key")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[bytes]:
+        words = [key[i : i + 4] for i in range(0, 16, 4)]
+        for i in range(4, 44):
+            temp = words[i - 1]
+            if i % 4 == 0:
+                rotated = temp[1:] + temp[:1]
+                temp = bytes(_SBOX[b] for b in rotated)
+                temp = bytes([temp[0] ^ _RCON[i // 4 - 1]]) + temp[1:]
+            words.append(bytes(a ^ b for a, b in zip(words[i - 4], temp)))
+        return [b"".join(words[4 * r : 4 * r + 4]) for r in range(11)]
+
+    # -- state helpers (state is a 16-byte column-major array) -----------
+
+    @staticmethod
+    def _add_round_key(state: bytearray, round_key: bytes) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    @staticmethod
+    def _sub_bytes(state: bytearray, box: bytes) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: bytearray) -> None:
+        # Row r of the state is bytes r, r+4, r+8, r+12; shift left by r.
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[r:] + row[:r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _inv_shift_rows(state: bytearray) -> None:
+        for r in range(1, 4):
+            row = [state[r + 4 * c] for c in range(4)]
+            row = row[-r:] + row[:-r]
+            for c in range(4):
+                state[r + 4 * c] = row[c]
+
+    @staticmethod
+    def _mix_columns(state: bytearray) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _MUL2[col[0]] ^ _MUL3[col[1]] ^ col[2] ^ col[3]
+            state[4 * c + 1] = col[0] ^ _MUL2[col[1]] ^ _MUL3[col[2]] ^ col[3]
+            state[4 * c + 2] = col[0] ^ col[1] ^ _MUL2[col[2]] ^ _MUL3[col[3]]
+            state[4 * c + 3] = _MUL3[col[0]] ^ col[1] ^ col[2] ^ _MUL2[col[3]]
+
+    @staticmethod
+    def _inv_mix_columns(state: bytearray) -> None:
+        for c in range(4):
+            col = state[4 * c : 4 * c + 4]
+            state[4 * c + 0] = _MUL14[col[0]] ^ _MUL11[col[1]] ^ _MUL13[col[2]] ^ _MUL9[col[3]]
+            state[4 * c + 1] = _MUL9[col[0]] ^ _MUL14[col[1]] ^ _MUL11[col[2]] ^ _MUL13[col[3]]
+            state[4 * c + 2] = _MUL13[col[0]] ^ _MUL9[col[1]] ^ _MUL14[col[2]] ^ _MUL11[col[3]]
+            state[4 * c + 3] = _MUL11[col[0]] ^ _MUL13[col[1]] ^ _MUL9[col[2]] ^ _MUL14[col[3]]
+
+    # -- public block operations -----------------------------------------
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        if len(plaintext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = bytearray(plaintext)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, 10):
+            self._sub_bytes(state, _SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state, _SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[10])
+        return bytes(state)
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = bytearray(ciphertext)
+        self._add_round_key(state, self._round_keys[10])
+        for rnd in range(9, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

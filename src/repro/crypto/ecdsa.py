@@ -1,0 +1,212 @@
+"""ECDSA over NIST P-256, implemented from scratch.
+
+The PSP signs attestation reports with a chip-unique key (the VCEK).  We
+model that with deterministic ECDSA (RFC 6979 nonces, so simulation runs
+are reproducible) over P-256 with SHA-256.
+
+Scalar multiplication uses Jacobian coordinates with a simple
+double-and-add ladder — plenty fast for the handful of signatures a boot
+performs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.hmacmod import hmac_sha256
+
+# NIST P-256 domain parameters (FIPS 186-4, D.1.2.3).
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+GX = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+
+
+def _inv_mod(a: int, m: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("inverse of zero")
+    return pow(a, -1, m)
+
+
+# Points are (X, Y, Z) in Jacobian coordinates; Z == 0 is the identity.
+_JacPoint = tuple[int, int, int]
+_IDENTITY: _JacPoint = (1, 1, 0)
+
+
+def _jac_double(pt: _JacPoint) -> _JacPoint:
+    x, y, z = pt
+    if z == 0 or y == 0:
+        return _IDENTITY
+    ysq = (y * y) % P
+    s = (4 * x * ysq) % P
+    m = (3 * x * x + A * pow(z, 4, P)) % P
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = (2 * y * z) % P
+    return (nx, ny, nz)
+
+
+def _jac_add(p1: _JacPoint, p2: _JacPoint) -> _JacPoint:
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == 0:
+        return p2
+    if z2 == 0:
+        return p1
+    z1sq = (z1 * z1) % P
+    z2sq = (z2 * z2) % P
+    u1 = (x1 * z2sq) % P
+    u2 = (x2 * z1sq) % P
+    s1 = (y1 * z2sq * z2) % P
+    s2 = (y2 * z1sq * z1) % P
+    if u1 == u2:
+        if s1 != s2:
+            return _IDENTITY
+        return _jac_double(p1)
+    h = (u2 - u1) % P
+    r = (s2 - s1) % P
+    hsq = (h * h) % P
+    hcu = (hsq * h) % P
+    u1hsq = (u1 * hsq) % P
+    nx = (r * r - hcu - 2 * u1hsq) % P
+    ny = (r * (u1hsq - nx) - s1 * hcu) % P
+    nz = (h * z1 * z2) % P
+    return (nx, ny, nz)
+
+
+def _jac_mul(k: int, pt: _JacPoint) -> _JacPoint:
+    result = _IDENTITY
+    addend = pt
+    while k:
+        if k & 1:
+            result = _jac_add(result, addend)
+        addend = _jac_double(addend)
+        k >>= 1
+    return result
+
+
+def _to_affine(pt: _JacPoint) -> tuple[int, int]:
+    x, y, z = pt
+    if z == 0:
+        raise ValueError("identity point has no affine form")
+    zinv = _inv_mod(z, P)
+    zinv2 = (zinv * zinv) % P
+    return (x * zinv2) % P, (y * zinv2 * zinv) % P
+
+
+def _on_curve(x: int, y: int) -> bool:
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+_G: _JacPoint = (GX, GY, 1)
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An affine public-key point."""
+
+    x: int
+    y: int
+
+    def to_bytes(self) -> bytes:
+        return b"\x04" + self.x.to_bytes(32, "big") + self.y.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        if len(data) != 65 or data[0] != 0x04:
+            raise ValueError("expected 65-byte uncompressed point")
+        x = int.from_bytes(data[1:33], "big")
+        y = int.from_bytes(data[33:65], "big")
+        if not _on_curve(x, y):
+            raise ValueError("point not on P-256")
+        return cls(x, y)
+
+
+@dataclass(frozen=True)
+class Signature:
+    r: int
+    s: int
+
+    def to_bytes(self) -> bytes:
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Signature":
+        if len(data) != 64:
+            raise ValueError("expected 64-byte raw signature")
+        return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+
+class SigningKey:
+    """ECDSA P-256 signing key with RFC 6979 deterministic nonces."""
+
+    def __init__(self, secret: int):
+        if not 1 <= secret < N:
+            raise ValueError("secret scalar out of range")
+        self.secret = secret
+        self.public = PublicKey(*_to_affine(_jac_mul(secret, _G)))
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "SigningKey":
+        """Derive a key from arbitrary seed bytes (chip-unique secret)."""
+        counter = 0
+        while True:
+            candidate = int.from_bytes(
+                hashlib.sha256(seed + counter.to_bytes(4, "big")).digest(), "big"
+            )
+            if 1 <= candidate < N:
+                return cls(candidate)
+            counter += 1
+
+    def _rfc6979_nonce(self, digest: bytes) -> int:
+        h1 = digest
+        x = self.secret.to_bytes(32, "big")
+        v = b"\x01" * 32
+        k = b"\x00" * 32
+        k = hmac_sha256(k, v + b"\x00" + x + h1)
+        v = hmac_sha256(k, v)
+        k = hmac_sha256(k, v + b"\x01" + x + h1)
+        v = hmac_sha256(k, v)
+        while True:
+            v = hmac_sha256(k, v)
+            candidate = int.from_bytes(v, "big")
+            if 1 <= candidate < N:
+                return candidate
+            k = hmac_sha256(k, v + b"\x00")
+            v = hmac_sha256(k, v)
+
+    def sign(self, message: bytes) -> Signature:
+        digest = hashlib.sha256(message).digest()
+        z = int.from_bytes(digest, "big") % N
+        while True:
+            k = self._rfc6979_nonce(digest)
+            x, _y = _to_affine(_jac_mul(k, _G))
+            r = x % N
+            if r == 0:
+                digest = hashlib.sha256(digest).digest()
+                continue
+            s = (_inv_mod(k, N) * (z + r * self.secret)) % N
+            if s == 0:
+                digest = hashlib.sha256(digest).digest()
+                continue
+            return Signature(r, s)
+
+
+def verify(public: PublicKey, message: bytes, sig: Signature) -> bool:
+    """Verify an ECDSA P-256/SHA-256 signature.  Returns False on any defect."""
+    if not (1 <= sig.r < N and 1 <= sig.s < N):
+        return False
+    if not _on_curve(public.x, public.y):
+        return False
+    z = int.from_bytes(hashlib.sha256(message).digest(), "big") % N
+    w = _inv_mod(sig.s, N)
+    u1 = (z * w) % N
+    u2 = (sig.r * w) % N
+    pt = _jac_add(_jac_mul(u1, _G), _jac_mul(u2, (public.x, public.y, 1)))
+    if pt[2] == 0:
+        return False
+    x, _y = _to_affine(pt)
+    return x % N == sig.r

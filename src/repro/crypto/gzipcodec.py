@@ -1,0 +1,34 @@
+"""DEFLATE comparator codec.
+
+Fig. 5 contrasts LZ4 against the slower, denser compressor Linux uses by
+default (gzip/DEFLATE).  Implementing DEFLATE from scratch is out of scope
+for the contribution being reproduced — the paper treats gzip purely as a
+comparator with a known (ratio, decompression-throughput) point — so this
+module wraps the stdlib codec behind the same interface as
+:mod:`repro.crypto.lz4` and the cost model supplies the paper-calibrated
+throughput.  DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+class GzipError(ValueError):
+    """Raised when a DEFLATE stream fails to decode."""
+
+
+def gzip_compress(data: bytes, level: int = 6) -> bytes:
+    """Compress with DEFLATE at the kernel-default effort level."""
+    return zlib.compress(data, level)
+
+
+def gzip_decompress(block: bytes, max_output: int | None = None) -> bytes:
+    """Decompress a DEFLATE stream, optionally bounding the output size."""
+    try:
+        out = zlib.decompress(block)
+    except zlib.error as exc:
+        raise GzipError(str(exc)) from exc
+    if max_output is not None and len(out) > max_output:
+        raise GzipError("output exceeds declared size")
+    return out

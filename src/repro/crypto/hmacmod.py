@@ -1,0 +1,49 @@
+"""HMAC (RFC 2104) and HKDF (RFC 5869) on top of our SHA-256.
+
+Used to derive per-guest memory-encryption keys from the platform's chip
+secret (mirroring the PSP's key hierarchy) and to wrap secrets sent by the
+guest owner after attestation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha2 import sha256
+
+_BLOCK_SIZE = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 of ``message`` under ``key``."""
+    if len(key) > _BLOCK_SIZE:
+        key = sha256(key)
+    key = key.ljust(_BLOCK_SIZE, b"\x00")
+    o_pad = bytes(b ^ 0x5C for b in key)
+    i_pad = bytes(b ^ 0x36 for b in key)
+    return sha256(o_pad + sha256(i_pad + message))
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = b"\x00" * 32
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand to ``length`` bytes of output keying material."""
+    if length > 255 * 32:
+        raise ValueError("HKDF-Expand output too long")
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def derive_key(master: bytes, label: str, length: int = 16) -> bytes:
+    """Single-call KDF: extract-then-expand with a string label."""
+    prk = hkdf_extract(b"sev-repro", master)
+    return hkdf_expand(prk, label.encode(), length)

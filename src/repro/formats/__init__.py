@@ -1,0 +1,43 @@
+"""Boot-image formats: ELF64 (vmlinux), bzImage, CPIO (initrd), kernels.
+
+All formats are written and parsed from scratch so the boot verifier and
+the VMM exercise the same parsing code paths the paper's components do:
+
+- :mod:`repro.formats.elf` — ELF64 executables: the uncompressed vmlinux.
+- :mod:`repro.formats.bzimage` — the bzImage container (setup stub +
+  bootstrap loader + compressed payload) and its header fields.
+- :mod:`repro.formats.cpio` — CPIO *newc* archives for the initrd.
+- :mod:`repro.formats.kernels` — synthetic kernel builders matching the
+  paper's three configurations (Fig. 8) in size and compression ratio.
+"""
+
+from repro.formats.elf import ElfFile, ElfSegment
+from repro.formats.bzimage import BzImage, CompressionAlgo
+from repro.formats.cpio import CpioArchive, CpioEntry
+from repro.formats.kernels import (
+    AWS,
+    KERNEL_CONFIGS,
+    LUPINE,
+    UBUNTU,
+    KernelArtifacts,
+    KernelConfig,
+    build_initrd,
+    build_kernel,
+)
+
+__all__ = [
+    "AWS",
+    "BzImage",
+    "CompressionAlgo",
+    "CpioArchive",
+    "CpioEntry",
+    "ElfFile",
+    "ElfSegment",
+    "KERNEL_CONFIGS",
+    "KernelArtifacts",
+    "KernelConfig",
+    "LUPINE",
+    "UBUNTU",
+    "build_initrd",
+    "build_kernel",
+]

@@ -1,0 +1,203 @@
+"""The bzImage container: setup stub + bootstrap loader + compressed kernel.
+
+A bzImage is a small real-mode setup stub plus a protected-mode part that
+carries the bootstrap decompressor and a compressed vmlinux payload
+(§2.1).  This module implements a faithful subset of the x86 Linux boot
+protocol header:
+
+- boot-sector magic ``0xAA55`` at offset 0x1FE,
+- the ``HdrS`` signature at 0x202 and protocol version at 0x206,
+- ``setup_sects`` (0x1F1) and ``syssize`` (0x1F4),
+- ``payload_offset``/``payload_length`` (0x248/0x24C) locating the
+  compressed payload inside the protected-mode part,
+- ``init_size`` (0x260): memory the uncompressed kernel needs.
+
+The payload is prefixed by a compression magic exactly the way the kernel
+detects its own compressor (LZ4 legacy/frame magic, gzip ``\\x1f\\x8b``),
+and decompression really runs our codecs, so a corrupt payload fails to
+boot in the simulation just as it would on hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.gzipcodec import gzip_compress, gzip_decompress
+from repro.crypto.lz4 import lz4_compress, lz4_decompress
+
+SECTOR = 512
+BOOT_FLAG = 0xAA55
+HDR_SIGNATURE = b"HdrS"
+PROTOCOL_VERSION = 0x020F
+
+_OFF_SETUP_SECTS = 0x1F1
+_OFF_SYSSIZE = 0x1F4
+_OFF_BOOT_FLAG = 0x1FE
+_OFF_HDR_SIG = 0x202
+_OFF_VERSION = 0x206
+_OFF_CMDLINE_SIZE = 0x238
+_OFF_PAYLOAD_OFFSET = 0x248
+_OFF_PAYLOAD_LENGTH = 0x24C
+_OFF_INIT_SIZE = 0x260
+
+DEFAULT_SETUP_SECTS = 4
+DEFAULT_CMDLINE_SIZE = 4096
+
+
+class BzImageError(ValueError):
+    """Raised when a bzImage fails validation or decompression."""
+
+
+class CompressionAlgo(enum.Enum):
+    """Payload compressors the bootstrap loader understands."""
+
+    NONE = "none"
+    LZ4 = "lz4"
+    GZIP = "gzip"
+
+    @property
+    def magic(self) -> bytes:
+        return {
+            CompressionAlgo.NONE: b"RAW0",
+            CompressionAlgo.LZ4: b"\x04\x22\x4d\x18",
+            CompressionAlgo.GZIP: b"\x1f\x8b\x08\x00",
+        }[self]
+
+    def compress(self, data: bytes) -> bytes:
+        if self is CompressionAlgo.NONE:
+            return data
+        if self is CompressionAlgo.LZ4:
+            return lz4_compress(data)
+        return gzip_compress(data)
+
+    def decompress(self, data: bytes, max_output: int | None = None) -> bytes:
+        if self is CompressionAlgo.NONE:
+            return data
+        if self is CompressionAlgo.LZ4:
+            return lz4_decompress(data, max_output=max_output)
+        return gzip_decompress(data, max_output=max_output)
+
+    @classmethod
+    def detect(cls, payload: bytes) -> "CompressionAlgo":
+        for algo in cls:
+            if payload.startswith(algo.magic):
+                return algo
+        raise BzImageError("unknown payload compression magic")
+
+
+def _bootstrap_stub(size: int, seed: int = 0x1F2B) -> bytes:
+    """Deterministic pseudo-code bytes standing in for the decompressor stub."""
+    out = bytearray()
+    state = seed
+    while len(out) < size:
+        state = (state * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+        out += state.to_bytes(8, "little")
+    return bytes(out[:size])
+
+
+@dataclass
+class BzImage:
+    """A parsed (or freshly built) bzImage."""
+
+    raw: bytes
+    setup_sects: int
+    algo: CompressionAlgo
+    payload: bytes
+    init_size: int
+    cmdline_size: int
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        vmlinux: bytes,
+        algo: CompressionAlgo = CompressionAlgo.LZ4,
+        setup_sects: int = DEFAULT_SETUP_SECTS,
+        stub_size: int = 16 * 1024,
+        cmdline_size: int = DEFAULT_CMDLINE_SIZE,
+    ) -> "BzImage":
+        """Assemble a bzImage around ``vmlinux`` (raw ELF bytes)."""
+        compressed = algo.magic + algo.compress(vmlinux)
+        setup_size = (setup_sects + 1) * SECTOR
+
+        header = bytearray(setup_size)
+        header[_OFF_SETUP_SECTS] = setup_sects
+        struct.pack_into("<H", header, _OFF_BOOT_FLAG, BOOT_FLAG)
+        header[_OFF_HDR_SIG : _OFF_HDR_SIG + 4] = HDR_SIGNATURE
+        struct.pack_into("<H", header, _OFF_VERSION, PROTOCOL_VERSION)
+        struct.pack_into("<I", header, _OFF_CMDLINE_SIZE, cmdline_size)
+
+        stub = _bootstrap_stub(stub_size)
+        payload_offset = len(stub)
+        struct.pack_into("<I", header, _OFF_PAYLOAD_OFFSET, payload_offset)
+        struct.pack_into("<I", header, _OFF_PAYLOAD_LENGTH, len(compressed))
+        struct.pack_into("<I", header, _OFF_INIT_SIZE, len(vmlinux))
+
+        protected_mode = stub + compressed
+        # syssize: protected-mode size in 16-byte paragraphs, rounded up.
+        struct.pack_into("<I", header, _OFF_SYSSIZE, (len(protected_mode) + 15) // 16)
+
+        raw = bytes(header) + protected_mode
+        return cls(
+            raw=raw,
+            setup_sects=setup_sects,
+            algo=algo,
+            payload=compressed,
+            init_size=len(vmlinux),
+            cmdline_size=cmdline_size,
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "BzImage":
+        """Parse and validate a bzImage the way the bzImage loader does."""
+        if len(raw) < 2 * SECTOR:
+            raise BzImageError("image shorter than boot sector + setup")
+        (boot_flag,) = struct.unpack_from("<H", raw, _OFF_BOOT_FLAG)
+        if boot_flag != BOOT_FLAG:
+            raise BzImageError(f"bad boot flag {boot_flag:#06x}")
+        if raw[_OFF_HDR_SIG : _OFF_HDR_SIG + 4] != HDR_SIGNATURE:
+            raise BzImageError("missing HdrS signature")
+        (version,) = struct.unpack_from("<H", raw, _OFF_VERSION)
+        if version < 0x0200:
+            raise BzImageError(f"boot protocol too old: {version:#06x}")
+        setup_sects = raw[_OFF_SETUP_SECTS] or 4
+        setup_size = (setup_sects + 1) * SECTOR
+        if len(raw) < setup_size:
+            raise BzImageError("truncated setup area")
+        (payload_offset,) = struct.unpack_from("<I", raw, _OFF_PAYLOAD_OFFSET)
+        (payload_length,) = struct.unpack_from("<I", raw, _OFF_PAYLOAD_LENGTH)
+        (init_size,) = struct.unpack_from("<I", raw, _OFF_INIT_SIZE)
+        (cmdline_size,) = struct.unpack_from("<I", raw, _OFF_CMDLINE_SIZE)
+        start = setup_size + payload_offset
+        end = start + payload_length
+        if end > len(raw):
+            raise BzImageError("payload extends past end of image")
+        payload = raw[start:end]
+        algo = CompressionAlgo.detect(payload)
+        return cls(
+            raw=raw,
+            setup_sects=setup_sects,
+            algo=algo,
+            payload=payload,
+            init_size=init_size,
+            cmdline_size=cmdline_size,
+        )
+
+    # -- operations ----------------------------------------------------------
+
+    def decompress_payload(self) -> bytes:
+        """Run the bootstrap decompressor; returns the vmlinux bytes."""
+        body = self.payload[len(self.algo.magic) :]
+        out = self.algo.decompress(body, max_output=self.init_size)
+        if len(out) != self.init_size:
+            raise BzImageError(
+                f"decompressed size {len(out)} != declared init_size {self.init_size}"
+            )
+        return out
+
+    @property
+    def size(self) -> int:
+        return len(self.raw)

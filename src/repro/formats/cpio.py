@@ -1,0 +1,161 @@
+"""CPIO *newc* archives — the initrd container.
+
+Linux initrds are CPIO archives in the SVR4 "newc" format: each entry is
+a 110-byte ASCII-hex header, the NUL-terminated file name padded to a
+4-byte boundary, then the data padded to a 4-byte boundary, ending with a
+``TRAILER!!!`` entry.  The attestation initrd the paper ships (kernel
+module + scripts + command-line tools, §2.6) is modelled as an archive of
+synthetic files built by :mod:`repro.formats.kernels`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+MAGIC = b"070701"
+TRAILER = "TRAILER!!!"
+
+_HEADER_FIELDS = 13  # 13 8-char hex fields after the 6-byte magic
+_HEADER_SIZE = 6 + 8 * _HEADER_FIELDS  # 110
+
+_S_IFREG = 0o100000
+_S_IFDIR = 0o040000
+
+
+class CpioError(ValueError):
+    """Raised when an archive fails to parse."""
+
+
+@dataclass
+class CpioEntry:
+    """A single file in the archive."""
+
+    name: str
+    data: bytes = b""
+    mode: int = _S_IFREG | 0o644
+    ino: int = 0
+    uid: int = 0
+    gid: int = 0
+    mtime: int = 0
+
+    @property
+    def is_dir(self) -> bool:
+        return (self.mode & 0o170000) == _S_IFDIR
+
+    @classmethod
+    def directory(cls, name: str, mode: int = 0o755) -> "CpioEntry":
+        return cls(name=name, mode=_S_IFDIR | mode)
+
+
+def _pad4(n: int) -> int:
+    return (4 - n % 4) % 4
+
+
+def _encode_entry(entry: CpioEntry, ino: int) -> bytes:
+    name_bytes = entry.name.encode() + b"\x00"
+    header = MAGIC + b"".join(
+        f"{value:08X}".encode()
+        for value in (
+            ino,  # c_ino
+            entry.mode,  # c_mode
+            entry.uid,  # c_uid
+            entry.gid,  # c_gid
+            1,  # c_nlink
+            entry.mtime,  # c_mtime
+            len(entry.data),  # c_filesize
+            0,  # c_devmajor
+            0,  # c_devminor
+            0,  # c_rdevmajor
+            0,  # c_rdevminor
+            len(name_bytes),  # c_namesize
+            0,  # c_check
+        )
+    )
+    out = bytearray(header)
+    out += name_bytes
+    out += b"\x00" * _pad4(_HEADER_SIZE + len(name_bytes))
+    out += entry.data
+    out += b"\x00" * _pad4(len(entry.data))
+    return bytes(out)
+
+
+@dataclass
+class CpioArchive:
+    """A CPIO newc archive: ordered list of entries."""
+
+    entries: list[CpioEntry] = field(default_factory=list)
+
+    def add(self, name: str, data: bytes, mode: int = _S_IFREG | 0o644) -> None:
+        self.entries.append(CpioEntry(name=name, data=data, mode=mode))
+
+    def add_directory(self, name: str) -> None:
+        self.entries.append(CpioEntry.directory(name))
+
+    def find(self, name: str) -> CpioEntry | None:
+        for entry in self.entries:
+            if entry.name == name:
+                return entry
+        return None
+
+    @property
+    def names(self) -> list[str]:
+        return [entry.name for entry in self.entries]
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        for i, entry in enumerate(self.entries, start=1):
+            out += _encode_entry(entry, ino=i)
+        out += _encode_entry(CpioEntry(name=TRAILER, mode=0), ino=0)
+        # Initrd images are traditionally padded to a 512-byte boundary.
+        out += b"\x00" * ((512 - len(out) % 512) % 512)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "CpioArchive":
+        entries: list[CpioEntry] = []
+        pos = 0
+        while True:
+            if pos + _HEADER_SIZE > len(raw):
+                raise CpioError("archive ended without trailer")
+            if raw[pos : pos + 6] != MAGIC:
+                raise CpioError(f"bad entry magic at offset {pos}")
+            fields = []
+            for i in range(_HEADER_FIELDS):
+                start = pos + 6 + 8 * i
+                try:
+                    fields.append(int(raw[start : start + 8], 16))
+                except ValueError as exc:
+                    raise CpioError(f"bad hex field at offset {start}") from exc
+            (
+                _ino,
+                mode,
+                uid,
+                gid,
+                _nlink,
+                mtime,
+                filesize,
+                _devmaj,
+                _devmin,
+                _rdevmaj,
+                _rdevmin,
+                namesize,
+                _check,
+            ) = fields
+            name_start = pos + _HEADER_SIZE
+            name = raw[name_start : name_start + namesize - 1].decode()
+            data_start = name_start + namesize + _pad4(_HEADER_SIZE + namesize)
+            if name == TRAILER:
+                break
+            data = raw[data_start : data_start + filesize]
+            if len(data) != filesize:
+                raise CpioError(f"truncated data for {name!r}")
+            entries.append(
+                CpioEntry(name=name, data=data, mode=mode, uid=uid, gid=gid, mtime=mtime)
+            )
+            pos = data_start + filesize + _pad4(filesize)
+        return cls(entries=entries)
+
+    @property
+    def total_data_size(self) -> int:
+        return sum(len(entry.data) for entry in self.entries)

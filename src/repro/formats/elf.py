@@ -1,0 +1,206 @@
+"""ELF64 reader/writer for vmlinux-style executables.
+
+A vmlinux is an ELF64 executable whose PT_LOAD segments the VMM (direct
+boot) or the boot verifier (measured direct boot via the fw_cfg protocol,
+§5) copies to their run addresses.  This module implements just enough of
+the ELF64 spec for that: the file header, program headers, and loadable
+segments — plus strict validation, since the boot verifier must reject a
+malformed kernel rather than jump into garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+EI_NIDENT = 16
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+ET_EXEC = 2
+EM_X86_64 = 62
+PT_LOAD = 1
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+_EHDR_FMT = "<16sHHIQQQIHHHHHH"
+_EHDR_SIZE = struct.calcsize(_EHDR_FMT)  # 64
+_PHDR_FMT = "<IIQQQQQQ"
+_PHDR_SIZE = struct.calcsize(_PHDR_FMT)  # 56
+
+
+class ElfError(ValueError):
+    """Raised when an ELF image fails validation."""
+
+
+@dataclass
+class ElfSegment:
+    """A loadable segment: ``data`` goes to physical address ``paddr``.
+
+    ``memsz`` may exceed ``len(data)`` (.bss-style zero fill).
+    """
+
+    paddr: int
+    data: bytes
+    flags: int = PF_R | PF_X
+    memsz: int = -1
+    vaddr: int = -1
+
+    def __post_init__(self) -> None:
+        if self.memsz < 0:
+            self.memsz = len(self.data)
+        if self.memsz < len(self.data):
+            raise ElfError("segment memsz smaller than file size")
+        if self.vaddr < 0:
+            self.vaddr = self.paddr
+
+    @property
+    def filesz(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class ElfFile:
+    """An ELF64 executable with PT_LOAD segments."""
+
+    entry: int
+    segments: list[ElfSegment] = field(default_factory=list)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize: ehdr, phdrs, then segment data 16-byte aligned."""
+        phnum = len(self.segments)
+        offset = _EHDR_SIZE + phnum * _PHDR_SIZE
+        phdrs = []
+        payloads = []
+        for seg in self.segments:
+            offset = (offset + 15) & ~15
+            phdrs.append(
+                struct.pack(
+                    _PHDR_FMT,
+                    PT_LOAD,
+                    seg.flags,
+                    offset,
+                    seg.vaddr,
+                    seg.paddr,
+                    seg.filesz,
+                    seg.memsz,
+                    16,
+                )
+            )
+            payloads.append((offset, seg.data))
+            offset += seg.filesz
+
+        ident = ELF_MAGIC + bytes(
+            [ELFCLASS64, ELFDATA2LSB, EV_CURRENT, 0]
+        ) + b"\x00" * 8
+        ehdr = struct.pack(
+            _EHDR_FMT,
+            ident,
+            ET_EXEC,
+            EM_X86_64,
+            EV_CURRENT,
+            self.entry,
+            _EHDR_SIZE,  # e_phoff: phdrs directly follow the ehdr
+            0,  # e_shoff: no section headers
+            0,  # e_flags
+            _EHDR_SIZE,
+            _PHDR_SIZE,
+            phnum,
+            0,
+            0,
+            0,
+        )
+        blob = bytearray(ehdr)
+        blob += b"".join(phdrs)
+        for off, data in payloads:
+            if len(blob) < off:
+                blob += b"\x00" * (off - len(blob))
+            blob += data
+        return bytes(blob)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "ElfFile":
+        """Parse and validate an ELF64 executable."""
+        if len(raw) < _EHDR_SIZE:
+            raise ElfError("file shorter than ELF header")
+        fields = struct.unpack_from(_EHDR_FMT, raw, 0)
+        (
+            ident,
+            e_type,
+            e_machine,
+            e_version,
+            e_entry,
+            e_phoff,
+            _e_shoff,
+            _e_flags,
+            _e_ehsize,
+            e_phentsize,
+            e_phnum,
+            _e_shentsize,
+            _e_shnum,
+            _e_shstrndx,
+        ) = fields
+        if ident[:4] != ELF_MAGIC:
+            raise ElfError("bad ELF magic")
+        if ident[4] != ELFCLASS64:
+            raise ElfError("not a 64-bit ELF")
+        if ident[5] != ELFDATA2LSB:
+            raise ElfError("not little-endian")
+        if e_type != ET_EXEC:
+            raise ElfError(f"not an executable (e_type={e_type})")
+        if e_machine != EM_X86_64:
+            raise ElfError(f"not x86-64 (e_machine={e_machine})")
+        if e_version != EV_CURRENT:
+            raise ElfError("bad ELF version")
+        if e_phentsize != _PHDR_SIZE:
+            raise ElfError(f"unexpected phentsize {e_phentsize}")
+
+        segments = []
+        for i in range(e_phnum):
+            off = e_phoff + i * _PHDR_SIZE
+            if off + _PHDR_SIZE > len(raw):
+                raise ElfError("program header past end of file")
+            (
+                p_type,
+                p_flags,
+                p_offset,
+                p_vaddr,
+                p_paddr,
+                p_filesz,
+                p_memsz,
+                _p_align,
+            ) = struct.unpack_from(_PHDR_FMT, raw, off)
+            if p_type != PT_LOAD:
+                continue
+            if p_offset + p_filesz > len(raw):
+                raise ElfError("segment data past end of file")
+            segments.append(
+                ElfSegment(
+                    paddr=p_paddr,
+                    data=raw[p_offset : p_offset + p_filesz],
+                    flags=p_flags,
+                    memsz=p_memsz,
+                    vaddr=p_vaddr,
+                )
+            )
+        return cls(entry=e_entry, segments=segments)
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def load_size(self) -> int:
+        """Total in-memory footprint of all loadable segments."""
+        return sum(seg.memsz for seg in self.segments)
+
+    def header_bytes(self) -> bytes:
+        """The ELF header alone (fw_cfg protocol step 1, §5)."""
+        return self.to_bytes()[:_EHDR_SIZE]
+
+    def phdr_bytes(self) -> bytes:
+        """The program-header table alone (fw_cfg protocol step 3, §5)."""
+        raw = self.to_bytes()
+        return raw[_EHDR_SIZE : _EHDR_SIZE + len(self.segments) * _PHDR_SIZE]

@@ -1,0 +1,128 @@
+"""SFS — a minimal read-only root filesystem for /dev/vda.
+
+The default command line mounts ``root=/dev/vda ro`` (§6.1); on real
+systems that is an ext4 image.  SFS is the smallest filesystem that lets
+the simulated kernel *actually mount the root device through virtio
+sector reads*: a superblock, a contiguous inode table, and contiguous
+file extents.
+
+On-disk layout (512-byte sectors):
+
+- sector 0 — superblock: magic ``ROOTFS42`` (shared with the probe),
+  version, file count, inode-table start/size;
+- inode table — 64-byte records: NUL-padded path (40), mode u32,
+  size u32, first data sector u32, sector count u32, reserved;
+- data — each file's bytes in contiguous sectors.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+SECTOR = 512
+MAGIC = b"ROOTFS42"
+VERSION = 1
+
+_SUPER_FMT = "<8sIIII"  # magic, version, file count, inode start, inode sectors
+_INODE_FMT = "<40sIIII8x"
+_INODE_SIZE = struct.calcsize(_INODE_FMT)  # 64
+_INODES_PER_SECTOR = SECTOR // _INODE_SIZE
+
+ReadSector = Callable[[int], bytes]
+
+
+class SfsError(ValueError):
+    """Malformed filesystem."""
+
+
+@dataclass(frozen=True)
+class SfsFile:
+    path: str
+    mode: int
+    size: int
+    first_sector: int
+    sector_count: int
+
+
+def build_image(files: Mapping[str, bytes], modes: Mapping[str, int] | None = None) -> bytes:
+    """Assemble an SFS disk image from ``{path: contents}``."""
+    modes = modes or {}
+    paths = sorted(files)
+    for path in paths:
+        if len(path.encode()) > 40:
+            raise SfsError(f"path too long for SFS: {path!r}")
+
+    inode_sectors = -(-len(paths) // _INODES_PER_SECTOR) or 1
+    inode_start = 1
+    data_start = inode_start + inode_sectors
+
+    inodes = bytearray()
+    data = bytearray()
+    next_sector = data_start
+    for path in paths:
+        contents = files[path]
+        sector_count = -(-len(contents) // SECTOR) or 1
+        inodes += struct.pack(
+            _INODE_FMT,
+            path.encode(),
+            modes.get(path, 0o100644),
+            len(contents),
+            next_sector,
+            sector_count,
+        )
+        data += contents
+        data += b"\x00" * (sector_count * SECTOR - len(contents))
+        next_sector += sector_count
+
+    super_block = struct.pack(
+        _SUPER_FMT, MAGIC, VERSION, len(paths), inode_start, inode_sectors
+    ).ljust(SECTOR, b"\x00")
+    inode_area = bytes(inodes).ljust(inode_sectors * SECTOR, b"\x00")
+    return super_block + inode_area + bytes(data)
+
+
+class SfsReader:
+    """Mounts an SFS through a sector-read callable (the virtio path)."""
+
+    def __init__(self, read_sector: ReadSector):
+        self._read_sector = read_sector
+        raw = read_sector(0)
+        magic, version, count, inode_start, inode_sectors = struct.unpack_from(
+            _SUPER_FMT, raw, 0
+        )
+        if magic != MAGIC:
+            raise SfsError("bad superblock magic")
+        if version != VERSION:
+            raise SfsError(f"unsupported SFS version {version}")
+        self.files: dict[str, SfsFile] = {}
+        table = b"".join(
+            read_sector(inode_start + i) for i in range(inode_sectors)
+        )
+        for index in range(count):
+            name_raw, mode, size, first, sectors = struct.unpack_from(
+                _INODE_FMT, table, index * _INODE_SIZE
+            )
+            path = name_raw.rstrip(b"\x00").decode()
+            self.files[path] = SfsFile(
+                path=path,
+                mode=mode,
+                size=size,
+                first_sector=first,
+                sector_count=sectors,
+            )
+
+    def list(self) -> list[str]:
+        return sorted(self.files)
+
+    def read(self, path: str) -> bytes:
+        try:
+            inode = self.files[path]
+        except KeyError as exc:
+            raise SfsError(f"no such file: {path}") from exc
+        raw = b"".join(
+            self._read_sector(inode.first_sector + i)
+            for i in range(inode.sector_count)
+        )
+        return raw[: inode.size]

@@ -1,0 +1,45 @@
+"""Guest-side boot components.
+
+- :mod:`repro.guest.context` — the bundle of per-guest state every boot
+  stage operates on.
+- :mod:`repro.guest.bootdata` — the boot data structures of Fig. 7
+  (mptable, boot_params, cmdline) and the pre-encrypt-or-generate policy.
+- :mod:`repro.guest.bootverifier` — SEVeriFast's minimal boot verifier
+  (§4.1): C-bit setup, pvalidate, measured direct boot, bzImage loader,
+  and the optimized fw_cfg vmlinux loader (§5).
+- :mod:`repro.guest.linuxboot` — the bzImage bootstrap loader and the
+  Linux kernel from entry point to ``init``, plus remote attestation.
+- :mod:`repro.guest.ovmf` — the OVMF firmware model for the QEMU baseline.
+- :mod:`repro.guest.svbl` — the verifier as executable bytecode: the
+  measured bytes ARE the program that runs (§2.6, made literal).
+- :mod:`repro.guest.shims` — td-shim/OVMF-sized comparator shims (§8).
+"""
+
+from repro.guest.context import GuestContext
+from repro.guest.bootdata import (
+    BOOT_STRUCTS,
+    BootStructSpec,
+    build_boot_params,
+    build_mptable,
+    parse_boot_params,
+    parse_mptable,
+    should_preencrypt,
+)
+from repro.guest.bootverifier import BootVerifier, VerificationError
+from repro.guest.linuxboot import LinuxGuest
+from repro.guest.ovmf import OvmfFirmware
+
+__all__ = [
+    "BOOT_STRUCTS",
+    "BootStructSpec",
+    "BootVerifier",
+    "GuestContext",
+    "LinuxGuest",
+    "OvmfFirmware",
+    "VerificationError",
+    "build_boot_params",
+    "build_mptable",
+    "parse_boot_params",
+    "parse_mptable",
+    "should_preencrypt",
+]

@@ -1,0 +1,228 @@
+"""Boot data structures and the pre-encrypt-or-generate policy (§4.2, Fig. 7).
+
+A microVM kernel expects the VMM to have prepared several structures:
+
+============  ================  ==============  =========  ===============
+structure     purpose           struct size     code size  decision
+============  ================  ==============  =========  ===============
+mptable       CPU config        284B + 20B/CPU  ~4 KB      pre-encrypt
+cmdline       kernel args       155B (≤4 KB)    n/a        pre-encrypt
+boot_params   system info       4 KB            ~5 KB      pre-encrypt
+page tables   paging in guest   4 KB (+2 dirs)  ~2.4 KB    generate
+============  ================  ==============  =========  ===============
+
+SEVeriFast pre-encrypts a structure only when the code to generate it in
+the boot verifier would be *larger than the structure itself* — every
+byte in the verifier binary is pre-encrypted too, so generating a small
+structure with big code grows the root of trust instead of shrinking it.
+
+This module builds and parses real mptable / boot_params bytes so the
+simulated kernel actually consumes what the VMM pre-encrypted.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.common import PAGE_SIZE
+
+# ---------------------------------------------------------------------------
+# Fig. 7: sizes and the decision rule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BootStructSpec:
+    """One row of Fig. 7."""
+
+    name: str
+    purpose: str
+    struct_size: int  #: bytes for a 1-vCPU guest
+    code_size: int | None  #: generator code size; None = cannot generate
+    per_cpu: int = 0
+
+    def struct_size_for(self, vcpus: int) -> int:
+        return self.struct_size + self.per_cpu * max(0, vcpus - 1)
+
+
+MPTABLE_SPEC = BootStructSpec(
+    "mptable", "CPU config", struct_size=304, code_size=4 * 1024, per_cpu=20
+)
+CMDLINE_SPEC = BootStructSpec("cmdline", "Kernel args", struct_size=155, code_size=None)
+BOOT_PARAMS_SPEC = BootStructSpec(
+    "boot_params", "System info", struct_size=4 * 1024, code_size=5 * 1024
+)
+PAGE_TABLES_SPEC = BootStructSpec(
+    "page tables", "Paging in guest", struct_size=4 * 1024, code_size=2400
+)
+
+BOOT_STRUCTS: list[BootStructSpec] = [
+    MPTABLE_SPEC,
+    CMDLINE_SPEC,
+    BOOT_PARAMS_SPEC,
+    PAGE_TABLES_SPEC,
+]
+
+
+def should_preencrypt(spec: BootStructSpec, vcpus: int = 1) -> bool:
+    """§4.2's rule: pre-encrypt iff generating costs more verifier bytes
+    than the structure itself (structures nobody can generate — the
+    client-supplied cmdline — must be pre-encrypted)."""
+    if spec.code_size is None:
+        return True
+    return spec.struct_size_for(vcpus) < spec.code_size
+
+
+# ---------------------------------------------------------------------------
+# mptable (Intel MultiProcessor Specification, abridged)
+# ---------------------------------------------------------------------------
+
+_MP_FLOATING_MAGIC = b"_MP_"
+_MP_CONFIG_MAGIC = b"PCMP"
+_FPS_SIZE = 16
+_CONFIG_HEADER_SIZE = 44
+_CPU_ENTRY_SIZE = 20
+_BASE_PADDING = 304 - _FPS_SIZE - _CONFIG_HEADER_SIZE - _CPU_ENTRY_SIZE
+
+
+def _checksum(data: bytes) -> int:
+    return (-sum(data)) & 0xFF
+
+
+def build_mptable(vcpus: int, base_addr: int) -> bytes:
+    """Build a floating pointer + config table with one entry per vCPU."""
+    if vcpus < 1:
+        raise ValueError("at least one CPU entry required")
+    cpu_entries = b""
+    for apic_id in range(vcpus):
+        # type=0 (processor), apic id, apic version, flags (EN | BP for cpu0)
+        flags = 0x03 if apic_id == 0 else 0x01
+        cpu_entries += struct.pack(
+            "<BBBBIIII", 0, apic_id, 0x14, flags, 0x00000F00, 0, 0, 0
+        )
+    # Bus/IOAPIC/IRQ entries abridged into deterministic padding so the
+    # total matches the paper's 304 bytes for one CPU.
+    padding = bytes((i * 37) & 0xFF for i in range(_BASE_PADDING))
+
+    body = cpu_entries + padding
+    header = bytearray(
+        struct.pack(
+            "<4sHBB8sIHHIH",
+            _MP_CONFIG_MAGIC,
+            _CONFIG_HEADER_SIZE + len(body),  # base table length
+            4,  # spec revision
+            0,  # checksum (patched below)
+            b"REPROSEV",  # OEM id
+            0,  # product id (truncated)
+            0,  # oem table pointer
+            vcpus,  # entry count (CPU entries modelled)
+            0xFEE00000 & 0xFFFF,  # lapic (low half; abridged)
+            0,
+        ).ljust(_CONFIG_HEADER_SIZE, b"\x00")
+    )
+    header[7] = _checksum(bytes(header) + body)
+
+    config_addr = base_addr + _FPS_SIZE
+    fps = bytearray(
+        struct.pack("<4sIBBBB", _MP_FLOATING_MAGIC, config_addr, 1, 4, 0, 0)
+    )
+    fps += b"\x00" * (_FPS_SIZE - len(fps))
+    fps[10] = _checksum(bytes(fps))
+    return bytes(fps) + bytes(header) + body
+
+
+def parse_mptable(raw: bytes, base_addr: int) -> int:
+    """Validate the table and return the CPU count (what Linux reads)."""
+    if raw[:4] != _MP_FLOATING_MAGIC:
+        raise ValueError("missing _MP_ floating pointer")
+    if sum(raw[:_FPS_SIZE]) & 0xFF != 0:
+        raise ValueError("floating pointer checksum mismatch")
+    (config_addr,) = struct.unpack_from("<I", raw, 4)
+    offset = config_addr - base_addr
+    if raw[offset : offset + 4] != _MP_CONFIG_MAGIC:
+        raise ValueError("missing PCMP config table")
+    (length,) = struct.unpack_from("<H", raw, offset + 4)
+    table = raw[offset : offset + length]
+    if sum(table) & 0xFF != 0:
+        raise ValueError("config table checksum mismatch")
+    # Entry count lives after magic(4) + length(2) + rev(1) + checksum(1)
+    # + OEM id(8) + product id(4) + OEM table pointer(2) in our packing.
+    (entry_count,) = struct.unpack_from("<H", raw, offset + 22)
+    return entry_count
+
+
+# ---------------------------------------------------------------------------
+# boot_params (the Linux "zero page", abridged to the fields we consume)
+# ---------------------------------------------------------------------------
+
+_OFF_E820_ENTRIES = 0x1E8
+_OFF_HDR_SIG = 0x202
+_OFF_RAMDISK_IMAGE = 0x218
+_OFF_RAMDISK_SIZE = 0x21C
+_OFF_CMD_LINE_PTR = 0x228
+_OFF_CMDLINE_SIZE = 0x238
+_OFF_E820_TABLE = 0x2D0
+_E820_ENTRY_SIZE = 20
+
+E820_RAM = 1
+E820_RESERVED = 2
+
+
+@dataclass(frozen=True)
+class BootParams:
+    """The decoded fields the simulated kernel needs."""
+
+    cmdline_ptr: int
+    ramdisk_image: int
+    ramdisk_size: int
+    e820: list[tuple[int, int, int]]  #: (addr, size, type)
+
+
+def build_boot_params(
+    cmdline_ptr: int,
+    ramdisk_image: int,
+    ramdisk_size: int,
+    memory_size: int,
+    cmdline_capacity: int = 4096,
+) -> bytes:
+    """Build the 4 KiB zero page the way the VMM does for direct boot."""
+    page = bytearray(PAGE_SIZE)
+    page[_OFF_HDR_SIG : _OFF_HDR_SIG + 4] = b"HdrS"
+    struct.pack_into("<I", page, _OFF_RAMDISK_IMAGE, ramdisk_image)
+    struct.pack_into("<I", page, _OFF_RAMDISK_SIZE, ramdisk_size)
+    struct.pack_into("<I", page, _OFF_CMD_LINE_PTR, cmdline_ptr)
+    struct.pack_into("<I", page, _OFF_CMDLINE_SIZE, cmdline_capacity)
+    e820 = [
+        (0x0, 0x9FC00, E820_RAM),  # conventional memory
+        (0x9FC00, 0x400, E820_RESERVED),  # EBDA / mptable
+        (0x100000, memory_size - 0x100000, E820_RAM),
+    ]
+    page[_OFF_E820_ENTRIES] = len(e820)
+    for i, (addr, size, typ) in enumerate(e820):
+        struct.pack_into(
+            "<QQI", page, _OFF_E820_TABLE + i * _E820_ENTRY_SIZE, addr, size, typ
+        )
+    return bytes(page)
+
+
+def parse_boot_params(page: bytes) -> BootParams:
+    """Decode the zero page the way the booting kernel does."""
+    if page[_OFF_HDR_SIG : _OFF_HDR_SIG + 4] != b"HdrS":
+        raise ValueError("boot_params missing HdrS signature")
+    (ramdisk_image,) = struct.unpack_from("<I", page, _OFF_RAMDISK_IMAGE)
+    (ramdisk_size,) = struct.unpack_from("<I", page, _OFF_RAMDISK_SIZE)
+    (cmdline_ptr,) = struct.unpack_from("<I", page, _OFF_CMD_LINE_PTR)
+    count = page[_OFF_E820_ENTRIES]
+    e820 = []
+    for i in range(count):
+        addr, size, typ = struct.unpack_from(
+            "<QQI", page, _OFF_E820_TABLE + i * _E820_ENTRY_SIZE
+        )
+        e820.append((addr, size, typ))
+    return BootParams(
+        cmdline_ptr=cmdline_ptr,
+        ramdisk_image=ramdisk_image,
+        ramdisk_size=ramdisk_size,
+        e820=e820,
+    )

@@ -1,0 +1,93 @@
+"""Per-guest state shared by all boot stages.
+
+A :class:`GuestContext` bundles the machine, memory, SEV context, VM
+configuration, timeline, and debug port, plus generator helpers for the
+timed guest-CPU operations (copy to encrypted memory, hash, decompress)
+so each stage charges virtual time consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.config import VmConfig
+from repro.crypto.sha2 import sha256
+from repro.hw.memory import GuestMemory
+from repro.hw.platform import Machine
+from repro.sev.api import GuestSevContext
+from repro.vmm.debugport import DebugPort
+from repro.vmm.timeline import BootTimeline
+
+if False:  # typing-only import, avoids a cycle at runtime
+    from repro.hw.virtio import VirtioBlockDevice
+
+
+@dataclass
+class GuestContext:
+    """Everything a running guest can touch."""
+
+    machine: Machine
+    config: VmConfig
+    memory: GuestMemory
+    sev: Optional[GuestSevContext]  #: None for a non-SEV guest
+    timeline: BootTimeline
+    debug_port: DebugPort = field(init=False)
+    #: discovered C-bit position (set by the boot verifier's cpuid probe)
+    c_bit: Optional[int] = None
+    #: the virtio-blk root device the VMM attached (None = no disk)
+    block_device: Optional["VirtioBlockDevice"] = None
+    #: the virtio-net NIC (None for kernels without networking, e.g. Lupine)
+    net_device: object = None
+
+    def __post_init__(self) -> None:
+        from repro.hw.uart import Uart16550
+
+        self.debug_port = DebugPort(self.machine.sim)
+        #: the serial console device (ttyS0) the VMM always exposes
+        self.uart = Uart16550()
+
+    @property
+    def sev_enabled(self) -> bool:
+        return self.sev is not None
+
+    @property
+    def layout(self):
+        return self.config.layout
+
+    @property
+    def sim(self):
+        return self.machine.sim
+
+    @property
+    def cost(self):
+        return self.machine.cost
+
+    # -- timed guest-CPU operations ------------------------------------------
+
+    def copy_to_encrypted(
+        self, src: int, dst: int, length: int, nominal: int
+    ) -> Generator:
+        """Copy plain-text staged bytes into encrypted memory.
+
+        The value of the process is the plain-text bytes copied (what the
+        guest will hash next).
+        """
+        yield self.sim.timeout(self.cost.sample(self.cost.copy_ms(nominal)))
+        data = self.memory.guest_read(src, length, c_bit=False)
+        if self.sev_enabled:
+            self.memory.guest_write(dst, data, c_bit=True)
+        else:
+            self.memory.guest_write(dst, data, c_bit=False)
+        return data
+
+    def hash_encrypted(self, pa: int, length: int, nominal: int) -> Generator:
+        """SHA-256 over bytes read back from encrypted memory."""
+        yield self.sim.timeout(self.cost.sample(self.cost.hash_ms(nominal)))
+        data = self.memory.guest_read(pa, length, c_bit=self.sev_enabled)
+        return sha256(data, accelerated=True)
+
+    def guest_write_timed(self, pa: int, data: bytes, nominal: int) -> Generator:
+        """A timed in-guest write (e.g. loading decompressed segments)."""
+        yield self.sim.timeout(self.cost.sample(self.cost.copy_ms(nominal)))
+        self.memory.guest_write(pa, data, c_bit=self.sev_enabled)

@@ -1,0 +1,76 @@
+"""Boot-shim variants: what generality costs in the root of trust (§8).
+
+The paper contrasts its 13 KB single-purpose verifier with td-shim (a
+generic TDX shim with payload flexibility, a heap allocator, ACPI table
+construction, and an event logger) and with full OVMF.  Every feature a
+shim carries is pre-encrypted into the root of trust, and pre-encryption
+time is linear in size (Fig. 4) — so generality is paid for on every
+single cold boot.
+
+This module sizes those variants so the ablation bench can quantify the
+trade-off on our cost model.  Sizes are engineering estimates in the
+ranges the respective projects ship (documented per variant); the
+*shape* — minimal shim ≪ generic shim ≪ firmware — is the claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import Blob, KiB, MiB
+from repro.guest.bootverifier import VERIFIER_SIZE
+
+
+@dataclass(frozen=True)
+class ShimVariant:
+    """One point in the shim design space."""
+
+    name: str
+    size: int  #: bytes pre-encrypted into the root of trust
+    features: tuple[str, ...] = ()
+    description: str = ""
+
+    def binary(self, seed: int = 0x51) -> Blob:
+        """Deterministic stand-in bytes of the variant's size."""
+        out = bytearray(self.name.encode()[:8].ljust(8, b"\x00"))
+        state = seed ^ self.size
+        while len(out) < self.size:
+            state = (state * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+            out += state.to_bytes(8, "little")
+        return Blob(bytes(out[: self.size]), self.size, f"shim-{self.name}")
+
+
+SEVERIFAST_SHIM = ShimVariant(
+    name="severifast",
+    size=VERIFIER_SIZE,
+    features=("measured direct boot", "bzImage loader", "pvalidate", "C-bit setup"),
+    description="the paper's minimal boot verifier (§4.1)",
+)
+
+TDSHIM_LIKE = ShimVariant(
+    name="td-shim-like",
+    size=384 * KiB,
+    features=(
+        "measured direct boot",
+        "multiple payload types",
+        "heap allocator",
+        "ACPI table builder",
+        "event logger",
+    ),
+    description="a generic confidential-VM shim in the td-shim mould (§8)",
+)
+
+OVMF_FIRMWARE = ShimVariant(
+    name="ovmf",
+    size=1 * MiB,
+    features=(
+        "UEFI PI phases",
+        "device drivers",
+        "UEFI shell",
+        "EFI program execution",
+        "measured direct boot",
+    ),
+    description="the smallest supported OVMF build (§3.1)",
+)
+
+SHIM_VARIANTS: tuple[ShimVariant, ...] = (SEVERIFAST_SHIM, TDSHIM_LIKE, OVMF_FIRMWARE)

@@ -1,0 +1,267 @@
+"""SVBL — the boot verifier as executable bytecode.
+
+The native :class:`repro.guest.bootverifier.BootVerifier` models the
+verifier's *behaviour* in Python; its binary blob is opaque padding.
+This module closes that gap: the verifier can instead be a real program
+in a tiny domain-specific bytecode, embedded in the measured 13 KB
+binary, fetched back out of **encrypted guest memory** at run time, and
+interpreted instruction by instruction.
+
+That makes the §2.6 trust argument literal:
+
+- the bytes the PSP measured are the bytes that execute;
+- a host that patches the program (say, NOP-ing out the hash checks)
+  really does boot a tampered kernel — and really is caught by the guest
+  owner, because the patched program has a different launch digest;
+- an honest program aborts the boot itself on a hash mismatch.
+
+The ISA is a straight-line boot DSL (no general compute — the real
+verifier is similarly single-purpose):
+
+=========  =====================================================
+opcode     semantics
+=========  =====================================================
+CPUID      discover the C-bit position
+PVALIDATE  validate all guest memory (SNP)
+PGTABLES   build identity page tables at operand A
+RDHASHES   load the hashes page from operand A
+COPYK      copy staged kernel (A=src, B=dst)
+HASHK      hash the kernel copy at A into the scratch register
+CMPK       abort unless scratch == expected kernel hash
+COPYI      copy staged initrd (A=src, B=dst)
+HASHI      hash the initrd copy at A into the scratch register
+CMPI       abort unless scratch == expected initrd hash
+DONE       hand off to the kernel (A = entry address)
+=========  =====================================================
+
+Instructions are 9 bytes: opcode u8 + two u32 operands, little-endian.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.common import Blob, PAGE_SIZE
+from repro.core.config import GuestLayout, KernelFormat
+from repro.core.oob_hash import HashesFile, HashesFileError
+from repro.guest.bootverifier import (
+    VERIFIER_SIZE,
+    VerificationError,
+    VerifiedKernel,
+)
+from repro.guest.context import GuestContext
+from repro.hw.pagetable import PageTableBuilder, cpuid_c_bit_position
+from repro.vmm import debugport
+
+MAGIC = b"SVBC"
+_INSTR_FMT = "<BII"
+_INSTR_SIZE = struct.calcsize(_INSTR_FMT)  # 9
+
+
+class Op(enum.Enum):
+    CPUID = 0x01
+    PVALIDATE = 0x02
+    PGTABLES = 0x03
+    RDHASHES = 0x04
+    COPYK = 0x10
+    HASHK = 0x11
+    CMPK = 0x12
+    COPYI = 0x20
+    HASHI = 0x21
+    CMPI = 0x22
+    DONE = 0xFF
+
+
+@dataclass(frozen=True)
+class Instr:
+    op: Op
+    a: int = 0
+    b: int = 0
+
+
+def assemble(program: list[Instr]) -> bytes:
+    return b"".join(
+        struct.pack(_INSTR_FMT, instr.op.value, instr.a, instr.b)
+        for instr in program
+    )
+
+
+def disassemble(code: bytes) -> list[Instr]:
+    if len(code) % _INSTR_SIZE:
+        raise VerificationError("verifier code is not instruction-aligned")
+    program = []
+    for offset in range(0, len(code), _INSTR_SIZE):
+        opcode, a, b = struct.unpack_from(_INSTR_FMT, code, offset)
+        try:
+            program.append(Instr(Op(opcode), a, b))
+        except ValueError as exc:
+            raise VerificationError(
+                f"illegal instruction {opcode:#04x} at {offset:#x} — "
+                "the verifier crashed"
+            ) from exc
+    return program
+
+
+def default_program(layout: GuestLayout) -> list[Instr]:
+    """The honest verifier: §4.1's flow, one instruction per step."""
+    return [
+        Instr(Op.CPUID),
+        Instr(Op.PVALIDATE),
+        Instr(Op.PGTABLES, layout.page_table_addr),
+        Instr(Op.RDHASHES, layout.hashes_addr),
+        Instr(Op.COPYK, layout.kernel_stage_addr, layout.kernel_copy_addr),
+        Instr(Op.HASHK, layout.kernel_copy_addr),
+        Instr(Op.CMPK),
+        Instr(Op.COPYI, layout.initrd_stage_addr, layout.initrd_load_addr),
+        Instr(Op.HASHI, layout.initrd_load_addr),
+        Instr(Op.CMPI),
+        Instr(Op.DONE, layout.kernel_copy_addr),
+    ]
+
+
+def malicious_program(layout: GuestLayout) -> list[Instr]:
+    """Attack 3's verifier: identical flow with the hash checks removed."""
+    return [
+        instr
+        for instr in default_program(layout)
+        if instr.op not in (Op.CMPK, Op.CMPI)
+    ]
+
+
+def build_verifier_image(program: list[Instr], seed: int = 0x51B7) -> Blob:
+    """Pack a program into the 13 KB verifier binary.
+
+    Layout: magic, u16 instruction count, code, deterministic padding
+    (standing in for the interpreter's own machine code).
+    """
+    code = assemble(program)
+    header = MAGIC + struct.pack("<H", len(program))
+    body = header + code
+    if len(body) > VERIFIER_SIZE:
+        raise VerificationError("program too large for the verifier binary")
+    padding = bytearray()
+    state = seed
+    while len(padding) < VERIFIER_SIZE - len(body):
+        state = (state * 6364136223846793005 + 1442695040888963407) & (2**64 - 1)
+        padding += state.to_bytes(8, "little")
+    blob = body + bytes(padding[: VERIFIER_SIZE - len(body)])
+    return Blob(blob, VERIFIER_SIZE, "boot-verifier-bytecode")
+
+
+def parse_verifier_image(raw: bytes) -> list[Instr]:
+    if raw[:4] != MAGIC:
+        raise VerificationError("not a bytecode verifier image")
+    (count,) = struct.unpack_from("<H", raw, 4)
+    code = raw[6 : 6 + count * _INSTR_SIZE]
+    if len(code) != count * _INSTR_SIZE:
+        raise VerificationError("truncated verifier program")
+    return disassemble(code)
+
+
+class BytecodeVerifier:
+    """Interprets the verifier program fetched from measured guest memory."""
+
+    def __init__(self, ctx: GuestContext):
+        if ctx.config.kernel_format is not KernelFormat.BZIMAGE:
+            raise VerificationError("the bytecode verifier only loads bzImages")
+        self.ctx = ctx
+        self._hashes: Optional[HashesFile] = None
+        self._scratch: bytes = b""
+
+    def _fetch_program(self) -> list[Instr]:
+        """Read our own (pre-encrypted, firmware-validated) text segment."""
+        raw = self.ctx.memory.guest_read(
+            self.ctx.layout.verifier_addr, VERIFIER_SIZE, c_bit=self.ctx.sev_enabled
+        )
+        return parse_verifier_image(raw)
+
+    def run(self) -> Generator:
+        """Execute; process value: :class:`VerifiedKernel`."""
+        ctx = self.ctx
+        ctx.debug_port.ghcb_msr_write(debugport.MAGIC_VERIFIER_ENTRY)
+        program = self._fetch_program()
+        entry: Optional[int] = None
+        for instr in program:
+            entry = yield from self._execute(instr)
+            if instr.op is Op.DONE:
+                break
+        else:
+            raise VerificationError("verifier fell off the end without DONE")
+        assert self._hashes is not None, "program never read the hashes page"
+        ctx.debug_port.ghcb_msr_write(debugport.MAGIC_VERIFIER_DONE)
+        return VerifiedKernel(
+            format=KernelFormat.BZIMAGE,
+            kernel_addr=entry,
+            kernel_len=self._hashes.kernel_len,
+            kernel_nominal=self._hashes.kernel_nominal,
+            initrd_addr=ctx.layout.initrd_load_addr,
+            initrd_len=self._hashes.initrd_len,
+            initrd_nominal=self._hashes.initrd_nominal,
+            entry=entry,
+        )
+
+    # -- one instruction ------------------------------------------------------
+
+    def _execute(self, instr: Instr) -> Generator:
+        ctx = self.ctx
+        op = instr.op
+        if op is Op.CPUID:
+            ctx.c_bit = cpuid_c_bit_position(sev_enabled=ctx.sev_enabled)
+        elif op is Op.PVALIDATE:
+            if ctx.memory.rmp is not None:
+                yield ctx.sim.timeout(
+                    ctx.cost.sample(
+                        ctx.cost.pvalidate_ms(
+                            ctx.config.memory_size, ctx.machine.huge_pages
+                        )
+                    )
+                )
+                ctx.memory.rmp.pvalidate_all()
+        elif op is Op.PGTABLES:
+            yield ctx.sim.timeout(ctx.cost.sample(ctx.cost.pagetable_setup_ms))
+            PageTableBuilder(base_pa=instr.a, c_bit=ctx.c_bit).build(
+                lambda pa, data: ctx.memory.guest_write(
+                    pa, data, c_bit=ctx.sev_enabled
+                )
+            )
+        elif op is Op.RDHASHES:
+            page = ctx.memory.guest_read(instr.a, PAGE_SIZE, c_bit=ctx.sev_enabled)
+            try:
+                self._hashes = HashesFile.from_page(page)
+            except HashesFileError as exc:
+                raise VerificationError(f"hashes page unreadable: {exc}") from exc
+        elif op in (Op.COPYK, Op.COPYI):
+            hashes = self._require_hashes()
+            length = hashes.kernel_len if op is Op.COPYK else hashes.initrd_len
+            nominal = (
+                hashes.kernel_nominal if op is Op.COPYK else hashes.initrd_nominal
+            )
+            yield from ctx.copy_to_encrypted(instr.a, instr.b, length, nominal)
+        elif op in (Op.HASHK, Op.HASHI):
+            hashes = self._require_hashes()
+            length = hashes.kernel_len if op is Op.HASHK else hashes.initrd_len
+            nominal = (
+                hashes.kernel_nominal if op is Op.HASHK else hashes.initrd_nominal
+            )
+            self._scratch = yield from ctx.hash_encrypted(instr.a, length, nominal)
+        elif op is Op.CMPK:
+            if self._scratch != self._require_hashes().kernel_hash:
+                raise VerificationError(
+                    "kernel hash mismatch: the host loaded a tampered component"
+                )
+        elif op is Op.CMPI:
+            if self._scratch != self._require_hashes().initrd_hash:
+                raise VerificationError(
+                    "initrd hash mismatch: the host loaded a tampered component"
+                )
+        elif op is Op.DONE:
+            return instr.a
+        return None
+
+    def _require_hashes(self) -> HashesFile:
+        if self._hashes is None:
+            raise VerificationError("verifier used hashes before RDHASHES")
+        return self._hashes

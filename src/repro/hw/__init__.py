@@ -1,0 +1,41 @@
+"""Hardware model: memory, page tables, RMP, PSP, and the cost model.
+
+This package models the AMD SEV-SNP machine the paper runs on (an EPYC
+7313P host):
+
+- :mod:`repro.hw.costmodel` — the virtual-time cost model, calibrated to
+  the paper's published measurements (see DESIGN.md §4).
+- :mod:`repro.hw.memory` — sparse guest physical memory with a pluggable
+  per-guest encryption engine and host/guest access paths.
+- :mod:`repro.hw.pagetable` — x86-64 long-mode page tables with the SEV
+  C-bit, built *inside guest memory* exactly as the boot verifier does.
+- :mod:`repro.hw.rmp` — the SEV-SNP Reverse Map Table: page ownership,
+  ``pvalidate``, and #VC semantics.
+- :mod:`repro.hw.psp` — the Platform Security Processor: a single-server
+  FIFO device executing SEV launch commands and signing reports.
+- :mod:`repro.hw.platform` — assembles the above into a Machine.
+"""
+
+from repro.hw.costmodel import CostModel
+from repro.hw.memory import GuestMemory, MemoryAccessError
+from repro.hw.pagetable import PageTableBuilder, translate
+from repro.hw.rmp import ReverseMapTable, RmpViolation, VmmCommunicationException
+from repro.hw.ghcb import GhcbPage, GhcbProtocol, VmgExitCode
+from repro.hw.psp import PlatformSecurityProcessor
+from repro.hw.platform import Machine
+
+__all__ = [
+    "CostModel",
+    "GhcbPage",
+    "GhcbProtocol",
+    "VmgExitCode",
+    "GuestMemory",
+    "Machine",
+    "MemoryAccessError",
+    "PageTableBuilder",
+    "PlatformSecurityProcessor",
+    "ReverseMapTable",
+    "RmpViolation",
+    "VmmCommunicationException",
+    "translate",
+]

@@ -1,0 +1,144 @@
+"""The Guest-Hypervisor Communication Block (GHCB) and #VC exits.
+
+Under SEV-ES/SNP the hypervisor can no longer read guest registers, so
+every intercepted operation (``outb``, ``cpuid``, MSR access...) raises
+the VMM Communication Exception (#VC); the guest's #VC handler copies
+exactly the registers it wants to expose into a *shared* (unencrypted)
+GHCB page and executes VMGEXIT.  §6.2 attributes most of the SEV "Linux
+Boot" slowdown to these exits, and §6.1's methodology leans on the GHCB
+MSR protocol for early-boot debug events (before a #VC handler exists,
+magic values written to the GHCB MSR are always intercepted).
+
+This module models both paths functionally:
+
+- :class:`GhcbPage` — the shared page layout (exit code, exit info,
+  selected register state) with strict serialization;
+- :class:`GhcbProtocol` — guest-side helpers that perform an exit and
+  count them, so boots can report how many world switches they cost.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.common import PAGE_SIZE
+from repro.hw.memory import GuestMemory
+
+
+class GhcbError(Exception):
+    """Malformed GHCB contents."""
+
+
+class VmgExitCode(enum.Enum):
+    """Exit reasons the boot path uses (SVM exit codes, abridged)."""
+
+    IOIO = 0x7B  #: port I/O (outb to the debug port)
+    CPUID = 0x72
+    MSR = 0x7C
+    VMMCALL = 0x81
+
+
+_GHCB_MAGIC = b"GHCB"
+_HEADER_FMT = "<4sIQQQQQ"  # magic, exit code, exit info 1/2, rax, rbx, rcx
+
+
+@dataclass
+class GhcbPage:
+    """The guest's view of its GHCB: a few exposed registers + exit info."""
+
+    exit_code: VmgExitCode = VmgExitCode.VMMCALL
+    exit_info_1: int = 0
+    exit_info_2: int = 0
+    rax: int = 0
+    rbx: int = 0
+    rcx: int = 0
+
+    def to_bytes(self) -> bytes:
+        packed = struct.pack(
+            _HEADER_FMT,
+            _GHCB_MAGIC,
+            self.exit_code.value,
+            self.exit_info_1,
+            self.exit_info_2,
+            self.rax,
+            self.rbx,
+            self.rcx,
+        )
+        return packed.ljust(PAGE_SIZE, b"\x00")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "GhcbPage":
+        if len(raw) < struct.calcsize(_HEADER_FMT):
+            raise GhcbError("GHCB shorter than header")
+        magic, code, info1, info2, rax, rbx, rcx = struct.unpack_from(
+            _HEADER_FMT, raw, 0
+        )
+        if magic != _GHCB_MAGIC:
+            raise GhcbError("bad GHCB magic")
+        try:
+            exit_code = VmgExitCode(code)
+        except ValueError as exc:
+            raise GhcbError(f"unknown exit code {code:#x}") from exc
+        return cls(
+            exit_code=exit_code,
+            exit_info_1=info1,
+            exit_info_2=info2,
+            rax=rax,
+            rbx=rbx,
+            rcx=rcx,
+        )
+
+
+@dataclass
+class GhcbProtocol:
+    """Guest-side #VC/VMGEXIT driver over a shared page in guest memory.
+
+    The host reads the GHCB through its normal (unencrypted) access path:
+    only the registers the guest chose to expose are visible — the
+    "guest decides which register state to expose" behaviour of §6.2.
+    """
+
+    memory: GuestMemory
+    ghcb_addr: int
+    exit_counts: dict[VmgExitCode, int] = field(default_factory=dict)
+    #: events delivered via the GHCB *MSR* (pre-handler early boot)
+    msr_writes: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.ghcb_addr % PAGE_SIZE != 0:
+            raise GhcbError("GHCB must be page-aligned")
+
+    @property
+    def total_exits(self) -> int:
+        return sum(self.exit_counts.values())
+
+    def vmgexit(self, page: GhcbPage) -> GhcbPage:
+        """Guest writes the GHCB (shared!), exits, host reads it back.
+
+        Returns the page as the *host* sees it — tests assert that this
+        equals what the guest exposed and nothing more.
+        """
+        # The GHCB must be shared: written without the C-bit.
+        self.memory.guest_write(self.ghcb_addr, page.to_bytes(), c_bit=False)
+        self.exit_counts[page.exit_code] = self.exit_counts.get(page.exit_code, 0) + 1
+        host_view = self.memory.host_read(self.ghcb_addr, PAGE_SIZE)
+        return GhcbPage.from_bytes(host_view)
+
+    def outb(self, port: int, value: int) -> GhcbPage:
+        """Port I/O via #VC: expose only RAX (the byte) and the port."""
+        return self.vmgexit(
+            GhcbPage(
+                exit_code=VmgExitCode.IOIO,
+                exit_info_1=(port << 16) | 0x10,  # 8-bit OUT encoding (abridged)
+                rax=value & 0xFF,
+            )
+        )
+
+    def cpuid(self, leaf: int) -> GhcbPage:
+        return self.vmgexit(GhcbPage(exit_code=VmgExitCode.CPUID, rax=leaf))
+
+    def ghcb_msr_write(self, value: int) -> None:
+        """Early-boot path: no #VC handler yet, write the GHCB MSR."""
+        self.msr_writes.append(value)

@@ -1,0 +1,191 @@
+"""Sparse guest physical memory with SEV encryption semantics.
+
+The full nominal address space (e.g. 256 MiB per microVM) is addressable,
+but pages are materialized lazily, so memory cost is proportional to the
+bytes a boot actually touches.
+
+Access paths model the hardware:
+
+- **host** accesses bypass the encryption engine: a host read of an
+  encrypted page returns ciphertext; a host write to a guest-owned page
+  trips the RMP (SNP).
+- **guest** accesses with the C-bit go through the per-guest encryption
+  engine: writes store ciphertext, reads decrypt.  A guest C-bit read of
+  a page the host wrote in plain text decrypts garbage — exactly the
+  property that forces the boot verifier to *copy* components into
+  encrypted memory before using them (§2.5 step 4).
+- the **PSP**'s pre-encryption reads the plain text (for measurement) and
+  replaces it with ciphertext in place (LAUNCH_UPDATE_DATA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import PAGE_SIZE
+from repro.crypto.memenc import BLOCK_SIZE, MemoryEncryptionEngine
+from repro.hw.rmp import ReverseMapTable
+
+
+class MemoryAccessError(Exception):
+    """Out-of-range or misaligned access."""
+
+
+@dataclass
+class GuestMemory:
+    """Sparse physical memory for one guest."""
+
+    size: int  #: nominal guest-physical size in bytes
+    engine: MemoryEncryptionEngine | None = None
+    rmp: ReverseMapTable | None = None
+    _pages: dict[int, bytearray] = field(default_factory=dict)
+    _encrypted_pages: set[int] = field(default_factory=set)
+
+    # -- raw storage ------------------------------------------------------
+
+    def _check_range(self, pa: int, length: int) -> None:
+        if pa < 0 or length < 0 or pa + length > self.size:
+            raise MemoryAccessError(
+                f"access [{pa:#x}, {pa + length:#x}) outside {self.size:#x}"
+            )
+
+    def _raw_read(self, pa: int, length: int) -> bytes:
+        out = bytearray()
+        while length > 0:
+            page, offset = divmod(pa, PAGE_SIZE)
+            take = min(length, PAGE_SIZE - offset)
+            backing = self._pages.get(page)
+            if backing is None:
+                out += b"\x00" * take
+            else:
+                out += backing[offset : offset + take]
+            pa += take
+            length -= take
+        return bytes(out)
+
+    def _raw_write(self, pa: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            page, offset = divmod(pa + pos, PAGE_SIZE)
+            take = min(len(data) - pos, PAGE_SIZE - offset)
+            backing = self._pages.get(page)
+            if backing is None:
+                backing = bytearray(PAGE_SIZE)
+                self._pages[page] = backing
+            backing[offset : offset + take] = data[pos : pos + take]
+            pos += take
+
+    @staticmethod
+    def _pages_of(pa: int, length: int):
+        first = pa // PAGE_SIZE
+        last = (pa + max(length, 1) - 1) // PAGE_SIZE
+        return range(first, last + 1)
+
+    # -- host access paths ---------------------------------------------------
+
+    def host_write(self, pa: int, data: bytes) -> None:
+        """Hypervisor writes plain text (shared) data into guest memory."""
+        self._check_range(pa, len(data))
+        if self.rmp is not None:
+            for page in self._pages_of(pa, len(data)):
+                self.rmp.check_host_write(page)
+        self._raw_write(pa, data)
+        self._encrypted_pages.difference_update(self._pages_of(pa, len(data)))
+
+    def host_read(self, pa: int, length: int) -> bytes:
+        """Hypervisor reads raw bytes — ciphertext for encrypted pages."""
+        self._check_range(pa, length)
+        return self._raw_read(pa, length)
+
+    # -- guest access paths -----------------------------------------------------
+
+    def _require_engine(self) -> MemoryEncryptionEngine:
+        if self.engine is None:
+            raise MemoryAccessError("guest C-bit access without an encryption key")
+        return self.engine
+
+    def _guest_check(self, pa: int, length: int, c_bit: bool) -> None:
+        # The RMP protects *private* (C-bit) accesses: a private touch of
+        # an unvalidated/foreign page raises #VC.  Shared accesses go
+        # through ordinary nested paging — that is how guests reach the
+        # GHCB and virtio rings after converting them to shared.
+        if self.rmp is not None and c_bit:
+            for page in self._pages_of(pa, length):
+                self.rmp.check_guest_access(page)
+
+    def guest_write(self, pa: int, data: bytes, c_bit: bool = True) -> None:
+        """Guest write; with the C-bit the stored bytes are ciphertext."""
+        self._check_range(pa, len(data))
+        self._guest_check(pa, len(data), c_bit)
+        if not c_bit:
+            self._raw_write(pa, data)
+            self._encrypted_pages.difference_update(self._pages_of(pa, len(data)))
+            return
+        engine = self._require_engine()
+        start = pa - (pa % BLOCK_SIZE)
+        end = pa + len(data)
+        end += (-end) % BLOCK_SIZE
+        if (start, end) != (pa, pa + len(data)):
+            # Read-modify-write the containing block span.
+            span = bytearray(self.guest_read(start, end - start, c_bit=True))
+            span[pa - start : pa - start + len(data)] = data
+            data = bytes(span)
+            pa = start
+        self._raw_write(pa, engine.encrypt(pa, data))
+        self._encrypted_pages.update(self._pages_of(pa, len(data)))
+
+    def guest_read(self, pa: int, length: int, c_bit: bool = True) -> bytes:
+        """Guest read; with the C-bit the engine decrypts whatever is there."""
+        self._check_range(pa, length)
+        self._guest_check(pa, length, c_bit)
+        if not c_bit:
+            return self._raw_read(pa, length)
+        engine = self._require_engine()
+        start = pa - (pa % BLOCK_SIZE)
+        end = pa + length
+        end += (-end) % BLOCK_SIZE
+        raw = self._raw_read(start, end - start)
+        plain = engine.decrypt(start, raw)
+        return plain[pa - start : pa - start + length]
+
+    def guest_share_region(self, pa: int, length: int) -> None:
+        """Guest page-state change: convert a region to shared (host-owned).
+
+        Clears any stale ciphertext so the host sees zeroed plain pages.
+        """
+        if self.rmp is not None:
+            for page in self._pages_of(pa, length):
+                self.rmp.share(page)
+        start = pa - (pa % PAGE_SIZE)
+        end = pa + length
+        end += (-end) % PAGE_SIZE
+        self._raw_write(start, b"\x00" * (end - start))
+        self._encrypted_pages.difference_update(self._pages_of(pa, length))
+
+    # -- PSP access path (LAUNCH_UPDATE_DATA) --------------------------------------
+
+    def psp_encrypt_in_place(self, pa: int, length: int) -> bytes:
+        """Encrypt a plain-text region in place; returns the plain text.
+
+        The returned plain text is what the PSP hashes into the launch
+        measurement before encrypting (§2.4).
+        """
+        if pa % PAGE_SIZE != 0:
+            raise MemoryAccessError("pre-encryption must be page-aligned")
+        self._check_range(pa, length)
+        engine = self._require_engine()
+        padded = length + (-length) % BLOCK_SIZE
+        plain = self._raw_read(pa, padded)
+        self._raw_write(pa, engine.encrypt(pa, plain))
+        self._encrypted_pages.update(self._pages_of(pa, padded))
+        return plain[:length]
+
+    # -- introspection -------------------------------------------------------------
+
+    def is_encrypted(self, pa: int) -> bool:
+        return pa // PAGE_SIZE in self._encrypted_pages
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes actually materialized (for §6.3 footprint accounting)."""
+        return len(self._pages) * PAGE_SIZE

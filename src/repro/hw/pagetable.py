@@ -1,0 +1,147 @@
+"""x86-64 long-mode page tables with the SEV C-bit.
+
+The boot verifier (or, for the pre-encrypted alternative in Fig. 7, the
+VMM) builds an identity map of the first gigabyte with 2 MiB pages and the
+enCryption bit set in every entry (§2.4, §4.1).  The table really lives in
+guest memory: three 4 KiB pages (PML4, PDPT, one PD per GiB) written
+through whichever access path the builder is given, and the walker reads
+them back the same way — so tests can verify that a table built in
+encrypted memory is unreadable to the host.
+
+The C-bit position is discovered via (simulated) ``cpuid`` 0x8000001F,
+exactly as the paper's modified rust-hypervisor-firmware does (§5).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common import GiB, HUGE_PAGE_SIZE, PAGE_SIZE
+
+PTE_PRESENT = 1 << 0
+PTE_WRITE = 1 << 1
+PTE_PS = 1 << 7  # huge/large page
+
+#: C-bit position reported by CPUID 0x8000001F:EBX[5:0] on EPYC Milan.
+DEFAULT_C_BIT = 51
+
+_ENTRY_SIZE = 8
+_ENTRIES_PER_TABLE = 512
+
+Writer = Callable[[int, bytes], None]
+Reader = Callable[[int, int], bytes]
+
+
+class PageTableError(Exception):
+    """Malformed table or unmapped address during a walk."""
+
+
+def cpuid_c_bit_position(sev_enabled: bool) -> Optional[int]:
+    """Simulated CPUID 0x8000001F:EBX[5:0] — None when SEV is off."""
+    return DEFAULT_C_BIT if sev_enabled else None
+
+
+@dataclass
+class PageTableBuilder:
+    """Builds a 2 MiB-page identity map with the C-bit in every entry."""
+
+    base_pa: int  #: physical address of the PML4 (tables follow contiguously)
+    map_size: int = 1 * GiB
+    c_bit: Optional[int] = DEFAULT_C_BIT
+
+    def __post_init__(self) -> None:
+        if self.base_pa % PAGE_SIZE != 0:
+            raise PageTableError("table base must be page-aligned")
+        if self.map_size % HUGE_PAGE_SIZE != 0:
+            raise PageTableError("map size must be a multiple of 2 MiB")
+
+    @property
+    def num_pds(self) -> int:
+        return -(-self.map_size // GiB)
+
+    @property
+    def table_bytes(self) -> int:
+        """Total size of the generated tables (PML4 + PDPT + PDs)."""
+        return (2 + self.num_pds) * PAGE_SIZE
+
+    def _encode(self, pa: int, flags: int) -> bytes:
+        entry = pa | flags
+        if self.c_bit is not None:
+            entry |= 1 << self.c_bit
+        return struct.pack("<Q", entry)
+
+    def build(self, write: Writer) -> int:
+        """Write the tables through ``write(pa, bytes)``; returns PML4 PA."""
+        pml4_pa = self.base_pa
+        pdpt_pa = self.base_pa + PAGE_SIZE
+        pd_base = self.base_pa + 2 * PAGE_SIZE
+
+        pml4 = bytearray(PAGE_SIZE)
+        pml4[0:_ENTRY_SIZE] = self._encode(pdpt_pa, PTE_PRESENT | PTE_WRITE)
+        write(pml4_pa, bytes(pml4))
+
+        pdpt = bytearray(PAGE_SIZE)
+        for i in range(self.num_pds):
+            pd_pa = pd_base + i * PAGE_SIZE
+            pdpt[i * _ENTRY_SIZE : (i + 1) * _ENTRY_SIZE] = self._encode(
+                pd_pa, PTE_PRESENT | PTE_WRITE
+            )
+        write(pdpt_pa, bytes(pdpt))
+
+        remaining = self.map_size
+        for i in range(self.num_pds):
+            pd = bytearray(PAGE_SIZE)
+            for j in range(min(_ENTRIES_PER_TABLE, -(-remaining // HUGE_PAGE_SIZE))):
+                frame = i * GiB + j * HUGE_PAGE_SIZE
+                pd[j * _ENTRY_SIZE : (j + 1) * _ENTRY_SIZE] = self._encode(
+                    frame, PTE_PRESENT | PTE_WRITE | PTE_PS
+                )
+            remaining -= GiB
+            write(pd_base + i * PAGE_SIZE, bytes(pd))
+        return pml4_pa
+
+
+def translate(
+    read: Reader, pml4_pa: int, va: int, c_bit: Optional[int] = DEFAULT_C_BIT
+) -> tuple[int, bool]:
+    """Walk the tables; returns ``(physical_address, encrypted)``.
+
+    ``read(pa, n)`` must return *decrypted* table bytes (i.e. the guest's
+    view); the walk fails loudly on non-present entries, which is what a
+    host reading ciphertext tables would hit.
+    """
+
+    def entry_at(table_pa: int, index: int) -> int:
+        raw = read(table_pa + index * _ENTRY_SIZE, _ENTRY_SIZE)
+        return struct.unpack("<Q", raw)[0]
+
+    def split(entry: int) -> tuple[int, bool]:
+        encrypted = bool(c_bit is not None and entry & (1 << c_bit))
+        addr = entry & 0x000F_FFFF_FFFF_F000
+        if c_bit is not None:
+            addr &= ~(1 << c_bit)
+        return addr, encrypted
+
+    pml4_index = (va >> 39) & 0x1FF
+    pdpt_index = (va >> 30) & 0x1FF
+    pd_index = (va >> 21) & 0x1FF
+
+    pml4e = entry_at(pml4_pa, pml4_index)
+    if not pml4e & PTE_PRESENT:
+        raise PageTableError(f"PML4 entry {pml4_index} not present for {va:#x}")
+    pdpt_pa, _ = split(pml4e)
+
+    pdpte = entry_at(pdpt_pa, pdpt_index)
+    if not pdpte & PTE_PRESENT:
+        raise PageTableError(f"PDPT entry {pdpt_index} not present for {va:#x}")
+    pd_pa, _ = split(pdpte)
+
+    pde = entry_at(pd_pa, pd_index)
+    if not pde & PTE_PRESENT:
+        raise PageTableError(f"PD entry {pd_index} not present for {va:#x}")
+    if not pde & PTE_PS:
+        raise PageTableError("4 KiB leaf tables are not used by this identity map")
+    frame, encrypted = split(pde)
+    return frame + (va & (HUGE_PAGE_SIZE - 1)), encrypted

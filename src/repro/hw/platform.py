@@ -1,0 +1,68 @@
+"""The host machine: clock, cost model, PSP, and guest factories.
+
+One :class:`Machine` models the paper's testbed (Dell R6515, EPYC 7313P,
+SEV-SNP host kernel).  VMM instances attach to a machine; all their SEV
+launches share its single PSP, which is what makes the Fig. 12 experiment
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import MiB
+from repro.hw.costmodel import CostModel
+from repro.hw.memory import GuestMemory
+from repro.hw.psp import PlatformSecurityProcessor
+from repro.hw.rmp import ReverseMapTable
+from repro.sev.api import GuestSevContext
+from repro.sev.policy import GuestPolicy, SevMode
+from repro.sim import Simulator
+
+DEFAULT_GUEST_MEMORY = 256 * MiB  # §6.1: each VM has 1 vCPU and 256 MB
+
+
+@dataclass
+class Machine:
+    """A host capable of launching (SEV) microVMs."""
+
+    sim: Simulator = field(default_factory=Simulator)
+    cost: CostModel = field(default_factory=CostModel)
+    #: §6.1: all experiments run with transparent huge pages enabled.
+    huge_pages: bool = True
+    #: memory-encryption engine mode ("ctr-fast" or the reference "xex")
+    engine_mode: str = "ctr-fast"
+    #: PSP cores (1 on real hardware; >1 is the §6.2 future-work what-if)
+    psp_parallelism: int = 1
+    psp: PlatformSecurityProcessor = field(init=False)
+
+    #: monotone counter giving every machine a distinct (but reproducible
+    #: within a process) chip-unique key, like distinct physical hosts.
+    _chip_counter = 0
+
+    def __post_init__(self) -> None:
+        Machine._chip_counter += 1
+        self.psp = PlatformSecurityProcessor(
+            self.sim,
+            cost=self.cost,
+            chip_seed=f"repro-epyc-7313p-{Machine._chip_counter}".encode(),
+            engine_mode=self.engine_mode,
+            huge_pages=self.huge_pages,
+            parallelism=self.psp_parallelism,
+        )
+
+    def new_sev_context(self, policy: GuestPolicy | None = None) -> GuestSevContext:
+        return GuestSevContext(
+            asid=self.psp.allocate_asid(), policy=policy or GuestPolicy()
+        )
+
+    def new_guest_memory(
+        self,
+        size: int = DEFAULT_GUEST_MEMORY,
+        sev_ctx: GuestSevContext | None = None,
+    ) -> GuestMemory:
+        """Guest memory, with an RMP when the guest policy is SEV-SNP."""
+        rmp = None
+        if sev_ctx is not None and sev_ctx.policy.mode is SevMode.SEV_SNP:
+            rmp = ReverseMapTable(asid=sev_ctx.asid, num_pages=size // 4096)
+        return GuestMemory(size=size, rmp=rmp)

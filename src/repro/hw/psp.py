@@ -1,0 +1,250 @@
+"""The Platform Security Processor (PSP).
+
+A single low-powered ARM core inside the SoC executes *every* SEV launch
+command for *every* guest on the machine (§2.2).  That single-server FIFO
+is the hardware bottleneck the paper uncovers in Fig. 12: concurrent
+launches serialize on the PSP and average boot time grows linearly with
+the number of in-flight guests.
+
+All commands are simulation processes (``yield from psp.launch_start(...)``)
+so the contention dynamics come out of the discrete-event engine rather
+than a closed-form formula.  Functional effects (key derivation, in-place
+encryption, measurement extension, report signing) happen while the
+command holds the PSP.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common import PAGE_SIZE
+from repro.crypto import ecdsa
+from repro.crypto.hmacmod import derive_key
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.crypto.sha2 import sha256
+from repro.hw.costmodel import CostModel
+from repro.hw.memory import GuestMemory
+from repro.sev.api import GuestSevContext, SevLaunchError, SevState
+from repro.sev.attestation import AttestationReport
+from repro.sev.policy import GuestPolicy
+from repro.sim import Simulator
+
+
+class PlatformSecurityProcessor:
+    """The machine-wide PSP device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cost: CostModel | None = None,
+        chip_seed: bytes = b"repro-epyc-7313p",
+        engine_mode: str = "ctr-fast",
+        huge_pages: bool = True,
+        parallelism: int = 1,
+        asid_capacity: int = 509,
+    ):
+        """``parallelism`` models the paper's future-work what-if: real
+        PSPs are a single ARM core (capacity 1); raising it shows how the
+        Fig. 12 slope would divide with a multi-core security processor."""
+        from repro.sev.certchain import AmdKeyHierarchy
+
+        self.sim = sim
+        self.cost = cost or CostModel()
+        self.huge_pages = huge_pages
+        self.resource = sim.resource(capacity=parallelism, name="psp")
+        #: the ARK->ASK->VCEK hierarchy for this chip (§6.1 attestation)
+        self.key_hierarchy = AmdKeyHierarchy.generate(chip_seed)
+        self.vcek = self.key_hierarchy.vcek_key
+        self.cert_chain = self.key_hierarchy.chain
+        self.chip_id = sha256(chip_seed)
+        self.engine_mode = engine_mode
+        self._chip_secret = sha256(b"chip-secret" + chip_seed)
+        self._next_asid = 1
+        #: ASID accounting: SEV hardware supports a fixed number of
+        #: simultaneously-active encrypted guests (EPYC Milan: 509).
+        self.asid_capacity = asid_capacity
+        self._active_asids: set[int] = set()
+        self._retired_asids: set[int] = set()
+
+    # -- helpers ------------------------------------------------------------
+
+    def allocate_asid(self) -> int:
+        asid = self._next_asid
+        self._next_asid += 1
+        return asid
+
+    # -- ASID lifecycle (ACTIVATE / DEACTIVATE / DF_FLUSH) ---------------------
+
+    @property
+    def active_guests(self) -> int:
+        return len(self._active_asids)
+
+    def activate(self, ctx: GuestSevContext) -> None:
+        """ACTIVATE: bind the guest's ASID to the encryption hardware.
+
+        Fails when every ASID slot is either active or retired-awaiting-
+        flush — the hypervisor must DF_FLUSH before reusing slots.
+        """
+        if ctx.asid in self._active_asids:
+            raise SevLaunchError(f"ASID {ctx.asid} already active")
+        if len(self._active_asids) + len(self._retired_asids) >= self.asid_capacity:
+            if self._retired_asids:
+                raise SevLaunchError(
+                    "no free ASIDs: retired slots await DF_FLUSH"
+                )
+            raise SevLaunchError(
+                f"ASID capacity ({self.asid_capacity}) exhausted: "
+                "deactivate a guest first"
+            )
+        self._active_asids.add(ctx.asid)
+
+    def deactivate(self, ctx: GuestSevContext) -> None:
+        """DEACTIVATE: unbind the ASID.  The slot stays unusable (caches
+        may hold its keyed lines) until a DF_FLUSH."""
+        if ctx.asid not in self._active_asids:
+            raise SevLaunchError(f"ASID {ctx.asid} not active")
+        self._active_asids.discard(ctx.asid)
+        self._retired_asids.add(ctx.asid)
+
+    def df_flush(self) -> None:
+        """DF_FLUSH: flush the data fabric; retired ASID slots become
+        reusable.  A global, relatively expensive operation."""
+        self._retired_asids.clear()
+
+    def _occupy(self, ctx: GuestSevContext | None, duration: float) -> Generator:
+        """Hold the PSP for ``duration`` ms (queueing behind other guests)."""
+        duration = self.cost.sample(duration)
+        grant = yield self.resource.request()
+        try:
+            yield self.sim.timeout(duration)
+            if ctx is not None:
+                ctx.psp_occupancy_ms += duration
+        finally:
+            self.resource.release(grant)
+
+    # -- SEV launch commands (Fig. 1) ------------------------------------------
+
+    def launch_start(
+        self, ctx: GuestSevContext, policy: GuestPolicy | None = None
+    ) -> Generator:
+        """LAUNCH_START: platform init + new memory-encryption key (step 1)."""
+        ctx.require_state(SevState.UNINIT, "LAUNCH_START")
+        if policy is not None:
+            ctx.policy = policy
+        yield from self._occupy(ctx, self.cost.psp_launch_start_ms)
+        self.activate(ctx)
+        key = derive_key(self._chip_secret, f"guest-key-{ctx.asid}")
+        ctx.engine = MemoryEncryptionEngine(key, mode=self.engine_mode)
+        ctx.state = SevState.LAUNCH_STARTED
+
+    def launch_update_data(
+        self,
+        ctx: GuestSevContext,
+        memory: GuestMemory,
+        gpa: int,
+        length: int,
+        nominal_size: int | None = None,
+    ) -> Generator:
+        """LAUNCH_UPDATE_DATA: measure + encrypt one region (step 2).
+
+        ``length`` is the actual byte count in (possibly scaled) memory;
+        ``nominal_size`` is what the cost model charges (defaults to
+        ``length``, i.e. an unscaled region).
+        """
+        ctx.require_state(SevState.LAUNCH_STARTED, "LAUNCH_UPDATE_DATA")
+        nominal = length if nominal_size is None else nominal_size
+        yield from self._occupy(
+            ctx,
+            self.cost.psp_update_data_ms(
+                nominal,
+                has_rmp=ctx.policy.mode.has_rmp,
+                huge_pages=self.huge_pages,
+            ),
+        )
+        if memory.engine is None:
+            memory.engine = ctx.engine
+        plaintext = memory.psp_encrypt_in_place(gpa, length)
+        if memory.rmp is not None:
+            first = gpa // PAGE_SIZE
+            last = (gpa + max(length, 1) - 1) // PAGE_SIZE
+            for page in range(first, last + 1):
+                memory.rmp.firmware_validate(page)
+        ctx.measurement.extend(gpa, plaintext, nominal)
+
+    def launch_finish(self, ctx: GuestSevContext) -> Generator:
+        """LAUNCH_FINISH: freeze the launch digest (step 3)."""
+        ctx.require_state(SevState.LAUNCH_STARTED, "LAUNCH_FINISH")
+        yield from self._occupy(ctx, self.cost.psp_launch_finish_ms)
+        ctx.launch_digest = ctx.measurement.finalize()
+        ctx.state = SevState.LAUNCH_FINISHED
+
+    # -- legacy (pre-SNP) launch attestation ----------------------------------------
+
+    def launch_measure(self, ctx: GuestSevContext) -> Generator:
+        """LAUNCH_MEASURE: the legacy SEV/SEV-ES attestation point.
+
+        Before SNP's in-guest reports, the guest owner verified the
+        launch measurement *before* the guest ran: the PSP returns an
+        HMAC over the running digest keyed by a transport key derived
+        from the chip secret.  Value: (measurement_mac, nonce).
+        """
+        from repro.crypto.hmacmod import derive_key, hmac_sha256
+
+        ctx.require_state(SevState.LAUNCH_STARTED, "LAUNCH_MEASURE")
+        if ctx.policy.mode.has_rmp:
+            raise SevLaunchError(
+                "LAUNCH_MEASURE is the legacy flow; SNP guests attest via "
+                "in-guest reports"
+            )
+        yield from self._occupy(ctx, self.cost.psp_launch_finish_ms)
+        nonce = sha256(b"measure-nonce" + ctx.asid.to_bytes(8, "little"))[:16]
+        tik = derive_key(self._chip_secret, f"tik-{ctx.asid}", 32)
+        mac = hmac_sha256(tik, ctx.measurement.digest + nonce)
+        return mac, nonce
+
+    def launch_secret(
+        self,
+        ctx: GuestSevContext,
+        memory: GuestMemory,
+        gpa: int,
+        secret: bytes,
+    ) -> Generator:
+        """LAUNCH_SECRET: inject a guest-owner secret before LAUNCH_FINISH.
+
+        The secret lands directly in encrypted guest memory and is *not*
+        folded into the measurement — the owner only calls this after
+        verifying LAUNCH_MEASURE.  Refused for SNP guests (the command
+        was dropped; secrets flow through post-boot attestation instead).
+        """
+        ctx.require_state(SevState.LAUNCH_STARTED, "LAUNCH_SECRET")
+        if ctx.policy.mode.has_rmp:
+            raise SevLaunchError("LAUNCH_SECRET is not part of the SNP API")
+        if gpa % PAGE_SIZE != 0:
+            raise SevLaunchError("LAUNCH_SECRET requires a page-aligned target")
+        yield from self._occupy(ctx, self.cost.psp_command_latency_ms)
+        assert ctx.engine is not None
+        if memory.engine is None:
+            memory.engine = ctx.engine
+        padded = secret + b"\x00" * ((-len(secret)) % 16)
+        memory._raw_write(gpa, ctx.engine.encrypt(gpa, padded))
+        memory._encrypted_pages.update(
+            range(gpa // PAGE_SIZE, (gpa + len(padded) - 1) // PAGE_SIZE + 1)
+        )
+
+    # -- attestation (steps 5-6) --------------------------------------------------
+
+    def attestation_report(
+        self, ctx: GuestSevContext, report_data: bytes
+    ) -> Generator:
+        """Generate a signed report; the value of the process is the report."""
+        ctx.require_state(SevState.LAUNCH_FINISHED, "REPORT_REQUEST")
+        assert ctx.launch_digest is not None
+        yield from self._occupy(ctx, self.cost.psp_report_ms)
+        report = AttestationReport.sign(
+            self.vcek,
+            policy=ctx.policy.to_bytes(),
+            measurement=ctx.launch_digest,
+            report_data=report_data,
+            chip_id=self.chip_id,
+        )
+        return report

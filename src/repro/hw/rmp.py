@@ -1,0 +1,167 @@
+"""The SEV-SNP Reverse Map Table (RMP).
+
+The RMP tracks, for every system physical page, which guest (ASID) owns it
+and whether the guest has validated it with ``pvalidate`` (§2.2).  The two
+enforcement rules the paper relies on:
+
+- a host write to a guest-owned page is blocked (RMP violation);
+- if the hypervisor changes a mapping, the valid bit is cleared and the
+  guest's next access raises the VMM Communication Exception (#VC).
+
+Guest memory is hundreds of megabytes while the bytes actually touched in
+a boot are few, so the table stores *bulk* assignment/validation flags for
+the guest's whole range plus a sparse per-page override map.  Semantics
+are identical to a fully populated table; only the representation is
+compressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import PAGE_SIZE
+
+HOST_ASID = 0
+
+
+class RmpViolation(Exception):
+    """A host access hit a guest-owned page (blocked by hardware)."""
+
+
+class VmmCommunicationException(Exception):
+    """#VC: the guest touched a page whose RMP entry is not valid."""
+
+
+@dataclass
+class RmpEntry:
+    asid: int = HOST_ASID
+    validated: bool = False
+    gpa: int = 0
+    immutable: bool = False
+
+
+@dataclass
+class ReverseMapTable:
+    """RMP state for one guest's memory range."""
+
+    asid: int
+    num_pages: int
+    enabled: bool = True  #: False models plain SEV / SEV-ES (no RMP)
+    bulk_assigned: bool = False
+    bulk_validated: bool = False
+    _overrides: dict[int, RmpEntry] = field(default_factory=dict)
+
+    # -- hypervisor-side operations -----------------------------------------
+
+    def assign_all(self) -> None:
+        """KVM assigns the guest's whole range at launch (RMP init)."""
+        self.bulk_assigned = True
+        self.bulk_validated = False
+        self._overrides.clear()
+
+    def rmpupdate(self, page: int, asid: int, assigned: bool) -> None:
+        """Hypervisor updates one page's RMP entry.
+
+        Any update clears the valid bit — this is the hardware behaviour
+        the #VC tamper-detection relies on.
+        """
+        self._check_page(page)
+        self._overrides[page] = RmpEntry(
+            asid=asid if assigned else HOST_ASID, validated=False
+        )
+
+    def firmware_validate(self, page: int) -> None:
+        """The PSP validates a launch page during LAUNCH_UPDATE_DATA.
+
+        Pre-encrypted pages are guest-owned and valid before the guest
+        runs — the guest's entry point must be executable without a #VC.
+        """
+        self._check_page(page)
+        self._overrides[page] = RmpEntry(asid=self.asid, validated=True, immutable=True)
+
+    def remap(self, page: int) -> None:
+        """The hypervisor changed this page's mapping: valid bit cleared."""
+        self._check_page(page)
+        entry = self._entry(page)
+        entry.validated = False
+        self._overrides[page] = entry
+
+    # -- guest-side operations ------------------------------------------------
+
+    def pvalidate(self, page: int) -> None:
+        """Guest validates one page.  Only the guest itself can do this."""
+        if not self.enabled:
+            return
+        self._check_page(page)
+        entry = self._entry(page)
+        if entry.asid != self.asid:
+            raise VmmCommunicationException(
+                f"pvalidate of page {page:#x} not assigned to ASID {self.asid}"
+            )
+        entry.validated = True
+        self._overrides[page] = entry
+
+    def pvalidate_all(self) -> None:
+        """Guest validates its entire range (the boot verifier's sweep)."""
+        if not self.enabled:
+            return
+        if not self.bulk_assigned:
+            raise VmmCommunicationException("guest range not assigned before pvalidate")
+        self.bulk_validated = True
+        self._overrides.clear()
+
+    def share(self, page: int) -> None:
+        """Guest-initiated page-state change: convert a page to *shared*.
+
+        The guest asks the hypervisor to flip ownership back to the host
+        so devices can DMA into the page (GHCB, virtqueues, bounce
+        buffers).  Shared pages are host-owned and accessed without the
+        C-bit; the RMP no longer protects them — by design.
+        """
+        if not self.enabled:
+            return
+        self._check_page(page)
+        self._overrides[page] = RmpEntry(asid=HOST_ASID, validated=False)
+
+    # -- hardware checks ---------------------------------------------------------
+
+    def check_host_write(self, page: int) -> None:
+        """Raise :class:`RmpViolation` if the page is guest-owned."""
+        if not self.enabled:
+            return
+        self._check_page(page)
+        if self._entry(page).asid == self.asid:
+            raise RmpViolation(
+                f"host write to guest-owned page {page:#x} (ASID {self.asid})"
+            )
+
+    def check_guest_access(self, page: int) -> None:
+        """Raise #VC if the guest touches an unvalidated/foreign page."""
+        if not self.enabled:
+            return
+        self._check_page(page)
+        entry = self._entry(page)
+        if entry.asid != self.asid or not entry.validated:
+            raise VmmCommunicationException(
+                f"guest access to page {page:#x}: asid={entry.asid} "
+                f"validated={entry.validated}"
+            )
+
+    # -- helpers --------------------------------------------------------------
+
+    def _entry(self, page: int) -> RmpEntry:
+        override = self._overrides.get(page)
+        if override is not None:
+            return override
+        return RmpEntry(
+            asid=self.asid if self.bulk_assigned else HOST_ASID,
+            validated=self.bulk_validated,
+        )
+
+    def _check_page(self, page: int) -> None:
+        if not 0 <= page < self.num_pages:
+            raise ValueError(f"page {page:#x} outside guest range")
+
+    @staticmethod
+    def page_of(pa: int) -> int:
+        return pa // PAGE_SIZE

@@ -1,0 +1,99 @@
+"""A 16550-style UART: the guest's serial console.
+
+Firecracker exposes one serial port (``console=ttyS0`` in the default
+command line) and microVM kernels log boot progress there.  Each byte
+written is a port I/O — under SEV-ES/SNP that means a #VC exit per
+``outb`` unless the guest batches through the GHCB, so the console is
+both an observability channel (the boot log lands in
+:class:`repro.vmm.timeline.BootResult`) and a world-switch counter.
+
+Registers modelled (offsets from the base port, 0x3F8 for ttyS0):
+
+- THR (0): transmit holding — bytes written appear on the console;
+- LSR (5): line status — THR-empty is always set (we never backpressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.ghcb import GhcbProtocol
+
+COM1_BASE = 0x3F8
+_THR = 0
+_LSR = 5
+_LSR_THRE = 0x20  # transmit holding register empty
+
+
+@dataclass
+class Uart16550:
+    """Host-side serial device: collects console output."""
+
+    base_port: int = COM1_BASE
+    output: bytearray = field(default_factory=bytearray)
+    writes: int = 0
+
+    def io_write(self, port: int, value: int) -> None:
+        if port == self.base_port + _THR:
+            self.output.append(value & 0xFF)
+            self.writes += 1
+
+    def io_read(self, port: int) -> int:
+        if port == self.base_port + _LSR:
+            return _LSR_THRE
+        return 0
+
+    @property
+    def text(self) -> str:
+        return self.output.decode(errors="replace")
+
+    @property
+    def lines(self) -> list[str]:
+        return [line for line in self.text.split("\n") if line]
+
+
+@dataclass
+class SerialConsole:
+    """Guest-side console driver.
+
+    With a :class:`GhcbProtocol` attached (SEV-ES/SNP), every byte goes
+    through a #VC exit; without one (non-SEV / base SEV), ``outb`` is a
+    plain intercepted instruction.
+    """
+
+    uart: Uart16550
+    ghcb: Optional[GhcbProtocol] = None
+    bytes_written: int = 0
+
+    def putc(self, byte: int) -> None:
+        if self.ghcb is not None:
+            self.ghcb.outb(self.uart.base_port + _THR, byte)
+        self.uart.io_write(self.uart.base_port + _THR, byte)
+        self.bytes_written += 1
+
+    def write(self, text: str) -> None:
+        """Write a string; batched into one #VC exit under SEV-ES/SNP.
+
+        Real SNP guests avoid a world switch per byte by passing whole
+        buffers through the GHCB; we model that batching (one exit per
+        write call) while ``putc`` keeps the per-byte worst case.
+        """
+        data = text.encode()
+        if not data:
+            return
+        if self.ghcb is not None:
+            self.ghcb.outb(self.uart.base_port + _THR, data[-1])
+            self.uart.output.extend(data)
+            self.uart.writes += 1
+            self.bytes_written += len(data)
+            return
+        for byte in data:
+            self.putc(byte)
+
+    def writeln(self, text: str) -> None:
+        self.write(text + "\n")
+
+    @property
+    def vc_exits(self) -> int:
+        return self.ghcb.total_exits if self.ghcb is not None else 0

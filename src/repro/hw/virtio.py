@@ -1,0 +1,306 @@
+"""Virtio split virtqueues and a virtio-blk device model.
+
+The guest kernels in the paper are built with CONFIG_VIRTIO_BLK and
+CONFIG_VIRTIO_NET because that is all Firecracker offers (§6.1).  Virtio
+is also where SEV's memory model bites a driver author: the device (the
+*host*) reads descriptors and buffers with plain memory accesses, so a
+guest that naively allocates its rings in encrypted memory hands the
+device ciphertext.  Real SEV guests bounce all virtio traffic through
+shared (unencrypted) pages — and the tests on this module demonstrate
+both the working shared-memory path and the broken encrypted one.
+
+Layout follows the virtio 1.x split ring: a descriptor table (16 bytes
+per descriptor: addr/len/flags/next), an available ring, and a used
+ring, all placed in guest physical memory by the driver.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.hw.memory import GuestMemory
+
+DESC_SIZE = 16
+VRING_DESC_F_NEXT = 1
+VRING_DESC_F_WRITE = 2
+
+# virtio-blk request types
+VIRTIO_BLK_T_IN = 0  #: device -> guest (read)
+VIRTIO_BLK_T_OUT = 1  #: guest -> device (write)
+VIRTIO_BLK_S_OK = 0
+VIRTIO_BLK_S_IOERR = 1
+
+SECTOR_SIZE = 512
+
+
+class VirtioError(Exception):
+    """Protocol violation (bad descriptor chain, out-of-range sector...)."""
+
+
+@dataclass
+class Virtqueue:
+    """Driver-side view of one split virtqueue in guest memory."""
+
+    memory: GuestMemory
+    base_addr: int
+    size: int = 64  #: number of descriptors (power of two)
+    encrypted: bool = False  #: True models the *broken* C-bit allocation
+    _free_head: int = 0
+    _avail_idx: int = 0
+    _used_seen: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size & (self.size - 1):
+            raise VirtioError("queue size must be a power of two")
+        # Zero the whole ring area through the chosen access path.
+        zeros = b"\x00" * self.ring_bytes
+        self.memory.guest_write(self.base_addr, zeros, c_bit=self.encrypted)
+
+    # -- layout -----------------------------------------------------------
+
+    @property
+    def desc_addr(self) -> int:
+        return self.base_addr
+
+    @property
+    def avail_addr(self) -> int:
+        return self.base_addr + self.size * DESC_SIZE
+
+    @property
+    def used_addr(self) -> int:
+        # avail: flags(2) + idx(2) + ring(2*size)
+        return self.avail_addr + 4 + 2 * self.size
+
+    @property
+    def ring_bytes(self) -> int:
+        # used: flags(2) + idx(2) + ring(8*size)
+        return (self.used_addr - self.base_addr) + 4 + 8 * self.size
+
+    # -- driver operations ----------------------------------------------------
+
+    def _write(self, addr: int, data: bytes) -> None:
+        self.memory.guest_write(addr, data, c_bit=self.encrypted)
+
+    def _read(self, addr: int, length: int) -> bytes:
+        return self.memory.guest_read(addr, length, c_bit=self.encrypted)
+
+    def _write_desc(self, index: int, addr: int, length: int, flags: int, nxt: int) -> None:
+        if not 0 <= index < self.size:
+            raise VirtioError(f"descriptor index {index} out of range")
+        self._write(
+            self.desc_addr + index * DESC_SIZE,
+            struct.pack("<QIHH", addr, length, flags, nxt),
+        )
+
+    def add_chain(self, buffers: list[tuple[int, int, bool]]) -> int:
+        """Post a descriptor chain.
+
+        ``buffers`` is a list of (guest_addr, length, device_writes)
+        triples.  Returns the chain's head descriptor index.
+        """
+        if not buffers:
+            raise VirtioError("empty descriptor chain")
+        head = self._free_head
+        for offset, (addr, length, device_writes) in enumerate(buffers):
+            index = (head + offset) % self.size
+            flags = VRING_DESC_F_WRITE if device_writes else 0
+            nxt = 0
+            if offset < len(buffers) - 1:
+                flags |= VRING_DESC_F_NEXT
+                nxt = (index + 1) % self.size
+            self._write_desc(index, addr, length, flags, nxt)
+        self._free_head = (head + len(buffers)) % self.size
+
+        # Publish in the available ring and bump its index.
+        slot = self._avail_idx % self.size
+        self._write(self.avail_addr + 4 + 2 * slot, struct.pack("<H", head))
+        self._avail_idx += 1
+        self._write(self.avail_addr + 2, struct.pack("<H", self._avail_idx))
+        return head
+
+    def poll_used(self) -> list[tuple[int, int]]:
+        """Collect (head, written_len) entries the device completed."""
+        (used_idx,) = struct.unpack("<H", self._read(self.used_addr + 2, 2))
+        completed = []
+        while self._used_seen != used_idx:
+            slot = self._used_seen % self.size
+            head, written = struct.unpack(
+                "<II", self._read(self.used_addr + 4 + 8 * slot, 8)
+            )
+            completed.append((head, written))
+            self._used_seen = (self._used_seen + 1) & 0xFFFF
+        return completed
+
+
+@dataclass
+class VirtioBlockDevice:
+    """Host-side virtio-blk: serves requests from a byte-addressable disk.
+
+    The device only has the *host* view of memory — ciphertext for any
+    page the guest left encrypted, which is exactly how the broken
+    configuration fails.
+    """
+
+    memory: GuestMemory
+    queue_base: int
+    queue_size: int = 64
+    disk: bytearray = field(default_factory=lambda: bytearray(1024 * SECTOR_SIZE))
+    requests_served: int = 0
+    _used_idx: int = 0
+
+    # -- host-side ring access --------------------------------------------------
+
+    @property
+    def desc_addr(self) -> int:
+        return self.queue_base
+
+    @property
+    def avail_addr(self) -> int:
+        return self.queue_base + self.queue_size * DESC_SIZE
+
+    @property
+    def used_addr(self) -> int:
+        return self.avail_addr + 4 + 2 * self.queue_size
+
+    def _read_desc(self, index: int) -> tuple[int, int, int, int]:
+        raw = self.memory.host_read(self.desc_addr + index * DESC_SIZE, DESC_SIZE)
+        return struct.unpack("<QIHH", raw)
+
+    def _walk_chain(self, head: int) -> list[tuple[int, int, int]]:
+        chain = []
+        index = head
+        for _ in range(self.queue_size + 1):
+            addr, length, flags, nxt = self._read_desc(index)
+            chain.append((addr, length, flags))
+            if not flags & VRING_DESC_F_NEXT:
+                return chain
+            index = nxt
+        raise VirtioError("descriptor chain loops")
+
+    # -- request processing -------------------------------------------------------
+
+    def process(self) -> int:
+        """Serve every pending request; returns how many were handled."""
+        (avail_idx,) = struct.unpack(
+            "<H", self.memory.host_read(self.avail_addr + 2, 2)
+        )
+        handled = 0
+        while self._used_idx != avail_idx:
+            slot = self._used_idx % self.queue_size
+            (head,) = struct.unpack(
+                "<H", self.memory.host_read(self.avail_addr + 4 + 2 * slot, 2)
+            )
+            written = self._serve(head)
+            # Publish completion in the used ring.
+            self.memory.host_write(
+                self.used_addr + 4 + 8 * slot, struct.pack("<II", head, written)
+            )
+            self._used_idx = (self._used_idx + 1) & 0xFFFF
+            self.memory.host_write(self.used_addr + 2, struct.pack("<H", self._used_idx))
+            handled += 1
+            self.requests_served += 1
+        return handled
+
+    def _serve(self, head: int) -> int:
+        chain = self._walk_chain(head)
+        if len(chain) < 3:
+            raise VirtioError("virtio-blk request needs header, data, status")
+        header_addr, header_len, _ = chain[0]
+        if header_len < 16:
+            raise VirtioError("short request header")
+        req_type, _reserved, sector = struct.unpack(
+            "<IIQ", self.memory.host_read(header_addr, 16)
+        )
+        data_addr, data_len, data_flags = chain[1]
+        status_addr, _status_len, _ = chain[-1]
+
+        offset = sector * SECTOR_SIZE
+        if offset + data_len > len(self.disk):
+            self.memory.host_write(status_addr, bytes([VIRTIO_BLK_S_IOERR]))
+            return 1
+
+        if req_type == VIRTIO_BLK_T_IN:
+            if not data_flags & VRING_DESC_F_WRITE:
+                raise VirtioError("read request with a device-read-only buffer")
+            self.memory.host_write(
+                data_addr, bytes(self.disk[offset : offset + data_len])
+            )
+            self.memory.host_write(status_addr, bytes([VIRTIO_BLK_S_OK]))
+            return data_len + 1
+        if req_type == VIRTIO_BLK_T_OUT:
+            self.disk[offset : offset + data_len] = self.memory.host_read(
+                data_addr, data_len
+            )
+            self.memory.host_write(status_addr, bytes([VIRTIO_BLK_S_OK]))
+            return 1
+        self.memory.host_write(status_addr, bytes([VIRTIO_BLK_S_IOERR]))
+        return 1
+
+
+@dataclass
+class VirtioBlkDriver:
+    """Guest-side virtio-blk driver using bounce buffers.
+
+    ``shared=True`` (correct under SEV) places rings and buffers in
+    unencrypted pages; ``shared=False`` reproduces the naive encrypted
+    allocation that hands the device ciphertext.
+    """
+
+    memory: GuestMemory
+    queue_base: int
+    buffer_base: int
+    shared: bool = True
+    queue: Virtqueue = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.queue = Virtqueue(
+            memory=self.memory, base_addr=self.queue_base, encrypted=not self.shared
+        )
+
+    def _buf_write(self, addr: int, data: bytes) -> None:
+        self.memory.guest_write(addr, data, c_bit=not self.shared)
+
+    def _buf_read(self, addr: int, length: int) -> bytes:
+        return self.memory.guest_read(addr, length, c_bit=not self.shared)
+
+    def _submit(self, req_type: int, sector: int, data: bytes | int):
+        header_addr = self.buffer_base
+        status_addr = self.buffer_base + 16
+        data_addr = self.buffer_base + 32
+        self._buf_write(header_addr, struct.pack("<IIQ", req_type, 0, sector))
+        self._buf_write(status_addr, b"\xff")
+        if req_type == VIRTIO_BLK_T_OUT:
+            assert isinstance(data, bytes)
+            self._buf_write(data_addr, data)
+            data_len = len(data)
+            device_writes_data = False
+        else:
+            assert isinstance(data, int)
+            data_len = data
+            device_writes_data = True
+        return self.queue.add_chain(
+            [
+                (header_addr, 16, False),
+                (data_addr, data_len, device_writes_data),
+                (status_addr, 1, True),
+            ]
+        ), data_addr, status_addr, data_len
+
+    def write(self, device: VirtioBlockDevice, sector: int, data: bytes) -> int:
+        """Synchronous sector write; returns the status byte."""
+        _head, _data_addr, status_addr, _n = self._submit(
+            VIRTIO_BLK_T_OUT, sector, data
+        )
+        device.process()
+        self.queue.poll_used()
+        return self._buf_read(status_addr, 1)[0]
+
+    def read(self, device: VirtioBlockDevice, sector: int, length: int) -> tuple[int, bytes]:
+        """Synchronous sector read; returns (status, data)."""
+        _head, data_addr, status_addr, _n = self._submit(
+            VIRTIO_BLK_T_IN, sector, length
+        )
+        device.process()
+        self.queue.poll_used()
+        return self._buf_read(status_addr, 1)[0], self._buf_read(data_addr, length)

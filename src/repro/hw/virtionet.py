@@ -1,0 +1,175 @@
+"""virtio-net: the guest's network device, and the attestation wire.
+
+The AWS/Ubuntu kernels carry CONFIG_VIRTIO_NET because attestation needs
+a network (§6.1 runs an nginx attestation server).  This module models a
+virtio-net device with TX/RX queue pairs built on the same split rings
+as :mod:`repro.hw.virtio`; the host side delivers TX frames to a
+pluggable endpoint (the guest owner) and queues its responses for RX.
+
+Framing is a minimal length-prefixed datagram — enough to carry an
+attestation report out and a wrapped secret back through *shared* guest
+memory, keeping the whole Fig. 1 message flow on simulated hardware.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.hw.memory import GuestMemory
+from repro.hw.virtio import VRING_DESC_F_WRITE, Virtqueue, VirtioError
+
+#: Handler the host delivers TX frames to; its return value (if any) is
+#: queued as an RX frame for the guest.
+Endpoint = Callable[[bytes], Optional[bytes]]
+
+_MAX_FRAME = 2048
+
+
+@dataclass
+class VirtioNetDevice:
+    """Host side: consumes TX descriptors, fills posted RX buffers."""
+
+    memory: GuestMemory
+    tx_queue_base: int
+    rx_queue_base: int
+    endpoint: Optional[Endpoint] = None
+    queue_size: int = 64
+    frames_sent: int = 0  #: guest -> network
+    frames_delivered: int = 0  #: network -> guest
+    _tx_used: int = 0
+    _rx_used: int = 0
+    _pending_rx: list[bytes] = field(default_factory=list)
+
+    # -- ring plumbing (host view) ------------------------------------------
+
+    def _ring(self, base: int):
+        desc = base
+        avail = base + self.queue_size * 16
+        used = avail + 4 + 2 * self.queue_size
+        return desc, avail, used
+
+    def _read_desc(self, base: int, index: int):
+        raw = self.memory.host_read(base + index * 16, 16)
+        return struct.unpack("<QIHH", raw)
+
+    def _pop_avail(self, base: int, used_counter: int) -> Optional[int]:
+        _desc, avail, _used = self._ring(base)
+        (avail_idx,) = struct.unpack("<H", self.memory.host_read(avail + 2, 2))
+        if used_counter == avail_idx:
+            return None
+        slot = used_counter % self.queue_size
+        (head,) = struct.unpack(
+            "<H", self.memory.host_read(avail + 4 + 2 * slot, 2)
+        )
+        return head
+
+    def _push_used(self, base: int, used_counter: int, head: int, written: int) -> int:
+        _desc, _avail, used = self._ring(base)
+        slot = used_counter % self.queue_size
+        self.memory.host_write(used + 4 + 8 * slot, struct.pack("<II", head, written))
+        used_counter = (used_counter + 1) & 0xFFFF
+        self.memory.host_write(used + 2, struct.pack("<H", used_counter))
+        return used_counter
+
+    # -- processing ----------------------------------------------------------------
+
+    def process_tx(self) -> int:
+        """Consume transmitted frames; returns how many were handled."""
+        handled = 0
+        while True:
+            head = self._pop_avail(self.tx_queue_base, self._tx_used)
+            if head is None:
+                return handled
+            addr, length, _flags, _next = self._read_desc(self.tx_queue_base, head)
+            if length > _MAX_FRAME:
+                raise VirtioError(f"oversized TX frame ({length} bytes)")
+            frame = self.memory.host_read(addr, length)
+            self._tx_used = self._push_used(self.tx_queue_base, self._tx_used, head, 0)
+            self.frames_sent += 1
+            handled += 1
+            if self.endpoint is not None:
+                response = self.endpoint(frame)
+                if response is not None:
+                    self._pending_rx.append(response)
+            self.process_rx()
+
+    def process_rx(self) -> int:
+        """Copy pending responses into guest-posted RX buffers."""
+        delivered = 0
+        while self._pending_rx:
+            head = self._pop_avail(self.rx_queue_base, self._rx_used)
+            if head is None:
+                return delivered  # guest has not posted buffers yet
+            addr, capacity, flags, _next = self._read_desc(self.rx_queue_base, head)
+            if not flags & VRING_DESC_F_WRITE:
+                raise VirtioError("RX buffer not device-writable")
+            frame = self._pending_rx.pop(0)
+            payload = struct.pack("<I", len(frame)) + frame
+            if len(payload) > capacity:
+                raise VirtioError("RX buffer too small for frame")
+            self.memory.host_write(addr, payload)
+            self._rx_used = self._push_used(
+                self.rx_queue_base, self._rx_used, head, len(payload)
+            )
+            self.frames_delivered += 1
+            delivered += 1
+        return delivered
+
+
+@dataclass
+class VirtioNetDriver:
+    """Guest side: one TX and one RX queue over shared bounce memory."""
+
+    memory: GuestMemory
+    tx_queue_base: int
+    rx_queue_base: int
+    tx_buffer: int
+    rx_buffer: int
+    shared: bool = True
+    tx_queue: Virtqueue = field(init=False)
+    rx_queue: Virtqueue = field(init=False)
+
+    def __post_init__(self) -> None:
+        encrypted = not self.shared
+        self.tx_queue = Virtqueue(
+            memory=self.memory, base_addr=self.tx_queue_base, encrypted=encrypted
+        )
+        self.rx_queue = Virtqueue(
+            memory=self.memory, base_addr=self.rx_queue_base, encrypted=encrypted
+        )
+
+    def _write(self, addr: int, data: bytes) -> None:
+        self.memory.guest_write(addr, data, c_bit=not self.shared)
+
+    def _read(self, addr: int, length: int) -> bytes:
+        return self.memory.guest_read(addr, length, c_bit=not self.shared)
+
+    def send(self, device: VirtioNetDevice, frame: bytes) -> None:
+        """Transmit one frame (synchronous kick)."""
+        if len(frame) > _MAX_FRAME:
+            raise VirtioError("frame too large")
+        self._write(self.tx_buffer, frame)
+        self.tx_queue.add_chain([(self.tx_buffer, len(frame), False)])
+        device.process_tx()
+        self.tx_queue.poll_used()
+
+    def post_rx_buffer(self, device: VirtioNetDevice) -> None:
+        self.rx_queue.add_chain([(self.rx_buffer, _MAX_FRAME, True)])
+        device.process_rx()
+
+    def receive(self) -> Optional[bytes]:
+        """Pop one delivered frame, if any."""
+        completed = self.rx_queue.poll_used()
+        if not completed:
+            return None
+        (length,) = struct.unpack("<I", self._read(self.rx_buffer, 4))
+        return self._read(self.rx_buffer + 4, length)
+
+    def request(self, device: VirtioNetDevice, frame: bytes) -> Optional[bytes]:
+        """Send one frame and collect the endpoint's response."""
+        self.post_rx_buffer(device)
+        self.send(device, frame)
+        device.process_rx()
+        return self.receive()

@@ -1,0 +1,41 @@
+"""Serverless platform substrate.
+
+The paper's motivation (§1-2) is confidential serverless: short-lived
+functions in microVMs where cold-boot latency dominates.  This package
+provides the workload side of that story:
+
+- :mod:`repro.serverless.trace` — synthetic invocation traces in the
+  style of the Azure Functions characterization [39].
+- :mod:`repro.serverless.platform` — a function-as-a-service scheduler
+  with keep-alive (warm) pools and per-invocation cold boots on the
+  simulated machine, pluggable with any of the boot pipelines.
+"""
+
+from repro.serverless.platform import (
+    InvocationOutcome,
+    PlatformStats,
+    ServerlessPlatform,
+)
+from repro.serverless.snapshots import (
+    RestoreOutcome,
+    RestorePolicy,
+    SnapshotError,
+    VmSnapshot,
+    restore,
+    take_snapshot,
+)
+from repro.serverless.trace import InvocationTrace, synthesize_trace
+
+__all__ = [
+    "InvocationOutcome",
+    "InvocationTrace",
+    "PlatformStats",
+    "RestoreOutcome",
+    "RestorePolicy",
+    "ServerlessPlatform",
+    "SnapshotError",
+    "VmSnapshot",
+    "restore",
+    "synthesize_trace",
+    "take_snapshot",
+]

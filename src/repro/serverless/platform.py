@@ -1,0 +1,209 @@
+"""A function-as-a-service platform on the simulated machine.
+
+Each invocation either reuses a warm microVM (keep-alive pool, §7.1) or
+pays a cold boot through a pluggable boot pipeline — stock Firecracker,
+SEVeriFast, or QEMU/OVMF — on the shared machine, so concurrent cold
+starts contend on the PSP exactly as in Fig. 12.
+
+The platform is deliberately policy-simple (fixed keep-alive window,
+unbounded capacity): the paper's point is the *cold-start* cost, and this
+substrate makes that cost visible under realistic arrival processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.serverless.trace import InvocationTrace
+from repro.sim import Simulator
+from repro.vmm.timeline import BootResult
+
+BootFactory = Callable[[], Generator]
+
+
+@dataclass
+class InvocationOutcome:
+    """What happened to one invocation."""
+
+    function: str
+    arrival_ms: float
+    cold: bool
+    boot_ms: float  #: 0 for warm starts
+    start_delay_ms: float  #: arrival -> function begins executing
+    end_ms: float
+    #: the cold start was served by a snapshot restore (§7.1) rather than
+    #: a full boot
+    restored: bool = False
+
+
+@dataclass
+class _WarmVm:
+    function: str
+    idle_since: float
+
+
+@dataclass
+class PlatformStats:
+    """Aggregate statistics over a completed run."""
+
+    outcomes: list[InvocationOutcome] = field(default_factory=list)
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(1 for o in self.outcomes if o.cold)
+
+    @property
+    def warm_starts(self) -> int:
+        return len(self.outcomes) - self.cold_starts
+
+    @property
+    def cold_fraction(self) -> float:
+        return self.cold_starts / len(self.outcomes) if self.outcomes else 0.0
+
+    def latency_percentile(self, pct: float) -> float:
+        """Start-delay percentile across all invocations."""
+        if not self.outcomes:
+            return 0.0
+        delays = sorted(o.start_delay_ms for o in self.outcomes)
+        index = min(len(delays) - 1, int(pct / 100.0 * len(delays)))
+        return delays[index]
+
+    @property
+    def mean_start_delay_ms(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.start_delay_ms for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def mean_cold_boot_ms(self) -> float:
+        cold = [o.boot_ms for o in self.outcomes if o.cold]
+        return sum(cold) / len(cold) if cold else 0.0
+
+    @property
+    def restored_starts(self) -> int:
+        return sum(1 for o in self.outcomes if o.restored)
+
+
+class ServerlessPlatform:
+    """Schedules a trace onto warm pools + cold boots."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        boot_factory: BootFactory,
+        keepalive_ms: float = 10_000.0,
+        warm_start_ms: float = 1.0,
+        vm_memory_bytes: int = 256 * 1024 * 1024,
+        sev: bool = True,
+        dedup_fraction: float = 0.6,
+        restore_factory: BootFactory | None = None,
+    ):
+        """``restore_factory``, when given, serves repeat cold starts of a
+        previously booted function by snapshot restore (§7.1) instead of
+        a full boot — e.g. a key-reuse restore from
+        :mod:`repro.serverless.snapshots`."""
+        self.sim = sim
+        self.boot_factory = boot_factory
+        self.keepalive_ms = keepalive_ms
+        self.warm_start_ms = warm_start_ms
+        self.vm_memory_bytes = vm_memory_bytes
+        self.sev = sev
+        self.dedup_fraction = dedup_fraction
+        self.restore_factory = restore_factory
+        self.stats = PlatformStats()
+        self._pool: list[_WarmVm] = []
+        self._snapshotted: set[str] = set()
+
+    # -- pool management ----------------------------------------------------
+
+    def _take_warm(self, function: str) -> Optional[_WarmVm]:
+        now = self.sim.now
+        self._pool = [
+            vm for vm in self._pool if now - vm.idle_since <= self.keepalive_ms
+        ]
+        for i, vm in enumerate(self._pool):
+            if vm.function == function:
+                return self._pool.pop(i)
+        return None
+
+    def _return_warm(self, function: str) -> None:
+        self._pool.append(_WarmVm(function=function, idle_since=self.sim.now))
+
+    @property
+    def warm_pool_size(self) -> int:
+        now = self.sim.now
+        return sum(
+            1 for vm in self._pool if now - vm.idle_since <= self.keepalive_ms
+        )
+
+    def warm_pool_memory_bytes(self) -> int:
+        """Host memory held by the keep-alive pool.
+
+        §7.1: identical pages at different physical addresses have
+        different ciphertext under SEV, so warm SEV VMs cannot be
+        deduplicated — every pooled VM holds its full footprint.  Plain
+        microVMs share ``dedup_fraction`` of their pages (same kernel,
+        same initrd) across the pool.
+        """
+        n = self.warm_pool_size
+        if n == 0:
+            return 0
+        if self.sev:
+            return n * self.vm_memory_bytes
+        shared = int(self.vm_memory_bytes * self.dedup_fraction)
+        unique = self.vm_memory_bytes - shared
+        return shared + n * unique
+
+    # -- execution ---------------------------------------------------------------
+
+    def _handle(self, function: str, arrival_ms: float, exec_ms: float) -> Generator:
+        warm = self._take_warm(function)
+        boot_ms = 0.0
+        restored = False
+        if warm is not None:
+            yield self.sim.timeout(self.warm_start_ms)
+        elif self.restore_factory is not None and function in self._snapshotted:
+            start = self.sim.now
+            yield from self.restore_factory()
+            boot_ms = self.sim.now - start
+            restored = True
+        else:
+            start = self.sim.now
+            result = yield from self.boot_factory()
+            if isinstance(result, tuple):  # QEMU pipelines return extras
+                result = result[0]
+            assert isinstance(result, BootResult)
+            boot_ms = self.sim.now - start
+            self._snapshotted.add(function)
+        start_delay = self.sim.now - arrival_ms
+        yield self.sim.timeout(exec_ms)
+        self._return_warm(function)
+        self.stats.outcomes.append(
+            InvocationOutcome(
+                function=function,
+                arrival_ms=arrival_ms,
+                cold=warm is None,
+                boot_ms=boot_ms,
+                start_delay_ms=start_delay,
+                end_ms=self.sim.now,
+                restored=restored,
+            )
+        )
+
+    def _dispatcher(self, trace: InvocationTrace) -> Generator:
+        for inv in trace:
+            delay = inv.arrival_ms - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self.sim.process(
+                self._handle(inv.function, inv.arrival_ms, inv.exec_ms),
+                name=f"invoke-{inv.function}",
+            )
+
+    def run(self, trace: InvocationTrace) -> PlatformStats:
+        """Run the whole trace to completion; returns the statistics."""
+        self.sim.process(self._dispatcher(trace), name="dispatcher")
+        self.sim.run()
+        self.stats.outcomes.sort(key=lambda o: o.arrival_ms)
+        return self.stats

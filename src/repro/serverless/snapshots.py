@@ -1,0 +1,139 @@
+"""Snapshot/restore exploration for warm starts (§7.1).
+
+The paper's discussion section lays out why the standard serverless
+warm-start tricks fail under SEV:
+
+- snapshot pages cannot be deduplicated or shared between VMs: identical
+  plaintext at different physical addresses has different ciphertext;
+- lazy/on-demand restore needs host-guest cooperation because the host
+  cannot validate pages on the guest's behalf (the RMP valid bit is set
+  only by ``pvalidate`` *inside* the guest);
+- reusing previously attested state requires reusing the memory
+  encryption key, which weakens the trust model (one key, many VMs).
+
+This module makes those constraints executable: :func:`take_snapshot`
+captures a booted guest; :func:`restore` replays it under a stated
+policy, charging the cost model for the work the policy implies, and
+*refusing* the combinations the hardware forbids.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.common import PAGE_SIZE
+from repro.guest.context import GuestContext
+from repro.hw.platform import Machine
+from repro.sev.policy import SevMode
+
+
+class SnapshotError(Exception):
+    """A restore policy the hardware cannot honour."""
+
+
+class RestorePolicy(enum.Enum):
+    """How a snapshot is brought back."""
+
+    #: Plain microVM: map the snapshot copy-on-write, fault pages in.
+    LAZY_COW = "lazy-cow"
+    #: SEV with the *same* guest key (weakened trust model, §7.1): copy
+    #: every page eagerly and re-validate the whole range.
+    SEV_KEY_REUSE = "sev-key-reuse"
+    #: SEV with a fresh key: impossible without re-running the launch
+    #: flow — the snapshot's ciphertext is unreadable under the new key.
+    SEV_FRESH_KEY = "sev-fresh-key"
+
+
+@dataclass(frozen=True)
+class VmSnapshot:
+    """A captured guest: resident pages + identity of its protection."""
+
+    kernel_name: str
+    sev_mode: SevMode | None
+    resident_bytes: int  #: actual bytes captured (scaled builds)
+    nominal_bytes: int  #: what a full-scale snapshot would hold
+    launch_digest: bytes | None
+    pages: dict[int, bytes] = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass(frozen=True)
+class RestoreOutcome:
+    policy: RestorePolicy
+    restore_ms: float
+    #: host memory the restored VM pins beyond shared state
+    private_bytes: int
+
+
+def take_snapshot(ctx: GuestContext) -> VmSnapshot:
+    """Capture a booted guest's resident pages (host-side copy).
+
+    For an SEV guest the captured bytes are ciphertext — the snapshot is
+    useless without the original key, which is exactly the property the
+    restore policies below must respect.
+    """
+    pages = {
+        index: bytes(backing) for index, backing in ctx.memory._pages.items()
+    }
+    scale = max(
+        1e-12,
+        min(1.0, ctx.config.scale if ctx.config.scale > 0 else 1.0),
+    )
+    resident = len(pages) * PAGE_SIZE
+    return VmSnapshot(
+        kernel_name=ctx.config.kernel.name,
+        sev_mode=ctx.sev.policy.mode if ctx.sev else None,
+        resident_bytes=resident,
+        nominal_bytes=int(resident / scale),
+        launch_digest=ctx.sev.launch_digest if ctx.sev else None,
+        pages=pages,
+    )
+
+
+#: Fixed VMM-side cost to arm a copy-on-write mapping.
+_COW_SETUP_MS = 2.0
+
+
+def restore(
+    machine: Machine, snapshot: VmSnapshot, policy: RestorePolicy
+) -> Generator:
+    """Restore ``snapshot`` under ``policy``; process value: RestoreOutcome.
+
+    Raises :class:`SnapshotError` for combinations SEV forbids.
+    """
+    cost = machine.cost
+    is_sev = snapshot.sev_mode is not None
+
+    if policy is RestorePolicy.SEV_FRESH_KEY:
+        raise SnapshotError(
+            "snapshot ciphertext is unreadable under a fresh guest key; "
+            "a fresh-key VM must cold boot through the launch flow (§7.1)"
+        )
+    if policy is RestorePolicy.LAZY_COW and is_sev:
+        raise SnapshotError(
+            "lazy CoW restore needs host-managed mappings; under SNP a "
+            "host remap clears the RMP valid bit and the guest faults (#VC)"
+        )
+    if policy is RestorePolicy.SEV_KEY_REUSE and not is_sev:
+        raise SnapshotError("key reuse is meaningless for a non-SEV snapshot")
+
+    start = machine.sim.now
+    if policy is RestorePolicy.LAZY_COW:
+        yield machine.sim.timeout(cost.sample(_COW_SETUP_MS))
+        # Pages stay shared with the snapshot until written.
+        private = 0
+    else:  # SEV_KEY_REUSE
+        # Eager full copy of every snapshot page (no sharing possible),
+        # then RMP re-init and a full pvalidate sweep in the guest.
+        yield machine.sim.timeout(cost.sample(cost.copy_ms(snapshot.nominal_bytes)))
+        yield machine.sim.timeout(cost.sample(cost.rmp_init_ms(snapshot.nominal_bytes)))
+        yield machine.sim.timeout(
+            cost.sample(cost.pvalidate_ms(snapshot.nominal_bytes, machine.huge_pages))
+        )
+        private = snapshot.nominal_bytes
+    return RestoreOutcome(
+        policy=policy,
+        restore_ms=machine.sim.now - start,
+        private_bytes=private,
+    )

@@ -1,0 +1,83 @@
+"""Synthetic serverless invocation traces.
+
+Shaped after the published characterizations the paper cites ([29], [39]):
+a heavy-tailed popularity distribution over functions, Poisson arrivals
+per function, and short, variable execution times.  Deterministic given a
+seed, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One function invocation request."""
+
+    arrival_ms: float
+    function: str
+    exec_ms: float
+
+
+@dataclass
+class InvocationTrace:
+    """An ordered list of invocations over a time horizon."""
+
+    invocations: list[Invocation] = field(default_factory=list)
+    horizon_ms: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.invocations)
+
+    def __iter__(self):
+        return iter(self.invocations)
+
+    @property
+    def functions(self) -> list[str]:
+        return sorted({inv.function for inv in self.invocations})
+
+    def arrivals_per_second(self) -> float:
+        if self.horizon_ms <= 0:
+            return 0.0
+        return len(self.invocations) / (self.horizon_ms / 1000.0)
+
+
+def synthesize_trace(
+    num_functions: int = 10,
+    horizon_ms: float = 60_000.0,
+    mean_rate_per_s: float = 2.0,
+    mean_exec_ms: float = 100.0,
+    zipf_s: float = 1.2,
+    seed: int = 0,
+) -> InvocationTrace:
+    """Generate a trace: Zipf-popular functions with Poisson arrivals.
+
+    ``mean_rate_per_s`` is the aggregate arrival rate across all
+    functions; per-function rates follow a Zipf(s) split, giving the
+    hot-function/cold-function mix that makes keep-alive policies
+    interesting.
+    """
+    if num_functions < 1:
+        raise ValueError("need at least one function")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**zipf_s) for rank in range(1, num_functions + 1)]
+    total_weight = sum(weights)
+    invocations: list[Invocation] = []
+    for index, weight in enumerate(weights):
+        rate_per_ms = mean_rate_per_s * (weight / total_weight) / 1000.0
+        if rate_per_ms <= 0:
+            continue
+        t = 0.0
+        while True:
+            t += rng.expovariate(rate_per_ms)
+            if t >= horizon_ms:
+                break
+            exec_ms = max(1.0, rng.lognormvariate(math.log(mean_exec_ms), 0.6))
+            invocations.append(
+                Invocation(arrival_ms=t, function=f"fn-{index}", exec_ms=exec_ms)
+            )
+    invocations.sort(key=lambda inv: inv.arrival_ms)
+    return InvocationTrace(invocations=invocations, horizon_ms=horizon_ms)

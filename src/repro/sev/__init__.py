@@ -1,0 +1,42 @@
+"""The SEV-SNP launch and attestation protocol.
+
+- :mod:`repro.sev.policy` — guest policy bits (SEV / SEV-ES / SEV-SNP).
+- :mod:`repro.sev.measurement` — the launch digest built up by
+  LAUNCH_UPDATE_DATA and finalized by LAUNCH_FINISH.
+- :mod:`repro.sev.api` — the hypervisor-facing launch state machine
+  (Fig. 1 steps 1-4) and per-guest SEV context.
+- :mod:`repro.sev.attestation` — attestation reports signed by the PSP's
+  chip-unique key (Fig. 1 steps 5-6).
+- :mod:`repro.sev.guestowner` — the remote guest owner: validates reports
+  and releases wrapped secrets (Fig. 1 steps 7-8).
+"""
+
+from repro.sev.policy import GuestPolicy, SevMode
+from repro.sev.measurement import LaunchMeasurement
+from repro.sev.api import GuestSevContext, SevLaunchError, SevState
+from repro.sev.attestation import AttestationReport
+from repro.sev.guestowner import GuestOwner, AttestationFailure
+from repro.sev.certchain import (
+    AmdKeyHierarchy,
+    Certificate,
+    ChainError,
+    verify_chain,
+    verify_report_with_chain,
+)
+
+__all__ = [
+    "AmdKeyHierarchy",
+    "AttestationFailure",
+    "Certificate",
+    "ChainError",
+    "verify_chain",
+    "verify_report_with_chain",
+    "AttestationReport",
+    "GuestOwner",
+    "GuestPolicy",
+    "GuestSevContext",
+    "LaunchMeasurement",
+    "SevLaunchError",
+    "SevMode",
+    "SevState",
+]

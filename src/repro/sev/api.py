@@ -1,0 +1,51 @@
+"""Per-guest SEV launch state (Fig. 1).
+
+The hypervisor drives a strict state machine through the PSP:
+
+``UNINIT`` → LAUNCH_START → ``LAUNCH_STARTED`` → LAUNCH_UPDATE_DATA* →
+LAUNCH_FINISH → ``LAUNCH_FINISHED`` → (guest runs, requests reports)
+
+The crucial security transition is LAUNCH_FINISH: afterwards the
+hypervisor can no longer pre-encrypt guest memory (§2.4), so it cannot
+sneak code into the root of trust once an attestation report exists.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.sev.measurement import LaunchMeasurement
+from repro.sev.policy import GuestPolicy
+
+
+class SevLaunchError(Exception):
+    """An SEV command was issued in the wrong state."""
+
+
+class SevState(enum.Enum):
+    UNINIT = "uninit"
+    LAUNCH_STARTED = "launch-started"
+    LAUNCH_FINISHED = "launch-finished"
+
+
+@dataclass
+class GuestSevContext:
+    """Everything the platform tracks for one SEV guest."""
+
+    asid: int
+    policy: GuestPolicy = field(default_factory=GuestPolicy)
+    state: SevState = SevState.UNINIT
+    engine: MemoryEncryptionEngine | None = None
+    measurement: LaunchMeasurement = field(default_factory=LaunchMeasurement)
+    launch_digest: bytes | None = None
+    #: accumulated PSP busy time for this guest's launch (for Fig. 10/12)
+    psp_occupancy_ms: float = 0.0
+
+    def require_state(self, expected: SevState, command: str) -> None:
+        if self.state is not expected:
+            raise SevLaunchError(
+                f"{command} issued in state {self.state.value!r} "
+                f"(requires {expected.value!r})"
+            )

@@ -1,0 +1,116 @@
+"""Attestation reports, signed by the chip-unique key (VCEK).
+
+The PSP places a signed report directly in encrypted guest memory
+(Fig. 1, step 6); the guest forwards it to the guest owner, who checks
+the signature against AMD's key hierarchy and compares the launch digest
+with the expected one.  We model the hierarchy with a single ECDSA P-256
+chip key whose public half the guest owner trusts out of band.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto import ecdsa
+
+REPORT_VERSION = 2
+_REPORT_DATA_LEN = 64
+_MEASUREMENT_LEN = 48
+_CHIP_ID_LEN = 32
+
+
+class ReportError(ValueError):
+    """Malformed attestation report."""
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """A parsed (or freshly signed) attestation report."""
+
+    version: int
+    policy: bytes  #: 4 policy bytes
+    measurement: bytes  #: 48-byte launch digest
+    report_data: bytes  #: 64 guest-supplied bytes (nonce, key hash...)
+    chip_id: bytes  #: 32-byte platform identity
+    signature: ecdsa.Signature
+
+    def body(self) -> bytes:
+        return self._encode_body(
+            self.version, self.policy, self.measurement, self.report_data, self.chip_id
+        )
+
+    @staticmethod
+    def _encode_body(
+        version: int, policy: bytes, measurement: bytes, report_data: bytes, chip_id: bytes
+    ) -> bytes:
+        if len(policy) != 4:
+            raise ReportError("policy must be 4 bytes")
+        if len(measurement) != _MEASUREMENT_LEN:
+            raise ReportError("measurement must be 48 bytes")
+        if len(report_data) != _REPORT_DATA_LEN:
+            raise ReportError("report_data must be 64 bytes")
+        if len(chip_id) != _CHIP_ID_LEN:
+            raise ReportError("chip_id must be 32 bytes")
+        return (
+            struct.pack("<I", version) + policy + measurement + report_data + chip_id
+        )
+
+    @classmethod
+    def sign(
+        cls,
+        signing_key: ecdsa.SigningKey,
+        policy: bytes,
+        measurement: bytes,
+        report_data: bytes,
+        chip_id: bytes,
+    ) -> "AttestationReport":
+        report_data = report_data.ljust(_REPORT_DATA_LEN, b"\x00")
+        body = cls._encode_body(
+            REPORT_VERSION, policy, measurement, report_data, chip_id
+        )
+        return cls(
+            version=REPORT_VERSION,
+            policy=policy,
+            measurement=measurement,
+            report_data=report_data,
+            chip_id=chip_id,
+            signature=signing_key.sign(body),
+        )
+
+    def verify(self, vcek_public: ecdsa.PublicKey) -> bool:
+        """Check the signature; False for any forgery or bit flip."""
+        try:
+            return ecdsa.verify(vcek_public, self.body(), self.signature)
+        except (ValueError, ReportError):
+            return False
+
+    # -- wire format -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return self.body() + self.signature.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "AttestationReport":
+        body_len = 4 + 4 + _MEASUREMENT_LEN + _REPORT_DATA_LEN + _CHIP_ID_LEN
+        if len(raw) != body_len + 64:
+            raise ReportError(f"report must be {body_len + 64} bytes, got {len(raw)}")
+        (version,) = struct.unpack_from("<I", raw, 0)
+        offset = 4
+        policy = raw[offset : offset + 4]
+        offset += 4
+        measurement = raw[offset : offset + _MEASUREMENT_LEN]
+        offset += _MEASUREMENT_LEN
+        report_data = raw[offset : offset + _REPORT_DATA_LEN]
+        offset += _REPORT_DATA_LEN
+        chip_id = raw[offset : offset + _CHIP_ID_LEN]
+        offset += _CHIP_ID_LEN
+        signature = ecdsa.Signature.from_bytes(raw[offset:])
+        return cls(
+            version=version,
+            policy=policy,
+            measurement=measurement,
+            report_data=report_data,
+            chip_id=chip_id,
+            signature=signature,
+        )

@@ -1,0 +1,156 @@
+"""The AMD key hierarchy: ARK → ASK → VCEK.
+
+Real guest owners do not hold a pinned VCEK: they hold AMD's public Root
+Key (ARK) and verify a certificate chain — ARK self-signed, the SEV
+signing key (ASK) signed by the ARK, and the chip-unique VCEK signed by
+the ASK — before trusting the signature on an attestation report.  The
+paper's attestation server does this with AMD's ``sev-guest`` scripts
+(§6.1); this module reproduces the chain with our ECDSA.
+
+Certificates are a minimal TBS (to-be-signed) structure: subject, role,
+public key, issuer — enough to exercise every verification failure mode
+(wrong issuer, broken signature, role confusion, truncated chain).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto import ecdsa
+from repro.sev.attestation import AttestationReport
+
+
+class ChainError(Exception):
+    """Certificate-chain validation failure."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of (subject, role) to a public key."""
+
+    subject: str
+    role: str  #: "ark" | "ask" | "vcek"
+    public_key: ecdsa.PublicKey
+    issuer: str
+    signature: ecdsa.Signature
+
+    def tbs(self) -> bytes:
+        subject = self.subject.encode()
+        issuer = self.issuer.encode()
+        role = self.role.encode()
+        return (
+            struct.pack("<H", len(subject))
+            + subject
+            + struct.pack("<H", len(role))
+            + role
+            + self.public_key.to_bytes()
+            + struct.pack("<H", len(issuer))
+            + issuer
+        )
+
+    @classmethod
+    def issue(
+        cls,
+        subject: str,
+        role: str,
+        public_key: ecdsa.PublicKey,
+        issuer: str,
+        issuer_key: ecdsa.SigningKey,
+    ) -> "Certificate":
+        unsigned = cls(
+            subject=subject,
+            role=role,
+            public_key=public_key,
+            issuer=issuer,
+            signature=ecdsa.Signature(1, 1),  # placeholder, replaced below
+        )
+        return cls(
+            subject=subject,
+            role=role,
+            public_key=public_key,
+            issuer=issuer,
+            signature=issuer_key.sign(unsigned.tbs()),
+        )
+
+    def verify_signed_by(self, issuer_public: ecdsa.PublicKey) -> bool:
+        return ecdsa.verify(issuer_public, self.tbs(), self.signature)
+
+
+@dataclass(frozen=True)
+class AmdKeyHierarchy:
+    """The three keys and their certificates for one chip."""
+
+    ark_key: ecdsa.SigningKey
+    ask_key: ecdsa.SigningKey
+    vcek_key: ecdsa.SigningKey
+    ark_cert: Certificate
+    ask_cert: Certificate
+    vcek_cert: Certificate
+
+    @classmethod
+    def generate(cls, chip_seed: bytes) -> "AmdKeyHierarchy":
+        """Derive a deterministic hierarchy for a chip.
+
+        The ARK/ASK model AMD's product-line keys; the VCEK is derived
+        from the chip-unique seed, as on real parts.
+        """
+        ark_key = ecdsa.SigningKey.from_seed(b"amd-ark")
+        ask_key = ecdsa.SigningKey.from_seed(b"amd-ask-milan")
+        vcek_key = ecdsa.SigningKey.from_seed(chip_seed)
+        ark_cert = Certificate.issue(
+            "AMD Root Key", "ark", ark_key.public, "AMD Root Key", ark_key
+        )
+        ask_cert = Certificate.issue(
+            "SEV Signing Key (Milan)", "ask", ask_key.public, "AMD Root Key", ark_key
+        )
+        vcek_cert = Certificate.issue(
+            f"VCEK {chip_seed.hex()[:16]}", "vcek", vcek_key.public,
+            "SEV Signing Key (Milan)", ask_key,
+        )
+        return cls(
+            ark_key=ark_key,
+            ask_key=ask_key,
+            vcek_key=vcek_key,
+            ark_cert=ark_cert,
+            ask_cert=ask_cert,
+            vcek_cert=vcek_cert,
+        )
+
+    @property
+    def chain(self) -> tuple[Certificate, Certificate, Certificate]:
+        """The chain as shipped to verifiers: VCEK, ASK, ARK."""
+        return (self.vcek_cert, self.ask_cert, self.ark_cert)
+
+
+def verify_chain(
+    chain: tuple[Certificate, ...], trusted_ark: ecdsa.PublicKey
+) -> ecdsa.PublicKey:
+    """Validate a VCEK→ASK→ARK chain; returns the proven VCEK public key."""
+    if len(chain) != 3:
+        raise ChainError(f"expected a 3-certificate chain, got {len(chain)}")
+    vcek, ask, ark = chain
+    if (vcek.role, ask.role, ark.role) != ("vcek", "ask", "ark"):
+        raise ChainError("certificate roles out of order")
+    if ark.public_key != trusted_ark:
+        raise ChainError("root certificate is not the trusted AMD root")
+    if not ark.verify_signed_by(trusted_ark):
+        raise ChainError("ARK self-signature invalid")
+    if ask.issuer != ark.subject or not ask.verify_signed_by(ark.public_key):
+        raise ChainError("ASK not signed by the ARK")
+    if vcek.issuer != ask.subject or not vcek.verify_signed_by(ask.public_key):
+        raise ChainError("VCEK not signed by the ASK")
+    return vcek.public_key
+
+
+def verify_report_with_chain(
+    report: AttestationReport,
+    chain: tuple[Certificate, ...],
+    trusted_ark: ecdsa.PublicKey,
+) -> bool:
+    """End-to-end: prove the VCEK through the chain, then check the report."""
+    try:
+        vcek_public = verify_chain(chain, trusted_ark)
+    except ChainError:
+        return False
+    return report.verify(vcek_public)

@@ -1,0 +1,119 @@
+"""The guest owner: remote attestation endpoint (Fig. 1 steps 7-8).
+
+The paper emulates this with a local nginx server running AMD's scripts
+(§6.1); here it is an in-process object with the same decision procedure:
+
+1. verify the report signature against the trusted chip key;
+2. compare the launch digest against the expected digest computed
+   offline by the digest tool (§4.2);
+3. check the freshness nonce and the policy;
+4. on success, wrap the function's secret to the transport key the guest
+   generated *inside encrypted memory* and send it back.
+
+Every failure mode raises :class:`AttestationFailure` with a reason the
+tests assert on — these are exactly the three host attacks of §2.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import ecdsa
+from repro.crypto.hmacmod import hkdf_expand, hkdf_extract, hmac_sha256
+from repro.crypto.sha2 import sha256
+from repro.sev.attestation import AttestationReport
+
+
+class AttestationFailure(Exception):
+    """The guest owner rejected an attestation report."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class WrappedSecret:
+    """A secret wrapped to the guest's transport key."""
+
+    ciphertext: bytes
+    mac: bytes
+
+    def unwrap(self, transport_key: bytes) -> bytes:
+        key = hkdf_extract(b"guest-owner", transport_key)
+        stream = hkdf_expand(key, b"secret-wrap", len(self.ciphertext))
+        mac = hmac_sha256(key, self.ciphertext)
+        if mac != self.mac:
+            raise AttestationFailure("secret MAC mismatch")
+        return bytes(a ^ b for a, b in zip(self.ciphertext, stream))
+
+
+@dataclass
+class GuestOwner:
+    """Holds the expected measurement and the secret to release."""
+
+    trusted_vcek: ecdsa.PublicKey
+    expected_digest: bytes
+    secret: bytes
+    expected_policy: bytes | None = None
+    #: log of validation outcomes, for tests and examples
+    audit_log: list[str] = field(default_factory=list)
+
+    @classmethod
+    def with_chain(
+        cls,
+        trusted_ark: ecdsa.PublicKey,
+        cert_chain,
+        expected_digest: bytes,
+        secret: bytes,
+        expected_policy: bytes | None = None,
+    ) -> "GuestOwner":
+        """Construct from AMD's root key and a VCEK certificate chain.
+
+        Real guest owners hold only the ARK; the platform's VCEK is
+        proven through the chain (§6.1's attestation server does this
+        with AMD's tooling).  Raises
+        :class:`repro.sev.certchain.ChainError` if the chain is bad.
+        """
+        from repro.sev.certchain import verify_chain
+
+        vcek_public = verify_chain(cert_chain, trusted_ark)
+        return cls(
+            trusted_vcek=vcek_public,
+            expected_digest=expected_digest,
+            secret=secret,
+            expected_policy=expected_policy,
+        )
+
+    def validate_and_release(
+        self, report: AttestationReport, nonce: bytes, transport_key: bytes
+    ) -> WrappedSecret:
+        """Run the full validation; returns the wrapped secret on success."""
+        if not report.verify(self.trusted_vcek):
+            self._reject("signature verification failed (untrusted platform)")
+        if report.measurement != self.expected_digest:
+            self._reject(
+                "launch digest mismatch (unexpected initial guest state)"
+            )
+        expected_data = self.bind_report_data(nonce, transport_key)
+        if report.report_data != expected_data:
+            self._reject("report data mismatch (stale nonce or wrong key)")
+        if self.expected_policy is not None and report.policy != self.expected_policy:
+            self._reject("policy mismatch")
+        self.audit_log.append("accepted")
+        return self._wrap(transport_key)
+
+    @staticmethod
+    def bind_report_data(nonce: bytes, transport_key: bytes) -> bytes:
+        """The 64 report-data bytes binding the nonce and transport key."""
+        return (sha256(transport_key) + nonce)[:64].ljust(64, b"\x00")
+
+    def _wrap(self, transport_key: bytes) -> WrappedSecret:
+        key = hkdf_extract(b"guest-owner", transport_key)
+        stream = hkdf_expand(key, b"secret-wrap", len(self.secret))
+        ciphertext = bytes(a ^ b for a, b in zip(self.secret, stream))
+        return WrappedSecret(ciphertext=ciphertext, mac=hmac_sha256(key, ciphertext))
+
+    def _reject(self, reason: str) -> None:
+        self.audit_log.append(f"rejected: {reason}")
+        raise AttestationFailure(reason)

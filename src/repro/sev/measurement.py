@@ -1,0 +1,72 @@
+"""The launch measurement (launch digest).
+
+Each LAUNCH_UPDATE_DATA extends a running SHA-384 digest with the plain
+text it measured and the guest-physical address it measured it at — the
+chain construction the SNP ABI uses for its launch digest.  LAUNCH_FINISH
+freezes the chain; the frozen digest lands in the attestation report and
+is compared by the guest owner against an independently computed expected
+digest (the job of :mod:`repro.core.digest_tool`).
+
+Simplification vs. the SNP ABI (documented in DESIGN.md): the ABI extends
+the digest once per 4 KiB page with several metadata fields; we extend
+once per *update command* with (gpa, content hash, length).  Both are
+order-sensitive, position-sensitive, content-sensitive chains, which is
+the property every experiment and attack in the paper relies on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.crypto.sha2 import sha384
+
+_INIT = b"\x00" * 48
+
+
+@dataclass
+class LaunchMeasurement:
+    """An extendable, then frozen, launch-digest chain."""
+
+    digest: bytes = _INIT
+    finalized: bool = False
+    updates: list[tuple[int, int]] = field(default_factory=list)  #: (gpa, length)
+
+    def extend(self, gpa: int, plaintext: bytes, nominal_size: int | None = None) -> None:
+        """Fold one measured region into the chain."""
+        if self.finalized:
+            raise RuntimeError("launch measurement already finalized")
+        length = len(plaintext) if nominal_size is None else nominal_size
+        record = (
+            self.digest
+            + sha384(plaintext, accelerated=True)
+            + struct.pack("<QQ", gpa, length)
+        )
+        self.digest = sha384(record)
+        self.updates.append((gpa, length))
+
+    def finalize(self) -> bytes:
+        """Freeze the chain (LAUNCH_FINISH); returns the launch digest."""
+        self.finalized = True
+        return self.digest
+
+    def matches(self, expected: bytes) -> bool:
+        return self.finalized and self.digest == expected
+
+    @property
+    def measured_bytes(self) -> int:
+        """Total bytes folded into the root of trust (nominal)."""
+        return sum(length for _gpa, length in self.updates)
+
+
+def expected_digest(regions: list[tuple[int, bytes, int | None]]) -> bytes:
+    """Recompute the digest offline from ``(gpa, plaintext, nominal)`` triples.
+
+    This is what the guest owner runs on their own machine — it must agree
+    byte-for-byte with the chain the PSP built, for the same inputs in the
+    same order.
+    """
+    chain = LaunchMeasurement()
+    for gpa, plaintext, nominal in regions:
+        chain.extend(gpa, plaintext, nominal)
+    return chain.finalize()

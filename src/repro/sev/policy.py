@@ -1,0 +1,46 @@
+"""Guest policy: which SEV generation a guest launches with.
+
+The paper's experiments all run SEV-SNP (§2.2), but Firecracker support
+was added for all three modes (§6.1 "support for launching SEV, SEV-ES,
+and SEV-SNP guests"), and huge pages interact differently with each
+(§6.1), so the mode is a first-class policy knob here too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SevMode(enum.Enum):
+    """SEV generations, in increasing order of protection."""
+
+    SEV = "sev"  #: memory encryption only
+    SEV_ES = "sev-es"  #: + encrypted register state
+    SEV_SNP = "sev-snp"  #: + RMP integrity protection
+
+    @property
+    def has_rmp(self) -> bool:
+        return self is SevMode.SEV_SNP
+
+    @property
+    def encrypts_register_state(self) -> bool:
+        return self in (SevMode.SEV_ES, SevMode.SEV_SNP)
+
+
+@dataclass(frozen=True)
+class GuestPolicy:
+    """Launch policy bits carried into the attestation report."""
+
+    mode: SevMode = SevMode.SEV_SNP
+    debug_allowed: bool = False
+    migration_allowed: bool = False
+    #: minimum firmware API version (major, minor)
+    api_version: tuple[int, int] = (1, 51)
+
+    def to_bytes(self) -> bytes:
+        flags = (self.debug_allowed << 0) | (self.migration_allowed << 1)
+        mode_bits = {"sev": 0, "sev-es": 1, "sev-snp": 2}[self.mode.value]
+        return bytes(
+            [mode_bits, flags, self.api_version[0], self.api_version[1]]
+        )

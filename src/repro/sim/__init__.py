@@ -1,0 +1,38 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based discrete-event engine in the style
+of SimPy, built from scratch for this reproduction.  Every timed experiment
+in the repository (boot pipelines, PSP contention, serverless traces) runs
+on this engine so that virtual time is exact and runs are reproducible.
+
+Public API:
+
+- :class:`Simulator` — event loop with a virtual clock.
+- :class:`Event` — one-shot event carrying a value.
+- :class:`Process` — a generator driven by the simulator; also an Event.
+- :class:`Resource` — FIFO resource with finite capacity (the PSP model
+  uses a ``Resource(capacity=1)`` to serialize launch commands).
+- :class:`Interrupt` — exception thrown into interrupted processes.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    Resource,
+    SimulationError,
+    Simulator,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+]

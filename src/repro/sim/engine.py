@@ -1,0 +1,374 @@
+"""Generator-based discrete-event simulation engine.
+
+Processes are Python generators that ``yield`` events.  A process is
+suspended until the yielded event fires, at which point it is resumed with
+the event's value (``event.value`` is sent into the generator).  The engine
+is fully deterministic: simultaneous events fire in scheduling order.
+
+This is deliberately a small subset of SimPy's semantics — events, timeouts,
+processes, FIFO resources, and all-of/any-of conditions — which is all the
+boot-time experiments need.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupts.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    *triggers* it, scheduling all registered callbacks at the current
+    simulation time.  Once triggered it cannot be triggered again.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.value: Any = None
+        self._ok: Optional[bool] = None  # None=pending, True=ok, False=failed
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok is True
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._ok is not None:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self._ok = True
+        self.value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._ok is not None:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self.value = exception
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._ok is not None:
+            # Already triggered: run the callback at the current time.
+            self.sim._schedule_callback(callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
+        return f"<Event {self.name!r} {state} at t={self.sim.now}>"
+
+
+class Process(Event):
+    """A running process.  Completes (as an Event) when its generator returns.
+
+    The generator may yield:
+
+    - an :class:`Event` (including another Process or a Timeout): the
+      process resumes with ``event.value`` when the event fires, or the
+      event's exception is thrown in if the event failed.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        sim._schedule_callback(self._resume, _InitEvent(sim))
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        target = self._waiting_on
+        if target is not None and target._ok is None:
+            # Detach from whatever we were waiting for.
+            try:
+                target._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        evt = _InitEvent(self.sim)
+        evt.value = Interrupt(cause)
+        evt._ok = False
+        self.sim._schedule_callback(self._resume, evt)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._gen.send(event.value)
+            else:
+                target = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An uncaught interrupt kills the process silently; this mirrors
+            # "the process was cancelled" semantics used by the scheduler.
+            self.succeed(None)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _InitEvent(Event):
+    """Internal pre-triggered event used to kick off / interrupt processes."""
+
+    def __init__(self, sim: "Simulator"):
+        super().__init__(sim, "init")
+        self._ok = True
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name)
+        self._events = list(events)
+        self._pending = 0
+        if not self._events:
+            self.succeed([])
+            return
+        for evt in self._events:
+            if not isinstance(evt, Event):
+                raise SimulationError(f"{name} requires Events, got {evt!r}")
+            self._pending += 1
+            evt.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired.  Value: list of child values."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, "all_of")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([evt.value for evt in self._events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires.  Value: (event, value)."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, "any_of")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event.value)
+            return
+        self.succeed((event, event.value))
+
+
+class Resource:
+    """A FIFO resource with finite capacity.
+
+    ``request()`` returns an Event that fires when a slot is granted; the
+    holder must call ``release()`` exactly once.  With ``capacity=1`` this
+    models a strictly serializing device — the PSP.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+        # Statistics for contention analysis.
+        self.total_requests = 0
+        self.total_wait_time = 0.0
+        self.busy_time = 0.0
+        self._grant_times: dict[int, float] = {}
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def request(self) -> Event:
+        self.total_requests += 1
+        evt = Event(self.sim, f"{self.name}.request")
+        evt._requested_at = self.sim.now  # type: ignore[attr-defined]
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._grant(evt)
+        else:
+            self._queue.append(evt)
+        return evt
+
+    def _grant(self, evt: Event) -> None:
+        self.total_wait_time += self.sim.now - evt._requested_at  # type: ignore[attr-defined]
+        self._grant_times[id(evt)] = self.sim.now
+        evt._resource_token = id(evt)  # type: ignore[attr-defined]
+        evt.succeed(evt)
+
+    def release(self, grant: Event) -> None:
+        token = getattr(grant, "_resource_token", None)
+        if token is None or token not in self._grant_times:
+            raise SimulationError(f"release of {self.name} without matching grant")
+        self.busy_time += self.sim.now - self._grant_times.pop(token)
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._grant(nxt)
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float) -> Generator:
+        """Convenience process body: acquire, hold for ``duration``, release."""
+        grant = yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(grant)
+
+
+class Simulator:
+    """Deterministic event loop with a floating-point virtual clock.
+
+    Time units are **milliseconds** throughout this repository.
+    """
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[Event], None], Event]] = []
+        self._seq = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_callback(
+        self, callback: Callable[[Event], None], event: Event, delay: float = 0.0
+    ) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, event))
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        callbacks, event._callbacks = event._callbacks, []
+        for cb in callbacks:
+            self._schedule_callback(cb, event, delay)
+
+    # -- public API ------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        evt = Event(self, f"timeout({delay})")
+        evt._timeout_value = value  # type: ignore[attr-defined]
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, self._seq, self._fire_timeout, evt)
+        )
+        return evt
+
+    @staticmethod
+    def _fire_timeout(evt: Event) -> None:
+        # Trigger at the deadline; waiters were registered while pending.
+        evt.succeed(evt._timeout_value)  # type: ignore[attr-defined]
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        return Resource(self, capacity, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or the clock reaches ``until``.
+
+        Returns the final clock value.
+        """
+        while self._heap:
+            t, _seq, callback, event = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if t < self.now - 1e-12:
+                raise SimulationError("event scheduled in the past")
+            self.now = t
+            callback(event)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Run a single process to completion and return its value.
+
+        Raises the process's exception if it failed.
+        """
+        proc = self.process(gen, name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(f"process {proc.name!r} deadlocked")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,40 @@
+"""Virtual machine monitors and boot instrumentation.
+
+- :mod:`repro.vmm.timeline` — boot-phase accounting (the paper's debug-port
+  methodology, §6.1) and the :class:`BootResult` returned by every boot.
+- :mod:`repro.vmm.debugport` — the port-0x80 debug device.
+- :mod:`repro.vmm.fwcfg` — the fw_cfg-style vmlinux transfer device (§5).
+- :mod:`repro.vmm.firecracker` — the Firecracker-based microVM monitor
+  with stock, SEVeriFast/bzImage, SEVeriFast/vmlinux, and naive
+  pre-encrypt-everything boot paths.
+- :mod:`repro.vmm.qemu` — the QEMU/OVMF baseline used throughout the
+  paper's evaluation.
+
+Attributes resolve lazily to keep the package import-cycle free (the
+VMMs import :mod:`repro.core`, which imports guest modules, which need
+the timeline/debug-port here).
+"""
+
+from repro.vmm.timeline import BootPhase, BootResult, BootTimeline
+from repro.vmm.debugport import DebugPort
+
+__all__ = [
+    "BootPhase",
+    "BootResult",
+    "BootTimeline",
+    "DebugPort",
+    "FirecrackerVMM",
+    "QemuVMM",
+]
+
+
+def __getattr__(name: str):
+    if name == "FirecrackerVMM":
+        from repro.vmm.firecracker import FirecrackerVMM
+
+        return FirecrackerVMM
+    if name == "QemuVMM":
+        from repro.vmm.qemu import QemuVMM
+
+        return QemuVMM
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

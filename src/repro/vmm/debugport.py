@@ -1,0 +1,42 @@
+"""The port-0x80 debug device (§6.1 testing methodology).
+
+The paper's modified Firecracker attaches a device listening on I/O port
+0x80; the boot verifier and guest kernel execute ``outb`` at interesting
+points and the VMM logs each write with a timestamp.  Under SEV-ES/SNP an
+``outb`` would raise #VC before handlers are installed, so early guest
+code instead writes magic values to the GHCB MSR — we model both entry
+points, tagging which path delivered the event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim import Simulator
+
+
+@dataclass
+class DebugPort:
+    """Records (timestamp, value, via) tuples like the Firecracker log."""
+
+    sim: Simulator
+    log: list[tuple[float, int, str]] = field(default_factory=list)
+
+    def outb(self, value: int) -> None:
+        """Guest ``outb 0x80`` — available once #VC handlers exist."""
+        self.log.append((self.sim.now, value & 0xFF, "outb"))
+
+    def ghcb_msr_write(self, value: int) -> None:
+        """Early-boot path: magic value via the GHCB MSR (always trapped)."""
+        self.log.append((self.sim.now, value & 0xFF, "ghcb"))
+
+    def timestamps_for(self, value: int) -> list[float]:
+        return [t for t, v, _via in self.log if v == value]
+
+
+#: Magic values written at boot milestones (mirrors the paper's technique).
+MAGIC_VERIFIER_ENTRY = 0x10
+MAGIC_VERIFIER_DONE = 0x11
+MAGIC_KERNEL_ENTRY = 0x20
+MAGIC_INIT_EXEC = 0x21
+MAGIC_ATTESTATION_DONE = 0x30

@@ -1,0 +1,118 @@
+"""Firecracker-style VM configuration files.
+
+Firecracker is driven by a JSON configuration (machine config, boot
+source, drives); the paper's digest tool consumes exactly that file plus
+the kernel/initrd hashes and the boot verifier to compute the expected
+measurement (§4.2).  This module parses that shape into a
+:class:`repro.core.config.VmConfig`, so the CLI's ``digest`` command can
+take ``--config vm.json`` like the artifact's tooling.
+
+Recognized subset::
+
+    {
+      "machine-config": {"vcpu_count": 1, "mem_size_mib": 256},
+      "boot-source": {
+        "kernel_image_path": "vmlinux-aws.bz",     # basename selects the
+        "boot_args": "console=ttyS0 ...",          # Fig. 8 kernel config
+        "initrd_path": "initrd.cpio",
+        "kernel_format": "bzimage"                  # or "vmlinux"
+      },
+      "sev": {"mode": "sev-snp", "attest": true}    # our extension
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.common import MiB
+from repro.core.config import KernelFormat, VmConfig
+from repro.formats.kernels import DEFAULT_SCALE, KERNEL_CONFIGS
+from repro.sev.policy import GuestPolicy, SevMode
+
+
+class ConfigError(ValueError):
+    """Unusable VM configuration file."""
+
+
+def _kernel_from_path(path: str):
+    """Pick the Fig. 8 kernel config from the image file name."""
+    name = pathlib.PurePath(path).name.lower()
+    for key, config in KERNEL_CONFIGS.items():
+        if key in name:
+            return config
+    raise ConfigError(
+        f"cannot infer kernel config from {path!r}; name one of "
+        f"{sorted(KERNEL_CONFIGS)} in the file name"
+    )
+
+
+def parse_vm_config(data: dict, scale: float = DEFAULT_SCALE) -> VmConfig:
+    """Build a :class:`VmConfig` from a parsed Firecracker JSON document."""
+    if not isinstance(data, dict):
+        raise ConfigError("top-level JSON must be an object")
+    machine = data.get("machine-config", {})
+    boot = data.get("boot-source")
+    if not boot or "kernel_image_path" not in boot:
+        raise ConfigError("boot-source.kernel_image_path is required")
+    sev = data.get("sev", {})
+
+    vcpus = int(machine.get("vcpu_count", 1))
+    mem_mib = int(machine.get("mem_size_mib", 256))
+    kernel = _kernel_from_path(boot["kernel_image_path"])
+    try:
+        kernel_format = KernelFormat(boot.get("kernel_format", "bzimage"))
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+    try:
+        mode = SevMode(sev.get("mode", "sev-snp"))
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+    kwargs = {}
+    if "boot_args" in boot:
+        kwargs["cmdline"] = boot["boot_args"]
+    try:
+        return VmConfig(
+            kernel=kernel,
+            kernel_format=kernel_format,
+            memory_size=mem_mib * MiB,
+            vcpus=vcpus,
+            sev_policy=GuestPolicy(mode=mode),
+            scale=scale,
+            attest=bool(sev.get("attest", True)),
+            **kwargs,
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def load_vm_config(path: pathlib.Path | str, scale: float = DEFAULT_SCALE) -> VmConfig:
+    """Read and parse a Firecracker JSON configuration file."""
+    raw = pathlib.Path(path).read_text()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON: {exc}") from exc
+    return parse_vm_config(data, scale=scale)
+
+
+def dump_vm_config(config: VmConfig) -> dict:
+    """Serialize a :class:`VmConfig` back to the Firecracker JSON shape."""
+    return {
+        "machine-config": {
+            "vcpu_count": config.vcpus,
+            "mem_size_mib": config.memory_size // MiB,
+        },
+        "boot-source": {
+            "kernel_image_path": f"vmlinux-{config.kernel.name}.bin",
+            "boot_args": config.cmdline,
+            "initrd_path": "initrd.cpio",
+            "kernel_format": config.kernel_format.value,
+        },
+        "sev": {
+            "mode": config.sev_policy.mode.value,
+            "attest": config.attest,
+        },
+    }

@@ -1,0 +1,424 @@
+"""The Firecracker-based microVM monitor (§5, §6).
+
+Boot paths:
+
+- :meth:`FirecrackerVMM.boot_stock` — the unmodified non-SEV path:
+  direct boot of an uncompressed vmlinux (§2.1).  SEV support does not
+  touch this path, matching the paper's claim.
+- :meth:`FirecrackerVMM.boot_severifast` — the SEVeriFast path (§4):
+  minimal boot verifier in the root of trust, optimized pre-encryption of
+  the Fig. 7 structures, out-of-band hashes, and measured direct boot of
+  an LZ4 bzImage (or a vmlinux through the fw_cfg protocol of §5).
+- :meth:`FirecrackerVMM.boot_naive_preencrypt` — the §3.2 strawman:
+  pre-encrypt the kernel and initrd themselves (no verifier), showing why
+  direct boot is incompatible with SEV.
+
+All paths return a process whose value is a :class:`BootResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.common import Blob, MiB
+from repro.core.config import KernelFormat, VmConfig
+from repro.core.digest_tool import preencrypted_regions
+from repro.core.oob_hash import HashesFile, hash_boot_components
+from repro.formats.elf import ElfFile
+from repro.formats.kernels import KernelArtifacts
+from repro.guest.bootverifier import BootVerifier, VerifiedKernel, verifier_binary
+from repro.guest.context import GuestContext
+from repro.guest.linuxboot import LinuxGuest
+from repro.hw.platform import Machine
+from repro.sev.guestowner import GuestOwner
+from repro.vmm.fwcfg import FwCfgDevice
+from repro.vmm.timeline import BootPhase, BootResult, BootTimeline
+
+#: §6.3: the stock binary is ~4.2 MB; SEV support adds ~50 KB.
+BASE_BINARY_SIZE = 4_150_000
+SEV_SUPPORT_DELTA = 50_000
+#: §6.3: an SEV microVM adds ~16 KB of VMM-side memory over non-SEV.
+SEV_RUNTIME_OVERHEAD = 16 * 1024
+
+
+@dataclass
+class FirecrackerVMM:
+    """One Firecracker process per microVM, attached to a host machine."""
+
+    machine: Machine
+    sev_support: bool = True
+    #: §4.3 ablation: hash kernel/initrd in the VMM instead of out of band.
+    precomputed_hashes: bool = True
+
+    @property
+    def binary_size(self) -> int:
+        return BASE_BINARY_SIZE + (SEV_SUPPORT_DELTA if self.sev_support else 0)
+
+    # -- shared VMM-side steps ------------------------------------------------
+
+    def _new_context(self, config: VmConfig, sev: bool) -> GuestContext:
+        sev_ctx = self.machine.new_sev_context(config.sev_policy) if sev else None
+        memory = self.machine.new_guest_memory(config.memory_size, sev_ctx)
+        timeline = BootTimeline(self.machine.sim)
+        ctx = GuestContext(
+            machine=self.machine,
+            config=config,
+            memory=memory,
+            sev=sev_ctx,
+            timeline=timeline,
+        )
+        ctx.block_device = self._attach_block_device(ctx)
+        if config.kernel.has_network:
+            ctx.net_device = self._attach_net_device(ctx)
+        return ctx
+
+    @staticmethod
+    def _attach_net_device(ctx: GuestContext):
+        """Attach the virtio-net NIC (CONFIG_VIRTIO_NET kernels, §6.1)."""
+        from repro.hw.virtionet import VirtioNetDevice
+
+        return VirtioNetDevice(
+            memory=ctx.memory,
+            tx_queue_base=ctx.layout.net_tx_queue_addr,
+            rx_queue_base=ctx.layout.net_rx_queue_addr,
+        )
+
+    @staticmethod
+    def _attach_block_device(ctx: GuestContext):
+        """Attach the virtio-blk root device (root=/dev/vda, §6.1).
+
+        The disk carries a real (minimal) root filesystem the guest
+        mounts through virtio sector reads.
+        """
+        from repro.formats.sfs import build_image
+        from repro.hw.virtio import SECTOR_SIZE, VirtioBlockDevice
+
+        image = build_image(
+            {
+                "sbin/launcher": b"\x7fELF launcher stub " * 40,
+                "app/handler.py": b"def handler(event):\n    return {'ok': True}\n",
+                "etc/hostname": b"microvm\n",
+                "etc/resolv.conf": b"nameserver 10.0.0.1\n",
+            },
+            modes={"sbin/launcher": 0o100755},
+        )
+        disk = bytearray(1024 * SECTOR_SIZE)
+        disk[: len(image)] = image
+        return VirtioBlockDevice(
+            memory=ctx.memory,
+            queue_base=ctx.layout.virtio_queue_addr,
+            disk=disk,
+        )
+
+    def _stage_images(
+        self, ctx: GuestContext, kernel: Blob, initrd: Blob
+    ) -> Generator:
+        """Read images from the (warm) buffer cache and stage them."""
+        cost = ctx.cost
+        yield ctx.sim.timeout(
+            cost.sample(
+                cost.image_read_ms(kernel.nominal_size)
+                + cost.image_read_ms(initrd.nominal_size)
+            )
+        )
+        ctx.memory.host_write(ctx.layout.kernel_stage_addr, kernel.data)
+        ctx.memory.host_write(ctx.layout.initrd_stage_addr, initrd.data)
+
+    def _hashes_for(self, kernel: Blob, initrd: Blob) -> HashesFile:
+        return hash_boot_components(kernel, initrd)
+
+    def _result(
+        self, ctx: GuestContext, *, init_executed: bool, attested: bool,
+        secret: bytes | None
+    ) -> BootResult:
+        return BootResult(
+            timeline=ctx.timeline,
+            kernel_name=ctx.config.kernel.name,
+            sev=ctx.sev_enabled,
+            init_executed=init_executed,
+            attested=attested,
+            secret=secret,
+            launch_digest=ctx.sev.launch_digest if ctx.sev else None,
+            resident_bytes=ctx.memory.resident_bytes,
+            psp_occupancy_ms=ctx.sev.psp_occupancy_ms if ctx.sev else 0.0,
+            console_log=ctx.uart.lines,
+        )
+
+    # -- stock (non-SEV) direct boot ---------------------------------------------
+
+    def boot_stock(
+        self, config: VmConfig, artifacts: KernelArtifacts, initrd: Blob
+    ) -> Generator:
+        """Direct boot of an uncompressed vmlinux, no SEV (§2.1)."""
+        ctx = self._new_context(config, sev=False)
+        cost = ctx.cost
+
+        with ctx.timeline.phase(BootPhase.VMM):
+            yield ctx.sim.timeout(cost.sample(cost.firecracker_base_ms))
+            yield ctx.sim.timeout(cost.sample(cost.image_read_ms(artifacts.vmlinux.nominal_size)))
+            yield ctx.sim.timeout(cost.sample(cost.image_read_ms(initrd.nominal_size)))
+            elf = ElfFile.from_bytes(artifacts.vmlinux.data)
+            yield ctx.sim.timeout(cost.elf_parse_ms_per_segment * len(elf.segments))
+            # Load each ELF segment to where it runs, in one operation.
+            scale = artifacts.vmlinux.scale
+            for seg in elf.segments:
+                nominal = max(len(seg.data), int(len(seg.data) / max(scale, 1e-12)))
+                yield ctx.sim.timeout(cost.sample(cost.host_load_ms(nominal)))
+                ctx.memory.host_write(seg.paddr, seg.data)
+            ctx.memory.host_write(ctx.layout.initrd_load_addr, initrd.data)
+            self._write_boot_data(ctx, initrd_len=len(initrd.data))
+
+        verified = VerifiedKernel(
+            format=KernelFormat.VMLINUX,
+            kernel_addr=ctx.layout.kernel_load_addr,
+            kernel_len=len(artifacts.vmlinux.data),
+            kernel_nominal=artifacts.vmlinux.nominal_size,
+            initrd_addr=ctx.layout.initrd_load_addr,
+            initrd_len=len(initrd.data),
+            initrd_nominal=initrd.nominal_size,
+            entry=elf.entry,
+        )
+        guest = LinuxGuest(ctx)
+        with ctx.timeline.phase(BootPhase.LINUX_BOOT):
+            info = yield from guest.linux_boot(verified, elf.entry)
+        return self._result(
+            ctx, init_executed=info.init_present, attested=False, secret=None
+        )
+
+    def _write_boot_data(self, ctx: GuestContext, initrd_len: int) -> None:
+        """Build and load boot_params/cmdline/mptable (non-SEV path)."""
+        from repro.guest.bootdata import build_boot_params, build_mptable
+
+        layout = ctx.layout
+        ctx.memory.host_write(
+            layout.boot_params_addr,
+            build_boot_params(
+                cmdline_ptr=layout.cmdline_addr,
+                ramdisk_image=layout.initrd_load_addr,
+                ramdisk_size=initrd_len,
+                memory_size=ctx.config.memory_size,
+            ),
+        )
+        ctx.memory.host_write(layout.cmdline_addr, ctx.config.cmdline_bytes)
+        ctx.memory.host_write(
+            layout.mptable_addr, build_mptable(ctx.config.vcpus, layout.mptable_addr)
+        )
+
+    # -- SEV launch plumbing ---------------------------------------------------------
+
+    def _sev_launch(
+        self,
+        ctx: GuestContext,
+        regions: list[tuple[int, bytes, int]],
+    ) -> Generator:
+        """KVM/PSP work: RMP init, LAUNCH_START/UPDATE*/FINISH."""
+        cost = ctx.cost
+        assert ctx.sev is not None
+        # Load the initial plain text before KVM takes the pages away from
+        # the host (RMP assignment blocks host writes afterwards).
+        for gpa, data, _nominal in regions:
+            ctx.memory.host_write(gpa, data)
+        # KVM initializes RMP entries and pins guest pages (§6.2).
+        if ctx.memory.rmp is not None:
+            yield ctx.sim.timeout(cost.sample(cost.rmp_init_ms(ctx.config.memory_size)))
+            ctx.memory.rmp.assign_all()
+        yield ctx.sim.timeout(cost.sample(cost.page_pin_ms(ctx.config.memory_size)))
+
+        psp = self.machine.psp
+        yield from psp.launch_start(ctx.sev, ctx.config.sev_policy)
+        ctx.memory.engine = ctx.sev.engine
+        with ctx.timeline.phase(BootPhase.PRE_ENCRYPTION):
+            for gpa, data, nominal in regions:
+                yield from psp.launch_update_data(
+                    ctx.sev, ctx.memory, gpa, len(data), nominal_size=nominal
+                )
+        yield from psp.launch_finish(ctx.sev)
+
+    # -- the SEVeriFast path (§4) ---------------------------------------------------
+
+    def boot_severifast(
+        self,
+        config: VmConfig,
+        artifacts: KernelArtifacts,
+        initrd: Blob,
+        owner: Optional[GuestOwner] = None,
+        hashes: Optional[HashesFile] = None,
+        verifier: Optional[Blob] = None,
+    ) -> Generator:
+        """The full SEVeriFast cold boot, optionally through attestation.
+
+        ``verifier`` substitutes a different boot-shim binary (e.g. a
+        :mod:`repro.guest.shims` variant) into the root of trust; the
+        guest owner's expected digest must be computed for the same blob.
+        """
+        if not self.sev_support:
+            raise RuntimeError("this Firecracker build lacks SEV support")
+        ctx = self._new_context(config, sev=True)
+        cost = ctx.cost
+
+        if config.kernel_format is KernelFormat.BZIMAGE:
+            kernel_blob = artifacts.bzimage
+            fw_cfg = None
+        else:
+            kernel_blob = artifacts.vmlinux
+            fw_cfg = FwCfgDevice.from_vmlinux(
+                artifacts.vmlinux.data, artifacts.vmlinux.nominal_size
+            )
+
+        with ctx.timeline.phase(BootPhase.VMM):
+            yield ctx.sim.timeout(cost.sample(cost.firecracker_base_ms))
+            if fw_cfg is not None:
+                yield ctx.sim.timeout(
+                    cost.elf_parse_ms_per_segment * len(fw_cfg.segments)
+                )
+            yield from self._stage_images(ctx, kernel_blob, initrd)
+
+            if hashes is None:
+                if self.precomputed_hashes:
+                    hashes = self._oob_hashes(kernel_blob, initrd, fw_cfg)
+                else:
+                    # §4.3 ablation: hash on the critical path, in the VMM.
+                    yield ctx.sim.timeout(
+                        cost.hash_ms(kernel_blob.nominal_size)
+                        + cost.hash_ms(initrd.nominal_size)
+                    )
+                    hashes = self._oob_hashes(kernel_blob, initrd, fw_cfg)
+
+            regions = preencrypted_regions(
+                config, verifier if verifier is not None else verifier_binary(), hashes
+            )
+            yield from self._sev_launch(ctx, regions)
+
+        guest = LinuxGuest(ctx)
+        with ctx.timeline.phase(BootPhase.BOOT_VERIFICATION):
+            if verifier is not None and verifier.data[:4] == b"SVBC":
+                # The measured binary is an executable bytecode program:
+                # fetch it back out of encrypted memory and interpret it.
+                from repro.guest.svbl import BytecodeVerifier
+
+                verified = yield from BytecodeVerifier(ctx).run()
+            else:
+                verified = yield from BootVerifier(ctx, fw_cfg=fw_cfg).run()
+
+        if config.kernel_format is KernelFormat.BZIMAGE:
+            with ctx.timeline.phase(BootPhase.BOOTSTRAP_LOADER):
+                entry = yield from guest.bootstrap_loader(verified)
+        else:
+            entry = verified.entry
+
+        with ctx.timeline.phase(BootPhase.LINUX_BOOT):
+            info = yield from guest.linux_boot(verified, entry)
+
+        secret = None
+        attested = False
+        if owner is not None and config.attest and config.kernel.has_network:
+            with ctx.timeline.phase(BootPhase.ATTESTATION):
+                secret = yield from guest.attest(owner)
+            attested = True
+
+        return self._result(
+            ctx, init_executed=info.init_present, attested=attested, secret=secret
+        )
+
+    def _oob_hashes(
+        self, kernel: Blob, initrd: Blob, fw_cfg: Optional[FwCfgDevice]
+    ) -> HashesFile:
+        """Out-of-band hashes; for vmlinux the hash follows fw_cfg order."""
+        if fw_cfg is None:
+            return self._hashes_for(kernel, initrd)
+        protocol_blob = Blob(
+            fw_cfg.protocol_hash_input(), kernel.nominal_size, "vmlinux-protocol"
+        )
+        return self._hashes_for(protocol_blob, initrd)
+
+    # -- the §3.2 strawman: pre-encrypt the kernel itself --------------------------------
+
+    def boot_naive_preencrypt(
+        self,
+        config: VmConfig,
+        artifacts: KernelArtifacts,
+        initrd: Blob,
+    ) -> Generator:
+        """Direct boot adapted to SEV by pre-encrypting kernel + initrd.
+
+        No verifier, no measured direct boot — the whole kernel/initrd go
+        through LAUNCH_UPDATE_DATA.  Fig. 4/§3.2 show why this loses.
+        """
+        ctx = self._new_context(config, sev=True)
+        cost = ctx.cost
+        if config.kernel_format is KernelFormat.BZIMAGE:
+            kernel_blob = artifacts.bzimage
+        else:
+            kernel_blob = artifacts.vmlinux
+
+        with ctx.timeline.phase(BootPhase.VMM):
+            yield ctx.sim.timeout(cost.sample(cost.firecracker_base_ms))
+            yield ctx.sim.timeout(
+                cost.image_read_ms(kernel_blob.nominal_size)
+                + cost.image_read_ms(initrd.nominal_size)
+            )
+            hashes = self._oob_hashes(kernel_blob, initrd, None)
+            from repro.guest.bootdata import build_boot_params, build_mptable
+
+            layout = ctx.layout
+            boot_params = build_boot_params(
+                cmdline_ptr=layout.cmdline_addr,
+                ramdisk_image=layout.initrd_load_addr,
+                ramdisk_size=len(initrd.data),
+                memory_size=config.memory_size,
+            )
+            regions = [
+                (layout.kernel_copy_addr, kernel_blob.data, kernel_blob.nominal_size),
+                (layout.initrd_load_addr, initrd.data, initrd.nominal_size),
+                (layout.boot_params_addr, boot_params, len(boot_params)),
+                (layout.cmdline_addr, config.cmdline_bytes, len(config.cmdline_bytes)),
+                (
+                    layout.mptable_addr,
+                    build_mptable(config.vcpus, layout.mptable_addr),
+                    None,
+                ),
+            ]
+            regions = [
+                (gpa, data, nominal if nominal is not None else len(data))
+                for gpa, data, nominal in regions
+            ]
+            yield from self._sev_launch(ctx, regions)
+
+        guest = LinuxGuest(ctx)
+        verified = VerifiedKernel(
+            format=config.kernel_format,
+            kernel_addr=ctx.layout.kernel_copy_addr,
+            kernel_len=len(kernel_blob.data),
+            kernel_nominal=kernel_blob.nominal_size,
+            initrd_addr=ctx.layout.initrd_load_addr,
+            initrd_len=len(initrd.data),
+            initrd_nominal=initrd.nominal_size,
+            entry=ctx.layout.kernel_copy_addr,
+        )
+        if ctx.memory.rmp is not None:
+            with ctx.timeline.phase(BootPhase.BOOT_VERIFICATION):
+                # Even without a verifier the guest must pvalidate memory.
+                yield ctx.sim.timeout(
+                    cost.pvalidate_ms(config.memory_size, self.machine.huge_pages)
+                )
+                ctx.memory.rmp.pvalidate_all()
+
+        if config.kernel_format is KernelFormat.BZIMAGE:
+            with ctx.timeline.phase(BootPhase.BOOTSTRAP_LOADER):
+                entry = yield from guest.bootstrap_loader(verified)
+        else:
+            elf = ElfFile.from_bytes(
+                ctx.memory.guest_read(
+                    verified.kernel_addr, verified.kernel_len, c_bit=True
+                )
+            )
+            for seg in elf.segments:
+                ctx.memory.guest_write(seg.paddr, seg.data, c_bit=True)
+            entry = elf.entry
+
+        with ctx.timeline.phase(BootPhase.LINUX_BOOT):
+            info = yield from guest.linux_boot(verified, entry)
+        return self._result(
+            ctx, init_executed=info.init_present, attested=False, secret=None
+        )

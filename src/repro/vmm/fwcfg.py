@@ -1,0 +1,72 @@
+"""The fw_cfg-style kernel-transfer device (§5).
+
+Loading an uncompressed vmlinux through measured direct boot naively
+costs an extra full-kernel copy (stage → encrypted → ELF load addresses).
+The paper implements a QEMU-fw_cfg-like device instead: the *VMM* parses
+the ELF and exposes the header, the program-header table, and each
+loadable segment as separate items, so the verifier can copy every
+segment straight from shared pages to its (encrypted) run address —
+three hashes, but no second full copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.formats.elf import ElfFile
+
+
+@dataclass(frozen=True)
+class FwCfgSegment:
+    """One loadable segment exposed through the device."""
+
+    paddr: int
+    data: bytes
+    nominal_size: int
+
+
+@dataclass
+class FwCfgDevice:
+    """The items the VMM prepared for the verifier's vmlinux protocol."""
+
+    ehdr: bytes
+    phdrs: bytes
+    segments: list[FwCfgSegment] = field(default_factory=list)
+    entry: int = 0
+
+    @classmethod
+    def from_vmlinux(cls, raw: bytes, nominal_size: int) -> "FwCfgDevice":
+        """VMM-side ELF parse (the guest never sees the full file)."""
+        elf = ElfFile.from_bytes(raw)
+        scale = len(raw) / nominal_size if nominal_size else 1.0
+        segments = [
+            FwCfgSegment(
+                paddr=seg.paddr,
+                data=seg.data,
+                nominal_size=max(len(seg.data), int(len(seg.data) / scale))
+                if scale > 0
+                else len(seg.data),
+            )
+            for seg in elf.segments
+        ]
+        return cls(
+            ehdr=elf.header_bytes(),
+            phdrs=elf.phdr_bytes(),
+            segments=segments,
+            entry=elf.entry,
+        )
+
+    def transfer_order(self) -> list[tuple[str, bytes, int]]:
+        """(label, bytes, nominal) triples in protocol order — the order
+        the out-of-band kernel hash must follow."""
+        items: list[tuple[str, bytes, int]] = [
+            ("ehdr", self.ehdr, len(self.ehdr)),
+            ("phdrs", self.phdrs, len(self.phdrs)),
+        ]
+        for i, seg in enumerate(self.segments):
+            items.append((f"segment{i}", seg.data, seg.nominal_size))
+        return items
+
+    def protocol_hash_input(self) -> bytes:
+        """Concatenation of all transferred parts, for the OOB hash."""
+        return b"".join(data for _label, data, _nom in self.transfer_order())

@@ -1,0 +1,249 @@
+"""The QEMU/OVMF baseline (§2.5): the mainstream way to boot SEV guests.
+
+QEMU stages the kernel/initrd/cmdline, pre-encrypts the 1 MiB OVMF
+firmware volume plus the component hashes, and enters the guest at OVMF,
+which walks the full UEFI PI phase sequence before its embedded verifier
+finally checks and loads the kernel (measured direct boot [36]).
+
+The guest-side verification and Linux phases reuse exactly the modules
+SEVeriFast uses, so the measured difference is what the paper attributes
+it to: the firmware bootstrap and the size of the root of trust.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.common import Blob, KiB
+from repro.core.config import KernelFormat, VmConfig
+from repro.core.oob_hash import HashesFile, hash_boot_components
+from repro.formats.kernels import KernelArtifacts
+from repro.guest.bootdata import build_boot_params, build_mptable
+from repro.guest.context import GuestContext
+from repro.guest.linuxboot import LinuxGuest
+from repro.guest.ovmf import OvmfFirmware, OvmfPhaseBreakdown
+from repro.hw.platform import Machine
+from repro.sev.guestowner import GuestOwner
+from repro.vmm.timeline import BootPhase, BootResult, BootTimeline
+
+#: Where the firmware volume lands in guest memory (below the kernel).
+OVMF_VOLUME_ADDR = 0x0040_0000
+
+
+def ovmf_volume(nominal_size: int, actual_size: int = 16 * KiB) -> Blob:
+    """The OVMF firmware volume: deterministic bytes, 1 MiB nominal."""
+    out = bytearray(b"_FVH")  # EFI firmware volume signature
+    state = 0x0EF1
+    while len(out) < actual_size:
+        state = (state * 6364136223846793005 + 1) & (2**64 - 1)
+        out += state.to_bytes(8, "little")
+    return Blob(bytes(out[:actual_size]), nominal_size, "ovmf")
+
+
+@dataclass
+class QemuBootExtras:
+    """QEMU-specific observability attached to a BootResult."""
+
+    ovmf_breakdown: OvmfPhaseBreakdown
+
+
+def qemu_preencrypted_regions(
+    config: VmConfig, volume: Blob, hashes: HashesFile
+) -> list[tuple[int, bytes, int]]:
+    """QEMU/OVMF's root of trust: the firmware volume, the boot data, and
+    the component hashes — in launch order.  Shared by the boot path and
+    the guest owner's expected-digest computation."""
+    layout = config.layout
+    boot_params = build_boot_params(
+        cmdline_ptr=layout.cmdline_addr,
+        ramdisk_image=layout.initrd_load_addr,
+        ramdisk_size=hashes.initrd_len,
+        memory_size=config.memory_size,
+    )
+    return [
+        (OVMF_VOLUME_ADDR, volume.data, volume.nominal_size),
+        (layout.boot_params_addr, boot_params, len(boot_params)),
+        (layout.cmdline_addr, config.cmdline_bytes, len(config.cmdline_bytes)),
+        (
+            layout.mptable_addr,
+            build_mptable(config.vcpus, layout.mptable_addr),
+            304 + 20 * (config.vcpus - 1),
+        ),
+        (layout.hashes_addr, hashes.to_page(), len(hashes.to_page())),
+    ]
+
+
+def qemu_expected_digest(config: VmConfig, volume: Blob, hashes: HashesFile) -> bytes:
+    """The launch digest a guest owner expects from a QEMU/OVMF boot."""
+    from repro.sev.measurement import expected_digest
+
+    return expected_digest(
+        [(gpa, data, nominal) for gpa, data, nominal in qemu_preencrypted_regions(config, volume, hashes)]
+    )
+
+
+@dataclass
+class QemuVMM:
+    """A QEMU process booting one (SEV-)SNP guest through OVMF."""
+
+    machine: Machine
+
+    def _new_context(self, config: VmConfig, sev: bool) -> GuestContext:
+        from repro.vmm.firecracker import FirecrackerVMM
+
+        sev_ctx = self.machine.new_sev_context(config.sev_policy) if sev else None
+        memory = self.machine.new_guest_memory(config.memory_size, sev_ctx)
+        ctx = GuestContext(
+            machine=self.machine,
+            config=config,
+            memory=memory,
+            sev=sev_ctx,
+            timeline=BootTimeline(self.machine.sim),
+        )
+        ctx.block_device = FirecrackerVMM._attach_block_device(ctx)
+        if config.kernel.has_network:
+            ctx.net_device = FirecrackerVMM._attach_net_device(ctx)
+        return ctx
+
+    def boot_sev_ovmf(
+        self,
+        config: VmConfig,
+        artifacts: KernelArtifacts,
+        initrd: Blob,
+        owner: Optional[GuestOwner] = None,
+    ) -> Generator:
+        """SEV-SNP boot through OVMF; value: (BootResult, QemuBootExtras)."""
+        if config.kernel_format is not KernelFormat.BZIMAGE:
+            raise ValueError("QEMU/OVMF measured direct boot loads a bzImage")
+        ctx = self._new_context(config, sev=True)
+        cost = ctx.cost
+        kernel_blob = artifacts.bzimage
+        volume = ovmf_volume(cost.ovmf_volume_size)
+        hashes = hash_boot_components(kernel_blob, initrd)
+
+        with ctx.timeline.phase(BootPhase.VMM):
+            yield ctx.sim.timeout(cost.sample(cost.qemu_base_ms))
+            yield ctx.sim.timeout(
+                cost.image_read_ms(kernel_blob.nominal_size)
+                + cost.image_read_ms(initrd.nominal_size)
+                + cost.image_read_ms(volume.nominal_size)
+            )
+            # QEMU hashes the boot components at boot time (no out-of-band
+            # hashing in the mainstream stack, §4.3).
+            yield ctx.sim.timeout(
+                cost.hash_ms(kernel_blob.nominal_size)
+                + cost.hash_ms(initrd.nominal_size)
+            )
+            ctx.memory.host_write(ctx.layout.kernel_stage_addr, kernel_blob.data)
+            ctx.memory.host_write(ctx.layout.initrd_stage_addr, initrd.data)
+            regions = qemu_preencrypted_regions(config, volume, hashes)
+            yield from self._sev_launch(ctx, regions)
+
+        with ctx.timeline.phase(BootPhase.FIRMWARE):
+            firmware = OvmfFirmware(ctx)
+            verified = yield from firmware.run()
+
+        guest = LinuxGuest(ctx)
+        with ctx.timeline.phase(BootPhase.BOOTSTRAP_LOADER):
+            entry = yield from guest.bootstrap_loader(verified)
+        with ctx.timeline.phase(BootPhase.LINUX_BOOT):
+            info = yield from guest.linux_boot(verified, entry)
+
+        secret = None
+        attested = False
+        if owner is not None and config.attest and config.kernel.has_network:
+            with ctx.timeline.phase(BootPhase.ATTESTATION):
+                secret = yield from guest.attest(owner)
+            attested = True
+
+        result = BootResult(
+            timeline=ctx.timeline,
+            kernel_name=config.kernel.name,
+            sev=True,
+            init_executed=info.init_present,
+            attested=attested,
+            secret=secret,
+            launch_digest=ctx.sev.launch_digest if ctx.sev else None,
+            resident_bytes=ctx.memory.resident_bytes,
+            psp_occupancy_ms=ctx.sev.psp_occupancy_ms if ctx.sev else 0.0,
+            console_log=ctx.uart.lines,
+        )
+        return result, QemuBootExtras(ovmf_breakdown=firmware.breakdown)
+
+    def boot_nonsev_ovmf(
+        self, config: VmConfig, artifacts: KernelArtifacts, initrd: Blob
+    ) -> Generator:
+        """Non-SEV OVMF boot (the flat series of Fig. 12)."""
+        ctx = self._new_context(config, sev=False)
+        cost = ctx.cost
+        kernel_blob = artifacts.bzimage
+
+        with ctx.timeline.phase(BootPhase.VMM):
+            yield ctx.sim.timeout(cost.sample(cost.qemu_base_ms))
+            yield ctx.sim.timeout(
+                cost.image_read_ms(kernel_blob.nominal_size)
+                + cost.image_read_ms(initrd.nominal_size)
+            )
+            ctx.memory.host_write(ctx.layout.kernel_stage_addr, kernel_blob.data)
+            ctx.memory.host_write(ctx.layout.initrd_stage_addr, initrd.data)
+            self._write_plain_boot_data(ctx, initrd_len=len(initrd.data))
+            hashes = hash_boot_components(kernel_blob, initrd)
+            ctx.memory.host_write(ctx.layout.hashes_addr, hashes.to_page())
+
+        with ctx.timeline.phase(BootPhase.FIRMWARE):
+            firmware = OvmfFirmware(ctx)
+            verified = yield from firmware.run()
+
+        guest = LinuxGuest(ctx)
+        with ctx.timeline.phase(BootPhase.BOOTSTRAP_LOADER):
+            entry = yield from guest.bootstrap_loader(verified)
+        with ctx.timeline.phase(BootPhase.LINUX_BOOT):
+            info = yield from guest.linux_boot(verified, entry)
+        result = BootResult(
+            timeline=ctx.timeline,
+            kernel_name=config.kernel.name,
+            sev=False,
+            init_executed=info.init_present,
+            resident_bytes=ctx.memory.resident_bytes,
+            console_log=ctx.uart.lines,
+        )
+        return result, QemuBootExtras(ovmf_breakdown=firmware.breakdown)
+
+    def _write_plain_boot_data(self, ctx: GuestContext, initrd_len: int) -> None:
+        layout = ctx.layout
+        ctx.memory.host_write(
+            layout.boot_params_addr,
+            build_boot_params(
+                cmdline_ptr=layout.cmdline_addr,
+                ramdisk_image=layout.initrd_load_addr,
+                ramdisk_size=initrd_len,
+                memory_size=ctx.config.memory_size,
+            ),
+        )
+        ctx.memory.host_write(layout.cmdline_addr, ctx.config.cmdline_bytes)
+        ctx.memory.host_write(
+            layout.mptable_addr, build_mptable(ctx.config.vcpus, layout.mptable_addr)
+        )
+
+    def _sev_launch(
+        self, ctx: GuestContext, regions: list[tuple[int, bytes, int]]
+    ) -> Generator:
+        """Same KVM/PSP sequence as Firecracker (shared hardware path)."""
+        cost = ctx.cost
+        assert ctx.sev is not None
+        for gpa, data, _nominal in regions:
+            ctx.memory.host_write(gpa, data)
+        if ctx.memory.rmp is not None:
+            yield ctx.sim.timeout(cost.sample(cost.rmp_init_ms(ctx.config.memory_size)))
+            ctx.memory.rmp.assign_all()
+        yield ctx.sim.timeout(cost.sample(cost.page_pin_ms(ctx.config.memory_size)))
+        psp = self.machine.psp
+        yield from psp.launch_start(ctx.sev, ctx.config.sev_policy)
+        ctx.memory.engine = ctx.sev.engine
+        with ctx.timeline.phase(BootPhase.PRE_ENCRYPTION):
+            for gpa, data, nominal in regions:
+                yield from psp.launch_update_data(
+                    ctx.sev, ctx.memory, gpa, len(data), nominal_size=nominal
+                )
+        yield from psp.launch_finish(ctx.sev)

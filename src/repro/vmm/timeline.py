@@ -1,0 +1,126 @@
+"""Boot-phase accounting.
+
+The paper instruments boots with a debug-port device and breaks the
+overall time into four parts (§6.1): *Firecracker/QEMU* (time in the VMM
+before entering the guest), *Boot Verification*, *Bootstrap Loader*
+(bzImage decompression + load), and *Linux Boot* (kernel entry to init).
+Pre-encryption is reported separately (Fig. 10), and attestation is
+appended for end-to-end comparisons (Fig. 9).
+
+:class:`BootTimeline` records those intervals against the simulation
+clock; :class:`BootResult` is what every boot pipeline returns.
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sim import Simulator
+
+
+class BootPhase(enum.Enum):
+    """The phases the paper's figures break boot time into."""
+
+    VMM = "vmm"  #: Firecracker/QEMU time before entering the guest
+    PRE_ENCRYPTION = "pre_encryption"  #: LAUNCH_UPDATE_DATA total (within VMM)
+    FIRMWARE = "firmware"  #: OVMF PI phases (QEMU baseline only)
+    BOOT_VERIFICATION = "boot_verification"
+    BOOTSTRAP_LOADER = "bootstrap_loader"
+    LINUX_BOOT = "linux_boot"
+    ATTESTATION = "attestation"
+
+    @property
+    def on_boot_path(self) -> bool:
+        """Phases that count toward "boot time" (attestation is reported
+        separately; pre-encryption is a sub-interval of the VMM phase)."""
+        return self not in (BootPhase.ATTESTATION, BootPhase.PRE_ENCRYPTION)
+
+
+@dataclass
+class PhaseRecord:
+    phase: BootPhase
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class BootTimeline:
+    """Phase intervals for a single boot, in virtual milliseconds."""
+
+    sim: Simulator
+    origin: float = -1.0
+    records: list[PhaseRecord] = field(default_factory=list)
+    events: list[tuple[float, str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.origin < 0:
+            self.origin = self.sim.now
+
+    @contextmanager
+    def phase(self, phase: BootPhase) -> Iterator[None]:
+        """Record a phase spanning the wrapped (virtual) interval."""
+        start = self.sim.now
+        try:
+            yield
+        finally:
+            self.records.append(PhaseRecord(phase, start, self.sim.now))
+
+    def mark(self, label: str) -> None:
+        """A point event (debug-port write)."""
+        self.events.append((self.sim.now, label))
+
+    # -- aggregation ---------------------------------------------------------
+
+    def duration(self, phase: BootPhase) -> float:
+        return sum(r.duration for r in self.records if r.phase is phase)
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase -> total milliseconds, for the stacked-bar figures."""
+        out: dict[str, float] = {}
+        for record in self.records:
+            out[record.phase.value] = out.get(record.phase.value, 0.0) + record.duration
+        return out
+
+    @property
+    def boot_ms(self) -> float:
+        """VMM-exec to init, the paper's definition of boot time (§6.1)."""
+        return sum(r.duration for r in self.records if r.phase.on_boot_path)
+
+    @property
+    def total_ms(self) -> float:
+        """Boot plus attestation (the Fig. 9 end-to-end metric)."""
+        return self.boot_ms + self.duration(BootPhase.ATTESTATION)
+
+
+@dataclass
+class BootResult:
+    """Everything a boot pipeline produces."""
+
+    timeline: BootTimeline
+    kernel_name: str
+    sev: bool
+    init_executed: bool = False
+    attested: bool = False
+    secret: bytes | None = None
+    launch_digest: bytes | None = None
+    #: guest pages actually materialized at the end of boot (§6.3)
+    resident_bytes: int = 0
+    #: PSP busy time consumed by this launch (Fig. 12 analysis)
+    psp_occupancy_ms: float = 0.0
+    #: guest serial-console output (the boot log on ttyS0)
+    console_log: list[str] = field(default_factory=list)
+
+    @property
+    def boot_ms(self) -> float:
+        return self.timeline.boot_ms
+
+    @property
+    def total_ms(self) -> float:
+        return self.timeline.total_ms

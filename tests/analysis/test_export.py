@@ -1,0 +1,33 @@
+"""CSV export roundtrips."""
+
+import pytest
+
+from repro.analysis.export import read_csv, write_csv
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "series.csv"
+    write_csv(path, ["n", "ms"], [[1, 162.1], [50, 1530.6]])
+    headers, rows = read_csv(path)
+    assert headers == ["n", "ms"]
+    assert rows == [["1", "162.1"], ["50", "1530.6"]]
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = tmp_path / "nested" / "deeper" / "out.csv"
+    write_csv(path, ["a"], [[1]])
+    assert path.exists()
+
+
+def test_strings_with_commas_quoted(tmp_path):
+    path = tmp_path / "q.csv"
+    write_csv(path, ["label"], [["a, b"]])
+    headers, rows = read_csv(path)
+    assert rows == [["a, b"]]
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        read_csv(path)

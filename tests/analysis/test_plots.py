@@ -1,0 +1,46 @@
+"""ASCII chart rendering."""
+
+from repro.analysis.plots import ascii_cdf_chart, ascii_line_chart
+
+
+def test_line_chart_places_extremes():
+    chart = ascii_line_chart(
+        {"series": [(0, 0), (10, 100)]}, width=20, height=5, title="t"
+    )
+    lines = chart.splitlines()
+    assert lines[0] == "t"
+    assert "100" in lines[1]  # top label = y max
+    # Bottom-left and top-right corners carry the marker.
+    assert lines[1].rstrip().endswith("*")
+    assert lines[5].split("|")[1][0] == "*"
+
+
+def test_multiple_series_get_distinct_markers():
+    chart = ascii_line_chart(
+        {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}, width=10, height=4
+    )
+    assert "* a" in chart and "o b" in chart
+    body = chart.split("|", 1)[1]
+    assert "*" in body and "o" in body
+
+
+def test_empty_series_returns_title():
+    assert ascii_line_chart({}, title="nothing") == "nothing"
+
+
+def test_flat_series_does_not_divide_by_zero():
+    chart = ascii_line_chart({"flat": [(0, 5), (10, 5)]}, width=12, height=3)
+    assert "5" in chart
+
+
+def test_cdf_chart_monotone_axis():
+    chart = ascii_cdf_chart(
+        {"fast": [1, 2, 3, 4], "slow": [10, 20, 30, 40]},
+        width=30,
+        height=8,
+        title="boot CDF",
+    )
+    lines = chart.splitlines()
+    assert lines[0] == "boot CDF"
+    assert "CDF" in chart
+    assert "fast" in chart and "slow" in chart

@@ -1,0 +1,69 @@
+"""Statistics helpers."""
+
+import pytest
+
+from repro.analysis.render import ascii_bar_chart, format_table
+from repro.analysis.stats import cdf_points, linear_fit, percentile, summarize
+
+
+def test_summary():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.stddev == pytest.approx(1.118, rel=0.01)
+    assert (summary.minimum, summary.maximum, summary.count) == (1.0, 4.0, 4)
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_cdf_points():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+    assert cdf_points([]) == []
+
+
+def test_percentile():
+    data = list(range(1, 101))
+    assert percentile(data, 50) == 50
+    assert percentile(data, 99) == 99
+    assert percentile(data, 100) == 100
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_linear_fit_exact():
+    xs = [1.0, 2.0, 3.0, 4.0]
+    ys = [5.0, 7.0, 9.0, 11.0]
+    slope, intercept, r2 = linear_fit(xs, ys)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(3.0)
+    assert r2 == pytest.approx(1.0)
+
+
+def test_linear_fit_flat():
+    slope, intercept, r2 = linear_fit([1, 2, 3], [4.0, 4.0, 4.0])
+    assert slope == pytest.approx(0.0)
+    assert intercept == pytest.approx(4.0)
+
+
+def test_linear_fit_validation():
+    with pytest.raises(ValueError):
+        linear_fit([1], [2])
+    with pytest.raises(ValueError):
+        linear_fit([1, 1], [2, 3])
+
+
+def test_format_table():
+    text = format_table(["name", "ms"], [["aws", 24.73], ["lupine", 20.36]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "aws" in lines[2] and "24.73" in lines[2]
+
+
+def test_ascii_bar_chart():
+    chart = ascii_bar_chart([("severifast", 10.0), ("qemu", 100.0)])
+    lines = chart.splitlines()
+    assert lines[1].count("#") > lines[0].count("#")
+    assert "100.00" in lines[1]

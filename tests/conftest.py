@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Images are built once per session at the default (reduced) scale; the
+build cache in :mod:`repro.formats.kernels` makes repeated fixture use
+cheap.  Timing assertions always refer to nominal (paper-scale) sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS, LUPINE, UBUNTU, build_initrd, build_kernel
+from repro.hw.platform import Machine
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine()
+
+
+@pytest.fixture
+def sf() -> SEVeriFast:
+    return SEVeriFast()
+
+
+@pytest.fixture
+def aws_config() -> VmConfig:
+    return VmConfig(kernel=AWS)
+
+
+@pytest.fixture
+def lupine_config() -> VmConfig:
+    return VmConfig(kernel=LUPINE)
+
+
+@pytest.fixture
+def ubuntu_config() -> VmConfig:
+    return VmConfig(kernel=UBUNTU)
+
+
+@pytest.fixture(scope="session")
+def aws_artifacts():
+    return build_kernel(AWS)
+
+
+@pytest.fixture(scope="session")
+def initrd_blob():
+    return build_initrd()

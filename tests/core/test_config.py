@@ -1,0 +1,125 @@
+"""VM configuration and layout validation."""
+
+import pytest
+
+from repro.common import MiB, PAGE_SIZE
+from repro.core.config import GuestLayout, KernelFormat, VmConfig
+from repro.formats.kernels import AWS, LUPINE
+
+
+def test_defaults_match_paper_setup():
+    """§6.1: 1 vCPU, 256 MB, Firecracker's ~155-byte command line."""
+    config = VmConfig()
+    assert config.vcpus == 1
+    assert config.memory_size == 256 * MiB
+    assert 140 <= len(config.cmdline.encode()) <= 170
+    assert config.kernel_format is KernelFormat.BZIMAGE
+
+
+def test_cmdline_nul_terminated():
+    config = VmConfig()
+    assert config.cmdline_bytes.endswith(b"\x00")
+
+
+def test_cmdline_size_limit():
+    with pytest.raises(ValueError, match="command line"):
+        VmConfig(cmdline="x" * 5000)
+
+
+def test_vcpus_validated():
+    with pytest.raises(ValueError):
+        VmConfig(vcpus=0)
+
+
+def test_layout_regions_page_aligned():
+    layout = GuestLayout()
+    for addr in (
+        layout.boot_params_addr,
+        layout.cmdline_addr,
+        layout.hashes_addr,
+        layout.page_table_addr,
+        layout.mptable_addr,
+        layout.verifier_addr,
+        layout.kernel_stage_addr,
+        layout.initrd_stage_addr,
+        layout.kernel_copy_addr,
+        layout.initrd_load_addr,
+    ):
+        assert addr % PAGE_SIZE == 0, hex(addr)
+
+
+def test_layout_regions_fit_in_guest_memory():
+    layout = GuestLayout()
+    config = VmConfig()
+    highest = layout.initrd_load_addr + 16 * MiB
+    assert highest < config.memory_size
+
+
+def test_layout_no_overlap_between_stage_and_copy():
+    layout = GuestLayout()
+    # Decompressed kernel (<= 61 MiB at the load address) must not reach
+    # the encrypted bzImage copy region.
+    assert layout.kernel_load_addr + 61 * MiB <= layout.kernel_copy_addr
+    # Staged bzImage (<= 15 MiB) must not reach the initrd staging area.
+    assert layout.kernel_stage_addr + 16 * MiB <= layout.initrd_stage_addr
+
+
+def test_configs_are_frozen():
+    config = VmConfig()
+    with pytest.raises(AttributeError):
+        config.vcpus = 2  # type: ignore[misc]
+
+
+def test_kernel_choice_carried():
+    assert VmConfig(kernel=LUPINE).kernel.name == "lupine"
+    assert VmConfig(kernel=AWS).kernel.name == "aws"
+
+
+class TestLayoutValidation:
+    def test_default_layout_valid_for_all_kernels(self):
+        from repro.formats.kernels import KERNEL_CONFIGS
+
+        layout = GuestLayout()
+        for kernel in KERNEL_CONFIGS.values():
+            layout.validate(256 * MiB, kernel)
+
+    def test_unaligned_region_rejected(self):
+        layout = GuestLayout(cmdline_addr=0x2_0001)
+        with pytest.raises(ValueError, match="aligned"):
+            VmConfig(layout=layout)
+
+    def test_region_past_memory_rejected(self):
+        layout = GuestLayout(initrd_load_addr=0x0FF0_0000)  # 255 MiB + 16 MiB
+        with pytest.raises(ValueError, match="exceeds"):
+            VmConfig(layout=layout)
+
+    def test_overlapping_regions_rejected(self):
+        layout = GuestLayout(kernel_copy_addr=GuestLayout().kernel_load_addr)
+        with pytest.raises(ValueError, match="overlap"):
+            VmConfig(layout=layout)
+
+    def test_small_memory_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            VmConfig(memory_size=64 * MiB)
+
+
+class TestLayoutForKernel:
+    def test_packs_large_kernels(self):
+        from repro.formats.kernels import custom_kernel_config
+
+        kernel = custom_kernel_config(96)
+        layout = GuestLayout.for_kernel(kernel, memory_size=512 * MiB)
+        layout.validate(512 * MiB, kernel)
+
+    def test_rejects_kernel_too_big_for_memory(self):
+        from repro.formats.kernels import custom_kernel_config
+
+        kernel = custom_kernel_config(120)  # 2x120 MiB regions cannot fit
+        with pytest.raises(ValueError):
+            GuestLayout.for_kernel(kernel, memory_size=256 * MiB)
+
+    def test_default_kernels_still_fit_256mb(self):
+        from repro.formats.kernels import KERNEL_CONFIGS
+
+        for kernel in KERNEL_CONFIGS.values():
+            GuestLayout.for_kernel(kernel, memory_size=256 * MiB)

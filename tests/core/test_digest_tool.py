@@ -1,0 +1,97 @@
+"""The expected-measurement tool (§4.2)."""
+
+import pytest
+
+from repro.common import Blob
+from repro.core.config import VmConfig
+from repro.core.digest_tool import compute_expected_digest, preencrypted_regions
+from repro.core.oob_hash import hash_boot_components
+from repro.formats.kernels import AWS, LUPINE
+from repro.guest.bootverifier import verifier_binary
+
+
+@pytest.fixture
+def hashes():
+    return hash_boot_components(Blob(b"K" * 500, 7 << 20), Blob(b"I" * 500, 12 << 20))
+
+
+def test_regions_cover_fig7_components(hashes):
+    config = VmConfig(kernel=AWS)
+    regions = preencrypted_regions(config, verifier_binary(), hashes)
+    layout = config.layout
+    addresses = [gpa for gpa, _data, _nom in regions]
+    assert addresses == [
+        layout.verifier_addr,
+        layout.boot_params_addr,
+        layout.cmdline_addr,
+        layout.mptable_addr,
+        layout.hashes_addr,
+    ]
+
+
+def test_page_tables_not_in_root_of_trust(hashes):
+    """Fig. 7: page tables are generated in the verifier, not pre-encrypted."""
+    config = VmConfig(kernel=AWS)
+    regions = preencrypted_regions(config, verifier_binary(), hashes)
+    assert config.layout.page_table_addr not in [gpa for gpa, _d, _n in regions]
+
+
+def test_root_of_trust_is_small(hashes):
+    """§4.1/§4.2: the whole root of trust is ~22 KB."""
+    regions = preencrypted_regions(VmConfig(kernel=AWS), verifier_binary(), hashes)
+    total = sum(nominal for _gpa, _data, nominal in regions)
+    assert total < 24 * 1024
+
+
+def test_digest_deterministic(hashes):
+    config = VmConfig(kernel=AWS)
+    a = compute_expected_digest(config, verifier_binary(), hashes)
+    b = compute_expected_digest(config, verifier_binary(), hashes)
+    assert a == b and len(a) == 48
+
+
+def test_digest_sensitive_to_cmdline(hashes):
+    a = compute_expected_digest(VmConfig(kernel=AWS), verifier_binary(), hashes)
+    b = compute_expected_digest(
+        VmConfig(kernel=AWS, cmdline="console=ttyS0 evil=1"), verifier_binary(), hashes
+    )
+    assert a != b
+
+
+def test_digest_sensitive_to_vcpus(hashes):
+    a = compute_expected_digest(VmConfig(kernel=AWS), verifier_binary(), hashes)
+    b = compute_expected_digest(VmConfig(kernel=AWS, vcpus=2), verifier_binary(), hashes)
+    assert a != b
+
+
+def test_digest_sensitive_to_verifier(hashes):
+    config = VmConfig(kernel=AWS)
+    a = compute_expected_digest(config, verifier_binary(), hashes)
+    b = compute_expected_digest(config, verifier_binary(seed=1), hashes)
+    assert a != b
+
+
+def test_digest_sensitive_to_component_hashes(hashes):
+    config = VmConfig(kernel=AWS)
+    other = hash_boot_components(Blob(b"K2" * 250, 7 << 20), Blob(b"I" * 500, 12 << 20))
+    assert compute_expected_digest(config, verifier_binary(), hashes) != (
+        compute_expected_digest(config, verifier_binary(), other)
+    )
+
+
+def test_digest_insensitive_to_kernel_choice_given_same_hashes(hashes):
+    """The kernel enters the digest only through its hash (measured
+    direct boot) — Fig. 10's kernel-independent pre-encryption."""
+    a = compute_expected_digest(VmConfig(kernel=AWS), verifier_binary(), hashes)
+    b = compute_expected_digest(VmConfig(kernel=LUPINE), verifier_binary(), hashes)
+    assert a == b
+
+
+def test_matches_actual_launch(sf, aws_config):
+    """The tool's digest equals what the PSP actually measured."""
+    from repro.hw.platform import Machine
+
+    machine = Machine()
+    prepared = sf.prepare(aws_config, machine)
+    result = sf.cold_boot(aws_config, machine=machine, prepared=prepared)
+    assert result.launch_digest == prepared.expected_digest

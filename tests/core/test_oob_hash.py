@@ -1,0 +1,47 @@
+"""Out-of-band hashes file."""
+
+import pytest
+
+from repro.common import Blob, PAGE_SIZE
+from repro.core.oob_hash import HashesFile, HashesFileError, hash_boot_components
+from repro.crypto.sha2 import sha256
+
+
+def _hashes() -> HashesFile:
+    kernel = Blob(b"kernel-bytes" * 100, 7 * 1024 * 1024)
+    initrd = Blob(b"initrd-bytes" * 100, 12 * 1024 * 1024)
+    return hash_boot_components(kernel, initrd)
+
+
+def test_hashes_match_components():
+    hashes = _hashes()
+    assert hashes.kernel_hash == sha256(b"kernel-bytes" * 100)
+    assert hashes.initrd_hash == sha256(b"initrd-bytes" * 100)
+    assert hashes.kernel_len == 1200
+    assert hashes.kernel_nominal == 7 * 1024 * 1024
+
+
+def test_page_roundtrip():
+    hashes = _hashes()
+    page = hashes.to_page()
+    assert len(page) == PAGE_SIZE
+    assert HashesFile.from_page(page) == hashes
+
+
+def test_bad_magic_rejected():
+    page = bytearray(_hashes().to_page())
+    page[0] = 0
+    with pytest.raises(HashesFileError, match="magic"):
+        HashesFile.from_page(bytes(page))
+
+
+def test_short_page_rejected():
+    with pytest.raises(HashesFileError):
+        HashesFile.from_page(b"SVFH")
+
+
+def test_distinct_components_distinct_hashes():
+    a = hash_boot_components(Blob(b"A" * 100), Blob(b"I" * 100))
+    b = hash_boot_components(Blob(b"B" * 100), Blob(b"I" * 100))
+    assert a.kernel_hash != b.kernel_hash
+    assert a.initrd_hash == b.initrd_hash

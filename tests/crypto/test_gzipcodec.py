@@ -1,0 +1,44 @@
+"""DEFLATE comparator codec."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.gzipcodec import GzipError, gzip_compress, gzip_decompress
+
+
+def test_roundtrip():
+    data = b"kernel code " * 1000
+    assert gzip_decompress(gzip_compress(data)) == data
+
+
+def test_denser_than_input_on_text():
+    data = b"the quick brown fox " * 500
+    assert len(gzip_compress(data)) < len(data) // 5
+
+
+def test_max_output_enforced():
+    data = b"a" * 10_000
+    with pytest.raises(GzipError):
+        gzip_decompress(gzip_compress(data), max_output=100)
+
+
+def test_garbage_rejected():
+    with pytest.raises(GzipError):
+        gzip_decompress(b"\x00\x01\x02\x03")
+
+
+def test_level_affects_size():
+    data = os.urandom(64) * 200
+    fast = gzip_compress(data, level=1)
+    best = gzip_compress(data, level=9)
+    assert len(best) <= len(fast)
+    assert gzip_decompress(best) == data
+
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(data):
+    assert gzip_decompress(gzip_compress(data)) == data

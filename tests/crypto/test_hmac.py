@@ -1,0 +1,71 @@
+"""HMAC/HKDF against RFC vectors and the stdlib oracle."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmacmod import derive_key, hkdf_expand, hkdf_extract, hmac_sha256
+
+
+def test_rfc4231_case_1():
+    key = b"\x0b" * 20
+    assert hmac_sha256(key, b"Hi There").hex() == (
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    )
+
+
+def test_rfc4231_case_2():
+    assert hmac_sha256(b"Jefe", b"what do ya want for nothing?").hex() == (
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )
+
+
+def test_rfc4231_long_key():
+    # Keys longer than the block size are hashed first.
+    key = b"\xaa" * 131
+    message = b"Test Using Larger Than Block-Size Key - Hash Key First"
+    assert hmac_sha256(key, message).hex() == (
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    )
+
+
+def test_rfc5869_case_1():
+    ikm = b"\x0b" * 22
+    salt = bytes(range(13))
+    info = bytes(range(0xF0, 0xFA))
+    prk = hkdf_extract(salt, ikm)
+    assert prk.hex() == (
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_hkdf_empty_salt_defaults_to_zeros():
+    assert hkdf_extract(b"", b"ikm") == hkdf_extract(b"\x00" * 32, b"ikm")
+
+
+def test_hkdf_expand_length_limit():
+    prk = hkdf_extract(b"salt", b"ikm")
+    with pytest.raises(ValueError):
+        hkdf_expand(prk, b"", 255 * 32 + 1)
+
+
+def test_derive_key_distinct_labels():
+    master = b"m" * 32
+    assert derive_key(master, "guest-1") != derive_key(master, "guest-2")
+    assert len(derive_key(master, "guest-1")) == 16
+    assert derive_key(master, "guest-1", 32) != derive_key(master, "guest-1", 16) + b""
+
+
+@given(st.binary(max_size=200), st.binary(max_size=500))
+@settings(max_examples=60, deadline=None)
+def test_matches_stdlib_hmac(key, message):
+    expected = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+    assert hmac_sha256(key, message) == expected

@@ -1,0 +1,128 @@
+"""LZ4 block codec: roundtrips, format details, malicious inputs."""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.lz4 import LZ4Error, lz4_compress, lz4_decompress
+
+
+def test_empty_roundtrip():
+    assert lz4_decompress(lz4_compress(b"")) == b""
+
+
+@pytest.mark.parametrize(
+    "data",
+    [
+        b"a",
+        b"hello",
+        b"hello world " * 100,
+        b"\x00" * 10_000,
+        bytes(range(256)) * 40,
+        b"abcabcabcabc" + os.urandom(64) + b"abcabcabcabc",
+    ],
+)
+def test_roundtrip_known_shapes(data):
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+def test_repetitive_data_compresses_well():
+    data = b"0123456789abcdef" * 4096
+    compressed = lz4_compress(data)
+    assert len(compressed) < len(data) // 20
+
+
+def test_random_data_roundtrips_with_small_expansion():
+    data = os.urandom(8192)
+    compressed = lz4_compress(data)
+    assert lz4_decompress(compressed) == data
+    assert len(compressed) < len(data) * 1.05
+
+
+def test_overlapping_match_rle_semantics():
+    """offset < match length copies byte-at-a-time (RLE)."""
+    data = b"x" * 1000
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+def test_long_literal_runs_use_extension_bytes():
+    data = os.urandom(300)  # incompressible, forces a >15 literal length
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+def test_max_output_enforced():
+    data = b"a" * 10_000
+    compressed = lz4_compress(data)
+    with pytest.raises(LZ4Error):
+        lz4_decompress(compressed, max_output=100)
+    assert lz4_decompress(compressed, max_output=10_000) == data
+
+
+def test_empty_block_rejected():
+    with pytest.raises(LZ4Error):
+        lz4_decompress(b"")
+
+
+def test_invalid_offset_rejected():
+    # token: 0 literals + match; offset 0 is invalid.
+    with pytest.raises(LZ4Error):
+        lz4_decompress(bytes([0x0F, 0x00, 0x00]))
+
+
+def test_offset_beyond_output_rejected():
+    # 1 literal, then a match with offset 200 into 1 byte of history.
+    block = bytes([0x1F]) + b"A" + bytes([200, 0])
+    with pytest.raises(LZ4Error):
+        lz4_decompress(block)
+
+
+def test_truncated_block_rejected():
+    data = b"hello world " * 50
+    compressed = lz4_compress(data)
+    with pytest.raises(LZ4Error):
+        lz4_decompress(compressed[: len(compressed) // 2] or b"\x10")
+
+
+def test_deterministic_compression():
+    data = os.urandom(4096)
+    assert lz4_compress(data) == lz4_compress(data)
+
+
+def test_mixed_content_roundtrip():
+    rng = random.Random(42)
+    parts = []
+    for _ in range(50):
+        if rng.random() < 0.5:
+            parts.append(bytes([rng.randrange(256)]) * rng.randrange(1, 500))
+        else:
+            parts.append(rng.randbytes(rng.randrange(1, 500)))
+    data = b"".join(parts)
+    assert lz4_decompress(lz4_compress(data), max_output=len(data)) == data
+
+
+@given(st.binary(max_size=4096))
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_property(data):
+    assert lz4_decompress(lz4_compress(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=50), st.integers(min_value=1, max_value=200))
+@settings(max_examples=40, deadline=None)
+def test_repeated_pattern_roundtrip_property(pattern, repeats):
+    data = pattern * repeats
+    compressed = lz4_compress(data)
+    assert lz4_decompress(compressed, max_output=len(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=300))
+@settings(max_examples=40, deadline=None)
+def test_decompressor_never_crashes_on_garbage(garbage):
+    """Malicious blocks either decode to something or raise LZ4Error —
+    never crash or hang (the verifier feeds untrusted payloads here)."""
+    try:
+        lz4_decompress(garbage, max_output=1 << 16)
+    except LZ4Error:
+        pass

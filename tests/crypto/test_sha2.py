@@ -1,0 +1,83 @@
+"""SHA-2 against FIPS vectors and the stdlib oracle."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha2 import sha256, sha384, sha512
+
+# FIPS 180-4 example vectors.
+_VECTORS_256 = {
+    b"": "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+    b"abc": "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+    b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq": (
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    ),
+}
+
+_VECTORS_384 = {
+    b"abc": (
+        "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed"
+        "8086072ba1e7cc2358baeca134c825a7"
+    ),
+}
+
+_VECTORS_512 = {
+    b"abc": (
+        "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+        "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+    ),
+}
+
+
+@pytest.mark.parametrize("message,expected", sorted(_VECTORS_256.items()))
+def test_sha256_fips_vectors(message, expected):
+    assert sha256(message).hex() == expected
+
+
+@pytest.mark.parametrize("message,expected", sorted(_VECTORS_384.items()))
+def test_sha384_fips_vectors(message, expected):
+    assert sha384(message).hex() == expected
+
+
+@pytest.mark.parametrize("message,expected", sorted(_VECTORS_512.items()))
+def test_sha512_fips_vectors(message, expected):
+    assert sha512(message).hex() == expected
+
+
+def test_million_a_sha256():
+    # The classic long-message vector.
+    assert (
+        sha256(b"a" * 1_000_000, accelerated=False).hex()
+        == "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    )
+
+
+@pytest.mark.parametrize("length", [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 129, 1000])
+def test_padding_boundaries_match_stdlib(length):
+    data = bytes(range(256)) * (length // 256 + 1)
+    data = data[:length]
+    assert sha256(data) == hashlib.sha256(data).digest()
+    assert sha384(data) == hashlib.sha384(data).digest()
+    assert sha512(data) == hashlib.sha512(data).digest()
+
+
+@given(st.binary(max_size=2048))
+@settings(max_examples=60, deadline=None)
+def test_sha256_matches_stdlib(data):
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@given(st.binary(max_size=2048))
+@settings(max_examples=40, deadline=None)
+def test_sha384_matches_stdlib(data):
+    assert sha384(data) == hashlib.sha384(data).digest()
+
+
+@given(st.binary(max_size=1024))
+@settings(max_examples=30, deadline=None)
+def test_accelerated_path_identical(data):
+    assert sha256(data, accelerated=True) == sha256(data, accelerated=False)
+    assert sha512(data, accelerated=True) == sha512(data, accelerated=False)

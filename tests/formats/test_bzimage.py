@@ -1,0 +1,113 @@
+"""bzImage container: boot-protocol header, payload, decompression."""
+
+import os
+
+import pytest
+
+from repro.formats.bzimage import (
+    BOOT_FLAG,
+    BzImage,
+    BzImageError,
+    CompressionAlgo,
+)
+
+_VMLINUX = b"\x7fELF" + os.urandom(500) + b"code" * 1000
+
+
+@pytest.mark.parametrize("algo", list(CompressionAlgo))
+def test_build_parse_decompress(algo):
+    image = BzImage.build(_VMLINUX, algo=algo)
+    parsed = BzImage.from_bytes(image.raw)
+    assert parsed.algo is algo
+    assert parsed.init_size == len(_VMLINUX)
+    assert parsed.decompress_payload() == _VMLINUX
+
+
+def test_boot_sector_magic_present():
+    image = BzImage.build(_VMLINUX)
+    assert image.raw[0x1FE] | (image.raw[0x1FF] << 8) == BOOT_FLAG
+    assert image.raw[0x202:0x206] == b"HdrS"
+
+
+def test_lz4_smaller_than_raw():
+    compressible = b"kernel code pattern " * 5000
+    lz4 = BzImage.build(compressible, algo=CompressionAlgo.LZ4)
+    raw = BzImage.build(compressible, algo=CompressionAlgo.NONE)
+    assert lz4.size < raw.size
+
+
+def test_gzip_denser_than_lz4_on_code_like_bytes():
+    # Small-alphabet content: LZ4 finds few long matches while DEFLATE's
+    # entropy coder crushes it — the density edge gzip has in Fig. 5.
+    import random
+
+    rng = random.Random(7)
+    compressible = bytes(rng.choices(b"\x0f\x48\x89\xe5\xc3\x90\x55\x5d", k=60_000))
+    lz4 = BzImage.build(compressible, algo=CompressionAlgo.LZ4)
+    gz = BzImage.build(compressible, algo=CompressionAlgo.GZIP)
+    assert gz.size < lz4.size
+
+
+def test_bad_boot_flag_rejected():
+    raw = bytearray(BzImage.build(_VMLINUX).raw)
+    raw[0x1FE] = 0
+    with pytest.raises(BzImageError, match="boot flag"):
+        BzImage.from_bytes(bytes(raw))
+
+
+def test_missing_hdrs_rejected():
+    raw = bytearray(BzImage.build(_VMLINUX).raw)
+    raw[0x202:0x206] = b"XXXX"
+    with pytest.raises(BzImageError, match="HdrS"):
+        BzImage.from_bytes(bytes(raw))
+
+
+def test_truncated_payload_rejected():
+    raw = BzImage.build(_VMLINUX).raw
+    with pytest.raises(BzImageError):
+        BzImage.from_bytes(raw[: len(raw) - 100])
+
+
+def test_too_short_rejected():
+    with pytest.raises(BzImageError):
+        BzImage.from_bytes(b"\x00" * 100)
+
+
+def test_corrupt_payload_never_passes_silently():
+    """A flipped payload byte either fails to decode or yields different
+    bytes — it can never reproduce the original vmlinux.  (Catching the
+    'different bytes' case is the hash check's job, §2.5.)"""
+    image = BzImage.build(_VMLINUX, algo=CompressionAlgo.LZ4)
+    raw = bytearray(image.raw)
+    raw[-50] ^= 0xFF  # flip a byte inside the compressed payload
+    parsed = BzImage.from_bytes(bytes(raw))
+    try:
+        recovered = parsed.decompress_payload()
+    except (BzImageError, ValueError):
+        return
+    assert recovered != _VMLINUX
+
+
+def test_compression_magic_detection():
+    for algo in CompressionAlgo:
+        assert CompressionAlgo.detect(algo.magic + b"rest") is algo
+    with pytest.raises(BzImageError):
+        CompressionAlgo.detect(b"\xde\xad\xbe\xef")
+
+
+def test_setup_sects_respected():
+    image = BzImage.build(_VMLINUX, setup_sects=8)
+    parsed = BzImage.from_bytes(image.raw)
+    assert parsed.setup_sects == 8
+    assert parsed.decompress_payload() == _VMLINUX
+
+
+def test_custom_stub_size():
+    small = BzImage.build(_VMLINUX, stub_size=1024)
+    large = BzImage.build(_VMLINUX, stub_size=64 * 1024)
+    assert large.size - small.size == 63 * 1024
+
+
+def test_cmdline_capacity_recorded():
+    image = BzImage.build(_VMLINUX, cmdline_size=2048)
+    assert BzImage.from_bytes(image.raw).cmdline_size == 2048

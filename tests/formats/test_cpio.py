@@ -1,0 +1,104 @@
+"""CPIO newc archives: roundtrips, format framing, error handling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.cpio import CpioArchive, CpioEntry, CpioError
+
+
+def test_roundtrip_simple():
+    archive = CpioArchive()
+    archive.add("init", b"#!/bin/sh\n", mode=0o100755)
+    archive.add("etc/config", b"key=value\n")
+    parsed = CpioArchive.from_bytes(archive.to_bytes())
+    assert parsed.names == ["init", "etc/config"]
+    assert parsed.find("init").data == b"#!/bin/sh\n"
+    assert parsed.find("etc/config").data == b"key=value\n"
+
+
+def test_directories_roundtrip():
+    archive = CpioArchive()
+    archive.add_directory("bin")
+    archive.add("bin/sh", b"ELF...")
+    parsed = CpioArchive.from_bytes(archive.to_bytes())
+    assert parsed.find("bin").is_dir
+    assert not parsed.find("bin/sh").is_dir
+
+
+def test_empty_archive():
+    parsed = CpioArchive.from_bytes(CpioArchive().to_bytes())
+    assert parsed.entries == []
+
+
+def test_modes_and_metadata_preserved():
+    archive = CpioArchive()
+    archive.entries.append(
+        CpioEntry(name="file", data=b"d", mode=0o100640, uid=1000, gid=100, mtime=12345)
+    )
+    entry = CpioArchive.from_bytes(archive.to_bytes()).find("file")
+    assert entry.mode == 0o100640
+    assert (entry.uid, entry.gid, entry.mtime) == (1000, 100, 12345)
+
+
+def test_512_byte_padding():
+    archive = CpioArchive()
+    archive.add("f", b"x")
+    assert len(archive.to_bytes()) % 512 == 0
+
+
+def test_binary_data_with_nulls():
+    data = bytes(range(256)) * 10
+    archive = CpioArchive()
+    archive.add("blob", data)
+    assert CpioArchive.from_bytes(archive.to_bytes()).find("blob").data == data
+
+
+def test_bad_magic_rejected():
+    raw = bytearray(CpioArchive().to_bytes())
+    raw[0] = ord("9")
+    with pytest.raises(CpioError, match="magic"):
+        CpioArchive.from_bytes(bytes(raw))
+
+
+def test_missing_trailer_rejected():
+    archive = CpioArchive()
+    archive.add("f", b"data")
+    raw = archive.to_bytes()
+    with pytest.raises(CpioError):
+        CpioArchive.from_bytes(raw[:110])
+
+
+def test_bad_hex_field_rejected():
+    raw = bytearray(CpioArchive().to_bytes())
+    raw[6:14] = b"ZZZZZZZZ"
+    with pytest.raises(CpioError, match="hex"):
+        CpioArchive.from_bytes(bytes(raw))
+
+
+def test_total_data_size():
+    archive = CpioArchive()
+    archive.add("a", b"x" * 10)
+    archive.add("b", b"y" * 20)
+    assert archive.total_data_size == 30
+
+
+def test_find_missing_returns_none():
+    assert CpioArchive().find("nope") is None
+
+
+_NAMES = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters="/"),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(st.dictionaries(_NAMES, st.binary(max_size=2000), min_size=0, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(files):
+    archive = CpioArchive()
+    for name, data in files.items():
+        archive.add(name, data)
+    parsed = CpioArchive.from_bytes(archive.to_bytes())
+    assert {e.name: e.data for e in parsed.entries} == files

@@ -1,0 +1,128 @@
+"""ELF64 writer/parser roundtrips and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.elf import (
+    ElfError,
+    ElfFile,
+    ElfSegment,
+    PF_R,
+    PF_W,
+    PF_X,
+)
+
+
+def _sample() -> ElfFile:
+    return ElfFile(
+        entry=0x100_0000,
+        segments=[
+            ElfSegment(paddr=0x100_0000, data=b"\x90" * 100, flags=PF_R | PF_X),
+            ElfSegment(paddr=0x100_1000, data=b"D" * 50, flags=PF_R | PF_W, memsz=80),
+        ],
+    )
+
+
+def test_roundtrip():
+    original = _sample()
+    parsed = ElfFile.from_bytes(original.to_bytes())
+    assert parsed.entry == original.entry
+    assert len(parsed.segments) == 2
+    for got, want in zip(parsed.segments, original.segments):
+        assert got.paddr == want.paddr
+        assert got.data == want.data
+        assert got.flags == want.flags
+        assert got.memsz == want.memsz
+
+
+def test_bss_memsz_preserved():
+    parsed = ElfFile.from_bytes(_sample().to_bytes())
+    assert parsed.segments[1].memsz == 80
+    assert parsed.segments[1].filesz == 50
+
+
+def test_load_size_counts_memsz():
+    assert _sample().load_size == 100 + 80
+
+
+def test_header_and_phdr_slices():
+    elf = _sample()
+    raw = elf.to_bytes()
+    assert elf.header_bytes() == raw[:64]
+    assert elf.phdr_bytes() == raw[64 : 64 + 2 * 56]
+    assert len(elf.phdr_bytes()) == 112
+
+
+def test_bad_magic_rejected():
+    raw = bytearray(_sample().to_bytes())
+    raw[0] = 0x00
+    with pytest.raises(ElfError, match="magic"):
+        ElfFile.from_bytes(bytes(raw))
+
+
+def test_truncated_file_rejected():
+    with pytest.raises(ElfError):
+        ElfFile.from_bytes(b"\x7fELF")
+
+
+def test_32bit_class_rejected():
+    raw = bytearray(_sample().to_bytes())
+    raw[4] = 1  # ELFCLASS32
+    with pytest.raises(ElfError, match="64-bit"):
+        ElfFile.from_bytes(bytes(raw))
+
+
+def test_big_endian_rejected():
+    raw = bytearray(_sample().to_bytes())
+    raw[5] = 2
+    with pytest.raises(ElfError, match="little-endian"):
+        ElfFile.from_bytes(bytes(raw))
+
+
+def test_wrong_machine_rejected():
+    raw = bytearray(_sample().to_bytes())
+    raw[18] = 0x28  # EM_ARM
+    with pytest.raises(ElfError, match="x86-64"):
+        ElfFile.from_bytes(bytes(raw))
+
+
+def test_segment_past_eof_rejected():
+    raw = bytearray(_sample().to_bytes())
+    # Corrupt first phdr's p_filesz (offset 64 + 32) to a huge value.
+    raw[64 + 32 : 64 + 40] = (1 << 32).to_bytes(8, "little")
+    with pytest.raises(ElfError, match="past end"):
+        ElfFile.from_bytes(bytes(raw))
+
+
+def test_memsz_smaller_than_filesz_rejected():
+    with pytest.raises(ElfError):
+        ElfSegment(paddr=0, data=b"x" * 10, memsz=5)
+
+
+def test_empty_segment_list():
+    elf = ElfFile(entry=0x1000, segments=[])
+    parsed = ElfFile.from_bytes(elf.to_bytes())
+    assert parsed.segments == []
+    assert parsed.entry == 0x1000
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**40),
+            st.binary(min_size=0, max_size=500),
+        ),
+        max_size=5,
+    ),
+    st.integers(min_value=0, max_value=2**48),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(segment_specs, entry):
+    elf = ElfFile(
+        entry=entry,
+        segments=[ElfSegment(paddr=paddr, data=data) for paddr, data in segment_specs],
+    )
+    parsed = ElfFile.from_bytes(elf.to_bytes())
+    assert parsed.entry == entry
+    assert [(s.paddr, s.data) for s in parsed.segments] == segment_specs

@@ -1,0 +1,150 @@
+"""Synthetic kernels: Fig. 8 sizes, compression calibration, caching."""
+
+import pytest
+
+from repro.common import MiB
+from repro.crypto.lz4 import lz4_compress
+from repro.formats.bzimage import BzImage, CompressionAlgo
+from repro.formats.cpio import CpioArchive
+from repro.formats.kernels import (
+    AWS,
+    INITRD_SIZE,
+    KERNEL_CONFIGS,
+    LUPINE,
+    UBUNTU,
+    build_initrd,
+    build_kernel,
+    synthetic_bytes,
+)
+
+SCALE = 1.0 / 256.0
+
+
+def test_fig8_nominal_sizes():
+    """The paper's Fig. 8 size table is encoded exactly."""
+    assert LUPINE.vmlinux_size == 23 * MiB and LUPINE.bzimage_size == int(3.3 * MiB)
+    assert AWS.vmlinux_size == 43 * MiB and AWS.bzimage_size == int(7.1 * MiB)
+    assert UBUNTU.vmlinux_size == 61 * MiB and UBUNTU.bzimage_size == 15 * MiB
+
+
+def test_config_registry():
+    assert set(KERNEL_CONFIGS) == {"lupine", "aws", "ubuntu"}
+    assert KERNEL_CONFIGS["aws"] is AWS
+
+
+@pytest.mark.parametrize("config", [LUPINE, AWS, UBUNTU], ids=lambda c: c.name)
+def test_compression_ratio_matches_paper(config):
+    """Actual LZ4 ratio of the built image lands near the Fig. 8 ratio."""
+    artifacts = build_kernel(config, SCALE)
+    actual = len(artifacts.vmlinux.data) / len(artifacts.bzimage.data)
+    target = config.vmlinux_size / config.bzimage_size
+    assert actual == pytest.approx(target, rel=0.15)
+
+
+@pytest.mark.parametrize("config", [LUPINE, AWS, UBUNTU], ids=lambda c: c.name)
+def test_bzimage_decompresses_to_vmlinux(config):
+    artifacts = build_kernel(config, SCALE)
+    image = BzImage.from_bytes(artifacts.bzimage.data)
+    assert image.decompress_payload() == artifacts.vmlinux.data
+
+
+def test_nominal_sizes_charged():
+    artifacts = build_kernel(AWS, SCALE)
+    assert artifacts.vmlinux.nominal_size == AWS.vmlinux_size
+    assert artifacts.bzimage.nominal_size == AWS.bzimage_size
+    assert len(artifacts.vmlinux.data) < AWS.vmlinux_size
+
+
+def test_vmlinux_is_valid_elf_with_bss():
+    elf = build_kernel(AWS, SCALE).elf
+    assert len(elf.segments) == 3
+    assert elf.segments[-1].memsz > elf.segments[-1].filesz  # .bss tail
+    assert elf.entry == 0x100_0000
+
+
+def test_build_cache_returns_same_object():
+    assert build_kernel(AWS, SCALE) is build_kernel(AWS, SCALE)
+
+
+def test_deterministic_across_cache_clear():
+    from repro.formats import kernels
+
+    first = build_kernel(LUPINE, SCALE).vmlinux.data
+    kernels.clear_caches()
+    assert build_kernel(LUPINE, SCALE).vmlinux.data == first
+
+
+def test_gzip_variant_built_on_demand():
+    lz4 = build_kernel(AWS, SCALE, CompressionAlgo.LZ4)
+    gz = build_kernel(AWS, SCALE, CompressionAlgo.GZIP)
+    assert lz4.vmlinux.data == gz.vmlinux.data
+    assert lz4.bzimage.data != gz.bzimage.data
+
+
+def test_uncompressed_variant():
+    raw = build_kernel(AWS, SCALE, CompressionAlgo.NONE)
+    assert len(raw.bzimage.data) > len(raw.vmlinux.data)  # stub + headers
+
+
+def test_initrd_is_valid_cpio_with_attestation_payload():
+    blob = build_initrd(SCALE)
+    archive = CpioArchive.from_bytes(blob.data)
+    names = set(archive.names)
+    assert "init" in names
+    assert "lib/modules/sev-guest.ko" in names
+    assert "bin/attest" in names
+    assert blob.nominal_size == INITRD_SIZE
+
+
+def test_initrd_size_tracks_scale():
+    small = build_initrd(1.0 / 512.0)
+    large = build_initrd(1.0 / 128.0)
+    assert len(large.data) > len(small.data)
+    assert small.nominal_size == large.nominal_size == INITRD_SIZE
+
+
+@pytest.mark.parametrize("ratio", [1.5, 3.0, 6.0])
+def test_synthetic_bytes_hits_target_ratio(ratio):
+    data = synthetic_bytes(256 * 1024, ratio, seed=3)
+    measured = len(data) / len(lz4_compress(data))
+    assert measured == pytest.approx(ratio, rel=0.2)
+
+
+def test_synthetic_bytes_edge_cases():
+    assert synthetic_bytes(0, 2.0) == b""
+    with pytest.raises(ValueError):
+        synthetic_bytes(1024, 0.5)
+
+
+class TestCustomKernelConfig:
+    def test_interpolates_paper_points(self):
+        from repro.formats.kernels import custom_kernel_config
+
+        cfg = custom_kernel_config(23)
+        assert cfg.linux_boot_ms == pytest.approx(22.0, abs=0.5)
+        cfg = custom_kernel_config(61)
+        assert cfg.linux_boot_ms == pytest.approx(55.0, abs=0.5)
+
+    def test_sizes_follow_ratio(self):
+        from repro.formats.kernels import custom_kernel_config
+
+        cfg = custom_kernel_config(32, lz4_ratio=4.0)
+        assert cfg.vmlinux_size == 32 * MiB
+        assert cfg.bzimage_size == 8 * MiB
+
+    def test_builds_and_roundtrips(self):
+        from repro.formats.kernels import build_kernel, custom_kernel_config
+
+        cfg = custom_kernel_config(10)
+        art = build_kernel(cfg, 1 / 256)
+        assert BzImage.from_bytes(art.bzimage.data).decompress_payload() == (
+            art.vmlinux.data
+        )
+
+    def test_validation(self):
+        from repro.formats.kernels import custom_kernel_config
+
+        with pytest.raises(ValueError):
+            custom_kernel_config(0)
+        with pytest.raises(ValueError):
+            custom_kernel_config(10, lz4_ratio=0.5)

@@ -1,0 +1,110 @@
+"""The SFS root filesystem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats.sfs import SECTOR, SfsError, SfsReader, build_image
+
+_FILES = {
+    "sbin/launcher": b"\x7fELF" + b"x" * 1000,
+    "app/handler.py": b"def handler(event):\n    return 1\n",
+    "etc/hostname": b"microvm\n",
+}
+
+
+def _reader_over(image: bytes) -> SfsReader:
+    padded = image + b"\x00" * ((-len(image)) % SECTOR)
+
+    def read_sector(index: int) -> bytes:
+        start = index * SECTOR
+        if start >= len(padded):
+            return b"\x00" * SECTOR
+        return padded[start : start + SECTOR]
+
+    return SfsReader(read_sector)
+
+
+def test_roundtrip():
+    reader = _reader_over(build_image(_FILES))
+    assert reader.list() == sorted(_FILES)
+    for path, contents in _FILES.items():
+        assert reader.read(path) == contents
+
+
+def test_modes_preserved():
+    reader = _reader_over(build_image(_FILES, modes={"sbin/launcher": 0o100755}))
+    assert reader.files["sbin/launcher"].mode == 0o100755
+    assert reader.files["etc/hostname"].mode == 0o100644
+
+
+def test_empty_filesystem():
+    reader = _reader_over(build_image({}))
+    assert reader.list() == []
+
+
+def test_missing_file_rejected():
+    reader = _reader_over(build_image(_FILES))
+    with pytest.raises(SfsError, match="no such file"):
+        reader.read("does/not/exist")
+
+
+def test_bad_magic_rejected():
+    image = bytearray(build_image(_FILES))
+    image[0] = 0
+    with pytest.raises(SfsError, match="magic"):
+        _reader_over(bytes(image))
+
+
+def test_long_path_rejected():
+    with pytest.raises(SfsError, match="too long"):
+        build_image({"a" * 50: b"x"})
+
+
+def test_empty_file_occupies_one_sector():
+    reader = _reader_over(build_image({"empty": b""}))
+    assert reader.read("empty") == b""
+
+
+def test_many_files_span_inode_sectors():
+    files = {f"f/{i:03d}": bytes([i]) * (i + 1) for i in range(20)}
+    reader = _reader_over(build_image(files))
+    assert len(reader.files) == 20
+    for path, contents in files.items():
+        assert reader.read(path) == contents
+
+
+@given(
+    st.dictionaries(
+        st.text(
+            alphabet=st.characters(min_codepoint=48, max_codepoint=122),
+            min_size=1,
+            max_size=30,
+        ),
+        st.binary(max_size=3000),
+        max_size=6,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_property(files):
+    reader = _reader_over(build_image(files))
+    assert set(reader.list()) == set(files)
+    for path, contents in files.items():
+        assert reader.read(path) == contents
+
+
+def test_mounted_through_virtio_in_real_boot(sf, aws_config, machine):
+    from repro.guest.bootverifier import BootVerifier
+    from repro.guest.linuxboot import LinuxGuest
+    from repro.vmm.firecracker import FirecrackerVMM
+    from tests.guest.util import stage_and_launch
+
+    staged = stage_and_launch(machine, aws_config)
+    staged.ctx.block_device = FirecrackerVMM._attach_block_device(staged.ctx)
+    verified = machine.sim.run_process(BootVerifier(staged.ctx).run())
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    info = machine.sim.run_process(guest.linux_boot(verified, entry))
+    assert info.rootfs_files == 4  # launcher, handler, hostname, resolv.conf
+    # Mounting took several virtio requests (probe + superblock + inodes).
+    assert staged.ctx.block_device.requests_served >= 3

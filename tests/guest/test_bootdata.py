@@ -1,0 +1,101 @@
+"""Boot data structures and the Fig. 7 pre-encrypt-or-generate policy."""
+
+import pytest
+
+from repro.guest.bootdata import (
+    BOOT_PARAMS_SPEC,
+    BOOT_STRUCTS,
+    CMDLINE_SPEC,
+    MPTABLE_SPEC,
+    PAGE_TABLES_SPEC,
+    build_boot_params,
+    build_mptable,
+    parse_boot_params,
+    parse_mptable,
+    should_preencrypt,
+)
+
+
+class TestFig7Policy:
+    def test_decisions_match_paper(self):
+        """Fig. 7's right-hand column."""
+        assert should_preencrypt(MPTABLE_SPEC)
+        assert should_preencrypt(CMDLINE_SPEC)
+        assert should_preencrypt(BOOT_PARAMS_SPEC)
+        assert not should_preencrypt(PAGE_TABLES_SPEC)
+
+    def test_mptable_sizes(self):
+        """§4.2: 304 bytes for one CPU, +20 per extra CPU."""
+        assert MPTABLE_SPEC.struct_size_for(1) == 304
+        assert MPTABLE_SPEC.struct_size_for(2) == 324
+
+    def test_mptable_flips_to_generate_with_enough_cpus(self):
+        """The rule is size-based: at ~190 vCPUs the table outgrows the
+        generator code and the decision flips."""
+        huge = (MPTABLE_SPEC.code_size - 304) // 20 + 2
+        assert not should_preencrypt(MPTABLE_SPEC, vcpus=huge)
+
+    def test_all_four_structs_listed(self):
+        assert {spec.name for spec in BOOT_STRUCTS} == {
+            "mptable",
+            "cmdline",
+            "boot_params",
+            "page tables",
+        }
+
+
+class TestMptable:
+    def test_build_size_matches_spec(self):
+        assert len(build_mptable(1, 0x9F000)) == 304
+        assert len(build_mptable(4, 0x9F000)) == 304 + 3 * 20
+
+    def test_parse_returns_cpu_count(self):
+        for vcpus in (1, 2, 8):
+            raw = build_mptable(vcpus, 0x9F000)
+            assert parse_mptable(raw, 0x9F000) == vcpus
+
+    def test_checksums_validated(self):
+        raw = bytearray(build_mptable(1, 0x9F000))
+        raw[30] ^= 0xFF  # corrupt the config table
+        with pytest.raises(ValueError, match="checksum"):
+            parse_mptable(bytes(raw), 0x9F000)
+
+    def test_missing_floating_pointer_rejected(self):
+        with pytest.raises(ValueError, match="_MP_"):
+            parse_mptable(b"\x00" * 304, 0x9F000)
+
+    def test_at_least_one_cpu(self):
+        with pytest.raises(ValueError):
+            build_mptable(0, 0x9F000)
+
+
+class TestBootParams:
+    def _page(self) -> bytes:
+        return build_boot_params(
+            cmdline_ptr=0x20000,
+            ramdisk_image=0xD000000,
+            ramdisk_size=12345,
+            memory_size=256 * 1024 * 1024,
+        )
+
+    def test_page_size(self):
+        assert len(self._page()) == 4096
+
+    def test_roundtrip_fields(self):
+        params = parse_boot_params(self._page())
+        assert params.cmdline_ptr == 0x20000
+        assert params.ramdisk_image == 0xD000000
+        assert params.ramdisk_size == 12345
+
+    def test_e820_map_covers_memory(self):
+        params = parse_boot_params(self._page())
+        ram = [(a, s) for a, s, t in params.e820 if t == 1]
+        assert ram[0][0] == 0
+        top = max(a + s for a, s in ram)
+        assert top == 256 * 1024 * 1024
+
+    def test_signature_validated(self):
+        page = bytearray(self._page())
+        page[0x202] = 0
+        with pytest.raises(ValueError, match="HdrS"):
+            parse_boot_params(bytes(page))

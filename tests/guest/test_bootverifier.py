@@ -1,0 +1,171 @@
+"""The SEVeriFast boot verifier: happy path, tampering, protocol modes."""
+
+import pytest
+
+from repro.common import PAGE_SIZE
+from repro.core.config import KernelFormat, VmConfig
+from repro.core.oob_hash import HashesFile
+from repro.crypto.sha2 import sha256
+from repro.formats.kernels import AWS, LUPINE
+from repro.guest.bootverifier import (
+    VERIFIER_SIZE,
+    BootVerifier,
+    VerificationError,
+    verifier_binary,
+)
+from repro.hw.pagetable import DEFAULT_C_BIT
+from repro.hw.platform import Machine
+from repro.vmm.debugport import MAGIC_VERIFIER_DONE, MAGIC_VERIFIER_ENTRY
+
+from tests.guest.util import stage_and_launch
+
+
+def test_verifier_binary_is_13kb_and_deterministic():
+    binary = verifier_binary()
+    assert binary.nominal_size == VERIFIER_SIZE == 13 * 1024
+    assert len(binary.data) == VERIFIER_SIZE
+    assert binary.data == verifier_binary().data
+    assert binary.data.startswith(b"SVBV")
+
+
+def test_happy_path_bzimage(machine, aws_config):
+    staged = stage_and_launch(machine, aws_config)
+    verifier = BootVerifier(staged.ctx)
+    verified = machine.sim.run_process(verifier.run())
+    assert verified.format is KernelFormat.BZIMAGE
+    assert verified.kernel_addr == aws_config.layout.kernel_copy_addr
+    # The encrypted copy hashes to the out-of-band kernel hash.
+    copy = staged.ctx.memory.guest_read(
+        verified.kernel_addr, verified.kernel_len, c_bit=True
+    )
+    assert sha256(copy, accelerated=True) == staged.hashes.kernel_hash
+
+
+def test_discovers_c_bit(machine, aws_config):
+    staged = stage_and_launch(machine, aws_config)
+    machine.sim.run_process(BootVerifier(staged.ctx).run())
+    assert staged.ctx.c_bit == DEFAULT_C_BIT
+
+
+def test_debug_port_milestones(machine, aws_config):
+    staged = stage_and_launch(machine, aws_config)
+    machine.sim.run_process(BootVerifier(staged.ctx).run())
+    port = staged.ctx.debug_port
+    (entry,) = port.timestamps_for(MAGIC_VERIFIER_ENTRY)
+    (done,) = port.timestamps_for(MAGIC_VERIFIER_DONE)
+    assert done > entry
+
+
+def test_attack1_tampered_kernel_detected(machine, aws_config):
+    """§2.6 attack 1: malicious components after hashes are pre-encrypted."""
+    staged = stage_and_launch(machine, aws_config, tamper_staged_kernel=True)
+    with pytest.raises(VerificationError, match="kernel.*mismatch"):
+        machine.sim.run_process(BootVerifier(staged.ctx).run())
+
+
+def test_attack1_tampered_initrd_detected(machine, aws_config):
+    staged = stage_and_launch(machine, aws_config, tamper_staged_initrd=True)
+    with pytest.raises(VerificationError, match="initrd"):
+        machine.sim.run_process(BootVerifier(staged.ctx).run())
+
+
+def test_attack2_wrong_hashes_change_launch_digest(machine, aws_config):
+    """§2.6 attack 2: pre-encrypting hashes of malicious components makes
+    the verifier pass — but the launch digest no longer matches what the
+    guest owner expects."""
+    from repro.core.digest_tool import compute_expected_digest
+
+    honest = stage_and_launch(Machine(), aws_config)
+    bogus_hashes = HashesFile(
+        kernel_hash=b"\xee" * 32,
+        kernel_len=honest.hashes.kernel_len,
+        kernel_nominal=honest.hashes.kernel_nominal,
+        initrd_hash=honest.hashes.initrd_hash,
+        initrd_len=honest.hashes.initrd_len,
+        initrd_nominal=honest.hashes.initrd_nominal,
+    )
+    evil = stage_and_launch(machine, aws_config, hashes_override=bogus_hashes)
+    expected = compute_expected_digest(
+        aws_config, verifier_binary(), honest.hashes
+    )
+    assert evil.ctx.sev.launch_digest != expected
+    assert honest.ctx.sev.launch_digest == expected
+
+
+def test_attack3_modified_verifier_changes_digest(machine, aws_config):
+    """§2.6 attack 3: a malicious verifier binary is visible in the
+    launch digest because the verifier itself is pre-encrypted."""
+    from repro.core.digest_tool import compute_expected_digest
+
+    honest_digest = compute_expected_digest(
+        aws_config, verifier_binary(), stage_and_launch(machine, aws_config).hashes
+    )
+    evil_digest = compute_expected_digest(
+        aws_config,
+        verifier_binary(seed=0xBAD),
+        stage_and_launch(Machine(), aws_config).hashes,
+    )
+    assert honest_digest != evil_digest
+
+
+def test_vmlinux_protocol_happy_path(machine):
+    config = VmConfig(kernel=AWS, kernel_format=KernelFormat.VMLINUX)
+    staged = stage_and_launch(machine, config)
+    verifier = BootVerifier(staged.ctx, fw_cfg=staged.fw_cfg)
+    verified = machine.sim.run_process(verifier.run())
+    assert verified.format is KernelFormat.VMLINUX
+    assert verified.entry == staged.fw_cfg.entry
+    # Segments landed at their run addresses, encrypted.
+    seg = staged.fw_cfg.segments[0]
+    got = staged.ctx.memory.guest_read(seg.paddr, len(seg.data), c_bit=True)
+    assert got == seg.data
+
+
+def test_vmlinux_protocol_tamper_detected(machine):
+    config = VmConfig(kernel=AWS, kernel_format=KernelFormat.VMLINUX)
+    staged = stage_and_launch(machine, config)
+    seg = staged.fw_cfg.segments[-1]
+    tampered = bytearray(seg.data)
+    tampered[0] ^= 0x01
+    object.__setattr__(seg, "data", bytes(tampered))
+    verifier = BootVerifier(staged.ctx, fw_cfg=staged.fw_cfg)
+    with pytest.raises(VerificationError, match="vmlinux"):
+        machine.sim.run_process(verifier.run())
+
+
+def test_vmlinux_without_fwcfg_rejected(machine):
+    config = VmConfig(kernel=AWS, kernel_format=KernelFormat.VMLINUX)
+    staged = stage_and_launch(machine, config)
+    verifier = BootVerifier(staged.ctx, fw_cfg=None)
+    with pytest.raises(VerificationError, match="fw_cfg"):
+        machine.sim.run_process(verifier.run())
+
+
+def test_verification_time_scales_with_kernel(machine):
+    """§3.3: copy+hash cost grows with component size."""
+    m1, m2 = Machine(), Machine()
+    lupine = stage_and_launch(m1, VmConfig(kernel=LUPINE))
+    aws = stage_and_launch(m2, VmConfig(kernel=AWS))
+
+    def timed_run(mach, staged):
+        start = mach.sim.now
+        mach.sim.run_process(BootVerifier(staged.ctx).run())
+        return mach.sim.now - start
+
+    assert timed_run(m2, aws) > timed_run(m1, lupine)
+
+
+def test_pvalidate_sweep_marks_memory_valid(machine, aws_config):
+    staged = stage_and_launch(machine, aws_config)
+    machine.sim.run_process(BootVerifier(staged.ctx).run())
+    assert staged.ctx.memory.rmp.bulk_validated
+
+
+def test_hashes_page_readable_only_through_c_bit(machine, aws_config):
+    staged = stage_and_launch(machine, aws_config)
+    raw = staged.ctx.memory.host_read(aws_config.layout.hashes_addr, PAGE_SIZE)
+    assert not raw.startswith(b"SVFH")  # ciphertext to the host
+    verifier = BootVerifier(staged.ctx)
+    machine.sim.run_process(verifier.init_protected_memory())
+    hashes = verifier.read_hashes_page()
+    assert hashes.kernel_hash == staged.hashes.kernel_hash

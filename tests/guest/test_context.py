@@ -1,0 +1,78 @@
+"""GuestContext timed operations."""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.crypto.sha2 import sha256
+from repro.formats.kernels import AWS
+from repro.guest.context import GuestContext
+from repro.hw.platform import Machine
+from repro.vmm.timeline import BootTimeline
+
+
+@pytest.fixture
+def ctx():
+    machine = Machine()
+    config = VmConfig(kernel=AWS)
+    sev_ctx = machine.new_sev_context()
+    memory = machine.new_guest_memory(config.memory_size, sev_ctx)
+    memory.rmp.assign_all()
+    memory.rmp.pvalidate_all()
+    # Give the guest its key without the launch dance.
+    from repro.crypto.memenc import MemoryEncryptionEngine
+
+    memory.engine = MemoryEncryptionEngine(b"k" * 16)
+    return GuestContext(
+        machine=machine,
+        config=config,
+        memory=memory,
+        sev=sev_ctx,
+        timeline=BootTimeline(machine.sim),
+    )
+
+
+def test_copy_to_encrypted_charges_nominal_time(ctx):
+    data = b"staged kernel bytes!" * 10
+    ctx.memory.host_write = ctx.memory._raw_write  # bypass RMP for staging
+    ctx.memory._raw_write(0x900_0000, data)
+    nominal = 7 * 1024 * 1024
+
+    def proc():
+        copied = yield from ctx.copy_to_encrypted(0x900_0000, 0x500_0000, len(data), nominal)
+        return copied
+
+    copied = ctx.sim.run_process(proc())
+    assert copied == data
+    assert ctx.sim.now == pytest.approx(ctx.cost.copy_ms(nominal), rel=0.01)
+    assert ctx.memory.guest_read(0x500_0000, len(data), c_bit=True) == data
+
+
+def test_hash_encrypted_matches_sha256(ctx):
+    data = b"encrypted region" * 8
+    ctx.memory.guest_write(0x500_0000, data, c_bit=True)
+
+    def proc():
+        digest = yield from ctx.hash_encrypted(0x500_0000, len(data), len(data))
+        return digest
+
+    assert ctx.sim.run_process(proc()) == sha256(data)
+
+
+def test_sev_enabled_reflects_context(ctx):
+    assert ctx.sev_enabled
+    ctx.sev = None
+    assert not ctx.sev_enabled
+
+
+def test_layout_and_cost_shortcuts(ctx):
+    assert ctx.layout is ctx.config.layout
+    assert ctx.cost is ctx.machine.cost
+    assert ctx.sim is ctx.machine.sim
+
+
+def test_guest_write_timed(ctx):
+    def proc():
+        yield from ctx.guest_write_timed(0x500_0000, b"x" * 32, 1024)
+
+    ctx.sim.run_process(proc())
+    assert ctx.memory.guest_read(0x500_0000, 32, c_bit=True) == b"x" * 32

@@ -1,0 +1,124 @@
+"""Bootstrap loader + Linux boot + attestation, driven stage by stage."""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.digest_tool import compute_expected_digest
+from repro.formats.kernels import AWS
+from repro.guest.bootverifier import BootVerifier, VerificationError, verifier_binary
+from repro.guest.linuxboot import LinuxGuest
+from repro.hw.platform import Machine
+from repro.sev.guestowner import GuestOwner
+
+from tests.guest.util import stage_and_launch
+
+
+@pytest.fixture
+def booted(machine, aws_config):
+    staged = stage_and_launch(machine, aws_config)
+    verified = machine.sim.run_process(BootVerifier(staged.ctx).run())
+    return staged, verified
+
+
+def test_bootstrap_loader_places_vmlinux(machine, booted, aws_config):
+    staged, verified = booted
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    assert entry == 0x100_0000
+    # Decompressed text segment is in encrypted memory at the load address.
+    from repro.formats.kernels import build_kernel
+
+    artifacts = build_kernel(aws_config.kernel, aws_config.scale)
+    elf = artifacts.elf
+    seg = elf.segments[0]
+    got = staged.ctx.memory.guest_read(seg.paddr, 64, c_bit=True)
+    assert got == seg.data[:64]
+
+
+def test_bootstrap_loader_charges_decompression_time(machine, booted):
+    staged, verified = booted
+    guest = LinuxGuest(staged.ctx)
+    start = machine.sim.now
+    machine.sim.run_process(guest.bootstrap_loader(verified))
+    elapsed = machine.sim.now - start
+    expected = staged.ctx.cost.decompress_ms("lz4", AWS.vmlinux_size)
+    assert elapsed == pytest.approx(expected, rel=0.1)
+
+
+def test_linux_boot_reads_real_structures(machine, booted, aws_config):
+    staged, verified = booted
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    info = machine.sim.run_process(guest.linux_boot(verified, entry))
+    assert info.cpus == aws_config.vcpus
+    assert info.cmdline == aws_config.cmdline
+    assert info.init_present
+    assert info.initrd_files > 3
+
+
+def test_linux_boot_sev_slowdown(machine, aws_config):
+    """§6.2: Linux Boot under SNP is ~2.3x the non-SEV time."""
+    staged = stage_and_launch(machine, aws_config)
+    verified = machine.sim.run_process(BootVerifier(staged.ctx).run())
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    start = machine.sim.now
+    machine.sim.run_process(guest.linux_boot(verified, entry))
+    elapsed = machine.sim.now - start
+    factor = elapsed / aws_config.kernel.linux_boot_ms
+    assert factor == pytest.approx(2.3, rel=0.05)
+
+
+def test_attestation_end_to_end(machine, booted, aws_config):
+    staged, verified = booted
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    machine.sim.run_process(guest.linux_boot(verified, entry))
+    owner = GuestOwner(
+        trusted_vcek=machine.psp.vcek.public,
+        expected_digest=compute_expected_digest(
+            aws_config, verifier_binary(), staged.hashes
+        ),
+        secret=b"top-secret",
+    )
+    secret = machine.sim.run_process(guest.attest(owner))
+    assert secret == b"top-secret"
+    assert owner.audit_log == ["accepted"]
+
+
+def test_attestation_requires_sev():
+    machine = Machine()
+    config = VmConfig(kernel=AWS)
+    from repro.guest.context import GuestContext
+    from repro.vmm.timeline import BootTimeline
+
+    ctx = GuestContext(
+        machine=machine,
+        config=config,
+        memory=machine.new_guest_memory(config.memory_size),
+        sev=None,
+        timeline=BootTimeline(machine.sim),
+    )
+    guest = LinuxGuest(ctx)
+    owner = GuestOwner(
+        trusted_vcek=machine.psp.vcek.public, expected_digest=b"\x00" * 48, secret=b"s"
+    )
+    with pytest.raises(VerificationError, match="SEV"):
+        machine.sim.run_process(guest.attest(owner))
+
+
+def test_attestation_takes_about_200ms(machine, booted, aws_config):
+    staged, verified = booted
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    machine.sim.run_process(guest.linux_boot(verified, entry))
+    owner = GuestOwner(
+        trusted_vcek=machine.psp.vcek.public,
+        expected_digest=compute_expected_digest(
+            aws_config, verifier_binary(), staged.hashes
+        ),
+        secret=b"s",
+    )
+    start = machine.sim.now
+    machine.sim.run_process(guest.attest(owner))
+    assert machine.sim.now - start == pytest.approx(200.0, rel=0.05)

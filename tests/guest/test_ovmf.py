@@ -1,0 +1,59 @@
+"""OVMF firmware model: PI phases and the Fig. 3 breakdown."""
+
+import pytest
+
+from repro.guest.ovmf import OvmfFirmware
+
+from tests.guest.util import stage_and_launch
+
+
+@pytest.fixture
+def staged(machine, aws_config):
+    return stage_and_launch(machine, aws_config)
+
+
+def test_runs_all_pi_phases(machine, staged):
+    firmware = OvmfFirmware(staged.ctx)
+    machine.sim.run_process(firmware.run())
+    assert set(firmware.breakdown.phases) == {"sec", "pei", "dxe", "bds", "boot_verifier"}
+
+
+def test_total_exceeds_three_seconds(machine, staged):
+    """Fig. 3: OVMF's runtime is over 3 seconds."""
+    firmware = OvmfFirmware(staged.ctx)
+    machine.sim.run_process(firmware.run())
+    assert firmware.breakdown.total_ms > 3000.0
+
+
+def test_verifier_is_a_small_slice(machine, staged):
+    """Fig. 3's headline: only the boot verifier is needed for SEV, and
+    it is a small portion of overall firmware time."""
+    firmware = OvmfFirmware(staged.ctx)
+    machine.sim.run_process(firmware.run())
+    assert firmware.breakdown.verifier_fraction < 0.05
+
+
+def test_dxe_dominates(machine, staged):
+    firmware = OvmfFirmware(staged.ctx)
+    machine.sim.run_process(firmware.run())
+    phases = firmware.breakdown.phases
+    assert phases["dxe"] == max(phases.values())
+
+
+def test_verifier_subflow_verifies_kernel(machine, staged):
+    firmware = OvmfFirmware(staged.ctx)
+    verified = machine.sim.run_process(firmware.run())
+    assert verified.kernel_len == staged.hashes.kernel_len
+
+
+def test_phase_marks_recorded(machine, staged):
+    firmware = OvmfFirmware(staged.ctx)
+    machine.sim.run_process(firmware.run())
+    labels = [label for _t, label in staged.ctx.timeline.events]
+    assert labels == [
+        "ovmf:sec",
+        "ovmf:pei",
+        "ovmf:dxe",
+        "ovmf:bds",
+        "ovmf:boot_verifier",
+    ]

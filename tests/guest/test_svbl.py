@@ -1,0 +1,188 @@
+"""The bytecode verifier: assembly, interpretation, and attack 3 made real."""
+
+import pytest
+
+from repro.core.config import KernelFormat, VmConfig
+from repro.core.digest_tool import compute_expected_digest
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.guest.bootverifier import VERIFIER_SIZE, BootVerifier, VerificationError
+from repro.guest.svbl import (
+    BytecodeVerifier,
+    Instr,
+    Op,
+    assemble,
+    build_verifier_image,
+    default_program,
+    disassemble,
+    malicious_program,
+    parse_verifier_image,
+)
+from repro.hw.platform import Machine
+from repro.sev.guestowner import AttestationFailure, GuestOwner
+from repro.vmm.firecracker import FirecrackerVMM
+
+from tests.guest.util import stage_and_launch
+
+
+@pytest.fixture
+def layout(aws_config):
+    return aws_config.layout
+
+
+class TestAssembly:
+    def test_roundtrip(self, layout):
+        program = default_program(layout)
+        assert disassemble(assemble(program)) == program
+
+    def test_illegal_opcode_rejected(self):
+        with pytest.raises(VerificationError, match="illegal instruction"):
+            disassemble(b"\xee" + b"\x00" * 8)
+
+    def test_misaligned_code_rejected(self):
+        with pytest.raises(VerificationError, match="aligned"):
+            disassemble(b"\x01\x00\x00")
+
+    def test_image_is_13kb_with_magic(self, layout):
+        image = build_verifier_image(default_program(layout))
+        assert len(image.data) == VERIFIER_SIZE == image.nominal_size
+        assert image.data[:4] == b"SVBC"
+        assert parse_verifier_image(image.data) == default_program(layout)
+
+    def test_program_too_large_rejected(self, layout):
+        huge = [Instr(Op.CPUID)] * 2000
+        with pytest.raises(VerificationError, match="too large"):
+            build_verifier_image(huge)
+
+    def test_distinct_programs_distinct_images(self, layout):
+        honest = build_verifier_image(default_program(layout))
+        evil = build_verifier_image(malicious_program(layout))
+        assert honest.data != evil.data
+
+
+def _staged(machine, config, verifier_blob, **kwargs):
+    return stage_and_launch(machine, config, **kwargs), verifier_blob
+
+
+def _boot_with(machine, config, verifier_blob, owner=None, tamper=False):
+    sf = SEVeriFast(machine=machine)
+    prepared = sf.prepare(config, machine)
+    artifacts = prepared.artifacts
+    initrd = prepared.initrd
+    if tamper:
+        from repro.common import Blob
+
+        data = bytearray(artifacts.bzimage.data)
+        data[len(data) // 2] ^= 0xFF
+        import dataclasses
+
+        artifacts = dataclasses.replace(
+            artifacts, bzimage=Blob(bytes(data), artifacts.bzimage.nominal_size)
+        )
+    vmm = FirecrackerVMM(machine)
+    return machine.sim.run_process(
+        vmm.boot_severifast(
+            config,
+            artifacts,
+            initrd,
+            owner=owner,
+            hashes=prepared.hashes,
+            verifier=verifier_blob,
+        )
+    ), prepared
+
+
+class TestInterpretation:
+    def test_honest_program_boots_and_attests(self, aws_config):
+        machine = Machine()
+        honest = build_verifier_image(default_program(aws_config.layout))
+        sf = SEVeriFast(machine=machine)
+        prepared = sf.prepare(aws_config, machine)
+        owner = GuestOwner.with_chain(
+            trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+            cert_chain=machine.psp.cert_chain,
+            expected_digest=compute_expected_digest(
+                aws_config, honest, prepared.hashes
+            ),
+            secret=b"s",
+        )
+        result, _ = _boot_with(machine, aws_config, honest, owner=owner)
+        assert result.init_executed and result.attested
+
+    def test_honest_program_catches_tampered_kernel(self, aws_config):
+        machine = Machine()
+        honest = build_verifier_image(default_program(aws_config.layout))
+        with pytest.raises(VerificationError, match="kernel hash mismatch"):
+            _boot_with(machine, aws_config, honest, tamper=True)
+
+    def test_malicious_program_boots_tampered_kernel(self, aws_config):
+        """Attack 3, behaviourally: with the CMP instructions stripped,
+        the tampered kernel *boots* — the guest-side defence is gone."""
+        machine = Machine()
+        evil = build_verifier_image(malicious_program(aws_config.layout))
+        result, _prepared = _boot_with(machine, aws_config, evil, tamper=True)
+        assert result.init_executed  # nothing stopped it in the guest...
+
+    def test_malicious_program_fails_attestation(self, aws_config):
+        """...but its launch digest differs, so the owner refuses secrets."""
+        machine = Machine()
+        evil = build_verifier_image(malicious_program(aws_config.layout))
+        sf = SEVeriFast(machine=machine)
+        prepared = sf.prepare(aws_config, machine)
+        honest = build_verifier_image(default_program(aws_config.layout))
+        owner = GuestOwner(
+            trusted_vcek=machine.psp.vcek.public,
+            expected_digest=compute_expected_digest(
+                aws_config, honest, prepared.hashes
+            ),
+            secret=b"never",
+        )
+        with pytest.raises(AttestationFailure, match="digest"):
+            _boot_with(machine, aws_config, evil, owner=owner, tamper=True)
+
+    def test_program_without_done_crashes(self, aws_config, machine):
+        staged = stage_and_launch(machine, aws_config)
+        truncated = default_program(aws_config.layout)[:-1]
+        image = build_verifier_image(truncated)
+        staged.ctx.memory._raw_write(
+            aws_config.layout.verifier_addr,
+            staged.ctx.sev.engine.encrypt(
+                aws_config.layout.verifier_addr, image.data
+            ),
+        )
+        with pytest.raises(VerificationError, match="DONE"):
+            machine.sim.run_process(BytecodeVerifier(staged.ctx).run())
+
+    def test_hash_before_rdhashes_crashes(self, aws_config, machine):
+        staged = stage_and_launch(machine, aws_config)
+        bad = [Instr(Op.CPUID), Instr(Op.PVALIDATE), Instr(Op.HASHK, 0)]
+        image = build_verifier_image(bad)
+        staged.ctx.memory._raw_write(
+            aws_config.layout.verifier_addr,
+            staged.ctx.sev.engine.encrypt(
+                aws_config.layout.verifier_addr, image.data
+            ),
+        )
+        with pytest.raises(VerificationError, match="RDHASHES"):
+            machine.sim.run_process(BytecodeVerifier(staged.ctx).run())
+
+    def test_vmlinux_format_rejected(self, machine):
+        config = VmConfig(kernel=AWS, kernel_format=KernelFormat.VMLINUX)
+        staged = stage_and_launch(machine, config)
+        with pytest.raises(VerificationError, match="bzImage"):
+            BytecodeVerifier(staged.ctx)
+
+    def test_same_virtual_timing_as_native(self, aws_config):
+        """The interpreted and native verifiers charge identical costs."""
+        m1 = Machine()
+        native, _ = _boot_with(m1, aws_config, None)
+        m2 = Machine()
+        honest = build_verifier_image(default_program(aws_config.layout))
+        interpreted, _ = _boot_with(m2, aws_config, honest)
+        from repro.vmm.timeline import BootPhase
+
+        assert interpreted.timeline.duration(
+            BootPhase.BOOT_VERIFICATION
+        ) == pytest.approx(
+            native.timeline.duration(BootPhase.BOOT_VERIFICATION), rel=1e-9
+        )

@@ -1,0 +1,97 @@
+"""Helpers for guest-side tests: stand up a launched SEV guest with staged
+boot components, without going through the full VMM pipeline — so tests
+can drive (and sabotage) individual verifier stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import Blob
+from repro.core.config import KernelFormat, VmConfig
+from repro.core.digest_tool import preencrypted_regions
+from repro.core.oob_hash import HashesFile, hash_boot_components
+from repro.formats.kernels import build_initrd, build_kernel
+from repro.guest.bootverifier import verifier_binary
+from repro.guest.context import GuestContext
+from repro.hw.platform import Machine
+from repro.vmm.fwcfg import FwCfgDevice
+from repro.vmm.timeline import BootTimeline
+
+
+@dataclass
+class StagedGuest:
+    ctx: GuestContext
+    hashes: HashesFile
+    fw_cfg: FwCfgDevice | None
+    kernel_blob: Blob
+    initrd_blob: Blob
+
+
+def stage_and_launch(
+    machine: Machine,
+    config: VmConfig,
+    tamper_staged_kernel: bool = False,
+    tamper_staged_initrd: bool = False,
+    hashes_override: HashesFile | None = None,
+) -> StagedGuest:
+    """Stage images + pre-encrypt the root of trust; guest not yet run."""
+    artifacts = build_kernel(config.kernel, config.scale)
+    initrd = build_initrd(config.scale)
+    if config.kernel_format is KernelFormat.BZIMAGE:
+        kernel_blob = artifacts.bzimage
+        fw_cfg = None
+        hashes = hash_boot_components(kernel_blob, initrd)
+    else:
+        kernel_blob = artifacts.vmlinux
+        fw_cfg = FwCfgDevice.from_vmlinux(
+            artifacts.vmlinux.data, artifacts.vmlinux.nominal_size
+        )
+        hashes = hash_boot_components(
+            Blob(fw_cfg.protocol_hash_input(), kernel_blob.nominal_size), initrd
+        )
+    if hashes_override is not None:
+        hashes = hashes_override
+
+    sev_ctx = machine.new_sev_context(config.sev_policy)
+    memory = machine.new_guest_memory(config.memory_size, sev_ctx)
+    ctx = GuestContext(
+        machine=machine,
+        config=config,
+        memory=memory,
+        sev=sev_ctx,
+        timeline=BootTimeline(machine.sim),
+    )
+
+    staged_kernel = bytearray(kernel_blob.data)
+    if tamper_staged_kernel:
+        staged_kernel[len(staged_kernel) // 2] ^= 0xFF
+    staged_initrd = bytearray(initrd.data)
+    if tamper_staged_initrd:
+        staged_initrd[len(staged_initrd) // 2] ^= 0xFF
+    memory.host_write(config.layout.kernel_stage_addr, bytes(staged_kernel))
+    memory.host_write(config.layout.initrd_stage_addr, bytes(staged_initrd))
+
+    regions = preencrypted_regions(config, verifier_binary(), hashes)
+    for gpa, data, _nominal in regions:
+        memory.host_write(gpa, data)
+    if memory.rmp is not None:
+        memory.rmp.assign_all()
+
+    def launch():
+        psp = machine.psp
+        yield from psp.launch_start(sev_ctx, config.sev_policy)
+        memory.engine = sev_ctx.engine
+        for gpa, data, nominal in regions:
+            yield from psp.launch_update_data(
+                sev_ctx, memory, gpa, len(data), nominal_size=nominal
+            )
+        yield from psp.launch_finish(sev_ctx)
+
+    machine.sim.run_process(launch())
+    return StagedGuest(
+        ctx=ctx,
+        hashes=hashes,
+        fw_cfg=fw_cfg,
+        kernel_blob=kernel_blob,
+        initrd_blob=initrd,
+    )

@@ -1,0 +1,117 @@
+"""Cost model: calibration anchors from the paper."""
+
+import pytest
+
+from repro.common import KiB, MiB
+from repro.hw.costmodel import CostModel
+
+
+@pytest.fixture
+def cost() -> CostModel:
+    return CostModel()
+
+
+def test_preencryption_anchor_1mib(cost):
+    """§3.1: pre-encrypting the 1 MiB OVMF build adds ~256.65 ms."""
+    assert cost.psp_update_data_ms(1 * MiB) == pytest.approx(256.65, rel=0.15)
+
+
+def test_preencryption_anchor_23mib(cost):
+    """§3.2: pre-encrypting the 23 MiB Lupine vmlinux takes ~5.65 s."""
+    assert cost.psp_update_data_ms(23 * MiB) == pytest.approx(5650.0, rel=0.15)
+
+
+def test_preencryption_anchor_bzimage(cost):
+    """§3.2: the 3.3 MiB Lupine bzImage takes ~840 ms."""
+    assert cost.psp_update_data_ms(int(3.3 * MiB)) == pytest.approx(840.0, rel=0.15)
+
+
+def test_preencryption_anchor_initrd(cost):
+    """§3.2: a 12 MiB compressed initrd takes ~2.85 s."""
+    assert cost.psp_update_data_ms(12 * MiB) == pytest.approx(2850.0, rel=0.15)
+
+
+def test_preencryption_linear(cost):
+    small = cost.psp_update_data_ms(1 * MiB)
+    large = cost.psp_update_data_ms(16 * MiB)
+    assert large / small == pytest.approx(16.0, rel=0.05)
+
+
+def test_verification_anchor(cost):
+    """Fig. 10: AWS verification ~24.7 ms for 7.1+12 MiB copy+hash."""
+    total_bytes = int(7.1 * MiB) + 12 * MiB
+    verify_ms = cost.copy_ms(total_bytes) + cost.hash_ms(total_bytes)
+    assert verify_ms == pytest.approx(24.73, rel=0.2)
+
+
+def test_pvalidate_anchors(cost):
+    """§6.1: 256 MiB -> ~60 ms with 4 KiB pages, <1 ms with huge pages."""
+    assert cost.pvalidate_ms(256 * MiB, huge_pages=False) == pytest.approx(
+        60.0, rel=0.15
+    )
+    assert cost.pvalidate_ms(256 * MiB, huge_pages=True) < 1.0
+
+
+def test_lz4_faster_than_gzip(cost):
+    size = 43 * MiB
+    assert cost.decompress_ms("lz4", size) < cost.decompress_ms("gzip", size) / 4
+
+
+def test_no_decompression_for_raw(cost):
+    assert cost.decompress_ms("none", 64 * MiB) == 0.0
+    with pytest.raises(ValueError):
+        cost.decompress_ms("zstd", 1)
+
+
+def test_ovmf_phase_total_matches_fig3(cost):
+    """Fig. 3: OVMF's PI phases total >3 s."""
+    total = cost.ovmf_sec_ms + cost.ovmf_pei_ms + cost.ovmf_dxe_ms + cost.ovmf_bds_ms
+    assert 2900.0 < total < 3400.0
+
+
+def test_attestation_anchor(cost):
+    """§6.1: end-to-end attestation ~200 ms."""
+    assert cost.psp_report_ms + cost.attestation_network_ms == pytest.approx(
+        200.0, rel=0.05
+    )
+
+
+def test_severifast_preencryption_under_9ms(cost):
+    """Fig. 10/§6.2: the SEVeriFast root of trust pre-encrypts in <9 ms."""
+    components = [13 * KiB, 4 * KiB, 156, 304, 4 * KiB]
+    total = sum(cost.psp_update_data_ms(size) for size in components)
+    assert 6.0 < total < 9.0
+
+
+def test_small_sizes_have_command_floor(cost):
+    assert cost.psp_update_data_ms(16) >= cost.psp_command_latency_ms
+
+
+class TestJitter:
+    def test_zero_jitter_is_identity(self):
+        cost = CostModel()
+        assert cost.sample(42.0) == 42.0
+
+    def test_jitter_is_seeded_and_reproducible(self):
+        a = CostModel(jitter_rel=0.05, jitter_seed=7)
+        b = CostModel(jitter_rel=0.05, jitter_seed=7)
+        assert [a.sample(100.0) for _ in range(5)] == [
+            b.sample(100.0) for _ in range(5)
+        ]
+        c = CostModel(jitter_rel=0.05, jitter_seed=8)
+        assert a.sample(100.0) != c.sample(100.0)
+
+    def test_jitter_bounded_at_three_sigma(self):
+        cost = CostModel(jitter_rel=0.1, jitter_seed=1)
+        for _ in range(500):
+            value = cost.sample(100.0)
+            assert 70.0 - 1e-9 <= value <= 130.0 + 1e-9
+
+    def test_jitter_mean_near_nominal(self):
+        cost = CostModel(jitter_rel=0.03, jitter_seed=2)
+        samples = [cost.sample(100.0) for _ in range(2000)]
+        assert abs(sum(samples) / len(samples) - 100.0) < 0.5
+
+    def test_zero_duration_unjittered(self):
+        cost = CostModel(jitter_rel=0.1, jitter_seed=3)
+        assert cost.sample(0.0) == 0.0

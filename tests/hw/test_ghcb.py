@@ -1,0 +1,75 @@
+"""GHCB page and #VC exit protocol."""
+
+import pytest
+
+from repro.common import MiB, PAGE_SIZE
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.hw.ghcb import GhcbError, GhcbPage, GhcbProtocol, VmgExitCode
+from repro.hw.memory import GuestMemory
+
+GHCB_ADDR = 0x0000_7000
+
+
+@pytest.fixture
+def proto() -> GhcbProtocol:
+    memory = GuestMemory(size=16 * MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    return GhcbProtocol(memory=memory, ghcb_addr=GHCB_ADDR)
+
+
+def test_page_roundtrip():
+    page = GhcbPage(
+        exit_code=VmgExitCode.IOIO, exit_info_1=0x80 << 16, rax=0x42, rbx=7
+    )
+    parsed = GhcbPage.from_bytes(page.to_bytes())
+    assert parsed == page
+    assert len(page.to_bytes()) == PAGE_SIZE
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(GhcbError, match="magic"):
+        GhcbPage.from_bytes(b"XXXX" + b"\x00" * 100)
+
+
+def test_unknown_exit_code_rejected():
+    raw = bytearray(GhcbPage().to_bytes())
+    raw[4:8] = (0xDEAD).to_bytes(4, "little")
+    with pytest.raises(GhcbError, match="exit code"):
+        GhcbPage.from_bytes(bytes(raw))
+
+
+def test_vmgexit_host_sees_exactly_exposed_state(proto):
+    """The host reads the shared GHCB and gets what the guest exposed —
+    no more (registers not copied stay zero) and no less."""
+    host_view = proto.outb(0x80, 0x11)
+    assert host_view.exit_code is VmgExitCode.IOIO
+    assert host_view.rax == 0x11
+    assert host_view.rbx == 0  # never exposed
+    assert (host_view.exit_info_1 >> 16) == 0x80
+
+
+def test_ghcb_is_shared_not_encrypted(proto):
+    proto.outb(0x80, 0x22)
+    raw = proto.memory.host_read(GHCB_ADDR, 4)
+    assert raw == b"GHCB"  # plaintext: host can actually read it
+
+
+def test_exit_counting(proto):
+    proto.outb(0x80, 1)
+    proto.outb(0x80, 2)
+    proto.cpuid(0x8000001F)
+    assert proto.exit_counts[VmgExitCode.IOIO] == 2
+    assert proto.exit_counts[VmgExitCode.CPUID] == 1
+    assert proto.total_exits == 3
+
+
+def test_msr_path_no_page_traffic(proto):
+    proto.ghcb_msr_write(0x10)
+    assert proto.msr_writes == [0x10]
+    assert proto.total_exits == 0
+    assert proto.memory.resident_bytes == 0  # nothing written to memory
+
+
+def test_alignment_enforced():
+    memory = GuestMemory(size=MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    with pytest.raises(GhcbError, match="aligned"):
+        GhcbProtocol(memory=memory, ghcb_addr=0x123)

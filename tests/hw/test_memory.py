@@ -1,0 +1,187 @@
+"""Guest memory: host/guest/PSP access paths and SEV semantics."""
+
+import pytest
+
+from repro.common import MiB, PAGE_SIZE
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.hw.memory import GuestMemory, MemoryAccessError
+from repro.hw.rmp import ReverseMapTable, RmpViolation, VmmCommunicationException
+
+
+@pytest.fixture
+def mem() -> GuestMemory:
+    return GuestMemory(size=16 * MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+
+
+def test_zero_fill_on_unwritten_pages(mem):
+    assert mem.host_read(0x1234, 100) == b"\x00" * 100
+
+
+def test_host_write_read_roundtrip(mem):
+    mem.host_write(0x1000, b"hello world")
+    assert mem.host_read(0x1000, 11) == b"hello world"
+
+
+def test_cross_page_write(mem):
+    data = bytes(range(256)) * 40  # spans 3+ pages
+    mem.host_write(PAGE_SIZE - 100, data)
+    assert mem.host_read(PAGE_SIZE - 100, len(data)) == data
+
+
+def test_out_of_range_rejected(mem):
+    with pytest.raises(MemoryAccessError):
+        mem.host_read(16 * MiB - 4, 8)
+    with pytest.raises(MemoryAccessError):
+        mem.host_write(16 * MiB, b"x")
+    with pytest.raises(MemoryAccessError):
+        mem.host_read(-1, 1)
+
+
+def test_guest_cbit_write_stores_ciphertext(mem):
+    mem.guest_write(0x2000, b"secret" * 10, c_bit=True)
+    raw = mem.host_read(0x2000, 60)
+    assert raw != b"secret" * 10
+    assert mem.guest_read(0x2000, 60, c_bit=True) == b"secret" * 10
+
+
+def test_guest_shared_write_is_plaintext(mem):
+    mem.guest_write(0x3000, b"shared data", c_bit=False)
+    assert mem.host_read(0x3000, 11) == b"shared data"
+
+
+def test_cbit_read_of_host_plaintext_is_garbage(mem):
+    """The property that forces the verifier to copy before use (§2.5)."""
+    mem.host_write(0x4000, b"plaintext-from-host!")
+    assert mem.guest_read(0x4000, 20, c_bit=True) != b"plaintext-from-host!"
+
+
+def test_unaligned_guest_write_read_modify_write(mem):
+    mem.guest_write(0x5000, b"\xaa" * 64, c_bit=True)
+    mem.guest_write(0x5003, b"XYZ", c_bit=True)
+    got = mem.guest_read(0x5000, 64, c_bit=True)
+    assert got[3:6] == b"XYZ"
+    assert got[:3] == b"\xaa" * 3
+    assert got[6:] == b"\xaa" * 58
+
+
+def test_guest_cbit_access_requires_engine():
+    mem = GuestMemory(size=MiB)
+    with pytest.raises(MemoryAccessError, match="encryption key"):
+        mem.guest_write(0, b"x" * 16, c_bit=True)
+
+
+def test_psp_encrypt_in_place(mem):
+    plaintext = b"verifier code" * 100
+    mem.host_write(0x10000, plaintext)
+    returned = mem.psp_encrypt_in_place(0x10000, len(plaintext))
+    assert returned == plaintext
+    assert mem.host_read(0x10000, len(plaintext)) != plaintext
+    assert mem.guest_read(0x10000, len(plaintext), c_bit=True) == plaintext
+
+
+def test_psp_encrypt_requires_page_alignment(mem):
+    with pytest.raises(MemoryAccessError, match="page-aligned"):
+        mem.psp_encrypt_in_place(0x10010, 16)
+
+
+def test_encrypted_page_tracking(mem):
+    mem.host_write(0x20000, b"x" * PAGE_SIZE)
+    assert not mem.is_encrypted(0x20000)
+    mem.psp_encrypt_in_place(0x20000, PAGE_SIZE)
+    assert mem.is_encrypted(0x20000)
+    # A host overwrite clears the flag (the data is plain again).
+    mem2 = GuestMemory(size=MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    mem2.guest_write(0x1000, b"s" * 16, c_bit=True)
+    assert mem2.is_encrypted(0x1000)
+    mem2.host_write(0x1000, b"p" * 16)
+    assert not mem2.is_encrypted(0x1000)
+
+
+def test_resident_bytes_is_sparse(mem):
+    assert mem.resident_bytes == 0
+    mem.host_write(0, b"x")
+    mem.host_write(8 * MiB, b"y")
+    assert mem.resident_bytes == 2 * PAGE_SIZE
+
+
+class TestRmpIntegration:
+    def _mem_with_rmp(self) -> GuestMemory:
+        rmp = ReverseMapTable(asid=1, num_pages=(1 * MiB) // PAGE_SIZE)
+        return GuestMemory(
+            size=1 * MiB, engine=MemoryEncryptionEngine(b"k" * 16), rmp=rmp
+        )
+
+    def test_host_write_blocked_after_assignment(self):
+        mem = self._mem_with_rmp()
+        mem.host_write(0x1000, b"before")  # fine: pages still host-owned
+        mem.rmp.assign_all()
+        with pytest.raises(RmpViolation):
+            mem.host_write(0x1000, b"after")
+
+    def test_guest_access_requires_validation(self):
+        mem = self._mem_with_rmp()
+        mem.rmp.assign_all()
+        with pytest.raises(VmmCommunicationException):
+            mem.guest_read(0x1000, 16, c_bit=True)
+        mem.rmp.pvalidate_all()
+        mem.guest_write(0x1000, b"x" * 16, c_bit=True)
+        assert mem.guest_read(0x1000, 16, c_bit=True) == b"x" * 16
+
+    def test_remap_triggers_vc_on_next_access(self):
+        """§2.2: if the hypervisor changes a mapping, the valid bit is
+        cleared and the guest's next touch raises #VC."""
+        mem = self._mem_with_rmp()
+        mem.rmp.assign_all()
+        mem.rmp.pvalidate_all()
+        mem.guest_write(0x2000, b"x" * 16, c_bit=True)
+        mem.rmp.remap(2)
+        with pytest.raises(VmmCommunicationException):
+            mem.guest_read(0x2000, 16, c_bit=True)
+
+    def test_host_read_of_guest_pages_allowed_but_ciphertext(self):
+        """Reads need no RMP check — guest pages are ciphertext anyway."""
+        mem = self._mem_with_rmp()
+        mem.rmp.assign_all()
+        mem.rmp.pvalidate_all()
+        mem.guest_write(0x3000, b"secret" + b"\x00" * 10, c_bit=True)
+        raw = mem.host_read(0x3000, 16)
+        assert raw != b"secret" + b"\x00" * 10
+
+
+class TestSharedRegions:
+    def _mem(self):
+        rmp = ReverseMapTable(asid=1, num_pages=(1 * MiB) // PAGE_SIZE)
+        mem = GuestMemory(
+            size=1 * MiB, engine=MemoryEncryptionEngine(b"k" * 16), rmp=rmp
+        )
+        rmp.assign_all()
+        rmp.pvalidate_all()
+        return mem
+
+    def test_share_enables_host_dma(self):
+        mem = self._mem()
+        mem.guest_share_region(0x5000, PAGE_SIZE)
+        mem.host_write(0x5000, b"device completion")  # no RmpViolation
+        assert mem.guest_read(0x5000, 17, c_bit=False) == b"device completion"
+
+    def test_share_clears_stale_ciphertext(self):
+        mem = self._mem()
+        mem.guest_write(0x6000, b"private" + b"\x00" * 9, c_bit=True)
+        mem.guest_share_region(0x6000, PAGE_SIZE)
+        assert mem.host_read(0x6000, 16) == b"\x00" * 16
+
+    def test_private_access_to_shared_page_faults(self):
+        mem = self._mem()
+        mem.guest_share_region(0x7000, PAGE_SIZE)
+        with pytest.raises(VmmCommunicationException):
+            mem.guest_read(0x7000, 16, c_bit=True)
+
+    def test_shared_access_needs_no_validation(self):
+        rmp = ReverseMapTable(asid=1, num_pages=(1 * MiB) // PAGE_SIZE)
+        mem = GuestMemory(
+            size=1 * MiB, engine=MemoryEncryptionEngine(b"k" * 16), rmp=rmp
+        )
+        rmp.assign_all()  # assigned but NOT validated
+        mem.guest_read(0x8000, 16, c_bit=False)  # shared read: fine
+        with pytest.raises(VmmCommunicationException):
+            mem.guest_read(0x8000, 16, c_bit=True)  # private read: #VC

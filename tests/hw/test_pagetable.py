@@ -1,0 +1,115 @@
+"""Page tables with the C-bit: build, walk, encryption interplay."""
+
+import pytest
+
+from repro.common import GiB, HUGE_PAGE_SIZE, MiB, PAGE_SIZE
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.hw.memory import GuestMemory
+from repro.hw.pagetable import (
+    DEFAULT_C_BIT,
+    PageTableBuilder,
+    PageTableError,
+    cpuid_c_bit_position,
+    translate,
+)
+
+
+def _build_in_dict(builder: PageTableBuilder) -> dict[int, bytes]:
+    store: dict[int, bytes] = {}
+
+    def write(pa: int, data: bytes) -> None:
+        store[pa] = data
+
+    builder.build(write)
+
+    def read(pa: int, n: int) -> bytes:
+        base = pa & ~(PAGE_SIZE - 1)
+        return store[base][pa - base : pa - base + n]
+
+    builder._read = read  # type: ignore[attr-defined]
+    return store
+
+
+def test_identity_map_translates():
+    builder = PageTableBuilder(base_pa=0xA000)
+    _build_in_dict(builder)
+    read = builder._read  # type: ignore[attr-defined]
+    for va in (0x0, 0x1234, 2 * MiB + 5, 512 * MiB, GiB - 1):
+        pa, encrypted = translate(read, 0xA000, va)
+        assert pa == va
+        assert encrypted
+
+
+def test_c_bit_absent_when_disabled():
+    builder = PageTableBuilder(base_pa=0xA000, c_bit=None)
+    _build_in_dict(builder)
+    pa, encrypted = translate(builder._read, 0xA000, 0x1000, c_bit=None)  # type: ignore[attr-defined]
+    assert pa == 0x1000
+    assert not encrypted
+
+
+def test_table_footprint():
+    builder = PageTableBuilder(base_pa=0xA000, map_size=1 * GiB)
+    assert builder.num_pds == 1
+    assert builder.table_bytes == 3 * PAGE_SIZE
+    two_gib = PageTableBuilder(base_pa=0xA000, map_size=2 * GiB)
+    assert two_gib.num_pds == 2
+    assert two_gib.table_bytes == 4 * PAGE_SIZE
+
+
+def test_multi_gib_map():
+    builder = PageTableBuilder(base_pa=0xA000, map_size=2 * GiB)
+    _build_in_dict(builder)
+    pa, _ = translate(builder._read, 0xA000, GiB + 3 * MiB)  # type: ignore[attr-defined]
+    assert pa == GiB + 3 * MiB
+
+
+def test_unmapped_address_raises():
+    builder = PageTableBuilder(base_pa=0xA000, map_size=1 * GiB)
+    _build_in_dict(builder)
+    with pytest.raises(PageTableError):
+        translate(builder._read, 0xA000, 5 * GiB)  # type: ignore[attr-defined]
+
+
+def test_alignment_validation():
+    with pytest.raises(PageTableError):
+        PageTableBuilder(base_pa=0xA001)
+    with pytest.raises(PageTableError):
+        PageTableBuilder(base_pa=0xA000, map_size=HUGE_PAGE_SIZE + 1)
+
+
+def test_cpuid_probe():
+    assert cpuid_c_bit_position(True) == DEFAULT_C_BIT
+    assert cpuid_c_bit_position(False) is None
+
+
+def test_tables_in_encrypted_memory_unreadable_by_host():
+    """The verifier generates tables in C-bit memory (Fig. 7: generate);
+    a host walk over the raw bytes fails, a guest walk succeeds."""
+    mem = GuestMemory(size=16 * MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    builder = PageTableBuilder(base_pa=0xA000, map_size=1 * GiB)
+    builder.build(lambda pa, data: mem.guest_write(pa, data, c_bit=True))
+
+    pa, encrypted = translate(
+        lambda p, n: mem.guest_read(p, n, c_bit=True), 0xA000, 7 * MiB
+    )
+    assert pa == 7 * MiB and encrypted
+
+    # Ciphertext entries decode to garbage: either a non-present entry
+    # (PageTableError) or a pointer outside guest memory (access error).
+    from repro.hw.memory import MemoryAccessError
+
+    with pytest.raises((PageTableError, MemoryAccessError)):
+        translate(lambda p, n: mem.host_read(p, n), 0xA000, 7 * MiB)
+
+
+def test_c_bit_set_in_every_leaf_entry():
+    builder = PageTableBuilder(base_pa=0xA000, map_size=64 * MiB)
+    store = _build_in_dict(builder)
+    pd = store[0xA000 + 2 * PAGE_SIZE]
+    import struct
+
+    entries = struct.unpack(f"<{PAGE_SIZE // 8}Q", pd)
+    live = [e for e in entries if e & 1]
+    assert len(live) == 32  # 64 MiB / 2 MiB
+    assert all(e & (1 << DEFAULT_C_BIT) for e in live)

@@ -1,0 +1,68 @@
+"""Machine assembly."""
+
+import pytest
+
+from repro.common import MiB
+from repro.hw.platform import DEFAULT_GUEST_MEMORY, Machine
+from repro.sev.policy import GuestPolicy, SevMode
+
+
+def test_default_guest_memory_is_papers_256mb():
+    assert DEFAULT_GUEST_MEMORY == 256 * MiB
+
+
+def test_machines_have_unique_chip_identities():
+    a, b = Machine(), Machine()
+    assert a.psp.chip_id != b.psp.chip_id
+    assert a.psp.vcek.public != b.psp.vcek.public
+
+
+def test_machines_share_one_amd_root():
+    a, b = Machine(), Machine()
+    assert (
+        a.psp.key_hierarchy.ark_key.public == b.psp.key_hierarchy.ark_key.public
+    )
+
+
+def test_snp_guest_memory_gets_rmp():
+    machine = Machine()
+    ctx = machine.new_sev_context(GuestPolicy(mode=SevMode.SEV_SNP))
+    memory = machine.new_guest_memory(sev_ctx=ctx)
+    assert memory.rmp is not None
+    assert memory.rmp.asid == ctx.asid
+
+
+@pytest.mark.parametrize("mode", [SevMode.SEV, SevMode.SEV_ES])
+def test_pre_snp_guest_memory_has_no_rmp(mode):
+    machine = Machine()
+    ctx = machine.new_sev_context(GuestPolicy(mode=mode))
+    assert machine.new_guest_memory(sev_ctx=ctx).rmp is None
+
+
+def test_nonsev_guest_memory_has_no_rmp():
+    assert Machine().new_guest_memory().rmp is None
+
+
+def test_psp_parallelism_configures_resource():
+    machine = Machine(psp_parallelism=4)
+    assert machine.psp.resource.capacity == 4
+    assert Machine().psp.resource.capacity == 1
+
+
+def test_huge_pages_flag_reaches_psp():
+    assert Machine(huge_pages=False).psp.huge_pages is False
+    assert Machine().psp.huge_pages is True
+
+
+def test_engine_mode_propagates():
+    machine = Machine(engine_mode="xex")
+    ctx = machine.new_sev_context()
+    mem = machine.new_guest_memory(sev_ctx=ctx)
+    mem.host_write(0, b"\x90" * 4096)
+    mem.rmp.assign_all()
+
+    def launch():
+        yield from machine.psp.launch_start(ctx)
+
+    machine.sim.run_process(launch())
+    assert ctx.engine.mode == "xex"

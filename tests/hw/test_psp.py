@@ -1,0 +1,302 @@
+"""PSP device: launch state machine, measurement, contention."""
+
+import pytest
+
+from repro.common import KiB, MiB, PAGE_SIZE
+from repro.hw.platform import Machine
+from repro.sev.api import SevLaunchError, SevState
+from repro.sev.measurement import expected_digest
+
+
+def _loaded_guest(machine, data=b"\x90" * 8192, addr=0x0):
+    ctx = machine.new_sev_context()
+    mem = machine.new_guest_memory(sev_ctx=ctx)
+    mem.host_write(addr, data)
+    mem.rmp.assign_all()
+    return ctx, mem
+
+
+def _full_launch(machine, ctx, mem, addr, data, nominal=None):
+    yield from machine.psp.launch_start(ctx)
+    yield from machine.psp.launch_update_data(
+        ctx, mem, addr, len(data), nominal_size=nominal
+    )
+    yield from machine.psp.launch_finish(ctx)
+
+
+def test_state_machine_happy_path(machine):
+    data = b"\x90" * 8192
+    ctx, mem = _loaded_guest(machine, data)
+    machine.sim.run_process(_full_launch(machine, ctx, mem, 0, data))
+    assert ctx.state is SevState.LAUNCH_FINISHED
+    assert ctx.launch_digest is not None
+
+
+def test_update_before_start_rejected(machine):
+    ctx, mem = _loaded_guest(machine)
+
+    def flow():
+        yield from machine.psp.launch_update_data(ctx, mem, 0, 4096)
+
+    with pytest.raises(SevLaunchError):
+        machine.sim.run_process(flow())
+
+
+def test_update_after_finish_rejected(machine):
+    """§2.4: after LAUNCH_FINISH the host cannot pre-encrypt more memory."""
+    data = b"\x90" * 4096
+    ctx, mem = _loaded_guest(machine, data)
+    machine.sim.run_process(_full_launch(machine, ctx, mem, 0, data))
+
+    def late_update():
+        yield from machine.psp.launch_update_data(ctx, mem, 0x10000, 4096)
+
+    with pytest.raises(SevLaunchError):
+        machine.sim.run_process(late_update())
+
+
+def test_double_start_rejected(machine):
+    ctx, mem = _loaded_guest(machine)
+
+    def flow():
+        yield from machine.psp.launch_start(ctx)
+        yield from machine.psp.launch_start(ctx)
+
+    with pytest.raises(SevLaunchError):
+        machine.sim.run_process(flow())
+
+
+def test_measurement_matches_offline_digest(machine):
+    data = b"verifier!" * 1000
+    ctx, mem = _loaded_guest(machine, data)
+    machine.sim.run_process(_full_launch(machine, ctx, mem, 0, data, nominal=13 * KiB))
+    assert ctx.launch_digest == expected_digest([(0, data, 13 * KiB)])
+
+
+def test_measurement_is_content_sensitive(machine):
+    d1, d2 = b"a" * 4096, b"b" * 4096
+    c1, m1 = _loaded_guest(machine, d1)
+    machine.sim.run_process(_full_launch(machine, c1, m1, 0, d1))
+    c2, m2 = _loaded_guest(machine, d2)
+    machine.sim.run_process(_full_launch(machine, c2, m2, 0, d2))
+    assert c1.launch_digest != c2.launch_digest
+
+
+def test_measurement_is_position_sensitive(machine):
+    data = b"c" * 4096
+    c1, m1 = _loaded_guest(machine, data, addr=0x0)
+    machine.sim.run_process(_full_launch(machine, c1, m1, 0x0, data))
+    c2, m2 = _loaded_guest(machine, data, addr=0x4000)
+    machine.sim.run_process(_full_launch(machine, c2, m2, 0x4000, data))
+    assert c1.launch_digest != c2.launch_digest
+
+
+def test_update_encrypts_and_firmware_validates(machine):
+    data = b"\xaa" * PAGE_SIZE
+    ctx, mem = _loaded_guest(machine, data)
+    machine.sim.run_process(_full_launch(machine, ctx, mem, 0, data))
+    assert mem.host_read(0, PAGE_SIZE) != data
+    # Launch pages are firmware-validated: accessible before pvalidate_all.
+    assert mem.guest_read(0, PAGE_SIZE, c_bit=True) == data
+
+
+def test_update_time_is_linear_in_nominal_size(machine):
+    """Fig. 4's core fact, straight from the cost model + device."""
+    cost = machine.cost
+    t1 = cost.psp_update_data_ms(1 * MiB)
+    t8 = cost.psp_update_data_ms(8 * MiB)
+    assert t8 / t1 == pytest.approx(8.0, rel=0.05)
+    # ~250 ms/MiB dominates at volume (the paper's slope).
+    assert t1 == pytest.approx(250.0, rel=0.2)
+
+
+def test_reports_require_finished_launch(machine):
+    ctx, mem = _loaded_guest(machine)
+
+    def early_report():
+        yield from machine.psp.attestation_report(ctx, b"\x00" * 64)
+
+    with pytest.raises(SevLaunchError):
+        machine.sim.run_process(early_report())
+
+
+def test_report_signed_by_chip_key(machine):
+    data = b"\x90" * 4096
+    ctx, mem = _loaded_guest(machine, data)
+
+    def flow():
+        yield from _full_launch(machine, ctx, mem, 0, data)
+        report = yield from machine.psp.attestation_report(ctx, b"\x01" * 64)
+        return report
+
+    report = machine.sim.run_process(flow())
+    assert report.verify(machine.psp.vcek.public)
+    assert report.measurement == ctx.launch_digest
+    other = Machine()
+    assert not report.verify(other.psp.vcek.public)
+
+
+def test_asids_are_unique(machine):
+    assert machine.new_sev_context().asid != machine.new_sev_context().asid
+
+
+def test_commands_serialize_across_guests(machine):
+    """Two guests' launch commands interleave on one PSP — no overlap."""
+    finish = {}
+
+    def launch(tag):
+        data = b"\x90" * 4096
+        ctx, mem = _loaded_guest(machine, data)
+        yield from _full_launch(machine, ctx, mem, 0, data)
+        finish[tag] = machine.sim.now
+
+    machine.sim.process(launch("a"))
+    machine.sim.process(launch("b"))
+    machine.sim.run()
+    psp = machine.psp.resource
+    assert psp.busy_time == pytest.approx(machine.sim.now, rel=0.01)
+    assert finish["b"] > finish["a"]
+
+
+def test_engine_modes_share_contract():
+    for mode in ("xex", "ctr-fast"):
+        machine = Machine(engine_mode=mode)
+        data = b"m" * 4096
+        ctx, mem = _loaded_guest(machine, data)
+        machine.sim.run_process(_full_launch(machine, ctx, mem, 0, data))
+        assert mem.guest_read(0, len(data), c_bit=True) == data
+        assert mem.host_read(0, len(data)) != data
+
+
+class TestLegacyLaunchFlow:
+    """LAUNCH_MEASURE / LAUNCH_SECRET: the pre-SNP attestation path."""
+
+    def _es_guest(self, machine, data=b"\x90" * 4096):
+        from repro.sev.policy import GuestPolicy, SevMode
+
+        ctx = machine.new_sev_context(GuestPolicy(mode=SevMode.SEV_ES))
+        mem = machine.new_guest_memory(sev_ctx=ctx)
+        mem.host_write(0, data)
+        return ctx, mem
+
+    def test_measure_then_secret_then_finish(self, machine):
+        data = b"\x90" * 4096
+        ctx, mem = self._es_guest(machine, data)
+
+        def flow():
+            yield from machine.psp.launch_start(ctx)
+            yield from machine.psp.launch_update_data(ctx, mem, 0, len(data))
+            mac, nonce = yield from machine.psp.launch_measure(ctx)
+            # (guest owner verifies mac out of band, then ships the secret)
+            yield from machine.psp.launch_secret(ctx, mem, 0x8000, b"disk-key-123")
+            yield from machine.psp.launch_finish(ctx)
+            return mac, nonce
+
+        mac, nonce = machine.sim.run_process(flow())
+        assert len(mac) == 32 and len(nonce) == 16
+        # The secret is in encrypted memory: guest reads it, host cannot.
+        assert mem.guest_read(0x8000, 12, c_bit=True) == b"disk-key-123"
+        assert mem.host_read(0x8000, 12) != b"disk-key-123"
+
+    def test_secret_not_in_measurement(self, machine):
+        data = b"\x90" * 4096
+        ctx1, mem1 = self._es_guest(machine, data)
+        ctx2, mem2 = self._es_guest(machine, data)
+
+        def flow(ctx, mem, secret):
+            yield from machine.psp.launch_start(ctx)
+            yield from machine.psp.launch_update_data(ctx, mem, 0, len(data))
+            if secret:
+                yield from machine.psp.launch_secret(ctx, mem, 0x8000, secret)
+            yield from machine.psp.launch_finish(ctx)
+
+        machine.sim.run_process(flow(ctx1, mem1, b"secret-A"))
+        machine.sim.run_process(flow(ctx2, mem2, None))
+        assert ctx1.launch_digest == ctx2.launch_digest
+
+    def test_snp_guests_refused(self, machine):
+        data = b"\x90" * 4096
+        ctx, mem = _loaded_guest(machine, data)
+
+        def flow():
+            yield from machine.psp.launch_start(ctx)
+            yield from machine.psp.launch_measure(ctx)
+
+        with pytest.raises(SevLaunchError, match="SNP"):
+            machine.sim.run_process(flow())
+
+    def test_secret_requires_started_state(self, machine):
+        ctx, mem = self._es_guest(machine)
+
+        def flow():
+            yield from machine.psp.launch_secret(ctx, mem, 0x8000, b"x")
+
+        with pytest.raises(SevLaunchError):
+            machine.sim.run_process(flow())
+
+    def test_secret_requires_page_alignment(self, machine):
+        ctx, mem = self._es_guest(machine)
+
+        def flow():
+            yield from machine.psp.launch_start(ctx)
+            yield from machine.psp.launch_secret(ctx, mem, 0x8010, b"x")
+
+        with pytest.raises(SevLaunchError, match="aligned"):
+            machine.sim.run_process(flow())
+
+
+class TestAsidLifecycle:
+    """ACTIVATE / DEACTIVATE / DF_FLUSH: the hardware's ASID budget."""
+
+    def test_launch_start_activates(self, machine):
+        data = b"\x90" * 4096
+        ctx, mem = _loaded_guest(machine, data)
+        machine.sim.run_process(_full_launch(machine, ctx, mem, 0, data))
+        assert machine.psp.active_guests == 1
+
+    def test_double_activate_rejected(self, machine):
+        ctx = machine.new_sev_context()
+        machine.psp.activate(ctx)
+        with pytest.raises(SevLaunchError, match="already active"):
+            machine.psp.activate(ctx)
+
+    def test_capacity_enforced(self):
+        machine = Machine()
+        machine.psp.asid_capacity = 2
+        a, b, c = (machine.new_sev_context() for _ in range(3))
+        machine.psp.activate(a)
+        machine.psp.activate(b)
+        with pytest.raises(SevLaunchError, match="capacity"):
+            machine.psp.activate(c)
+
+    def test_retired_slots_need_df_flush(self):
+        machine = Machine()
+        machine.psp.asid_capacity = 1
+        a = machine.new_sev_context()
+        machine.psp.activate(a)
+        machine.psp.deactivate(a)
+        b = machine.new_sev_context()
+        with pytest.raises(SevLaunchError, match="DF_FLUSH"):
+            machine.psp.activate(b)
+        machine.psp.df_flush()
+        machine.psp.activate(b)  # slot reusable now
+
+    def test_deactivate_requires_active(self, machine):
+        ctx = machine.new_sev_context()
+        with pytest.raises(SevLaunchError, match="not active"):
+            machine.psp.deactivate(ctx)
+
+    def test_fifty_concurrent_guests_fit_milan_budget(self):
+        """Fig. 12's 50 concurrent guests are far below the 509-ASID
+        budget — the PSP, not ASID exhaustion, is the bottleneck."""
+        from repro.core.config import VmConfig
+        from repro.core.severifast import SEVeriFast
+        from repro.formats.kernels import AWS
+
+        machine = Machine()
+        sf = SEVeriFast()
+        config = VmConfig(kernel=AWS, scale=1 / 1024, attest=False)
+        results = sf.concurrent_boots(config, count=50, machine=machine)
+        assert len(results) == 50
+        assert machine.psp.active_guests == 50
+        assert machine.psp.asid_capacity == 509

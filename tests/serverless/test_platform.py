@@ -1,0 +1,125 @@
+"""The FaaS scheduler: warm pools, cold boots, statistics."""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.trace import Invocation, InvocationTrace
+from repro.vmm.firecracker import FirecrackerVMM
+
+
+def _platform(keepalive_ms=10_000.0):
+    machine = Machine()
+    sf = SEVeriFast(machine=machine)
+    config = VmConfig(kernel=AWS, attest=False)
+    prepared = sf.prepare(config, machine)
+
+    def boot():
+        vmm = FirecrackerVMM(machine)
+        result = yield from vmm.boot_severifast(
+            config, prepared.artifacts, prepared.initrd, hashes=prepared.hashes
+        )
+        return result
+
+    return ServerlessPlatform(machine.sim, boot, keepalive_ms=keepalive_ms)
+
+
+def _trace(points):
+    return InvocationTrace(
+        invocations=[
+            Invocation(arrival_ms=t, function=fn, exec_ms=ms) for t, fn, ms in points
+        ],
+        horizon_ms=max(t for t, _f, _m in points) + 1,
+    )
+
+
+def test_first_invocation_is_cold():
+    platform = _platform()
+    stats = platform.run(_trace([(0.0, "fn-a", 50.0)]))
+    assert stats.cold_starts == 1 and stats.warm_starts == 0
+    assert stats.outcomes[0].boot_ms > 100.0
+
+
+def test_second_invocation_within_keepalive_is_warm():
+    platform = _platform()
+    stats = platform.run(_trace([(0.0, "fn-a", 50.0), (5000.0, "fn-a", 50.0)]))
+    assert stats.cold_starts == 1 and stats.warm_starts == 1
+    warm = stats.outcomes[1]
+    assert warm.boot_ms == 0.0
+    assert warm.start_delay_ms < 5.0
+
+
+def test_expired_keepalive_forces_cold():
+    platform = _platform(keepalive_ms=1000.0)
+    stats = platform.run(_trace([(0.0, "fn-a", 50.0), (20_000.0, "fn-a", 50.0)]))
+    assert stats.cold_starts == 2
+
+
+def test_different_functions_do_not_share_vms():
+    platform = _platform()
+    stats = platform.run(_trace([(0.0, "fn-a", 50.0), (1000.0, "fn-b", 50.0)]))
+    assert stats.cold_starts == 2
+
+
+def test_concurrent_cold_starts_contend_on_psp():
+    platform = _platform()
+    single = platform.run(_trace([(0.0, "fn-solo", 10.0)])).mean_cold_boot_ms
+
+    burst_platform = _platform()
+    burst = _trace([(0.0, f"fn-{i}", 10.0) for i in range(5)])
+    stats = burst_platform.run(burst)
+    assert stats.cold_starts == 5
+    # Launch commands interleave on the single PSP: every VM in the burst
+    # boots slower than an uncontended cold start (Fig. 12 dynamics).
+    assert stats.mean_cold_boot_ms > single + 50.0
+
+
+def test_stats_aggregation():
+    platform = _platform()
+    stats = platform.run(
+        _trace([(0.0, "fn-a", 10.0), (3000.0, "fn-a", 10.0), (3500.0, "fn-b", 10.0)])
+    )
+    assert len(stats.outcomes) == 3
+    assert stats.cold_fraction == pytest.approx(2 / 3)
+    assert stats.mean_cold_boot_ms > 0
+    assert stats.latency_percentile(50) <= stats.latency_percentile(99)
+
+
+def test_warm_pool_size_visible():
+    platform = _platform()
+    platform.run(_trace([(0.0, "fn-a", 10.0), (100.0, "fn-b", 10.0)]))
+    assert platform.warm_pool_size == 2
+
+
+class TestWarmPoolMemory:
+    """§7.1: keep-alive memory accounting with and without dedup."""
+
+    def test_empty_pool_zero(self):
+        platform = _platform()
+        assert platform.warm_pool_memory_bytes() == 0
+
+    def test_sev_pool_cannot_dedup(self):
+        platform = _platform()
+        platform.sev = True
+        platform.run(_trace([(0.0, "fn-a", 10.0), (100.0, "fn-b", 10.0)]))
+        assert platform.warm_pool_memory_bytes() == 2 * platform.vm_memory_bytes
+
+    def test_plain_pool_shares_pages(self):
+        platform = _platform()
+        platform.sev = False
+        platform.run(_trace([(0.0, "fn-a", 10.0), (100.0, "fn-b", 10.0)]))
+        footprint = platform.warm_pool_memory_bytes()
+        assert footprint < 2 * platform.vm_memory_bytes
+        assert footprint > platform.vm_memory_bytes
+
+    def test_sev_keepalive_memory_grows_linearly(self):
+        """The §7.1 argument against naive SEV keep-alive: every pooled
+        VM holds its full footprint, so pool memory is N x 256 MiB."""
+        platform = _platform()
+        platform.sev = True
+        n = 4
+        platform.run(_trace([(i * 10.0, f"fn-{i}", 5.0) for i in range(n)]))
+        assert platform.warm_pool_memory_bytes() == n * platform.vm_memory_bytes

@@ -1,0 +1,180 @@
+"""Snapshot/restore constraints under SEV (§7.1)."""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.formats.kernels import AWS
+from repro.guest.bootverifier import BootVerifier
+from repro.guest.linuxboot import LinuxGuest
+from repro.hw.platform import Machine
+from repro.serverless.snapshots import (
+    RestorePolicy,
+    SnapshotError,
+    restore,
+    take_snapshot,
+)
+from repro.sev.policy import GuestPolicy, SevMode
+
+from tests.guest.util import stage_and_launch
+
+
+def _booted_sev_ctx(machine):
+    staged = stage_and_launch(machine, VmConfig(kernel=AWS))
+    verified = machine.sim.run_process(BootVerifier(staged.ctx).run())
+    guest = LinuxGuest(staged.ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    machine.sim.run_process(guest.linux_boot(verified, entry))
+    return staged.ctx
+
+
+def _plain_ctx(machine):
+    """A minimal non-SEV guest context with some resident memory."""
+    from repro.guest.context import GuestContext
+    from repro.vmm.timeline import BootTimeline
+
+    config = VmConfig(kernel=AWS)
+    ctx = GuestContext(
+        machine=machine,
+        config=config,
+        memory=machine.new_guest_memory(config.memory_size),
+        sev=None,
+        timeline=BootTimeline(machine.sim),
+    )
+    ctx.memory.host_write(0x100000, b"\x90" * 65536)
+    return ctx
+
+
+def test_snapshot_captures_resident_pages(machine):
+    ctx = _booted_sev_ctx(machine)
+    snapshot = take_snapshot(ctx)
+    assert snapshot.kernel_name == "aws"
+    assert snapshot.sev_mode is SevMode.SEV_SNP
+    assert snapshot.resident_bytes == ctx.memory.resident_bytes
+    assert snapshot.nominal_bytes > snapshot.resident_bytes  # scaled build
+    assert snapshot.launch_digest == ctx.sev.launch_digest
+
+
+def test_sev_snapshot_pages_are_ciphertext(machine):
+    ctx = _booted_sev_ctx(machine)
+    snapshot = take_snapshot(ctx)
+    verifier_page = ctx.config.layout.verifier_addr // 4096
+    assert snapshot.pages[verifier_page][:4] != b"SVBV"
+
+
+def test_fresh_key_restore_refused(machine):
+    snapshot = take_snapshot(_booted_sev_ctx(machine))
+    with pytest.raises(SnapshotError, match="fresh"):
+        machine.sim.run_process(
+            restore(machine, snapshot, RestorePolicy.SEV_FRESH_KEY)
+        )
+
+
+def test_lazy_cow_refused_for_sev(machine):
+    snapshot = take_snapshot(_booted_sev_ctx(machine))
+    with pytest.raises(SnapshotError, match="RMP"):
+        machine.sim.run_process(restore(machine, snapshot, RestorePolicy.LAZY_COW))
+
+
+def test_key_reuse_refused_for_plain(machine):
+    snapshot = take_snapshot(_plain_ctx(machine))
+    with pytest.raises(SnapshotError, match="non-SEV"):
+        machine.sim.run_process(
+            restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE)
+        )
+
+
+def test_plain_lazy_restore_is_nearly_free(machine):
+    snapshot = take_snapshot(_plain_ctx(machine))
+    outcome = machine.sim.run_process(
+        restore(machine, snapshot, RestorePolicy.LAZY_COW)
+    )
+    assert outcome.restore_ms < 5.0
+    assert outcome.private_bytes == 0
+
+
+def test_sev_key_reuse_restore_costs_full_copy(machine):
+    ctx = _booted_sev_ctx(machine)
+    snapshot = take_snapshot(ctx)
+    outcome = machine.sim.run_process(
+        restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE)
+    )
+    assert outcome.private_bytes == snapshot.nominal_bytes
+    # Still much cheaper than a cold boot (~160 ms), but far from free.
+    assert 3.0 < outcome.restore_ms < 120.0
+
+
+def test_sev_restore_faster_than_cold_boot_but_slower_than_cow():
+    machine = Machine()
+    sev_snapshot = take_snapshot(_booted_sev_ctx(machine))
+    sev_outcome = machine.sim.run_process(
+        restore(machine, sev_snapshot, RestorePolicy.SEV_KEY_REUSE)
+    )
+    machine2 = Machine()
+    plain_snapshot = take_snapshot(_plain_ctx(machine2))
+    plain_outcome = machine2.sim.run_process(
+        restore(machine2, plain_snapshot, RestorePolicy.LAZY_COW)
+    )
+    assert plain_outcome.restore_ms < sev_outcome.restore_ms
+
+
+class TestRestoreBackedPlatform:
+    """Snapshot restores as repeat cold starts (§7.1 in the scheduler)."""
+
+    def _platform(self):
+        from repro.core.config import VmConfig
+        from repro.core.severifast import SEVeriFast
+        from repro.formats.kernels import AWS
+        from repro.serverless.platform import ServerlessPlatform
+        from repro.serverless.snapshots import RestorePolicy, restore
+        from repro.vmm.firecracker import FirecrackerVMM
+
+        machine = Machine()
+        config = VmConfig(kernel=AWS, attest=False)
+        sf = SEVeriFast(machine=machine)
+        prepared = sf.prepare(config, machine)
+
+        snapshot = take_snapshot(_booted_sev_ctx(Machine()))
+
+        def boot():
+            vmm = FirecrackerVMM(machine)
+            result = yield from vmm.boot_severifast(
+                config, prepared.artifacts, prepared.initrd, hashes=prepared.hashes
+            )
+            return result
+
+        def restore_boot():
+            outcome = yield from restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE)
+            return outcome
+
+        return ServerlessPlatform(
+            machine.sim, boot, keepalive_ms=100.0, restore_factory=restore_boot
+        )
+
+    def test_second_cold_start_is_a_restore(self):
+        from repro.serverless.trace import Invocation, InvocationTrace
+
+        platform = self._platform()
+        trace = InvocationTrace(
+            invocations=[
+                Invocation(arrival_ms=0.0, function="fn", exec_ms=10.0),
+                Invocation(arrival_ms=5000.0, function="fn", exec_ms=10.0),
+            ],
+            horizon_ms=6000.0,
+        )
+        stats = platform.run(trace)
+        assert stats.cold_starts == 2
+        assert stats.restored_starts == 1
+        first, second = stats.outcomes
+        assert not first.restored and second.restored
+        assert second.boot_ms < first.boot_ms  # restore beats full boot
+
+    def test_restore_never_used_for_unseen_functions(self):
+        from repro.serverless.trace import Invocation, InvocationTrace
+
+        platform = self._platform()
+        trace = InvocationTrace(
+            invocations=[Invocation(arrival_ms=0.0, function="new-fn", exec_ms=5.0)],
+            horizon_ms=100.0,
+        )
+        stats = platform.run(trace)
+        assert stats.restored_starts == 0

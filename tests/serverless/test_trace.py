@@ -1,0 +1,49 @@
+"""Synthetic invocation traces."""
+
+import pytest
+
+from repro.serverless.trace import synthesize_trace
+
+
+def test_trace_is_sorted_and_bounded():
+    trace = synthesize_trace(num_functions=5, horizon_ms=10_000, seed=1)
+    arrivals = [inv.arrival_ms for inv in trace]
+    assert arrivals == sorted(arrivals)
+    assert all(0 <= t < 10_000 for t in arrivals)
+
+
+def test_deterministic_given_seed():
+    a = synthesize_trace(seed=7)
+    b = synthesize_trace(seed=7)
+    assert [(i.arrival_ms, i.function) for i in a] == [
+        (i.arrival_ms, i.function) for i in b
+    ]
+    c = synthesize_trace(seed=8)
+    assert [(i.arrival_ms, i.function) for i in a] != [
+        (i.arrival_ms, i.function) for i in c
+    ]
+
+
+def test_aggregate_rate_roughly_respected():
+    trace = synthesize_trace(
+        num_functions=8, horizon_ms=120_000, mean_rate_per_s=5.0, seed=3
+    )
+    assert trace.arrivals_per_second() == pytest.approx(5.0, rel=0.3)
+
+
+def test_zipf_popularity_skew():
+    trace = synthesize_trace(num_functions=10, horizon_ms=300_000, seed=2)
+    counts = {}
+    for inv in trace:
+        counts[inv.function] = counts.get(inv.function, 0) + 1
+    assert counts.get("fn-0", 0) > counts.get("fn-9", 0) * 2
+
+
+def test_exec_times_positive():
+    trace = synthesize_trace(seed=4)
+    assert all(inv.exec_ms >= 1.0 for inv in trace)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        synthesize_trace(num_functions=0)

@@ -1,0 +1,77 @@
+"""Attestation reports: signing, serialization, forgery resistance."""
+
+import pytest
+
+from repro.crypto.ecdsa import SigningKey
+from repro.sev.attestation import AttestationReport, ReportError
+
+
+@pytest.fixture
+def key() -> SigningKey:
+    return SigningKey.from_seed(b"vcek")
+
+
+def _report(key, **overrides) -> AttestationReport:
+    fields = dict(
+        policy=b"\x02\x00\x01\x33",
+        measurement=b"\x11" * 48,
+        report_data=b"\x22" * 64,
+        chip_id=b"\x33" * 32,
+    )
+    fields.update(overrides)
+    return AttestationReport.sign(key, **fields)
+
+
+def test_sign_and_verify(key):
+    report = _report(key)
+    assert report.verify(key.public)
+
+
+def test_wire_roundtrip(key):
+    report = _report(key)
+    parsed = AttestationReport.from_bytes(report.to_bytes())
+    assert parsed == report
+    assert parsed.verify(key.public)
+
+
+def test_bitflip_anywhere_breaks_verification(key):
+    raw = bytearray(_report(key).to_bytes())
+    for offset in (0, 10, 60, 120, 150, len(raw) - 1):
+        flipped = bytearray(raw)
+        flipped[offset] ^= 0x01
+        try:
+            tampered = AttestationReport.from_bytes(bytes(flipped))
+        except (ReportError, ValueError):
+            continue
+        assert not tampered.verify(key.public), f"flip at {offset} not caught"
+
+
+def test_report_data_padded_to_64(key):
+    report = _report(key, report_data=b"short")
+    assert len(report.report_data) == 64
+    assert report.verify(key.public)
+
+
+def test_field_length_validation(key):
+    with pytest.raises(ReportError):
+        _report(key, measurement=b"\x00" * 47)
+    with pytest.raises(ReportError):
+        _report(key, policy=b"\x00" * 3)
+    with pytest.raises(ReportError):
+        _report(key, chip_id=b"\x00" * 31)
+
+
+def test_wrong_length_wire_rejected(key):
+    with pytest.raises(ReportError):
+        AttestationReport.from_bytes(_report(key).to_bytes()[:-1])
+
+
+def test_different_chip_key_rejected(key):
+    other = SigningKey.from_seed(b"other-chip")
+    assert not _report(key).verify(other.public)
+
+
+def test_distinct_measurements_distinct_reports(key):
+    a = _report(key, measurement=b"\xaa" * 48)
+    b = _report(key, measurement=b"\xbb" * 48)
+    assert a.signature != b.signature

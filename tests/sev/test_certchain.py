@@ -1,0 +1,98 @@
+"""The ARK→ASK→VCEK certificate chain."""
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.hw.platform import Machine
+from repro.sev.certchain import (
+    AmdKeyHierarchy,
+    Certificate,
+    ChainError,
+    verify_chain,
+    verify_report_with_chain,
+)
+
+
+@pytest.fixture(scope="module")
+def hierarchy() -> AmdKeyHierarchy:
+    return AmdKeyHierarchy.generate(b"chip-epyc-0001")
+
+
+def test_valid_chain_proves_vcek(hierarchy):
+    vcek = verify_chain(hierarchy.chain, hierarchy.ark_key.public)
+    assert vcek == hierarchy.vcek_key.public
+
+
+def test_ark_is_self_signed(hierarchy):
+    assert hierarchy.ark_cert.verify_signed_by(hierarchy.ark_key.public)
+    assert hierarchy.ark_cert.subject == hierarchy.ark_cert.issuer
+
+
+def test_untrusted_root_rejected(hierarchy):
+    rogue_ark = ecdsa.SigningKey.from_seed(b"rogue-root")
+    with pytest.raises(ChainError, match="trusted"):
+        verify_chain(hierarchy.chain, rogue_ark.public)
+
+
+def test_forged_vcek_rejected(hierarchy):
+    rogue = ecdsa.SigningKey.from_seed(b"rogue-vcek")
+    forged = Certificate.issue(
+        "Forged VCEK", "vcek", rogue.public,
+        hierarchy.ask_cert.subject, rogue,  # signed by itself, not the ASK
+    )
+    chain = (forged, hierarchy.ask_cert, hierarchy.ark_cert)
+    with pytest.raises(ChainError, match="VCEK"):
+        verify_chain(chain, hierarchy.ark_key.public)
+
+
+def test_role_confusion_rejected(hierarchy):
+    chain = (hierarchy.ask_cert, hierarchy.vcek_cert, hierarchy.ark_cert)
+    with pytest.raises(ChainError, match="roles"):
+        verify_chain(chain, hierarchy.ark_key.public)
+
+
+def test_truncated_chain_rejected(hierarchy):
+    with pytest.raises(ChainError, match="3-certificate"):
+        verify_chain((hierarchy.vcek_cert, hierarchy.ark_cert), hierarchy.ark_key.public)
+
+
+def test_per_chip_vceks_differ_under_one_ark():
+    a = AmdKeyHierarchy.generate(b"chip-a")
+    b = AmdKeyHierarchy.generate(b"chip-b")
+    assert a.ark_key.public == b.ark_key.public
+    assert a.vcek_key.public != b.vcek_key.public
+    # Both chains verify against the same root.
+    assert verify_chain(a.chain, a.ark_key.public) == a.vcek_key.public
+    assert verify_chain(b.chain, a.ark_key.public) == b.vcek_key.public
+
+
+def test_psp_exposes_valid_chain():
+    machine = Machine()
+    hierarchy = machine.psp.key_hierarchy
+    vcek = verify_chain(machine.psp.cert_chain, hierarchy.ark_key.public)
+    assert vcek == machine.psp.vcek.public
+
+
+def test_report_verifies_through_chain():
+    from repro.core.severifast import SEVeriFast
+    from repro.core.config import VmConfig
+    from repro.formats.kernels import AWS
+    from repro.sev.attestation import AttestationReport
+
+    machine = Machine()
+    sf = SEVeriFast(machine=machine)
+    prepared = sf.prepare(VmConfig(kernel=AWS), machine)
+    # Sign a report directly and validate it via the chain, as a real
+    # guest owner (holding only the ARK) would.
+    report = AttestationReport.sign(
+        machine.psp.vcek,
+        policy=b"\x02\x00\x01\x33",
+        measurement=prepared.expected_digest,
+        report_data=b"\x00" * 64,
+        chip_id=machine.psp.chip_id,
+    )
+    ark_public = machine.psp.key_hierarchy.ark_key.public
+    assert verify_report_with_chain(report, machine.psp.cert_chain, ark_public)
+    # A chain from a different chip does not vouch for this report.
+    other = Machine()
+    assert not verify_report_with_chain(report, other.psp.cert_chain, ark_public)

@@ -1,0 +1,142 @@
+"""The guest owner's validation procedure and secret release."""
+
+import pytest
+
+from repro.crypto.ecdsa import SigningKey
+from repro.crypto.sha2 import sha256
+from repro.sev.attestation import AttestationReport
+from repro.sev.guestowner import AttestationFailure, GuestOwner, WrappedSecret
+from repro.sev.policy import GuestPolicy
+
+_DIGEST = b"\x44" * 48
+_NONCE = b"\x55" * 32
+_TRANSPORT = sha256(b"transport-key")
+_POLICY = GuestPolicy().to_bytes()
+
+
+@pytest.fixture
+def vcek() -> SigningKey:
+    return SigningKey.from_seed(b"vcek")
+
+
+@pytest.fixture
+def owner(vcek) -> GuestOwner:
+    return GuestOwner(
+        trusted_vcek=vcek.public, expected_digest=_DIGEST, secret=b"db-password"
+    )
+
+
+def _report(vcek, measurement=_DIGEST, report_data=None, policy=_POLICY):
+    if report_data is None:
+        report_data = GuestOwner.bind_report_data(_NONCE, _TRANSPORT)
+    return AttestationReport.sign(
+        vcek,
+        policy=policy,
+        measurement=measurement,
+        report_data=report_data,
+        chip_id=b"\x66" * 32,
+    )
+
+
+def test_valid_report_releases_secret(owner, vcek):
+    wrapped = owner.validate_and_release(_report(vcek), _NONCE, _TRANSPORT)
+    assert wrapped.unwrap(_TRANSPORT) == b"db-password"
+    assert owner.audit_log == ["accepted"]
+
+
+def test_secret_is_not_plaintext_on_the_wire(owner, vcek):
+    wrapped = owner.validate_and_release(_report(vcek), _NONCE, _TRANSPORT)
+    assert b"db-password" not in wrapped.ciphertext + wrapped.mac
+
+
+def test_wrong_transport_key_cannot_unwrap(owner, vcek):
+    wrapped = owner.validate_and_release(_report(vcek), _NONCE, _TRANSPORT)
+    with pytest.raises(AttestationFailure):
+        wrapped.unwrap(sha256(b"attacker-key"))
+
+
+def test_untrusted_platform_rejected(owner):
+    rogue = SigningKey.from_seed(b"rogue-chip")
+    with pytest.raises(AttestationFailure, match="signature"):
+        owner.validate_and_release(_report(rogue), _NONCE, _TRANSPORT)
+
+
+def test_digest_mismatch_rejected(owner, vcek):
+    """§2.6 attacks 2 and 3 land here: a different root of trust produces
+    a different launch digest."""
+    report = _report(vcek, measurement=b"\x99" * 48)
+    with pytest.raises(AttestationFailure, match="digest"):
+        owner.validate_and_release(report, _NONCE, _TRANSPORT)
+
+
+def test_stale_nonce_rejected(owner, vcek):
+    report = _report(vcek)
+    with pytest.raises(AttestationFailure, match="report data"):
+        owner.validate_and_release(report, b"\x00" * 32, _TRANSPORT)
+
+
+def test_wrong_transport_binding_rejected(owner, vcek):
+    report = _report(vcek)
+    with pytest.raises(AttestationFailure, match="report data"):
+        owner.validate_and_release(report, _NONCE, sha256(b"other"))
+
+
+def test_policy_check_optional(vcek):
+    strict = GuestOwner(
+        trusted_vcek=vcek.public,
+        expected_digest=_DIGEST,
+        secret=b"s",
+        expected_policy=b"\xde\xad\xbe\xef",
+    )
+    with pytest.raises(AttestationFailure, match="policy"):
+        strict.validate_and_release(_report(vcek), _NONCE, _TRANSPORT)
+
+
+def test_rejections_are_audited(owner, vcek):
+    with pytest.raises(AttestationFailure):
+        owner.validate_and_release(
+            _report(vcek, measurement=b"\x00" * 48), _NONCE, _TRANSPORT
+        )
+    assert owner.audit_log and owner.audit_log[0].startswith("rejected")
+
+
+def test_tampered_wrapped_secret_detected():
+    wrapped = WrappedSecret(ciphertext=b"\x01\x02\x03", mac=b"\x00" * 32)
+    with pytest.raises(AttestationFailure, match="MAC"):
+        wrapped.unwrap(_TRANSPORT)
+
+
+def test_bind_report_data_is_64_bytes():
+    data = GuestOwner.bind_report_data(b"n" * 32, b"t" * 32)
+    assert len(data) == 64
+    assert GuestOwner.bind_report_data(b"n" * 32, b"t" * 32) == data
+    assert GuestOwner.bind_report_data(b"m" * 32, b"t" * 32) != data
+
+
+class TestChainConstruction:
+    def test_with_chain_pins_proven_vcek(self, vcek):
+        from repro.hw.platform import Machine
+
+        machine = Machine()
+        owner = GuestOwner.with_chain(
+            trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+            cert_chain=machine.psp.cert_chain,
+            expected_digest=_DIGEST,
+            secret=b"s",
+        )
+        assert owner.trusted_vcek == machine.psp.vcek.public
+
+    def test_with_chain_rejects_rogue_chain(self):
+        from repro.crypto.ecdsa import SigningKey
+        from repro.hw.platform import Machine
+        from repro.sev.certchain import ChainError
+
+        machine = Machine()
+        rogue_root = SigningKey.from_seed(b"rogue")
+        with pytest.raises(ChainError):
+            GuestOwner.with_chain(
+                trusted_ark=rogue_root.public,
+                cert_chain=machine.psp.cert_chain,
+                expected_digest=_DIGEST,
+                secret=b"s",
+            )

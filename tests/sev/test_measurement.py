@@ -1,0 +1,89 @@
+"""Launch-measurement chain properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sev.measurement import LaunchMeasurement, expected_digest
+
+
+def test_empty_chain_digest_is_initial():
+    chain = LaunchMeasurement()
+    digest = chain.finalize()
+    assert digest == b"\x00" * 48
+
+
+def test_extend_changes_digest():
+    chain = LaunchMeasurement()
+    before = chain.digest
+    chain.extend(0x1000, b"code")
+    assert chain.digest != before
+    assert len(chain.digest) == 48
+
+
+def test_order_sensitivity():
+    a = expected_digest([(0, b"first", None), (4096, b"second", None)])
+    b = expected_digest([(4096, b"second", None), (0, b"first", None)])
+    assert a != b
+
+
+def test_position_sensitivity():
+    a = expected_digest([(0x1000, b"data", None)])
+    b = expected_digest([(0x2000, b"data", None)])
+    assert a != b
+
+
+def test_content_sensitivity():
+    a = expected_digest([(0x1000, b"data", None)])
+    b = expected_digest([(0x1000, b"Data", None)])
+    assert a != b
+
+
+def test_nominal_size_is_part_of_measurement():
+    a = expected_digest([(0x1000, b"data", 4)])
+    b = expected_digest([(0x1000, b"data", 4096)])
+    assert a != b
+
+
+def test_extend_after_finalize_rejected():
+    chain = LaunchMeasurement()
+    chain.finalize()
+    with pytest.raises(RuntimeError):
+        chain.extend(0, b"late")
+
+
+def test_matches_requires_finalized():
+    chain = LaunchMeasurement()
+    chain.extend(0, b"x")
+    assert not chain.matches(chain.digest)
+    digest = chain.finalize()
+    assert chain.matches(digest)
+    assert not chain.matches(b"\x00" * 48)
+
+
+def test_measured_bytes_accumulates_nominal():
+    chain = LaunchMeasurement()
+    chain.extend(0, b"abcd", 13 * 1024)
+    chain.extend(4096, b"efgh")
+    assert chain.measured_bytes == 13 * 1024 + 4
+
+
+def test_offline_digest_matches_incremental():
+    regions = [(0, b"a" * 100, None), (8192, b"b" * 50, 4096)]
+    chain = LaunchMeasurement()
+    for gpa, data, nominal in regions:
+        chain.extend(gpa, data, nominal)
+    assert chain.finalize() == expected_digest(regions)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**40), st.binary(max_size=200)),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_determinism_property(regions):
+    spec = [(gpa, data, None) for gpa, data in regions]
+    assert expected_digest(spec) == expected_digest(spec)

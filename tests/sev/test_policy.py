@@ -1,0 +1,31 @@
+"""Guest policy encoding and mode capabilities."""
+
+from repro.sev.policy import GuestPolicy, SevMode
+
+
+def test_mode_capabilities():
+    assert not SevMode.SEV.has_rmp
+    assert not SevMode.SEV_ES.has_rmp
+    assert SevMode.SEV_SNP.has_rmp
+    assert not SevMode.SEV.encrypts_register_state
+    assert SevMode.SEV_ES.encrypts_register_state
+    assert SevMode.SEV_SNP.encrypts_register_state
+
+
+def test_policy_bytes_distinguish_modes():
+    encodings = {GuestPolicy(mode=mode).to_bytes() for mode in SevMode}
+    assert len(encodings) == 3
+
+
+def test_policy_bytes_distinguish_flags():
+    base = GuestPolicy()
+    debug = GuestPolicy(debug_allowed=True)
+    assert base.to_bytes() != debug.to_bytes()
+    assert len(base.to_bytes()) == 4
+
+
+def test_default_policy_is_snp_no_debug():
+    policy = GuestPolicy()
+    assert policy.mode is SevMode.SEV_SNP
+    assert not policy.debug_allowed
+    assert not policy.migration_allowed

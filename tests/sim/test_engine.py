@@ -1,0 +1,357 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Resource, SimulationError, Simulator
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        yield sim.timeout(2.5)
+
+    sim.run_process(proc())
+    assert sim.now == pytest.approx(7.5)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(1.0, value="payload")
+        return value
+
+    assert sim.run_process(proc()) == "payload"
+
+
+def test_zero_timeout_is_allowed():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0.0)
+        return "done"
+
+    assert sim.run_process(proc()) == "done"
+    assert sim.now == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return 42
+
+    assert sim.run_process(proc()) == 42
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        sim.run_process(proc())
+
+
+def test_process_waits_on_another_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3.0)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child())
+        return (result, sim.now)
+
+    result, now = sim.run_process(parent())
+    assert result == "child-result"
+    assert now == pytest.approx(3.0)
+
+
+def test_event_succeed_once():
+    sim = Simulator()
+    evt = sim.event("e")
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_fail_delivers_exception():
+    sim = Simulator()
+    evt = sim.event("e")
+
+    def proc():
+        yield evt
+
+    process = sim.process(proc())
+    evt.fail(RuntimeError("failed event"))
+    sim.run()
+    assert process.triggered and not process.ok
+    assert isinstance(process.value, RuntimeError)
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    evt = sim.event("e")
+    with pytest.raises(SimulationError):
+        evt.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def proc():
+        yield 123  # type: ignore[misc]
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.triggered and not process.ok
+    assert isinstance(process.value, SimulationError)
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_pauses_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10.0)
+
+    sim.process(proc())
+    sim.run(until=4.0)
+    assert sim.now == pytest.approx(4.0)
+    sim.run()
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_deadlocked_process_detected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.event("never")
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(proc())
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def proc():
+        values = yield sim.all_of([sim.timeout(1.0, "x"), sim.timeout(5.0, "y")])
+        return (values, sim.now)
+
+    values, now = sim.run_process(proc())
+    assert values == ["x", "y"]
+    assert now == pytest.approx(5.0)
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc():
+        _evt, value = yield sim.any_of([sim.timeout(9.0, "slow"), sim.timeout(2.0, "fast")])
+        return (value, sim.now)
+
+    value, now = sim.run_process(proc())
+    assert value == "fast"
+    assert now == pytest.approx(2.0)
+
+
+def test_all_of_empty_completes_immediately():
+    sim = Simulator()
+
+    def proc():
+        values = yield sim.all_of([])
+        return values
+
+    assert sim.run_process(proc()) == []
+
+
+def test_interrupt_is_catchable():
+    sim = Simulator()
+    caught = []
+
+    def victim():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as exc:
+            caught.append(exc.cause)
+        return "survived"
+
+    def attacker(target):
+        yield sim.timeout(1.0)
+        target.interrupt("preempted")
+
+    target = sim.process(victim())
+    sim.process(attacker(target))
+    sim.run()
+    assert caught == ["preempted"]
+    assert target.ok and target.value == "survived"
+    assert sim.now < 100.0 or sim.now == pytest.approx(100.0)
+
+
+def test_interrupting_dead_process_is_error():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    process = sim.process(proc())
+    sim.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+class TestResource:
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def user(tag, hold):
+            grant = yield resource.request()
+            order.append(("start", tag, sim.now))
+            yield sim.timeout(hold)
+            resource.release(grant)
+
+        for tag in ("a", "b", "c"):
+            sim.process(user(tag, 10.0))
+        sim.run()
+        starts = [(tag, t) for _kind, tag, t in order]
+        assert starts == [("a", 0.0), ("b", 10.0), ("c", 20.0)]
+
+    def test_capacity_two_runs_pairs(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=2)
+        finish = {}
+
+        def user(tag):
+            grant = yield resource.request()
+            yield sim.timeout(10.0)
+            resource.release(grant)
+            finish[tag] = sim.now
+
+        for tag in range(4):
+            sim.process(user(tag))
+        sim.run()
+        assert finish == {0: 10.0, 1: 10.0, 2: 20.0, 3: 20.0}
+
+    def test_release_without_grant_rejected(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        bogus = sim.event("bogus")
+        with pytest.raises(SimulationError):
+            resource.release(bogus)
+
+    def test_statistics(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def user():
+            yield from resource.use(5.0)
+
+        sim.process(user())
+        sim.process(user())
+        sim.run()
+        assert resource.total_requests == 2
+        assert resource.busy_time == pytest.approx(10.0)
+        assert resource.total_wait_time == pytest.approx(5.0)
+
+    def test_zero_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_queue_length_visible(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        grant_holder = []
+
+        def holder():
+            grant = yield resource.request()
+            grant_holder.append(grant)
+            yield sim.timeout(10.0)
+            resource.release(grant)
+
+        def waiter():
+            yield sim.timeout(1.0)
+            grant = yield resource.request()
+            resource.release(grant)
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=2.0)
+        assert resource.queue_length == 1
+        sim.run()
+        assert resource.queue_length == 0
+
+
+class TestScale:
+    def test_thousand_processes_on_one_resource(self):
+        """A Fig. 12-sized contention scenario resolves exactly."""
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        done = []
+
+        def worker(tag):
+            yield from resource.use(1.0)
+            done.append(tag)
+
+        for tag in range(1000):
+            sim.process(worker(tag))
+        sim.run()
+        assert len(done) == 1000
+        assert sim.now == pytest.approx(1000.0)
+        assert resource.busy_time == pytest.approx(1000.0)
+
+    def test_deep_process_chains(self):
+        sim = Simulator()
+
+        def chain(depth):
+            if depth == 0:
+                yield sim.timeout(1.0)
+                return 0
+            value = yield sim.process(chain(depth - 1))
+            return value + 1
+
+        assert sim.run_process(chain(100)) == 100
+        assert sim.now == pytest.approx(1.0)
+
+    def test_interleaved_timeouts_keep_order(self):
+        sim = Simulator()
+        order = []
+
+        def ticker(tag, period):
+            for _ in range(5):
+                yield sim.timeout(period)
+                order.append((sim.now, tag))
+
+        sim.process(ticker("a", 1.0))
+        sim.process(ticker("b", 1.5))
+        sim.run()
+        assert order == sorted(order, key=lambda item: item[0])

@@ -1,0 +1,90 @@
+"""CLI surface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_boot_severifast(capsys):
+    assert main(["boot", "--kernel", "lupine", "--no-attest"]) == 0
+    out = capsys.readouterr().out
+    assert "boot_verification" in out
+    assert "init executed: True" in out
+    assert "launch digest:" in out
+
+
+def test_boot_stock(capsys):
+    assert main(["boot", "--kernel", "aws", "--stack", "stock"]) == 0
+    out = capsys.readouterr().out
+    assert "attested: False" in out
+    assert "pre_encryption" not in out
+
+
+def test_boot_qemu(capsys):
+    assert main(["boot", "--kernel", "aws", "--stack", "qemu", "--no-attest"]) == 0
+    out = capsys.readouterr().out
+    assert "firmware" in out
+
+
+def test_boot_vmlinux_format(capsys):
+    assert main(["boot", "--format", "vmlinux", "--no-attest"]) == 0
+    out = capsys.readouterr().out
+    assert "bootstrap_loader" not in out  # no decompression stage
+
+
+def test_digest_tool(capsys):
+    assert main(["digest", "--kernel", "aws"]) == 0
+    out = capsys.readouterr().out
+    assert "launch digest (expected):" in out
+    digest_line = [l for l in out.splitlines() if "expected" in l][0]
+    assert len(digest_line.split(":")[1].strip()) == 96  # 48 bytes hex
+
+
+def test_digest_is_stable(capsys):
+    main(["digest", "--kernel", "aws"])
+    first = capsys.readouterr().out
+    main(["digest", "--kernel", "aws"])
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_kernels_table(capsys):
+    assert main(["kernels"]) == 0
+    out = capsys.readouterr().out
+    for name in ("lupine", "aws", "ubuntu"):
+        assert name in out
+    assert "7.1M" in out
+
+
+def test_sweep(capsys):
+    assert main(["sweep", "--max-vms", "5", "--kernel", "aws"]) == 0
+    out = capsys.readouterr().out
+    assert "trend:" in out
+
+
+def test_parser_rejects_unknown_kernel():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["boot", "--kernel", "debian"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_serverless_command(capsys):
+    assert main(["serverless", "--horizon-s", "5", "--functions", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "stock" in out and "SEVeriFast" in out
+    assert "cold starts" in out
+
+
+def test_report_command(capsys, tmp_path):
+    (tmp_path / "fig9_cdf.txt").write_text("table here\n")
+    assert main(["report", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fig9_cdf" in out and "table here" in out
+
+
+def test_report_command_missing_dir(capsys, tmp_path):
+    assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 1

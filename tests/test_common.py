@@ -1,0 +1,49 @@
+"""Blob and unit helpers."""
+
+import pytest
+
+from repro.common import Blob, align_up, human_size, KiB, MiB
+
+
+def test_blob_defaults_to_actual_size():
+    blob = Blob(b"abc")
+    assert blob.nominal_size == 3
+    assert blob.scale == 1.0
+    assert len(blob) == 3
+
+
+def test_blob_scaled():
+    blob = Blob(b"x" * 100, 1000, "scaled")
+    assert blob.scale == pytest.approx(0.1)
+    assert blob.nominal_size == 1000
+
+
+def test_blob_rejects_nominal_smaller_than_actual():
+    with pytest.raises(ValueError):
+        Blob(b"x" * 10, 5)
+
+
+def test_blob_with_label():
+    blob = Blob(b"x", 1).with_label("renamed")
+    assert blob.label == "renamed"
+    assert blob.data == b"x"
+
+
+def test_empty_blob_scale():
+    assert Blob(b"", 0).scale == 1.0
+
+
+def test_align_up():
+    assert align_up(0, 4096) == 0
+    assert align_up(1, 4096) == 4096
+    assert align_up(4096, 4096) == 4096
+    assert align_up(4097, 16) == 4112
+    with pytest.raises(ValueError):
+        align_up(1, 0)
+
+
+def test_human_size():
+    assert human_size(int(3.3 * MiB)) == "3.3M"
+    assert human_size(15 * MiB) == "15M"
+    assert human_size(13 * KiB) == "13K"
+    assert human_size(155) == "155B"

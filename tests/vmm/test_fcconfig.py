@@ -1,0 +1,122 @@
+"""Firecracker-style JSON VM configuration parsing."""
+
+import json
+
+import pytest
+
+from repro.common import MiB
+from repro.core.config import KernelFormat
+from repro.sev.policy import SevMode
+from repro.vmm.fcconfig import (
+    ConfigError,
+    dump_vm_config,
+    load_vm_config,
+    parse_vm_config,
+)
+
+
+def _doc(**overrides):
+    doc = {
+        "machine-config": {"vcpu_count": 2, "mem_size_mib": 256},
+        "boot-source": {
+            "kernel_image_path": "/images/vmlinux-aws.bz",
+            "boot_args": "console=ttyS0 reboot=k panic=1",
+            "initrd_path": "/images/initrd.cpio",
+            "kernel_format": "bzimage",
+        },
+        "sev": {"mode": "sev-snp", "attest": True},
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_parse_full_document():
+    config = parse_vm_config(_doc())
+    assert config.kernel.name == "aws"
+    assert config.vcpus == 2
+    assert config.memory_size == 256 * MiB
+    assert config.cmdline == "console=ttyS0 reboot=k panic=1"
+    assert config.kernel_format is KernelFormat.BZIMAGE
+    assert config.sev_policy.mode is SevMode.SEV_SNP
+    assert config.attest
+
+
+def test_kernel_inferred_from_path():
+    doc = _doc()
+    doc["boot-source"]["kernel_image_path"] = "kernels/UBUNTU-6.4.bin"
+    assert parse_vm_config(doc).kernel.name == "ubuntu"
+
+
+def test_unknown_kernel_path_rejected():
+    doc = _doc()
+    doc["boot-source"]["kernel_image_path"] = "kernels/debian.bin"
+    with pytest.raises(ConfigError, match="infer kernel"):
+        parse_vm_config(doc)
+
+
+def test_defaults_applied():
+    config = parse_vm_config(
+        {"boot-source": {"kernel_image_path": "vmlinux-lupine"}}
+    )
+    assert config.vcpus == 1
+    assert config.memory_size == 256 * MiB
+    assert config.sev_policy.mode is SevMode.SEV_SNP
+
+
+def test_missing_boot_source_rejected():
+    with pytest.raises(ConfigError, match="boot-source"):
+        parse_vm_config({"machine-config": {}})
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ConfigError):
+        parse_vm_config(_doc(sev={"mode": "sgx"}))
+
+
+def test_invalid_format_rejected():
+    doc = _doc()
+    doc["boot-source"]["kernel_format"] = "uImage"
+    with pytest.raises(ConfigError):
+        parse_vm_config(doc)
+
+
+def test_roundtrip_through_dump():
+    config = parse_vm_config(_doc())
+    assert parse_vm_config(dump_vm_config(config)).kernel.name == "aws"
+
+
+def test_load_from_file(tmp_path):
+    path = tmp_path / "vm.json"
+    path.write_text(json.dumps(_doc()))
+    config = load_vm_config(path)
+    assert config.kernel.name == "aws"
+
+
+def test_invalid_json_rejected(tmp_path):
+    path = tmp_path / "vm.json"
+    path.write_text("{not json")
+    with pytest.raises(ConfigError, match="JSON"):
+        load_vm_config(path)
+
+
+def test_cli_digest_with_config_file(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "vm.json"
+    path.write_text(json.dumps(_doc()))
+    assert main(["digest", "--config", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "launch digest (expected):" in out
+
+
+def test_cli_config_digest_differs_from_default(tmp_path, capsys):
+    """The config's vcpu_count=2 changes the mptable, hence the digest."""
+    from repro.cli import main
+
+    path = tmp_path / "vm.json"
+    path.write_text(json.dumps(_doc()))
+    main(["digest", "--config", str(path)])
+    with_config = capsys.readouterr().out.splitlines()[-1]
+    main(["digest", "--kernel", "aws"])
+    default = capsys.readouterr().out.splitlines()[-1]
+    assert with_config != default

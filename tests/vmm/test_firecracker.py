@@ -1,0 +1,179 @@
+"""Firecracker VMM boot paths."""
+
+import pytest
+
+from repro.core.config import KernelFormat, VmConfig
+from repro.core.oob_hash import hash_boot_components
+from repro.formats.kernels import AWS, LUPINE, build_initrd, build_kernel
+from repro.hw.platform import Machine
+from repro.vmm.firecracker import (
+    BASE_BINARY_SIZE,
+    SEV_SUPPORT_DELTA,
+    FirecrackerVMM,
+)
+from repro.vmm.timeline import BootPhase
+
+
+def _boot_stock(machine, config):
+    vmm = FirecrackerVMM(machine)
+    artifacts = build_kernel(config.kernel, config.scale)
+    initrd = build_initrd(config.scale)
+    return machine.sim.run_process(vmm.boot_stock(config, artifacts, initrd))
+
+
+def _boot_severifast(machine, config, **kwargs):
+    vmm = FirecrackerVMM(machine, **kwargs.pop("vmm_kwargs", {}))
+    artifacts = build_kernel(config.kernel, config.scale)
+    initrd = build_initrd(config.scale)
+    return machine.sim.run_process(
+        vmm.boot_severifast(config, artifacts, initrd, **kwargs)
+    )
+
+
+class TestStockBoot:
+    def test_reaches_init_without_sev(self, machine, aws_config):
+        result = _boot_stock(machine, aws_config)
+        assert result.init_executed
+        assert not result.sev
+        assert result.launch_digest is None
+
+    def test_aws_boot_around_40ms(self, machine, aws_config):
+        """§3.1: a stock AWS-kernel Firecracker boot is ~40 ms."""
+        result = _boot_stock(machine, aws_config)
+        assert 30.0 < result.boot_ms < 55.0
+
+    def test_lupine_under_40ms(self, machine, lupine_config):
+        """§3.2: the non-SEV Lupine reference boot is <40 ms."""
+        result = _boot_stock(machine, lupine_config)
+        assert result.boot_ms < 40.0
+
+    def test_no_verifier_or_decompression_phases(self, machine, aws_config):
+        result = _boot_stock(machine, aws_config)
+        breakdown = result.timeline.breakdown()
+        assert "boot_verification" not in breakdown
+        assert "bootstrap_loader" not in breakdown
+        assert "pre_encryption" not in breakdown
+
+
+class TestSEVeriFastBoot:
+    def test_full_boot_reaches_init(self, machine, aws_config):
+        result = _boot_severifast(machine, aws_config)
+        assert result.init_executed
+        assert result.sev
+        assert result.launch_digest is not None
+
+    def test_phase_structure(self, machine, aws_config):
+        result = _boot_severifast(machine, aws_config)
+        breakdown = result.timeline.breakdown()
+        for phase in ("vmm", "pre_encryption", "boot_verification",
+                      "bootstrap_loader", "linux_boot"):
+            assert phase in breakdown, phase
+
+    def test_preencryption_under_9ms(self, machine, aws_config):
+        """Fig. 10: SEVeriFast pre-encryption is ~8 ms, kernel-independent."""
+        result = _boot_severifast(machine, aws_config)
+        assert result.timeline.duration(BootPhase.PRE_ENCRYPTION) < 9.0
+
+    def test_preencryption_independent_of_kernel(self):
+        results = []
+        for config in (VmConfig(kernel=LUPINE), VmConfig(kernel=AWS)):
+            machine = Machine()
+            results.append(
+                _boot_severifast(machine, config).timeline.duration(
+                    BootPhase.PRE_ENCRYPTION
+                )
+            )
+        assert results[0] == pytest.approx(results[1], abs=0.01)
+
+    def test_about_4x_stock(self, aws_config):
+        """§6.2: SEVeriFast AWS boot ≈ 4x stock Firecracker."""
+        stock = _boot_stock(Machine(), aws_config).boot_ms
+        sev = _boot_severifast(Machine(), aws_config).boot_ms
+        assert 2.5 < sev / stock < 5.5
+
+    def test_bzimage_beats_vmlinux(self):
+        """§6.2/Fig. 11: the compressed kernel wins under SEV."""
+        bz = _boot_severifast(Machine(), VmConfig(kernel=AWS)).boot_ms
+        vm = _boot_severifast(
+            Machine(), VmConfig(kernel=AWS, kernel_format=KernelFormat.VMLINUX)
+        ).boot_ms
+        assert bz < vm
+
+    def test_attestation_via_owner(self, sf, aws_config):
+        machine = Machine()
+        prepared = sf.prepare(aws_config, machine)
+        vmm = FirecrackerVMM(machine)
+        result = machine.sim.run_process(
+            vmm.boot_severifast(
+                aws_config,
+                prepared.artifacts,
+                prepared.initrd,
+                owner=prepared.owner,
+                hashes=prepared.hashes,
+            )
+        )
+        assert result.attested
+        assert result.secret == sf.secret
+        assert result.launch_digest == prepared.expected_digest
+
+    def test_inband_hashing_costs_more_vmm_time(self, aws_config):
+        """§4.3: hashing kernel/initrd in the VMM adds critical-path time."""
+        oob = _boot_severifast(
+            Machine(), aws_config, vmm_kwargs={"precomputed_hashes": True}
+        )
+        inband = _boot_severifast(
+            Machine(), aws_config, vmm_kwargs={"precomputed_hashes": False}
+        )
+        delta = inband.timeline.duration(BootPhase.VMM) - oob.timeline.duration(
+            BootPhase.VMM
+        )
+        assert 5.0 < delta < 30.0  # "up to 23 ms"
+
+    def test_sev_build_required(self, machine, aws_config):
+        vmm = FirecrackerVMM(machine, sev_support=False)
+        artifacts = build_kernel(aws_config.kernel, aws_config.scale)
+        initrd = build_initrd(aws_config.scale)
+        with pytest.raises(RuntimeError, match="SEV"):
+            machine.sim.run_process(
+                vmm.boot_severifast(aws_config, artifacts, initrd)
+            )
+
+    def test_psp_occupancy_recorded(self, machine, aws_config):
+        result = _boot_severifast(machine, aws_config)
+        assert 20.0 < result.psp_occupancy_ms < 60.0
+
+
+class TestNaivePreencrypt:
+    def test_boots_but_very_slowly(self, machine, aws_config):
+        vmm = FirecrackerVMM(machine)
+        artifacts = build_kernel(aws_config.kernel, aws_config.scale)
+        initrd = build_initrd(aws_config.scale)
+        result = machine.sim.run_process(
+            vmm.boot_naive_preencrypt(aws_config, artifacts, initrd)
+        )
+        assert result.init_executed
+        # §3.2: two orders of magnitude over a non-SEV microVM boot.
+        assert result.boot_ms > 3000.0
+
+    def test_lupine_vmlinux_preencryption_about_5_65s(self, machine):
+        """§3.2's headline number."""
+        config = VmConfig(kernel=LUPINE, kernel_format=KernelFormat.VMLINUX)
+        vmm = FirecrackerVMM(machine)
+        artifacts = build_kernel(LUPINE, config.scale)
+        initrd = build_initrd(config.scale)
+        result = machine.sim.run_process(
+            vmm.boot_naive_preencrypt(config, artifacts, initrd)
+        )
+        preenc = result.timeline.duration(BootPhase.PRE_ENCRYPTION)
+        kernel_share = preenc - 3000.0  # subtract the initrd's ~3 s
+        assert kernel_share == pytest.approx(5650.0, rel=0.15)
+
+
+class TestBinarySize:
+    def test_sev_support_adds_50k(self, machine):
+        """§6.3: SEV support grows the binary by ~50 KB on ~4.2 MB."""
+        with_sev = FirecrackerVMM(machine, sev_support=True).binary_size
+        without = FirecrackerVMM(machine, sev_support=False).binary_size
+        assert with_sev - without == SEV_SUPPORT_DELTA == 50_000
+        assert without == BASE_BINARY_SIZE
+        assert 4.0e6 < with_sev < 4.3e6

@@ -1,0 +1,59 @@
+"""The fw_cfg vmlinux transfer device."""
+
+import pytest
+
+from repro.formats.elf import ElfFile, ElfSegment
+from repro.vmm.fwcfg import FwCfgDevice
+
+
+def _vmlinux() -> bytes:
+    return ElfFile(
+        entry=0x100_0000,
+        segments=[
+            ElfSegment(paddr=0x100_0000, data=b"T" * 300),
+            ElfSegment(paddr=0x100_2000, data=b"D" * 100),
+        ],
+    ).to_bytes()
+
+
+def test_from_vmlinux_splits_parts():
+    device = FwCfgDevice.from_vmlinux(_vmlinux(), nominal_size=1000)
+    assert len(device.ehdr) == 64
+    assert len(device.phdrs) == 2 * 56
+    assert [seg.paddr for seg in device.segments] == [0x100_0000, 0x100_2000]
+    assert device.entry == 0x100_0000
+
+
+def test_transfer_order_is_header_phdrs_segments():
+    device = FwCfgDevice.from_vmlinux(_vmlinux(), nominal_size=1000)
+    labels = [label for label, _data, _nom in device.transfer_order()]
+    assert labels == ["ehdr", "phdrs", "segment0", "segment1"]
+
+
+def test_protocol_hash_input_concatenates_in_order():
+    device = FwCfgDevice.from_vmlinux(_vmlinux(), nominal_size=1000)
+    blob = device.protocol_hash_input()
+    assert blob == device.ehdr + device.phdrs + b"T" * 300 + b"D" * 100
+
+
+def test_segments_scale_to_nominal():
+    raw = _vmlinux()
+    device = FwCfgDevice.from_vmlinux(raw, nominal_size=len(raw) * 10)
+    for seg in device.segments:
+        assert seg.nominal_size == pytest.approx(len(seg.data) * 10, rel=0.01)
+
+
+def test_no_upscaling_for_full_size_images():
+    raw = _vmlinux()
+    device = FwCfgDevice.from_vmlinux(raw, nominal_size=len(raw))
+    for seg in device.segments:
+        assert seg.nominal_size == len(seg.data)
+
+
+def test_protocol_avoids_second_full_copy():
+    """§5's point: the parts transferred equal the ELF content — nothing
+    is transferred twice."""
+    raw = _vmlinux()
+    device = FwCfgDevice.from_vmlinux(raw, nominal_size=len(raw))
+    total = sum(len(data) for _l, data, _n in device.transfer_order())
+    assert total <= len(raw)

@@ -1,0 +1,57 @@
+"""QEMU/OVMF baseline boots."""
+
+import pytest
+
+from repro.core.config import KernelFormat, VmConfig
+from repro.formats.kernels import AWS
+from repro.vmm.timeline import BootPhase
+
+
+def test_sev_boot_reaches_init(sf, aws_config):
+    result, extras = sf.cold_boot_qemu(aws_config)
+    assert result.init_executed
+    assert result.sev
+
+
+def test_firmware_over_3s(sf, aws_config):
+    """Fig. 10: QEMU firmware/boot-verification runtime is ~3.2 s."""
+    result, _extras = sf.cold_boot_qemu(aws_config, attest=False)
+    firmware = result.timeline.duration(BootPhase.FIRMWARE)
+    assert 3000.0 < firmware < 3400.0
+
+
+def test_preencryption_dominated_by_ovmf_volume(sf, aws_config):
+    """Fig. 10: QEMU pre-encryption ~288 ms (1 MiB firmware volume)."""
+    result, _extras = sf.cold_boot_qemu(aws_config, attest=False)
+    preenc = result.timeline.duration(BootPhase.PRE_ENCRYPTION)
+    assert preenc == pytest.approx(287.8, rel=0.15)
+
+
+def test_attestation_works_against_qemu_digest(sf, aws_config):
+    result, _extras = sf.cold_boot_qemu(aws_config, attest=True)
+    assert result.attested
+    assert result.secret == sf.secret
+
+
+def test_nonsev_boot_has_no_preencryption(sf, aws_config):
+    result, _extras = sf.cold_boot_qemu(aws_config, sev=False)
+    assert not result.sev
+    assert result.init_executed
+    assert "pre_encryption" not in result.timeline.breakdown()
+
+
+def test_nonsev_still_pays_firmware(sf, aws_config):
+    result, _extras = sf.cold_boot_qemu(aws_config, sev=False)
+    assert result.timeline.duration(BootPhase.FIRMWARE) > 3000.0
+
+
+def test_vmlinux_format_rejected(sf):
+    config = VmConfig(kernel=AWS, kernel_format=KernelFormat.VMLINUX)
+    with pytest.raises(ValueError, match="bzImage"):
+        sf.cold_boot_qemu(config)
+
+
+def test_extras_carry_ovmf_breakdown(sf, aws_config):
+    _result, extras = sf.cold_boot_qemu(aws_config, attest=False)
+    assert extras.ovmf_breakdown.total_ms > 3000.0
+    assert "dxe" in extras.ovmf_breakdown.phases

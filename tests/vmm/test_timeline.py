@@ -1,0 +1,103 @@
+"""Boot timeline accounting."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.vmm.timeline import BootPhase, BootTimeline
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def test_phase_records_interval(sim):
+    timeline = BootTimeline(sim)
+
+    def proc():
+        with timeline.phase(BootPhase.VMM):
+            yield sim.timeout(10.0)
+        with timeline.phase(BootPhase.LINUX_BOOT):
+            yield sim.timeout(30.0)
+
+    sim.run_process(proc())
+    assert timeline.duration(BootPhase.VMM) == pytest.approx(10.0)
+    assert timeline.duration(BootPhase.LINUX_BOOT) == pytest.approx(30.0)
+    assert timeline.boot_ms == pytest.approx(40.0)
+
+
+def test_attestation_excluded_from_boot_time(sim):
+    timeline = BootTimeline(sim)
+
+    def proc():
+        with timeline.phase(BootPhase.LINUX_BOOT):
+            yield sim.timeout(30.0)
+        with timeline.phase(BootPhase.ATTESTATION):
+            yield sim.timeout(200.0)
+
+    sim.run_process(proc())
+    assert timeline.boot_ms == pytest.approx(30.0)
+    assert timeline.total_ms == pytest.approx(230.0)
+
+
+def test_preencryption_is_a_subinterval_not_double_counted(sim):
+    """Pre-encryption happens inside the VMM phase; boot_ms must not
+    count it twice (Fig. 10 reports it as a separate column)."""
+    timeline = BootTimeline(sim)
+
+    def proc():
+        with timeline.phase(BootPhase.VMM):
+            yield sim.timeout(5.0)
+            with timeline.phase(BootPhase.PRE_ENCRYPTION):
+                yield sim.timeout(8.0)
+
+    sim.run_process(proc())
+    assert timeline.duration(BootPhase.VMM) == pytest.approx(13.0)
+    assert timeline.duration(BootPhase.PRE_ENCRYPTION) == pytest.approx(8.0)
+    assert timeline.boot_ms == pytest.approx(13.0)
+
+
+def test_breakdown_dict(sim):
+    timeline = BootTimeline(sim)
+
+    def proc():
+        with timeline.phase(BootPhase.BOOT_VERIFICATION):
+            yield sim.timeout(25.0)
+        with timeline.phase(BootPhase.BOOT_VERIFICATION):
+            yield sim.timeout(5.0)
+
+    sim.run_process(proc())
+    assert timeline.breakdown() == {"boot_verification": pytest.approx(30.0)}
+
+
+def test_phase_recorded_even_on_exception(sim):
+    timeline = BootTimeline(sim)
+
+    def proc():
+        with timeline.phase(BootPhase.VMM):
+            yield sim.timeout(3.0)
+            raise RuntimeError("abort boot")
+
+    with pytest.raises(RuntimeError):
+        sim.run_process(proc())
+    assert timeline.duration(BootPhase.VMM) == pytest.approx(3.0)
+
+
+def test_marks(sim):
+    timeline = BootTimeline(sim)
+
+    def proc():
+        yield sim.timeout(7.0)
+        timeline.mark("kernel-entry")
+
+    sim.run_process(proc())
+    assert timeline.events == [(7.0, "kernel-entry")]
+
+
+def test_origin_tracks_creation_time(sim):
+    def proc():
+        yield sim.timeout(4.0)
+        return BootTimeline(sim)
+
+    timeline = sim.run_process(proc())
+    assert timeline.origin == pytest.approx(4.0)
