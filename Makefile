@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench examples report all
+.PHONY: install test bench examples report trace-smoke all
 
 install:
 	$(PY) setup.py develop
@@ -18,5 +18,12 @@ examples:
 
 report:
 	$(PY) -m repro report
+
+# Boot one SEVeriFast VM with tracing on, validate the exported Chrome
+# trace JSON, then run the full export-schema test file.
+trace-smoke:
+	PYTHONPATH=src $(PY) -m repro.cli trace --kernel aws --no-attest \
+		--out /tmp/repro-trace-smoke.json > /dev/null
+	PYTHONPATH=src $(PY) -m pytest tests/sim/test_trace_export.py -q
 
 all: test bench examples

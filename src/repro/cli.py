@@ -205,6 +205,77 @@ def _cmd_serverless(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Boot with tracing enabled; export Chrome trace JSON + a summary.
+
+    Open the JSON in `chrome://tracing` or https://ui.perfetto.dev to
+    see boot phases per VM, one span per PSP command (the Fig. 12
+    serialization), and resource wait/hold intervals.
+    """
+    import pathlib
+
+    from repro.hw.platform import Machine
+    from repro.sim.trace import validate_chrome_trace
+
+    machine = Machine()
+    tracer = machine.sim.trace()
+    sf = SEVeriFast(machine=machine)
+    config = _config_from_args(args)
+
+    if args.serverless:
+        from repro.serverless.platform import ServerlessPlatform
+        from repro.serverless.trace import synthesize_trace
+        from repro.vmm.firecracker import FirecrackerVMM
+
+        prepared = sf.prepare(config, machine)
+        trace = synthesize_trace(
+            num_functions=args.functions,
+            horizon_ms=args.horizon_s * 1000.0,
+            mean_rate_per_s=args.rate,
+            seed=args.seed,
+        )
+
+        def boot():
+            vmm = FirecrackerVMM(machine)
+            result = yield from vmm.boot_severifast(
+                config,
+                prepared.artifacts,
+                prepared.initrd,
+                hashes=prepared.hashes,
+            )
+            return result
+
+        platform = ServerlessPlatform(machine.sim, boot)
+        platform.run(trace)
+    elif args.count > 1:
+        if args.stack not in ("severifast", "stock"):
+            print("--count > 1 supports --stack severifast or stock")
+            return 1
+        sf.concurrent_boots(
+            config, count=args.count, sev=args.stack == "severifast",
+            machine=machine,
+        )
+    elif args.stack == "severifast":
+        sf.cold_boot(config, machine=machine)
+    elif args.stack == "stock":
+        sf.cold_boot_stock(config, machine=machine)
+    elif args.stack == "naive":
+        sf.cold_boot_naive(config, machine=machine)
+    else:
+        sf.cold_boot_qemu(config, machine=machine)
+
+    doc = tracer.to_chrome_trace()
+    problems = validate_chrome_trace(doc)
+    out = pathlib.Path(args.out)
+    out.write_text(tracer.to_chrome_json())
+    print(tracer.summary())
+    print(
+        f"\nwrote {len(doc['traceEvents'])} trace events to {out} "
+        f"(schema: {'ok' if not problems else '; '.join(problems[:3])})"
+    )
+    return 0 if not problems else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Collate benchmarks/results/*.txt into one experiment report."""
     import pathlib
@@ -281,6 +352,37 @@ def build_parser() -> argparse.ArgumentParser:
     serverless.add_argument("--seed", type=int, default=0)
     serverless.add_argument("--scale", type=float, default=1.0 / 1024.0)
     serverless.set_defaults(func=_cmd_serverless)
+
+    trace = sub.add_parser(
+        "trace", help="boot with tracing; export Chrome trace JSON + summary"
+    )
+    _add_kernel_arg(trace)
+    trace.add_argument(
+        "--stack",
+        choices=["severifast", "qemu", "stock", "naive"],
+        default="severifast",
+    )
+    trace.add_argument(
+        "--format", choices=[f.value for f in KernelFormat], default="bzimage"
+    )
+    trace.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    trace.add_argument("--no-attest", action="store_true")
+    trace.add_argument(
+        "--config", help="Firecracker-style JSON VM configuration file"
+    )
+    trace.add_argument(
+        "--count", type=int, default=1, help="concurrent boots (Fig. 12 style)"
+    )
+    trace.add_argument(
+        "--serverless", action="store_true",
+        help="trace a synthesized serverless run instead of plain boots",
+    )
+    trace.add_argument("--functions", type=int, default=4)
+    trace.add_argument("--horizon-s", type=float, default=10.0)
+    trace.add_argument("--rate", type=float, default=2.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default="trace.json", help="output JSON path")
+    trace.set_defaults(func=_cmd_trace)
 
     report = sub.add_parser(
         "report", help="collate benchmarks/results/ into one report"

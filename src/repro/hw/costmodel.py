@@ -46,6 +46,12 @@ class CostModel:
     psp_launch_finish_ms: float = 4.0
     #: Attestation-report generation (signing on the PSP's slow core).
     psp_report_ms: float = 35.0
+    #: DF_FLUSH: write-back-invalidate every core's caches plus a data
+    #: fabric flush before retired ASID slots can be reused.  A global,
+    #: relatively expensive command — comparable to the LAUNCH_START
+    #: platform work (WBINVD across 16 Zen3 cores dominates), and it
+    #: occupies the single PSP mailbox like any other command.
+    psp_df_flush_ms: float = 15.0
 
     # -- guest CPU ----------------------------------------------------------
     #: Plain-text -> encrypted memory copy throughput (GB/s).

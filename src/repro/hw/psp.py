@@ -106,20 +106,44 @@ class PlatformSecurityProcessor:
         self._active_asids.discard(ctx.asid)
         self._retired_asids.add(ctx.asid)
 
-    def df_flush(self) -> None:
+    def df_flush(self) -> Generator:
         """DF_FLUSH: flush the data fabric; retired ASID slots become
-        reusable.  A global, relatively expensive operation."""
+        reusable.  A global, relatively expensive operation that occupies
+        the PSP like every other command, so recycling ASID slots
+        contends with in-flight launches (yield from a sim process)."""
+        yield from self._occupy(None, self.cost.psp_df_flush_ms, command="DF_FLUSH")
         self._retired_asids.clear()
 
-    def _occupy(self, ctx: GuestSevContext | None, duration: float) -> Generator:
-        """Hold the PSP for ``duration`` ms (queueing behind other guests)."""
+    def _occupy(
+        self,
+        ctx: GuestSevContext | None,
+        duration: float,
+        command: str = "PSP_COMMAND",
+        **span_args,
+    ) -> Generator:
+        """Hold the PSP for ``duration`` ms (queueing behind other guests).
+
+        When a tracer is attached, the held interval is recorded as one
+        span per command on the ``psp.commands`` track, tagged with the
+        guest's ASID and any extra ``span_args`` (byte counts etc.); at
+        ``parallelism=1`` those spans never overlap — the Fig. 12
+        serialization, visually.
+        """
         duration = self.cost.sample(duration)
         grant = yield self.resource.request()
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            if ctx is not None:
+                span_args["asid"] = ctx.asid
+            span = tracer.begin(command, "psp", "psp.commands", **span_args)
         try:
             yield self.sim.timeout(duration)
             if ctx is not None:
                 ctx.psp_occupancy_ms += duration
         finally:
+            if span is not None:
+                tracer.end(span)
             self.resource.release(grant)
 
     # -- SEV launch commands (Fig. 1) ------------------------------------------
@@ -131,7 +155,7 @@ class PlatformSecurityProcessor:
         ctx.require_state(SevState.UNINIT, "LAUNCH_START")
         if policy is not None:
             ctx.policy = policy
-        yield from self._occupy(ctx, self.cost.psp_launch_start_ms)
+        yield from self._occupy(ctx, self.cost.psp_launch_start_ms, command="LAUNCH_START")
         self.activate(ctx)
         key = derive_key(self._chip_secret, f"guest-key-{ctx.asid}")
         ctx.engine = MemoryEncryptionEngine(key, mode=self.engine_mode)
@@ -160,6 +184,10 @@ class PlatformSecurityProcessor:
                 has_rmp=ctx.policy.mode.has_rmp,
                 huge_pages=self.huge_pages,
             ),
+            command="LAUNCH_UPDATE_DATA",
+            gpa=gpa,
+            bytes=length,
+            nominal_bytes=nominal,
         )
         if memory.engine is None:
             memory.engine = ctx.engine
@@ -174,7 +202,9 @@ class PlatformSecurityProcessor:
     def launch_finish(self, ctx: GuestSevContext) -> Generator:
         """LAUNCH_FINISH: freeze the launch digest (step 3)."""
         ctx.require_state(SevState.LAUNCH_STARTED, "LAUNCH_FINISH")
-        yield from self._occupy(ctx, self.cost.psp_launch_finish_ms)
+        yield from self._occupy(
+            ctx, self.cost.psp_launch_finish_ms, command="LAUNCH_FINISH"
+        )
         ctx.launch_digest = ctx.measurement.finalize()
         ctx.state = SevState.LAUNCH_FINISHED
 
@@ -196,7 +226,9 @@ class PlatformSecurityProcessor:
                 "LAUNCH_MEASURE is the legacy flow; SNP guests attest via "
                 "in-guest reports"
             )
-        yield from self._occupy(ctx, self.cost.psp_launch_finish_ms)
+        yield from self._occupy(
+            ctx, self.cost.psp_launch_finish_ms, command="LAUNCH_MEASURE"
+        )
         nonce = sha256(b"measure-nonce" + ctx.asid.to_bytes(8, "little"))[:16]
         tik = derive_key(self._chip_secret, f"tik-{ctx.asid}", 32)
         mac = hmac_sha256(tik, ctx.measurement.digest + nonce)
@@ -221,7 +253,12 @@ class PlatformSecurityProcessor:
             raise SevLaunchError("LAUNCH_SECRET is not part of the SNP API")
         if gpa % PAGE_SIZE != 0:
             raise SevLaunchError("LAUNCH_SECRET requires a page-aligned target")
-        yield from self._occupy(ctx, self.cost.psp_command_latency_ms)
+        yield from self._occupy(
+            ctx,
+            self.cost.psp_command_latency_ms,
+            command="LAUNCH_SECRET",
+            bytes=len(secret),
+        )
         assert ctx.engine is not None
         if memory.engine is None:
             memory.engine = ctx.engine
@@ -239,7 +276,7 @@ class PlatformSecurityProcessor:
         """Generate a signed report; the value of the process is the report."""
         ctx.require_state(SevState.LAUNCH_FINISHED, "REPORT_REQUEST")
         assert ctx.launch_digest is not None
-        yield from self._occupy(ctx, self.cost.psp_report_ms)
+        yield from self._occupy(ctx, self.cost.psp_report_ms, command="REPORT_REQUEST")
         report = AttestationReport.sign(
             self.vcek,
             policy=ctx.policy.to_bytes(),

@@ -12,6 +12,7 @@ substrate makes that cost visible under realistic arrival processes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
@@ -62,12 +63,18 @@ class PlatformStats:
         return self.cold_starts / len(self.outcomes) if self.outcomes else 0.0
 
     def latency_percentile(self, pct: float) -> float:
-        """Start-delay percentile across all invocations."""
+        """Start-delay percentile across all invocations (nearest-rank).
+
+        Nearest-rank definition: the smallest delay d such that at least
+        ``pct`` percent of samples are <= d, i.e. index
+        ``ceil(pct/100 * n) - 1`` into the sorted delays, clamped so p0
+        is the minimum and p100 the maximum.
+        """
         if not self.outcomes:
             return 0.0
         delays = sorted(o.start_delay_ms for o in self.outcomes)
-        index = min(len(delays) - 1, int(pct / 100.0 * len(delays)))
-        return delays[index]
+        rank = math.ceil(pct / 100.0 * len(delays))
+        return delays[min(len(delays) - 1, max(0, rank - 1))]
 
     @property
     def mean_start_delay_ms(self) -> float:
@@ -158,6 +165,12 @@ class ServerlessPlatform:
     # -- execution ---------------------------------------------------------------
 
     def _handle(self, function: str, arrival_ms: float, exec_ms: float) -> Generator:
+        tracer = self.sim.tracer
+        span = (
+            tracer.begin(function, "invocation", f"fn:{function}", arrival_ms=arrival_ms)
+            if tracer is not None
+            else None
+        )
         warm = self._take_warm(function)
         boot_ms = 0.0
         restored = False
@@ -179,6 +192,13 @@ class ServerlessPlatform:
         start_delay = self.sim.now - arrival_ms
         yield self.sim.timeout(exec_ms)
         self._return_warm(function)
+        if span is not None:
+            tracer.end(
+                span,
+                start=("warm" if warm is not None else "restored" if restored else "cold"),
+                boot_ms=boot_ms,
+                start_delay_ms=start_delay,
+            )
         self.stats.outcomes.append(
             InvocationOutcome(
                 function=function,

@@ -13,6 +13,9 @@ Public API:
 - :class:`Resource` — FIFO resource with finite capacity (the PSP model
   uses a ``Resource(capacity=1)`` to serialize launch commands).
 - :class:`Interrupt` — exception thrown into interrupted processes.
+- :class:`Tracer` / :class:`Span` — structured tracing attached via
+  :meth:`Simulator.trace`; exports Chrome trace-event JSON and text
+  summaries (see :mod:`repro.sim.trace` and docs/TRACING.md).
 """
 
 from repro.sim.engine import (
@@ -25,6 +28,7 @@ from repro.sim.engine import (
     SimulationError,
     Simulator,
 )
+from repro.sim.trace import Span, Tracer, validate_chrome_trace
 
 __all__ = [
     "AllOf",
@@ -35,4 +39,7 @@ __all__ = [
     "Resource",
     "SimulationError",
     "Simulator",
+    "Span",
+    "Tracer",
+    "validate_chrome_trace",
 ]

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import Span, Tracer
 
 
 class SimulationError(RuntimeError):
@@ -100,14 +103,32 @@ class Process(Event):
         super().__init__(sim, name or getattr(gen, "__name__", "process"))
         self._gen = gen
         self._waiting_on: Optional[Event] = None
+        self._trace_span: Optional["Span"] = None
+        if sim.tracer is not None:
+            self._trace_span = sim.tracer.begin(
+                self.name, "process", f"proc:{self.name}"
+            )
         sim._schedule_callback(self._resume, _InitEvent(sim))
 
     @property
     def is_alive(self) -> bool:
         return self._ok is None
 
+    def _close_trace_span(self, failed: bool = False) -> None:
+        span = self._trace_span
+        if span is not None and span.end is None:
+            span.end = self.sim.now
+            if failed:
+                span.args["failed"] = True
+
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        If the process was waiting on an event that supports cancellation
+        (e.g. a queued :meth:`Resource.request`) and no other waiter
+        remains, the pending request is withdrawn so the resource slot is
+        not granted into a process that will never use it.
+        """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
         target = self._waiting_on
@@ -117,6 +138,10 @@ class Process(Event):
                 target._callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not target._callbacks:
+                cancel = getattr(target, "_cancel_hook", None)
+                if cancel is not None:
+                    cancel(target)
         self._waiting_on = None
         evt = _InitEvent(self.sim)
         evt.value = Interrupt(cause)
@@ -133,17 +158,21 @@ class Process(Event):
             else:
                 target = self._gen.throw(event.value)
         except StopIteration as stop:
+            self._close_trace_span()
             self.succeed(stop.value)
             return
         except Interrupt:
             # An uncaught interrupt kills the process silently; this mirrors
             # "the process was cancelled" semantics used by the scheduler.
+            self._close_trace_span()
             self.succeed(None)
             return
         except Exception as exc:
+            self._close_trace_span(failed=True)
             self.fail(exc)
             return
         if not isinstance(target, Event):
+            self._close_trace_span(failed=True)
             self.fail(
                 SimulationError(
                     f"process {self.name!r} yielded {target!r}, expected an Event"
@@ -220,6 +249,11 @@ class Resource:
     ``request()`` returns an Event that fires when a slot is granted; the
     holder must call ``release()`` exactly once.  With ``capacity=1`` this
     models a strictly serializing device — the PSP.
+
+    A request that will never be used (its process was interrupted while
+    queued) must be withdrawn with :meth:`cancel`; :meth:`Process.interrupt`
+    does this automatically, so a slot is never granted into a dead
+    process and leaked.
     """
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
@@ -232,6 +266,7 @@ class Resource:
         self._queue: deque[Event] = deque()
         # Statistics for contention analysis.
         self.total_requests = 0
+        self.total_cancels = 0
         self.total_wait_time = 0.0
         self.busy_time = 0.0
         self._grant_times: dict[int, float] = {}
@@ -248,17 +283,35 @@ class Resource:
         self.total_requests += 1
         evt = Event(self.sim, f"{self.name}.request")
         evt._requested_at = self.sim.now  # type: ignore[attr-defined]
+        evt._cancel_hook = self.cancel  # type: ignore[attr-defined]
+        tracer = self.sim.tracer
+        if tracer is not None:
+            evt._trace_wait = tracer.begin(  # type: ignore[attr-defined]
+                f"{self.name}.wait", "resource.wait", f"{self.name}.queue"
+            )
         if self._in_use < self.capacity:
             self._in_use += 1
             self._grant(evt)
         else:
             self._queue.append(evt)
+            if tracer is not None:
+                tracer.counter(f"{self.name}.queue_depth", len(self._queue))
         return evt
 
     def _grant(self, evt: Event) -> None:
-        self.total_wait_time += self.sim.now - evt._requested_at  # type: ignore[attr-defined]
+        waited = self.sim.now - evt._requested_at  # type: ignore[attr-defined]
+        self.total_wait_time += waited
         self._grant_times[id(evt)] = self.sim.now
         evt._resource_token = id(evt)  # type: ignore[attr-defined]
+        tracer = self.sim.tracer
+        if tracer is not None:
+            wait_span = getattr(evt, "_trace_wait", None)
+            if wait_span is not None:
+                tracer.end(wait_span)
+            evt._trace_hold = tracer.begin(  # type: ignore[attr-defined]
+                f"{self.name}.hold", "resource.hold", self.name, wait_ms=waited
+            )
+            tracer.counter(f"{self.name}.in_use", self._in_use)
         evt.succeed(evt)
 
     def release(self, grant: Event) -> None:
@@ -266,11 +319,45 @@ class Resource:
         if token is None or token not in self._grant_times:
             raise SimulationError(f"release of {self.name} without matching grant")
         self.busy_time += self.sim.now - self._grant_times.pop(token)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            hold_span = getattr(grant, "_trace_hold", None)
+            if hold_span is not None:
+                tracer.end(hold_span)
         if self._queue:
             nxt = self._queue.popleft()
+            if tracer is not None:
+                tracer.counter(f"{self.name}.queue_depth", len(self._queue))
             self._grant(nxt)
         else:
             self._in_use -= 1
+            if tracer is not None:
+                tracer.counter(f"{self.name}.in_use", self._in_use)
+
+    def cancel(self, request: Event) -> None:
+        """Withdraw a ``request()`` whose result will never be consumed.
+
+        Still-queued requests are removed from the queue; already-granted
+        requests are released, handing the slot to the next waiter.  A
+        request that was already released or cancelled is a no-op, so
+        interrupt handling can call this without knowing how far the
+        grant got.
+        """
+        token = getattr(request, "_resource_token", None)
+        if token is not None and token in self._grant_times:
+            self.release(request)
+            return
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            return
+        self.total_cancels += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(f"{self.name}.queue_depth", len(self._queue))
+            wait_span = getattr(request, "_trace_wait", None)
+            if wait_span is not None:
+                tracer.end(wait_span, cancelled=True)
 
     def use(self, duration: float) -> Generator:
         """Convenience process body: acquire, hold for ``duration``, release."""
@@ -291,6 +378,20 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[Event], None], Event]] = []
         self._seq = 0
+        #: optional :class:`~repro.sim.trace.Tracer`; ``None`` keeps every
+        #: instrumentation hook in the repository a single attribute check.
+        self.tracer: Optional["Tracer"] = None
+
+    def trace(self) -> "Tracer":
+        """Attach (and return) a :class:`~repro.sim.trace.Tracer`.
+
+        Idempotent: repeated calls return the already-attached tracer.
+        """
+        from repro.sim.trace import Tracer
+
+        if self.tracer is None:
+            self.tracer = Tracer(self)
+        return self.tracer
 
     # -- scheduling ------------------------------------------------------
 

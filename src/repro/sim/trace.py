@@ -1,0 +1,361 @@
+"""Structured tracing for the discrete-event simulation.
+
+The paper's headline figures are observability claims: Fig. 10 breaks a
+boot into phases, Fig. 12 shows launches serializing on the PSP.  This
+module is the lens that makes those claims inspectable on any run: a
+:class:`Tracer` attached to a :class:`~repro.sim.engine.Simulator`
+records named spans against the virtual clock — process lifetimes,
+``Resource`` wait/hold intervals, one span per PSP command, boot-phase
+transitions, serverless invocations — plus counter time series (queue
+depth, in-use slots) and point events.
+
+Everything is keyed by *track*: a display row, mapped to a Chrome
+trace-event ``tid`` on export so `chrome://tracing` / Perfetto render
+each resource, VM, and process on its own line.  With no tracer attached
+the instrumentation hooks throughout the repository reduce to a single
+``is None`` check, so untraced runs pay nothing.
+
+Exports:
+
+- :meth:`Tracer.to_chrome_trace` — the Chrome trace-event JSON format
+  (``ph: "X"`` complete events, ``"C"`` counters, ``"i"`` instants,
+  ``"M"`` thread-name metadata), timestamps in microseconds.
+- :meth:`Tracer.summary` — a flamegraph-style plain-text rollup:
+  per-category/per-name totals with proportional bars, resource
+  utilization, and per-VM phase breakdowns.
+
+Categories used by the built-in instrumentation:
+
+===============  ======================================================
+``process``      one span per :class:`Process` lifetime
+``resource.wait``  ``request()`` issued -> slot granted
+``resource.hold``  slot granted -> ``release()``
+``psp``          one span per PSP command (LAUNCH_*, DF_FLUSH, ...),
+                 tagged with ASID and nominal byte count
+``boot.phase``   :class:`~repro.vmm.timeline.BootTimeline` phases
+``invocation``   serverless invocations, tagged cold/warm/restored
+===============  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class Span:
+    """One named interval in virtual time.
+
+    ``end`` is ``None`` while the span is open; exports close open spans
+    at the current clock so a truncated run still produces valid output.
+    """
+
+    name: str
+    category: str
+    track: str
+    start: float
+    end: Optional[float] = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+
+@dataclass
+class Instant:
+    """A point event (e.g. a debug-port mark)."""
+
+    name: str
+    track: str
+    ts: float
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans/counters/instants against a simulator's clock.
+
+    Attach with :meth:`Simulator.trace` (or assign ``sim.tracer``); every
+    instrumented subsystem then records automatically.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        #: counter name -> [(ts, value), ...] time series
+        self.counters: dict[str, list[tuple[float, float]]] = {}
+        self._track_seq: dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def begin(
+        self, name: str, category: str, track: str, **args: Any
+    ) -> Span:
+        """Open a span at the current virtual time."""
+        span = Span(name, category, track, self.sim.now, None, args)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **args: Any) -> Span:
+        """Close a span at the current virtual time."""
+        span.end = self.sim.now
+        if args:
+            span.args.update(args)
+        return span
+
+    def complete(
+        self,
+        name: str,
+        category: str,
+        track: str,
+        start: float,
+        end: float,
+        **args: Any,
+    ) -> Span:
+        """Record an already-finished span."""
+        span = Span(name, category, track, start, end, args)
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, track: str, **args: Any) -> None:
+        self.instants.append(Instant(name, track, self.sim.now, args))
+
+    def counter(self, name: str, value: float) -> None:
+        """Append one sample to a counter time series."""
+        self.counters.setdefault(name, []).append((self.sim.now, value))
+
+    def new_track(self, prefix: str) -> str:
+        """A unique display row name (``prefix#0``, ``prefix#1``, ...)."""
+        seq = self._track_seq.get(prefix, 0)
+        self._track_seq[prefix] = seq + 1
+        return f"{prefix}#{seq}"
+
+    # -- queries -------------------------------------------------------------
+
+    def closed_spans(self) -> Iterator[Span]:
+        for span in self.spans:
+            if span.end is not None:
+                yield span
+
+    def spans_by(
+        self, category: Optional[str] = None, track: Optional[str] = None
+    ) -> list[Span]:
+        return [
+            s
+            for s in self.spans
+            if (category is None or s.category == category)
+            and (track is None or s.track == track)
+        ]
+
+    def phase_breakdown(self, track: str) -> dict[str, float]:
+        """Per-phase totals for one VM track (mirrors
+        :meth:`BootTimeline.breakdown` when tracing was on)."""
+        out: dict[str, float] = {}
+        for span in self.spans_by(category="boot.phase", track=track):
+            if span.end is None:
+                continue
+            out[span.name] = out.get(span.name, 0.0) + span.duration
+        return out
+
+    def resource_utilization(self) -> dict[str, float]:
+        """Fraction of the traced interval each resource track was held.
+
+        Computed from ``resource.hold`` spans as busy-time over the
+        tracer's observation window (first event to ``sim.now``); a
+        capacity-N resource can exceed 1.0.
+        """
+        window = self._window()
+        if window <= 0:
+            return {}
+        busy: dict[str, float] = {}
+        for span in self.spans_by(category="resource.hold"):
+            end = span.end if span.end is not None else self.sim.now
+            busy[span.track] = busy.get(span.track, 0.0) + (end - span.start)
+        return {track: total / window for track, total in busy.items()}
+
+    def queue_depth_series(self, resource_name: str) -> list[tuple[float, float]]:
+        return list(self.counters.get(f"{resource_name}.queue_depth", ()))
+
+    def _window(self) -> float:
+        starts = [s.start for s in self.spans]
+        for series in self.counters.values():
+            if series:
+                starts.append(series[0][0])
+        if not starts:
+            return 0.0
+        return self.sim.now - min(starts)
+
+    # -- exports -------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The Chrome trace-event JSON document (as a dict).
+
+        Virtual milliseconds become microsecond ``ts``/``dur`` fields, the
+        unit `chrome://tracing` and Perfetto expect.  Tracks map to
+        ``tid`` rows under a single ``pid`` with thread-name metadata.
+        """
+        tids: dict[str, int] = {}
+
+        def tid(track: str) -> int:
+            if track not in tids:
+                tids[track] = len(tids) + 1
+            return tids[track]
+
+        events: list[dict[str, Any]] = []
+        for span in self.spans:
+            end = span.end if span.end is not None else self.sim.now
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": span.start * 1000.0,
+                    "dur": (end - span.start) * 1000.0,
+                    "pid": 1,
+                    "tid": tid(span.track),
+                    "args": dict(span.args),
+                }
+            )
+        for inst in self.instants:
+            events.append(
+                {
+                    "name": inst.name,
+                    "cat": "instant",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": inst.ts * 1000.0,
+                    "pid": 1,
+                    "tid": tid(inst.track),
+                    "args": dict(inst.args),
+                }
+            )
+        for name, series in self.counters.items():
+            for ts, value in series:
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "counter",
+                        "ph": "C",
+                        "ts": ts * 1000.0,
+                        "pid": 1,
+                        "args": {name: value},
+                    }
+                )
+        meta = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": track_tid,
+                "args": {"name": track},
+            }
+            for track, track_tid in tids.items()
+        ]
+        return {
+            "traceEvents": meta + events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "virtual-ms",
+                "spans": len(self.spans),
+                "producer": "repro.sim.trace",
+            },
+        }
+
+    def to_chrome_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=indent)
+
+    def summary(self, width: int = 40) -> str:
+        """Flamegraph-style text rollup of where virtual time went."""
+        lines: list[str] = ["trace summary", "============="]
+        groups: dict[tuple[str, str], tuple[int, float]] = {}
+        for span in self.spans:
+            end = span.end if span.end is not None else self.sim.now
+            key = (span.category, span.name)
+            count, total = groups.get(key, (0, 0.0))
+            groups[key] = (count + 1, total + (end - span.start))
+        if not groups:
+            lines.append("(no spans recorded)")
+            return "\n".join(lines)
+        max_total = max(total for _count, total in groups.values()) or 1.0
+        by_cat: dict[str, list[tuple[str, int, float]]] = {}
+        for (cat, name), (count, total) in groups.items():
+            by_cat.setdefault(cat, []).append((name, count, total))
+        for cat in sorted(by_cat):
+            lines.append(f"\n[{cat}]")
+            rows = sorted(by_cat[cat], key=lambda row: -row[2])
+            for name, count, total in rows:
+                bar = "#" * max(1, int(round(width * total / max_total)))
+                mean = total / count
+                lines.append(
+                    f"  {name:<28} {total:>10.2f} ms  n={count:<4} "
+                    f"mean={mean:>8.2f} ms  {bar}"
+                )
+        util = self.resource_utilization()
+        if util:
+            lines.append("\n[resource utilization]")
+            for track in sorted(util):
+                lines.append(f"  {track:<28} {util[track] * 100:>6.1f}%")
+        vm_tracks = sorted(
+            {s.track for s in self.spans if s.category == "boot.phase"}
+        )
+        for track in vm_tracks:
+            breakdown = self.phase_breakdown(track)
+            if not breakdown:
+                continue
+            lines.append(f"\n[phases: {track}]")
+            for phase, total in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {phase:<28} {total:>10.2f} ms")
+        return "\n".join(lines)
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Schema-check a Chrome trace-event document; returns problems.
+
+    An empty list means the document is structurally valid: required
+    top-level keys, per-event required fields by phase type, finite
+    non-negative timestamps/durations.  Used by ``make trace-smoke``.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, evt in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(evt, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = evt.get("ph")
+        if ph not in ("X", "C", "i", "M", "B", "E"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "name" not in evt or not isinstance(evt["name"], str):
+            problems.append(f"{where}: missing name")
+        if "pid" not in evt:
+            problems.append(f"{where}: missing pid")
+        if ph == "M":
+            continue
+        ts = evt.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = evt.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or not math.isfinite(dur)
+                or dur < 0
+            ):
+                problems.append(f"{where}: bad dur {dur!r}")
+            if "tid" not in evt:
+                problems.append(f"{where}: complete event missing tid")
+        if ph == "C" and not isinstance(evt.get("args"), dict):
+            problems.append(f"{where}: counter missing args")
+    return problems

@@ -60,7 +60,11 @@ class FirecrackerVMM:
     def _new_context(self, config: VmConfig, sev: bool) -> GuestContext:
         sev_ctx = self.machine.new_sev_context(config.sev_policy) if sev else None
         memory = self.machine.new_guest_memory(config.memory_size, sev_ctx)
-        timeline = BootTimeline(self.machine.sim)
+        sim = self.machine.sim
+        label = f"fc:{config.kernel.name}" + (f"/asid{sev_ctx.asid}" if sev_ctx else "")
+        if sim.tracer is not None:
+            label = sim.tracer.new_track(label)
+        timeline = BootTimeline(sim, label=label)
         ctx = GuestContext(
             machine=self.machine,
             config=config,

@@ -94,12 +94,18 @@ class QemuVMM:
 
         sev_ctx = self.machine.new_sev_context(config.sev_policy) if sev else None
         memory = self.machine.new_guest_memory(config.memory_size, sev_ctx)
+        sim = self.machine.sim
+        label = f"qemu:{config.kernel.name}" + (
+            f"/asid{sev_ctx.asid}" if sev_ctx else ""
+        )
+        if sim.tracer is not None:
+            label = sim.tracer.new_track(label)
         ctx = GuestContext(
             machine=self.machine,
             config=config,
             memory=memory,
             sev=sev_ctx,
-            timeline=BootTimeline(self.machine.sim),
+            timeline=BootTimeline(sim, label=label),
         )
         ctx.block_device = FirecrackerVMM._attach_block_device(ctx)
         if config.kernel.has_network:

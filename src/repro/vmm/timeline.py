@@ -52,29 +52,50 @@ class PhaseRecord:
 
 @dataclass
 class BootTimeline:
-    """Phase intervals for a single boot, in virtual milliseconds."""
+    """Phase intervals for a single boot, in virtual milliseconds.
+
+    ``label`` names this VM's track in an attached
+    :class:`~repro.sim.trace.Tracer`; when tracing is on and no label was
+    given, a unique ``vm#N`` track is allocated so concurrent boots land
+    on separate display rows.
+    """
 
     sim: Simulator
     origin: float = -1.0
+    label: str = ""
     records: list[PhaseRecord] = field(default_factory=list)
     events: list[tuple[float, str]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.origin < 0:
             self.origin = self.sim.now
+        if not self.label:
+            tracer = self.sim.tracer
+            self.label = tracer.new_track("vm") if tracer is not None else "vm"
 
     @contextmanager
     def phase(self, phase: BootPhase) -> Iterator[None]:
         """Record a phase spanning the wrapped (virtual) interval."""
         start = self.sim.now
+        tracer = self.sim.tracer
+        span = (
+            tracer.begin(phase.value, "boot.phase", self.label)
+            if tracer is not None
+            else None
+        )
         try:
             yield
         finally:
             self.records.append(PhaseRecord(phase, start, self.sim.now))
+            if span is not None:
+                span.end = self.sim.now
 
     def mark(self, label: str) -> None:
         """A point event (debug-port write)."""
         self.events.append((self.sim.now, label))
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(label, self.label)
 
     # -- aggregation ---------------------------------------------------------
 

@@ -278,7 +278,7 @@ class TestAsidLifecycle:
         b = machine.new_sev_context()
         with pytest.raises(SevLaunchError, match="DF_FLUSH"):
             machine.psp.activate(b)
-        machine.psp.df_flush()
+        machine.sim.run_process(machine.psp.df_flush())
         machine.psp.activate(b)  # slot reusable now
 
     def test_deactivate_requires_active(self, machine):
@@ -300,3 +300,78 @@ class TestAsidLifecycle:
         assert len(results) == 50
         assert machine.psp.active_guests == 50
         assert machine.psp.asid_capacity == 509
+
+
+class TestDfFlush:
+    """DF_FLUSH occupies the PSP for real virtual time (ASID-recycling
+    contention); it used to be free and instantaneous."""
+
+    def test_costs_virtual_time(self):
+        machine = Machine()
+        start = machine.sim.now
+        machine.sim.run_process(machine.psp.df_flush())
+        assert machine.sim.now - start == pytest.approx(
+            machine.cost.psp_df_flush_ms
+        )
+
+    def test_clears_retired_slots(self):
+        machine = Machine()
+        ctx = machine.new_sev_context()
+        machine.psp.activate(ctx)
+        machine.psp.deactivate(ctx)
+        assert machine.psp._retired_asids
+        machine.sim.run_process(machine.psp.df_flush())
+        assert not machine.psp._retired_asids
+
+    def test_queues_behind_inflight_launch_commands(self):
+        machine = Machine()
+        data = b"\x90" * (64 * KiB)
+        ctx, mem = _loaded_guest(machine, data)
+        flush_done = []
+
+        def launch():
+            yield from machine.psp.launch_start(ctx)
+            yield from machine.psp.launch_update_data(ctx, mem, 0, len(data))
+            yield from machine.psp.launch_finish(ctx)
+
+        def flush():
+            yield from machine.psp.df_flush()
+            flush_done.append(machine.sim.now)
+
+        sim = machine.sim
+        sim.process(launch())
+        sim.process(flush())
+        sim.run()
+        # The flush was issued at t=0 but had to wait for LAUNCH_START
+        # (in flight when it arrived) before occupying the PSP itself.
+        assert flush_done[0] == pytest.approx(
+            machine.cost.psp_launch_start_ms + machine.cost.psp_df_flush_ms
+        )
+        assert ctx.state is SevState.LAUNCH_FINISHED
+
+    def test_launch_waits_behind_flush(self):
+        machine = Machine()
+        order = []
+
+        def flush():
+            yield from machine.psp.df_flush()
+            order.append(("flush", machine.sim.now))
+
+        def launch():
+            ctx = machine.new_sev_context()
+            yield from machine.psp.launch_start(ctx)
+            order.append(("start", machine.sim.now))
+
+        sim = machine.sim
+        sim.process(flush())
+        sim.process(launch())
+        sim.run()
+        assert order == [
+            ("flush", pytest.approx(machine.cost.psp_df_flush_ms)),
+            (
+                "start",
+                pytest.approx(
+                    machine.cost.psp_df_flush_ms + machine.cost.psp_launch_start_ms
+                ),
+            ),
+        ]

@@ -123,3 +123,51 @@ class TestWarmPoolMemory:
         n = 4
         platform.run(_trace([(i * 10.0, f"fn-{i}", 5.0) for i in range(n)]))
         assert platform.warm_pool_memory_bytes() == n * platform.vm_memory_bytes
+
+
+class TestLatencyPercentile:
+    """Nearest-rank percentile edge cases (p = ceil(pct/100*n)-1, clamped)."""
+
+    @staticmethod
+    def _stats(delays):
+        from repro.serverless.platform import InvocationOutcome, PlatformStats
+
+        return PlatformStats(
+            outcomes=[
+                InvocationOutcome(
+                    function="fn",
+                    arrival_ms=0.0,
+                    cold=False,
+                    boot_ms=0.0,
+                    start_delay_ms=d,
+                    end_ms=d,
+                )
+                for d in delays
+            ]
+        )
+
+    def test_empty_is_zero(self):
+        from repro.serverless.platform import PlatformStats
+
+        assert PlatformStats().latency_percentile(50) == 0.0
+
+    def test_single_sample_every_percentile(self):
+        stats = self._stats([7.0])
+        for pct in (0, 1, 50, 99, 100):
+            assert stats.latency_percentile(pct) == 7.0
+
+    def test_two_samples_p50_is_smaller(self):
+        stats = self._stats([30.0, 10.0])
+        assert stats.latency_percentile(50) == 10.0
+
+    def test_p0_is_min_p100_is_max(self):
+        stats = self._stats([5.0, 1.0, 9.0, 3.0])
+        assert stats.latency_percentile(0) == 1.0
+        assert stats.latency_percentile(100) == 9.0
+
+    def test_nearest_rank_on_four_samples(self):
+        stats = self._stats([1.0, 2.0, 3.0, 4.0])
+        assert stats.latency_percentile(25) == 1.0
+        assert stats.latency_percentile(26) == 2.0
+        assert stats.latency_percentile(75) == 3.0
+        assert stats.latency_percentile(76) == 4.0

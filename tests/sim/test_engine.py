@@ -311,6 +311,204 @@ class TestResource:
         assert resource.queue_length == 0
 
 
+class TestInterruptWhileQueued:
+    """A queued request whose process is interrupted must not leak a
+    capacity slot (the grant used to fire into a dead process)."""
+
+    def test_slot_released_no_deadlock(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        acquired = []
+
+        def holder():
+            grant = yield resource.request()
+            yield sim.timeout(10.0)
+            resource.release(grant)
+
+        def victim():
+            yield resource.request()  # queued; interrupted before grant
+            acquired.append("victim")  # pragma: no cover - must not run
+
+        def late_user():
+            yield sim.timeout(20.0)
+            grant = yield resource.request()
+            acquired.append(("late", sim.now))
+            yield sim.timeout(5.0)
+            resource.release(grant)
+
+        def attacker(target):
+            yield sim.timeout(1.0)
+            target.interrupt("cancelled")
+
+        sim.process(holder())
+        target = sim.process(victim())
+        sim.process(attacker(target))
+        sim.process(late_user())
+        sim.run()
+        # The victim never got the slot; the late user acquired it
+        # immediately at t=20 — the slot was not leaked to a dead process.
+        assert acquired == [("late", 20.0)]
+        assert resource.in_use == 0
+        assert resource.queue_length == 0
+
+    def test_queue_entry_removed_immediately(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            grant = yield resource.request()
+            yield sim.timeout(10.0)
+            resource.release(grant)
+
+        def victim():
+            yield resource.request()
+
+        def attacker(target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        sim.process(holder())
+        target = sim.process(victim())
+        sim.process(attacker(target))
+        sim.run(until=2.0)
+        assert resource.queue_length == 0
+        assert resource.total_cancels == 1
+        sim.run()
+        assert resource.in_use == 0
+
+    def test_stats_stay_consistent(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            yield from resource.use(10.0)
+
+        def victim():
+            yield resource.request()
+
+        def attacker(target):
+            yield sim.timeout(4.0)
+            target.interrupt()
+
+        sim.process(holder())
+        target = sim.process(victim())
+        sim.process(attacker(target))
+        sim.run()
+        assert resource.total_requests == 2
+        assert resource.total_cancels == 1
+        assert resource.busy_time == pytest.approx(10.0)
+        # the cancelled request never reached _grant: no wait time charged
+        assert resource.total_wait_time == pytest.approx(0.0)
+
+    def test_interrupted_holder_still_releases_via_finally(self):
+        """Interrupting the *holder* is unaffected: use() releases."""
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        done = []
+
+        def holder():
+            try:
+                yield from resource.use(100.0)
+            except Interrupt:
+                pass
+            done.append(sim.now)
+
+        def waiter():
+            yield from resource.use(5.0)
+            done.append(("waiter", sim.now))
+
+        def attacker(target):
+            yield sim.timeout(3.0)
+            target.interrupt()
+
+        target = sim.process(holder())
+        sim.process(waiter())
+        sim.process(attacker(target))
+        sim.run()
+        assert done == [3.0, ("waiter", 8.0)]
+        assert resource.in_use == 0
+
+    def test_catchable_interrupt_can_rerequest(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        got = []
+
+        def holder():
+            yield from resource.use(10.0)
+
+        def victim():
+            try:
+                yield resource.request()
+            except Interrupt:
+                grant = yield resource.request()  # try again
+                got.append(sim.now)
+                resource.release(grant)
+
+        def attacker(target):
+            yield sim.timeout(1.0)
+            target.interrupt()
+
+        sim.process(holder())
+        target = sim.process(victim())
+        sim.process(attacker(target))
+        sim.run()
+        assert got == [10.0]
+        assert resource.total_requests == 3
+        assert resource.total_cancels == 1
+
+
+class TestResourceCancel:
+    def test_cancel_queued_request(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert resource.queue_length == 1
+        resource.cancel(second)
+        assert resource.queue_length == 0
+        assert resource.total_cancels == 1
+        resource.release(first.value)
+
+    def test_cancel_granted_request_releases(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        grant = resource.request()
+        assert resource.in_use == 1
+        resource.cancel(grant)
+        assert resource.in_use == 0
+        assert resource.busy_time == pytest.approx(0.0)
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        grant = resource.request()
+        queued = resource.request()
+        resource.cancel(queued)
+        resource.cancel(queued)  # no-op
+        resource.cancel(grant)
+        resource.cancel(grant)  # released already: no-op
+        assert resource.in_use == 0
+        assert resource.total_cancels == 1
+
+    def test_cancel_hands_slot_to_next_waiter(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        woken = []
+
+        def waiter():
+            grant = yield resource.request()
+            woken.append(sim.now)
+            resource.release(grant)
+
+        grant = resource.request()
+        sim.process(waiter())
+        sim.run()
+        assert woken == []  # still held
+        resource.cancel(grant)
+        sim.run()
+        assert woken == [0.0]
+
+
 class TestScale:
     def test_thousand_processes_on_one_resource(self):
         """A Fig. 12-sized contention scenario resolves exactly."""

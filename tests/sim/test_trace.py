@@ -1,0 +1,228 @@
+"""Unit tests for the simulation tracing layer."""
+
+import json
+
+import pytest
+
+from repro.sim import Resource, Simulator, Tracer, validate_chrome_trace
+
+
+def test_no_tracer_by_default():
+    sim = Simulator()
+    assert sim.tracer is None
+
+
+def test_trace_attach_is_idempotent():
+    sim = Simulator()
+    tracer = sim.trace()
+    assert sim.tracer is tracer
+    assert sim.trace() is tracer
+
+
+def test_begin_end_records_virtual_interval():
+    sim = Simulator()
+    tracer = sim.trace()
+
+    def proc():
+        span = tracer.begin("work", "test", "t0", tag="x")
+        yield sim.timeout(7.5)
+        tracer.end(span, extra=1)
+
+    sim.run_process(proc())
+    (span,) = tracer.spans_by(category="test")
+    assert span.start == 0.0 and span.end == pytest.approx(7.5)
+    assert span.duration == pytest.approx(7.5)
+    assert span.args == {"tag": "x", "extra": 1}
+
+
+def test_complete_and_instant_and_counter():
+    sim = Simulator()
+    tracer = sim.trace()
+    tracer.complete("done", "test", "t0", 1.0, 3.0)
+    tracer.instant("mark", "t0", detail="d")
+    tracer.counter("depth", 2)
+    assert tracer.spans[0].duration == pytest.approx(2.0)
+    assert tracer.instants[0].name == "mark"
+    assert tracer.counters["depth"] == [(0.0, 2)]
+
+
+def test_new_track_is_unique():
+    tracer = Simulator().trace()
+    assert tracer.new_track("vm") == "vm#0"
+    assert tracer.new_track("vm") == "vm#1"
+    assert tracer.new_track("fn") == "fn#0"
+
+
+def test_process_spans_cover_lifetime():
+    sim = Simulator()
+    tracer = sim.trace()
+
+    def proc():
+        yield sim.timeout(4.0)
+
+    sim.process(proc(), name="worker")
+    sim.run()
+    spans = tracer.spans_by(category="process")
+    assert len(spans) == 1
+    assert spans[0].name == "worker"
+    assert spans[0].start == 0.0 and spans[0].end == pytest.approx(4.0)
+
+
+def test_failed_process_span_is_tagged():
+    sim = Simulator()
+    tracer = sim.trace()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    sim.process(proc(), name="crasher")
+    sim.run()
+    (span,) = tracer.spans_by(category="process")
+    assert span.args.get("failed") is True
+    assert span.end == pytest.approx(1.0)
+
+
+def test_resource_wait_and_hold_spans():
+    sim = Simulator()
+    tracer = sim.trace()
+    resource = Resource(sim, capacity=1, name="dev")
+
+    def user():
+        yield from resource.use(10.0)
+
+    sim.process(user())
+    sim.process(user())
+    sim.run()
+    holds = sorted(tracer.spans_by(category="resource.hold"), key=lambda s: s.start)
+    assert [(s.start, s.end) for s in holds] == [(0.0, 10.0), (10.0, 20.0)]
+    assert holds[0].track == "dev"
+    assert holds[0].args["wait_ms"] == pytest.approx(0.0)
+    assert holds[1].args["wait_ms"] == pytest.approx(10.0)
+    waits = sorted(tracer.spans_by(category="resource.wait"), key=lambda s: s.start)
+    assert waits[1].duration == pytest.approx(10.0)
+    # queue depth went 1 -> 0
+    assert tracer.queue_depth_series("dev") == [(0.0, 1), (10.0, 0)]
+
+
+def test_resource_utilization():
+    sim = Simulator()
+    tracer = sim.trace()
+    resource = Resource(sim, capacity=1, name="dev")
+
+    def flow():
+        yield from resource.use(5.0)
+        yield sim.timeout(5.0)
+
+    sim.run_process(flow())
+    assert tracer.resource_utilization()["dev"] == pytest.approx(0.5)
+
+
+def test_phase_breakdown_and_boot_phase_tracks():
+    from repro.vmm.timeline import BootPhase, BootTimeline
+
+    sim = Simulator()
+    tracer = sim.trace()
+    timeline = BootTimeline(sim, label="vm-a")
+
+    def boot():
+        with timeline.phase(BootPhase.VMM):
+            yield sim.timeout(3.0)
+        timeline.mark("entering-guest")
+        with timeline.phase(BootPhase.LINUX_BOOT):
+            yield sim.timeout(9.0)
+
+    sim.run_process(boot())
+    assert tracer.phase_breakdown("vm-a") == {
+        "vmm": pytest.approx(3.0),
+        "linux_boot": pytest.approx(9.0),
+    }
+    assert tracer.instants[0].name == "entering-guest"
+    assert tracer.instants[0].track == "vm-a"
+
+
+def test_timeline_allocates_unique_tracks_when_traced():
+    from repro.vmm.timeline import BootTimeline
+
+    sim = Simulator()
+    sim.trace()
+    a = BootTimeline(sim)
+    b = BootTimeline(sim)
+    assert a.label != b.label
+
+
+def test_open_spans_closed_at_export():
+    sim = Simulator()
+    tracer = sim.trace()
+
+    def proc():
+        tracer.begin("open", "test", "t0")
+        yield sim.timeout(2.0)
+        # never ended
+
+    sim.run_process(proc())
+    doc = tracer.to_chrome_trace()
+    evt = next(e for e in doc["traceEvents"] if e["name"] == "open")
+    assert evt["dur"] == pytest.approx(2000.0)  # microseconds to sim.now
+
+
+def test_chrome_export_structure():
+    sim = Simulator()
+    tracer = sim.trace()
+    resource = Resource(sim, capacity=1, name="dev")
+
+    def user():
+        yield from resource.use(1.0)
+
+    sim.process(user(), name="u0")
+    sim.run()
+    doc = tracer.to_chrome_trace()
+    assert validate_chrome_trace(doc) == []
+    # round-trips as JSON
+    assert validate_chrome_trace(json.loads(tracer.to_chrome_json())) == []
+    # microsecond timestamps
+    hold = next(
+        e for e in doc["traceEvents"] if e["ph"] == "X" and e["name"] == "dev.hold"
+    )
+    assert hold["dur"] == pytest.approx(1000.0)
+    # thread-name metadata exists for every tid used
+    tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    named = {
+        e["tid"] for e in doc["traceEvents"] if e["ph"] == "M"
+    }
+    assert tids <= named
+
+
+def test_summary_mentions_categories_and_utilization():
+    sim = Simulator()
+    tracer = sim.trace()
+    resource = Resource(sim, capacity=1, name="dev")
+
+    def user():
+        yield from resource.use(2.0)
+
+    sim.process(user(), name="u0")
+    sim.run()
+    text = tracer.summary()
+    assert "[resource.hold]" in text
+    assert "[process]" in text
+    assert "resource utilization" in text
+    assert "dev" in text
+
+
+def test_empty_summary():
+    assert "(no spans recorded)" in Simulator().trace().summary()
+
+
+def test_validator_flags_bad_documents():
+    assert validate_chrome_trace([]) == ["document is not a JSON object"]
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    bad = {
+        "traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1},
+            {"ph": "X", "name": "x", "pid": 1, "ts": -1.0, "dur": 1.0, "tid": 1},
+            {"ph": "X", "name": "x", "pid": 1, "ts": 0.0, "dur": float("nan"), "tid": 1},
+        ]
+    }
+    problems = validate_chrome_trace(bad)
+    assert len(problems) == 3

@@ -1,0 +1,143 @@
+"""End-to-end trace export validation (the `make trace-smoke` check).
+
+Boots real pipelines with a tracer attached and checks the acceptance
+criteria for the tracing layer:
+
+- the exported Chrome trace-event JSON passes the schema check;
+- per-phase span durations sum to the ``BootResult`` totals the
+  benchmarks already report (Fig. 10 agreement);
+- PSP command spans never overlap at ``parallelism=1`` (the Fig. 12
+  serialization, visually) but do overlap with ``parallelism>1``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.sim.trace import validate_chrome_trace
+
+SCALE = 1.0 / 1024.0
+
+
+def _traced_concurrent(count, parallelism=1):
+    machine = Machine(psp_parallelism=parallelism)
+    tracer = machine.sim.trace()
+    sf = SEVeriFast(machine=machine)
+    config = VmConfig(kernel=AWS, scale=SCALE, attest=False)
+    results = sf.concurrent_boots(config, count=count, machine=machine)
+    return machine, tracer, results
+
+
+def test_export_passes_schema_check():
+    _machine, tracer, _results = _traced_concurrent(2)
+    doc = json.loads(tracer.to_chrome_json())
+    assert validate_chrome_trace(doc) == []
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    # spans, counters, and thread-name metadata all present
+    assert {"X", "C", "M"} <= phases
+
+
+def test_phase_spans_sum_to_boot_result_totals():
+    """Fig. 10 agreement: the trace is the breakdown, span by span."""
+    _machine, tracer, results = _traced_concurrent(3)
+    vm_tracks = sorted(
+        {s.track for s in tracer.spans if s.category == "boot.phase"}
+    )
+    assert len(vm_tracks) == 3
+    matched = 0
+    for result in results:
+        breakdown = result.timeline.breakdown()
+        track = result.timeline.label
+        traced = tracer.phase_breakdown(track)
+        assert set(traced) == set(breakdown)
+        for phase, total in breakdown.items():
+            assert traced[phase] == pytest.approx(total, rel=1e-9)
+        matched += 1
+    assert matched == 3
+    # and the traced boot-path spans reproduce boot_ms
+    for result in results:
+        traced = tracer.phase_breakdown(result.timeline.label)
+        on_path = sum(
+            ms for phase, ms in traced.items()
+            if phase not in ("attestation", "pre_encryption")
+        )
+        assert on_path == pytest.approx(result.boot_ms, rel=1e-9)
+
+
+def test_psp_spans_serialize_at_parallelism_one():
+    _machine, tracer, _results = _traced_concurrent(4)
+    spans = sorted(tracer.spans_by(category="psp"), key=lambda s: s.start)
+    assert len(spans) >= 4 * 3  # START + >=1 UPDATE + FINISH per guest
+    for prev, nxt in zip(spans, spans[1:]):
+        assert prev.end is not None
+        assert prev.end <= nxt.start + 1e-9
+    # every span is tagged with its guest's ASID
+    assert all("asid" in s.args for s in spans)
+    names = {s.name for s in spans}
+    assert {"LAUNCH_START", "LAUNCH_UPDATE_DATA", "LAUNCH_FINISH"} <= names
+
+
+def test_psp_spans_overlap_with_parallel_psp():
+    """The §6.2 what-if: a multi-core PSP overlaps launch commands."""
+    _machine, tracer, _results = _traced_concurrent(4, parallelism=4)
+    spans = sorted(tracer.spans_by(category="psp"), key=lambda s: s.start)
+    overlaps = sum(
+        1 for prev, nxt in zip(spans, spans[1:]) if nxt.start < prev.end - 1e-9
+    )
+    assert overlaps > 0
+
+
+def test_resource_hold_spans_match_psp_busy_time():
+    machine, tracer, _results = _traced_concurrent(2)
+    holds = tracer.spans_by(category="resource.hold", track="psp")
+    total = sum(s.duration for s in holds)
+    assert total == pytest.approx(machine.psp.resource.busy_time, rel=1e-9)
+
+
+def test_untraced_run_records_nothing():
+    machine = Machine()
+    sf = SEVeriFast(machine=machine)
+    config = VmConfig(kernel=AWS, scale=SCALE, attest=False)
+    sf.concurrent_boots(config, count=1, machine=machine)
+    assert machine.sim.tracer is None
+
+
+def test_serverless_invocation_spans():
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.serverless.trace import Invocation, InvocationTrace
+    from repro.vmm.firecracker import FirecrackerVMM
+
+    machine = Machine()
+    tracer = machine.sim.trace()
+    sf = SEVeriFast(machine=machine)
+    config = VmConfig(kernel=AWS, scale=SCALE, attest=False)
+    prepared = sf.prepare(config, machine)
+
+    def boot():
+        vmm = FirecrackerVMM(machine)
+        result = yield from vmm.boot_severifast(
+            config, prepared.artifacts, prepared.initrd, hashes=prepared.hashes
+        )
+        return result
+
+    platform = ServerlessPlatform(machine.sim, boot)
+    platform.run(
+        InvocationTrace(
+            invocations=[
+                Invocation(arrival_ms=0.0, function="fn-a", exec_ms=10.0),
+                Invocation(arrival_ms=500.0, function="fn-a", exec_ms=10.0),
+            ],
+            horizon_ms=600.0,
+        )
+    )
+    spans = sorted(
+        tracer.spans_by(category="invocation"), key=lambda s: s.start
+    )
+    assert [s.args["start"] for s in spans] == ["cold", "warm"]
+    assert spans[0].args["boot_ms"] > 0.0
+    assert spans[1].args["boot_ms"] == 0.0
+    assert validate_chrome_trace(tracer.to_chrome_trace()) == []
