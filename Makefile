@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench examples report trace-smoke all
+.PHONY: install test bench examples report trace-smoke perfbench all
 
 install:
 	$(PY) setup.py develop
@@ -18,6 +18,12 @@ examples:
 
 report:
 	$(PY) -m repro report
+
+# Wall-clock throughput of the simulator itself: memenc MB/s plus Fig. 9
+# and Fig. 12 boots/s, slow (pure-Python reference) vs. fast (vectorized
+# + cached).  Writes BENCH_wallclock.json at the repo root.
+perfbench:
+	PYTHONPATH=src $(PY) benchmarks/perfbench.py
 
 # Boot one SEVeriFast VM with tracing on, validate the exported Chrome
 # trace JSON, then run the full export-schema test file.

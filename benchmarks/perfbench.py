@@ -1,0 +1,176 @@
+"""Wall-clock throughput benchmark (`make perfbench`).
+
+Times the simulator itself — not the simulated hardware — in two modes:
+
+- **slow**: vectorized crypto and content-addressed caches disabled,
+  i.e. the pure-Python reference behavior;
+- **fast**: both enabled (the default for every normal run).
+
+Three workloads: the memenc bulk-encryption microbench (MB/s), the
+Fig. 9 100-boot sequential fleet (boots/s), and the Fig. 12 concurrent
+fleet (boots/s).  Launch digests are asserted byte-identical between the
+modes — the perf layer must be invisible in every output byte.
+
+Writes ``BENCH_wallclock.json`` at the repo root so successive PRs can
+track the trajectory::
+
+    PYTHONPATH=src python benchmarks/perfbench.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from bench_common import BENCH_SCALE, bench_machine  # noqa: E402
+
+from repro import perf  # noqa: E402
+from repro.core.config import VmConfig  # noqa: E402
+from repro.core.severifast import SEVeriFast  # noqa: E402
+from repro.crypto.memenc import MemoryEncryptionEngine  # noqa: E402
+from repro.formats.kernels import KERNEL_CONFIGS  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_wallclock.json"
+
+FIG9_BOOTS = 100
+FIG12_GUESTS = 20
+
+
+def _bench_memenc(mode: str, total_bytes: int, region: int = 64 * 1024) -> float:
+    """MB/s of encrypt+decrypt round trips over distinct addresses."""
+    engine = MemoryEncryptionEngine(b"perfbench-key-01", mode)
+    data = bytes(range(256)) * (region // 256)
+    processed = 0
+    start = time.perf_counter()
+    pa = 0
+    while processed < total_bytes:
+        ciphertext = engine.encrypt(pa, data)
+        engine.decrypt(pa, ciphertext)
+        processed += 2 * region
+        pa += region
+    elapsed = time.perf_counter() - start
+    return processed / (1024.0 * 1024.0) / elapsed
+
+
+def _fig9_fleet(boots: int) -> tuple[float, list[bytes]]:
+    """Sequential cold boots on fresh machines (the Fig. 9 workload)."""
+    config = VmConfig(kernel=KERNEL_CONFIGS["aws"], scale=BENCH_SCALE)
+    digests: list[bytes] = []
+    start = time.perf_counter()
+    for run in range(boots):
+        machine = bench_machine(seed=hash(("perfbench", run)) & 0xFFFF)
+        sf = SEVeriFast(machine=machine)
+        result = sf.cold_boot(config, machine=machine)
+        digests.append(result.launch_digest)
+    elapsed = time.perf_counter() - start
+    return boots / elapsed, digests
+
+
+def _fig12_fleet(guests: int) -> tuple[float, list[bytes]]:
+    """Concurrent launches on one machine (the Fig. 12 workload)."""
+    from repro.core.severifast import SEVeriFast
+
+    machine = bench_machine(seed=12)
+    sf = SEVeriFast(machine=machine)
+    config = VmConfig(kernel=KERNEL_CONFIGS["aws"], scale=BENCH_SCALE)
+    start = time.perf_counter()
+    results = sf.concurrent_boots(config, count=guests, machine=machine)
+    elapsed = time.perf_counter() - start
+    return guests / elapsed, [r.launch_digest for r in results]
+
+
+def run(fig9_boots: int = FIG9_BOOTS, fig12_guests: int = FIG12_GUESTS) -> dict:
+    report: dict = {
+        "schema": "repro-perfbench-v1",
+        "scale": BENCH_SCALE,
+        "workloads": {},
+    }
+
+    # -- memenc microbench ------------------------------------------------
+    memenc: dict = {}
+    for mode in ("xex", "ctr-fast"):
+        with perf.scoped(vectorized=False, caches=False):
+            slow_bytes = 512 * 1024 if mode == "xex" else 4 * 1024 * 1024
+            slow = _bench_memenc(mode, slow_bytes)
+        with perf.scoped(vectorized=True, caches=True):
+            perf.clear_all_caches()
+            fast = _bench_memenc(mode, 16 * 1024 * 1024)
+        memenc[mode] = {
+            "slow_mb_s": round(slow, 3),
+            "fast_mb_s": round(fast, 3),
+            "speedup": round(fast / slow, 2),
+        }
+    report["workloads"]["memenc_bulk"] = memenc
+
+    # -- Fig. 9: sequential boot fleet ------------------------------------
+    slow_boots = max(5, fig9_boots // 10)
+    with perf.scoped(vectorized=False, caches=False):
+        slow_rate, slow_digests = _fig9_fleet(slow_boots)
+    with perf.scoped(vectorized=True, caches=True):
+        perf.clear_all_caches()
+        fast_rate, fast_digests = _fig9_fleet(fig9_boots)
+    assert fast_digests[:slow_boots] == slow_digests, (
+        "launch digests differ between fast and slow modes"
+    )
+    report["workloads"]["fig9_sequential"] = {
+        "fast_boots": fig9_boots,
+        "slow_boots": slow_boots,
+        "slow_boots_s": round(slow_rate, 3),
+        "fast_boots_s": round(fast_rate, 3),
+        "speedup": round(fast_rate / slow_rate, 2),
+        "digests_identical": True,
+    }
+
+    # -- Fig. 12: concurrent fleet ----------------------------------------
+    with perf.scoped(vectorized=False, caches=False):
+        slow_rate12, slow_d12 = _fig12_fleet(max(2, fig12_guests // 4))
+    with perf.scoped(vectorized=True, caches=True):
+        perf.clear_all_caches()
+        fast_rate12, fast_d12 = _fig12_fleet(fig12_guests)
+    report["workloads"]["fig12_concurrent"] = {
+        "fast_guests": fig12_guests,
+        "slow_boots_s": round(slow_rate12, 3),
+        "fast_boots_s": round(fast_rate12, 3),
+        "speedup": round(fast_rate12 / slow_rate12, 2),
+    }
+
+    report["cache_stats"] = {
+        name: {k: v for k, v in stats.items() if k in ("hits", "misses", "entries")}
+        for name, stats in perf.cache_stats().items()
+        if stats["hits"] or stats["misses"]
+    }
+    return report
+
+
+def main() -> int:
+    report = run()
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    memenc = report["workloads"]["memenc_bulk"]
+    fig9 = report["workloads"]["fig9_sequential"]
+    fig12 = report["workloads"]["fig12_concurrent"]
+    print(f"wrote {OUT_PATH}")
+    for mode, row in memenc.items():
+        print(
+            f"memenc {mode:<9} {row['slow_mb_s']:>9.2f} -> {row['fast_mb_s']:>9.2f} MB/s"
+            f"  ({row['speedup']}x)"
+        )
+    print(
+        f"fig9   sequential {fig9['slow_boots_s']:>7.2f} -> {fig9['fast_boots_s']:>7.2f}"
+        f" boots/s  ({fig9['speedup']}x)"
+    )
+    print(
+        f"fig12  concurrent {fig12['slow_boots_s']:>7.2f} -> {fig12['fast_boots_s']:>7.2f}"
+        f" boots/s  ({fig12['speedup']}x)"
+    )
+    ok = memenc["xex"]["speedup"] >= 5.0 and fig9["speedup"] >= 2.0
+    print(f"acceptance (memenc >= 5x, fig9 >= 2x): {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import perf
 from repro.common import Blob
 from repro.core.config import KernelFormat, VmConfig
 from repro.core.digest_tool import compute_expected_digest
@@ -36,6 +37,13 @@ from repro.vmm.qemu import QemuBootExtras, QemuVMM
 from repro.vmm.timeline import BootResult
 
 DEFAULT_SECRET = b"the-function's-database-credentials"
+
+#: prepared-boot packages, keyed by everything that determines them: the
+#: (frozen, hashable) VmConfig, the compression algorithm, the owner's
+#: secret, and the platform identity (chip id pins the cert chain and
+#: ARK).  §4.2/§4.3 preparation is off the critical path and pure, so a
+#: Fig. 9 fleet booting one image prepares it once.
+_PREPARED_CACHE = perf.LRUCache("severifast.prepared", capacity=64)
 
 
 @dataclass(frozen=True)
@@ -72,6 +80,21 @@ class SEVeriFast:
     def prepare(self, config: VmConfig, machine: Optional[Machine] = None) -> PreparedBoot:
         """Build images, hashes, expected digest, and the guest owner."""
         machine = machine or self.machine()
+        cache_key = (
+            config,
+            self.compression.value,
+            self.secret,
+            machine.psp.chip_id,
+            machine.psp.key_hierarchy.ark_key.public,
+        )
+        cached = _PREPARED_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
+        prepared = self._prepare_uncached(config, machine)
+        _PREPARED_CACHE.put(cache_key, prepared)
+        return prepared
+
+    def _prepare_uncached(self, config: VmConfig, machine: Machine) -> PreparedBoot:
         artifacts = build_kernel(config.kernel, config.scale, self.compression)
         initrd = build_initrd(config.scale)
         if config.kernel_format is KernelFormat.BZIMAGE:

@@ -4,9 +4,33 @@ This is the cipher behind :mod:`repro.crypto.memenc`, our model of the AES
 engine embedded in the EPYC memory controller.  The S-box is computed from
 the GF(2^8) inverse at import time rather than pasted in, so the table
 itself is verified by construction.
+
+Two execution paths share the same key schedule:
+
+- the scalar path (:meth:`AES128.encrypt_block` / ``decrypt_block``) is
+  the readable FIPS 197 reference, one 16-byte block at a time;
+- the batch path (:meth:`AES128.encrypt_blocks` / ``decrypt_blocks``)
+  runs *all* blocks of a region in lock-step per round over numpy uint8
+  arrays using the classic 32-bit T-table formulation.  Property tests
+  pin the two paths byte-identical; :mod:`repro.perf` switches select
+  between them at runtime.
 """
 
 from __future__ import annotations
+
+import sys
+
+from repro import perf
+
+try:  # the batch path needs numpy; the scalar path never does
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the toolchain
+    _np = None
+
+#: The T-table layout packs column bytes into little-endian uint32 words,
+#: so the batch path is only wired up on little-endian hosts (everything
+#: we run on); big-endian hosts silently keep the scalar reference.
+_BATCH_OK = _np is not None and sys.byteorder == "little"
 
 
 def _gf_mul(a: int, b: int) -> int:
@@ -72,6 +96,56 @@ _MUL13 = bytes(_gf_mul(x, 13) for x in range(256))
 _MUL14 = bytes(_gf_mul(x, 14) for x in range(256))
 
 
+# ---------------------------------------------------------------------------
+# Batch path: 32-bit T-tables over numpy lanes
+# ---------------------------------------------------------------------------
+#
+# The state is (N, 4, 4) uint8 with state[n, j, i] = byte 4j+i of block n
+# (column j, row i — FIPS 197's column-major byte order).  A column is a
+# little-endian uint32 word whose byte ``i`` is row ``i``; each encryption
+# round is then four 256-entry table gathers and three XORs per column,
+# identical across all N lanes:
+#
+#   col'_j = Te0[s(0,j)] ^ Te1[s(1,j+1)] ^ Te2[s(2,j+2)] ^ Te3[s(3,j+3)] ^ rk_j
+#
+# which folds SubBytes, ShiftRows, and MixColumns into the tables.  The
+# decryption tables bake InvSubBytes + InvMixColumns the same way, using
+# the equivalent inverse cipher (round keys pass through InvMixColumns).
+
+_T_TABLES = None
+
+
+def _pack_word(b0: int, b1: int, b2: int, b3: int) -> int:
+    return b0 | (b1 << 8) | (b2 << 16) | (b3 << 24)
+
+
+def _build_t_tables():
+    te = [_np.empty(256, dtype=_np.uint32) for _ in range(4)]
+    td = [_np.empty(256, dtype=_np.uint32) for _ in range(4)]
+    for x in range(256):
+        y = _SBOX[x]
+        # MixColumns matrix rows, rotated per input-row position.
+        te[0][x] = _pack_word(_MUL2[y], y, y, _MUL3[y])
+        te[1][x] = _pack_word(_MUL3[y], _MUL2[y], y, y)
+        te[2][x] = _pack_word(y, _MUL3[y], _MUL2[y], y)
+        te[3][x] = _pack_word(y, y, _MUL3[y], _MUL2[y])
+        z = _INV_SBOX[x]
+        td[0][x] = _pack_word(_MUL14[z], _MUL9[z], _MUL13[z], _MUL11[z])
+        td[1][x] = _pack_word(_MUL11[z], _MUL14[z], _MUL9[z], _MUL13[z])
+        td[2][x] = _pack_word(_MUL13[z], _MUL11[z], _MUL14[z], _MUL9[z])
+        td[3][x] = _pack_word(_MUL9[z], _MUL13[z], _MUL11[z], _MUL14[z])
+    sbox = _np.frombuffer(_SBOX, dtype=_np.uint8)
+    inv_sbox = _np.frombuffer(_INV_SBOX, dtype=_np.uint8)
+    return te, td, sbox, inv_sbox
+
+
+def _t_tables():
+    global _T_TABLES
+    if _T_TABLES is None:
+        _T_TABLES = _build_t_tables()
+    return _T_TABLES
+
+
 class AES128:
     """AES with a 128-bit key; 10 rounds; single-block encrypt/decrypt."""
 
@@ -81,6 +155,7 @@ class AES128:
         if len(key) != 16:
             raise ValueError("AES-128 requires a 16-byte key")
         self._round_keys = self._expand_key(key)
+        self._batch_keys = None  #: lazily-built numpy round-key words
 
     @staticmethod
     def _expand_key(key: bytes) -> list[bytes]:
@@ -172,3 +247,102 @@ class AES128:
         self._sub_bytes(state, _INV_SBOX)
         self._add_round_key(state, self._round_keys[0])
         return bytes(state)
+
+    # -- batch block operations (all blocks in lock-step per round) -------
+
+    #: below this many blocks the numpy dispatch overhead beats the win
+    _BATCH_THRESHOLD = 4
+
+    def _batch_round_keys(self):
+        """Round keys as little-endian uint32 column words, both ciphers.
+
+        The equivalent inverse cipher needs InvMixColumns applied to the
+        inner round keys; the scalar helper does that on the raw bytes.
+        """
+        if self._batch_keys is None:
+            enc = _np.frombuffer(
+                b"".join(self._round_keys), dtype="<u4"
+            ).reshape(11, 4)
+            dec_bytes = []
+            for rnd, rk in enumerate(self._round_keys):
+                if 1 <= rnd <= 9:
+                    mixed = bytearray(rk)
+                    self._inv_mix_columns(mixed)
+                    dec_bytes.append(bytes(mixed))
+                else:
+                    dec_bytes.append(rk)
+            dec = _np.frombuffer(b"".join(dec_bytes), dtype="<u4").reshape(11, 4)
+            self._batch_keys = (enc, dec)
+        return self._batch_keys
+
+    @staticmethod
+    def _batch_usable(n_blocks: int) -> bool:
+        return (
+            _BATCH_OK
+            and perf.vectorized_enabled()
+            and n_blocks >= AES128._BATCH_THRESHOLD
+        )
+
+    def encrypt_blocks(self, data: bytes) -> bytes:
+        """Encrypt ``len(data) // 16`` independent blocks.
+
+        Bit-identical to calling :meth:`encrypt_block` per block; the
+        batch path runs every block through each round simultaneously.
+        """
+        n = self._check_batch(data)
+        if not self._batch_usable(n):
+            return b"".join(
+                self.encrypt_block(data[i : i + 16]) for i in range(0, len(data), 16)
+            )
+        te, _td, sbox, _inv = _t_tables()
+        rk_enc, _rk_dec = self._batch_round_keys()
+        perf.incr("crypto.aes.batch_blocks", n)
+        state = _np.frombuffer(data, dtype="<u4").reshape(n, 4) ^ rk_enc[0]
+        for rnd in range(1, 10):
+            b = state.view(_np.uint8).reshape(n, 4, 4)
+            state = (
+                te[0][b[:, :, 0]]
+                ^ te[1][_np.roll(b[:, :, 1], -1, axis=1)]
+                ^ te[2][_np.roll(b[:, :, 2], -2, axis=1)]
+                ^ te[3][_np.roll(b[:, :, 3], -3, axis=1)]
+                ^ rk_enc[rnd]
+            )
+        b = state.view(_np.uint8).reshape(n, 4, 4)
+        out = _np.empty((n, 4, 4), dtype=_np.uint8)
+        for row in range(4):
+            out[:, :, row] = sbox[_np.roll(b[:, :, row], -row, axis=1)]
+        out = out.reshape(n, 16).view("<u4") ^ rk_enc[10]
+        return out.tobytes()
+
+    def decrypt_blocks(self, data: bytes) -> bytes:
+        """Inverse of :meth:`encrypt_blocks` (equivalent inverse cipher)."""
+        n = self._check_batch(data)
+        if not self._batch_usable(n):
+            return b"".join(
+                self.decrypt_block(data[i : i + 16]) for i in range(0, len(data), 16)
+            )
+        _te, td, _sbox, inv_sbox = _t_tables()
+        _rk_enc, rk_dec = self._batch_round_keys()
+        perf.incr("crypto.aes.batch_blocks", n)
+        state = _np.frombuffer(data, dtype="<u4").reshape(n, 4) ^ rk_dec[10]
+        for rnd in range(9, 0, -1):
+            b = state.view(_np.uint8).reshape(n, 4, 4)
+            state = (
+                td[0][b[:, :, 0]]
+                ^ td[1][_np.roll(b[:, :, 1], 1, axis=1)]
+                ^ td[2][_np.roll(b[:, :, 2], 2, axis=1)]
+                ^ td[3][_np.roll(b[:, :, 3], 3, axis=1)]
+                ^ rk_dec[rnd]
+            )
+        b = state.view(_np.uint8).reshape(n, 4, 4)
+        out = _np.empty((n, 4, 4), dtype=_np.uint8)
+        for row in range(4):
+            out[:, :, row] = inv_sbox[_np.roll(b[:, :, row], row, axis=1)]
+        out = out.reshape(n, 16).view("<u4") ^ rk_dec[0]
+        return out.tobytes()
+
+    @staticmethod
+    def _check_batch(data: bytes) -> int:
+        if len(data) % 16 != 0:
+            raise ValueError("batch length must be a multiple of 16")
+        return len(data) // 16

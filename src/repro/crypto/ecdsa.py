@@ -14,7 +14,15 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro import perf
 from repro.crypto.hmacmod import hmac_sha256
+
+#: RFC 6979 signing is deterministic: (secret, digest) fully determines
+#: the signature, so repeated report/certificate signatures across a
+#: boot fleet are pure cache hits.  Verification likewise memoizes its
+#: boolean verdict keyed by (public point, digest, signature).
+_SIGN_CACHE = perf.LRUCache("ecdsa.sign", capacity=4096)
+_VERIFY_CACHE = perf.LRUCache("ecdsa.verify", capacity=4096)
 
 # NIST P-256 domain parameters (FIPS 186-4, D.1.2.3).
 P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
@@ -180,6 +188,14 @@ class SigningKey:
 
     def sign(self, message: bytes) -> Signature:
         digest = hashlib.sha256(message).digest()
+        cached = _SIGN_CACHE.get((self.secret, digest))
+        if cached is not None:
+            return cached
+        sig = self._sign_digest(digest)
+        _SIGN_CACHE.put((self.secret, digest), sig)
+        return sig
+
+    def _sign_digest(self, digest: bytes) -> Signature:
         z = int.from_bytes(digest, "big") % N
         while True:
             k = self._rfc6979_nonce(digest)
@@ -197,6 +213,16 @@ class SigningKey:
 
 def verify(public: PublicKey, message: bytes, sig: Signature) -> bool:
     """Verify an ECDSA P-256/SHA-256 signature.  Returns False on any defect."""
+    key = (public.x, public.y, hashlib.sha256(message).digest(), sig.r, sig.s)
+    cached = _VERIFY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    ok = _verify_uncached(public, message, sig)
+    _VERIFY_CACHE.put(key, ok)
+    return ok
+
+
+def _verify_uncached(public: PublicKey, message: bytes, sig: Signature) -> bool:
     if not (1 <= sig.r < N and 1 <= sig.s < N):
         return False
     if not _on_curve(public.x, public.y):

@@ -7,19 +7,26 @@ guest owner after attestation.
 
 from __future__ import annotations
 
+from repro import perf
 from repro.crypto.sha2 import sha256
 
 _BLOCK_SIZE = 64
 
 
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
-    """HMAC-SHA256 of ``message`` under ``key``."""
+    """HMAC-SHA256 of ``message`` under ``key``.
+
+    Dispatches to the accelerated SHA-256 (pinned bit-identical to the
+    from-scratch one by tests/crypto) when vectorized crypto is enabled —
+    HMAC is the inner loop of both HKDF and RFC 6979 nonce generation.
+    """
+    fast = perf.vectorized_enabled()
     if len(key) > _BLOCK_SIZE:
-        key = sha256(key)
+        key = sha256(key, accelerated=fast)
     key = key.ljust(_BLOCK_SIZE, b"\x00")
     o_pad = bytes(b ^ 0x5C for b in key)
     i_pad = bytes(b ^ 0x36 for b in key)
-    return sha256(o_pad + sha256(i_pad + message))
+    return sha256(o_pad + sha256(i_pad + message, accelerated=fast), accelerated=fast)
 
 
 def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:

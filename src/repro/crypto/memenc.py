@@ -18,6 +18,21 @@ Two interchangeable modes implement that contract:
   contract for both modes.
 
 Both modes are length-preserving over 16-byte-aligned regions.
+
+Wall-clock execution has a scalar and a vectorized path per mode, pinned
+byte-identical by the property tests:
+
+- XEX vectorized: the tweak sequence for the whole region is produced by
+  one batch-AES call, the data blocks by another, and the two whitening
+  XORs are single numpy operations — no per-block Python loop.
+- ctr-fast vectorized: the SHA-256 keystream stays on the stdlib (one
+  digest per 32 bytes is already C code; numpy lanes measure *slower*),
+  but the XOR is one vectorized pass and keystream/tweak sequences are
+  cached content-addressed by ``(key, pa, length)`` — they depend only
+  on key and address, so repeated boots of the same image reuse them.
+
+:mod:`repro.perf` switches (``REPRO_VECTORIZE``, ``REPRO_CACHES``)
+select the paths at runtime; see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -25,9 +40,30 @@ from __future__ import annotations
 import hashlib
 import struct
 
+from repro import perf
 from repro.crypto.aes import AES128
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the toolchain
+    _np = None
+
 BLOCK_SIZE = 16
+
+#: keystream/tweak sequences for hot regions, shared across engines (and
+#: therefore across the fresh-machine-per-boot pattern of Fig. 9 fleets)
+_KEYSTREAM_CACHE = perf.LRUCache(
+    "memenc.keystream",
+    capacity=4096,
+    max_weight=64 * 1024 * 1024,
+    weigher=len,
+)
+_TWEAK_CACHE = perf.LRUCache(
+    "memenc.tweaks",
+    capacity=4096,
+    max_weight=32 * 1024 * 1024,
+    weigher=len,
+)
 
 
 class MemoryEncryptionEngine:
@@ -45,12 +81,42 @@ class MemoryEncryptionEngine:
             # Independent tweak key, derived so a single input key suffices.
             self._tweak_cipher = AES128(hashlib.sha256(b"tweak" + key).digest()[:16])
 
+    @property
+    def key_id(self) -> tuple[str, bytes]:
+        """Content-address of this engine's keying material.
+
+        Two engines with equal ``key_id`` produce identical ciphertext
+        for identical (address, plaintext) inputs — the invariant the
+        launch-page ciphertext cache keys on.
+        """
+        return (self.mode, self._key)
+
     # -- XEX mode ---------------------------------------------------------
 
     def _xex_tweak(self, block_index: int) -> bytes:
         return self._tweak_cipher.encrypt_block(struct.pack(">QQ", 0, block_index))
 
-    def _xex_apply(self, pa: int, data: bytes, encrypt: bool) -> bytes:
+    def _xex_tweaks(self, pa: int, length: int) -> bytes:
+        """The concatenated tweak blocks covering ``[pa, pa+length)``.
+
+        One batch-AES call over the packed block counters; cached by
+        (tweak key, base block, count) since tweaks are data-independent.
+        """
+        base_block = pa // BLOCK_SIZE
+        n = length // BLOCK_SIZE
+        key = (self._key, base_block, n)
+        cached = _TWEAK_CACHE.get(key)
+        if cached is not None:
+            return cached
+        counters = b"".join(
+            struct.pack(">QQ", 0, base_block + i) for i in range(n)
+        )
+        tweaks = self._tweak_cipher.encrypt_blocks(counters)
+        _TWEAK_CACHE.put(key, tweaks)
+        return tweaks
+
+    def _xex_apply_scalar(self, pa: int, data: bytes, encrypt: bool) -> bytes:
+        """The per-block reference implementation (kept as the oracle)."""
         out = bytearray(len(data))
         base_block = pa // BLOCK_SIZE
         for i in range(0, len(data), BLOCK_SIZE):
@@ -63,17 +129,67 @@ class MemoryEncryptionEngine:
             out[i : i + BLOCK_SIZE] = bytes(a ^ b for a, b in zip(block, tweak))
         return bytes(out)
 
+    def _xex_apply(self, pa: int, data: bytes, encrypt: bool) -> bytes:
+        if _np is None or not perf.vectorized_enabled():
+            perf.incr("crypto.memenc.scalar_bytes", len(data))
+            return self._xex_apply_scalar(pa, data, encrypt)
+        perf.incr("crypto.memenc.vector_bytes", len(data))
+        tweaks = _np.frombuffer(self._xex_tweaks(pa, len(data)), dtype=_np.uint8)
+        whitened = (_np.frombuffer(data, dtype=_np.uint8) ^ tweaks).tobytes()
+        if encrypt:
+            mixed = self._data_cipher.encrypt_blocks(whitened)
+        else:
+            mixed = self._data_cipher.decrypt_blocks(whitened)
+        return (_np.frombuffer(mixed, dtype=_np.uint8) ^ tweaks).tobytes()
+
     # -- fast tweaked-keystream mode ---------------------------------------
 
-    def _keystream(self, pa: int, length: int) -> bytes:
+    def _keystream_scalar(self, pa: int, length: int) -> bytes:
+        """The reference keystream: one SHA-256 per 32 bytes of output.
+
+        Chunks are bound to *absolute* 32-byte-aligned addresses, so the
+        stream is a pure function of (key, address) — any two operations
+        covering the same byte agree, which the partial-block
+        read-modify-write path in :mod:`repro.hw.memory` depends on.
+        """
+        chunk_base = pa - pa % 32
+        skip = pa - chunk_base
         chunks = []
         # One SHA-256 call yields 32 keystream bytes bound to (key, address).
-        for off in range(0, length, 32):
+        for off in range(0, skip + length, 32):
             block = hashlib.sha256(
-                self._key + struct.pack(">Q", pa + off)
+                self._key + struct.pack(">Q", chunk_base + off)
             ).digest()
             chunks.append(block)
-        return b"".join(chunks)[:length]
+        return b"".join(chunks)[skip : skip + length]
+
+    def _keystream(self, pa: int, length: int) -> bytes:
+        key = (self._key, pa, length)
+        cached = _KEYSTREAM_CACHE.get(key)
+        if cached is not None:
+            return cached
+        chunk_base = pa - pa % 32
+        skip = pa - chunk_base
+        prefix = self._key
+        pack = struct.Struct(">Q").pack
+        digest = hashlib.sha256
+        stream = b"".join(
+            digest(prefix + pack(chunk_base + off)).digest()
+            for off in range(0, skip + length, 32)
+        )[skip : skip + length]
+        _KEYSTREAM_CACHE.put(key, stream)
+        return stream
+
+    def _ctr_apply(self, pa: int, data: bytes) -> bytes:
+        stream = self._keystream(pa, len(data))
+        if _np is None or not perf.vectorized_enabled():
+            perf.incr("crypto.memenc.scalar_bytes", len(data))
+            return bytes(a ^ b for a, b in zip(data, stream))
+        perf.incr("crypto.memenc.vector_bytes", len(data))
+        return (
+            _np.frombuffer(data, dtype=_np.uint8)
+            ^ _np.frombuffer(stream, dtype=_np.uint8)
+        ).tobytes()
 
     # -- public API ---------------------------------------------------------
 
@@ -88,13 +204,11 @@ class MemoryEncryptionEngine:
         self._check(pa, plaintext)
         if self.mode == "xex":
             return self._xex_apply(pa, plaintext, encrypt=True)
-        stream = self._keystream(pa, len(plaintext))
-        return bytes(a ^ b for a, b in zip(plaintext, stream))
+        return self._ctr_apply(pa, plaintext)
 
     def decrypt(self, pa: int, ciphertext: bytes) -> bytes:
         """Decrypt ``ciphertext`` that resides at physical address ``pa``."""
         self._check(pa, ciphertext)
         if self.mode == "xex":
             return self._xex_apply(pa, ciphertext, encrypt=False)
-        stream = self._keystream(pa, len(ciphertext))
-        return bytes(a ^ b for a, b in zip(ciphertext, stream))
+        return self._ctr_apply(pa, ciphertext)

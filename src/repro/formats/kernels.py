@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro import perf
 from repro.common import Blob, KiB, MiB
 from repro.crypto.lz4 import lz4_compress
 from repro.formats.bzimage import BzImage, CompressionAlgo
@@ -240,13 +241,19 @@ class KernelArtifacts:
         return self.vmlinux.nominal_size
 
 
-_ARTIFACT_CACHE: dict[tuple[str, float, str], KernelArtifacts] = {}
-_VMLINUX_CACHE: dict[tuple[str, float], bytes] = {}
-_INITRD_CACHE: dict[float, Blob] = {}
+# Build caches, content-addressed by the full (hashable, frozen)
+# KernelConfig rather than just its name, and LRU-bounded so scaling
+# sweeps over many synthetic configs cannot grow without bound.  These
+# predate the repro.perf switches and stay on even with caches disabled
+# (gated=False): they are build-system memoization, not launch-path
+# crypto, and several tests construct artifacts assuming it.
+_ARTIFACT_CACHE = perf.LRUCache("kernels.artifacts", capacity=64, gated=False)
+_VMLINUX_CACHE = perf.LRUCache("kernels.vmlinux", capacity=64, gated=False)
+_INITRD_CACHE = perf.LRUCache("kernels.initrd", capacity=16, gated=False)
 
 
 def _build_vmlinux(config: KernelConfig, scale: float) -> bytes:
-    key = (config.name, scale)
+    key = (config, scale)
     cached = _VMLINUX_CACHE.get(key)
     if cached is not None:
         return cached
@@ -285,7 +292,7 @@ def _build_vmlinux(config: KernelConfig, scale: float) -> bytes:
         ],
     )
     raw = elf.to_bytes()
-    _VMLINUX_CACHE[key] = raw
+    _VMLINUX_CACHE.put(key, raw)
     return raw
 
 
@@ -301,7 +308,7 @@ def build_kernel(
     number); for other compressors the nominal is the actual compressed
     size rescaled, preserving relative ratios.
     """
-    cache_key = (config.name, scale, algo.value)
+    cache_key = (config, scale, algo.value)
     cached = _ARTIFACT_CACHE.get(cache_key)
     if cached is not None:
         return cached
@@ -331,7 +338,7 @@ def build_kernel(
         bzimage=bz_blob,
         algo=algo,
     )
-    _ARTIFACT_CACHE[cache_key] = artifacts
+    _ARTIFACT_CACHE.put(cache_key, artifacts)
     return artifacts
 
 
@@ -382,7 +389,7 @@ def build_initrd(scale: float = DEFAULT_SCALE) -> Blob:
 
     raw = archive.to_bytes()
     blob = Blob(raw, max(len(raw), INITRD_SIZE), "initrd")
-    _INITRD_CACHE[scale] = blob
+    _INITRD_CACHE.put(scale, blob)
     return blob
 
 

@@ -50,17 +50,17 @@ class GuestMemory:
             )
 
     def _raw_read(self, pa: int, length: int) -> bytes:
-        out = bytearray()
-        while length > 0:
-            page, offset = divmod(pa, PAGE_SIZE)
-            take = min(length, PAGE_SIZE - offset)
+        # Preallocated (zeroed) so unmaterialized pages cost nothing and
+        # large multi-page reads avoid quadratic bytearray growth.
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            page, offset = divmod(pa + pos, PAGE_SIZE)
+            take = min(length - pos, PAGE_SIZE - offset)
             backing = self._pages.get(page)
-            if backing is None:
-                out += b"\x00" * take
-            else:
-                out += backing[offset : offset + take]
-            pa += take
-            length -= take
+            if backing is not None:
+                out[pos : pos + take] = backing[offset : offset + take]
+            pos += take
         return bytes(out)
 
     def _raw_write(self, pa: int, data: bytes) -> None:
@@ -125,10 +125,21 @@ class GuestMemory:
         start = pa - (pa % BLOCK_SIZE)
         end = pa + len(data)
         end += (-end) % BLOCK_SIZE
-        if (start, end) != (pa, pa + len(data)):
-            # Read-modify-write the containing block span.
-            span = bytearray(self.guest_read(start, end - start, c_bit=True))
-            span[pa - start : pa - start + len(data)] = data
+        head_pad = pa - start
+        tail_pad = end - (pa + len(data))
+        if head_pad or tail_pad:
+            # Read-modify-write: only the *partial* head/tail blocks need
+            # their existing plaintext — the fully overwritten middle of
+            # the span must not be decrypted just to be thrown away.
+            span = bytearray(end - start)
+            span[head_pad : head_pad + len(data)] = data
+            if head_pad:
+                first = engine.decrypt(start, self._raw_read(start, BLOCK_SIZE))
+                span[:head_pad] = first[:head_pad]
+            if tail_pad:
+                last_pa = end - BLOCK_SIZE
+                last = engine.decrypt(last_pa, self._raw_read(last_pa, BLOCK_SIZE))
+                span[len(span) - tail_pad :] = last[BLOCK_SIZE - tail_pad :]
             data = bytes(span)
             pa = start
         self._raw_write(pa, engine.encrypt(pa, data))
@@ -164,11 +175,14 @@ class GuestMemory:
 
     # -- PSP access path (LAUNCH_UPDATE_DATA) --------------------------------------
 
-    def psp_encrypt_in_place(self, pa: int, length: int) -> bytes:
+    def psp_encrypt_in_place(self, pa: int, length: int, cipher_cache=None) -> bytes:
         """Encrypt a plain-text region in place; returns the plain text.
 
         The returned plain text is what the PSP hashes into the launch
-        measurement before encrypting (§2.4).
+        measurement before encrypting (§2.4).  ``cipher_cache`` (an object
+        with ``encrypt(engine, pa, plaintext)``, e.g.
+        :class:`repro.sev.api.PageCryptoCache`) serves content-addressed
+        ciphertext for repeated identical launches.
         """
         if pa % PAGE_SIZE != 0:
             raise MemoryAccessError("pre-encryption must be page-aligned")
@@ -176,7 +190,11 @@ class GuestMemory:
         engine = self._require_engine()
         padded = length + (-length) % BLOCK_SIZE
         plain = self._raw_read(pa, padded)
-        self._raw_write(pa, engine.encrypt(pa, plain))
+        if cipher_cache is None:
+            ciphertext = engine.encrypt(pa, plain)
+        else:
+            ciphertext = cipher_cache.encrypt(engine, pa, plain)
+        self._raw_write(pa, ciphertext)
         self._encrypted_pages.update(self._pages_of(pa, padded))
         return plain[:length]
 

@@ -24,7 +24,12 @@ from repro.crypto.memenc import MemoryEncryptionEngine
 from repro.crypto.sha2 import sha256
 from repro.hw.costmodel import CostModel
 from repro.hw.memory import GuestMemory
-from repro.sev.api import GuestSevContext, SevLaunchError, SevState
+from repro.sev.api import (
+    PAGE_CRYPTO_CACHE,
+    GuestSevContext,
+    SevLaunchError,
+    SevState,
+)
 from repro.sev.attestation import AttestationReport
 from repro.sev.policy import GuestPolicy
 from repro.sim import Simulator
@@ -191,7 +196,9 @@ class PlatformSecurityProcessor:
         )
         if memory.engine is None:
             memory.engine = ctx.engine
-        plaintext = memory.psp_encrypt_in_place(gpa, length)
+        plaintext = memory.psp_encrypt_in_place(
+            gpa, length, cipher_cache=PAGE_CRYPTO_CACHE
+        )
         if memory.rmp is not None:
             first = gpa // PAGE_SIZE
             last = (gpa + max(length, 1) - 1) // PAGE_SIZE

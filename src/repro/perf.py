@@ -1,0 +1,240 @@
+"""Wall-clock performance substrate: switches, counters, bounded caches.
+
+The simulator's *virtual-time* results are sacred — every optimization in
+this repository must leave launch digests, ciphertext, and timelines
+byte-identical.  What is fair game is *wall-clock* cost: the pure-Python
+reference crypto can be dispatched to vectorized/batched implementations,
+and deterministic artifacts (built kernels, page ciphertext, launch
+digests, certificate chains) can be cached content-addressed across
+boots.  This module is the shared substrate those optimizations hang off:
+
+- **switches** — :func:`configure` / :func:`scoped` toggle the vectorized
+  crypto paths and the content-addressed caches globally; environment
+  variables ``REPRO_VECTORIZE=0`` / ``REPRO_CACHES=0`` disable them for a
+  whole run (see docs/PERFORMANCE.md).  Both default to on.
+- **counters** — a process-global monotonic counter registry
+  (:func:`incr`, :func:`counters_snapshot`).  The tracer snapshots these
+  at attach time and reports the delta, so ``repro trace`` shows crypto
+  and cache activity per traced run.
+- **caches** — :class:`LRUCache`, a bounded mapping that counts hits and
+  misses into the counter registry and registers itself so
+  :func:`clear_all_caches` and :func:`cache_stats` see every cache in
+  the process.
+
+Everything here is wall-clock machinery: with the switches off the
+simulation produces bit-identical output, just slower — the property
+tests under ``tests/properties`` pin exactly that.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+_vectorized = _env_flag("REPRO_VECTORIZE", True)
+_caches = _env_flag("REPRO_CACHES", True)
+
+
+def vectorized_enabled() -> bool:
+    """Whether batched/accelerated crypto dispatch is on."""
+    return _vectorized
+
+
+def caches_enabled() -> bool:
+    """Whether the content-addressed artifact caches are on."""
+    return _caches
+
+
+def configure(
+    vectorized: Optional[bool] = None, caches: Optional[bool] = None
+) -> None:
+    """Flip the global switches (``None`` leaves a switch unchanged)."""
+    global _vectorized, _caches
+    if vectorized is not None:
+        _vectorized = bool(vectorized)
+    if caches is not None:
+        _caches = bool(caches)
+
+
+@contextmanager
+def scoped(
+    vectorized: Optional[bool] = None, caches: Optional[bool] = None
+) -> Iterator[None]:
+    """Temporarily override the switches (tests, benchmarks)."""
+    saved = (_vectorized, _caches)
+    try:
+        configure(vectorized, caches)
+        yield
+    finally:
+        configure(*saved)
+
+
+# -- counters ---------------------------------------------------------------
+
+_counters: dict[str, int] = {}
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Bump a process-global monotonic counter."""
+    _counters[name] = _counters.get(name, 0) + amount
+
+
+def counters_snapshot() -> dict[str, int]:
+    """A point-in-time copy of every counter (for delta accounting)."""
+    return dict(_counters)
+
+
+def counters_delta(baseline: dict[str, int]) -> dict[str, int]:
+    """Counters that moved since ``baseline``, as positive deltas."""
+    out: dict[str, int] = {}
+    for name, value in _counters.items():
+        delta = value - baseline.get(name, 0)
+        if delta:
+            out[name] = delta
+    return out
+
+
+def reset_counters() -> None:
+    _counters.clear()
+
+
+# -- bounded LRU caches ------------------------------------------------------
+
+#: every live cache, so tests/benchmarks can clear the world at once
+_cache_registry: list["LRUCache"] = []
+
+
+class LRUCache:
+    """A bounded LRU mapping with hit/miss counters.
+
+    ``capacity`` bounds the entry count; ``max_weight`` (with ``weigher``)
+    additionally bounds total weight — used byte-bounded for ciphertext
+    and keystream caches.  Lookups count into the global counter registry
+    as ``cache.<name>.hits`` / ``cache.<name>.misses``.
+
+    ``gated=True`` (the default) makes the cache honor the global caches
+    switch: with caches disabled it neither serves nor stores, so a
+    disabled run behaves exactly like an empty-cache run.  The build
+    caches that predate this layer use ``gated=False``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int = 256,
+        max_weight: Optional[int] = None,
+        weigher: Optional[Callable[[Any], int]] = None,
+        gated: bool = True,
+    ):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.max_weight = max_weight
+        self.weigher = weigher
+        self.gated = gated
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self._weight = 0
+        _cache_registry.append(self)
+
+    # -- switch handling ---------------------------------------------------
+
+    def _active(self) -> bool:
+        return caches_enabled() if self.gated else True
+
+    # -- mapping operations ------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if not self._active():
+            return default
+        try:
+            value = self._data[key]
+        except KeyError:
+            incr(f"cache.{self.name}.misses")
+            return default
+        self._data.move_to_end(key)
+        incr(f"cache.{self.name}.hits")
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if not self._active():
+            return
+        if key in self._data:
+            self._weight -= self._weigh(self._data[key])
+            del self._data[key]
+        self._data[key] = value
+        self._weight += self._weigh(value)
+        self._evict()
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Serve ``key`` or compute, store, and return it.
+
+        With caches disabled this is exactly ``compute()``.
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._weight = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    # -- internals ---------------------------------------------------------
+
+    def _weigh(self, value: Any) -> int:
+        if self.weigher is None:
+            return 0
+        return self.weigher(value)
+
+    def _evict(self) -> None:
+        while len(self._data) > self.capacity:
+            self._pop_oldest()
+        if self.max_weight is not None:
+            while self._weight > self.max_weight and len(self._data) > 1:
+                self._pop_oldest()
+
+    def _pop_oldest(self) -> None:
+        _key, value = self._data.popitem(last=False)
+        self._weight -= self._weigh(value)
+        incr(f"cache.{self.name}.evictions")
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._data),
+            "weight": self._weight,
+            "hits": _counters.get(f"cache.{self.name}.hits", 0),
+            "misses": _counters.get(f"cache.{self.name}.misses", 0),
+            "evictions": _counters.get(f"cache.{self.name}.evictions", 0),
+        }
+
+
+def clear_all_caches() -> None:
+    """Empty every registered cache (tests and cold-start benchmarks)."""
+    for cache in _cache_registry:
+        cache.clear()
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Per-cache statistics for every registered cache."""
+    return {cache.name: cache.stats() for cache in _cache_registry}

@@ -13,8 +13,10 @@ sneak code into the root of trust once an attestation report exists.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.crypto.memenc import MemoryEncryptionEngine
 from repro.sev.measurement import LaunchMeasurement
 from repro.sev.policy import GuestPolicy
@@ -22,6 +24,44 @@ from repro.sev.policy import GuestPolicy
 
 class SevLaunchError(Exception):
     """An SEV command was issued in the wrong state."""
+
+
+class PageCryptoCache:
+    """Content-addressed launch-page ciphertext, keyed (key, gpa, content).
+
+    LAUNCH_UPDATE_DATA over the same plaintext at the same address under
+    the same guest key always yields the same ciphertext, so repeated
+    launches of one image can reuse it instead of re-running the
+    encryption engine.  The key includes
+    :attr:`MemoryEncryptionEngine.key_id`, so guests with distinct keys
+    never share entries; byte-identical output is pinned by the property
+    tests.
+    """
+
+    def __init__(self, capacity: int = 4096, max_weight: int = 64 * 1024 * 1024):
+        self._cache = perf.LRUCache(
+            "sev.page_crypto",
+            capacity=capacity,
+            max_weight=max_weight,
+            weigher=len,
+        )
+
+    def encrypt(
+        self, engine: MemoryEncryptionEngine, pa: int, plaintext: bytes
+    ) -> bytes:
+        """``engine.encrypt(pa, plaintext)``, served from cache when possible."""
+        if not perf.caches_enabled():
+            return engine.encrypt(pa, plaintext)
+        content_key = hashlib.sha256(plaintext).digest()
+        return self._cache.get_or_compute(
+            (engine.key_id, pa, content_key),
+            lambda: engine.encrypt(pa, plaintext),
+        )
+
+
+#: the process-wide cache every PSP instance shares (cleared alongside all
+#: other caches by :func:`repro.perf.clear_all_caches`)
+PAGE_CRYPTO_CACHE = PageCryptoCache()
 
 
 class SevState(enum.Enum):

@@ -17,8 +17,13 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from repro import perf
 from repro.crypto import ecdsa
 from repro.sev.attestation import AttestationReport
+
+#: hierarchies are deterministic in the chip seed, so every Machine built
+#: on the same chip (the whole Fig. 9 fleet) shares one keygen cost
+_HIERARCHY_CACHE = perf.LRUCache("certchain.hierarchy", capacity=64)
 
 
 class ChainError(Exception):
@@ -93,8 +98,19 @@ class AmdKeyHierarchy:
         """Derive a deterministic hierarchy for a chip.
 
         The ARK/ASK model AMD's product-line keys; the VCEK is derived
-        from the chip-unique seed, as on real parts.
+        from the chip-unique seed, as on real parts.  The result is a
+        pure function of ``chip_seed`` (frozen dataclass, deterministic
+        ECDSA), so it is served content-addressed when caches are on.
         """
+        cached = _HIERARCHY_CACHE.get(chip_seed)
+        if cached is not None:
+            return cached
+        hierarchy = cls._generate_uncached(chip_seed)
+        _HIERARCHY_CACHE.put(chip_seed, hierarchy)
+        return hierarchy
+
+    @classmethod
+    def _generate_uncached(cls, chip_seed: bytes) -> "AmdKeyHierarchy":
         ark_key = ecdsa.SigningKey.from_seed(b"amd-ark")
         ask_key = ecdsa.SigningKey.from_seed(b"amd-ask-milan")
         vcek_key = ecdsa.SigningKey.from_seed(chip_seed)

@@ -86,12 +86,27 @@ class Tracer:
     """
 
     def __init__(self, sim: "Simulator"):
+        from repro import perf
+
         self.sim = sim
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
         #: counter name -> [(ts, value), ...] time series
         self.counters: dict[str, list[tuple[float, float]]] = {}
         self._track_seq: dict[str, int] = {}
+        #: wall-clock perf counters at attach time, so this tracer
+        #: reports only the crypto/cache activity of *its* run
+        self._perf_baseline = perf.counters_snapshot()
+
+    def perf_counters(self) -> dict[str, int]:
+        """Crypto/cache counters accumulated since this tracer attached.
+
+        Process-global :mod:`repro.perf` counters (vectorized bytes,
+        cache hits/misses), delta'd against the attach-time snapshot.
+        """
+        from repro import perf
+
+        return perf.counters_delta(self._perf_baseline)
 
     # -- recording -----------------------------------------------------------
 
@@ -265,6 +280,9 @@ class Tracer:
                 "clock": "virtual-ms",
                 "spans": len(self.spans),
                 "producer": "repro.sim.trace",
+                # Wall-clock crypto/cache activity (no virtual timestamps,
+                # so it rides in otherData rather than as counter events).
+                "perf_counters": self.perf_counters(),
             },
         }
 
@@ -312,6 +330,11 @@ class Tracer:
             lines.append(f"\n[phases: {track}]")
             for phase, total in sorted(breakdown.items(), key=lambda kv: -kv[1]):
                 lines.append(f"  {phase:<28} {total:>10.2f} ms")
+        perf_counters = self.perf_counters()
+        if perf_counters:
+            lines.append("\n[crypto/cache] (wall-clock activity this run)")
+            for name in sorted(perf_counters):
+                lines.append(f"  {name:<36} {perf_counters[name]:>12}")
         return "\n".join(lines)
 
 

@@ -1,0 +1,68 @@
+"""Tracer exposure of wall-clock crypto/cache counters."""
+
+from repro import perf
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.sim.trace import validate_chrome_trace
+
+SCALE = 1.0 / 1024.0
+
+
+def _traced_boot():
+    machine = Machine()
+    tracer = machine.sim.trace()
+    sf = SEVeriFast(machine=machine)
+    sf.cold_boot(VmConfig(kernel=AWS, scale=SCALE), machine=machine)
+    return tracer
+
+
+def test_tracer_reports_perf_counter_deltas():
+    tracer = _traced_boot()
+    counters = tracer.perf_counters()
+    # a cold boot must show memenc activity on one of the two paths
+    assert (
+        counters.get("crypto.memenc.vector_bytes", 0)
+        + counters.get("crypto.memenc.scalar_bytes", 0)
+        > 0
+    )
+    # deltas are against attach time: every reported counter moved
+    assert all(value > 0 for value in counters.values())
+
+
+def test_tracer_baseline_excludes_prior_activity():
+    _traced_boot()  # generate unrelated crypto traffic first
+    machine = Machine()
+    tracer = machine.sim.trace()
+    assert tracer.perf_counters() == {}
+
+
+def test_summary_includes_crypto_cache_section():
+    tracer = _traced_boot()
+    text = tracer.summary()
+    assert "[crypto/cache]" in text
+    assert "crypto.memenc" in text
+
+
+def test_chrome_export_carries_perf_counters():
+    tracer = _traced_boot()
+    doc = tracer.to_chrome_trace()
+    assert validate_chrome_trace(doc) == []
+    exported = doc["otherData"]["perf_counters"]
+    assert exported == tracer.perf_counters()
+    assert any(name.startswith("crypto.") for name in exported)
+
+
+def test_counters_flow_on_scalar_path_too():
+    machine = Machine()
+    tracer = machine.sim.trace()
+    with perf.scoped(vectorized=False, caches=False):
+        sf = SEVeriFast(machine=machine)
+        sf.cold_boot(VmConfig(kernel=AWS, scale=SCALE), machine=machine)
+    counters = tracer.perf_counters()
+    assert counters.get("crypto.memenc.scalar_bytes", 0) > 0
+    assert not any(name.startswith("cache.") and name.endswith(".hits") and
+                   not name.startswith("cache.kernels.") for name in counters), (
+        "gated caches must not serve hits while disabled"
+    )

@@ -1,0 +1,103 @@
+"""Unit tests for the wall-clock perf substrate (repro.perf)."""
+
+from repro import perf
+
+
+def test_scoped_switches_restore():
+    base = (perf.vectorized_enabled(), perf.caches_enabled())
+    with perf.scoped(vectorized=False, caches=False):
+        assert not perf.vectorized_enabled()
+        assert not perf.caches_enabled()
+        with perf.scoped(vectorized=True):
+            assert perf.vectorized_enabled()
+            assert not perf.caches_enabled()
+    assert (perf.vectorized_enabled(), perf.caches_enabled()) == base
+
+
+def test_counters_delta():
+    baseline = perf.counters_snapshot()
+    perf.incr("test.alpha")
+    perf.incr("test.alpha", 4)
+    perf.incr("test.beta", 2)
+    delta = perf.counters_delta(baseline)
+    assert delta["test.alpha"] == 5
+    assert delta["test.beta"] == 2
+
+
+def test_lru_capacity_eviction():
+    cache = perf.LRUCache("test.capacity", capacity=2)
+    with perf.scoped(caches=True):
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.get("b") == 2
+        # b is now most-recent; adding d evicts c
+        cache.put("d", 4)
+        assert "c" not in cache
+        assert cache.get("b") == 2
+        assert cache.get("d") == 4
+
+
+def test_lru_weight_eviction():
+    cache = perf.LRUCache("test.weight", capacity=100, max_weight=100, weigher=len)
+    with perf.scoped(caches=True):
+        cache.put("a", b"x" * 60)
+        cache.put("b", b"y" * 60)
+        assert "a" not in cache  # 120 > 100 evicted the oldest
+        assert cache.get("b") is not None
+        # a single over-weight entry is retained (never evict below 1)
+        cache.put("big", b"z" * 500)
+        assert "big" in cache
+
+
+def test_lru_hit_miss_counters():
+    cache = perf.LRUCache("test.counted", capacity=4)
+    with perf.scoped(caches=True):
+        baseline = perf.counters_snapshot()
+        assert cache.get("nope") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        delta = perf.counters_delta(baseline)
+    assert delta["cache.test.counted.misses"] == 1
+    assert delta["cache.test.counted.hits"] == 1
+
+
+def test_gated_cache_is_inert_when_disabled():
+    cache = perf.LRUCache("test.gated", capacity=4)
+    with perf.scoped(caches=False):
+        baseline = perf.counters_snapshot()
+        cache.put("k", "v")
+        assert cache.get("k") is None
+        assert len(cache) == 0
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or "fresh") == "fresh"
+        assert calls == [1]
+        # no hit/miss accounting while disabled
+        assert perf.counters_delta(baseline) == {}
+    ungated = perf.LRUCache("test.ungated", capacity=4, gated=False)
+    with perf.scoped(caches=False):
+        ungated.put("k", "v")
+        assert ungated.get("k") == "v"
+
+
+def test_get_or_compute_serves_cached():
+    cache = perf.LRUCache("test.memo", capacity=4)
+    with perf.scoped(caches=True):
+        calls = []
+        compute = lambda: calls.append(1) or "value"  # noqa: E731
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert calls == [1]
+
+
+def test_clear_all_caches_and_stats():
+    cache = perf.LRUCache("test.clearable", capacity=4)
+    with perf.scoped(caches=True):
+        cache.put("k", "v")
+        assert len(cache) == 1
+        perf.clear_all_caches()
+        assert len(cache) == 0
+        stats = perf.cache_stats()
+    assert "test.clearable" in stats
+    assert stats["test.clearable"]["entries"] == 0
