@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench examples report trace-smoke perfbench all
+.PHONY: install test bench examples report trace-smoke perfbench chaos all
 
 install:
 	$(PY) setup.py develop
@@ -24,6 +24,11 @@ report:
 # + cached).  Writes BENCH_wallclock.json at the repo root.
 perfbench:
 	PYTHONPATH=src $(PY) benchmarks/perfbench.py
+
+# Deterministic fault-injection sweep over a serverless fleet; writes
+# BENCH_chaos.json and fails if any tampered boot completed.
+chaos:
+	PYTHONPATH=src $(PY) -m repro.cli chaos
 
 # Boot one SEVeriFast VM with tracing on, validate the exported Chrome
 # trace JSON, then run the full export-schema test file.

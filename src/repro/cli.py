@@ -205,6 +205,68 @@ def _cmd_serverless(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection sweep over a serverless fleet (robustness gate).
+
+    Exits non-zero if any tampered boot completed — the detection rate
+    is the security invariant, not a statistic.
+    """
+    import json
+    import pathlib
+
+    from repro.faults import run_chaos_sweep
+
+    report = run_chaos_sweep(
+        rates=tuple(args.rates),
+        seed=args.seed,
+        kernel=args.kernel,
+        scale=args.scale,
+        functions=args.functions,
+        horizon_s=args.horizon_s,
+        rate_per_s=args.rate,
+        asid_capacity=args.asid_capacity,
+    )
+    rows = [
+        [
+            f"{r['fault_rate']:.2f}",
+            str(r["cold_starts"]),
+            f"{r['boot_success_rate']:.3f}",
+            f"{r['tampered_boots']}",
+            f"{r['detection_rate']:.3f}",
+            str(r["boot_retries"]),
+            f"{r['p50_boot_ms']:.1f}",
+            f"{r['p99_boot_ms']:.1f}",
+        ]
+        for r in report["sweep"]
+    ]
+    print(
+        format_table(
+            [
+                "fault rate",
+                "cold starts",
+                "boot success",
+                "tampered",
+                "detection",
+                "retries",
+                "p50 boot (ms)",
+                "p99 boot (ms)",
+            ],
+            rows,
+            title=f"chaos sweep (seed {args.seed})",
+        )
+    )
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    if report["detection_rate"] < 1.0:
+        print(
+            f"DETECTION FAILURE: {report['undetected_tampered_boots']} "
+            "tampered boot(s) completed"
+        )
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Boot with tracing enabled; export Chrome trace JSON + a summary.
 
@@ -352,6 +414,26 @@ def build_parser() -> argparse.ArgumentParser:
     serverless.add_argument("--seed", type=int, default=0)
     serverless.add_argument("--scale", type=float, default=1.0 / 1024.0)
     serverless.set_defaults(func=_cmd_serverless)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep over a serverless fleet"
+    )
+    _add_kernel_arg(chaos)
+    chaos.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 0.02, 0.05, 0.1],
+        help="fault rates to sweep (0 is the fault-free control)",
+    )
+    chaos.add_argument("--seed", type=int, default=1234)
+    chaos.add_argument("--functions", type=int, default=6)
+    chaos.add_argument("--horizon-s", type=float, default=20.0)
+    chaos.add_argument("--rate", type=float, default=2.0)
+    chaos.add_argument("--scale", type=float, default=1.0 / 1024.0)
+    chaos.add_argument(
+        "--asid-capacity", type=int, default=None,
+        help="shrink the ASID namespace to force DF_FLUSH recycling",
+    )
+    chaos.add_argument("--out", default="BENCH_chaos.json")
+    chaos.set_defaults(func=_cmd_chaos)
 
     trace = sub.add_parser(
         "trace", help="boot with tracing; export Chrome trace JSON + summary"

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and recovery for the simulated stack.
+
+The paper's security argument is about what happens when boot-time
+verification *fails*: a tampered kernel page must abort the boot before
+any guest code runs (§2.6).  This package exercises those paths at fleet
+scale without giving up the repository's reproducibility guarantees:
+
+- :class:`~repro.faults.plan.FaultPlan` — a seeded, deterministic fault
+  schedule.  Subsystems consult named *injection sites* (PSP commands,
+  ASID activation, host writes, image staging, serverless cold starts);
+  every draw comes from a per-site RNG stream derived from the plan
+  seed, never from wall-clock state, so the same seed always produces
+  the same faults at the same virtual times.
+- :class:`~repro.faults.retry.RetryPolicy` — bounded exponential
+  backoff used by the VMM launch paths and the serverless platform,
+  including SEV-specific recovery (DF_FLUSH to recycle ASID slots
+  before retrying a failed LAUNCH_START).
+- :mod:`~repro.faults.chaos` — the ``repro chaos`` harness: sweep fault
+  rates over a Fig. 9-style serverless fleet and report boot-success
+  rate, tamper-detection rate, and latency percentiles under faults.
+
+Attach a plan with :meth:`repro.sim.Simulator.inject`.  With no plan
+attached (or an empty plan), every instrumented site reduces to a single
+``is None`` / ``rate <= 0`` check and the simulation is byte-identical
+to one without the faults layer.
+"""
+
+from repro.faults.chaos import default_plan, run_chaos_sweep
+from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy, psp_command, sev_retryable
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "default_plan",
+    "psp_command",
+    "run_chaos_sweep",
+    "sev_retryable",
+]

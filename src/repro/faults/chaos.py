@@ -1,0 +1,202 @@
+"""The chaos harness: fault-rate sweeps over a serverless fleet.
+
+Runs a Fig. 9-style fleet (SEVeriFast cold boots on a shared machine,
+trace-driven arrivals) while a :class:`~repro.faults.plan.FaultPlan`
+injects PSP firmware faults, ASID pressure, staged-image corruption,
+host tampering of staged pages, and sandbox spawn failures — then
+reports, per fault rate:
+
+- **boot-success rate**: cold starts that produced a running guest
+  (retries count as success; exhausted retries and aborts do not);
+- **detection rate**: of the boots whose memory was tampered, the
+  fraction the verifier caught.  The paper's security argument is that
+  this is *always* 1.0 — no tampered boot ever completes;
+- **p50/p99 boot latency** of successful cold boots, showing what
+  retry/backoff costs under faults.
+
+Everything is seed-driven: the same ``seed`` produces a byte-identical
+report (pinned by ``tests/integration/test_chaos.py``), which is what
+makes ``make chaos`` a meaningful CI gate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+
+#: the default sweep (0 is the control: it must match a fault-free run)
+DEFAULT_RATES: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1)
+
+#: the minimum host write the tamper site targets: large enough to skip
+#: virtio rings and boot data, small enough to cover staged images even
+#: at the 1/1024 default scale (bzImage ~8 KiB, initrd ~14 KiB built)
+TAMPER_MIN_BYTES = 8192
+
+#: per-command retry policy for the VMM (LAUNCH_* against a flaky PSP)
+LAUNCH_RETRY = RetryPolicy(max_attempts=4, base_delay_ms=2.0, multiplier=2.0)
+
+#: whole-boot retry policy for the platform (spawn failures, fatal PSP
+#: errors surface here as a fresh cold-boot attempt)
+BOOT_RETRY = RetryPolicy(max_attempts=3, base_delay_ms=10.0, multiplier=2.0)
+
+
+def default_plan(seed: int, rate: float) -> FaultPlan:
+    """The standard chaos mix, scaled by one overall ``rate`` knob.
+
+    PSP faults are mostly transient (busy/reset) with a 10% fatal tail;
+    staged-image corruption fires at the full rate since it is the
+    detection path under test; host tampering targets only writes of
+    :data:`TAMPER_MIN_BYTES` or more (the staged images).
+    """
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                "psp.command",
+                rate * 0.5,
+                kinds=(("busy", 0.6), ("reset", 0.3), ("fatal", 0.1)),
+            ),
+            FaultSpec("psp.activate", rate * 0.2),
+            FaultSpec(
+                "image.stage",
+                rate,
+                kinds=(("bitflip", 0.7), ("truncate", 0.3)),
+            ),
+            FaultSpec(
+                "mem.host_tamper",
+                rate * 0.3,
+                kinds=(("bitflip", 1.0),),
+                min_bytes=TAMPER_MIN_BYTES,
+            ),
+            FaultSpec("serverless.cold_boot", rate * 0.5),
+        ),
+    )
+
+
+def run_chaos_fleet(
+    fault_rate: float,
+    seed: int = 1234,
+    kernel: str = "aws",
+    scale: float = 1.0 / 1024.0,
+    functions: int = 6,
+    horizon_s: float = 20.0,
+    rate_per_s: float = 2.0,
+    keepalive_ms: float = 4000.0,
+    asid_capacity: int | None = None,
+) -> dict:
+    """One fleet run at one fault rate; returns the metrics row.
+
+    ``asid_capacity`` shrinks the PSP's ASID namespace below the fleet's
+    guest count to exercise the DEACTIVATE -> DF_FLUSH -> reuse cycle on
+    top of the injected faults.
+    """
+    from repro.core.config import VmConfig
+    from repro.core.severifast import SEVeriFast
+    from repro.formats.kernels import KERNEL_CONFIGS
+    from repro.hw.platform import Machine
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.serverless.trace import synthesize_trace
+    from repro.vmm.firecracker import FirecrackerVMM
+
+    machine = Machine()
+    if asid_capacity is not None:
+        machine.psp.asid_capacity = asid_capacity
+    plan = machine.sim.inject(default_plan(seed, fault_rate))
+    config = VmConfig(
+        kernel=KERNEL_CONFIGS[kernel], scale=scale, attest=False
+    )
+    sf = SEVeriFast(machine=machine)
+    prepared = sf.prepare(config, machine)
+    vmm = FirecrackerVMM(machine, retry=LAUNCH_RETRY, release_on_exit=True)
+
+    def boot():
+        result = yield from vmm.boot_severifast(
+            config,
+            prepared.artifacts,
+            prepared.initrd,
+            hashes=prepared.hashes,
+        )
+        return result
+
+    platform = ServerlessPlatform(
+        machine.sim,
+        boot,
+        keepalive_ms=keepalive_ms,
+        boot_retry=BOOT_RETRY,
+    )
+    trace = synthesize_trace(
+        num_functions=functions,
+        horizon_ms=horizon_s * 1000.0,
+        mean_rate_per_s=rate_per_s,
+        seed=seed,
+    )
+    stats = platform.run(trace)
+
+    tampered = plan.stats.get("tampered_boots", 0)
+    undetected = plan.stats.get("undetected_tampered_boots", 0)
+    detection_rate = 1.0 if tampered == 0 else 1.0 - undetected / tampered
+    return {
+        "fault_rate": fault_rate,
+        "invocations": len(stats.outcomes),
+        "cold_starts": stats.cold_starts,
+        "failed_invocations": stats.failed_invocations,
+        "success_rate": round(stats.success_rate, 6),
+        "boot_success_rate": round(stats.boot_success_rate, 6),
+        "tamper_aborts": stats.tamper_aborts,
+        "boot_retries": stats.total_boot_retries,
+        "tampered_boots": tampered,
+        "undetected_tampered_boots": undetected,
+        "detection_rate": round(detection_rate, 6),
+        "p50_boot_ms": round(stats.boot_latency_percentile(50), 3),
+        "p99_boot_ms": round(stats.boot_latency_percentile(99), 3),
+        "faults": plan.summary(),
+    }
+
+
+def run_chaos_sweep(
+    rates: Iterable[float] = DEFAULT_RATES,
+    seed: int = 1234,
+    kernel: str = "aws",
+    scale: float = 1.0 / 1024.0,
+    functions: int = 6,
+    horizon_s: float = 20.0,
+    rate_per_s: float = 2.0,
+    asid_capacity: int | None = None,
+) -> dict:
+    """Sweep fault rates; returns the full ``BENCH_chaos.json`` document.
+
+    Top-level ``detection_rate`` aggregates the whole sweep: 1.0 means no
+    tampered boot ever completed at any fault rate.
+    """
+    rates_list: Sequence[float] = list(rates)
+    rows = [
+        run_chaos_fleet(
+            fault_rate,
+            seed=seed,
+            kernel=kernel,
+            scale=scale,
+            functions=functions,
+            horizon_s=horizon_s,
+            rate_per_s=rate_per_s,
+            asid_capacity=asid_capacity,
+        )
+        for fault_rate in rates_list
+    ]
+    tampered = sum(r["tampered_boots"] for r in rows)
+    undetected = sum(r["undetected_tampered_boots"] for r in rows)
+    return {
+        "experiment": "chaos",
+        "seed": seed,
+        "kernel": kernel,
+        "scale": scale,
+        "functions": functions,
+        "horizon_s": horizon_s,
+        "rate_per_s": rate_per_s,
+        "rates": list(rates_list),
+        "detection_rate": 1.0 if tampered == 0 else 1.0 - undetected / tampered,
+        "tampered_boots": tampered,
+        "undetected_tampered_boots": undetected,
+        "sweep": rows,
+    }

@@ -1,0 +1,232 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultPlan` owns one :class:`random.Random` stream *per
+injection site*, seeded from ``(plan seed, site name)``.  Draw order at
+one site therefore never perturbs another site, and because the
+discrete-event engine schedules deterministically, the same seed always
+yields the same faults at the same virtual times — two chaos runs with
+the same seed produce identical reports.
+
+Injection sites instrumented across the repository:
+
+=========================  ==================================================
+``psp.command``            PSP firmware faults in
+                           :meth:`~repro.hw.psp.PlatformSecurityProcessor._occupy`
+                           (kinds: ``busy``, ``reset``, ``fatal``)
+``psp.activate``           injected ASID pressure in ACTIVATE
+``mem.host_tamper``        bit-flip on a hypervisor write to guest memory
+                           (kind: ``bitflip``; honors ``min_bytes``)
+``image.stage``            staged kernel/initrd corruption in the VMM
+                           (kinds: ``bitflip``, ``truncate``)
+``serverless.cold_boot``   the sandbox manager fails to spawn a microVM
+=========================  ==================================================
+
+Sites absent from the plan (or with ``rate <= 0``) consume no
+randomness and add no virtual time, which is what makes an empty plan
+observationally identical to no plan at all (pinned by
+``tests/properties/test_fault_transparency.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+#: cap on the retained event log so fleet-scale runs stay bounded
+MAX_RECORDED_EVENTS = 10_000
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Configuration for one injection site.
+
+    ``kinds`` maps fault kind -> relative weight; a fired fault picks a
+    kind from that distribution.  ``min_bytes`` filters size-annotated
+    sites (e.g. host writes) so chaos configs can target large staged
+    images without corrupting every 4-byte doorbell write.  ``max_fires``
+    disarms the site after N faults — handy for "fail twice, then
+    succeed" tests.
+    """
+
+    site: str
+    rate: float
+    kinds: tuple[tuple[str, float], ...] = (("transient", 1.0),)
+    min_bytes: int = 0
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+        if not self.kinds:
+            raise ValueError("a FaultSpec needs at least one kind")
+        if any(weight <= 0 for _kind, weight in self.kinds):
+            raise ValueError("kind weights must be positive")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault.
+
+    ``salt`` is a per-event random integer consumers use to derive
+    payload details (which bit to flip, where to truncate) without
+    touching the site's RNG stream again.
+    """
+
+    site: str
+    kind: str
+    salt: int
+    seq: int
+    at_ms: float
+
+
+class FaultPlan:
+    """A deterministic, seed-driven schedule of faults.
+
+    Attach to a simulator with :meth:`repro.sim.Simulator.inject`;
+    instrumented subsystems then call :meth:`draw` at their injection
+    sites and :meth:`note` when they detect, retry, or abort on a fault.
+    ``stats`` accumulates the ``[faults]`` counters (injected / detected
+    / retried / aborted plus per-site breakdowns) that the tracer
+    summary and the chaos report expose.
+    """
+
+    def __init__(self, seed: int = 0, specs: Iterable[FaultSpec] = ()):
+        self.seed = seed
+        self._specs: dict[str, FaultSpec] = {}
+        for spec in specs:
+            if spec.site in self._specs:
+                raise ValueError(f"duplicate FaultSpec for site {spec.site!r}")
+            self._specs[spec.site] = spec
+        self._streams: dict[str, random.Random] = {}
+        self._fires: dict[str, int] = {}
+        self._seq = 0
+        self.stats: dict[str, int] = {}
+        self.events: list[FaultEvent] = []
+        self._sim: Optional["Simulator"] = None
+
+    # -- wiring ----------------------------------------------------------
+
+    def bind(self, sim: "Simulator") -> None:
+        """Called by :meth:`Simulator.inject`; gives draws a clock and a
+        tracer to mirror counters into."""
+        self._sim = sim
+
+    @property
+    def sites(self) -> list[str]:
+        return sorted(self._specs)
+
+    def spec(self, site: str) -> Optional[FaultSpec]:
+        return self._specs.get(site)
+
+    def _stream(self, site: str) -> random.Random:
+        rng = self._streams.get(site)
+        if rng is None:
+            # Seeding with a string hashes it through sha512 (seed
+            # version 2): stable across processes and platforms.
+            rng = random.Random(f"repro-faults:{self.seed}:{site}")
+            self._streams[site] = rng
+        return rng
+
+    # -- the injection-point API ----------------------------------------
+
+    def draw(self, site: str, *, size: Optional[int] = None) -> Optional[FaultEvent]:
+        """One Bernoulli draw at ``site``; returns the fault or ``None``.
+
+        Sites not configured in the plan return ``None`` without
+        consuming randomness, so adding a site to one subsystem never
+        shifts another subsystem's fault schedule.
+        """
+        spec = self._specs.get(site)
+        if spec is None or spec.rate <= 0.0:
+            return None
+        if spec.max_fires is not None and self._fires.get(site, 0) >= spec.max_fires:
+            return None
+        if size is not None and size < spec.min_bytes:
+            return None
+        rng = self._stream(site)
+        if rng.random() >= spec.rate:
+            return None
+        salt = rng.getrandbits(48)
+        kind = self._pick_kind(spec, rng)
+        self._fires[site] = self._fires.get(site, 0) + 1
+        self._seq += 1
+        now = self._sim.now if self._sim is not None else 0.0
+        event = FaultEvent(site=site, kind=kind, salt=salt, seq=self._seq, at_ms=now)
+        if len(self.events) < MAX_RECORDED_EVENTS:
+            self.events.append(event)
+        self.note("injected")
+        self.note(f"injected:{site}")
+        self.note(f"injected:{site}:{kind}")
+        tracer = self._sim.tracer if self._sim is not None else None
+        if tracer is not None:
+            tracer.instant(f"fault:{site}", "faults", kind=kind, seq=self._seq)
+        return event
+
+    @staticmethod
+    def _pick_kind(spec: FaultSpec, rng: random.Random) -> str:
+        total = sum(weight for _kind, weight in spec.kinds)
+        roll = rng.random() * total
+        acc = 0.0
+        for kind, weight in spec.kinds:
+            acc += weight
+            if roll < acc:
+                return kind
+        return spec.kinds[-1][0]
+
+    # -- accounting ------------------------------------------------------
+
+    def note(self, counter: str, n: int = 1) -> None:
+        """Bump a fault counter (mirrored into an attached tracer)."""
+        value = self.stats.get(counter, 0) + n
+        self.stats[counter] = value
+        tracer = self._sim.tracer if self._sim is not None else None
+        if tracer is not None:
+            tracer.fault_note(counter, value)
+
+    @property
+    def injected(self) -> int:
+        return self.stats.get("injected", 0)
+
+    def summary(self) -> dict[str, int]:
+        """A sorted copy of the counters (for reports)."""
+        return {name: self.stats[name] for name in sorted(self.stats)}
+
+
+# -- deterministic payload helpers (shared by memory + VMM tampering) -----
+
+
+def flip_bit(data: bytes, salt: int) -> bytes:
+    """Flip one bit of ``data`` at a salt-derived position.
+
+    Always changes the input (for non-empty data), so a hash over the
+    result is guaranteed to mismatch — injected tampering can never be
+    silently absorbed.
+    """
+    if not data:
+        return data
+    offset = salt % len(data)
+    bit = (salt >> 24) % 8
+    out = bytearray(data)
+    out[offset] ^= 1 << bit
+    return bytes(out)
+
+
+def truncate_tail(data: bytes, salt: int) -> bytes:
+    """Zero a salt-derived tail of ``data`` (same length, truncated
+    content) — models a short read of the image file.
+
+    Falls back to :func:`flip_bit` when the chosen tail is already all
+    zeros, so the returned bytes always differ from the input.
+    """
+    if not data:
+        return data
+    keep_min = len(data) // 2
+    keep = keep_min + salt % max(1, len(data) - keep_min)
+    keep = min(keep, len(data) - 1)
+    if any(data[keep:]):
+        return data[:keep] + b"\x00" * (len(data) - keep)
+    return flip_bit(data, salt)

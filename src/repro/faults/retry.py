@@ -1,0 +1,148 @@
+"""Retry/timeout/backoff policies for transient SEV failures.
+
+Real hypervisors do not crash when the PSP reports BUSY or when every
+ASID slot is awaiting DF_FLUSH — they recover and retry (the SEV API
+spec marks several status codes explicitly retryable).  This module
+packages that behaviour:
+
+- :class:`RetryPolicy` — bounded attempts with deterministic
+  exponential backoff in *virtual* milliseconds (no RNG: jittering the
+  backoff would break reproducible chaos runs; contention already
+  de-synchronizes retries).
+- :func:`psp_command` — drive one PSP command generator under a policy,
+  applying SEV-specific recovery between attempts: codes whose recovery
+  is DF_FLUSH (ASID exhaustion, ``DF_FLUSH_REQUIRED``) get the flush —
+  itself a timed, PSP-occupying command — before the backoff wait.
+
+Backoff waits are recorded as ``fault``-category ``retry:<label>`` spans
+on the ``faults`` track when a tracer is attached, and bump the plan's
+``retried`` counter when a :class:`~repro.faults.plan.FaultPlan` is
+injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw.psp import PlatformSecurityProcessor
+    from repro.sim.engine import Simulator
+
+
+def sev_retryable(exc: BaseException) -> bool:
+    """True for SEV errors whose status code the spec marks retryable."""
+    code = getattr(exc, "code", None)
+    return code is not None and getattr(code, "retryable", False)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff over virtual time.
+
+    ``max_attempts`` counts total tries (1 = no retries).  Delay before
+    retry ``i`` (0-based) is ``base_delay_ms * multiplier**i`` capped at
+    ``max_delay_ms``.
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 5.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("backoff delays must be non-negative")
+
+    def delay_ms(self, retry_index: int) -> float:
+        return min(
+            self.base_delay_ms * self.multiplier**retry_index, self.max_delay_ms
+        )
+
+    def run(
+        self,
+        sim: "Simulator",
+        factory: Callable[[], Generator],
+        *,
+        label: str = "op",
+        retryable: Callable[[BaseException], bool] = sev_retryable,
+        recover: Optional[Callable[[BaseException], Generator]] = None,
+        on_retry: Optional[Callable[[BaseException, int], None]] = None,
+    ) -> Generator:
+        """Run ``factory()`` as a sub-process, retrying retryable failures.
+
+        ``factory`` is called once per attempt and must return a fresh
+        generator.  ``recover(exc)`` (a generator factory) runs before
+        the backoff wait — e.g. a DF_FLUSH.  Non-retryable exceptions,
+        engine-internal errors, and exhausted attempts propagate.
+        Value: the final attempt's value.
+        """
+        from repro.sim.engine import Interrupt, SimulationError
+
+        attempt = 0
+        while True:
+            try:
+                result = yield from factory()
+                return result
+            except (Interrupt, SimulationError):
+                raise
+            except Exception as exc:
+                if attempt + 1 >= self.max_attempts or not retryable(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(exc, attempt)
+                plan = sim.faults
+                if plan is not None:
+                    plan.note("retried")
+                    plan.note(f"retried:{label}")
+                tracer = sim.tracer
+                span = (
+                    tracer.begin(
+                        f"retry:{label}", "fault", "faults",
+                        attempt=attempt, error=str(exc),
+                    )
+                    if tracer is not None
+                    else None
+                )
+                if recover is not None:
+                    yield from recover(exc)
+                yield sim.timeout(self.delay_ms(attempt))
+                if span is not None:
+                    tracer.end(span)
+                attempt += 1
+
+
+def psp_command(
+    sim: "Simulator",
+    psp: "PlatformSecurityProcessor",
+    policy: RetryPolicy,
+    factory: Callable[[], Generator],
+    label: str,
+    on_retry: Optional[Callable[[BaseException, int], None]] = None,
+) -> Generator:
+    """Run a PSP command generator under ``policy`` with SEV recovery.
+
+    Between attempts, errors whose code's recovery is DF_FLUSH (ASID
+    exhaustion / ``DF_FLUSH_REQUIRED`` / ``WBINVD_REQUIRED``) first
+    recycle retired ASID slots via :meth:`df_flush` — the retry then
+    contends for the PSP like any other command.  Value: the command's
+    value.
+    """
+
+    def recover(exc: BaseException) -> Generator:
+        code = getattr(exc, "code", None)
+        if code is not None and getattr(code, "needs_df_flush", False):
+            yield from psp.df_flush()
+
+    return (
+        yield from policy.run(
+            sim,
+            factory,
+            label=label,
+            retryable=sev_retryable,
+            recover=recover,
+            on_retry=on_retry,
+        )
+    )

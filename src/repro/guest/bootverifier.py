@@ -204,10 +204,19 @@ class BootVerifier:
     # -- whole flow ----------------------------------------------------------
 
     def run(self) -> Generator:
-        """The verifier's complete execution; value: VerifiedKernel."""
+        """The verifier's complete execution; value: VerifiedKernel.
+
+        On a hash mismatch the verifier signals the abort on the debug
+        port (the measured-abort path — the guest refuses to run the
+        tampered component) before the error propagates to the VMM.
+        """
         yield from self.init_protected_memory()
         hashes = self.read_hashes_page()
-        verified = yield from self.measured_direct_boot(hashes)
+        try:
+            verified = yield from self.measured_direct_boot(hashes)
+        except VerificationError:
+            self.ctx.debug_port.ghcb_msr_write(debugport.MAGIC_VERIFIER_ABORT)
+            raise
         return verified
 
 

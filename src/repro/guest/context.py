@@ -39,6 +39,8 @@ class GuestContext:
     block_device: Optional["VirtioBlockDevice"] = None
     #: the virtio-net NIC (None for kernels without networking, e.g. Lupine)
     net_device: object = None
+    #: SEV launch commands retried for this guest (fault recovery)
+    launch_retries: int = 0
 
     def __post_init__(self) -> None:
         from repro.hw.uart import Uart16550

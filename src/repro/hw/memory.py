@@ -21,10 +21,14 @@ Access paths model the hardware:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.common import PAGE_SIZE
 from repro.crypto.memenc import BLOCK_SIZE, MemoryEncryptionEngine
 from repro.hw.rmp import ReverseMapTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 
 class MemoryAccessError(Exception):
@@ -38,6 +42,12 @@ class GuestMemory:
     size: int  #: nominal guest-physical size in bytes
     engine: MemoryEncryptionEngine | None = None
     rmp: ReverseMapTable | None = None
+    #: attached fault plan (``mem.host_tamper`` site); ``None`` = no faults
+    faults: "FaultPlan | None" = None
+    #: set once any host-side tampering (injected or explicit) touched
+    #: this guest's memory — the VMM checks it to account tamper
+    #: detection (no tampered boot may ever complete)
+    host_tampered: bool = False
     _pages: dict[int, bytearray] = field(default_factory=dict)
     _encrypted_pages: set[int] = field(default_factory=set)
 
@@ -84,13 +94,52 @@ class GuestMemory:
     # -- host access paths ---------------------------------------------------
 
     def host_write(self, pa: int, data: bytes) -> None:
-        """Hypervisor writes plain text (shared) data into guest memory."""
+        """Hypervisor writes plain text (shared) data into guest memory.
+
+        An attached fault plan may tamper the written bytes at the
+        ``mem.host_tamper`` site (a malicious or faulty host flipping a
+        bit on its way into shared staging pages); the flip is derived
+        from the fault's salt, so the corruption is deterministic and
+        always changes the data.
+        """
         self._check_range(pa, len(data))
         if self.rmp is not None:
             for page in self._pages_of(pa, len(data)):
                 self.rmp.check_host_write(page)
+        if self.faults is not None:
+            event = self.faults.draw("mem.host_tamper", size=len(data))
+            if event is not None:
+                from repro.faults.plan import flip_bit
+
+                data = flip_bit(data, event.salt)
+                self.mark_tampered()
         self._raw_write(pa, data)
         self._encrypted_pages.difference_update(self._pages_of(pa, len(data)))
+
+    def mark_tampered(self) -> None:
+        """Record that the host tampered with this guest's memory.
+
+        Counted once per guest in the fault plan's ``tampered_boots``
+        counter; the chaos report's detection rate is computed against
+        it.
+        """
+        if not self.host_tampered:
+            self.host_tampered = True
+            if self.faults is not None:
+                self.faults.note("tampered_boots")
+
+    def tamper_bitflip(self, pa: int, length: int, salt: int = 0) -> None:
+        """Flip one bit in ``[pa, pa+length)`` via the host's raw access.
+
+        Models a DMA-capable attacker bypassing the CPU access paths
+        (and hence the RMP); used by chaos scenarios and attack tests to
+        corrupt guest pages in a deterministic, salt-addressed way.
+        """
+        from repro.faults.plan import flip_bit
+
+        self._check_range(pa, length)
+        self._raw_write(pa, flip_bit(self._raw_read(pa, length), salt))
+        self.mark_tampered()
 
     def host_read(self, pa: int, length: int) -> bytes:
         """Hypervisor reads raw bytes — ciphertext for encrypted pages."""

@@ -65,4 +65,4 @@ class Machine:
         rmp = None
         if sev_ctx is not None and sev_ctx.policy.mode is SevMode.SEV_SNP:
             rmp = ReverseMapTable(asid=sev_ctx.asid, num_pages=size // 4096)
-        return GuestMemory(size=size, rmp=rmp)
+        return GuestMemory(size=size, rmp=rmp, faults=self.sim.faults)

@@ -15,6 +15,7 @@ command holds the PSP.
 
 from __future__ import annotations
 
+import heapq
 from typing import Generator
 
 from repro.common import PAGE_SIZE
@@ -27,6 +28,7 @@ from repro.hw.memory import GuestMemory
 from repro.sev.api import (
     PAGE_CRYPTO_CACHE,
     GuestSevContext,
+    SevErrorCode,
     SevLaunchError,
     SevState,
 )
@@ -70,10 +72,26 @@ class PlatformSecurityProcessor:
         self.asid_capacity = asid_capacity
         self._active_asids: set[int] = set()
         self._retired_asids: set[int] = set()
+        #: flushed ASID numbers available for reuse (min-heap so the
+        #: lowest free number is handed out first, like the kernel's
+        #: bitmap scan)
+        self._free_asids: list[int] = []
 
     # -- helpers ------------------------------------------------------------
 
     def allocate_asid(self) -> int:
+        """Hand out an ASID number, recycling flushed slots first.
+
+        Numbers freed by the DEACTIVATE -> DF_FLUSH cycle are reused
+        (lowest first, like the kernel's bitmap scan) before the
+        never-used tail of the namespace is consumed, so a long-running
+        fleet that churns guests stays within the hardware namespace
+        instead of incrementing forever.  Allocation itself never fails
+        — capacity is enforced at ACTIVATE, where the hypervisor can
+        recover with a DF_FLUSH and retry.
+        """
+        if self._free_asids:
+            return heapq.heappop(self._free_asids)
         asid = self._next_asid
         self._next_asid += 1
         return asid
@@ -91,15 +109,27 @@ class PlatformSecurityProcessor:
         flush — the hypervisor must DF_FLUSH before reusing slots.
         """
         if ctx.asid in self._active_asids:
-            raise SevLaunchError(f"ASID {ctx.asid} already active")
+            raise SevLaunchError(
+                f"ASID {ctx.asid} already active", code=SevErrorCode.ASID_OWNED
+            )
+        plan = self.sim.faults
+        if plan is not None and plan.draw("psp.activate") is not None:
+            # Injected ASID pressure: another hypervisor thread grabbed
+            # the last slot between the capacity check and ACTIVATE.
+            raise SevLaunchError(
+                "ACTIVATE failed: ASID slots exhausted (injected)",
+                code=SevErrorCode.RESOURCE_LIMIT,
+            )
         if len(self._active_asids) + len(self._retired_asids) >= self.asid_capacity:
             if self._retired_asids:
                 raise SevLaunchError(
-                    "no free ASIDs: retired slots await DF_FLUSH"
+                    "no free ASIDs: retired slots await DF_FLUSH",
+                    code=SevErrorCode.DF_FLUSH_REQUIRED,
                 )
             raise SevLaunchError(
                 f"ASID capacity ({self.asid_capacity}) exhausted: "
-                "deactivate a guest first"
+                "deactivate a guest first",
+                code=SevErrorCode.RESOURCE_LIMIT,
             )
         self._active_asids.add(ctx.asid)
 
@@ -107,9 +137,29 @@ class PlatformSecurityProcessor:
         """DEACTIVATE: unbind the ASID.  The slot stays unusable (caches
         may hold its keyed lines) until a DF_FLUSH."""
         if ctx.asid not in self._active_asids:
-            raise SevLaunchError(f"ASID {ctx.asid} not active")
+            raise SevLaunchError(
+                f"ASID {ctx.asid} not active", code=SevErrorCode.INACTIVE
+            )
         self._active_asids.discard(ctx.asid)
         self._retired_asids.add(ctx.asid)
+
+    def release(self, ctx: GuestSevContext) -> None:
+        """Tear down a guest's ASID binding if it is still active.
+
+        Recovery helper for abort paths: idempotent, so the VMM can call
+        it without tracking how far the launch got.
+        """
+        if ctx.asid in self._active_asids:
+            self.deactivate(ctx)
+        elif (
+            ctx.asid not in self._retired_asids
+            and ctx.asid not in self._free_asids
+            and ctx.asid < self._next_asid
+        ):
+            # Allocated but never ACTIVATEd (the launch died first): no
+            # keyed cache lines exist, so the number is immediately
+            # reusable without a DF_FLUSH.
+            heapq.heappush(self._free_asids, ctx.asid)
 
     def df_flush(self) -> Generator:
         """DF_FLUSH: flush the data fabric; retired ASID slots become
@@ -117,6 +167,8 @@ class PlatformSecurityProcessor:
         the PSP like every other command, so recycling ASID slots
         contends with in-flight launches (yield from a sim process)."""
         yield from self._occupy(None, self.cost.psp_df_flush_ms, command="DF_FLUSH")
+        for asid in self._retired_asids:
+            heapq.heappush(self._free_asids, asid)
         self._retired_asids.clear()
 
     def _occupy(
@@ -133,16 +185,51 @@ class PlatformSecurityProcessor:
         guest's ASID and any extra ``span_args`` (byte counts etc.); at
         ``parallelism=1`` those spans never overlap — the Fig. 12
         serialization, visually.
+
+        An attached :class:`~repro.faults.plan.FaultPlan` may fault the
+        command at the ``psp.command`` site.  All fault kinds raise
+        *before* any functional effect (the callers mutate state only
+        after ``_occupy`` returns), so a failed command leaves the
+        guest's launch state untouched and is safe to retry:
+
+        - ``busy``: the mailbox bounces the command after the doorbell
+          latency (retryable, :attr:`SevErrorCode.BUSY`);
+        - ``reset``: the firmware resets mid-command — half the work is
+          wasted PSP occupancy (retryable ``HWERROR_PLATFORM``);
+        - ``fatal``: an unsafe hardware error (``HWERROR_UNSAFE``,
+          not retryable).
         """
         duration = self.cost.sample(duration)
+        plan = self.sim.faults
+        fault = plan.draw("psp.command") if plan is not None else None
         grant = yield self.resource.request()
         tracer = self.sim.tracer
         span = None
         if tracer is not None:
             if ctx is not None:
                 span_args["asid"] = ctx.asid
+            if fault is not None:
+                span_args["fault"] = fault.kind
             span = tracer.begin(command, "psp", "psp.commands", **span_args)
         try:
+            if fault is not None:
+                if fault.kind == "busy":
+                    yield self.sim.timeout(self.cost.psp_command_latency_ms)
+                    raise SevLaunchError(
+                        f"{command}: PSP mailbox busy (injected)",
+                        code=SevErrorCode.BUSY,
+                    )
+                if fault.kind == "reset":
+                    yield self.sim.timeout(duration / 2.0)
+                    raise SevLaunchError(
+                        f"{command}: PSP reset mid-command (injected)",
+                        code=SevErrorCode.HWERROR_PLATFORM,
+                    )
+                yield self.sim.timeout(self.cost.psp_command_latency_ms)
+                raise SevLaunchError(
+                    f"{command}: unsafe hardware error (injected)",
+                    code=SevErrorCode.HWERROR_UNSAFE,
+                )
             yield self.sim.timeout(duration)
             if ctx is not None:
                 ctx.psp_occupancy_ms += duration
@@ -231,7 +318,8 @@ class PlatformSecurityProcessor:
         if ctx.policy.mode.has_rmp:
             raise SevLaunchError(
                 "LAUNCH_MEASURE is the legacy flow; SNP guests attest via "
-                "in-guest reports"
+                "in-guest reports",
+                code=SevErrorCode.INVALID_COMMAND,
             )
         yield from self._occupy(
             ctx, self.cost.psp_launch_finish_ms, command="LAUNCH_MEASURE"
@@ -257,9 +345,15 @@ class PlatformSecurityProcessor:
         """
         ctx.require_state(SevState.LAUNCH_STARTED, "LAUNCH_SECRET")
         if ctx.policy.mode.has_rmp:
-            raise SevLaunchError("LAUNCH_SECRET is not part of the SNP API")
+            raise SevLaunchError(
+                "LAUNCH_SECRET is not part of the SNP API",
+                code=SevErrorCode.INVALID_COMMAND,
+            )
         if gpa % PAGE_SIZE != 0:
-            raise SevLaunchError("LAUNCH_SECRET requires a page-aligned target")
+            raise SevLaunchError(
+                "LAUNCH_SECRET requires a page-aligned target",
+                code=SevErrorCode.INVALID_ADDRESS,
+            )
         yield from self._occupy(
             ctx,
             self.cost.psp_command_latency_ms,

@@ -16,11 +16,18 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
+from repro.faults.retry import RetryPolicy, sev_retryable
+from repro.guest.bootverifier import VerificationError
 from repro.serverless.trace import InvocationTrace
+from repro.sev.api import SevLaunchError
 from repro.sim import Simulator
 from repro.vmm.timeline import BootResult
 
 BootFactory = Callable[[], Generator]
+
+
+class ColdBootError(Exception):
+    """The sandbox manager failed to spawn a microVM (transient)."""
 
 
 @dataclass
@@ -36,6 +43,15 @@ class InvocationOutcome:
     #: the cold start was served by a snapshot restore (§7.1) rather than
     #: a full boot
     restored: bool = False
+    #: the invocation never ran: its cold boot failed (after retries) or
+    #: the boot verifier aborted a tampered boot
+    failed: bool = False
+    #: human-readable reason when ``failed``
+    failure: str = ""
+    #: cold-boot attempts beyond the first (platform-level retries)
+    boot_retries: int = 0
+    #: the failure was a *detected* tamper (the measured-abort path)
+    tamper_detected: bool = False
 
 
 @dataclass
@@ -91,6 +107,43 @@ class PlatformStats:
     def restored_starts(self) -> int:
         return sum(1 for o in self.outcomes if o.restored)
 
+    # -- robustness accounting (chaos harness) ----------------------------
+
+    @property
+    def failed_invocations(self) -> int:
+        return sum(1 for o in self.outcomes if o.failed)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of invocations that actually ran."""
+        if not self.outcomes:
+            return 1.0
+        return 1.0 - self.failed_invocations / len(self.outcomes)
+
+    @property
+    def boot_success_rate(self) -> float:
+        """Fraction of *cold* starts that produced a running guest."""
+        cold = [o for o in self.outcomes if o.cold]
+        if not cold:
+            return 1.0
+        return sum(1 for o in cold if not o.failed) / len(cold)
+
+    @property
+    def tamper_aborts(self) -> int:
+        return sum(1 for o in self.outcomes if o.tamper_detected)
+
+    @property
+    def total_boot_retries(self) -> int:
+        return sum(o.boot_retries for o in self.outcomes)
+
+    def boot_latency_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of *successful* cold-boot times."""
+        boots = sorted(o.boot_ms for o in self.outcomes if o.cold and not o.failed)
+        if not boots:
+            return 0.0
+        rank = math.ceil(pct / 100.0 * len(boots))
+        return boots[min(len(boots) - 1, max(0, rank - 1))]
+
 
 class ServerlessPlatform:
     """Schedules a trace onto warm pools + cold boots."""
@@ -105,11 +158,19 @@ class ServerlessPlatform:
         sev: bool = True,
         dedup_fraction: float = 0.6,
         restore_factory: BootFactory | None = None,
+        boot_retry: RetryPolicy | None = None,
     ):
         """``restore_factory``, when given, serves repeat cold starts of a
         previously booted function by snapshot restore (§7.1) instead of
         a full boot — e.g. a key-reuse restore from
-        :mod:`repro.serverless.snapshots`."""
+        :mod:`repro.serverless.snapshots`.
+
+        ``boot_retry`` makes cold starts robust: spawn failures
+        (:class:`ColdBootError`, the ``serverless.cold_boot`` fault
+        site) and retryable SEV errors re-run the whole boot under the
+        policy's backoff.  A boot that still fails — or that the
+        verifier aborts as tampered — degrades to a failed
+        :class:`InvocationOutcome` instead of killing the fleet."""
         self.sim = sim
         self.boot_factory = boot_factory
         self.keepalive_ms = keepalive_ms
@@ -118,6 +179,7 @@ class ServerlessPlatform:
         self.sev = sev
         self.dedup_fraction = dedup_fraction
         self.restore_factory = restore_factory
+        self.boot_retry = boot_retry
         self.stats = PlatformStats()
         self._pool: list[_WarmVm] = []
         self._snapshotted: set[str] = set()
@@ -164,6 +226,29 @@ class ServerlessPlatform:
 
     # -- execution ---------------------------------------------------------------
 
+    @staticmethod
+    def _boot_retryable(exc: BaseException) -> bool:
+        return isinstance(exc, ColdBootError) or sev_retryable(exc)
+
+    def _cold_boot(self) -> Generator:
+        """One cold-boot attempt, including the sandbox-manager spawn.
+
+        The ``serverless.cold_boot`` fault site models the spawn itself
+        failing (cgroup setup, jailer, tap device) before the VMM even
+        starts; the attempt costs one warm-start latency of wasted work.
+        """
+        plan = self.sim.faults
+        if plan is not None and plan.draw("serverless.cold_boot") is not None:
+            yield self.sim.timeout(self.warm_start_ms)
+            raise ColdBootError(
+                "sandbox manager failed to spawn the microVM (injected)"
+            )
+        result = yield from self.boot_factory()
+        if isinstance(result, tuple):  # QEMU pipelines return extras
+            result = result[0]
+        assert isinstance(result, BootResult)
+        return result
+
     def _handle(self, function: str, arrival_ms: float, exec_ms: float) -> Generator:
         tracer = self.sim.tracer
         span = (
@@ -174,6 +259,9 @@ class ServerlessPlatform:
         warm = self._take_warm(function)
         boot_ms = 0.0
         restored = False
+        boot_retries = 0
+        failure = ""
+        tamper_detected = False
         if warm is not None:
             yield self.sim.timeout(self.warm_start_ms)
         elif self.restore_factory is not None and function in self._snapshotted:
@@ -183,11 +271,56 @@ class ServerlessPlatform:
             restored = True
         else:
             start = self.sim.now
-            result = yield from self.boot_factory()
-            if isinstance(result, tuple):  # QEMU pipelines return extras
-                result = result[0]
-            assert isinstance(result, BootResult)
+
+            def on_retry(exc: BaseException, attempt: int) -> None:
+                nonlocal boot_retries
+                boot_retries += 1
+
+            try:
+                if self.boot_retry is not None:
+                    result = yield from self.boot_retry.run(
+                        self.sim,
+                        self._cold_boot,
+                        label="cold_boot",
+                        retryable=self._boot_retryable,
+                        on_retry=on_retry,
+                    )
+                else:
+                    result = yield from self._cold_boot()
+            except (ColdBootError, SevLaunchError, VerificationError) as exc:
+                failure = str(exc)
+            else:
+                if result.aborted:
+                    # The verifier refused a tampered boot: the detection
+                    # worked, the invocation still has no sandbox.
+                    failure = result.abort_reason or "boot aborted"
+                    tamper_detected = True
+                boot_retries += result.launch_retries
             boot_ms = self.sim.now - start
+            if failure:
+                plan = self.sim.faults
+                if plan is not None:
+                    plan.note("failed_invocations")
+                if span is not None:
+                    tracer.end(
+                        span, start="cold", failed=True, failure=failure,
+                        boot_ms=boot_ms,
+                    )
+                self.stats.outcomes.append(
+                    InvocationOutcome(
+                        function=function,
+                        arrival_ms=arrival_ms,
+                        cold=True,
+                        boot_ms=boot_ms,
+                        start_delay_ms=self.sim.now - arrival_ms,
+                        end_ms=self.sim.now,
+                        failed=True,
+                        failure=failure,
+                        boot_retries=boot_retries,
+                        tamper_detected=tamper_detected,
+                    )
+                )
+                return
             self._snapshotted.add(function)
         start_delay = self.sim.now - arrival_ms
         yield self.sim.timeout(exec_ms)
@@ -208,6 +341,7 @@ class ServerlessPlatform:
                 start_delay_ms=start_delay,
                 end_ms=self.sim.now,
                 restored=restored,
+                boot_retries=boot_retries,
             )
         )
 

@@ -22,8 +22,89 @@ from repro.sev.measurement import LaunchMeasurement
 from repro.sev.policy import GuestPolicy
 
 
+class SevErrorCode(enum.IntEnum):
+    """SEV API status codes (mirrors the firmware's return values).
+
+    Numeric values follow the AMD SEV API specification's status-code
+    table so logs line up with real ``ccp``/``sev-dev`` driver output.
+    Retry policies (:mod:`repro.faults.retry`) and tests match on these
+    codes instead of message strings; :attr:`retryable` partitions them
+    into transient conditions a hypervisor should retry (possibly after a
+    recovery command such as DF_FLUSH) and hard protocol errors.
+    """
+
+    INVALID_PLATFORM_STATE = 0x01
+    INVALID_GUEST_STATE = 0x02
+    INVALID_CONFIG = 0x04
+    INVALID_LENGTH = 0x05
+    POLICY_FAILURE = 0x07
+    INACTIVE = 0x08
+    INVALID_ADDRESS = 0x09
+    BAD_MEASUREMENT = 0x0B
+    ASID_OWNED = 0x0C
+    INVALID_ASID = 0x0D
+    WBINVD_REQUIRED = 0x0E
+    DF_FLUSH_REQUIRED = 0x0F
+    INVALID_GUEST = 0x10
+    INVALID_COMMAND = 0x11
+    ACTIVE = 0x12
+    #: transient hardware error; the spec says the command may be retried
+    HWERROR_PLATFORM = 0x13
+    #: unsafe hardware error; the platform must not be trusted further
+    HWERROR_UNSAFE = 0x14
+    UNSUPPORTED = 0x15
+    INVALID_PARAM = 0x16
+    #: firmware ran out of a resource (we use it for ASID exhaustion)
+    RESOURCE_LIMIT = 0x17
+    SECURE_DATA_INVALID = 0x19
+    #: command mailbox busy (SNP ring-buffer mode); retry after backoff
+    BUSY = 0x22
+
+    @property
+    def retryable(self) -> bool:
+        """Transient conditions worth retrying (after recovery if needed)."""
+        return self in _RETRYABLE_CODES
+
+    @property
+    def needs_df_flush(self) -> bool:
+        """Codes whose recovery path is DF_FLUSH (recycle ASID slots)."""
+        return self in _FLUSH_CODES
+
+
+_RETRYABLE_CODES = frozenset(
+    {
+        SevErrorCode.BUSY,
+        SevErrorCode.HWERROR_PLATFORM,
+        SevErrorCode.RESOURCE_LIMIT,
+        SevErrorCode.DF_FLUSH_REQUIRED,
+        SevErrorCode.WBINVD_REQUIRED,
+    }
+)
+_FLUSH_CODES = frozenset(
+    {
+        SevErrorCode.RESOURCE_LIMIT,
+        SevErrorCode.DF_FLUSH_REQUIRED,
+        SevErrorCode.WBINVD_REQUIRED,
+    }
+)
+
+
 class SevLaunchError(Exception):
-    """An SEV command was issued in the wrong state."""
+    """An SEV command failed (wrong state, exhausted resource, firmware
+    fault...).
+
+    ``code`` carries the structured :class:`SevErrorCode` when the
+    failure maps onto an SEV API status, so callers can branch on
+    ``exc.code`` / ``exc.retryable`` instead of message strings.
+    """
+
+    def __init__(self, message: str, code: "SevErrorCode | None" = None):
+        super().__init__(message)
+        self.code = code
+
+    @property
+    def retryable(self) -> bool:
+        return self.code is not None and self.code.retryable
 
 
 class PageCryptoCache:
@@ -87,5 +168,6 @@ class GuestSevContext:
         if self.state is not expected:
             raise SevLaunchError(
                 f"{command} issued in state {self.state.value!r} "
-                f"(requires {expected.value!r})"
+                f"(requires {expected.value!r})",
+                code=SevErrorCode.INVALID_GUEST_STATE,
             )

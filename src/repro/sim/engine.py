@@ -17,6 +17,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
     from repro.sim.trace import Span, Tracer
 
 
@@ -381,6 +382,23 @@ class Simulator:
         #: optional :class:`~repro.sim.trace.Tracer`; ``None`` keeps every
         #: instrumentation hook in the repository a single attribute check.
         self.tracer: Optional["Tracer"] = None
+        #: optional :class:`~repro.faults.plan.FaultPlan`; ``None`` keeps
+        #: every injection site a single attribute check (attach with
+        #: :meth:`inject`).
+        self.faults: Optional["FaultPlan"] = None
+
+    def inject(self, plan: "FaultPlan") -> "FaultPlan":
+        """Attach (and return) a fault plan for this simulation.
+
+        Instrumented subsystems (PSP commands, guest memory, VMM image
+        staging, serverless cold starts) consult ``sim.faults`` at their
+        injection sites; the plan's per-site RNG streams plus the
+        engine's deterministic scheduling make every fault schedule
+        reproducible from the plan seed.
+        """
+        plan.bind(self)
+        self.faults = plan
+        return plan
 
     def trace(self) -> "Tracer":
         """Attach (and return) a :class:`~repro.sim.trace.Tracer`.

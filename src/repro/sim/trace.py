@@ -34,6 +34,9 @@ Categories used by the built-in instrumentation:
                  tagged with ASID and nominal byte count
 ``boot.phase``   :class:`~repro.vmm.timeline.BootTimeline` phases
 ``invocation``   serverless invocations, tagged cold/warm/restored
+``fault``        retry backoff intervals (``retry:<label>``) on the
+                 ``faults`` track; injected faults appear as instants
+                 and ``faults.*`` counters, totals in ``fault_counters``
 ===============  ======================================================
 """
 
@@ -94,6 +97,11 @@ class Tracer:
         #: counter name -> [(ts, value), ...] time series
         self.counters: dict[str, list[tuple[float, float]]] = {}
         self._track_seq: dict[str, int] = {}
+        #: fault-layer counters (injected/detected/retried/aborted and
+        #: per-site breakdowns), mirrored from an attached
+        #: :class:`~repro.faults.plan.FaultPlan`; rendered as the
+        #: ``[faults]`` summary section
+        self.fault_counters: dict[str, int] = {}
         #: wall-clock perf counters at attach time, so this tracer
         #: reports only the crypto/cache activity of *its* run
         self._perf_baseline = perf.counters_snapshot()
@@ -145,6 +153,17 @@ class Tracer:
     def counter(self, name: str, value: float) -> None:
         """Append one sample to a counter time series."""
         self.counters.setdefault(name, []).append((self.sim.now, value))
+
+    def fault_note(self, name: str, value: int) -> None:
+        """Record the running total of one fault counter.
+
+        Called by :meth:`FaultPlan.note`; keeps the latest total for the
+        ``[faults]`` summary section and appends a ``faults.<name>``
+        counter sample so fault activity is visible on the trace
+        timeline.
+        """
+        self.fault_counters[name] = int(value)
+        self.counter(f"faults.{name}", value)
 
     def new_track(self, prefix: str) -> str:
         """A unique display row name (``prefix#0``, ``prefix#1``, ...)."""
@@ -330,6 +349,10 @@ class Tracer:
             lines.append(f"\n[phases: {track}]")
             for phase, total in sorted(breakdown.items(), key=lambda kv: -kv[1]):
                 lines.append(f"  {phase:<28} {total:>10.2f} ms")
+        if self.fault_counters:
+            lines.append("\n[faults]")
+            for name in sorted(self.fault_counters):
+                lines.append(f"  {name:<36} {self.fault_counters[name]:>8}")
         perf_counters = self.perf_counters()
         if perf_counters:
             lines.append("\n[crypto/cache] (wall-clock activity this run)")

@@ -37,6 +37,8 @@ class DebugPort:
 #: Magic values written at boot milestones (mirrors the paper's technique).
 MAGIC_VERIFIER_ENTRY = 0x10
 MAGIC_VERIFIER_DONE = 0x11
+#: verifier detected a hash mismatch and refused to boot (measured abort)
+MAGIC_VERIFIER_ABORT = 0x1F
 MAGIC_KERNEL_ENTRY = 0x20
 MAGIC_INIT_EXEC = 0x21
 MAGIC_ATTESTATION_DONE = 0x30

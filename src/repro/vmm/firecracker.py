@@ -25,12 +25,20 @@ from repro.common import Blob, MiB
 from repro.core.config import KernelFormat, VmConfig
 from repro.core.digest_tool import preencrypted_regions
 from repro.core.oob_hash import HashesFile, hash_boot_components
+from repro.faults.plan import flip_bit, truncate_tail
+from repro.faults.retry import RetryPolicy, psp_command
 from repro.formats.elf import ElfFile
 from repro.formats.kernels import KernelArtifacts
-from repro.guest.bootverifier import BootVerifier, VerifiedKernel, verifier_binary
+from repro.guest.bootverifier import (
+    BootVerifier,
+    VerificationError,
+    VerifiedKernel,
+    verifier_binary,
+)
 from repro.guest.context import GuestContext
 from repro.guest.linuxboot import LinuxGuest
 from repro.hw.platform import Machine
+from repro.sev.api import GuestSevContext, SevLaunchError
 from repro.sev.guestowner import GuestOwner
 from repro.vmm.fwcfg import FwCfgDevice
 from repro.vmm.timeline import BootPhase, BootResult, BootTimeline
@@ -50,6 +58,12 @@ class FirecrackerVMM:
     sev_support: bool = True
     #: §4.3 ablation: hash kernel/initrd in the VMM instead of out of band.
     precomputed_hashes: bool = True
+    #: retry/backoff policy for SEV launch commands (None = fail fast)
+    retry: Optional[RetryPolicy] = None
+    #: deactivate the guest's ASID when its boot finishes, like a
+    #: serverless sandbox manager tearing down sandboxes — required for
+    #: fleets that churn more guests than the ASID namespace holds
+    release_on_exit: bool = False
 
     @property
     def binary_size(self) -> int:
@@ -57,8 +71,14 @@ class FirecrackerVMM:
 
     # -- shared VMM-side steps ------------------------------------------------
 
-    def _new_context(self, config: VmConfig, sev: bool) -> GuestContext:
-        sev_ctx = self.machine.new_sev_context(config.sev_policy) if sev else None
+    def _new_context(
+        self,
+        config: VmConfig,
+        sev: bool,
+        sev_ctx: Optional[GuestSevContext] = None,
+    ) -> GuestContext:
+        if sev and sev_ctx is None:
+            sev_ctx = self.machine.new_sev_context(config.sev_policy)
         memory = self.machine.new_guest_memory(config.memory_size, sev_ctx)
         sim = self.machine.sim
         label = f"fc:{config.kernel.name}" + (f"/asid{sev_ctx.asid}" if sev_ctx else "")
@@ -76,6 +96,25 @@ class FirecrackerVMM:
         if config.kernel.has_network:
             ctx.net_device = self._attach_net_device(ctx)
         return ctx
+
+    def _psp_call(self, ctx: GuestContext, factory, label: str) -> Generator:
+        """One PSP command, retried under the VMM's policy (if any)."""
+        if self.retry is None:
+            result = yield from factory()
+            return result
+
+        def on_retry(exc: BaseException, attempt: int) -> None:
+            ctx.launch_retries += 1
+
+        result = yield from psp_command(
+            self.machine.sim,
+            self.machine.psp,
+            self.retry,
+            factory,
+            label,
+            on_retry=on_retry,
+        )
+        return result
 
     @staticmethod
     def _attach_net_device(ctx: GuestContext):
@@ -126,16 +165,49 @@ class FirecrackerVMM:
                 + cost.image_read_ms(initrd.nominal_size)
             )
         )
-        ctx.memory.host_write(ctx.layout.kernel_stage_addr, kernel.data)
-        ctx.memory.host_write(ctx.layout.initrd_stage_addr, initrd.data)
+        kernel_data = self._maybe_corrupt(ctx, kernel.data)
+        initrd_data = self._maybe_corrupt(ctx, initrd.data)
+        ctx.memory.host_write(ctx.layout.kernel_stage_addr, kernel_data)
+        ctx.memory.host_write(ctx.layout.initrd_stage_addr, initrd_data)
+
+    @staticmethod
+    def _maybe_corrupt(ctx: GuestContext, data: bytes) -> bytes:
+        """The ``image.stage`` fault site: corrupt an image on its way
+        into the staging pages (bad buffer-cache read, truncated file).
+
+        The out-of-band hashes are computed from the pristine images, so
+        any corruption here must be caught by the verifier's measured
+        direct boot — that invariant is what the chaos harness asserts.
+        """
+        plan = ctx.sim.faults
+        if plan is None:
+            return data
+        event = plan.draw("image.stage", size=len(data))
+        if event is None:
+            return data
+        ctx.memory.mark_tampered()
+        if event.kind == "truncate":
+            return truncate_tail(data, event.salt)
+        return flip_bit(data, event.salt)
 
     def _hashes_for(self, kernel: Blob, initrd: Blob) -> HashesFile:
         return hash_boot_components(kernel, initrd)
 
     def _result(
         self, ctx: GuestContext, *, init_executed: bool, attested: bool,
-        secret: bytes | None
+        secret: bytes | None, aborted: bool = False, abort_reason: str = ""
     ) -> BootResult:
+        plan = ctx.sim.faults
+        if plan is not None:
+            if aborted:
+                plan.note("detected")
+                plan.note("aborted")
+            elif ctx.memory.host_tampered:
+                # A tampered boot that ran to completion: the failure the
+                # whole design exists to prevent.
+                plan.note("undetected_tampered_boots")
+        if self.release_on_exit and ctx.sev is not None:
+            self.machine.psp.release(ctx.sev)
         return BootResult(
             timeline=ctx.timeline,
             kernel_name=ctx.config.kernel.name,
@@ -147,6 +219,9 @@ class FirecrackerVMM:
             resident_bytes=ctx.memory.resident_bytes,
             psp_occupancy_ms=ctx.sev.psp_occupancy_ms if ctx.sev else 0.0,
             console_log=ctx.uart.lines,
+            aborted=aborted,
+            abort_reason=abort_reason,
+            launch_retries=ctx.launch_retries,
         )
 
     # -- stock (non-SEV) direct boot ---------------------------------------------
@@ -220,9 +295,18 @@ class FirecrackerVMM:
         cost = ctx.cost
         assert ctx.sev is not None
         # Load the initial plain text before KVM takes the pages away from
-        # the host (RMP assignment blocks host writes afterwards).
-        for gpa, data, _nominal in regions:
-            ctx.memory.host_write(gpa, data)
+        # the host (RMP assignment blocks host writes afterwards).  The
+        # RoT regions are *measured* by the PSP, so tampering them shifts
+        # the launch digest (attestation territory, §2.6 attack 3) rather
+        # than failing a verifier hash check — the ``mem.host_tamper``
+        # site is suspended so chaos tampering stays on the staged-image
+        # pages the verifier actually checks.
+        plan, ctx.memory.faults = ctx.memory.faults, None
+        try:
+            for gpa, data, _nominal in regions:
+                ctx.memory.host_write(gpa, data)
+        finally:
+            ctx.memory.faults = plan
         # KVM initializes RMP entries and pins guest pages (§6.2).
         if ctx.memory.rmp is not None:
             yield ctx.sim.timeout(cost.sample(cost.rmp_init_ms(ctx.config.memory_size)))
@@ -230,14 +314,25 @@ class FirecrackerVMM:
         yield ctx.sim.timeout(cost.sample(cost.page_pin_ms(ctx.config.memory_size)))
 
         psp = self.machine.psp
-        yield from psp.launch_start(ctx.sev, ctx.config.sev_policy)
-        ctx.memory.engine = ctx.sev.engine
+        sev = ctx.sev
+        yield from self._psp_call(
+            ctx,
+            lambda: psp.launch_start(sev, ctx.config.sev_policy),
+            "LAUNCH_START",
+        )
+        ctx.memory.engine = sev.engine
         with ctx.timeline.phase(BootPhase.PRE_ENCRYPTION):
             for gpa, data, nominal in regions:
-                yield from psp.launch_update_data(
-                    ctx.sev, ctx.memory, gpa, len(data), nominal_size=nominal
+                yield from self._psp_call(
+                    ctx,
+                    lambda gpa=gpa, data=data, nominal=nominal: psp.launch_update_data(
+                        sev, ctx.memory, gpa, len(data), nominal_size=nominal
+                    ),
+                    "LAUNCH_UPDATE_DATA",
                 )
-        yield from psp.launch_finish(ctx.sev)
+        yield from self._psp_call(
+            ctx, lambda: psp.launch_finish(sev), "LAUNCH_FINISH"
+        )
 
     # -- the SEVeriFast path (§4) ---------------------------------------------------
 
@@ -292,18 +387,39 @@ class FirecrackerVMM:
             regions = preencrypted_regions(
                 config, verifier if verifier is not None else verifier_binary(), hashes
             )
-            yield from self._sev_launch(ctx, regions)
+            try:
+                yield from self._sev_launch(ctx, regions)
+            except SevLaunchError:
+                # Launch died (non-retryable PSP fault or exhausted
+                # retries): free the ASID so the fleet doesn't leak the
+                # namespace, then let the caller handle the failure.
+                self.machine.psp.release(ctx.sev)
+                raise
 
         guest = LinuxGuest(ctx)
         with ctx.timeline.phase(BootPhase.BOOT_VERIFICATION):
-            if verifier is not None and verifier.data[:4] == b"SVBC":
-                # The measured binary is an executable bytecode program:
-                # fetch it back out of encrypted memory and interpret it.
-                from repro.guest.svbl import BytecodeVerifier
+            try:
+                if verifier is not None and verifier.data[:4] == b"SVBC":
+                    # The measured binary is an executable bytecode program:
+                    # fetch it back out of encrypted memory and interpret it.
+                    from repro.guest.svbl import BytecodeVerifier
 
-                verified = yield from BytecodeVerifier(ctx).run()
-            else:
-                verified = yield from BootVerifier(ctx, fw_cfg=fw_cfg).run()
+                    verified = yield from BytecodeVerifier(ctx).run()
+                else:
+                    verified = yield from BootVerifier(ctx, fw_cfg=fw_cfg).run()
+            except VerificationError as exc:
+                if ctx.sim.faults is None:
+                    # No fault plan: preserve the historical contract that
+                    # explicit tampering raises through the simulator.
+                    raise
+                return self._result(
+                    ctx,
+                    init_executed=False,
+                    attested=False,
+                    secret=None,
+                    aborted=True,
+                    abort_reason=str(exc),
+                )
 
         if config.kernel_format is KernelFormat.BZIMAGE:
             with ctx.timeline.phase(BootPhase.BOOTSTRAP_LOADER):
@@ -387,7 +503,11 @@ class FirecrackerVMM:
                 (gpa, data, nominal if nominal is not None else len(data))
                 for gpa, data, nominal in regions
             ]
-            yield from self._sev_launch(ctx, regions)
+            try:
+                yield from self._sev_launch(ctx, regions)
+            except SevLaunchError:
+                self.machine.psp.release(ctx.sev)
+                raise
 
         guest = LinuxGuest(ctx)
         verified = VerifiedKernel(

@@ -18,6 +18,7 @@ from typing import Generator, Optional
 from repro.common import Blob, KiB
 from repro.core.config import KernelFormat, VmConfig
 from repro.core.oob_hash import HashesFile, hash_boot_components
+from repro.faults.retry import RetryPolicy, psp_command
 from repro.formats.kernels import KernelArtifacts
 from repro.guest.bootdata import build_boot_params, build_mptable
 from repro.guest.context import GuestContext
@@ -88,6 +89,8 @@ class QemuVMM:
     """A QEMU process booting one (SEV-)SNP guest through OVMF."""
 
     machine: Machine
+    #: retry/backoff policy for SEV launch commands (None = fail fast)
+    retry: Optional[RetryPolicy] = None
 
     def _new_context(self, config: VmConfig, sev: bool) -> GuestContext:
         from repro.vmm.firecracker import FirecrackerVMM
@@ -174,6 +177,7 @@ class QemuVMM:
             resident_bytes=ctx.memory.resident_bytes,
             psp_occupancy_ms=ctx.sev.psp_occupancy_ms if ctx.sev else 0.0,
             console_log=ctx.uart.lines,
+            launch_retries=ctx.launch_retries,
         )
         return result, QemuBootExtras(ovmf_breakdown=firmware.breakdown)
 
@@ -238,18 +242,52 @@ class QemuVMM:
         """Same KVM/PSP sequence as Firecracker (shared hardware path)."""
         cost = ctx.cost
         assert ctx.sev is not None
-        for gpa, data, _nominal in regions:
-            ctx.memory.host_write(gpa, data)
+        # The RoT regions are measured: suspend the host-tamper fault
+        # site here, exactly as the Firecracker path does.
+        plan, ctx.memory.faults = ctx.memory.faults, None
+        try:
+            for gpa, data, _nominal in regions:
+                ctx.memory.host_write(gpa, data)
+        finally:
+            ctx.memory.faults = plan
         if ctx.memory.rmp is not None:
             yield ctx.sim.timeout(cost.sample(cost.rmp_init_ms(ctx.config.memory_size)))
             ctx.memory.rmp.assign_all()
         yield ctx.sim.timeout(cost.sample(cost.page_pin_ms(ctx.config.memory_size)))
         psp = self.machine.psp
-        yield from psp.launch_start(ctx.sev, ctx.config.sev_policy)
-        ctx.memory.engine = ctx.sev.engine
+        sev = ctx.sev
+        yield from self._psp_call(
+            ctx, lambda: psp.launch_start(sev, ctx.config.sev_policy), "LAUNCH_START"
+        )
+        ctx.memory.engine = sev.engine
         with ctx.timeline.phase(BootPhase.PRE_ENCRYPTION):
             for gpa, data, nominal in regions:
-                yield from psp.launch_update_data(
-                    ctx.sev, ctx.memory, gpa, len(data), nominal_size=nominal
+                yield from self._psp_call(
+                    ctx,
+                    lambda gpa=gpa, data=data, nominal=nominal: psp.launch_update_data(
+                        sev, ctx.memory, gpa, len(data), nominal_size=nominal
+                    ),
+                    "LAUNCH_UPDATE_DATA",
                 )
-        yield from psp.launch_finish(ctx.sev)
+        yield from self._psp_call(
+            ctx, lambda: psp.launch_finish(sev), "LAUNCH_FINISH"
+        )
+
+    def _psp_call(self, ctx: GuestContext, factory, label: str) -> Generator:
+        """One PSP command, retried under the VMM's policy (if any)."""
+        if self.retry is None:
+            result = yield from factory()
+            return result
+
+        def on_retry(exc: BaseException, attempt: int) -> None:
+            ctx.launch_retries += 1
+
+        result = yield from psp_command(
+            self.machine.sim,
+            self.machine.psp,
+            self.retry,
+            factory,
+            label,
+            on_retry=on_retry,
+        )
+        return result

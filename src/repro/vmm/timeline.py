@@ -137,6 +137,13 @@ class BootResult:
     psp_occupancy_ms: float = 0.0
     #: guest serial-console output (the boot log on ttyS0)
     console_log: list[str] = field(default_factory=list)
+    #: True when the verifier detected tampering and refused to boot
+    #: (the measured-abort path; only produced under fault injection)
+    aborted: bool = False
+    #: human-readable reason for an aborted boot
+    abort_reason: str = ""
+    #: SEV launch commands that had to be retried for this boot
+    launch_retries: int = 0
 
     @property
     def boot_ms(self) -> float:

@@ -1,0 +1,159 @@
+"""FaultPlan: determinism, per-site isolation, payload helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    flip_bit,
+    truncate_tail,
+)
+from repro.sim import Simulator
+
+
+def _drain(plan: FaultPlan, site: str, draws: int, **kw) -> list[FaultEvent]:
+    return [e for e in (plan.draw(site, **kw) for _ in range(draws)) if e]
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=7, specs=(FaultSpec("psp.command", 0.3),))
+        b = FaultPlan(seed=7, specs=(FaultSpec("psp.command", 0.3),))
+        ea = _drain(a, "psp.command", 200)
+        eb = _drain(b, "psp.command", 200)
+        assert [(e.seq, e.kind, e.salt) for e in ea] == [
+            (e.seq, e.kind, e.salt) for e in eb
+        ]
+        assert ea  # the schedule is non-trivial at rate 0.3
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, specs=(FaultSpec("psp.command", 0.3),))
+        b = FaultPlan(seed=2, specs=(FaultSpec("psp.command", 0.3),))
+        assert [e.salt for e in _drain(a, "psp.command", 200)] != [
+            e.salt for e in _drain(b, "psp.command", 200)
+        ]
+
+    def test_sites_use_independent_streams(self):
+        """Draws at one site never shift another site's schedule."""
+        solo = FaultPlan(seed=3, specs=(FaultSpec("image.stage", 0.5),))
+        expected = [e.salt for e in _drain(solo, "image.stage", 100)]
+
+        mixed = FaultPlan(
+            seed=3,
+            specs=(FaultSpec("image.stage", 0.5), FaultSpec("psp.command", 0.5)),
+        )
+        got = []
+        for _ in range(100):
+            mixed.draw("psp.command")  # interleaved traffic at another site
+            event = mixed.draw("image.stage")
+            if event:
+                got.append(event.salt)
+        assert got == expected
+
+
+class TestDrawSemantics:
+    def test_unconfigured_site_consumes_no_randomness(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec("psp.command", 0.5),))
+        for _ in range(50):
+            assert plan.draw("mem.host_tamper") is None
+        assert "mem.host_tamper" not in plan._streams
+
+    def test_rate_zero_never_fires(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec("psp.command", 0.0),))
+        assert _drain(plan, "psp.command", 500) == []
+        assert plan.injected == 0
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec("psp.command", 1.0),))
+        assert len(_drain(plan, "psp.command", 20)) == 20
+
+    def test_min_bytes_filters_small_writes(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(FaultSpec("mem.host_tamper", 1.0, min_bytes=8192),),
+        )
+        assert plan.draw("mem.host_tamper", size=4096) is None
+        assert plan.draw("mem.host_tamper", size=8192) is not None
+
+    def test_max_fires_disarms_site(self):
+        plan = FaultPlan(
+            seed=0, specs=(FaultSpec("psp.command", 1.0, max_fires=2),)
+        )
+        assert len(_drain(plan, "psp.command", 10)) == 2
+
+    def test_kind_weights_respected(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                FaultSpec(
+                    "psp.command", 1.0, kinds=(("busy", 3.0), ("fatal", 1.0))
+                ),
+            ),
+        )
+        kinds = [e.kind for e in _drain(plan, "psp.command", 400)]
+        assert set(kinds) == {"busy", "fatal"}
+        assert kinds.count("busy") > kinds.count("fatal")
+
+    def test_events_timestamped_with_sim_clock(self):
+        sim = Simulator()
+        plan = sim.inject(FaultPlan(seed=0, specs=(FaultSpec("s", 1.0),)))
+
+        def proc():
+            yield sim.timeout(25.0)
+            plan.draw("s")
+
+        sim.run_process(proc())
+        assert plan.events[0].at_ms == pytest.approx(25.0)
+
+    def test_counters_accumulate(self):
+        plan = FaultPlan(seed=0, specs=(FaultSpec("s", 1.0),))
+        plan.draw("s")
+        plan.note("retried")
+        summary = plan.summary()
+        assert summary["injected"] == 1
+        assert summary["injected:s"] == 1
+        assert summary["retried"] == 1
+
+
+class TestSpecValidation:
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("s", 1.5)
+
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(specs=(FaultSpec("s", 0.1), FaultSpec("s", 0.2)))
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("s", 0.1, kinds=())
+
+
+class TestPayloadHelpers:
+    def test_flip_bit_always_changes_data(self):
+        data = bytes(range(256))
+        for salt in range(0, 2**20, 65537):
+            assert flip_bit(data, salt) != data
+            assert len(flip_bit(data, salt)) == len(data)
+
+    def test_flip_bit_flips_exactly_one_bit(self):
+        data = b"\x00" * 64
+        flipped = flip_bit(data, 123456789)
+        diff = [a ^ b for a, b in zip(data, flipped)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_truncate_tail_always_changes_data(self):
+        data = bytes(range(1, 200))
+        for salt in (0, 1, 99, 2**40):
+            assert truncate_tail(data, salt) != data
+
+    def test_truncate_tail_zero_tail_falls_back_to_flip(self):
+        data = b"\xaa" * 10 + b"\x00" * 90  # any tail cut lands in zeros
+        assert truncate_tail(data, 5) != data
+
+    def test_empty_data_passthrough(self):
+        assert flip_bit(b"", 1) == b""
+        assert truncate_tail(b"", 1) == b""

@@ -1,0 +1,143 @@
+"""RetryPolicy: backoff arithmetic, recovery hooks, virtual-time cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy, psp_command, sev_retryable
+from repro.hw.platform import Machine
+from repro.sev.api import SevErrorCode, SevLaunchError
+from repro.sim import Simulator
+
+
+class TestRetryableClassification:
+    def test_busy_is_retryable(self):
+        assert sev_retryable(SevLaunchError("x", code=SevErrorCode.BUSY))
+
+    def test_fatal_is_not(self):
+        assert not sev_retryable(
+            SevLaunchError("x", code=SevErrorCode.HWERROR_UNSAFE)
+        )
+
+    def test_codeless_error_is_not(self):
+        assert not sev_retryable(SevLaunchError("legacy, no code"))
+        assert not sev_retryable(ValueError("unrelated"))
+
+    def test_flush_codes_marked(self):
+        assert SevErrorCode.DF_FLUSH_REQUIRED.needs_df_flush
+        assert SevErrorCode.RESOURCE_LIMIT.needs_df_flush
+        assert not SevErrorCode.BUSY.needs_df_flush
+
+
+class TestBackoff:
+    def test_exponential_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_ms=5.0, multiplier=2.0, max_delay_ms=30.0
+        )
+        assert [policy.delay_ms(i) for i in range(4)] == [5.0, 10.0, 20.0, 30.0]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_ms=-1.0)
+
+
+class TestRun:
+    def _flaky(self, failures: int, code=SevErrorCode.BUSY):
+        state = {"left": failures, "attempts": 0}
+
+        def factory():
+            state["attempts"] += 1
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise SevLaunchError("injected", code=code)
+            return "ok"
+            yield  # pragma: no cover - makes factory a generator
+
+        return factory, state
+
+    def test_retries_until_success(self):
+        sim = Simulator()
+        factory, state = self._flaky(2)
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=1.0)
+        result = sim.run_process(policy.run(sim, factory, label="t"))
+        assert result == "ok"
+        assert state["attempts"] == 3
+
+    def test_exhausted_attempts_raise(self):
+        sim = Simulator()
+        factory, _state = self._flaky(5)
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=1.0)
+        with pytest.raises(SevLaunchError, match="injected"):
+            sim.run_process(policy.run(sim, factory, label="t"))
+
+    def test_non_retryable_fails_fast(self):
+        sim = Simulator()
+        factory, state = self._flaky(1, code=SevErrorCode.HWERROR_UNSAFE)
+        policy = RetryPolicy(max_attempts=5, base_delay_ms=1.0)
+        with pytest.raises(SevLaunchError):
+            sim.run_process(policy.run(sim, factory, label="t"))
+        assert state["attempts"] == 1
+
+    def test_backoff_consumes_virtual_time(self):
+        sim = Simulator()
+        factory, _state = self._flaky(2)
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_ms=5.0, multiplier=2.0
+        )
+        sim.run_process(policy.run(sim, factory, label="t"))
+        assert sim.now == pytest.approx(5.0 + 10.0)
+
+    def test_on_retry_hook_sees_each_failure(self):
+        sim = Simulator()
+        factory, _state = self._flaky(2)
+        seen = []
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=1.0)
+        sim.run_process(
+            policy.run(
+                sim,
+                factory,
+                label="t",
+                on_retry=lambda exc, attempt: seen.append(attempt),
+            )
+        )
+        assert seen == [0, 1]
+
+    def test_retries_noted_in_fault_plan(self):
+        sim = Simulator()
+        plan = sim.inject(FaultPlan(seed=0))
+        factory, _state = self._flaky(2)
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=1.0)
+        sim.run_process(policy.run(sim, factory, label="op"))
+        assert plan.stats["retried"] == 2
+        assert plan.stats["retried:op"] == 2
+
+
+class TestPspCommand:
+    def test_df_flush_recovery_recycles_asids(self):
+        """RESOURCE_LIMIT at ACTIVATE -> DF_FLUSH between attempts."""
+        machine = Machine()
+        machine.psp.asid_capacity = 1
+        sim = machine.sim
+
+        # Occupy, then retire the only slot: ACTIVATE must fail until a
+        # DF_FLUSH recycles it.
+        first = machine.new_sev_context()
+        machine.psp.activate(first)
+        machine.psp.deactivate(first)
+
+        second = machine.new_sev_context()
+        policy = RetryPolicy(max_attempts=3, base_delay_ms=1.0)
+
+        def attempt():
+            machine.psp.activate(second)
+            return "activated"
+            yield  # pragma: no cover - generator marker
+
+        result = sim.run_process(
+            psp_command(sim, machine.psp, policy, attempt, "ACTIVATE")
+        )
+        assert result == "activated"
+        assert machine.psp.active_guests == 1

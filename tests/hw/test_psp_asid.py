@@ -1,0 +1,148 @@
+"""ASID lifecycle under contention (exhaustion -> DF_FLUSH -> reuse).
+
+The hardware namespace is fixed (509 on EPYC Milan): a platform that
+churns guests must recycle numbers through DEACTIVATE -> DF_FLUSH, and
+``allocate_asid`` must hand the flushed numbers back out instead of
+incrementing forever.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.faults.retry import RetryPolicy
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.sev.api import SevErrorCode, SevLaunchError
+from repro.vmm.firecracker import FirecrackerVMM
+
+
+class TestAsidRecycling:
+    def test_flushed_numbers_are_reused_lowest_first(self):
+        machine = Machine()
+        psp = machine.psp
+        ctxs = [machine.new_sev_context() for _ in range(4)]
+        assert [c.asid for c in ctxs] == [1, 2, 3, 4]
+        for c in ctxs:
+            psp.activate(c)
+        for c in (ctxs[2], ctxs[0]):  # retire 3 and 1, out of order
+            psp.deactivate(c)
+        machine.sim.run_process(psp.df_flush())
+        assert machine.new_sev_context().asid == 1
+        assert machine.new_sev_context().asid == 3
+        assert machine.new_sev_context().asid == 5  # fresh tail resumes
+
+    def test_namespace_stays_bounded_under_churn(self):
+        """Churning far more guests than the capacity must never grow
+        the handed-out numbers beyond the namespace."""
+        machine = Machine()
+        psp = machine.psp
+        psp.asid_capacity = 8
+        seen = set()
+        for _ in range(50):
+            ctx = machine.new_sev_context()
+            seen.add(ctx.asid)
+            psp.activate(ctx)
+            psp.deactivate(ctx)
+            machine.sim.run_process(psp.df_flush())
+        assert max(seen) <= 8
+        assert psp.active_guests == 0
+
+    def test_release_of_unactivated_asid_frees_it_immediately(self):
+        """A launch that dies before ACTIVATE returns its number without
+        needing a DF_FLUSH (no keyed cache lines exist)."""
+        machine = Machine()
+        ctx = machine.new_sev_context()
+        assert ctx.asid == 1
+        machine.psp.release(ctx)
+        assert machine.new_sev_context().asid == 1
+
+    def test_release_of_active_asid_retires_it(self):
+        machine = Machine()
+        ctx = machine.new_sev_context()
+        machine.psp.activate(ctx)
+        machine.psp.release(ctx)
+        assert machine.psp.active_guests == 0
+        # still awaiting flush: the number is not immediately reusable
+        assert machine.new_sev_context().asid == 2
+
+    def test_exhaustion_error_codes(self):
+        machine = Machine()
+        psp = machine.psp
+        psp.asid_capacity = 1
+        a = machine.new_sev_context()
+        psp.activate(a)
+        b = machine.new_sev_context()
+        with pytest.raises(SevLaunchError) as exc:
+            psp.activate(b)
+        assert exc.value.code is SevErrorCode.RESOURCE_LIMIT
+        psp.deactivate(a)
+        with pytest.raises(SevLaunchError) as exc:
+            psp.activate(b)
+        assert exc.value.code is SevErrorCode.DF_FLUSH_REQUIRED
+        assert exc.value.retryable
+
+
+class TestFleetChurn:
+    def test_fleet_larger_than_asid_capacity_boots_with_recovery(self):
+        """More sequential guests than ASID slots: the VMM's retry policy
+        (DF_FLUSH between attempts) plus release-on-exit keeps every
+        boot succeeding."""
+        machine = Machine()
+        machine.psp.asid_capacity = 3
+        sf = SEVeriFast(machine=machine)
+        config = VmConfig(kernel=AWS, scale=1 / 1024, attest=False)
+        prepared = sf.prepare(config, machine)
+        vmm = FirecrackerVMM(
+            machine,
+            retry=RetryPolicy(max_attempts=4, base_delay_ms=1.0),
+            release_on_exit=True,
+        )
+        results = []
+        for i in range(10):
+            result = machine.sim.run_process(
+                vmm.boot_severifast(
+                    config,
+                    prepared.artifacts,
+                    prepared.initrd,
+                    hashes=prepared.hashes,
+                ),
+                name=f"churn-{i}",
+            )
+            results.append(result)
+        assert len(results) == 10
+        assert all(r.init_executed for r in results)
+        # no guest left active, and the namespace never grew past capacity
+        assert machine.psp.active_guests == 0
+
+    def test_fleet_without_release_hits_capacity(self):
+        """Without release-on-exit the fourth sequential boot on a
+        3-slot namespace must fail with a capacity error."""
+        machine = Machine()
+        machine.psp.asid_capacity = 3
+        sf = SEVeriFast(machine=machine)
+        config = VmConfig(kernel=AWS, scale=1 / 1024, attest=False)
+        prepared = sf.prepare(config, machine)
+        vmm = FirecrackerVMM(machine)  # no retry, no release
+        for i in range(3):
+            machine.sim.run_process(
+                vmm.boot_severifast(
+                    config,
+                    prepared.artifacts,
+                    prepared.initrd,
+                    hashes=prepared.hashes,
+                )
+            )
+        with pytest.raises(SevLaunchError) as exc:
+            machine.sim.run_process(
+                vmm.boot_severifast(
+                    config,
+                    prepared.artifacts,
+                    prepared.initrd,
+                    hashes=prepared.hashes,
+                )
+            )
+        assert exc.value.code is SevErrorCode.RESOURCE_LIMIT
+        assert exc.value.retryable  # a retry-capable VMM could recover

@@ -1,0 +1,77 @@
+"""Chaos-harness gates: determinism, 100% tamper detection, graceful
+degradation.  This is the suite the CI chaos-smoke job runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.chaos import run_chaos_fleet, run_chaos_sweep
+
+# Small but non-trivial: ~20-40 invocations per row, faults at every site.
+SWEEP_KW = dict(functions=4, horizon_s=8.0, rate_per_s=2.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_chaos_sweep(rates=(0.0, 0.2), **SWEEP_KW)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self, sweep):
+        again = run_chaos_sweep(rates=(0.0, 0.2), **SWEEP_KW)
+        assert json.dumps(sweep, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+    def test_different_seed_differs(self, sweep):
+        other = run_chaos_sweep(
+            rates=(0.0, 0.2), **{**SWEEP_KW, "seed": 100}
+        )
+        assert json.dumps(other, sort_keys=True) != json.dumps(
+            sweep, sort_keys=True
+        )
+
+
+class TestDetection:
+    def test_no_tampered_boot_ever_completes(self, sweep):
+        assert sweep["detection_rate"] == 1.0
+        assert sweep["undetected_tampered_boots"] == 0
+        for row in sweep["sweep"]:
+            assert row["detection_rate"] == 1.0
+
+    def test_faults_actually_fired(self, sweep):
+        """The gate is vacuous unless the faulted row really tampered
+        with boots and really injected PSP/spawn faults."""
+        faulted = sweep["sweep"][1]
+        assert faulted["faults"]["injected"] > 0
+        assert faulted["tampered_boots"] > 0
+        assert faulted["tamper_aborts"] > 0
+
+
+class TestDegradation:
+    def test_control_row_is_fault_free(self, sweep):
+        control = sweep["sweep"][0]
+        assert control["fault_rate"] == 0.0
+        assert control["boot_success_rate"] == 1.0
+        assert control["failed_invocations"] == 0
+        assert control["faults"] == {}
+
+    def test_control_row_matches_plain_fleet(self, sweep):
+        """Rate 0 with the whole faults layer wired in must reproduce a
+        fleet that never heard of it (empty-plan transparency, at the
+        chaos harness level)."""
+        solo = run_chaos_fleet(0.0, **SWEEP_KW)
+        assert solo == sweep["sweep"][0]
+
+    def test_faulted_fleet_completes_every_invocation(self, sweep):
+        control, faulted = sweep["sweep"]
+        assert faulted["invocations"] == control["invocations"]
+        # degradation is graceful: some boots fail, none take the fleet down
+        assert 0 < faulted["boot_success_rate"] <= 1.0
+        assert faulted["boot_retries"] > 0
+
+    def test_latency_percentiles_well_formed(self, sweep):
+        for row in sweep["sweep"]:
+            assert 0 < row["p50_boot_ms"] <= row["p99_boot_ms"]

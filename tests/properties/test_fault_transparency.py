@@ -1,0 +1,141 @@
+"""Empty-plan transparency: injecting a fault plan that never fires must
+be observationally identical to not having the faults layer at all.
+
+This is the property that makes the subsystem safe to keep wired into
+the hot paths: draws at unconfigured sites consume no randomness and no
+virtual time, so digests, timelines, and fleet statistics are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.formats.kernels import AWS, LUPINE
+from repro.hw.platform import Machine
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.trace import synthesize_trace
+from repro.vmm.firecracker import FirecrackerVMM
+
+
+def _boot_observables(result):
+    return {
+        "boot_ms": result.boot_ms,
+        "total_ms": result.total_ms,
+        "breakdown": result.timeline.breakdown(),
+        "events": result.timeline.events,
+        "launch_digest": result.launch_digest,
+        "resident_bytes": result.resident_bytes,
+        "psp_occupancy_ms": result.psp_occupancy_ms,
+        "console_log": result.console_log,
+        "aborted": result.aborted,
+        "launch_retries": result.launch_retries,
+    }
+
+
+def _cold_boot(config, plan):
+    machine = Machine()
+    if plan is not None:
+        machine.sim.inject(plan)
+    sf = SEVeriFast(machine=machine)
+    return sf.cold_boot(config, machine=machine)
+
+
+EMPTY_PLANS = [
+    pytest.param(None, id="no-plan"),
+    pytest.param(FaultPlan(seed=99), id="no-specs"),
+    pytest.param(
+        FaultPlan(
+            seed=99,
+            specs=(
+                FaultSpec("psp.command", 0.0),
+                FaultSpec("image.stage", 0.0),
+                FaultSpec("mem.host_tamper", 0.0, min_bytes=8192),
+            ),
+        ),
+        id="rate-zero-specs",
+    ),
+]
+
+
+class TestColdBootTransparency:
+    @pytest.mark.parametrize("plan", EMPTY_PLANS[1:])
+    @pytest.mark.parametrize("kernel", [AWS, LUPINE], ids=["aws", "lupine"])
+    def test_empty_plan_identical_to_absent(self, plan, kernel):
+        config = VmConfig(kernel=kernel, scale=1 / 1024, attest=False)
+        baseline = _boot_observables(_cold_boot(config, None))
+        with_plan = _boot_observables(_cold_boot(config, plan))
+        assert with_plan == baseline
+        assert plan.injected == 0
+        assert plan.events == []
+
+    def test_attested_boot_digest_unaffected(self):
+        config = VmConfig(kernel=AWS, scale=1 / 1024, attest=True)
+        baseline = _cold_boot(config, None)
+        with_plan = _cold_boot(config, FaultPlan(seed=1))
+        assert with_plan.launch_digest == baseline.launch_digest
+        assert with_plan.secret == baseline.secret
+        assert with_plan.boot_ms == pytest.approx(baseline.boot_ms)
+        assert with_plan.total_ms == pytest.approx(baseline.total_ms)
+
+    def test_retry_policy_alone_adds_no_time(self):
+        """A retry-capable VMM with no faults behaves identically."""
+        config = VmConfig(kernel=AWS, scale=1 / 1024, attest=False)
+
+        def run(with_retry: bool):
+            from repro.faults.retry import RetryPolicy
+
+            machine = Machine()
+            sf = SEVeriFast(machine=machine)
+            prepared = sf.prepare(config, machine)
+            vmm = FirecrackerVMM(
+                machine,
+                retry=RetryPolicy(max_attempts=4) if with_retry else None,
+            )
+            return machine.sim.run_process(
+                vmm.boot_severifast(
+                    config,
+                    prepared.artifacts,
+                    prepared.initrd,
+                    hashes=prepared.hashes,
+                )
+            )
+
+        assert _boot_observables(run(True)) == _boot_observables(run(False))
+
+
+class TestFleetTransparency:
+    def _run_fleet(self, plan):
+        machine = Machine()
+        if plan is not None:
+            machine.sim.inject(plan)
+        config = VmConfig(kernel=AWS, scale=1 / 1024, attest=False)
+        sf = SEVeriFast(machine=machine)
+        prepared = sf.prepare(config, machine)
+        vmm = FirecrackerVMM(machine)
+
+        def boot():
+            result = yield from vmm.boot_severifast(
+                config,
+                prepared.artifacts,
+                prepared.initrd,
+                hashes=prepared.hashes,
+            )
+            return result
+
+        platform = ServerlessPlatform(machine.sim, boot)
+        trace = synthesize_trace(
+            num_functions=4, horizon_ms=8000.0, mean_rate_per_s=2.0, seed=7
+        )
+        return platform.run(trace)
+
+    @pytest.mark.parametrize("plan", EMPTY_PLANS[1:])
+    def test_fleet_stats_identical(self, plan):
+        baseline = self._run_fleet(None)
+        with_plan = self._run_fleet(plan)
+        assert with_plan.outcomes == baseline.outcomes
+        assert with_plan.failed_invocations == 0
+        assert plan.injected == 0

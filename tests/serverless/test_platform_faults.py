@@ -1,0 +1,149 @@
+"""Graceful degradation: cold-boot faults become failed outcomes, never
+fleet death."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.serverless.platform import ServerlessPlatform
+from repro.serverless.trace import Invocation, InvocationTrace
+
+
+def _rig(plan=None, boot_retry=None, keepalive_ms=10_000.0):
+    machine = Machine()
+    if plan is not None:
+        machine.sim.inject(plan)
+    config = VmConfig(kernel=AWS, scale=1 / 1024, attest=False)
+    sf = SEVeriFast(machine=machine)
+    prepared = sf.prepare(config, machine)
+    from repro.vmm.firecracker import FirecrackerVMM
+
+    vmm = FirecrackerVMM(machine, retry=boot_retry, release_on_exit=True)
+
+    def boot():
+        result = yield from vmm.boot_severifast(
+            config,
+            prepared.artifacts,
+            prepared.initrd,
+            hashes=prepared.hashes,
+        )
+        return result
+
+    platform = ServerlessPlatform(
+        machine.sim, boot, keepalive_ms=keepalive_ms, boot_retry=boot_retry
+    )
+    return machine, platform
+
+
+def _trace(*arrivals_ms, function="fn-0", exec_ms=50.0):
+    return InvocationTrace(
+        invocations=[
+            Invocation(arrival_ms=t, function=function, exec_ms=exec_ms)
+            for t in arrivals_ms
+        ],
+        horizon_ms=max(arrivals_ms) + 1.0,
+    )
+
+
+class TestSpawnFailureRecovery:
+    def test_transient_spawn_failures_retried_to_success(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(FaultSpec("serverless.cold_boot", 1.0, max_fires=2),),
+        )
+        _machine, platform = _rig(
+            plan, boot_retry=RetryPolicy(max_attempts=4, base_delay_ms=1.0)
+        )
+        stats = platform.run(_trace(0.0))
+        assert len(stats.outcomes) == 1
+        outcome = stats.outcomes[0]
+        assert not outcome.failed
+        assert outcome.boot_retries == 2
+        assert stats.boot_success_rate == 1.0
+        assert stats.total_boot_retries == 2
+
+    def test_spawn_failure_without_retry_degrades_gracefully(self):
+        plan = FaultPlan(
+            seed=0, specs=(FaultSpec("serverless.cold_boot", 1.0, max_fires=1),)
+        )
+        _machine, platform = _rig(plan, boot_retry=None)
+        stats = platform.run(_trace(0.0))
+        outcome = stats.outcomes[0]
+        assert outcome.failed
+        assert "spawn" in outcome.failure
+        assert not outcome.tamper_detected
+
+
+class TestPersistentFailure:
+    def test_all_spawns_fail_fleet_still_completes(self):
+        """Every cold boot fails even after retries: the run finishes,
+        every invocation is accounted for, nothing raises."""
+        plan = FaultPlan(
+            seed=0, specs=(FaultSpec("serverless.cold_boot", 1.0),)
+        )
+        _machine, platform = _rig(
+            plan, boot_retry=RetryPolicy(max_attempts=2, base_delay_ms=1.0)
+        )
+        trace = _trace(0.0, 500.0, 1000.0)
+        stats = platform.run(trace)
+        assert len(stats.outcomes) == 3
+        assert all(o.failed for o in stats.outcomes)
+        assert stats.success_rate == 0.0
+        assert stats.boot_success_rate == 0.0
+        assert plan.stats["failed_invocations"] == 3
+
+    def test_failed_boot_does_not_warm_the_pool(self):
+        """A failed cold start leaves no warm VM and no snapshot: the
+        next invocation of the same function is a fresh cold start."""
+        plan = FaultPlan(
+            seed=0, specs=(FaultSpec("serverless.cold_boot", 1.0, max_fires=1),)
+        )
+        _machine, platform = _rig(plan, boot_retry=None)
+        stats = platform.run(_trace(0.0, 2000.0))
+        first, second = stats.outcomes
+        assert first.failed
+        assert second.cold and not second.failed
+        assert platform.warm_pool_size == 1  # only the successful boot
+
+
+class TestTamperDegradation:
+    def test_tampered_boot_fails_invocation_with_detection(self):
+        plan = FaultPlan(
+            seed=0,
+            specs=(FaultSpec("image.stage", 1.0, max_fires=1),),
+        )
+        _machine, platform = _rig(plan, boot_retry=None)
+        stats = platform.run(_trace(0.0, 2000.0))
+        first, second = stats.outcomes
+        assert first.failed
+        assert first.tamper_detected
+        assert "hash mismatch" in first.failure
+        assert stats.tamper_aborts == 1
+        # the fleet moved on: the untampered second boot ran
+        assert not second.failed
+        assert stats.success_rate == pytest.approx(0.5)
+
+    def test_partial_failure_rates_mix(self):
+        """Mixed fleet: some invocations fail, the stats partition
+        cleanly and success fractions agree with the outcome list."""
+        plan = FaultPlan(
+            seed=3, specs=(FaultSpec("serverless.cold_boot", 0.5),)
+        )
+        _machine, platform = _rig(
+            plan,
+            boot_retry=RetryPolicy(max_attempts=2, base_delay_ms=1.0),
+            keepalive_ms=1.0,  # force every invocation cold
+        )
+        trace = _trace(*[i * 1500.0 for i in range(12)])
+        stats = platform.run(trace)
+        assert len(stats.outcomes) == 12
+        failed = stats.failed_invocations
+        assert 0 < failed < 12  # seed chosen so the mix is non-trivial
+        assert stats.success_rate == pytest.approx(1 - failed / 12)
+        assert stats.boot_latency_percentile(50) > 0

@@ -1,0 +1,216 @@
+"""VMM-level fault recovery: LAUNCH_* retries and the measured abort."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+from repro.formats.kernels import AWS
+from repro.guest.bootverifier import VerificationError
+from repro.hw.platform import Machine
+from repro.sev.api import SevErrorCode, SevLaunchError
+
+
+def _boot(machine, config, prepared, retry=None):
+    from repro.vmm.firecracker import FirecrackerVMM
+
+    vmm = FirecrackerVMM(machine, retry=retry)
+    return machine.sim.run_process(
+        vmm.boot_severifast(
+            config,
+            prepared.artifacts,
+            prepared.initrd,
+            hashes=prepared.hashes,
+        )
+    )
+
+
+@pytest.fixture
+def setup():
+    machine = Machine()
+    config = VmConfig(kernel=AWS, scale=1 / 1024, attest=False)
+    sf = SEVeriFast(machine=machine)
+    prepared = sf.prepare(config, machine)
+    return machine, config, prepared
+
+
+class TestLaunchRetry:
+    def test_busy_faults_retried_to_success(self, setup):
+        machine, config, prepared = setup
+        machine.sim.inject(
+            FaultPlan(
+                seed=0,
+                specs=(
+                    FaultSpec(
+                        "psp.command", 1.0, kinds=(("busy", 1.0),), max_fires=2
+                    ),
+                ),
+            )
+        )
+        result = _boot(
+            machine, config, prepared,
+            retry=RetryPolicy(max_attempts=4, base_delay_ms=1.0),
+        )
+        assert result.init_executed
+        assert not result.aborted
+        assert result.launch_retries == 2
+
+    def test_busy_fault_without_retry_policy_raises(self, setup):
+        machine, config, prepared = setup
+        machine.sim.inject(
+            FaultPlan(
+                seed=0,
+                specs=(
+                    FaultSpec(
+                        "psp.command", 1.0, kinds=(("busy", 1.0),), max_fires=1
+                    ),
+                ),
+            )
+        )
+        with pytest.raises(SevLaunchError) as exc:
+            _boot(machine, config, prepared, retry=None)
+        assert exc.value.code is SevErrorCode.BUSY
+
+    def test_fatal_fault_not_retried(self, setup):
+        machine, config, prepared = setup
+        machine.sim.inject(
+            FaultPlan(
+                seed=0,
+                specs=(
+                    FaultSpec(
+                        "psp.command", 1.0, kinds=(("fatal", 1.0),), max_fires=1
+                    ),
+                ),
+            )
+        )
+        with pytest.raises(SevLaunchError) as exc:
+            _boot(
+                machine, config, prepared,
+                retry=RetryPolicy(max_attempts=4, base_delay_ms=1.0),
+            )
+        assert exc.value.code is SevErrorCode.HWERROR_UNSAFE
+        # the launch died before ACTIVATE grew the active set
+        assert machine.psp.active_guests == 0
+
+    def test_retries_cost_virtual_time(self, setup):
+        machine, config, prepared = setup
+        baseline = _boot(machine, config, prepared).boot_ms
+
+        machine2 = Machine()
+        sf2 = SEVeriFast(machine=machine2)
+        prepared2 = sf2.prepare(config, machine2)
+        machine2.sim.inject(
+            FaultPlan(
+                seed=0,
+                specs=(
+                    FaultSpec(
+                        "psp.command", 1.0, kinds=(("busy", 1.0),), max_fires=2
+                    ),
+                ),
+            )
+        )
+        faulted = _boot(
+            machine2, config, prepared2,
+            retry=RetryPolicy(max_attempts=4, base_delay_ms=5.0),
+        ).boot_ms
+        assert faulted > baseline
+
+
+class TestMeasuredAbort:
+    def test_corrupted_image_aborts_instead_of_raising(self, setup):
+        machine, config, prepared = setup
+        plan = machine.sim.inject(
+            FaultPlan(
+                seed=0,
+                specs=(
+                    FaultSpec(
+                        "image.stage", 1.0, kinds=(("bitflip", 1.0),), max_fires=1
+                    ),
+                ),
+            )
+        )
+        result = _boot(machine, config, prepared)
+        assert result.aborted
+        assert "hash mismatch" in result.abort_reason
+        assert not result.init_executed
+        assert plan.stats["detected"] == 1
+        assert plan.stats["aborted"] == 1
+        assert plan.stats["tampered_boots"] == 1
+        assert "undetected_tampered_boots" not in plan.stats
+
+    def test_truncated_image_detected(self, setup):
+        machine, config, prepared = setup
+        machine.sim.inject(
+            FaultPlan(
+                seed=0,
+                specs=(
+                    FaultSpec(
+                        "image.stage", 1.0, kinds=(("truncate", 1.0),),
+                        max_fires=1,
+                    ),
+                ),
+            )
+        )
+        result = _boot(machine, config, prepared)
+        assert result.aborted
+
+    def test_host_tamper_on_staged_pages_detected(self, setup):
+        machine, config, prepared = setup
+        plan = machine.sim.inject(
+            FaultPlan(
+                seed=0,
+                specs=(
+                    FaultSpec(
+                        "mem.host_tamper", 1.0, kinds=(("bitflip", 1.0),),
+                        min_bytes=8192, max_fires=1,
+                    ),
+                ),
+            )
+        )
+        result = _boot(machine, config, prepared)
+        assert result.aborted
+        assert plan.stats["tampered_boots"] == 1
+        assert "undetected_tampered_boots" not in plan.stats
+
+    def test_without_plan_verification_error_still_raises(self, setup):
+        """The historical contract: explicit tampering (no fault plan)
+        raises through the simulator."""
+        machine, config, prepared = setup
+        from repro.formats.kernels import build_initrd
+
+        bad_initrd = build_initrd(config.scale)
+        data = bytearray(bad_initrd.data)
+        data[0] ^= 1
+        bad = type(bad_initrd)(
+            bytes(data), bad_initrd.nominal_size, bad_initrd.label
+        )
+        from repro.vmm.firecracker import FirecrackerVMM
+
+        vmm = FirecrackerVMM(machine)
+        with pytest.raises(VerificationError):
+            machine.sim.run_process(
+                vmm.boot_severifast(
+                    config, prepared.artifacts, bad, hashes=prepared.hashes
+                )
+            )
+
+    def test_abort_recorded_on_faults_track(self, setup):
+        machine, config, prepared = setup
+        tracer = machine.sim.trace()
+        machine.sim.inject(
+            FaultPlan(
+                seed=0,
+                specs=(
+                    FaultSpec(
+                        "image.stage", 1.0, kinds=(("bitflip", 1.0),), max_fires=1
+                    ),
+                ),
+            )
+        )
+        _boot(machine, config, prepared)
+        assert tracer.fault_counters["injected"] == 1
+        assert tracer.fault_counters["detected"] == 1
+        assert "[faults]" in tracer.summary()
