@@ -2,7 +2,8 @@
 
 PY ?= python3
 
-.PHONY: install test bench examples report trace-smoke perfbench chaos all
+.PHONY: install test bench examples report trace-smoke perfbench chaos \
+	obs-smoke regress all
 
 install:
 	$(PY) setup.py develop
@@ -36,5 +37,22 @@ trace-smoke:
 	PYTHONPATH=src $(PY) -m repro.cli trace --kernel aws --no-attest \
 		--out /tmp/repro-trace-smoke.json > /dev/null
 	PYTHONPATH=src $(PY) -m pytest tests/sim/test_trace_export.py -q
+
+# Metrics registry + virtual-time profiler on a small boot: both dumps
+# must be non-empty and carry the expected families/phases.
+obs-smoke:
+	PYTHONPATH=src $(PY) -m repro.cli metrics --kernel aws --no-attest \
+		--out /tmp/repro-metrics-smoke.prom
+	grep -q psp_commands /tmp/repro-metrics-smoke.prom
+	PYTHONPATH=src $(PY) -m repro.cli profile --kernel aws --no-attest \
+		> /tmp/repro-profile-smoke.txt
+	grep -q "critical path:" /tmp/repro-profile-smoke.txt
+	PYTHONPATH=src $(PY) -m pytest tests/obs -q
+
+# Regenerate both benchmark documents and gate them against the
+# committed baselines (tolerance bands; exit status is the verdict).
+regress:
+	PYTHONPATH=src $(PY) -m repro.cli regress --baseline BENCH_chaos.json
+	PYTHONPATH=src $(PY) -m repro.cli regress --baseline BENCH_wallclock.json
 
 all: test bench examples

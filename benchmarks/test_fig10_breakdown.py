@@ -20,6 +20,7 @@ from repro.analysis.render import format_table
 from repro.core.config import VmConfig
 from repro.core.severifast import SEVeriFast
 from repro.formats.kernels import KERNEL_CONFIGS
+from repro.obs import profile
 from repro.vmm.timeline import BootPhase
 
 from bench_common import BENCH_SCALE, bench_machine, emit
@@ -44,6 +45,7 @@ def _measure():
             pre, fw = [], []
             for run in range(RUNS):
                 machine = bench_machine(seed=hash((stack, kernel_name, run)) & 0xFFFF)
+                tracer = machine.sim.trace()
                 sf = SEVeriFast(machine=machine)
                 if stack == "severifast":
                     result = sf.cold_boot(config, machine=machine, attest=False)
@@ -51,8 +53,18 @@ def _measure():
                 else:
                     result, _ = sf.cold_boot_qemu(config, machine=machine, attest=False)
                     fw_phase = BootPhase.FIRMWARE
-                pre.append(result.timeline.duration(BootPhase.PRE_ENCRYPTION))
-                fw.append(result.timeline.duration(fw_phase))
+                # Phase attribution comes from the profiler (the tracer's
+                # boot.phase spans), cross-checked against the timeline.
+                phases = profile(tracer).single_vm().phase_ms()
+                pre_ms = phases.get(BootPhase.PRE_ENCRYPTION.value, 0.0)
+                fw_ms = phases.get(fw_phase.value, 0.0)
+                for want, got in (
+                    (result.timeline.duration(BootPhase.PRE_ENCRYPTION), pre_ms),
+                    (result.timeline.duration(fw_phase), fw_ms),
+                ):
+                    assert abs(got - want) <= 0.01 * max(want, 1e-9)
+                pre.append(pre_ms)
+                fw.append(fw_ms)
             measured[stack, kernel_name] = (sum(pre) / RUNS, sum(fw) / RUNS)
     return measured
 

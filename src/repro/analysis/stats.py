@@ -52,7 +52,13 @@ def cdf_points(samples: Sequence[float]) -> list[tuple[float, float]]:
 
 
 def percentile(samples: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile."""
+    """Nearest-rank percentile.
+
+    The canonical implementation: the chaos harness
+    (:func:`repro.faults.chaos.latency_percentile`) and the serverless
+    platform percentiles all route through this function, so every
+    reported p50/p99 uses the same definition.
+    """
     if not samples:
         raise ValueError("cannot take a percentile of an empty sample")
     ordered = sorted(samples)

@@ -338,6 +338,200 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if not problems else 1
 
 
+def _run_instrumented(args: argparse.Namespace, machine) -> None:
+    """The small workload behind ``repro metrics`` / ``repro profile``:
+    one (or ``--count``) boots, or a synthesized serverless run."""
+    sf = SEVeriFast(machine=machine)
+    config = _config_from_args(args)
+
+    if args.serverless:
+        from repro.serverless.platform import ServerlessPlatform
+        from repro.serverless.trace import synthesize_trace
+        from repro.vmm.firecracker import FirecrackerVMM
+
+        prepared = sf.prepare(config, machine)
+        trace = synthesize_trace(
+            num_functions=args.functions,
+            horizon_ms=args.horizon_s * 1000.0,
+            mean_rate_per_s=args.rate,
+            seed=args.seed,
+        )
+
+        def boot():
+            vmm = FirecrackerVMM(machine)
+            result = yield from vmm.boot_severifast(
+                config, prepared.artifacts, prepared.initrd, hashes=prepared.hashes
+            )
+            return result
+
+        ServerlessPlatform(machine.sim, boot).run(trace)
+    elif args.count > 1:
+        sf.concurrent_boots(
+            config, count=args.count, sev=args.stack != "stock", machine=machine
+        )
+    elif args.stack == "severifast":
+        sf.cold_boot(config, machine=machine)
+    elif args.stack == "stock":
+        sf.cold_boot_stock(config, machine=machine)
+    elif args.stack == "naive":
+        sf.cold_boot_naive(config, machine=machine)
+    else:
+        sf.cold_boot_qemu(config, machine=machine)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    _add_kernel_arg(parser)
+    parser.add_argument(
+        "--stack",
+        choices=["severifast", "qemu", "stock", "naive"],
+        default="severifast",
+    )
+    parser.add_argument(
+        "--format", choices=[f.value for f in KernelFormat], default="bzimage"
+    )
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--no-attest", action="store_true")
+    parser.add_argument(
+        "--config", help="Firecracker-style JSON VM configuration file"
+    )
+    parser.add_argument(
+        "--count", type=int, default=1, help="concurrent boots (Fig. 12 style)"
+    )
+    parser.add_argument(
+        "--serverless", action="store_true",
+        help="run a synthesized serverless workload instead of plain boots",
+    )
+    parser.add_argument("--functions", type=int, default=4)
+    parser.add_argument("--horizon-s", type=float, default=10.0)
+    parser.add_argument("--rate", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a workload under a fresh registry; dump the metrics.
+
+    The run is scoped with :func:`repro.obs.use_registry`, so the dump
+    covers exactly this workload — engine events, PSP commands,
+    crypto/cache counters, boot phases, serverless outcomes.
+    """
+    import pathlib
+
+    from repro.hw.platform import Machine
+    from repro.obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()) as registry:
+        _run_instrumented(args, Machine())
+        text = (
+            registry.to_json()
+            if args.format_out == "json"
+            else registry.to_prometheus_text()
+        )
+    if args.out:
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote {sum(1 for _ in text.splitlines())} lines to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Boot with tracing; print the virtual-time profile.
+
+    Phase attribution with self/total time, the critical path through
+    the PSP queue, per-command PSP aggregates, and the longest spans.
+    ``--folded FILE`` additionally writes flamegraph folded stacks.
+    """
+    import pathlib
+
+    from repro.hw.platform import Machine
+    from repro.obs import profile
+
+    machine = Machine()
+    tracer = machine.sim.trace()
+    _run_instrumented(args, machine)
+    prof = profile(tracer)
+    print(prof.report(top=args.top))
+    if args.folded:
+        path = pathlib.Path(args.folded)
+        path.write_text(prof.folded())
+        print(f"\nwrote folded stacks to {path}")
+    return 0
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    """Compare a fresh benchmark run against a committed baseline.
+
+    The baseline's own parameters drive the regeneration (chaos sweeps
+    re-run ``run_chaos_sweep`` with the recorded seed/rates; wallclock
+    baselines re-run ``benchmarks/perfbench.py``), so the comparison is
+    like-for-like.  ``--current FILE`` skips regeneration.  Exit status
+    is the gate: non-zero when any metric regressed or went missing.
+    """
+    import json
+    import pathlib
+
+    from repro.obs import compare_documents, rules_for_document
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.is_file():
+        print(f"no baseline at {baseline_path}")
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    kind, rules = rules_for_document(baseline, rel_tol=args.rel_tol)
+
+    if args.current:
+        current = json.loads(pathlib.Path(args.current).read_text())
+    elif kind == "chaos":
+        from repro.faults import run_chaos_sweep
+
+        rates = baseline.get("rates", [0.0, 0.05])
+        if args.quick:
+            # Re-run only the first two fault rates; gate against the
+            # matching baseline sweep rows and the detection invariant.
+            rates = rates[:2]
+            baseline = {
+                "experiment": "chaos",
+                "detection_rate": baseline["detection_rate"],
+                "sweep": baseline.get("sweep", [])[: len(rates)],
+            }
+        current = run_chaos_sweep(
+            rates=tuple(rates),
+            seed=baseline.get("seed", 1234),
+            kernel=baseline.get("kernel", "aws"),
+            scale=baseline.get("scale", 1.0 / 1024.0),
+            functions=baseline.get("functions", 6),
+            horizon_s=baseline.get("horizon_s", 20.0),
+            rate_per_s=baseline.get("rate_per_s", 2.0),
+        )
+    elif kind == "wallclock":
+        import importlib.util
+
+        bench_path = pathlib.Path("benchmarks/perfbench.py")
+        if not bench_path.is_file():
+            print(
+                f"cannot regenerate {kind!r} without {bench_path}; "
+                "pass --current FILE"
+            )
+            return 2
+        spec = importlib.util.spec_from_file_location("perfbench", bench_path)
+        perfbench = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(perfbench)
+        if args.quick:
+            current = perfbench.run(fig9_boots=20, fig12_guests=8)
+        else:
+            current = perfbench.run()
+    else:
+        print("generic baselines need --current FILE (nothing to regenerate)")
+        return 2
+
+    report = compare_documents(
+        baseline, current, rules, baseline_name=baseline_path.name
+    )
+    print(f"baseline kind: {kind}")
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Collate benchmarks/results/*.txt into one experiment report."""
     import pathlib
@@ -465,6 +659,49 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", default="trace.json", help="output JSON path")
     trace.set_defaults(func=_cmd_trace)
+
+    metrics_p = sub.add_parser(
+        "metrics", help="run a workload; dump the metrics registry"
+    )
+    _add_workload_args(metrics_p)
+    metrics_p.add_argument(
+        "--format-out", choices=["prom", "json"], default="prom",
+        dest="format_out", help="export format (Prometheus text or JSON)",
+    )
+    metrics_p.add_argument("--out", help="write to a file instead of stdout")
+    metrics_p.set_defaults(func=_cmd_metrics)
+
+    profile_p = sub.add_parser(
+        "profile", help="boot with tracing; print the virtual-time profile"
+    )
+    _add_workload_args(profile_p)
+    profile_p.add_argument(
+        "--top", type=int, default=10, help="longest spans to list"
+    )
+    profile_p.add_argument(
+        "--folded", help="also write flamegraph folded stacks to this file"
+    )
+    profile_p.set_defaults(func=_cmd_profile)
+
+    regress = sub.add_parser(
+        "regress", help="compare a fresh benchmark run against a baseline"
+    )
+    regress.add_argument(
+        "--baseline", required=True,
+        help="committed BENCH_*.json to compare against",
+    )
+    regress.add_argument(
+        "--current", help="pre-generated current document (skips the re-run)"
+    )
+    regress.add_argument(
+        "--rel-tol", type=float, default=None,
+        help="override every rule's relative tolerance band",
+    )
+    regress.add_argument(
+        "--quick", action="store_true",
+        help="regenerate a reduced document (fewer rates / boots)",
+    )
+    regress.set_defaults(func=_cmd_regress)
 
     report = sub.add_parser(
         "report", help="collate benchmarks/results/ into one report"

@@ -180,12 +180,16 @@ class FaultPlan:
     # -- accounting ------------------------------------------------------
 
     def note(self, counter: str, n: int = 1) -> None:
-        """Bump a fault counter (mirrored into an attached tracer)."""
+        """Bump a fault counter (mirrored into an attached tracer and the
+        default metrics registry as ``faults.<counter>``)."""
         value = self.stats.get(counter, 0) + n
         self.stats[counter] = value
         tracer = self._sim.tracer if self._sim is not None else None
         if tracer is not None:
             tracer.fault_note(counter, value)
+        from repro.obs.metrics import default_registry
+
+        default_registry().counter(f"faults.{counter}").inc(n)
 
     @property
     def injected(self) -> int:

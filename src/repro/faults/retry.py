@@ -93,6 +93,9 @@ class RetryPolicy:
                     raise
                 if on_retry is not None:
                     on_retry(exc, attempt)
+                from repro.obs.metrics import default_registry
+
+                default_registry().counter("retry.attempts", label=label).inc()
                 plan = sim.faults
                 if plan is not None:
                     plan.note("retried")

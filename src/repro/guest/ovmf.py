@@ -57,18 +57,28 @@ class OvmfFirmware:
             "bds": cost.ovmf_bds_ms,
         }[phase]
 
+    def _record(self, phase: str, start: float) -> None:
+        """Close out one PI phase: breakdown entry, debug-port mark, and a
+        ``firmware.phase`` span the profiler nests under ``firmware``."""
+        ctx = self.ctx
+        self.breakdown.phases[phase] = ctx.sim.now - start
+        ctx.timeline.mark(f"ovmf:{phase}")
+        tracer = ctx.sim.tracer
+        if tracer is not None:
+            tracer.complete(
+                phase, "firmware.phase", ctx.timeline.label, start, ctx.sim.now
+            )
+
     def run(self) -> Generator:
         """PI phases + boot verification; value: VerifiedKernel."""
         ctx = self.ctx
         for phase in self.PI_PHASES:
             start = ctx.sim.now
             yield ctx.sim.timeout(ctx.cost.sample(self._phase_cost(phase)))
-            self.breakdown.phases[phase] = ctx.sim.now - start
-            ctx.timeline.mark(f"ovmf:{phase}")
+            self._record(phase, start)
 
         start = ctx.sim.now
         verifier = BootVerifier(ctx)
         verified: VerifiedKernel = yield from verifier.run()
-        self.breakdown.phases["boot_verifier"] = ctx.sim.now - start
-        ctx.timeline.mark("ovmf:boot_verifier")
+        self._record("boot_verifier", start)
         return verified

@@ -182,9 +182,15 @@ class PlatformSecurityProcessor:
 
         When a tracer is attached, the held interval is recorded as one
         span per command on the ``psp.commands`` track, tagged with the
-        guest's ASID and any extra ``span_args`` (byte counts etc.); at
-        ``parallelism=1`` those spans never overlap — the Fig. 12
-        serialization, visually.
+        guest's ASID, its VM track (``vm``), the queueing delay
+        (``wait_ms`` — what the profiler's critical path splits out) and
+        any extra ``span_args`` (byte counts etc.); at ``parallelism=1``
+        those spans never overlap — the Fig. 12 serialization, visually.
+
+        Independent of tracing, every command lands in the unified
+        metrics registry: ``psp.commands`` / ``psp.wait_ms`` /
+        ``psp.service_ms`` per command type, ``psp.faults`` per injected
+        fault kind (queue depth rides on ``sim.resource.queue_depth``).
 
         An attached :class:`~repro.faults.plan.FaultPlan` may fault the
         command at the ``psp.command`` site.  All fault kinds raise
@@ -199,18 +205,32 @@ class PlatformSecurityProcessor:
         - ``fatal``: an unsafe hardware error (``HWERROR_UNSAFE``,
           not retryable).
         """
+        from repro.obs.metrics import default_registry
+
         duration = self.cost.sample(duration)
         plan = self.sim.faults
         fault = plan.draw("psp.command") if plan is not None else None
+        requested_at = self.sim.now
         grant = yield self.resource.request()
+        wait_ms = self.sim.now - requested_at
+        registry = default_registry()
+        registry.counter("psp.commands", command=command).inc()
+        registry.histogram("psp.wait_ms", command=command).observe(wait_ms)
+        if fault is not None:
+            registry.counter("psp.faults", command=command, kind=fault.kind).inc()
         tracer = self.sim.tracer
         span = None
         if tracer is not None:
             if ctx is not None:
                 span_args["asid"] = ctx.asid
+                if ctx.track:
+                    span_args["vm"] = ctx.track
             if fault is not None:
                 span_args["fault"] = fault.kind
-            span = tracer.begin(command, "psp", "psp.commands", **span_args)
+            span = tracer.begin(
+                command, "psp", "psp.commands", wait_ms=wait_ms, **span_args
+            )
+        granted_at = self.sim.now
         try:
             if fault is not None:
                 if fault.kind == "busy":
@@ -234,6 +254,9 @@ class PlatformSecurityProcessor:
             if ctx is not None:
                 ctx.psp_occupancy_ms += duration
         finally:
+            registry.histogram("psp.service_ms", command=command).observe(
+                self.sim.now - granted_at
+            )
             if span is not None:
                 tracer.end(span)
             self.resource.release(grant)

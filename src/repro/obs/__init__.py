@@ -1,0 +1,55 @@
+"""Observability: metrics registry, boot profiler, regression gate.
+
+The tracer (:mod:`repro.sim.trace`) answers "what happened when" for a
+single run; this package answers the two production questions next to
+it (see docs/OBSERVABILITY.md):
+
+- :mod:`repro.obs.metrics` — aggregable instruments (counters, gauges,
+  fixed-bucket histograms) with labels, snapshot/merge, and
+  deterministic Prometheus-text / JSON exporters.  Instrumented at the
+  hot seams: PSP commands, engine events, memenc/cache activity,
+  fault-plan and retry accounting, serverless outcomes.
+- :mod:`repro.obs.profiler` — consumes a run's Tracer spans and
+  produces per-boot phase attribution (self/total virtual time,
+  critical path through the PSP queue, folded-stack export).
+- :mod:`repro.obs.regress` — compares fresh ``BENCH_*`` runs against
+  committed baselines with per-metric tolerance bands; the CI perf
+  gate.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+    set_default_registry,
+    use_registry,
+)
+from repro.obs.profiler import BootProfile, profile
+from repro.obs.regress import (
+    RegressionReport,
+    Tolerance,
+    compare_documents,
+    rules_for_document,
+)
+
+__all__ = [
+    "BootProfile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "RegressionReport",
+    "Tolerance",
+    "compare_documents",
+    "default_registry",
+    "profile",
+    "reset_default_registry",
+    "rules_for_document",
+    "set_default_registry",
+    "use_registry",
+]

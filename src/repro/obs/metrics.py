@@ -1,0 +1,446 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+The simulator's tracer records *spans* — one object per interesting
+interval, great for a single run, unusable for a fleet.  This module is
+the aggregable half of observability: named instruments that cost an
+attribute bump on the hot path and can be snapshotted, merged across
+runs, and exported.
+
+Three instrument kinds, all label-aware:
+
+- :class:`Counter` — monotonically non-decreasing (command counts,
+  bytes encrypted, faults injected);
+- :class:`Gauge` — a settable level (queue depth, warm-pool size);
+- :class:`Histogram` — fixed upper-bound buckets plus sum/count (PSP
+  service times, boot-phase durations).  Buckets are fixed at creation
+  so two runs of the same workload always bucket identically.
+
+Labels are passed as keyword arguments and become part of the child
+instrument's identity::
+
+    reg = default_registry()
+    reg.counter("psp.commands", command="LAUNCH_START").inc()
+    reg.histogram("psp.service_ms", command="LAUNCH_START").observe(3.5)
+
+Exports are **deterministic**: both :meth:`MetricsRegistry.to_prometheus_text`
+and :meth:`MetricsRegistry.to_json` sort every family, child, and label
+and carry no wall-clock timestamps, so two identical seeded runs dump
+byte-identical text (pinned by ``tests/obs/test_exporters.py``).
+
+A process-global default registry backs the :mod:`repro.perf` counter
+shim and every built-in instrumentation seam; swap it per run with
+:func:`use_registry` (the ``repro metrics`` CLI and the determinism
+tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: default fixed buckets for millisecond-scale histograms (virtual or
+#: wall milliseconds); spans boot phases (µs..s) through fleet horizons
+DEFAULT_MS_BUCKETS: tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class MetricError(ValueError):
+    """Inconsistent metric use (kind clash, bad buckets, negative inc)."""
+
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_items(labels: dict[str, Any]) -> LabelItems:
+    return tuple((k, str(v)) for k, v in sorted(labels.items()))
+
+
+def flat_name(name: str, labels: LabelItems = ()) -> str:
+    """The canonical flattened name: ``name{k="v",...}`` (sorted labels)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _fmt(value: Number) -> str:
+    """Deterministic numeric rendering (ints stay ints)."""
+    if isinstance(value, bool):  # pragma: no cover - guarded upstream
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    out = _PROM_NAME_BAD.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+# -- instruments -------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise MetricError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A level that can move both ways."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound, plus sum/count.
+
+    ``bounds`` are inclusive upper bounds in ascending order; an implicit
+    ``+Inf`` bucket catches the tail.  Bucket counts are *cumulative* on
+    export (the Prometheus convention).
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        bounds_t = tuple(float(b) for b in bounds)
+        if not bounds_t:
+            raise MetricError("histogram needs at least one bucket bound")
+        if list(bounds_t) != sorted(bounds_t) or len(set(bounds_t)) != len(bounds_t):
+            raise MetricError("histogram bounds must be strictly ascending")
+        self.bounds = bounds_t
+        self.bucket_counts = [0] * (len(bounds_t) + 1)  # +Inf tail
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: Number) -> None:
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """(upper-bound label, cumulative count) pairs, ending at +Inf."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((_fmt(bound), running))
+        out.append(("+Inf", running + self.bucket_counts[-1]))
+        return out
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class _Family:
+    """All children of one metric name (one per distinct label set)."""
+
+    __slots__ = ("name", "kind", "help", "bounds", "children")
+
+    def __init__(
+        self, name: str, kind: str, help_: str, bounds: Optional[tuple[float, ...]]
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_
+        self.bounds = bounds
+        self.children: dict[LabelItems, Instrument] = {}
+
+
+# -- the registry ------------------------------------------------------------
+
+
+class MetricsRegistry:
+    """Owns metric families; hands out (and caches) child instruments."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # -- instrument accessors ----------------------------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_: str,
+        bounds: Optional[tuple[float, ...]] = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_, bounds)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise MetricError(
+                f"metric {name!r} is a {family.kind}, requested as {kind}"
+            )
+        elif kind == "histogram" and bounds is not None and family.bounds != bounds:
+            raise MetricError(f"metric {name!r} re-declared with different buckets")
+        if help_ and not family.help:
+            family.help = help_
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        family = self._family(name, "counter", help)
+        key = _label_items(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Counter()
+        return child  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        family = self._family(name, "gauge", help)
+        key = _label_items(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Gauge()
+        return child  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_MS_BUCKETS,
+        help: str = "",
+        **labels: Any,
+    ) -> Histogram:
+        bounds = tuple(float(b) for b in buckets)
+        family = self._family(name, "histogram", help, bounds)
+        key = _label_items(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Histogram(family.bounds or bounds)
+        return child  # type: ignore[return-value]
+
+    # -- queries ------------------------------------------------------------
+
+    def families(self) -> list[str]:
+        return sorted(self._families)
+
+    def counter_values(self) -> dict[str, Number]:
+        """Flattened ``name{labels}`` -> value for every counter child.
+
+        This is the view the :mod:`repro.perf` compat shim exposes as
+        ``counters_snapshot()``.
+        """
+        out: dict[str, Number] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.kind != "counter":
+                continue
+            for key in sorted(family.children):
+                out[flat_name(name, key)] = family.children[key].value
+        return out
+
+    def value(self, name: str, **labels: Any) -> Number:
+        """Current value of a counter/gauge child (0 when absent)."""
+        family = self._families.get(name)
+        if family is None or family.kind == "histogram":
+            return 0
+        child = family.children.get(_label_items(labels))
+        return 0 if child is None else child.value
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every instrument (families and buckets are kept)."""
+        for family in self._families.values():
+            for child in family.children.values():
+                if isinstance(child, Histogram):
+                    child.bucket_counts = [0] * len(child.bucket_counts)
+                    child.sum = 0.0
+                    child.count = 0
+                else:
+                    child.value = 0
+
+    def reset_counters(self) -> None:
+        """Zero counter instruments only (the perf-shim reset)."""
+        for family in self._families.values():
+            if family.kind != "counter":
+                continue
+            for child in family.children.values():
+                child.value = 0  # type: ignore[union-attr]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (multi-run aggregation).
+
+        Counters and histograms add; gauges take the other registry's
+        value (last write wins).  Histogram bucket layouts must agree.
+        """
+        for name, family in other._families.items():
+            for key, child in family.children.items():
+                labels = dict(key)
+                if family.kind == "counter":
+                    self.counter(name, help=family.help, **labels).inc(child.value)
+                elif family.kind == "gauge":
+                    self.gauge(name, help=family.help, **labels).set(child.value)
+                else:
+                    assert isinstance(child, Histogram)
+                    mine = self.histogram(
+                        name, buckets=child.bounds, help=family.help, **labels
+                    )
+                    if mine.bounds != child.bounds:
+                        raise MetricError(
+                            f"cannot merge {name!r}: bucket layouts differ"
+                        )
+                    for i, n in enumerate(child.bucket_counts):
+                        mine.bucket_counts[i] += n
+                    mine.sum += child.sum
+                    mine.count += child.count
+
+    # -- exporters -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-data, deterministically ordered copy of everything."""
+        counters: dict[str, Number] = {}
+        gauges: dict[str, Number] = {}
+        histograms: dict[str, Any] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key in sorted(family.children):
+                child = family.children[key]
+                flat = flat_name(name, key)
+                if family.kind == "counter":
+                    counters[flat] = child.value  # type: ignore[union-attr]
+                elif family.kind == "gauge":
+                    gauges[flat] = child.value  # type: ignore[union-attr]
+                else:
+                    assert isinstance(child, Histogram)
+                    histograms[flat] = {
+                        "buckets": [[le, n] for le, n in child.cumulative()],
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+        return {
+            "schema": "repro-metrics-v1",
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Deterministic JSON dump (sorted keys, no timestamps)."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True) + "\n"
+
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition format, deterministically ordered.
+
+        Dotted names become underscore names; no ``# EOF`` / timestamps,
+        so the output is stable across identical runs.
+        """
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            pname = prom_name(name)
+            if family.help:
+                lines.append(f"# HELP {pname} {family.help}")
+            lines.append(f"# TYPE {pname} {family.kind}")
+            for key in sorted(family.children):
+                child = family.children[key]
+                if family.kind == "histogram":
+                    assert isinstance(child, Histogram)
+                    for le, cumulative in child.cumulative():
+                        label_str = ",".join(
+                            [f'{k}="{_prom_escape(v)}"' for k, v in key]
+                            + [f'le="{le}"']
+                        )
+                        lines.append(f"{pname}_bucket{{{label_str}}} {cumulative}")
+                    suffix = _prom_labels(key)
+                    lines.append(f"{pname}_sum{suffix} {_fmt(child.sum)}")
+                    lines.append(f"{pname}_count{suffix} {_fmt(child.count)}")
+                else:
+                    suffix = _prom_labels(key)
+                    lines.append(f"{pname}{suffix} {_fmt(child.value)}")  # type: ignore[union-attr]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_labels(key: LabelItems) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f'{k}="{_prom_escape(v)}"' for k, v in key) + "}"
+
+
+# -- the process default -----------------------------------------------------
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry every built-in seam records into."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the default registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def reset_default_registry() -> MetricsRegistry:
+    """Install (and return) a fresh default registry.
+
+    The test suite's autouse fixture calls this before every test so
+    metric state can never leak across test ordering.
+    """
+    fresh = MetricsRegistry()
+    set_default_registry(fresh)
+    return fresh
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the default registry to ``registry`` (per-run isolation)."""
+    previous = set_default_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_default_registry(previous)

@@ -1,0 +1,292 @@
+"""Virtual-time boot profiler over Tracer spans.
+
+The benchmarks used to hand-build their phase dicts from
+:class:`~repro.vmm.timeline.BootTimeline`; this module derives the same
+attribution — and more — from a run's :class:`~repro.sim.trace.Tracer`,
+so one instrumented surface answers "where did this boot's time go":
+
+- **per-boot phase attribution**: ``boot.phase`` and ``firmware.phase``
+  spans on each VM track are nested by containment (``pre_encryption``
+  inside ``vmm``, the OVMF PI phases inside ``firmware``) and reported
+  with *total* and *self* virtual time;
+- **critical path through the PSP queue**: the VMM phase is split into
+  PSP queue wait, PSP command execution, and everything else, using the
+  per-command ``wait_ms``/``vm`` tags :meth:`PlatformSecurityProcessor._occupy`
+  records — under concurrency (Fig. 12) the wait segment is the story;
+- **top-N spans** and a **flamegraph-style folded-stack export**
+  (``track;parent;child  microseconds``) for external tooling.
+
+``repro profile`` is the CLI; the Fig. 3/10 benchmarks consume
+:func:`profile` instead of hand-built dicts, and
+``tests/obs/test_profiler.py`` pins the profiler to the timeline
+numbers within 1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import Span, Tracer
+
+#: span categories that form the nested per-VM phase tree
+PHASE_CATEGORIES = ("boot.phase", "firmware.phase")
+
+#: tolerance for float containment checks (virtual ms)
+_EPS = 1e-9
+
+
+@dataclass
+class PhaseNode:
+    """One phase interval in a VM's nested attribution tree."""
+
+    name: str
+    category: str
+    start: float
+    end: float
+    children: list["PhaseNode"] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return self.end - self.start
+
+    @property
+    def self_ms(self) -> float:
+        """Total minus the time covered by child phases."""
+        return self.total_ms - sum(c.total_ms for c in self.children)
+
+    def walk(self, path: tuple[str, ...] = ()) -> Iterable[tuple[tuple[str, ...], "PhaseNode"]]:
+        here = path + (self.name,)
+        yield here, self
+        for child in self.children:
+            yield from child.walk(here)
+
+
+@dataclass
+class PspCommandStat:
+    """Aggregate service/wait time for one PSP command type."""
+
+    command: str
+    count: int = 0
+    service_ms: float = 0.0
+    wait_ms: float = 0.0
+
+    @property
+    def mean_service_ms(self) -> float:
+        return self.service_ms / self.count if self.count else 0.0
+
+
+@dataclass
+class VmProfile:
+    """Phase attribution for one VM track."""
+
+    track: str
+    roots: list[PhaseNode] = field(default_factory=list)
+    #: PSP command spans attributed to this VM (via the ``vm`` span tag)
+    psp_service_ms: float = 0.0
+    psp_wait_ms: float = 0.0
+    psp_commands: int = 0
+
+    def totals(self, category: Optional[str] = None) -> dict[str, float]:
+        """Phase name -> total ms (matches ``BootTimeline.breakdown``)."""
+        out: dict[str, float] = {}
+        for root in self.roots:
+            for _path, node in root.walk():
+                if category is not None and node.category != category:
+                    continue
+                out[node.name] = out.get(node.name, 0.0) + node.total_ms
+        return out
+
+    def phase_ms(self) -> dict[str, float]:
+        """``boot.phase`` totals only — the Fig. 10 attribution."""
+        return self.totals("boot.phase")
+
+    def firmware_ms(self) -> dict[str, float]:
+        """``firmware.phase`` totals — the Fig. 3 OVMF PI breakdown."""
+        return self.totals("firmware.phase")
+
+    def critical_path(self) -> list[tuple[str, float]]:
+        """The boot as ordered segments summing to its elapsed phases.
+
+        Top-level phases appear in time order; the ``vmm`` phase is
+        split into ``vmm/psp.wait`` (queueing behind other guests),
+        ``vmm/psp.exec`` (commands holding the PSP), and ``vmm/other``.
+        """
+        segments: list[tuple[str, float]] = []
+        for root in sorted(self.roots, key=lambda n: n.start):
+            if root.category != "boot.phase":
+                continue
+            if root.name == "vmm" and self.psp_commands:
+                in_vmm_service = min(self.psp_service_ms, root.total_ms)
+                other = max(
+                    0.0, root.total_ms - self.psp_wait_ms - in_vmm_service
+                )
+                segments.append(("vmm/psp.wait", self.psp_wait_ms))
+                segments.append(("vmm/psp.exec", in_vmm_service))
+                segments.append(("vmm/other", other))
+            else:
+                segments.append((root.name, root.total_ms))
+        return segments
+
+
+@dataclass
+class BootProfile:
+    """The whole run: per-VM attribution plus machine-wide PSP rollup."""
+
+    vms: dict[str, VmProfile] = field(default_factory=dict)
+    psp: dict[str, PspCommandStat] = field(default_factory=dict)
+    #: the N longest closed spans in the run, any category
+    _spans: list["Span"] = field(default_factory=list)
+
+    @property
+    def tracks(self) -> list[str]:
+        return sorted(self.vms)
+
+    def vm(self, track: str) -> VmProfile:
+        return self.vms[track]
+
+    def single_vm(self) -> VmProfile:
+        """The only VM's profile (single-boot runs); raises otherwise."""
+        if len(self.vms) != 1:
+            raise ValueError(
+                f"expected exactly one VM track, found {self.tracks}"
+            )
+        return next(iter(self.vms.values()))
+
+    def top_spans(self, n: int = 10) -> list["Span"]:
+        return sorted(
+            self._spans,
+            key=lambda s: (-(s.duration), s.track, s.name),
+        )[:n]
+
+    def folded(self) -> str:
+        """Flamegraph folded-stack lines: ``track;path self_microseconds``.
+
+        Self time (not total) per stack frame, in integer microseconds,
+        one line per distinct stack, sorted — feed straight into
+        ``flamegraph.pl`` or speedscope.
+        """
+        weights: dict[str, int] = {}
+        for track in sorted(self.vms):
+            for root in self.vms[track].roots:
+                for path, node in root.walk():
+                    us = int(round(node.self_ms * 1000.0))
+                    if us <= 0:
+                        continue
+                    key = ";".join((track,) + path)
+                    weights[key] = weights.get(key, 0) + us
+        for command in sorted(self.psp):
+            stat = self.psp[command]
+            us = int(round(stat.service_ms * 1000.0))
+            if us > 0:
+                weights[f"psp;{command}"] = us
+        return "\n".join(f"{k} {weights[k]}" for k in sorted(weights)) + (
+            "\n" if weights else ""
+        )
+
+    def report(self, top: int = 10) -> str:
+        """The human-readable profile (``repro profile`` output)."""
+        lines = ["boot profile (virtual ms)", "========================="]
+        for track in self.tracks:
+            vm = self.vms[track]
+            boot = sum(n.total_ms for n in vm.roots if n.category == "boot.phase")
+            lines.append(f"\n[{track}]  phases total {boot:.2f} ms")
+            lines.append(f"  {'phase':<30} {'total':>10} {'self':>10}")
+            for root in sorted(vm.roots, key=lambda n: n.start):
+                for path, node in root.walk():
+                    indent = "  " * (len(path) - 1)
+                    name = indent + node.name
+                    lines.append(
+                        f"  {name:<30} {node.total_ms:>10.2f} {node.self_ms:>10.2f}"
+                    )
+            path_segs = vm.critical_path()
+            if path_segs:
+                rendered = " -> ".join(f"{n} {ms:.2f}" for n, ms in path_segs)
+                lines.append(f"  critical path: {rendered}")
+            if vm.psp_commands:
+                lines.append(
+                    f"  psp: {vm.psp_commands} commands, "
+                    f"exec {vm.psp_service_ms:.2f} ms, "
+                    f"queue wait {vm.psp_wait_ms:.2f} ms"
+                )
+        if self.psp:
+            lines.append("\n[psp commands]")
+            lines.append(
+                f"  {'command':<22} {'n':>5} {'exec total':>11} "
+                f"{'exec mean':>10} {'wait total':>11}"
+            )
+            for command in sorted(
+                self.psp, key=lambda c: -self.psp[c].service_ms
+            ):
+                stat = self.psp[command]
+                lines.append(
+                    f"  {command:<22} {stat.count:>5} {stat.service_ms:>11.2f} "
+                    f"{stat.mean_service_ms:>10.3f} {stat.wait_ms:>11.2f}"
+                )
+        top_spans = self.top_spans(top)
+        if top_spans:
+            lines.append(f"\n[top {len(top_spans)} spans]")
+            for span in top_spans:
+                lines.append(
+                    f"  {span.duration:>10.2f} ms  {span.category:<14} "
+                    f"{span.name:<28} {span.track}"
+                )
+        return "\n".join(lines)
+
+
+def _build_tree(spans: list["Span"]) -> list[PhaseNode]:
+    """Nest same-track phase spans by interval containment."""
+    nodes = [
+        PhaseNode(s.name, s.category, s.start, s.end)  # type: ignore[arg-type]
+        for s in sorted(spans, key=lambda s: (s.start, -(s.end or s.start)))
+    ]
+    roots: list[PhaseNode] = []
+    stack: list[PhaseNode] = []
+    for node in nodes:
+        while stack and node.start >= stack[-1].end - _EPS:
+            stack.pop()
+        if stack and node.end <= stack[-1].end + _EPS:
+            stack[-1].children.append(node)
+        else:
+            while stack:
+                stack.pop()
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+def profile(tracer: "Tracer") -> BootProfile:
+    """Build a :class:`BootProfile` from an attached tracer's spans.
+
+    Only closed spans participate (exports close open spans; the
+    profiler instead reflects exactly what finished).
+    """
+    prof = BootProfile()
+    closed = [s for s in tracer.spans if s.end is not None]
+    prof._spans = closed
+
+    by_track: dict[str, list] = {}
+    for span in closed:
+        if span.category in PHASE_CATEGORIES:
+            by_track.setdefault(span.track, []).append(span)
+    for track, spans in by_track.items():
+        prof.vms[track] = VmProfile(track=track, roots=_build_tree(spans))
+
+    for span in closed:
+        if span.category != "psp":
+            continue
+        stat = prof.psp.get(span.name)
+        if stat is None:
+            stat = prof.psp[span.name] = PspCommandStat(command=span.name)
+        wait = float(span.args.get("wait_ms", 0.0))
+        stat.count += 1
+        stat.service_ms += span.duration
+        stat.wait_ms += wait
+        vm_track = span.args.get("vm")
+        if vm_track in prof.vms:
+            vm = prof.vms[vm_track]
+            vm.psp_commands += 1
+            vm.psp_service_ms += span.duration
+            vm.psp_wait_ms += wait
+    return prof

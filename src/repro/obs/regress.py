@@ -1,0 +1,269 @@
+"""Benchmark regression gate: fresh runs vs committed ``BENCH_*`` baselines.
+
+``BENCH_wallclock.json`` and ``BENCH_chaos.json`` are the repo's perf
+and robustness trajectory; this module turns them into a *gate*: flatten
+both documents to dotted numeric paths, match each path against a rule
+list of per-metric :class:`Tolerance` bands, and fail when a metric
+moved the wrong way by more than its band allows.
+
+Direction matters: ``speedup`` falling 40% is a regression, rising 40%
+is an improvement; ``p99_boot_ms`` is the opposite; ``detection_rate``
+may never drop at all.  Paths that are run configuration rather than
+results (boot counts, seeds, cache stats) are ignored by the built-in
+rule sets.
+
+Two baseline kinds are auto-detected (:func:`rules_for_document`):
+
+- **wallclock** (``schema: repro-perfbench-v1``): wall-clock rates vary
+  machine to machine, so the default bands are generous and only
+  throughput/speedup leaves are compared;
+- **chaos** (``experiment: chaos``): fully virtual and seed-driven, so
+  bands are tight and the detection-rate invariant is absolute.
+
+``repro regress --baseline BENCH_chaos.json`` regenerates the document
+with the baseline's own parameters and compares; ``--current FILE``
+compares two files without running anything.  Exit status is the gate.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed movement for one metric.
+
+    A change is acceptable while ``|current - baseline|`` is within
+    ``max(rel * |baseline|, abs_tol)`` — or while it moves in the
+    *good* direction for one-sided metrics (``direction`` of
+    ``higher_is_better`` / ``lower_is_better``; ``both`` treats any
+    large move as a regression).
+    """
+
+    rel: float = 0.1
+    abs_tol: float = 0.0
+    direction: str = "both"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("both", "higher_is_better", "lower_is_better"):
+            raise ValueError(f"bad tolerance direction {self.direction!r}")
+        if self.rel < 0 or self.abs_tol < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    def allowed(self, baseline: Number) -> float:
+        return max(self.rel * abs(baseline), self.abs_tol)
+
+    def judge(self, baseline: Number, current: Number) -> str:
+        """``ok`` / ``improved`` / ``regressed`` for one metric pair."""
+        delta = current - baseline
+        if abs(delta) <= self.allowed(baseline):
+            return "ok"
+        if self.direction == "higher_is_better":
+            return "improved" if delta > 0 else "regressed"
+        if self.direction == "lower_is_better":
+            return "improved" if delta < 0 else "regressed"
+        return "regressed"
+
+
+#: a rule: (fnmatch pattern over the dotted path, tolerance or None=ignore)
+Rule = tuple[str, Optional[Tolerance]]
+
+
+@dataclass
+class Delta:
+    """One compared metric."""
+
+    path: str
+    baseline: Optional[Number]
+    current: Optional[Number]
+    status: str  # ok | improved | regressed | missing
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        if self.baseline is None or self.current is None or self.baseline == 0:
+            return None
+        return 100.0 * (self.current - self.baseline) / abs(self.baseline)
+
+
+@dataclass
+class RegressionReport:
+    """The gate's verdict over every matched metric."""
+
+    baseline_name: str
+    deltas: list[Delta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.status in ("regressed", "missing")]
+
+    @property
+    def improvements(self) -> list[Delta]:
+        return [d for d in self.deltas if d.status == "improved"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """Human-readable delta table, worst news first."""
+        lines = [
+            f"regression gate vs {self.baseline_name}",
+            "=" * (len(self.baseline_name) + 23),
+        ]
+        order = {"missing": 0, "regressed": 1, "improved": 2, "ok": 3}
+        marker = {"missing": "??", "regressed": "!!", "improved": "++", "ok": "  "}
+        for delta in sorted(
+            self.deltas, key=lambda d: (order[d.status], d.path)
+        ):
+            base = "-" if delta.baseline is None else f"{delta.baseline:g}"
+            cur = "-" if delta.current is None else f"{delta.current:g}"
+            pct = delta.change_pct
+            pct_s = "" if pct is None else f" ({pct:+.1f}%)"
+            lines.append(
+                f" {marker[delta.status]} {delta.path:<50} "
+                f"{base:>12} -> {cur:>12}{pct_s}"
+            )
+        lines.append(
+            f"\n{len(self.deltas)} metrics compared: "
+            f"{len(self.regressions)} regressed/missing, "
+            f"{len(self.improvements)} improved"
+        )
+        lines.append("gate: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def flatten_numeric(doc: Any, prefix: str = "") -> dict[str, Number]:
+    """Dotted-path view of every numeric leaf (bools excluded)."""
+    out: dict[str, Number] = {}
+    if isinstance(doc, dict):
+        for key in doc:
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(doc[key], path))
+    elif isinstance(doc, (list, tuple)):
+        for i, item in enumerate(doc):
+            path = f"{prefix}.{i}" if prefix else str(i)
+            out.update(flatten_numeric(item, path))
+    elif isinstance(doc, bool):
+        pass
+    elif isinstance(doc, (int, float)) and math.isfinite(doc):
+        out[prefix] = doc
+    return out
+
+
+def match_rule(path: str, rules: Sequence[Rule]) -> Optional[Tolerance]:
+    """First matching rule's tolerance; ``None`` means skip the path."""
+    for pattern, tolerance in rules:
+        if fnmatch.fnmatchcase(path, pattern):
+            return tolerance
+    return None
+
+
+def compare_documents(
+    baseline: dict,
+    current: dict,
+    rules: Sequence[Rule],
+    baseline_name: str = "baseline",
+) -> RegressionReport:
+    """Judge ``current`` against ``baseline`` under ``rules``.
+
+    Paths present in the baseline but absent from the current document
+    count as ``missing`` (a silently dropped metric must fail the gate,
+    not pass it by omission).
+    """
+    base_flat = flatten_numeric(baseline)
+    cur_flat = flatten_numeric(current)
+    report = RegressionReport(baseline_name=baseline_name)
+    for path in sorted(base_flat):
+        tolerance = match_rule(path, rules)
+        if tolerance is None:
+            continue
+        base_value = base_flat[path]
+        if path not in cur_flat:
+            report.deltas.append(Delta(path, base_value, None, "missing"))
+            continue
+        cur_value = cur_flat[path]
+        report.deltas.append(
+            Delta(path, base_value, cur_value, tolerance.judge(base_value, cur_value))
+        )
+    return report
+
+
+# -- built-in rule sets ------------------------------------------------------
+
+#: wall-clock rates differ machine to machine; compare only throughput
+#: leaves, direction-aware, with deliberately generous default bands
+WALLCLOCK_RULES: tuple[Rule, ...] = (
+    ("workloads.*.speedup", Tolerance(rel=0.5, direction="higher_is_better")),
+    ("workloads.*_mb_s", Tolerance(rel=0.5, direction="higher_is_better")),
+    ("workloads.*boots_s", Tolerance(rel=0.5, direction="higher_is_better")),
+    ("*", None),
+)
+
+#: chaos runs are virtual-time and seed-driven: same seed, same report —
+#: small bands absorb float noise, the detection invariant absorbs nothing
+CHAOS_RULES: tuple[Rule, ...] = (
+    ("sweep.*.faults.*", None),  # raw fault counters are config-ish detail
+    ("detection_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better")),
+    ("sweep.*.detection_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better")),
+    ("undetected_tampered_boots", Tolerance(rel=0.0, abs_tol=0.0, direction="lower_is_better")),
+    ("sweep.*.undetected_tampered_boots", Tolerance(rel=0.0, abs_tol=0.0, direction="lower_is_better")),
+    ("*boot_success_rate", Tolerance(rel=0.05, direction="higher_is_better")),
+    ("*success_rate", Tolerance(rel=0.05, direction="higher_is_better")),
+    ("*p50_boot_ms", Tolerance(rel=0.1, direction="lower_is_better")),
+    ("*p99_boot_ms", Tolerance(rel=0.1, direction="lower_is_better")),
+    ("*boot_retries", Tolerance(rel=0.25, abs_tol=2.0)),
+    ("*tampered_boots", Tolerance(rel=0.25, abs_tol=2.0)),
+    ("*cold_starts", Tolerance(rel=0.1, abs_tol=2.0)),
+    ("*invocations", Tolerance(rel=0.1, abs_tol=2.0)),
+    ("*", None),
+)
+
+
+def detect_kind(baseline: dict) -> str:
+    """``wallclock`` / ``chaos`` / ``generic`` from the document shape."""
+    if baseline.get("schema") == "repro-perfbench-v1":
+        return "wallclock"
+    if baseline.get("experiment") == "chaos":
+        return "chaos"
+    return "generic"
+
+
+def rules_for_document(
+    baseline: dict, rel_tol: Optional[float] = None
+) -> tuple[str, tuple[Rule, ...]]:
+    """The rule set for a baseline document, optionally re-banded.
+
+    ``rel_tol`` overrides every matched rule's relative band (the CLI's
+    ``--rel-tol``); direction and ignore rules are preserved, and
+    zero-band invariants (``rel == 0`` — the detection rate) can never
+    be widened.  Generic documents compare every numeric leaf two-sided.
+    """
+    kind = detect_kind(baseline)
+    if kind == "wallclock":
+        rules = WALLCLOCK_RULES
+    elif kind == "chaos":
+        rules = CHAOS_RULES
+    else:
+        rules = (("*", Tolerance(rel=rel_tol if rel_tol is not None else 0.1)),)
+        return kind, rules
+    if rel_tol is not None:
+        rules = tuple(
+            (
+                pattern,
+                tolerance
+                if tolerance is None or tolerance.rel == 0.0
+                else Tolerance(
+                    rel=rel_tol,
+                    abs_tol=tolerance.abs_tol,
+                    direction=tolerance.direction,
+                ),
+            )
+            for pattern, tolerance in rules
+        )
+    return kind, rules

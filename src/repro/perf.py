@@ -12,10 +12,16 @@ boots.  This module is the shared substrate those optimizations hang off:
   crypto paths and the content-addressed caches globally; environment
   variables ``REPRO_VECTORIZE=0`` / ``REPRO_CACHES=0`` disable them for a
   whole run (see docs/PERFORMANCE.md).  Both default to on.
-- **counters** — a process-global monotonic counter registry
-  (:func:`incr`, :func:`counters_snapshot`).  The tracer snapshots these
-  at attach time and reports the delta, so ``repro trace`` shows crypto
-  and cache activity per traced run.
+- **counters** — a *compatibility shim* over the unified metrics
+  registry in :mod:`repro.obs.metrics`.  :func:`incr`,
+  :func:`counters_snapshot`, :func:`counters_delta`, and
+  :func:`reset_counters` keep their historical signatures and names
+  (``crypto.*``, ``cache.*`` — the PERFORMANCE.md numbers and the
+  tracer's ``[crypto/cache]`` section are unchanged), but the values
+  now live in :func:`repro.obs.metrics.default_registry`, so
+  ``repro metrics`` exports them alongside every other instrument.
+  New code should use the registry directly (see docs/API.md for the
+  deprecation note).
 - **caches** — :class:`LRUCache`, a bounded mapping that counts hits and
   misses into the counter registry and registers itself so
   :func:`clear_all_caches` and :func:`cache_stats` see every cache in
@@ -79,25 +85,43 @@ def scoped(
         configure(*saved)
 
 
-# -- counters ---------------------------------------------------------------
-
-_counters: dict[str, int] = {}
+# -- counters (compat shim over repro.obs.metrics) ---------------------------
 
 
 def incr(name: str, amount: int = 1) -> None:
-    """Bump a process-global monotonic counter."""
-    _counters[name] = _counters.get(name, 0) + amount
+    """Bump a process-global monotonic counter.
+
+    Deprecated spelling of
+    ``default_registry().counter(name).inc(amount)``; kept so the
+    crypto/cache call sites and their historical names stay stable.
+    """
+    from repro.obs.metrics import default_registry
+
+    default_registry().counter(name).inc(amount)
+
+
+def counter_value(name: str) -> int:
+    """Current value of one unlabeled counter (0 when absent)."""
+    from repro.obs.metrics import default_registry
+
+    return int(default_registry().value(name))
 
 
 def counters_snapshot() -> dict[str, int]:
-    """A point-in-time copy of every counter (for delta accounting)."""
-    return dict(_counters)
+    """A point-in-time copy of every counter (for delta accounting).
+
+    Labeled counters from other subsystems appear flattened as
+    ``name{k="v"}`` keys; the delta arithmetic is key-agnostic.
+    """
+    from repro.obs.metrics import default_registry
+
+    return {k: int(v) for k, v in default_registry().counter_values().items()}
 
 
 def counters_delta(baseline: dict[str, int]) -> dict[str, int]:
     """Counters that moved since ``baseline``, as positive deltas."""
     out: dict[str, int] = {}
-    for name, value in _counters.items():
+    for name, value in counters_snapshot().items():
         delta = value - baseline.get(name, 0)
         if delta:
             out[name] = delta
@@ -105,7 +129,10 @@ def counters_delta(baseline: dict[str, int]) -> dict[str, int]:
 
 
 def reset_counters() -> None:
-    _counters.clear()
+    """Zero every counter in the default registry."""
+    from repro.obs.metrics import default_registry
+
+    default_registry().reset_counters()
 
 
 # -- bounded LRU caches ------------------------------------------------------
@@ -223,9 +250,9 @@ class LRUCache:
         return {
             "entries": len(self._data),
             "weight": self._weight,
-            "hits": _counters.get(f"cache.{self.name}.hits", 0),
-            "misses": _counters.get(f"cache.{self.name}.misses", 0),
-            "evictions": _counters.get(f"cache.{self.name}.evictions", 0),
+            "hits": counter_value(f"cache.{self.name}.hits"),
+            "misses": counter_value(f"cache.{self.name}.misses"),
+            "evictions": counter_value(f"cache.{self.name}.evictions"),
         }
 
 

@@ -12,11 +12,12 @@ substrate makes that cost visible under realistic arrival processes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
 
+from repro.analysis.stats import percentile
 from repro.faults.retry import RetryPolicy, sev_retryable
+from repro.obs import metrics
 from repro.guest.bootverifier import VerificationError
 from repro.serverless.trace import InvocationTrace
 from repro.sev.api import SevLaunchError
@@ -79,18 +80,14 @@ class PlatformStats:
         return self.cold_starts / len(self.outcomes) if self.outcomes else 0.0
 
     def latency_percentile(self, pct: float) -> float:
-        """Start-delay percentile across all invocations (nearest-rank).
+        """Start-delay percentile across all invocations.
 
-        Nearest-rank definition: the smallest delay d such that at least
-        ``pct`` percent of samples are <= d, i.e. index
-        ``ceil(pct/100 * n) - 1`` into the sorted delays, clamped so p0
-        is the minimum and p100 the maximum.
+        Delegates to the shared nearest-rank implementation
+        (:func:`repro.analysis.stats.percentile`); 0.0 on an empty run.
         """
         if not self.outcomes:
             return 0.0
-        delays = sorted(o.start_delay_ms for o in self.outcomes)
-        rank = math.ceil(pct / 100.0 * len(delays))
-        return delays[min(len(delays) - 1, max(0, rank - 1))]
+        return percentile([o.start_delay_ms for o in self.outcomes], pct)
 
     @property
     def mean_start_delay_ms(self) -> float:
@@ -137,12 +134,12 @@ class PlatformStats:
         return sum(o.boot_retries for o in self.outcomes)
 
     def boot_latency_percentile(self, pct: float) -> float:
-        """Nearest-rank percentile of *successful* cold-boot times."""
-        boots = sorted(o.boot_ms for o in self.outcomes if o.cold and not o.failed)
+        """Nearest-rank percentile of *successful* cold-boot times
+        (shared implementation, see :meth:`latency_percentile`)."""
+        boots = [o.boot_ms for o in self.outcomes if o.cold and not o.failed]
         if not boots:
             return 0.0
-        rank = math.ceil(pct / 100.0 * len(boots))
-        return boots[min(len(boots) - 1, max(0, rank - 1))]
+        return percentile(boots, pct)
 
 
 class ServerlessPlatform:
@@ -297,7 +294,15 @@ class ServerlessPlatform:
                     tamper_detected = True
                 boot_retries += result.launch_retries
             boot_ms = self.sim.now - start
+            registry = metrics.default_registry()
+            registry.histogram("serverless.cold_boot_ms").observe(boot_ms)
+            if boot_retries:
+                registry.counter("serverless.boot_retries").inc(boot_retries)
             if failure:
+                registry.counter(
+                    "serverless.failed",
+                    reason="tamper" if tamper_detected else "boot_error",
+                ).inc()
                 plan = self.sim.faults
                 if plan is not None:
                     plan.note("failed_invocations")
@@ -306,6 +311,7 @@ class ServerlessPlatform:
                         span, start="cold", failed=True, failure=failure,
                         boot_ms=boot_ms,
                     )
+                registry.counter("serverless.invocations", start="cold").inc()
                 self.stats.outcomes.append(
                     InvocationOutcome(
                         function=function,
@@ -322,6 +328,10 @@ class ServerlessPlatform:
                 )
                 return
             self._snapshotted.add(function)
+        metrics.default_registry().counter(
+            "serverless.invocations",
+            start=("warm" if warm is not None else "restored" if restored else "cold"),
+        ).inc()
         start_delay = self.sim.now - arrival_ms
         yield self.sim.timeout(exec_ms)
         self._return_warm(function)

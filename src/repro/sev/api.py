@@ -163,6 +163,9 @@ class GuestSevContext:
     launch_digest: bytes | None = None
     #: accumulated PSP busy time for this guest's launch (for Fig. 10/12)
     psp_occupancy_ms: float = 0.0
+    #: the VM's tracer/timeline track label, set by the VMM so PSP
+    #: command spans can be attributed to their guest by the profiler
+    track: str = ""
 
     def require_state(self, expected: SevState, command: str) -> None:
         if self.state is not expected:

@@ -16,6 +16,8 @@ import heapq
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
+from repro.obs import metrics
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
     from repro.sim.trace import Span, Tracer
@@ -271,6 +273,13 @@ class Resource:
         self.total_wait_time = 0.0
         self.busy_time = 0.0
         self._grant_times: dict[int, float] = {}
+        # Registry instruments, bound once (labels by resource name so
+        # every same-named resource in the process aggregates together).
+        registry = metrics.default_registry()
+        self._m_requests = registry.counter("sim.resource.requests", resource=name)
+        self._m_cancels = registry.counter("sim.resource.cancels", resource=name)
+        self._m_queue_depth = registry.gauge("sim.resource.queue_depth", resource=name)
+        self._m_wait_ms = registry.histogram("sim.resource.wait_ms", resource=name)
 
     @property
     def queue_length(self) -> int:
@@ -282,6 +291,7 @@ class Resource:
 
     def request(self) -> Event:
         self.total_requests += 1
+        self._m_requests.inc()
         evt = Event(self.sim, f"{self.name}.request")
         evt._requested_at = self.sim.now  # type: ignore[attr-defined]
         evt._cancel_hook = self.cancel  # type: ignore[attr-defined]
@@ -295,6 +305,7 @@ class Resource:
             self._grant(evt)
         else:
             self._queue.append(evt)
+            self._m_queue_depth.set(len(self._queue))
             if tracer is not None:
                 tracer.counter(f"{self.name}.queue_depth", len(self._queue))
         return evt
@@ -302,6 +313,7 @@ class Resource:
     def _grant(self, evt: Event) -> None:
         waited = self.sim.now - evt._requested_at  # type: ignore[attr-defined]
         self.total_wait_time += waited
+        self._m_wait_ms.observe(waited)
         self._grant_times[id(evt)] = self.sim.now
         evt._resource_token = id(evt)  # type: ignore[attr-defined]
         tracer = self.sim.tracer
@@ -327,6 +339,7 @@ class Resource:
                 tracer.end(hold_span)
         if self._queue:
             nxt = self._queue.popleft()
+            self._m_queue_depth.set(len(self._queue))
             if tracer is not None:
                 tracer.counter(f"{self.name}.queue_depth", len(self._queue))
             self._grant(nxt)
@@ -353,6 +366,8 @@ class Resource:
         except ValueError:
             return
         self.total_cancels += 1
+        self._m_cancels.inc()
+        self._m_queue_depth.set(len(self._queue))
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.counter(f"{self.name}.queue_depth", len(self._queue))
@@ -379,6 +394,10 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[Event], None], Event]] = []
         self._seq = 0
+        registry = metrics.default_registry()
+        self._m_dispatched = registry.counter("sim.events_dispatched")
+        self._m_processes = registry.counter("sim.processes")
+        self._m_timeouts = registry.counter("sim.timeouts")
         #: optional :class:`~repro.sim.trace.Tracer`; ``None`` keeps every
         #: instrumentation hook in the repository a single attribute check.
         self.tracer: Optional["Tracer"] = None
@@ -436,6 +455,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
         evt = Event(self, f"timeout({delay})")
+        self._m_timeouts.inc()
         evt._timeout_value = value  # type: ignore[attr-defined]
         self._seq += 1
         heapq.heappush(
@@ -449,6 +469,7 @@ class Simulator:
         evt.succeed(evt._timeout_value)  # type: ignore[attr-defined]
 
     def process(self, gen: Generator, name: str = "") -> Process:
+        self._m_processes.inc()
         return Process(self, gen, name)
 
     def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
@@ -474,6 +495,7 @@ class Simulator:
             if t < self.now - 1e-12:
                 raise SimulationError("event scheduled in the past")
             self.now = t
+            self._m_dispatched.inc()
             callback(event)
         if until is not None:
             self.now = max(self.now, until)

@@ -109,12 +109,20 @@ class Tracer:
     def perf_counters(self) -> dict[str, int]:
         """Crypto/cache counters accumulated since this tracer attached.
 
-        Process-global :mod:`repro.perf` counters (vectorized bytes,
-        cache hits/misses), delta'd against the attach-time snapshot.
+        Process-global ``crypto.*`` / ``cache.*`` counters (vectorized
+        bytes, cache hits/misses) from the unified metrics registry,
+        delta'd against the attach-time snapshot.  Other registry
+        counters (``sim.*``, ``psp.*``, ...) are excluded — this section
+        is specifically the wall-clock crypto/cache story; ``repro
+        metrics`` exports the rest.
         """
         from repro import perf
 
-        return perf.counters_delta(self._perf_baseline)
+        return {
+            name: value
+            for name, value in perf.counters_delta(self._perf_baseline).items()
+            if name.startswith(("crypto.", "cache."))
+        }
 
     # -- recording -----------------------------------------------------------
 

@@ -84,6 +84,8 @@ class FirecrackerVMM:
         label = f"fc:{config.kernel.name}" + (f"/asid{sev_ctx.asid}" if sev_ctx else "")
         if sim.tracer is not None:
             label = sim.tracer.new_track(label)
+        if sev_ctx is not None:
+            sev_ctx.track = label
         timeline = BootTimeline(sim, label=label)
         ctx = GuestContext(
             machine=self.machine,

@@ -103,6 +103,8 @@ class QemuVMM:
         )
         if sim.tracer is not None:
             label = sim.tracer.new_track(label)
+        if sev_ctx is not None:
+            sev_ctx.track = label
         ctx = GuestContext(
             machine=self.machine,
             config=config,

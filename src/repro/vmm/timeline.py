@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs import metrics
 from repro.sim import Simulator
 
 
@@ -89,6 +90,9 @@ class BootTimeline:
             self.records.append(PhaseRecord(phase, start, self.sim.now))
             if span is not None:
                 span.end = self.sim.now
+            metrics.default_registry().histogram(
+                "boot.phase_ms", phase=phase.value
+            ).observe(self.sim.now - start)
 
     def mark(self, label: str) -> None:
         """A point event (debug-port write)."""

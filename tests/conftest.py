@@ -10,9 +10,23 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import VmConfig
+from repro.obs.metrics import reset_default_registry
 from repro.core.severifast import SEVeriFast
 from repro.formats.kernels import AWS, LUPINE, UBUNTU, build_initrd, build_kernel
 from repro.hw.platform import Machine
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    """A fresh default metrics registry for every test.
+
+    The registry (which also backs the :mod:`repro.perf` counter shim)
+    is process-global; without this, counter state would depend on test
+    execution order.  Content-addressed caches are deliberately *not*
+    cleared — session-scoped fixtures rely on them staying warm.
+    """
+    reset_default_registry()
+    yield
 
 
 @pytest.fixture

@@ -1,0 +1,93 @@
+"""Exporter format and determinism.
+
+The acceptance bar: two identical seeded runs dump byte-identical
+Prometheus text and JSON.  Caches are cleared between runs (a warm cache
+changes hit/miss counters, which is real — and really different — work).
+"""
+
+from repro import perf
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+def test_prometheus_text_format():
+    reg = MetricsRegistry()
+    reg.counter("psp.commands", help="PSP commands issued", command="LAUNCH_START").inc(2)
+    reg.gauge("queue.depth").set(3)
+    reg.histogram("svc_ms", buckets=(1.0, 10.0), help="service time").observe(0.5)
+    text = reg.to_prometheus_text()
+    assert text.splitlines() == [
+        "# HELP psp_commands PSP commands issued",
+        "# TYPE psp_commands counter",
+        'psp_commands{command="LAUNCH_START"} 2',
+        "# TYPE queue_depth gauge",
+        "queue_depth 3",
+        "# HELP svc_ms service time",
+        "# TYPE svc_ms histogram",
+        'svc_ms_bucket{le="1"} 1',
+        'svc_ms_bucket{le="10"} 1',
+        'svc_ms_bucket{le="+Inf"} 1',
+        "svc_ms_sum 0.5",
+        "svc_ms_count 1",
+    ]
+    assert text.endswith("\n")
+
+
+def test_prometheus_label_escaping():
+    reg = MetricsRegistry()
+    reg.counter("c", path='a"b\\c').inc()
+    assert 'path="a\\"b\\\\c"' in reg.to_prometheus_text()
+
+
+def test_json_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("c", k="v").inc(2)
+    reg.histogram("h", buckets=(1.0,)).observe(0.2)
+    snap = reg.snapshot()
+    assert snap["schema"] == "repro-metrics-v1"
+    assert snap["counters"] == {'c{k="v"}': 2}
+    assert snap["histograms"]["h"] == {
+        "buckets": [["1", 1], ["+Inf", 1]],
+        "sum": 0.2,
+        "count": 1,
+    }
+
+
+def _instrumented_boot() -> MetricsRegistry:
+    """One seeded cold boot against a cold cache, in a fresh registry."""
+    perf.clear_all_caches()
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        machine = Machine()
+        sf = SEVeriFast(machine=machine)
+        sf.cold_boot(VmConfig(kernel=AWS), machine=machine)
+    return registry
+
+
+def test_identical_runs_export_identically():
+    first = _instrumented_boot()
+    second = _instrumented_boot()
+    assert first.to_prometheus_text() == second.to_prometheus_text()
+    assert first.to_json() == second.to_json()
+    # And the dump is not trivially empty.
+    assert "psp_commands" in first.to_prometheus_text()
+    assert "boot_phase_ms" in first.to_prometheus_text()
+
+
+def test_merge_then_export_is_deterministic():
+    a = _instrumented_boot()
+    b = _instrumented_boot()
+    merged_ab = MetricsRegistry()
+    merged_ab.merge(a)
+    merged_ab.merge(b)
+    merged_ba = MetricsRegistry()
+    merged_ba.merge(b)
+    merged_ba.merge(a)
+    assert merged_ab.to_prometheus_text() == merged_ba.to_prometheus_text()
+    # Counters doubled relative to a single run.
+    assert merged_ab.value("sim.events_dispatched") == 2 * a.value(
+        "sim.events_dispatched"
+    )

@@ -1,0 +1,191 @@
+"""The metrics registry: instruments, labels, lifecycle, perf shim."""
+
+import pytest
+
+from repro import perf
+from repro.obs.metrics import (
+    DEFAULT_MS_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    flat_name,
+    prom_name,
+    reset_default_registry,
+    use_registry,
+)
+
+
+# -- instruments -------------------------------------------------------------
+
+
+def test_counter_monotonic():
+    reg = MetricsRegistry()
+    c = reg.counter("psp.commands", command="LAUNCH_START")
+    c.inc()
+    c.inc(4)
+    assert reg.value("psp.commands", command="LAUNCH_START") == 5
+    with pytest.raises(MetricError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue.depth")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert reg.value("queue.depth") == 2
+
+
+def test_histogram_buckets_and_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("svc_ms", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 5.0, 50.0, 5000.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(5060.5)
+    # Cumulative counts per upper bound, +Inf catches the tail.
+    assert h.cumulative() == [("1", 1), ("10", 3), ("100", 4), ("+Inf", 5)]
+
+
+def test_histogram_bounds_validation():
+    with pytest.raises(MetricError):
+        MetricsRegistry().histogram("bad", buckets=())
+    with pytest.raises(MetricError):
+        MetricsRegistry().histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(MetricError):
+        MetricsRegistry().histogram("bad", buckets=(1.0, 1.0))
+
+
+def test_label_sets_are_distinct_children():
+    reg = MetricsRegistry()
+    reg.counter("cmds", command="A").inc()
+    reg.counter("cmds", command="B").inc(2)
+    reg.counter("cmds").inc(10)
+    assert reg.value("cmds", command="A") == 1
+    assert reg.value("cmds", command="B") == 2
+    assert reg.value("cmds") == 10
+    # Same labels -> same child, independent of kwarg order.
+    assert reg.counter("xy", a=1, b=2) is reg.counter("xy", b=2, a=1)
+
+
+def test_kind_conflicts_rejected():
+    reg = MetricsRegistry()
+    reg.counter("thing")
+    with pytest.raises(MetricError):
+        reg.gauge("thing")
+    reg.histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(MetricError):
+        reg.histogram("h", buckets=(5.0,))
+
+
+def test_flat_and_prom_names():
+    assert flat_name("a.b", (("k", "v"),)) == 'a.b{k="v"}'
+    assert flat_name("a.b") == "a.b"
+    assert prom_name("psp.service_ms") == "psp_service_ms"
+    assert prom_name("9lives") == "_9lives"
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_reset_zeroes_but_keeps_families():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(5)
+    reg.gauge("g").set(7)
+    h = reg.histogram("h", buckets=(1.0,))
+    h.observe(0.5)
+    reg.reset()
+    assert reg.value("c") == 0
+    assert reg.value("g") == 0
+    assert h.count == 0 and h.sum == 0.0
+    assert reg.families() == ["c", "g", "h"]
+
+
+def test_reset_counters_leaves_gauges():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(5)
+    reg.gauge("g").set(7)
+    reg.reset_counters()
+    assert reg.value("c") == 0
+    assert reg.value("g") == 7
+
+
+def test_merge_adds_counters_and_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c", k="x").inc(1)
+    b.counter("c", k="x").inc(2)
+    b.counter("c", k="y").inc(3)
+    a.gauge("g").set(1)
+    b.gauge("g").set(9)
+    for reg, v in ((a, 0.5), (b, 1.5)):
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(v)
+    a.merge(b)
+    assert a.value("c", k="x") == 3
+    assert a.value("c", k="y") == 3
+    assert a.value("g") == 9  # gauges: last write wins
+    h = a.histogram("h", buckets=(1.0, 2.0))
+    assert h.count == 2
+    assert h.cumulative() == [("1", 1), ("2", 2), ("+Inf", 2)]
+
+
+def test_merge_rejects_mismatched_buckets():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("h", buckets=(1.0,)).observe(0.5)
+    b.histogram("h", buckets=(2.0,)).observe(0.5)
+    with pytest.raises(MetricError):
+        a.merge(b)
+
+
+def test_use_registry_scopes_the_default():
+    outer = default_registry()
+    scoped = MetricsRegistry()
+    with use_registry(scoped):
+        assert default_registry() is scoped
+        default_registry().counter("in_scope").inc()
+    assert default_registry() is outer
+    assert scoped.value("in_scope") == 1
+    assert outer.value("in_scope") == 0
+
+
+def test_reset_default_registry_installs_fresh():
+    default_registry().counter("stale").inc()
+    fresh = reset_default_registry()
+    assert default_registry() is fresh
+    assert fresh.value("stale") == 0
+
+
+# -- the repro.perf compat shim ---------------------------------------------
+
+
+def test_perf_shim_is_registry_backed():
+    perf.incr("crypto.bulk_calls")
+    perf.incr("crypto.bytes", 4096)
+    assert default_registry().value("crypto.bulk_calls") == 1
+    snap = perf.counters_snapshot()
+    assert snap["crypto.bulk_calls"] == 1
+    assert snap["crypto.bytes"] == 4096
+    # And the registry view matches the shim view.
+    assert default_registry().counter_values() == snap
+
+
+def test_perf_counters_delta_still_works():
+    base = perf.counters_snapshot()
+    perf.incr("cache.demo.hits", 3)
+    delta = perf.counters_delta(base)
+    assert delta == {"cache.demo.hits": 3}
+
+
+def test_lru_cache_stats_registry_backed():
+    cache = perf.LRUCache("obs_demo", capacity=4)
+    with perf.scoped(caches=True):
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 1)
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert default_registry().value("cache.obs_demo.hits") == 1
+
+
+def test_default_ms_buckets_ascending():
+    assert list(DEFAULT_MS_BUCKETS) == sorted(set(DEFAULT_MS_BUCKETS))

@@ -1,0 +1,119 @@
+"""The virtual-time profiler vs the timeline's own accounting.
+
+Acceptance criterion for the observability layer: profiler-derived
+phase breakdowns agree with the existing virtual-time numbers within 1%.
+"""
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.core.severifast import SEVeriFast
+from repro.formats.kernels import AWS
+from repro.hw.platform import Machine
+from repro.obs import profile
+
+
+def _traced_boot(stack: str = "severifast"):
+    machine = Machine()
+    tracer = machine.sim.trace()
+    sf = SEVeriFast(machine=machine)
+    config = VmConfig(kernel=AWS)
+    if stack == "severifast":
+        result = sf.cold_boot(config, machine=machine)
+        extras = None
+    else:
+        result, extras = sf.cold_boot_qemu(config, machine=machine)
+    return tracer, result, extras
+
+
+def _assert_close(got: float, want: float) -> None:
+    assert abs(got - want) <= 0.01 * max(abs(want), 1e-9)
+
+
+def test_phase_totals_match_timeline_within_1pct():
+    tracer, result, _ = _traced_boot()
+    vm = profile(tracer).single_vm()
+    phases = vm.phase_ms()
+    breakdown = result.timeline.breakdown()
+    assert set(phases) == set(breakdown)
+    for name, want in breakdown.items():
+        _assert_close(phases[name], want)
+
+
+def test_firmware_breakdown_matches_ovmf_extras_within_1pct():
+    tracer, _result, extras = _traced_boot("qemu")
+    vm = profile(tracer).single_vm()
+    firmware = vm.firmware_ms()
+    assert set(firmware) == set(extras.ovmf_breakdown.phases)
+    for name, want in extras.ovmf_breakdown.phases.items():
+        _assert_close(firmware[name], want)
+
+
+def test_nesting_pre_encryption_under_vmm():
+    tracer, _result, _ = _traced_boot()
+    vm = profile(tracer).single_vm()
+    vmm = next(n for n in vm.roots if n.name == "vmm")
+    assert [c.name for c in vmm.children] == ["pre_encryption"]
+    # Self time excludes the nested child.
+    child_ms = vmm.children[0].total_ms
+    _assert_close(vmm.self_ms, vmm.total_ms - child_ms)
+
+
+def test_critical_path_sums_to_phase_total():
+    tracer, result, _ = _traced_boot()
+    vm = profile(tracer).single_vm()
+    segments = vm.critical_path()
+    names = [n for n, _ in segments]
+    assert names[:3] == ["vmm/psp.wait", "vmm/psp.exec", "vmm/other"]
+    total = sum(ms for _, ms in segments)
+    _assert_close(total, result.timeline.total_ms)
+
+
+def test_psp_attribution_and_wait_under_concurrency():
+    machine = Machine()
+    tracer = machine.sim.trace()
+    sf = SEVeriFast(machine=machine)
+    results = sf.concurrent_boots(
+        VmConfig(kernel=AWS, attest=False), count=4, sev=True, machine=machine
+    )
+    prof = profile(tracer)
+    assert len(prof.vms) == 4
+    # The single-core PSP serializes launches: someone queued.
+    assert sum(vm.psp_wait_ms for vm in prof.vms.values()) > 0.0
+    assert all(vm.psp_commands > 0 for vm in prof.vms.values())
+    # Per-VM service time sums to the machine-wide command rollup.
+    per_vm = sum(vm.psp_service_ms for vm in prof.vms.values())
+    rollup = sum(s.service_ms for s in prof.psp.values())
+    _assert_close(per_vm, rollup)
+    with pytest.raises(ValueError):
+        prof.single_vm()
+    assert len(results) == 4
+
+
+def test_folded_stacks_format():
+    tracer, _result, _ = _traced_boot()
+    folded = profile(tracer).folded()
+    lines = folded.strip().splitlines()
+    assert lines == sorted(lines)
+    for line in lines:
+        stack, weight = line.rsplit(" ", 1)
+        assert int(weight) > 0
+        assert stack
+    assert any(";vmm;pre_encryption " in line for line in lines)
+    assert any(line.startswith("psp;") for line in lines)
+
+
+def test_report_renders():
+    tracer, _result, _ = _traced_boot()
+    report = profile(tracer).report()
+    assert "boot profile (virtual ms)" in report
+    assert "critical path:" in report
+    assert "[psp commands]" in report
+
+
+def test_profiler_ignores_open_spans():
+    machine = Machine()
+    tracer = machine.sim.trace()
+    tracer.begin("dangling", "boot.phase", "vm0")
+    prof = profile(tracer)
+    assert prof.vms == {}

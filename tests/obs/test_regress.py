@@ -1,0 +1,162 @@
+"""The benchmark regression gate, including the CLI exit status."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.regress import (
+    CHAOS_RULES,
+    Tolerance,
+    compare_documents,
+    detect_kind,
+    flatten_numeric,
+    rules_for_document,
+)
+
+
+def test_tolerance_two_sided():
+    t = Tolerance(rel=0.1)
+    assert t.judge(100.0, 105.0) == "ok"
+    assert t.judge(100.0, 115.0) == "regressed"
+    assert t.judge(100.0, 85.0) == "regressed"  # "both": any big move fails
+
+
+def test_tolerance_directions():
+    higher = Tolerance(rel=0.1, direction="higher_is_better")
+    assert higher.judge(100.0, 150.0) == "improved"
+    assert higher.judge(100.0, 50.0) == "regressed"
+    lower = Tolerance(rel=0.1, direction="lower_is_better")
+    assert lower.judge(100.0, 50.0) == "improved"
+    assert lower.judge(100.0, 150.0) == "regressed"
+    with pytest.raises(ValueError):
+        Tolerance(direction="sideways")
+
+
+def test_tolerance_abs_floor():
+    t = Tolerance(rel=0.1, abs_tol=5.0)
+    assert t.judge(2.0, 6.0) == "ok"  # |delta|=4 <= abs_tol even though rel tiny
+    assert t.judge(2.0, 8.0) == "regressed"
+
+
+def test_flatten_numeric_paths():
+    doc = {"a": {"b": 1}, "list": [2.5, {"c": 3}], "flag": True, "s": "x"}
+    assert flatten_numeric(doc) == {"a.b": 1, "list.0": 2.5, "list.1.c": 3}
+
+
+def test_missing_metric_fails_gate():
+    base = {"experiment": "chaos", "detection_rate": 1.0}
+    cur = {"experiment": "chaos"}
+    _kind, rules = rules_for_document(base)
+    report = compare_documents(base, cur, rules)
+    assert not report.ok
+    assert report.regressions[0].status == "missing"
+
+
+def test_detect_kind():
+    assert detect_kind({"schema": "repro-perfbench-v1"}) == "wallclock"
+    assert detect_kind({"experiment": "chaos"}) == "chaos"
+    assert detect_kind({"anything": 1}) == "generic"
+
+
+def test_rel_tol_override_preserves_direction_and_ignores():
+    base = {"experiment": "chaos", "detection_rate": 1.0, "p99_boot_ms": 100.0}
+    _kind, rules = rules_for_document(base, rel_tol=0.5)
+    report = compare_documents(
+        base, {"detection_rate": 1.0, "p99_boot_ms": 60.0}, rules
+    )
+    # p99 falling is the good direction; the widened band still applies
+    # and the detection invariant keeps its zero band.
+    assert report.ok
+    report = compare_documents(
+        base, {"detection_rate": 0.9, "p99_boot_ms": 100.0}, rules
+    )
+    assert not report.ok
+
+
+def test_detection_rate_may_never_drop():
+    base = {"experiment": "chaos", "detection_rate": 1.0}
+    report = compare_documents(
+        base, {"detection_rate": 0.999999}, CHAOS_RULES
+    )
+    assert not report.ok
+
+
+def test_render_mentions_gate_verdict():
+    base = {"experiment": "chaos", "p99_boot_ms": 100.0}
+    _kind, rules = rules_for_document(base)
+    good = compare_documents(base, {"p99_boot_ms": 101.0}, rules)
+    assert "gate: PASS" in good.render()
+    bad = compare_documents(base, {"p99_boot_ms": 300.0}, rules)
+    assert "gate: FAIL" in bad.render()
+    assert "!!" in bad.render()
+
+
+# -- the CLI gate (acceptance criterion) -------------------------------------
+
+
+@pytest.fixture
+def chaos_baseline(tmp_path):
+    doc = {
+        "experiment": "chaos",
+        "detection_rate": 1.0,
+        "sweep": [
+            {
+                "fault_rate": 0.05,
+                "p50_boot_ms": 160.0,
+                "p99_boot_ms": 190.0,
+                "success_rate": 0.97,
+                "boot_success_rate": 0.92,
+                "detection_rate": 1.0,
+                "undetected_tampered_boots": 0,
+                "cold_starts": 13,
+                "invocations": 42,
+            }
+        ],
+    }
+    path = tmp_path / "BENCH_chaos.json"
+    path.write_text(json.dumps(doc))
+    return path, doc
+
+
+def test_cli_regress_self_compare_passes(chaos_baseline, capsys):
+    path, _doc = chaos_baseline
+    rc = main(
+        ["regress", "--baseline", str(path), "--current", str(path)]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "gate: PASS" in out
+
+
+def test_cli_regress_perturbed_beyond_tolerance_exits_nonzero(
+    chaos_baseline, tmp_path, capsys
+):
+    path, doc = chaos_baseline
+    perturbed = copy.deepcopy(doc)
+    perturbed["sweep"][0]["p99_boot_ms"] = 190.0 * 1.5  # > the 10% band
+    cur = tmp_path / "current.json"
+    cur.write_text(json.dumps(perturbed))
+    rc = main(["regress", "--baseline", str(path), "--current", str(cur)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "gate: FAIL" in out
+    assert "p99_boot_ms" in out
+
+
+def test_cli_regress_detection_drop_exits_nonzero(
+    chaos_baseline, tmp_path, capsys
+):
+    path, doc = chaos_baseline
+    perturbed = copy.deepcopy(doc)
+    perturbed["detection_rate"] = 0.99
+    cur = tmp_path / "current.json"
+    cur.write_text(json.dumps(perturbed))
+    rc = main(["regress", "--baseline", str(path), "--current", str(cur)])
+    assert rc == 1
+
+
+def test_cli_regress_missing_baseline_file(tmp_path, capsys):
+    rc = main(["regress", "--baseline", str(tmp_path / "nope.json")])
+    assert rc == 2

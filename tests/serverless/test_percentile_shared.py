@@ -1,0 +1,74 @@
+"""Platform percentiles route through the one shared implementation.
+
+One nearest-rank definition lives in :func:`repro.analysis.stats.percentile`;
+the serverless platform (and through it the chaos report's p50/p99) must
+delegate to it rather than carry a private copy.
+"""
+
+import pytest
+
+import repro.serverless.platform as platform_mod
+from repro.analysis.stats import percentile
+from repro.serverless.platform import InvocationOutcome, PlatformStats
+
+
+def _outcome(delay: float, boot: float = 0.0, cold: bool = False) -> InvocationOutcome:
+    return InvocationOutcome(
+        function="f",
+        arrival_ms=0.0,
+        cold=cold,
+        boot_ms=boot,
+        start_delay_ms=delay,
+        end_ms=delay,
+    )
+
+
+def _stats(delays) -> PlatformStats:
+    return PlatformStats(outcomes=[_outcome(d) for d in delays])
+
+
+def test_platform_percentile_equals_shared_impl():
+    delays = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0]
+    stats = _stats(delays)
+    for pct in (0, 25, 50, 90, 99, 100):
+        assert stats.latency_percentile(pct) == percentile(delays, pct)
+
+
+def test_boot_percentile_equals_shared_impl():
+    boots = [100.0, 180.0, 140.0, 160.0]
+    stats = PlatformStats(
+        outcomes=[_outcome(0.0, boot=b, cold=True) for b in boots]
+    )
+    for pct in (50, 99):
+        assert stats.boot_latency_percentile(pct) == percentile(boots, pct)
+
+
+def test_empty_runs_return_zero():
+    stats = PlatformStats()
+    assert stats.latency_percentile(99) == 0.0
+    assert stats.boot_latency_percentile(99) == 0.0
+
+
+def test_delegation_is_pinned(monkeypatch):
+    """The platform must call the shared function, not re-implement it."""
+    sentinel_calls = []
+
+    def sentinel(samples, pct):
+        sentinel_calls.append((tuple(samples), pct))
+        return -123.0
+
+    monkeypatch.setattr(platform_mod, "percentile", sentinel)
+    stats = _stats([1.0, 2.0, 3.0])
+    assert stats.latency_percentile(50) == -123.0
+    assert sentinel_calls == [((1.0, 2.0, 3.0), 50)]
+
+
+def test_nearest_rank_definition_pinned():
+    # p50 of an even-sized sample is the lower-middle element under
+    # nearest-rank (no interpolation) — the definition both the chaos
+    # report and the platform inherit.
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+    assert percentile([1.0], 0) == 1.0
+    with pytest.raises(ValueError):
+        percentile([], 50)
