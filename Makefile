@@ -3,7 +3,7 @@
 PY ?= python3
 
 .PHONY: install test bench examples report trace-smoke perfbench chaos \
-	obs-smoke regress all
+	obs-smoke regress parallel-smoke all
 
 install:
 	$(PY) setup.py develop
@@ -20,11 +20,25 @@ examples:
 report:
 	$(PY) -m repro report
 
-# Wall-clock throughput of the simulator itself: memenc MB/s plus Fig. 9
-# and Fig. 12 boots/s, slow (pure-Python reference) vs. fast (vectorized
-# + cached).  Writes BENCH_wallclock.json at the repo root.
+# Wall-clock throughput of the simulator itself: memenc MB/s, the engine
+# event-loop microbench, plus Fig. 9 and Fig. 12 boots/s, slow
+# (pure-Python reference) vs. fast (vectorized + cached), and the Fig. 9
+# fleet sharded across PERFBENCH_WORKERS processes.  Writes
+# BENCH_wallclock.json at the repo root.
+PERFBENCH_WORKERS ?= 4
+PERFBENCH_ARGS ?=
 perfbench:
-	PYTHONPATH=src $(PY) benchmarks/perfbench.py
+	PYTHONPATH=src PERFBENCH_WORKERS=$(PERFBENCH_WORKERS) \
+		$(PY) benchmarks/perfbench.py $(PERFBENCH_ARGS)
+
+# Sharded-runner smoke: the parallel test package (serial == parallel,
+# bit for bit) plus a 2-worker fleet and chaos sweep through the CLI.
+parallel-smoke:
+	PYTHONPATH=src $(PY) -m pytest tests/parallel -q
+	PYTHONPATH=src $(PY) -m repro.cli bench --boots 8 --workers 2
+	PYTHONPATH=src $(PY) -m repro.cli chaos --rates 0.0 0.1 \
+		--functions 3 --horizon-s 5 --workers 2 \
+		--out /tmp/repro-chaos-parallel.json
 
 # Deterministic fault-injection sweep over a serverless fleet; writes
 # BENCH_chaos.json and fails if any tampered boot completed.

@@ -6,39 +6,58 @@ Times the simulator itself — not the simulated hardware — in two modes:
   i.e. the pure-Python reference behavior;
 - **fast**: both enabled (the default for every normal run).
 
-Three workloads: the memenc bulk-encryption microbench (MB/s), the
-Fig. 9 100-boot sequential fleet (boots/s), and the Fig. 12 concurrent
-fleet (boots/s).  Launch digests are asserted byte-identical between the
-modes — the perf layer must be invisible in every output byte.
+Workloads: the memenc bulk-encryption microbench (MB/s), the engine
+event-loop microbench (events/s through a contended resource), the
+Fig. 9 100-boot sequential fleet (boots/s) — serial *and* sharded across
+``--workers`` processes via :mod:`repro.parallel` — and the Fig. 12
+concurrent fleet (boots/s; a single simulation, inherently serial).
+Launch digests are asserted byte-identical between modes and worker
+counts — neither the perf layer nor the process pool may be visible in
+any output byte.
 
-Writes ``BENCH_wallclock.json`` at the repo root so successive PRs can
+Writes ``BENCH_wallclock.json`` (schema ``repro-perfbench-v2``: worker
+count and host cores recorded) at the repo root so successive PRs can
 track the trajectory::
 
-    PYTHONPATH=src python benchmarks/perfbench.py
+    PYTHONPATH=src python benchmarks/perfbench.py [--workers N]
+
+``PERFBENCH_WORKERS`` is the environment fallback for ``--workers``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import pathlib
 import sys
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
-from bench_common import BENCH_SCALE, bench_machine  # noqa: E402
+from bench_common import BENCH_SCALE  # noqa: E402
 
 from repro import perf  # noqa: E402
 from repro.core.config import VmConfig  # noqa: E402
 from repro.core.severifast import SEVeriFast  # noqa: E402
 from repro.crypto.memenc import MemoryEncryptionEngine  # noqa: E402
 from repro.formats.kernels import KERNEL_CONFIGS  # noqa: E402
+from repro.parallel.runners import run_boot_fleet  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 OUT_PATH = REPO_ROOT / "BENCH_wallclock.json"
 
 FIG9_BOOTS = 100
 FIG12_GUESTS = 20
+FLEET_SEED = 0
+
+ENGINE_PROCS = 50
+ENGINE_STEPS = 400
+ENGINE_CAPACITY = 4
+
+
+def default_workers() -> int:
+    return int(os.environ.get("PERFBENCH_WORKERS", "4") or "4")
 
 
 def _bench_memenc(mode: str, total_bytes: int, region: int = 64 * 1024) -> float:
@@ -57,23 +76,64 @@ def _bench_memenc(mode: str, total_bytes: int, region: int = 64 * 1024) -> float
     return processed / (1024.0 * 1024.0) / elapsed
 
 
-def _fig9_fleet(boots: int) -> tuple[float, list[bytes]]:
-    """Sequential cold boots on fresh machines (the Fig. 9 workload)."""
-    config = VmConfig(kernel=KERNEL_CONFIGS["aws"], scale=BENCH_SCALE)
-    digests: list[bytes] = []
-    start = time.perf_counter()
-    for run in range(boots):
-        machine = bench_machine(seed=hash(("perfbench", run)) & 0xFFFF)
-        sf = SEVeriFast(machine=machine)
-        result = sf.cold_boot(config, machine=machine)
-        digests.append(result.launch_digest)
-    elapsed = time.perf_counter() - start
-    return boots / elapsed, digests
+def _bench_engine(
+    procs: int = ENGINE_PROCS,
+    steps: int = ENGINE_STEPS,
+    capacity: int = ENGINE_CAPACITY,
+    repeats: int = 5,
+) -> tuple[float, int]:
+    """(events/s, events dispatched) for the engine hot-loop microbench.
+
+    ``procs`` generator processes each cycle ``steps`` times through a
+    capacity-``capacity`` resource — the request/timeout/release pattern
+    every simulated boot is made of.  Best of ``repeats``.
+    """
+    from repro.obs.metrics import default_registry
+    from repro.sim.engine import Simulator
+
+    def once() -> tuple[float, int]:
+        registry = default_registry()
+        before = registry.value("sim.events_dispatched")
+        sim = Simulator()
+        res = sim.resource(capacity=capacity, name="dev")
+
+        def worker(sim, res):
+            for _ in range(steps):
+                grant = yield res.request()
+                yield sim.timeout(1.0)
+                res.release(grant)
+
+        for _ in range(procs):
+            sim.process(worker(sim, res))
+        start = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - start
+        return elapsed, int(registry.value("sim.events_dispatched") - before)
+
+    best_s, events = min(once() for _ in range(repeats))
+    return events / best_s, events
+
+
+def _fleet_rate(
+    boots: int, workers: int
+) -> tuple[float, list[str], float]:
+    """(boots/s, digests, elapsed_s) for a sharded Fig. 9 fleet."""
+    from repro.obs.metrics import default_registry
+
+    run = run_boot_fleet(
+        boots, seed=FLEET_SEED, workers=workers, scale=BENCH_SCALE
+    )
+    # fleet units run under per-worker registries; fold their counters
+    # back so cache_stats reflects the fleet's cache hits, not just the
+    # parent process's own
+    default_registry().merge_snapshot(run.metrics)
+    digests = [r["digest"] for r in run.results]
+    return boots / run.elapsed_s, digests, run.elapsed_s
 
 
 def _fig12_fleet(guests: int) -> tuple[float, list[bytes]]:
     """Concurrent launches on one machine (the Fig. 12 workload)."""
-    from repro.core.severifast import SEVeriFast
+    from bench_common import bench_machine
 
     machine = bench_machine(seed=12)
     sf = SEVeriFast(machine=machine)
@@ -84,10 +144,19 @@ def _fig12_fleet(guests: int) -> tuple[float, list[bytes]]:
     return guests / elapsed, [r.launch_digest for r in results]
 
 
-def run(fig9_boots: int = FIG9_BOOTS, fig12_guests: int = FIG12_GUESTS) -> dict:
+def run(
+    fig9_boots: int = FIG9_BOOTS,
+    fig12_guests: int = FIG12_GUESTS,
+    workers: int | None = None,
+) -> dict:
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, workers)
     report: dict = {
-        "schema": "repro-perfbench-v1",
+        "schema": "repro-perfbench-v2",
         "scale": BENCH_SCALE,
+        "workers": workers,
+        "host_cpus": os.cpu_count() or 1,
         "workloads": {},
     }
 
@@ -107,13 +176,23 @@ def run(fig9_boots: int = FIG9_BOOTS, fig12_guests: int = FIG12_GUESTS) -> dict:
         }
     report["workloads"]["memenc_bulk"] = memenc
 
+    # -- engine event-loop microbench -------------------------------------
+    events_s, events = _bench_engine()
+    report["workloads"]["engine_events"] = {
+        "procs": ENGINE_PROCS,
+        "steps": ENGINE_STEPS,
+        "capacity": ENGINE_CAPACITY,
+        "dispatched": events,
+        "events_s": round(events_s, 1),
+    }
+
     # -- Fig. 9: sequential boot fleet ------------------------------------
     slow_boots = max(5, fig9_boots // 10)
     with perf.scoped(vectorized=False, caches=False):
-        slow_rate, slow_digests = _fig9_fleet(slow_boots)
+        slow_rate, slow_digests, _ = _fleet_rate(slow_boots, workers=1)
     with perf.scoped(vectorized=True, caches=True):
         perf.clear_all_caches()
-        fast_rate, fast_digests = _fig9_fleet(fig9_boots)
+        fast_rate, fast_digests, _ = _fleet_rate(fig9_boots, workers=1)
     assert fast_digests[:slow_boots] == slow_digests, (
         "launch digests differ between fast and slow modes"
     )
@@ -123,6 +202,24 @@ def run(fig9_boots: int = FIG9_BOOTS, fig12_guests: int = FIG12_GUESTS) -> dict:
         "slow_boots_s": round(slow_rate, 3),
         "fast_boots_s": round(fast_rate, 3),
         "speedup": round(fast_rate / slow_rate, 2),
+        "digests_identical": True,
+    }
+
+    # -- Fig. 9 sharded: the same fleet across worker processes -----------
+    with perf.scoped(vectorized=True, caches=True):
+        parallel_rate, parallel_digests, parallel_elapsed = _fleet_rate(
+            fig9_boots, workers=workers
+        )
+    assert parallel_digests == fast_digests, (
+        "launch digests differ between serial and parallel fleets"
+    )
+    report["workloads"]["fig9_parallel"] = {
+        "boots": fig9_boots,
+        "workers": workers,
+        "serial_boots_s": round(fast_rate, 3),
+        "parallel_boots_s": round(parallel_rate, 3),
+        "parallel_speedup": round(parallel_rate / fast_rate, 2),
+        "elapsed_s": round(parallel_elapsed, 3),
         "digests_identical": True,
     }
 
@@ -147,11 +244,27 @@ def run(fig9_boots: int = FIG9_BOOTS, fig12_guests: int = FIG12_GUESTS) -> dict:
     return report
 
 
-def main() -> int:
-    report = run()
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sharded fleet "
+        "(default: $PERFBENCH_WORKERS or 4)",
+    )
+    parser.add_argument("--fig9-boots", type=int, default=FIG9_BOOTS)
+    parser.add_argument("--fig12-guests", type=int, default=FIG12_GUESTS)
+    args = parser.parse_args(argv)
+
+    report = run(
+        fig9_boots=args.fig9_boots,
+        fig12_guests=args.fig12_guests,
+        workers=args.workers,
+    )
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     memenc = report["workloads"]["memenc_bulk"]
+    engine = report["workloads"]["engine_events"]
     fig9 = report["workloads"]["fig9_sequential"]
+    fig9p = report["workloads"]["fig9_parallel"]
     fig12 = report["workloads"]["fig12_concurrent"]
     print(f"wrote {OUT_PATH}")
     for mode, row in memenc.items():
@@ -159,9 +272,15 @@ def main() -> int:
             f"memenc {mode:<9} {row['slow_mb_s']:>9.2f} -> {row['fast_mb_s']:>9.2f} MB/s"
             f"  ({row['speedup']}x)"
         )
+    print(f"engine events/s: {engine['events_s']:>12.0f}")
     print(
         f"fig9   sequential {fig9['slow_boots_s']:>7.2f} -> {fig9['fast_boots_s']:>7.2f}"
         f" boots/s  ({fig9['speedup']}x)"
+    )
+    print(
+        f"fig9   {fig9p['workers']}-worker  {fig9p['serial_boots_s']:>7.2f} -> "
+        f"{fig9p['parallel_boots_s']:>7.2f} boots/s  ({fig9p['parallel_speedup']}x, "
+        f"{report['host_cpus']} host cpus)"
     )
     print(
         f"fig12  concurrent {fig12['slow_boots_s']:>7.2f} -> {fig12['fast_boots_s']:>7.2f}"
@@ -169,6 +288,20 @@ def main() -> int:
     )
     ok = memenc["xex"]["speedup"] >= 5.0 and fig9["speedup"] >= 2.0
     print(f"acceptance (memenc >= 5x, fig9 >= 2x): {'PASS' if ok else 'FAIL'}")
+    # the parallel scaling gate only binds where the host can physically
+    # run the workers concurrently (a 1-core container cannot speed up)
+    if report["host_cpus"] >= fig9p["workers"] >= 2:
+        par_ok = fig9p["parallel_speedup"] >= 2.0
+        print(
+            f"acceptance (fig9 {fig9p['workers']}-worker >= 2x): "
+            f"{'PASS' if par_ok else 'FAIL'}"
+        )
+        ok = ok and par_ok
+    else:
+        print(
+            f"acceptance (parallel >= 2x): SKIPPED "
+            f"({report['host_cpus']} host cpus < {fig9p['workers']} workers)"
+        )
     return 0 if ok else 1
 
 

@@ -8,6 +8,8 @@ Mirrors the tooling the paper's artifact ships as shell scripts:
   digest a guest owner should demand for a VM configuration.
 - ``kernels`` — the Fig. 8 kernel table for the synthetic builders.
 - ``sweep`` — the Fig. 12 concurrency sweep.
+- ``bench`` — the Fig. 9 boot fleet, sharded across ``--workers``
+  processes with byte-identical results at any worker count.
 
 Usage::
 
@@ -15,6 +17,7 @@ Usage::
     python -m repro.cli digest --kernel aws
     python -m repro.cli kernels
     python -m repro.cli sweep --max-vms 20
+    python -m repro.cli bench --boots 100 --workers 4
 """
 
 from __future__ import annotations
@@ -144,12 +147,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Boot a sharded fleet of independent guests; print the rates.
+
+    The workhorse behind the Fig. 9 wall-clock numbers: ``--workers N``
+    shards the fleet across processes via :mod:`repro.parallel` without
+    changing a single output byte (same digests, same virtual-time boot
+    latencies, any worker count).
+    """
+    import json
+    import pathlib
+
+    from repro.analysis.stats import percentile
+    from repro.parallel.runners import run_boot_fleet
+
+    run = run_boot_fleet(
+        args.boots,
+        seed=args.seed,
+        workers=args.workers,
+        kernel=args.kernel,
+        scale=args.scale,
+        attest=args.attest,
+    )
+    boot_ms = [r["boot_ms"] for r in run.results]
+    digests = {r["digest"] for r in run.results}
+    rows = [
+        ["boots", str(run.units)],
+        ["workers", str(run.workers)],
+        ["elapsed (s)", f"{run.elapsed_s:.3f}"],
+        ["boots/s", f"{run.units / run.elapsed_s:.2f}"],
+        ["p50 boot (ms)", f"{percentile(boot_ms, 50):.2f}"],
+        ["p99 boot (ms)", f"{percentile(boot_ms, 99):.2f}"],
+        ["distinct digests", str(len(digests))],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.kernel} boot fleet (seed {args.seed})",
+        )
+    )
+    if args.out:
+        doc = {
+            "experiment": "boot-fleet",
+            "seed": args.seed,
+            "kernel": args.kernel,
+            "scale": args.scale,
+            "workers": run.workers,
+            "boots": run.units,
+            "elapsed_s": round(run.elapsed_s, 3),
+            "results": run.results,
+            "metrics": run.metrics,
+        }
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
 def _cmd_serverless(args: argparse.Namespace) -> int:
     """Trace-driven FaaS comparison (the §1-2 motivation, quantified)."""
     from repro.hw.platform import Machine
     from repro.serverless.platform import ServerlessPlatform
     from repro.serverless.trace import synthesize_trace
     from repro.vmm.firecracker import FirecrackerVMM
+
+    if args.bulk:
+        return _cmd_serverless_bulk(args)
 
     trace = synthesize_trace(
         num_functions=args.functions,
@@ -205,6 +269,53 @@ def _cmd_serverless(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serverless_bulk(args: argparse.Namespace) -> int:
+    """Bulk traffic: independent platform segments sharded over workers."""
+    import json
+    import pathlib
+
+    from repro.serverless.bulk import run_bulk_traffic
+
+    report = run_bulk_traffic(
+        args.segments,
+        seed=args.seed,
+        workers=args.workers,
+        kernel=args.kernel,
+        scale=args.scale,
+        functions=args.functions,
+        horizon_s=args.horizon_s,
+        rate_per_s=args.rate,
+    )
+    rows = [
+        ["segments", str(report["segments"])],
+        ["workers", str(report["workers"])],
+        ["invocations", str(report["invocations"])],
+        ["cold starts", str(report["cold_starts"])],
+        ["warm starts", str(report["warm_starts"])],
+        ["failed", str(report["failed_invocations"])],
+        ["p50 start delay (ms)", f"{report['p50_start_delay_ms']:.1f}"],
+        ["p99 start delay (ms)", f"{report['p99_start_delay_ms']:.1f}"],
+        ["p50 cold boot (ms)", f"{report['p50_cold_boot_ms']:.1f}"],
+        ["p99 cold boot (ms)", f"{report['p99_cold_boot_ms']:.1f}"],
+        ["elapsed (s)", f"{report['elapsed_s']:.3f}"],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"bulk serverless traffic (seed {args.seed}, "
+                f"{args.horizon_s:g}s horizon per segment)"
+            ),
+        )
+    )
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-injection sweep over a serverless fleet (robustness gate).
 
@@ -214,10 +325,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
     import pathlib
 
-    from repro.faults import run_chaos_sweep
-
-    report = run_chaos_sweep(
-        rates=tuple(args.rates),
+    kwargs = dict(
         seed=args.seed,
         kernel=args.kernel,
         scale=args.scale,
@@ -226,6 +334,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         rate_per_s=args.rate,
         asid_capacity=args.asid_capacity,
     )
+    if args.workers > 1:
+        # one fault rate per unit; rows are byte-identical to serial
+        from repro.parallel.runners import run_chaos_sweep_parallel
+
+        report = run_chaos_sweep_parallel(
+            tuple(args.rates), workers=args.workers, **kwargs
+        )
+    else:
+        from repro.faults import run_chaos_sweep
+
+        report = run_chaos_sweep(rates=tuple(args.rates), **kwargs)
     rows = [
         [
             f"{r['fault_rate']:.2f}",
@@ -446,10 +565,30 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.hw.platform import Machine
     from repro.obs import profile
 
-    machine = Machine()
-    tracer = machine.sim.trace()
-    _run_instrumented(args, machine)
-    prof = profile(tracer)
+    if args.workers > 1:
+        if args.serverless:
+            print("--workers > 1 profiles a boot fleet; drop --serverless")
+            return 1
+        # each boot traces in its own worker; the parent overlays the
+        # span streams (tracks prefixed per shard) and profiles the lot
+        from repro.parallel.runners import run_boot_fleet
+        from repro.sim.trace import merge_span_streams
+
+        run = run_boot_fleet(
+            max(args.count, 1),
+            seed=args.seed,
+            workers=args.workers,
+            kernel=args.kernel,
+            scale=args.scale,
+            attest=not args.no_attest,
+            trace=True,
+        )
+        prof = profile(merge_span_streams(run.trace_streams, offsets="overlay"))
+    else:
+        machine = Machine()
+        tracer = machine.sim.trace()
+        _run_instrumented(args, machine)
+        prof = profile(tracer)
     print(prof.report(top=args.top))
     if args.folded:
         path = pathlib.Path(args.folded)
@@ -607,7 +746,35 @@ def build_parser() -> argparse.ArgumentParser:
     serverless.add_argument("--rate", type=float, default=2.0)
     serverless.add_argument("--seed", type=int, default=0)
     serverless.add_argument("--scale", type=float, default=1.0 / 1024.0)
+    serverless.add_argument(
+        "--bulk", action="store_true",
+        help="bulk traffic: independent platform segments, sharded",
+    )
+    serverless.add_argument(
+        "--segments", type=int, default=8,
+        help="independent traffic segments for --bulk",
+    )
+    serverless.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --bulk (results are identical for any value)",
+    )
+    serverless.add_argument("--out", help="also write the --bulk report JSON here")
     serverless.set_defaults(func=_cmd_serverless)
+
+    bench = sub.add_parser(
+        "bench", help="boot a sharded fleet of guests; print the rates"
+    )
+    _add_kernel_arg(bench)
+    bench.add_argument("--boots", type=int, default=20)
+    bench.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (results are identical for any value)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--scale", type=float, default=1.0 / 1024.0)
+    bench.add_argument("--attest", action="store_true")
+    bench.add_argument("--out", help="also write the fleet report JSON here")
+    bench.set_defaults(func=_cmd_bench)
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection sweep over a serverless fleet"
@@ -625,6 +792,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--asid-capacity", type=int, default=None,
         help="shrink the ASID namespace to force DF_FLUSH recycling",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes, one fault rate per unit "
+        "(rows are byte-identical for any value)",
     )
     chaos.add_argument("--out", default="BENCH_chaos.json")
     chaos.set_defaults(func=_cmd_chaos)
@@ -677,6 +849,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(profile_p)
     profile_p.add_argument(
         "--top", type=int, default=10, help="longest spans to list"
+    )
+    profile_p.add_argument(
+        "--workers", type=int, default=1,
+        help="profile a --count boot fleet sharded across processes "
+        "(merged trace, tracks prefixed per shard)",
     )
     profile_p.add_argument(
         "--folded", help="also write flamegraph folded stacks to this file"

@@ -45,6 +45,13 @@ DEFAULT_SECRET = b"the-function's-database-credentials"
 #: Fig. 9 fleet booting one image prepares it once.
 _PREPARED_CACHE = perf.LRUCache("severifast.prepared", capacity=64)
 
+#: the machine-independent half of preparation — images, out-of-band
+#: hashes, and the expected launch digest depend only on (config,
+#: compression), not the chip.  Split from ``_PREPARED_CACHE`` so a
+#: fleet of *distinct* hosts booting one image still shares the build
+#: even though each host needs its own owner/cert-chain handshake.
+_IMAGE_CACHE = perf.LRUCache("severifast.image", capacity=64)
+
 
 @dataclass(frozen=True)
 class PreparedBoot:
@@ -95,6 +102,32 @@ class SEVeriFast:
         return prepared
 
     def _prepare_uncached(self, config: VmConfig, machine: Machine) -> PreparedBoot:
+        artifacts, initrd, hashes, digest = self._prepare_image(config)
+        # The owner trusts only AMD's root key; the chip's VCEK is proven
+        # through the ARK->ASK->VCEK chain the platform ships (§6.1).
+        owner = GuestOwner.with_chain(
+            trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+            cert_chain=machine.psp.cert_chain,
+            expected_digest=digest,
+            secret=self.secret,
+        )
+        return PreparedBoot(
+            config=config,
+            artifacts=artifacts,
+            initrd=initrd,
+            hashes=hashes,
+            expected_digest=digest,
+            owner=owner,
+        )
+
+    def _prepare_image(
+        self, config: VmConfig
+    ) -> tuple[KernelArtifacts, Blob, HashesFile, bytes]:
+        """The chip-independent half: images, hashes, expected digest."""
+        cache_key = (config, self.compression.value)
+        cached = _IMAGE_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
         artifacts = build_kernel(config.kernel, config.scale, self.compression)
         initrd = build_initrd(config.scale)
         if config.kernel_format is KernelFormat.BZIMAGE:
@@ -113,22 +146,9 @@ class SEVeriFast:
                 initrd,
             )
         digest = compute_expected_digest(config, verifier_binary(), hashes)
-        # The owner trusts only AMD's root key; the chip's VCEK is proven
-        # through the ARK->ASK->VCEK chain the platform ships (§6.1).
-        owner = GuestOwner.with_chain(
-            trusted_ark=machine.psp.key_hierarchy.ark_key.public,
-            cert_chain=machine.psp.cert_chain,
-            expected_digest=digest,
-            secret=self.secret,
-        )
-        return PreparedBoot(
-            config=config,
-            artifacts=artifacts,
-            initrd=initrd,
-            hashes=hashes,
-            expected_digest=digest,
-            owner=owner,
-        )
+        built = (artifacts, initrd, hashes, digest)
+        _IMAGE_CACHE.put(cache_key, built)
+        return built
 
     # -- boot pipelines ---------------------------------------------------------
 

@@ -34,6 +34,14 @@ class Machine:
     engine_mode: str = "ctr-fast"
     #: PSP cores (1 on real hardware; >1 is the §6.2 future-work what-if)
     psp_parallelism: int = 1
+    #: chip-unique key seed.  ``None`` (the default) draws a fresh seed
+    #: from the monotone counter — every machine is a distinct physical
+    #: host and nothing chip-keyed (cert hierarchies, prepared boots,
+    #: launch-page ciphertext) is shared between them.  Pass an explicit
+    #: seed to model repeat boots on the *same* host, e.g. the paper's
+    #: single testbed machine: chip-keyed caches then hit across
+    #: machines.  Launch digests do not depend on the chip seed.
+    chip_seed: bytes | None = None
     psp: PlatformSecurityProcessor = field(init=False)
 
     #: monotone counter giving every machine a distinct (but reproducible
@@ -42,10 +50,12 @@ class Machine:
 
     def __post_init__(self) -> None:
         Machine._chip_counter += 1
+        if self.chip_seed is None:
+            self.chip_seed = f"repro-epyc-7313p-{Machine._chip_counter}".encode()
         self.psp = PlatformSecurityProcessor(
             self.sim,
             cost=self.cost,
-            chip_seed=f"repro-epyc-7313p-{Machine._chip_counter}".encode(),
+            chip_seed=self.chip_seed,
             engine_mode=self.engine_mode,
             huge_pages=self.huge_pages,
             parallelism=self.psp_parallelism,

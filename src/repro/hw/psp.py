@@ -76,6 +76,10 @@ class PlatformSecurityProcessor:
         #: lowest free number is handed out first, like the kernel's
         #: bitmap scan)
         self._free_asids: list[int] = []
+        # Per-command instrument cache for the _occupy hot path; keyed by
+        # registry identity so a `use_registry` swap invalidates it.
+        self._instr_registry: object | None = None
+        self._instr_cache: dict = {}
 
     # -- helpers ------------------------------------------------------------
 
@@ -214,8 +218,20 @@ class PlatformSecurityProcessor:
         grant = yield self.resource.request()
         wait_ms = self.sim.now - requested_at
         registry = default_registry()
-        registry.counter("psp.commands", command=command).inc()
-        registry.histogram("psp.wait_ms", command=command).observe(wait_ms)
+        if registry is not self._instr_registry:
+            self._instr_registry = registry
+            self._instr_cache = {}
+        instr = self._instr_cache.get(command)
+        if instr is None:
+            instr = (
+                registry.counter("psp.commands", command=command),
+                registry.histogram("psp.wait_ms", command=command),
+                registry.histogram("psp.service_ms", command=command),
+            )
+            self._instr_cache[command] = instr
+        m_commands, m_wait, m_service = instr
+        m_commands.value += 1
+        m_wait.observe(wait_ms)
         if fault is not None:
             registry.counter("psp.faults", command=command, kind=fault.kind).inc()
         tracer = self.sim.tracer
@@ -254,9 +270,7 @@ class PlatformSecurityProcessor:
             if ctx is not None:
                 ctx.psp_occupancy_ms += duration
         finally:
-            registry.histogram("psp.service_ms", command=command).observe(
-                self.sim.now - granted_at
-            )
+            m_service.observe(self.sim.now - granted_at)
             if span is not None:
                 tracer.end(span)
             self.resource.release(grant)

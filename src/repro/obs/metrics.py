@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import math
 import re
+from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Sequence, Union
 
@@ -59,6 +60,8 @@ LabelItems = tuple[tuple[str, str], ...]
 
 
 def _label_items(labels: dict[str, Any]) -> LabelItems:
+    if not labels:
+        return ()
     return tuple((k, str(v)) for k, v in sorted(labels.items()))
 
 
@@ -68,6 +71,28 @@ def flat_name(name: str, labels: LabelItems = ()) -> str:
         return name
     inner = ",".join(f'{k}="{v}"' for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+_FLAT_LABEL = re.compile(r'([A-Za-z0-9_.:-]+)="([^"]*)"')
+
+
+def parse_flat_name(flat: str) -> tuple[str, LabelItems]:
+    """Invert :func:`flat_name`: ``name{k="v",...}`` -> (name, items).
+
+    Label values containing ``"`` cannot round-trip (none of the
+    built-in seams produce them); everything else does, which is what
+    lets a :meth:`MetricsRegistry.snapshot` cross a process boundary
+    and be folded back with :meth:`MetricsRegistry.merge_snapshot`.
+    """
+    brace = flat.find("{")
+    if brace < 0:
+        return flat, ()
+    if not flat.endswith("}"):
+        raise MetricError(f"malformed flat metric name: {flat!r}")
+    name = flat[:brace]
+    inner = flat[brace + 1 : -1]
+    items = tuple((m.group(1), m.group(2)) for m in _FLAT_LABEL.finditer(inner))
+    return name, items
 
 
 def _fmt(value: Number) -> str:
@@ -158,12 +183,10 @@ class Histogram:
         self.count: int = 0
 
     def observe(self, value: Number) -> None:
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                break
-        else:
-            self.bucket_counts[-1] += 1
+        # bisect_left finds the first bound >= value (the inclusive
+        # upper-bound bucket); past the last bound it lands on the +Inf
+        # tail index.  C-speed lookup instead of a linear Python scan.
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.sum += value
         self.count += 1
 
@@ -334,6 +357,42 @@ class MetricsRegistry:
                         mine.bucket_counts[i] += n
                     mine.sum += child.sum
                     mine.count += child.count
+
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        The plain-data twin of :meth:`merge` — snapshots are JSON-safe,
+        so this is how worker processes ship their metrics back to the
+        parent (``repro.parallel``).  Counters and histograms add;
+        gauges take the snapshot's value (last write wins, i.e. lossy
+        across shards — see docs/PARALLELISM.md).  Histogram buckets are
+        de-cumulated from the exported ``[[le, n], ...]`` pairs; merging
+        into an existing family requires the same bucket layout.
+        """
+        schema = snap.get("schema")
+        if schema != "repro-metrics-v1":
+            raise MetricError(f"unsupported metrics snapshot schema: {schema!r}")
+        for flat, value in snap.get("counters", {}).items():
+            name, items = parse_flat_name(flat)
+            self.counter(name, **dict(items)).inc(value)
+        for flat, value in snap.get("gauges", {}).items():
+            name, items = parse_flat_name(flat)
+            self.gauge(name, **dict(items)).set(value)
+        for flat, data in snap.get("histograms", {}).items():
+            name, items = parse_flat_name(flat)
+            cumulative = data["buckets"]
+            # all but the trailing +Inf entry are finite upper bounds;
+            # _fmt's repr convention makes float(le) round-trip exactly
+            bounds = tuple(float(le) for le, _ in cumulative[:-1])
+            mine = self.histogram(name, buckets=bounds, **dict(items))
+            if mine.bounds != bounds:
+                raise MetricError(f"cannot merge {name!r}: bucket layouts differ")
+            running = 0
+            for i, (_le, cum) in enumerate(cumulative):
+                mine.bucket_counts[i] += cum - running
+                running = cum
+            mine.sum += data["sum"]
+            mine.count += data["count"]
 
     # -- exporters -----------------------------------------------------------
 

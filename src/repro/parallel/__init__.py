@@ -1,0 +1,35 @@
+"""Deterministic parallel execution of independent simulation units.
+
+The paper's headline experiments are sweeps of *independent* simulated
+boots (Fig. 9 boots 100 guests one after another; the chaos harness runs
+one fleet per fault rate) — embarrassingly parallel wall-clock work that
+the reproduction used to execute on a single core.  This package shards
+such units across worker processes and merges the results **bit-for-bit
+reproducibly**:
+
+- :mod:`repro.parallel.shard` — stable unit ordering and per-unit seeds
+  derived from ``(run seed, unit index)`` only, so results never depend
+  on the worker count;
+- :mod:`repro.parallel.pool` — a spawn-safe worker pool (fork by
+  default where available, ``REPRO_MP_START`` overrides) with
+  per-worker cache priming and an in-process fallback at ``workers=1``;
+- :mod:`repro.parallel.runners` — unit functions for the built-in
+  experiment kinds: SEVeriFast boots, chaos fleets, serverless traffic.
+
+Determinism contract: a unit's virtual-time outputs (digests, boot
+latencies, detection rates) are a pure function of its index and seed.
+Counters merge exactly; gauges are last-write (lossy across shards);
+see docs/PARALLELISM.md.
+"""
+
+from repro.parallel.pool import ParallelResult, resolve_workers, run_sharded
+from repro.parallel.shard import ShardSpec, shard_units, unit_seed
+
+__all__ = [
+    "ParallelResult",
+    "ShardSpec",
+    "resolve_workers",
+    "run_sharded",
+    "shard_units",
+    "unit_seed",
+]

@@ -1,0 +1,141 @@
+"""The worker pool: run sharded units in processes, merge the results.
+
+Every worker gets a **fresh** default :class:`MetricsRegistry` (scoped
+with ``use_registry``) and, optionally, a priming call that warms the
+process-local caches (kernel builds, cert chains, prepared boots) before
+its first unit — the wall-clock analogue of SEVeriFast moving work off
+the critical path.  Workers ship back plain data: the unit results plus
+a JSON-safe registry snapshot, folded into one registry by the parent
+with :meth:`MetricsRegistry.merge_snapshot`.
+
+Start method: ``fork`` where the platform offers it (cheap, inherits
+warm caches), else ``spawn``; override with ``REPRO_MP_START=spawn`` —
+the unit/prime functions are required to be module-level precisely so
+they pickle by reference under spawn.
+
+``workers=1`` never touches multiprocessing: the same shard code runs
+in-process, so environments without working process pools (sandboxes,
+restricted CI) degrade gracefully and produce the identical result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.parallel.shard import ShardSpec
+
+#: a unit function: (unit_index, unit_seed, payload) -> JSON-safe result
+UnitFn = Callable[[int, int, dict], Any]
+
+#: a priming function: (payload) -> None, run once per worker before units
+PrimeFn = Callable[[dict], None]
+
+
+@dataclass
+class ParallelResult:
+    """A merged sharded run: results in unit order plus merged metrics."""
+
+    results: list[Any]  #: unit results, ordered by global unit index
+    metrics: dict[str, Any]  #: merged registry snapshot (repro-metrics-v1)
+    workers: int  #: worker processes actually used
+    units: int
+    elapsed_s: float  #: parent-side wall-clock for the whole run
+    #: per-shard tracer span streams (repro-trace-v1), when units opted
+    #: in by returning them via the ``trace`` payload flag; empty else
+    trace_streams: list[dict[str, Any]] = field(default_factory=list)
+
+
+def resolve_workers(requested: Optional[int]) -> int:
+    """Normalize a ``--workers`` request: ``None``/0 -> 1; floor at 1."""
+    if not requested or requested < 1:
+        return 1
+    return requested
+
+
+def _start_method() -> str:
+    method = os.environ.get("REPRO_MP_START")
+    if method:
+        return method
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def _run_shard(payload: tuple) -> tuple[int, list, dict, list]:
+    """Execute one shard (module-level: picklable under spawn)."""
+    unit_fn, prime, shard, unit_args = payload
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    registry = MetricsRegistry()
+    pairs: list[tuple[int, Any]] = []
+    streams: list[tuple[int, dict]] = []
+    with use_registry(registry):
+        if prime is not None:
+            prime(unit_args)
+        for index in shard.unit_indices:
+            result = unit_fn(index, shard.unit_seed(index), unit_args)
+            if isinstance(result, dict) and "trace_stream" in result:
+                streams.append((index, result.pop("trace_stream")))
+            pairs.append((index, result))
+    return shard.index, pairs, registry.snapshot(), streams
+
+
+def run_sharded(
+    unit_fn: UnitFn,
+    num_units: int,
+    *,
+    seed: int = 0,
+    workers: int = 1,
+    unit_args: Optional[dict] = None,
+    prime: Optional[PrimeFn] = None,
+    start_method: Optional[str] = None,
+) -> ParallelResult:
+    """Run ``num_units`` independent units across ``workers`` processes.
+
+    ``unit_fn(index, unit_seed(seed, index), unit_args)`` must be a
+    module-level function returning JSON-safe data; results come back
+    ordered by unit index regardless of worker scheduling.  ``prime``
+    runs once per worker (cache warm-up) before its first unit.
+    """
+    unit_args = dict(unit_args or {})
+    workers = max(1, min(resolve_workers(workers), max(num_units, 1)))
+    shards = ShardSpec.plan(num_units, workers, seed)
+    payloads = [(unit_fn, prime, shard, unit_args) for shard in shards]
+
+    t0 = time.perf_counter()
+    if workers == 1:
+        shard_outputs = [_run_shard(payloads[0])]
+    else:
+        ctx = multiprocessing.get_context(start_method or _start_method())
+        with ctx.Pool(processes=workers) as pool:
+            shard_outputs = pool.map(_run_shard, payloads)
+    elapsed = time.perf_counter() - t0
+
+    from repro.obs.metrics import MetricsRegistry
+
+    merged = MetricsRegistry()
+    by_index: dict[int, Any] = {}
+    indexed_streams: list[tuple[int, dict]] = []
+    # merge in shard order (not completion order) so the merged registry
+    # is deterministic for a given worker count; trace streams sort by
+    # global unit index, making the merged trace layout worker-count
+    # independent
+    for _shard_index, pairs, snap, streams in sorted(
+        shard_outputs, key=lambda out: out[0]
+    ):
+        merged.merge_snapshot(snap)
+        indexed_streams.extend(streams)
+        for index, value in pairs:
+            by_index[index] = value
+    return ParallelResult(
+        results=[by_index[i] for i in range(num_units)],
+        metrics=merged.snapshot(),
+        workers=workers,
+        units=num_units,
+        elapsed_s=elapsed,
+        trace_streams=[s for _i, s in sorted(indexed_streams)],
+    )

@@ -1,0 +1,188 @@
+"""Unit functions and drivers for the built-in experiment kinds.
+
+Each unit function is **module-level** (picklable under spawn) with the
+``(index, seed, payload) -> JSON-safe dict`` shape the pool expects, and
+is a pure function of its arguments in virtual time — the determinism
+contract that makes ``--workers N`` a wall-clock knob, never a results
+knob.  The drivers wrap :func:`repro.parallel.pool.run_sharded` with the
+experiment's serial-equivalent aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.parallel.pool import ParallelResult, run_sharded
+
+#: the chip seed shared by fleet units — the paper's single testbed host
+#: (§6.1); chip-keyed caches hit across boots, digests are unaffected
+FLEET_CHIP_SEED = b"repro-epyc-7313p-bench"
+
+
+# -- SEVeriFast boot fleets (Fig. 9 shape) ------------------------------------
+
+
+def _fleet_machine(seed: int, payload: dict):
+    from repro.hw.costmodel import CostModel
+    from repro.hw.platform import Machine
+
+    return Machine(
+        cost=CostModel(
+            jitter_rel=payload.get("jitter", 0.03), jitter_seed=seed & 0xFFFF
+        ),
+        chip_seed=payload.get("chip_seed", FLEET_CHIP_SEED),
+    )
+
+
+def _boot_config(payload: dict):
+    from repro.core.config import VmConfig
+    from repro.formats.kernels import KERNEL_CONFIGS
+
+    return VmConfig(
+        kernel=KERNEL_CONFIGS[payload.get("kernel", "aws")],
+        scale=payload.get("scale", 1.0 / 1024.0),
+        attest=payload.get("attest", False),
+    )
+
+
+def prime_boot_caches(payload: dict) -> None:
+    """Warm a worker's process-local caches before its first unit.
+
+    One throwaway :meth:`SEVeriFast.prepare` builds the kernel/initrd,
+    derives the cert hierarchy, and populates the prepared-boot cache —
+    every subsequent unit in the worker starts from the same warm state
+    a serial run reaches after its first boot.
+    """
+    from repro.core.severifast import SEVeriFast
+
+    sf = SEVeriFast()
+    machine = _fleet_machine(0, payload)
+    sf.prepare(_boot_config(payload), machine)
+
+
+def boot_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
+    """One SEVeriFast cold boot on a fresh machine of the shared host."""
+    from repro.core.severifast import SEVeriFast
+
+    machine = _fleet_machine(seed, payload)
+    sf = SEVeriFast()
+    tracer = machine.sim.trace() if payload.get("trace") else None
+    result = sf.cold_boot(_boot_config(payload), machine=machine)
+    out: dict[str, Any] = {
+        "index": index,
+        "boot_ms": result.boot_ms,
+        "digest": (result.launch_digest or b"").hex(),
+        "attested": result.attested,
+    }
+    if tracer is not None:
+        out["trace_stream"] = tracer.export_spans()
+    return out
+
+
+def run_boot_fleet(
+    count: int,
+    *,
+    seed: int = 0,
+    workers: int = 1,
+    kernel: str = "aws",
+    scale: float = 1.0 / 1024.0,
+    jitter: float = 0.03,
+    attest: bool = False,
+    trace: bool = False,
+) -> ParallelResult:
+    """Boot ``count`` independent guests (the Fig. 9 fleet), sharded."""
+    payload = {
+        "kernel": kernel,
+        "scale": scale,
+        "jitter": jitter,
+        "attest": attest,
+        "trace": trace,
+    }
+    return run_sharded(
+        boot_unit,
+        count,
+        seed=seed,
+        workers=workers,
+        unit_args=payload,
+        prime=prime_boot_caches,
+    )
+
+
+# -- chaos sweeps -------------------------------------------------------------
+
+
+def chaos_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
+    """One fault rate of the chaos sweep.
+
+    The serial sweep feeds the *run* seed (not a derived one) to every
+    rate, so this unit deliberately ignores the pool's per-unit seed:
+    parallel rows must be byte-identical to serial rows.
+    """
+    del seed  # determinism: the sweep seed is part of the payload
+    from repro.faults.chaos import run_chaos_fleet
+
+    return run_chaos_fleet(
+        payload["rates"][index],
+        seed=payload["seed"],
+        kernel=payload.get("kernel", "aws"),
+        scale=payload.get("scale", 1.0 / 1024.0),
+        functions=payload.get("functions", 6),
+        horizon_s=payload.get("horizon_s", 20.0),
+        rate_per_s=payload.get("rate_per_s", 2.0),
+        asid_capacity=payload.get("asid_capacity"),
+    )
+
+
+def run_chaos_sweep_parallel(
+    rates: Iterable[float],
+    *,
+    seed: int = 1234,
+    workers: int = 1,
+    kernel: str = "aws",
+    scale: float = 1.0 / 1024.0,
+    functions: int = 6,
+    horizon_s: float = 20.0,
+    rate_per_s: float = 2.0,
+    asid_capacity: Optional[int] = None,
+) -> dict:
+    """The chaos sweep with one unit per fault rate.
+
+    Returns the exact ``BENCH_chaos.json`` document
+    :func:`repro.faults.chaos.run_chaos_sweep` produces — same rows,
+    same aggregate detection_rate — regardless of ``workers``.
+    """
+    rates_list: Sequence[float] = list(rates)
+    payload = {
+        "rates": list(rates_list),
+        "seed": seed,
+        "kernel": kernel,
+        "scale": scale,
+        "functions": functions,
+        "horizon_s": horizon_s,
+        "rate_per_s": rate_per_s,
+        "asid_capacity": asid_capacity,
+    }
+    run = run_sharded(
+        chaos_unit,
+        len(rates_list),
+        seed=seed,
+        workers=workers,
+        unit_args=payload,
+    )
+    rows = run.results
+    tampered = sum(r["tampered_boots"] for r in rows)
+    undetected = sum(r["undetected_tampered_boots"] for r in rows)
+    return {
+        "experiment": "chaos",
+        "seed": seed,
+        "kernel": kernel,
+        "scale": scale,
+        "functions": functions,
+        "horizon_s": horizon_s,
+        "rate_per_s": rate_per_s,
+        "rates": list(rates_list),
+        "detection_rate": 1.0 if tampered == 0 else 1.0 - undetected / tampered,
+        "tampered_boots": tampered,
+        "undetected_tampered_boots": undetected,
+        "sweep": rows,
+    }

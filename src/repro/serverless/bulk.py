@@ -1,0 +1,140 @@
+"""Bulk serverless traffic: many independent fleet segments, sharded.
+
+The ROADMAP north star is a platform serving heavy traffic; one
+simulated :class:`ServerlessPlatform` only scales so far on one core.
+This driver slices the offered load into independent *segments* — each
+a complete platform instance on its own machine with its own slice of
+the arrival trace — and fans them across :mod:`repro.parallel` workers.
+Segments model independent hosts behind a load balancer, so there is no
+cross-segment warm-pool sharing (each host keeps its own pool), and the
+aggregate is exact: outcome counts add, latency percentiles are computed
+over the pooled per-segment samples.
+
+Per-segment seeds come from :func:`repro.parallel.shard.unit_seed`, so
+the traffic (and therefore every aggregate) is identical for any
+``workers`` value.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.parallel.pool import ParallelResult, run_sharded
+from repro.parallel.runners import (
+    FLEET_CHIP_SEED,
+    _boot_config,
+    _fleet_machine,
+    prime_boot_caches,
+)
+
+
+def bulk_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
+    """One traffic segment: a full platform run on its own machine."""
+    from repro.core.severifast import SEVeriFast
+    from repro.serverless.platform import ServerlessPlatform
+    from repro.serverless.trace import synthesize_trace
+    from repro.vmm.firecracker import FirecrackerVMM
+
+    machine = _fleet_machine(seed, payload)
+    config = _boot_config(payload)
+    sf = SEVeriFast()
+    prepared = sf.prepare(config, machine)
+    vmm = FirecrackerVMM(machine)
+
+    def boot():
+        result = yield from vmm.boot_severifast(
+            config,
+            prepared.artifacts,
+            prepared.initrd,
+            hashes=prepared.hashes,
+        )
+        return result
+
+    platform = ServerlessPlatform(
+        machine.sim,
+        boot,
+        keepalive_ms=payload.get("keepalive_ms", 4000.0),
+    )
+    trace = synthesize_trace(
+        num_functions=payload.get("functions", 6),
+        horizon_ms=payload.get("horizon_s", 20.0) * 1000.0,
+        mean_rate_per_s=payload.get("rate_per_s", 2.0),
+        seed=seed,
+    )
+    stats = platform.run(trace)
+    return {
+        "segment": index,
+        "invocations": len(stats.outcomes),
+        "cold_starts": stats.cold_starts,
+        "warm_starts": stats.warm_starts,
+        "failed_invocations": stats.failed_invocations,
+        # raw samples, so the parent can compute exact pooled percentiles
+        "start_delays_ms": [
+            round(o.start_delay_ms, 6) for o in stats.outcomes
+        ],
+        "cold_boot_ms": [
+            round(o.boot_ms, 6)
+            for o in stats.outcomes
+            if o.cold and not o.failed
+        ],
+    }
+
+
+def run_bulk_traffic(
+    segments: int = 8,
+    *,
+    seed: int = 0,
+    workers: int = 1,
+    kernel: str = "aws",
+    scale: float = 1.0 / 1024.0,
+    functions: int = 6,
+    horizon_s: float = 20.0,
+    rate_per_s: float = 2.0,
+    keepalive_ms: float = 4000.0,
+) -> dict[str, Any]:
+    """Drive ``segments`` independent traffic segments; exact aggregate."""
+    from repro.analysis.stats import percentile
+
+    payload = {
+        "kernel": kernel,
+        "scale": scale,
+        "jitter": 0.03,
+        "attest": False,
+        "chip_seed": FLEET_CHIP_SEED,
+        "functions": functions,
+        "horizon_s": horizon_s,
+        "rate_per_s": rate_per_s,
+        "keepalive_ms": keepalive_ms,
+    }
+    run: ParallelResult = run_sharded(
+        bulk_unit,
+        segments,
+        seed=seed,
+        workers=workers,
+        unit_args=payload,
+        prime=prime_boot_caches,
+    )
+    rows = run.results
+    delays = [d for row in rows for d in row["start_delays_ms"]]
+    boots = [b for row in rows for b in row["cold_boot_ms"]]
+    invocations = sum(row["invocations"] for row in rows)
+    return {
+        "experiment": "serverless-bulk",
+        "seed": seed,
+        "segments": segments,
+        "workers": run.workers,
+        "kernel": kernel,
+        "functions": functions,
+        "horizon_s": horizon_s,
+        "rate_per_s": rate_per_s,
+        "invocations": invocations,
+        "cold_starts": sum(row["cold_starts"] for row in rows),
+        "warm_starts": sum(row["warm_starts"] for row in rows),
+        "failed_invocations": sum(row["failed_invocations"] for row in rows),
+        "p50_start_delay_ms": round(percentile(delays, 50), 3) if delays else 0.0,
+        "p99_start_delay_ms": round(percentile(delays, 99), 3) if delays else 0.0,
+        "p50_cold_boot_ms": round(percentile(boots, 50), 3) if boots else 0.0,
+        "p99_cold_boot_ms": round(percentile(boots, 99), 3) if boots else 0.0,
+        "elapsed_s": round(run.elapsed_s, 3),
+        "segment_rows": rows,
+    }

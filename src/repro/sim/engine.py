@@ -45,7 +45,29 @@ class Event:
     An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
     *triggers* it, scheduling all registered callbacks at the current
     simulation time.  Once triggered it cannot be triggered again.
+
+    ``__slots__`` (including the optional attributes the engine's own
+    machinery attaches — timeout payloads, resource bookkeeping, trace
+    spans) keeps the per-event footprint small; events are the single
+    most-allocated object in any run.
     """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "value",
+        "_ok",
+        "_callbacks",
+        # timeout payload (set by Simulator.timeout)
+        "_timeout_value",
+        # resource bookkeeping (set by Resource.request/_grant)
+        "_requested_at",
+        "_cancel_hook",
+        "_resource_token",
+        # tracer spans (set by Resource when a tracer is attached)
+        "_trace_wait",
+        "_trace_hold",
+    )
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -101,6 +123,8 @@ class Process(Event):
       process resumes with ``event.value`` when the event fires, or the
       event's exception is thrown in if the event failed.
     """
+
+    __slots__ = ("_gen", "_waiting_on", "_trace_span")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim, name or getattr(gen, "__name__", "process"))
@@ -189,6 +213,8 @@ class Process(Event):
 class _InitEvent(Event):
     """Internal pre-triggered event used to kick off / interrupt processes."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator"):
         super().__init__(sim, "init")
         self._ok = True
@@ -196,6 +222,8 @@ class _InitEvent(Event):
 
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
         super().__init__(sim, name)
@@ -217,6 +245,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Fires when every child event has fired.  Value: list of child values."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, events, "all_of")
 
@@ -233,6 +263,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Fires when the first child event fires.  Value: (event, value)."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, events, "any_of")
@@ -265,6 +297,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._request_name = f"{name}.request"
         self._in_use = 0
         self._queue: deque[Event] = deque()
         # Statistics for contention analysis.
@@ -291,8 +324,8 @@ class Resource:
 
     def request(self) -> Event:
         self.total_requests += 1
-        self._m_requests.inc()
-        evt = Event(self.sim, f"{self.name}.request")
+        self._m_requests.value += 1
+        evt = Event(self.sim, self._request_name)
         evt._requested_at = self.sim.now  # type: ignore[attr-defined]
         evt._cancel_hook = self.cancel  # type: ignore[attr-defined]
         tracer = self.sim.tracer
@@ -305,7 +338,7 @@ class Resource:
             self._grant(evt)
         else:
             self._queue.append(evt)
-            self._m_queue_depth.set(len(self._queue))
+            self._m_queue_depth.value = len(self._queue)
             if tracer is not None:
                 tracer.counter(f"{self.name}.queue_depth", len(self._queue))
         return evt
@@ -339,7 +372,7 @@ class Resource:
                 tracer.end(hold_span)
         if self._queue:
             nxt = self._queue.popleft()
-            self._m_queue_depth.set(len(self._queue))
+            self._m_queue_depth.value = len(self._queue)
             if tracer is not None:
                 tracer.counter(f"{self.name}.queue_depth", len(self._queue))
             self._grant(nxt)
@@ -382,6 +415,13 @@ class Resource:
             yield self.sim.timeout(duration)
         finally:
             self.release(grant)
+
+
+def _fire_timeout(evt: Event) -> None:
+    # Trigger at the deadline; waiters were registered while pending.
+    # Module-level (not a method) so the heap entry holds a plain
+    # function reference with no bound-method allocation per timeout.
+    evt.succeed(evt._timeout_value)  # type: ignore[attr-defined]
 
 
 class Simulator:
@@ -435,15 +475,24 @@ class Simulator:
     def _schedule_callback(
         self, callback: Callable[[Event], None], event: Event, delay: float = 0.0
     ) -> None:
-        if delay < 0:
-            raise SimulationError("cannot schedule into the past")
+        # Internal call sites only ever pass delay >= 0 (timeout() guards
+        # the public path), so no negative check on this hot path.
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback, event))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        callbacks, event._callbacks = event._callbacks, []
+        callbacks = event._callbacks
+        if not callbacks:
+            return
+        event._callbacks = []
+        t = self.now + delay
+        heap = self._heap
+        seq = self._seq
+        push = heapq.heappush
         for cb in callbacks:
-            self._schedule_callback(cb, event, delay)
+            seq += 1
+            push(heap, (t, seq, cb, event))
+        self._seq = seq
 
     # -- public API ------------------------------------------------------
 
@@ -454,19 +503,14 @@ class Simulator:
         """An event that fires ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        evt = Event(self, f"timeout({delay})")
-        self._m_timeouts.inc()
+        evt = Event(self, "timeout")
+        self._m_timeouts.value += 1
         evt._timeout_value = value  # type: ignore[attr-defined]
         self._seq += 1
         heapq.heappush(
-            self._heap, (self.now + delay, self._seq, self._fire_timeout, evt)
+            self._heap, (self.now + delay, self._seq, _fire_timeout, evt)
         )
         return evt
-
-    @staticmethod
-    def _fire_timeout(evt: Event) -> None:
-        # Trigger at the deadline; waiters were registered while pending.
-        evt.succeed(evt._timeout_value)  # type: ignore[attr-defined]
 
     def process(self, gen: Generator, name: str = "") -> Process:
         self._m_processes.inc()
@@ -484,21 +528,44 @@ class Simulator:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the event queue drains or the clock reaches ``until``.
 
-        Returns the final clock value.
+        An event scheduled exactly at ``until`` still fires (the boundary
+        is inclusive); only events strictly later are left in the heap for
+        a subsequent ``run()``.  Returns the final clock value.
+
+        The loop is the single hottest code path in the repository, so it
+        trades a little readability for speed: locals alias the heap and
+        ``heappop``, the ``until`` check is hoisted into a dedicated
+        variant, and the ``sim.events_dispatched`` counter is accumulated
+        locally and flushed once on exit instead of bumped per event.
         """
-        while self._heap:
-            t, _seq, callback, event = self._heap[0]
-            if until is not None and t > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._heap)
-            if t < self.now - 1e-12:
-                raise SimulationError("event scheduled in the past")
-            self.now = t
-            self._m_dispatched.inc()
-            callback(event)
-        if until is not None:
-            self.now = max(self.now, until)
+        heap = self._heap
+        pop = heapq.heappop
+        dispatched = 0
+        try:
+            if until is None:
+                while heap:
+                    t, _seq, callback, event = pop(heap)
+                    if t < self.now - 1e-12:
+                        raise SimulationError("event scheduled in the past")
+                    self.now = t
+                    dispatched += 1
+                    callback(event)
+            else:
+                while heap:
+                    t = heap[0][0]
+                    if t > until:
+                        self.now = until
+                        return self.now
+                    t, _seq, callback, event = pop(heap)
+                    if t < self.now - 1e-12:
+                        raise SimulationError("event scheduled in the past")
+                    self.now = t
+                    dispatched += 1
+                    callback(event)
+                self.now = max(self.now, until)
+        finally:
+            if dispatched:
+                self._m_dispatched.value += dispatched
         return self.now
 
     def run_process(self, gen: Generator, name: str = "") -> Any:

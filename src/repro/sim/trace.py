@@ -236,6 +236,40 @@ class Tracer:
 
     # -- exports -------------------------------------------------------------
 
+    def export_spans(self) -> dict[str, Any]:
+        """A JSON-safe span-stream for cross-process merging.
+
+        The plain-data twin of the in-memory tracer: spans (open spans
+        are closed at the current clock), instants, counter series, and
+        fault-counter totals, plus the clock.  Worker processes in
+        :mod:`repro.parallel` ship this back to the parent, which folds
+        the shards with :func:`merge_span_streams`.
+        """
+        now = self.sim.now
+        return {
+            "schema": "repro-trace-v1",
+            "now": now,
+            "spans": [
+                [
+                    s.name,
+                    s.category,
+                    s.track,
+                    s.start,
+                    s.end if s.end is not None else now,
+                    dict(s.args),
+                ]
+                for s in self.spans
+            ],
+            "instants": [
+                [i.name, i.track, i.ts, dict(i.args)] for i in self.instants
+            ],
+            "counters": {
+                name: [[ts, value] for ts, value in series]
+                for name, series in self.counters.items()
+            },
+            "fault_counters": dict(self.fault_counters),
+        }
+
     def to_chrome_trace(self) -> dict[str, Any]:
         """The Chrome trace-event JSON document (as a dict).
 
@@ -243,75 +277,13 @@ class Tracer:
         unit `chrome://tracing` and Perfetto expect.  Tracks map to
         ``tid`` rows under a single ``pid`` with thread-name metadata.
         """
-        tids: dict[str, int] = {}
-
-        def tid(track: str) -> int:
-            if track not in tids:
-                tids[track] = len(tids) + 1
-            return tids[track]
-
-        events: list[dict[str, Any]] = []
-        for span in self.spans:
-            end = span.end if span.end is not None else self.sim.now
-            events.append(
-                {
-                    "name": span.name,
-                    "cat": span.category,
-                    "ph": "X",
-                    "ts": span.start * 1000.0,
-                    "dur": (end - span.start) * 1000.0,
-                    "pid": 1,
-                    "tid": tid(span.track),
-                    "args": dict(span.args),
-                }
-            )
-        for inst in self.instants:
-            events.append(
-                {
-                    "name": inst.name,
-                    "cat": "instant",
-                    "ph": "i",
-                    "s": "t",
-                    "ts": inst.ts * 1000.0,
-                    "pid": 1,
-                    "tid": tid(inst.track),
-                    "args": dict(inst.args),
-                }
-            )
-        for name, series in self.counters.items():
-            for ts, value in series:
-                events.append(
-                    {
-                        "name": name,
-                        "cat": "counter",
-                        "ph": "C",
-                        "ts": ts * 1000.0,
-                        "pid": 1,
-                        "args": {name: value},
-                    }
-                )
-        meta = [
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": track_tid,
-                "args": {"name": track},
-            }
-            for track, track_tid in tids.items()
-        ]
-        return {
-            "traceEvents": meta + events,
-            "displayTimeUnit": "ms",
-            "otherData": {
-                "clock": "virtual-ms",
-                "spans": len(self.spans),
-                "producer": "repro.sim.trace",
-                # Wall-clock crypto/cache activity (no virtual timestamps,
-                # so it rides in otherData rather than as counter events).
-                "perf_counters": self.perf_counters(),
-            },
-        }
+        return _chrome_trace(
+            self.spans,
+            self.instants,
+            self.counters,
+            self.sim.now,
+            self.perf_counters(),
+        )
 
     def to_chrome_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_chrome_trace(), indent=indent)
@@ -367,6 +339,190 @@ class Tracer:
             for name in sorted(perf_counters):
                 lines.append(f"  {name:<36} {perf_counters[name]:>12}")
         return "\n".join(lines)
+
+
+def _chrome_trace(
+    spans: list[Span],
+    instants: list[Instant],
+    counters: dict[str, list[tuple[float, float]]],
+    now: float,
+    perf_counters: dict[str, int],
+) -> dict[str, Any]:
+    """Chrome trace-event document from raw span/instant/counter streams
+    (shared by :meth:`Tracer.to_chrome_trace` and :class:`MergedTrace`)."""
+    tids: dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+        return tids[track]
+
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        end = span.end if span.end is not None else now
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1000.0,
+                "dur": (end - span.start) * 1000.0,
+                "pid": 1,
+                "tid": tid(span.track),
+                "args": dict(span.args),
+            }
+        )
+    for inst in instants:
+        events.append(
+            {
+                "name": inst.name,
+                "cat": "instant",
+                "ph": "i",
+                "s": "t",
+                "ts": inst.ts * 1000.0,
+                "pid": 1,
+                "tid": tid(inst.track),
+                "args": dict(inst.args),
+            }
+        )
+    for name, series in counters.items():
+        for ts, value in series:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": ts * 1000.0,
+                    "pid": 1,
+                    "args": {name: value},
+                }
+            )
+    meta = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": track_tid,
+            "args": {"name": track},
+        }
+        for track, track_tid in tids.items()
+    ]
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual-ms",
+            "spans": len(spans),
+            "producer": "repro.sim.trace",
+            # Wall-clock crypto/cache activity (no virtual timestamps,
+            # so it rides in otherData rather than as counter events).
+            "perf_counters": perf_counters,
+        },
+    }
+
+
+@dataclass
+class MergedTrace:
+    """Span streams from several shards folded into one trace.
+
+    Duck-types the pieces of :class:`Tracer` the exports and the
+    profiler consume (``spans``, ``instants``, ``counters``,
+    ``fault_counters``), so ``repro.obs.profiler.profile`` and the
+    Chrome export work on a merged parallel run exactly as on a serial
+    tracer.
+    """
+
+    spans: list[Span] = field(default_factory=list)
+    instants: list[Instant] = field(default_factory=list)
+    counters: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    fault_counters: dict[str, int] = field(default_factory=dict)
+    now: float = 0.0
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        return _chrome_trace(
+            self.spans, self.instants, self.counters, self.now, {}
+        )
+
+    def to_chrome_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=indent)
+
+
+def merge_span_streams(
+    streams: list[dict[str, Any]],
+    offsets: Any = "concat",
+    track_prefix: Optional[str] = "shard",
+) -> MergedTrace:
+    """Fold per-shard :meth:`Tracer.export_spans` streams into one trace.
+
+    ``offsets`` places each shard on the merged virtual timeline:
+
+    - ``"concat"`` (default): shard *i* starts where shard *i-1*'s clock
+      ended — the timeline a single serial process would have produced
+      if it had run the shards back to back;
+    - ``"overlay"``: every shard starts at 0 (all shards share the
+      virtual origin, the truth of what each worker simulated);
+    - an explicit sequence of per-shard start offsets (virtual ms).
+
+    With ``track_prefix`` (default ``"shard"``), shard *i*'s tracks and
+    counter series are renamed ``<prefix><i>/<name>`` so same-named
+    tracks from different workers stay on distinct display rows.
+    Fault-counter totals add across shards.
+    """
+    if offsets == "concat":
+        resolved: list[float] = []
+        acc = 0.0
+        for stream in streams:
+            resolved.append(acc)
+            acc += float(stream.get("now", 0.0))
+    elif offsets == "overlay":
+        resolved = [0.0] * len(streams)
+    else:
+        resolved = [float(o) for o in offsets]
+        if len(resolved) != len(streams):
+            raise ValueError(
+                f"{len(streams)} streams but {len(resolved)} offsets"
+            )
+    merged = MergedTrace()
+    for i, (stream, offset) in enumerate(zip(streams, resolved)):
+        schema = stream.get("schema")
+        if schema != "repro-trace-v1":
+            raise ValueError(f"unsupported trace stream schema: {schema!r}")
+
+        def rename(name: str) -> str:
+            if track_prefix is None:
+                return name
+            return f"{track_prefix}{i}/{name}"
+
+        for name, category, track, start, end, args in stream["spans"]:
+            args = dict(args)
+            if "vm" in args:
+                # `vm` span tags are track references (PSP -> VM
+                # attribution in the profiler); rename them in step.
+                args["vm"] = rename(args["vm"])
+            merged.spans.append(
+                Span(
+                    name,
+                    category,
+                    rename(track),
+                    start + offset,
+                    None if end is None else end + offset,
+                    args,
+                )
+            )
+        for name, track, ts, args in stream["instants"]:
+            merged.instants.append(
+                Instant(name, rename(track), ts + offset, dict(args))
+            )
+        for name, series in stream["counters"].items():
+            merged.counters.setdefault(rename(name), []).extend(
+                (ts + offset, value) for ts, value in series
+            )
+        for name, value in stream.get("fault_counters", {}).items():
+            merged.fault_counters[name] = merged.fault_counters.get(name, 0) + int(
+                value
+            )
+        merged.now = max(merged.now, offset + float(stream.get("now", 0.0)))
+    return merged
 
 
 def validate_chrome_trace(doc: Any) -> list[str]:

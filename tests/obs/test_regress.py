@@ -56,8 +56,42 @@ def test_missing_metric_fails_gate():
 
 def test_detect_kind():
     assert detect_kind({"schema": "repro-perfbench-v1"}) == "wallclock"
+    assert detect_kind({"schema": "repro-perfbench-v2"}) == "wallclock"
     assert detect_kind({"experiment": "chaos"}) == "chaos"
     assert detect_kind({"anything": 1}) == "generic"
+
+
+def test_wallclock_v2_parallel_bands():
+    """The v2 parallel leaves get their own (widest) bands; elapsed_s
+    and run configuration are never compared."""
+    base = {
+        "schema": "repro-perfbench-v2",
+        "workers": 4,
+        "host_cpus": 8,
+        "workloads": {
+            "engine_events": {"dispatched": 60050, "events_s": 700000.0},
+            "fig9_parallel": {
+                "boots": 100,
+                "workers": 4,
+                "parallel_boots_s": 400.0,
+                "parallel_speedup": 3.0,
+                "elapsed_s": 0.25,
+            },
+        },
+    }
+    _kind, rules = rules_for_document(base)
+    cur = copy.deepcopy(base)
+    # halved parallel scaling stays inside the 75% band; a slow CI host
+    # must not fail the gate on scheduling noise alone
+    cur["workloads"]["fig9_parallel"]["parallel_boots_s"] = 150.0
+    cur["workloads"]["fig9_parallel"]["parallel_speedup"] = 1.1
+    cur["workloads"]["fig9_parallel"]["elapsed_s"] = 9.9
+    assert compare_documents(base, cur, rules).ok
+    # but an engine-throughput collapse beyond 50% is a regression
+    cur["workloads"]["engine_events"]["events_s"] = 100000.0
+    report = compare_documents(base, cur, rules)
+    assert not report.ok
+    assert report.regressions[0].path == "workloads.engine_events.events_s"
 
 
 def test_rel_tol_override_preserves_direction_and_ignores():

@@ -1,0 +1,99 @@
+"""The acceptance invariant: parallel == serial, bit for bit.
+
+Same-seed runs at different worker counts must produce identical launch
+digests, identical chaos rows/detection_rate, and exactly-equal merged
+counters.  Sizes are kept small; the property is about equality, not
+scale.
+"""
+
+import pytest
+
+from repro.faults.chaos import run_chaos_sweep
+from repro.parallel.runners import run_boot_fleet, run_chaos_sweep_parallel
+from repro.serverless.bulk import run_bulk_traffic
+
+#: wall-clock perf counters (cache hits, vectorized crypto bytes) track
+#: *process-local* work, which legitimately depends on worker count and
+#: fork-inherited cache warmth; the determinism contract covers the
+#: virtual-time series only (docs/PARALLELISM.md)
+WALLCLOCK_PREFIXES = ("cache.", "crypto.")
+
+
+def _virtual(series: dict) -> dict:
+    return {
+        k: v
+        for k, v in series.items()
+        if not k.startswith(WALLCLOCK_PREFIXES)
+    }
+
+
+def test_boot_fleet_parallel_matches_serial():
+    serial = run_boot_fleet(6, seed=5, workers=1)
+    parallel = run_boot_fleet(6, seed=5, workers=2)
+    assert [r["digest"] for r in serial.results] == [
+        r["digest"] for r in parallel.results
+    ]
+    assert [r["boot_ms"] for r in serial.results] == [
+        r["boot_ms"] for r in parallel.results
+    ]
+    assert _virtual(serial.metrics["counters"]) == _virtual(
+        parallel.metrics["counters"]
+    )
+    # histogram bucket counts are integer-exact; sums may differ by an
+    # ulp because float addition is not associative across shard order
+    sh, ph = serial.metrics["histograms"], parallel.metrics["histograms"]
+    assert set(sh) == set(ph)
+    for name in sh:
+        assert sh[name]["buckets"] == ph[name]["buckets"], name
+        assert sh[name]["count"] == ph[name]["count"], name
+        assert sh[name]["sum"] == pytest.approx(ph[name]["sum"], rel=1e-12)
+
+
+def test_boot_fleet_identical_image_identical_digest():
+    run = run_boot_fleet(4, seed=9, workers=2)
+    digests = {r["digest"] for r in run.results}
+    assert len(digests) == 1  # one image, one measurement
+    assert digests != {""}
+
+
+def test_chaos_parallel_matches_serial_sweep():
+    kwargs = dict(
+        seed=777, functions=3, horizon_s=4.0, rate_per_s=2.0
+    )
+    rates = (0.0, 0.1)
+    serial = run_chaos_sweep(rates, **kwargs)
+    parallel = run_chaos_sweep_parallel(rates, workers=2, **kwargs)
+    assert parallel["detection_rate"] == serial["detection_rate"]
+    assert parallel["sweep"] == serial["sweep"]  # byte-identical rows
+    assert parallel == serial
+
+
+def test_bulk_traffic_worker_count_invariant():
+    serial = run_bulk_traffic(4, seed=3, workers=1, horizon_s=3.0)
+    parallel = run_bulk_traffic(4, seed=3, workers=2, horizon_s=3.0)
+    for key in (
+        "invocations",
+        "cold_starts",
+        "warm_starts",
+        "failed_invocations",
+        "p50_start_delay_ms",
+        "p99_start_delay_ms",
+        "p50_cold_boot_ms",
+        "p99_cold_boot_ms",
+        "segment_rows",
+    ):
+        assert parallel[key] == serial[key], key
+    assert parallel["workers"] == 2
+
+
+def test_boot_fleet_trace_streams_merge():
+    from repro.obs.profiler import profile
+    from repro.sim.trace import merge_span_streams
+
+    run = run_boot_fleet(3, seed=2, workers=2, trace=True)
+    assert len(run.trace_streams) == 3
+    merged = merge_span_streams(run.trace_streams, offsets="overlay")
+    prof = profile(merged)
+    assert len(prof.tracks) == 3  # one VM track per boot, prefixed
+    for track in prof.tracks:
+        assert prof.vm(track).phase_ms()  # phases attributed per shard

@@ -1,0 +1,92 @@
+"""The worker pool: in-process fallback, process workers, merged output.
+
+Unit functions here are module-level so they pickle under any start
+method; the suite runs the real multiprocessing path (2 workers) with
+tiny units, so it stays fast even on one core.
+"""
+
+import pytest
+
+from repro.obs.metrics import default_registry
+from repro.parallel import run_sharded
+from repro.parallel.pool import resolve_workers
+
+
+def _square_unit(index, seed, payload):
+    registry = default_registry()
+    registry.counter("units.run").inc()
+    registry.counter("units.by_parity", parity=index % 2).inc()
+    registry.histogram("units.value", buckets=(10.0, 100.0)).observe(index)
+    registry.gauge("units.last_index").set(index)
+    return {"index": index, "square": index * index, "seed": seed}
+
+
+def _prime(payload):
+    default_registry().counter("primed").inc()
+
+
+def _boom_unit(index, seed, payload):
+    raise RuntimeError(f"unit {index} exploded")
+
+
+def test_resolve_workers():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(0) == 1
+    assert resolve_workers(-3) == 1
+    assert resolve_workers(4) == 4
+
+
+def test_in_process_fallback_at_one_worker():
+    run = run_sharded(_square_unit, 5, seed=3, workers=1)
+    assert run.workers == 1
+    assert [r["square"] for r in run.results] == [0, 1, 4, 9, 16]
+    assert run.metrics["counters"]["units.run"] == 5
+
+
+def test_results_ordered_by_unit_index_across_workers():
+    serial = run_sharded(_square_unit, 9, seed=3, workers=1)
+    parallel = run_sharded(_square_unit, 9, seed=3, workers=2)
+    assert parallel.workers == 2
+    assert parallel.results == serial.results  # same values, same order
+
+
+def test_merged_counters_equal_serial():
+    serial = run_sharded(_square_unit, 8, seed=1, workers=1)
+    parallel = run_sharded(_square_unit, 8, seed=1, workers=3)
+    assert parallel.metrics["counters"] == serial.metrics["counters"]
+    assert parallel.metrics["histograms"] == serial.metrics["histograms"]
+    assert parallel.metrics["counters"]["units.run"] == 8
+    assert parallel.metrics["counters"]['units.by_parity{parity="0"}'] == 4
+
+
+def test_unit_seeds_worker_count_independent():
+    runs = [
+        run_sharded(_square_unit, 6, seed=11, workers=w) for w in (1, 2, 3)
+    ]
+    seeds = [[r["seed"] for r in run.results] for run in runs]
+    assert seeds[0] == seeds[1] == seeds[2]
+
+
+def test_prime_runs_once_per_worker():
+    serial = run_sharded(_square_unit, 4, seed=0, workers=1, prime=_prime)
+    parallel = run_sharded(_square_unit, 4, seed=0, workers=2, prime=_prime)
+    assert serial.metrics["counters"]["primed"] == 1
+    assert parallel.metrics["counters"]["primed"] == 2
+
+
+def test_worker_registries_do_not_leak_into_parent():
+    before = default_registry().value("units.run")
+    run_sharded(_square_unit, 3, seed=0, workers=1)
+    assert default_registry().value("units.run") == before
+
+
+def test_workers_clamped_to_unit_count():
+    run = run_sharded(_square_unit, 2, seed=0, workers=8)
+    assert run.workers == 2
+
+
+def test_unit_exception_propagates():
+    with pytest.raises(RuntimeError, match="exploded"):
+        run_sharded(_boom_unit, 3, seed=0, workers=1)
+    with pytest.raises(Exception):
+        run_sharded(_boom_unit, 3, seed=0, workers=2)

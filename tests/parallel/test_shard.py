@@ -1,0 +1,46 @@
+"""Sharding core: stable ordering, worker-count-independent seeds."""
+
+import pytest
+
+from repro.parallel import ShardSpec, shard_units, unit_seed
+
+
+def test_shard_units_partition_every_index_once():
+    for units in (0, 1, 7, 100):
+        for shards in (1, 2, 3, 8, 13):
+            plan = shard_units(units, shards)
+            assert len(plan) == shards
+            flat = sorted(i for shard in plan for i in shard)
+            assert flat == list(range(units))
+
+
+def test_shard_units_round_robin():
+    assert shard_units(7, 3) == [(0, 3, 6), (1, 4), (2, 5)]
+
+
+def test_shard_units_rejects_bad_counts():
+    with pytest.raises(ValueError):
+        shard_units(4, 0)
+    with pytest.raises(ValueError):
+        shard_units(-1, 2)
+
+
+def test_unit_seed_is_stable_and_distinct():
+    seen = {unit_seed(42, i) for i in range(200)}
+    assert len(seen) == 200  # no collisions across a sweep
+    assert unit_seed(42, 7) == unit_seed(42, 7)
+    assert unit_seed(42, 7) != unit_seed(43, 7)
+    assert unit_seed(42, 7) != unit_seed(42, 8)
+    assert unit_seed(42, 7, salt="chaos") != unit_seed(42, 7)
+    # pinned: derivation is sha256-based, never Python hash(), so the
+    # value is identical in every process and interpreter
+    assert unit_seed(0, 0) == 17764798517795504141
+
+
+def test_spec_plan_seed_independent_of_worker_count():
+    """The invariant everything rests on: a unit's seed never depends
+    on which shard it landed in."""
+    for workers in (1, 2, 3, 5):
+        for spec in ShardSpec.plan(20, workers, seed=9):
+            for index in spec.unit_indices:
+                assert spec.unit_seed(index) == unit_seed(9, index)

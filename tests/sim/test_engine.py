@@ -148,6 +148,146 @@ def test_run_until_pauses_clock():
     assert sim.now == pytest.approx(10.0)
 
 
+def test_run_until_fires_event_exactly_at_until():
+    """An event scheduled exactly at ``until`` fires before run() returns.
+
+    The boundary is inclusive (only events strictly *after* ``until`` are
+    deferred), and the clock lands exactly on ``until`` either way.  This
+    pins the semantics the hot-loop rewrite must preserve.
+    """
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(4.0)
+        fired.append(sim.now)
+        yield sim.timeout(1.0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=4.0)
+    assert fired == [pytest.approx(4.0)]
+    assert sim.now == pytest.approx(4.0)
+    sim.run()
+    assert fired == [pytest.approx(4.0), pytest.approx(5.0)]
+
+
+def test_run_until_beyond_last_event_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert sim.now == pytest.approx(10.0)
+
+
+def test_run_until_same_timestamp_batch_split():
+    """Two events at the same timestamp straddle nothing: both are at
+    ``until``, so both fire in scheduling order in the same run() call."""
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(2.0)
+        order.append(tag)
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run(until=2.0)
+    assert order == ["a", "b"]
+
+
+def test_interrupt_cancels_request_in_same_timestamp_batch():
+    """A process interrupted in the same timestamp batch that would grant
+    its queued request must not leak the slot.
+
+    The holder releases at t=5 (scheduling the grant callback) while a
+    sibling interrupts the waiter at the same virtual time; the engine's
+    cancel hook must withdraw the request so the slot goes back to the
+    pool instead of being granted into a dead process.
+    """
+    sim = Simulator()
+    resource = sim.resource(capacity=1, name="dev")
+    waiter_state = {}
+
+    def holder():
+        grant = yield resource.request()
+        yield sim.timeout(5.0)
+        resource.release(grant)
+
+    def waiter():
+        try:
+            grant = yield resource.request()
+        except Interrupt:
+            waiter_state["interrupted"] = True
+            return
+        resource.release(grant)
+        waiter_state["granted"] = True
+
+    def canceller(target):
+        yield sim.timeout(5.0)
+        target.interrupt("same-batch cancel")
+
+    sim.process(holder())
+    waiter_proc = sim.process(waiter())
+    sim.process(canceller(waiter_proc))
+    sim.run()
+    # The grant raced the interrupt at t=5; whichever way the engine
+    # resolves it, the slot must end up free and accounting consistent.
+    assert resource.in_use == 0
+    assert resource.queue_length == 0
+    assert waiter_state.get("granted") is None
+    assert resource.total_cancels == 1
+
+
+def test_cancel_hook_fires_once_for_queued_request_at_until_boundary():
+    """Interrupting a queued waiter while run(until=...) paused the clock
+    exercises the cancel hook outside the main loop; resuming afterwards
+    must not double-grant or re-queue the withdrawn request."""
+    sim = Simulator()
+    resource = sim.resource(capacity=1, name="dev")
+
+    def holder():
+        grant = yield resource.request()
+        yield sim.timeout(10.0)
+        resource.release(grant)
+
+    def waiter():
+        yield resource.request()
+
+    sim.process(holder())
+    waiter_proc = sim.process(waiter())
+    sim.run(until=3.0)
+    assert resource.queue_length == 1
+    waiter_proc.interrupt("paused cancel")
+    sim.run()
+    assert sim.now == pytest.approx(10.0)
+    assert resource.in_use == 0
+    assert resource.queue_length == 0
+    assert resource.total_cancels == 1
+
+
+def test_same_timestamp_heap_order_is_scheduling_order():
+    """Simultaneous events fire strictly in scheduling (seq) order even
+    when interleaved with releases/grants at the same virtual time."""
+    sim = Simulator()
+    order = []
+
+    def stepper(tag, delay):
+        yield sim.timeout(delay)
+        order.append((tag, sim.now))
+
+    # All three land at t=2.0 but were scheduled a, b, c.
+    sim.process(stepper("a", 2.0))
+    sim.process(stepper("b", 2.0))
+    sim.process(stepper("c", 2.0))
+    sim.run()
+    assert [tag for tag, _ in order] == ["a", "b", "c"]
+    assert all(t == pytest.approx(2.0) for _, t in order)
+
+
 def test_deadlocked_process_detected():
     sim = Simulator()
 

@@ -88,3 +88,60 @@ def test_report_command(capsys, tmp_path):
 
 def test_report_command_missing_dir(capsys, tmp_path):
     assert main(["report", "--results-dir", str(tmp_path / "nope")]) == 1
+
+
+def test_bench_command(capsys, tmp_path):
+    out_path = tmp_path / "fleet.json"
+    assert main(
+        ["bench", "--boots", "4", "--workers", "2", "--out", str(out_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "boots/s" in out
+    assert "distinct digests" in out
+    import json
+
+    doc = json.loads(out_path.read_text())
+    assert doc["workers"] == 2
+    assert len(doc["results"]) == 4
+    assert doc["metrics"]["schema"] == "repro-metrics-v1"
+
+
+def test_serverless_bulk_command(capsys, tmp_path):
+    out_path = tmp_path / "bulk.json"
+    assert main(
+        [
+            "serverless", "--bulk", "--segments", "2", "--workers", "2",
+            "--horizon-s", "3", "--out", str(out_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "invocations" in out
+    import json
+
+    doc = json.loads(out_path.read_text())
+    assert doc["experiment"] == "serverless-bulk"
+    assert doc["workers"] == 2
+
+
+def test_chaos_workers_flag(capsys, tmp_path):
+    out_path = tmp_path / "chaos.json"
+    assert main(
+        [
+            "chaos", "--rates", "0.0", "--horizon-s", "3",
+            "--functions", "2", "--workers", "2", "--out", str(out_path),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "chaos sweep" in out
+    assert out_path.is_file()
+
+
+def test_profile_workers_flag(capsys):
+    assert main(["profile", "--count", "2", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "shard0/" in out
+    assert "shard1/" in out
+
+
+def test_profile_workers_rejects_serverless(capsys):
+    assert main(["profile", "--serverless", "--workers", "2"]) == 1

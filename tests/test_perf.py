@@ -101,3 +101,62 @@ def test_clear_all_caches_and_stats():
         stats = perf.cache_stats()
     assert "test.clearable" in stats
     assert stats["test.clearable"]["entries"] == 0
+
+
+def test_fleet_boot_caches_hit_on_shared_chip():
+    """Repeat boots of one image on one host hit every boot-path cache.
+
+    Regression for the cold caches once visible in BENCH_wallclock.json
+    (sev.page_crypto 0/600, certchain.hierarchy 0/101,
+    severifast.prepared 0/101): every bench machine now shares one chip
+    seed, so chip-keyed caches hit across fresh Machine instances.
+    """
+    from repro.core import SEVeriFast, VmConfig
+    from repro.formats.kernels import AWS
+    from repro.hw.costmodel import CostModel
+    from repro.hw.platform import Machine
+
+    chip = b"test-shared-chip"
+
+    def machine(seed):
+        return Machine(cost=CostModel(jitter_seed=seed), chip_seed=chip)
+
+    with perf.scoped(caches=True):
+        perf.clear_all_caches()
+        sf = SEVeriFast()
+        config = VmConfig(kernel=AWS, scale=1.0 / 1024.0)
+        digests = {
+            sf.cold_boot(config, machine=machine(run)).launch_digest
+            for run in range(4)
+        }
+        stats = perf.cache_stats()
+
+    assert len(digests) == 1  # identical image => identical measurement
+    for name in ("severifast.prepared", "certchain.hierarchy", "sev.page_crypto"):
+        assert stats[name]["hits"] > 0, f"{name} stayed cold: {stats[name]}"
+    # 1 miss on the first boot, hits on every repeat
+    assert stats["severifast.prepared"]["hits"] == 3
+    assert stats["certchain.hierarchy"]["hits"] == 3
+    assert stats["sev.page_crypto"]["misses"] < stats["sev.page_crypto"]["hits"]
+
+
+def test_image_cache_hits_across_distinct_chips():
+    """The chip-independent image half is shared even across hosts."""
+    from repro.core import SEVeriFast, VmConfig
+    from repro.formats.kernels import AWS
+    from repro.hw.platform import Machine
+
+    with perf.scoped(caches=True):
+        perf.clear_all_caches()
+        sf = SEVeriFast()
+        config = VmConfig(kernel=AWS, scale=1.0 / 1024.0)
+        digests = {
+            sf.cold_boot(config, machine=Machine()).launch_digest
+            for run in range(3)
+        }
+        stats = perf.cache_stats()
+
+    assert len(digests) == 1  # the digest never depends on the chip seed
+    assert stats["severifast.prepared"]["hits"] == 0  # distinct chips
+    assert stats["severifast.image"]["hits"] == 2
+    assert stats["severifast.image"]["misses"] == 1
