@@ -3,7 +3,7 @@
 PY ?= python3
 
 .PHONY: install test bench examples report trace-smoke perfbench chaos \
-	obs-smoke regress parallel-smoke all
+	obs-smoke regress parallel-smoke restore-smoke all
 
 install:
 	$(PY) setup.py develop
@@ -39,6 +39,15 @@ parallel-smoke:
 	PYTHONPATH=src $(PY) -m repro.cli chaos --rates 0.0 0.1 \
 		--functions 3 --horizon-s 5 --workers 2 \
 		--out /tmp/repro-chaos-parallel.json
+
+# Snapshot-restore smoke: bulk traffic with the restore path enabled
+# (the CLI exit status gates on restore hit rate > 0, digest
+# correctness, and restore < full boot), plus the snapshot test file.
+restore-smoke:
+	PYTHONPATH=src $(PY) -m repro.cli serverless --bulk --restore \
+		--segments 4 --functions 3 --horizon-s 8 --workers 2 \
+		--out /tmp/repro-restore-smoke.json
+	PYTHONPATH=src $(PY) -m pytest tests/serverless/test_snapshots.py -q
 
 # Deterministic fault-injection sweep over a serverless fleet; writes
 # BENCH_chaos.json and fails if any tampered boot completed.

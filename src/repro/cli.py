@@ -285,6 +285,7 @@ def _cmd_serverless_bulk(args: argparse.Namespace) -> int:
         functions=args.functions,
         horizon_s=args.horizon_s,
         rate_per_s=args.rate,
+        restore=args.restore,
     )
     rows = [
         ["segments", str(report["segments"])],
@@ -299,6 +300,14 @@ def _cmd_serverless_bulk(args: argparse.Namespace) -> int:
         ["p99 cold boot (ms)", f"{report['p99_cold_boot_ms']:.1f}"],
         ["elapsed (s)", f"{report['elapsed_s']:.3f}"],
     ]
+    if args.restore:
+        rows[6:6] = [
+            ["restored starts", str(report["restored_starts"])],
+            ["restore hit rate", f"{report['restore_hit_rate']:.3f}"],
+            ["p50 restore (ms)", f"{report['p50_restore_ms']:.1f}"],
+            ["p50 re-attestation (ms)", f"{report['p50_reattest_ms']:.1f}"],
+            ["restore digest ok", str(report["restore_digest_ok"])],
+        ]
     print(
         format_table(
             ["metric", "value"],
@@ -313,6 +322,21 @@ def _cmd_serverless_bulk(args: argparse.Namespace) -> int:
         out = pathlib.Path(args.out)
         out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out}")
+    if args.restore:
+        # The restore-smoke gate: restores actually happened, every one
+        # re-attested the digest the launch flow computed offline, and
+        # restored cold starts undercut full boots.
+        ok = (
+            report["restored_starts"] > 0
+            and report["restore_digest_ok"]
+            and (
+                report["p50_cold_boot_ms"] == 0.0
+                or report["p50_restore_ms"] < report["p50_cold_boot_ms"]
+            )
+        )
+        print(f"restore gate (hits > 0, digest ok, restore < full boot): "
+              f"{'PASS' if ok else 'FAIL'}")
+        return 0 if ok else 1
     return 0
 
 
@@ -667,6 +691,14 @@ def _cmd_regress(args: argparse.Namespace) -> int:
         baseline, current, rules, baseline_name=baseline_path.name
     )
     print(f"baseline kind: {kind}")
+    if kind == "wallclock":
+        from repro.obs.regress import parallel_gate_bound
+
+        if parallel_gate_bound(baseline) is False:
+            print(
+                "note: baseline recorded where host_cpus < workers — "
+                "parallel-scaling metrics are not gated"
+            )
     print(report.render())
     return 0 if report.ok else 1
 
@@ -757,6 +789,12 @@ def build_parser() -> argparse.ArgumentParser:
     serverless.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for --bulk (results are identical for any value)",
+    )
+    serverless.add_argument(
+        "--restore", action="store_true",
+        help="with --bulk: serve repeat cold starts from the snapshot "
+        "store (CoW restore + re-attestation); exit status gates on "
+        "restore hit rate and digest correctness",
     )
     serverless.add_argument("--out", help="also write the --bulk report JSON here")
     serverless.set_defaults(func=_cmd_serverless)

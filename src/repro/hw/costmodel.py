@@ -118,6 +118,30 @@ class CostModel:
     #: (§6.1: end-to-end attestation ~200 ms, of which the PSP's report
     #: generation is psp_report_ms).
     attestation_network_ms: float = 165.0
+    #: Owner-side ARK->ASK->VCEK chain walk (three ECDSA verifies plus
+    #: certificate parsing) when a restored guest re-attests against an
+    #: owner that has not yet pinned this chip's VCEK (SNPGuard §IV).
+    cert_chain_verify_ms: float = 2.5
+    #: Abbreviated re-attestation exchange for a *repeat* tenant: the
+    #: owner already proved this chip's VCEK and holds a session key, so
+    #: the round trip skips the chain walk and the full TLS-like
+    #: handshake (session resumption, e-vTPM §5 / SNPGuard §IV).
+    reattest_resume_ms: float = 12.0
+
+    # -- snapshot restore (§7.1) ----------------------------------------------
+    #: Content-addressed snapshot-store lookup (index probe + metadata
+    #: read; the page payload is charged separately by the restore path).
+    snapshot_lookup_ms: float = 0.8
+    #: Arming a copy-on-write mapping over the snapshot file, per GiB of
+    #: nominal guest memory (VMA setup + page-table population).
+    cow_map_ms_per_gib: float = 6.0
+    #: Host fault-in overhead per 4 KiB page actually written after a CoW
+    #: restore (fault entry/exit around the private-page copy).
+    cow_fault_us_per_page: float = 1.0
+    #: Fraction of guest memory a restored function touches (and so
+    #: privatizes) before it is ready to serve — the working set of a
+    #: snapshot-restored microVM is far smaller than its footprint.
+    cow_touched_fraction: float = 0.25
 
     # -- derived helpers ----------------------------------------------------
 
@@ -198,6 +222,18 @@ class CostModel:
 
     def rmp_init_ms(self, nominal_memory: int) -> float:
         return (nominal_memory / (1024 * MiB)) * self.rmp_init_ms_per_gib
+
+    def cow_map_ms(self, nominal_memory: int) -> float:
+        """Arm a copy-on-write mapping over a whole snapshot."""
+        return (nominal_memory / (1024 * MiB)) * self.cow_map_ms_per_gib
+
+    def cow_fault_ms(self, touched_bytes: int) -> float:
+        """Privatize ``touched_bytes`` of a CoW restore: per-page fault
+        overhead plus the actual page copies."""
+        pages = max(1, -(-touched_bytes // PAGE_SIZE)) if touched_bytes > 0 else 0
+        return pages * self.cow_fault_us_per_page / 1000.0 + self.copy_ms(
+            touched_bytes
+        )
 
     def page_pin_ms(self, nominal_memory: int) -> float:
         return (nominal_memory / (1024 * MiB)) * self.page_pin_ms_per_gib

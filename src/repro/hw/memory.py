@@ -256,3 +256,15 @@ class GuestMemory:
     def resident_bytes(self) -> int:
         """Bytes actually materialized (for §6.3 footprint accounting)."""
         return len(self._pages) * PAGE_SIZE
+
+    def resident_pages(self):
+        """Iterate ``(page_index, page_bytes)`` over materialized pages.
+
+        Pages come out in ascending page-index order as immutable
+        ``bytes`` copies, so callers (snapshot capture, debug dumps) get
+        a stable view that survives later guest writes — and survives a
+        change of the backing representation, which ``_pages`` does not
+        promise.
+        """
+        for index in sorted(self._pages):
+            yield index, bytes(self._pages[index])

@@ -33,6 +33,7 @@ from repro.obs.regress import (
     RegressionReport,
     Tolerance,
     compare_documents,
+    parallel_gate_bound,
     rules_for_document,
 )
 
@@ -47,6 +48,7 @@ __all__ = [
     "Tolerance",
     "compare_documents",
     "default_registry",
+    "parallel_gate_bound",
     "profile",
     "reset_default_registry",
     "rules_for_document",

@@ -108,6 +108,94 @@ def run_boot_fleet(
     )
 
 
+# -- snapshot-restore fleets (the Fig. 9 "restore" series) --------------------
+
+
+def prime_restore_caches(payload: dict) -> None:
+    """Warm boot caches plus the snapshot build cache for restore units."""
+    from repro.serverless.snapshots import cached_snapshot
+
+    prime_boot_caches(payload)
+    cached_snapshot(
+        _boot_config(payload), payload.get("chip_seed", FLEET_CHIP_SEED)
+    )
+
+
+def restore_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
+    """One snapshot restore (store lookup + CoW restore + re-attestation)
+    on a fresh machine of the shared host."""
+    from repro.serverless.snapshots import (
+        SessionCache,
+        SnapshotStore,
+        cached_snapshot,
+        restore_from_store,
+    )
+    from repro.sev.guestowner import GuestOwner
+
+    machine = _fleet_machine(seed, payload)
+    config = _boot_config(payload)
+    chip_seed = payload.get("chip_seed", FLEET_CHIP_SEED)
+    snapshot = cached_snapshot(config, chip_seed)
+    store = SnapshotStore()
+    digest = store.put(snapshot)
+    owner = GuestOwner.with_chain(
+        trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+        cert_chain=machine.psp.cert_chain,
+        expected_digest=snapshot.launch_digest,
+        secret=b"fleet-secret",
+    )
+    sessions = SessionCache()
+    if payload.get("resume_sessions", True):
+        # The image's original launch attested on this chip already.
+        sessions.establish("fleet", machine.psp.chip_id, snapshot.image_digest)
+    outcome = machine.sim.run_process(
+        restore_from_store(
+            machine,
+            store,
+            digest,
+            owner,
+            tenant="fleet",
+            sessions=sessions,
+        )
+    )
+    return {
+        "index": index,
+        "restore_ms": outcome.restore_ms,
+        "reattest_ms": outcome.reattest_ms,
+        "resumed_session": outcome.resumed_session,
+        "digest": (outcome.digest or b"").hex(),
+    }
+
+
+def run_restore_fleet(
+    count: int,
+    *,
+    seed: int = 0,
+    workers: int = 1,
+    kernel: str = "aws",
+    scale: float = 1.0 / 1024.0,
+    jitter: float = 0.03,
+    resume_sessions: bool = True,
+) -> ParallelResult:
+    """Restore ``count`` independent guests from snapshot, sharded —
+    the third Fig. 9 series next to slow/fast full boots."""
+    payload = {
+        "kernel": kernel,
+        "scale": scale,
+        "jitter": jitter,
+        "attest": False,
+        "resume_sessions": resume_sessions,
+    }
+    return run_sharded(
+        restore_unit,
+        count,
+        seed=seed,
+        workers=workers,
+        unit_args=payload,
+        prime=prime_restore_caches,
+    )
+
+
 # -- chaos sweeps -------------------------------------------------------------
 
 

@@ -199,6 +199,8 @@ class LRUCache:
         if key in self._data:
             self._weight -= self._weigh(self._data[key])
             del self._data[key]
+        else:
+            incr(f"cache.{self.name}.insertions")
         self._data[key] = value
         self._weight += self._weigh(value)
         self._evict()
@@ -216,6 +218,8 @@ class LRUCache:
         return value
 
     def clear(self) -> None:
+        if self._data:
+            incr(f"cache.{self.name}.removals", len(self._data))
         self._data.clear()
         self._weight = 0
 
@@ -253,6 +257,8 @@ class LRUCache:
             "hits": counter_value(f"cache.{self.name}.hits"),
             "misses": counter_value(f"cache.{self.name}.misses"),
             "evictions": counter_value(f"cache.{self.name}.evictions"),
+            "insertions": counter_value(f"cache.{self.name}.insertions"),
+            "removals": counter_value(f"cache.{self.name}.removals"),
         }
 
 
@@ -265,3 +271,43 @@ def clear_all_caches() -> None:
 def cache_stats() -> dict[str, dict[str, int]]:
     """Per-cache statistics for every registered cache."""
     return {cache.name: cache.stats() for cache in _cache_registry}
+
+
+_MERGED_STAT_KINDS = ("hits", "misses", "evictions", "insertions", "removals")
+
+
+def merged_cache_stats(registry=None) -> dict[str, dict[str, int]]:
+    """Per-cache statistics derived purely from the counter registry.
+
+    :meth:`LRUCache.stats` mixes two sources: hit/miss counters (which
+    survive a ``merge_snapshot`` fold of worker registries) and
+    ``len(self._data)`` (which is process-local, so a parent that merged
+    worker metrics reports the *workers'* hits against its *own* — often
+    empty — cache contents; the BENCH_wallclock.json ``entries: 0,
+    hits: 128`` inconsistency).  Here every field comes from additive
+    counters, so after any sequence of merges
+
+        ``entries == insertions - evictions - removals``
+
+    is the total resident count across every contributing process, and
+    ``entries <= misses`` holds whenever a cache only inserts after a
+    counted miss (every cache in this repository: they all use
+    get-then-put or :meth:`LRUCache.get_or_compute`).
+    """
+    from repro.obs.metrics import default_registry
+
+    reg = default_registry() if registry is None else registry
+    out: dict[str, dict[str, int]] = {}
+    for flat, value in reg.counter_values().items():
+        if not flat.startswith("cache.") or "{" in flat:
+            continue
+        cache_name, _, kind = flat[len("cache.") :].rpartition(".")
+        if not cache_name or kind not in _MERGED_STAT_KINDS:
+            continue
+        stats = out.setdefault(cache_name, dict.fromkeys(_MERGED_STAT_KINDS, 0))
+        stats[kind] = int(value)
+    for stats in out.values():
+        stats["entries"] = max(
+            0, stats["insertions"] - stats["evictions"] - stats["removals"]
+        )
+    return out

@@ -28,6 +28,16 @@ from repro.parallel.runners import (
 )
 
 
+def prime_bulk_caches(payload: dict) -> None:
+    """Warm boot caches plus the snapshot build cache (restore runs)."""
+    from repro.serverless.snapshots import cached_snapshot
+
+    prime_boot_caches(payload)
+    cached_snapshot(
+        _boot_config(payload), payload.get("chip_seed", FLEET_CHIP_SEED)
+    )
+
+
 def bulk_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
     """One traffic segment: a full platform run on its own machine."""
     from repro.core.severifast import SEVeriFast
@@ -50,10 +60,51 @@ def bulk_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
         )
         return result
 
+    restore_factory = None
+    snapshot_digest = b""
+    if payload.get("restore"):
+        from repro.serverless.snapshots import (
+            SessionCache,
+            SnapshotStore,
+            cached_snapshot,
+            restore_from_store,
+        )
+        from repro.sev.guestowner import GuestOwner
+
+        # The provider's offline snapshot of this image (build cache:
+        # identical content for every segment and worker count).
+        snapshot = cached_snapshot(
+            config, payload.get("chip_seed", FLEET_CHIP_SEED)
+        )
+        store = SnapshotStore()
+        snapshot_digest = store.put(snapshot)
+        sessions = SessionCache()
+        owner = GuestOwner.with_chain(
+            trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+            cert_chain=machine.psp.cert_chain,
+            expected_digest=snapshot.launch_digest,
+            secret=b"bulk-function-secret",
+        )
+        # The original launch already attested this image on this chip,
+        # so in-platform restores resume the tenant's session.
+        sessions.establish("bulk", machine.psp.chip_id, snapshot.image_digest)
+
+        def restore_factory():
+            outcome = yield from restore_from_store(
+                machine,
+                store,
+                snapshot_digest,
+                owner,
+                tenant="bulk",
+                sessions=sessions,
+            )
+            return outcome
+
     platform = ServerlessPlatform(
         machine.sim,
         boot,
         keepalive_ms=payload.get("keepalive_ms", 4000.0),
+        restore_factory=restore_factory,
     )
     trace = synthesize_trace(
         num_functions=payload.get("functions", 6),
@@ -67,7 +118,15 @@ def bulk_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
         "invocations": len(stats.outcomes),
         "cold_starts": stats.cold_starts,
         "warm_starts": stats.warm_starts,
+        "restored_starts": stats.restored_starts,
         "failed_invocations": stats.failed_invocations,
+        # every restore re-attested against the digest the original
+        # launch flow computed offline (equal-digest correctness)
+        "restore_digest_ok": all(
+            snapshot_digest == prepared.expected_digest
+            for o in stats.outcomes
+            if o.restored
+        ),
         # raw samples, so the parent can compute exact pooled percentiles
         "start_delays_ms": [
             round(o.start_delay_ms, 6) for o in stats.outcomes
@@ -75,7 +134,13 @@ def bulk_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
         "cold_boot_ms": [
             round(o.boot_ms, 6)
             for o in stats.outcomes
-            if o.cold and not o.failed
+            if o.cold and not o.failed and not o.restored
+        ],
+        "restore_ms": [
+            round(o.boot_ms, 6) for o in stats.outcomes if o.restored
+        ],
+        "reattest_ms": [
+            round(o.reattest_ms, 6) for o in stats.outcomes if o.restored
         ],
     }
 
@@ -91,9 +156,16 @@ def run_bulk_traffic(
     horizon_s: float = 20.0,
     rate_per_s: float = 2.0,
     keepalive_ms: float = 4000.0,
+    restore: bool = False,
 ) -> dict[str, Any]:
-    """Drive ``segments`` independent traffic segments; exact aggregate."""
+    """Drive ``segments`` independent traffic segments; exact aggregate.
+
+    With ``restore=True`` every segment serves repeat cold starts from a
+    content-addressed snapshot store (CoW restore + re-attestation, see
+    :mod:`repro.serverless.snapshots`) instead of a full launch flow.
+    """
     from repro.analysis.stats import percentile
+    from repro.obs.metrics import default_registry
 
     payload = {
         "kernel": kernel,
@@ -105,6 +177,7 @@ def run_bulk_traffic(
         "horizon_s": horizon_s,
         "rate_per_s": rate_per_s,
         "keepalive_ms": keepalive_ms,
+        "restore": restore,
     }
     run: ParallelResult = run_sharded(
         bulk_unit,
@@ -112,12 +185,20 @@ def run_bulk_traffic(
         seed=seed,
         workers=workers,
         unit_args=payload,
-        prime=prime_boot_caches,
+        prime=prime_bulk_caches if restore else prime_boot_caches,
     )
+    # Fold the per-segment registries into the process default, so the
+    # serverless.* instruments (restore/re-attestation histograms, start
+    # counters) are visible to callers exactly as a serial run's would be.
+    default_registry().merge_snapshot(run.metrics)
     rows = run.results
     delays = [d for row in rows for d in row["start_delays_ms"]]
     boots = [b for row in rows for b in row["cold_boot_ms"]]
+    restores = [r for row in rows for r in row["restore_ms"]]
+    reattests = [r for row in rows for r in row["reattest_ms"]]
     invocations = sum(row["invocations"] for row in rows)
+    cold = sum(row["cold_starts"] for row in rows)
+    restored = sum(row["restored_starts"] for row in rows)
     return {
         "experiment": "serverless-bulk",
         "seed": seed,
@@ -127,14 +208,23 @@ def run_bulk_traffic(
         "functions": functions,
         "horizon_s": horizon_s,
         "rate_per_s": rate_per_s,
+        "restore": restore,
         "invocations": invocations,
-        "cold_starts": sum(row["cold_starts"] for row in rows),
+        "cold_starts": cold,
         "warm_starts": sum(row["warm_starts"] for row in rows),
+        "restored_starts": restored,
+        "restore_hit_rate": round(restored / cold, 6) if cold else 0.0,
+        "restore_digest_ok": all(row["restore_digest_ok"] for row in rows),
         "failed_invocations": sum(row["failed_invocations"] for row in rows),
         "p50_start_delay_ms": round(percentile(delays, 50), 3) if delays else 0.0,
         "p99_start_delay_ms": round(percentile(delays, 99), 3) if delays else 0.0,
         "p50_cold_boot_ms": round(percentile(boots, 50), 3) if boots else 0.0,
         "p99_cold_boot_ms": round(percentile(boots, 99), 3) if boots else 0.0,
+        "p50_restore_ms": round(percentile(restores, 50), 3) if restores else 0.0,
+        "p99_restore_ms": round(percentile(restores, 99), 3) if restores else 0.0,
+        "p50_reattest_ms": (
+            round(percentile(reattests, 50), 3) if reattests else 0.0
+        ),
         "elapsed_s": round(run.elapsed_s, 3),
         "segment_rows": rows,
     }

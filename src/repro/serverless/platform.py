@@ -19,6 +19,7 @@ from repro.analysis.stats import percentile
 from repro.faults.retry import RetryPolicy, sev_retryable
 from repro.obs import metrics
 from repro.guest.bootverifier import VerificationError
+from repro.serverless.snapshots import ReattestationError, SnapshotError
 from repro.serverless.trace import InvocationTrace
 from repro.sev.api import SevLaunchError
 from repro.sim import Simulator
@@ -44,6 +45,8 @@ class InvocationOutcome:
     #: the cold start was served by a snapshot restore (§7.1) rather than
     #: a full boot
     restored: bool = False
+    #: re-attestation share of a restored start's ``boot_ms``
+    reattest_ms: float = 0.0
     #: the invocation never ran: its cold boot failed (after retries) or
     #: the boot verifier aborted a tampered boot
     failed: bool = False
@@ -103,6 +106,12 @@ class PlatformStats:
     @property
     def restored_starts(self) -> int:
         return sum(1 for o in self.outcomes if o.restored)
+
+    @property
+    def restore_hit_rate(self) -> float:
+        """Fraction of cold starts served by snapshot restore."""
+        cold = self.cold_starts
+        return self.restored_starts / cold if cold else 0.0
 
     # -- robustness accounting (chaos harness) ----------------------------
 
@@ -256,16 +265,40 @@ class ServerlessPlatform:
         warm = self._take_warm(function)
         boot_ms = 0.0
         restored = False
+        reattest_ms = 0.0
         boot_retries = 0
         failure = ""
         tamper_detected = False
+        registry = metrics.default_registry()
+        if warm is None and self.restore_factory is not None and function in self._snapshotted:
+            start = self.sim.now
+            try:
+                outcome = yield from self.restore_factory()
+            except SnapshotError as exc:
+                # A restore the hardware (or the owner) refuses degrades
+                # to a full cold boot — the function still runs, it just
+                # pays the launch flow again.
+                registry.counter(
+                    "serverless.restore_fallbacks",
+                    reason=(
+                        "reattest"
+                        if isinstance(exc, ReattestationError)
+                        else "policy"
+                    ),
+                ).inc()
+            else:
+                boot_ms = self.sim.now - start
+                restored = True
+                registry.histogram("serverless.restore_ms").observe(boot_ms)
+                reattest_ms = getattr(outcome, "reattest_ms", 0.0)
+                if reattest_ms:
+                    registry.histogram("serverless.reattest_ms").observe(
+                        reattest_ms
+                    )
         if warm is not None:
             yield self.sim.timeout(self.warm_start_ms)
-        elif self.restore_factory is not None and function in self._snapshotted:
-            start = self.sim.now
-            yield from self.restore_factory()
-            boot_ms = self.sim.now - start
-            restored = True
+        elif restored:
+            pass  # the restore above already charged its time
         else:
             start = self.sim.now
 
@@ -351,6 +384,7 @@ class ServerlessPlatform:
                 start_delay_ms=start_delay,
                 end_ms=self.sim.now,
                 restored=restored,
+                reattest_ms=reattest_ms,
                 boot_retries=boot_retries,
             )
         )

@@ -1,36 +1,60 @@
-"""Snapshot/restore exploration for warm starts (§7.1).
+"""Snapshot/restore as the production cold-start path (§7.1).
 
 The paper's discussion section lays out why the standard serverless
 warm-start tricks fail under SEV:
 
-- snapshot pages cannot be deduplicated or shared between VMs: identical
-  plaintext at different physical addresses has different ciphertext;
+- snapshot pages cannot be deduplicated or shared *between VMs*:
+  identical plaintext at different physical addresses has different
+  ciphertext;
 - lazy/on-demand restore needs host-guest cooperation because the host
   cannot validate pages on the guest's behalf (the RMP valid bit is set
   only by ``pvalidate`` *inside* the guest);
 - reusing previously attested state requires reusing the memory
   encryption key, which weakens the trust model (one key, many VMs).
 
-This module makes those constraints executable: :func:`take_snapshot`
-captures a booted guest; :func:`restore` replays it under a stated
-policy, charging the cost model for the work the policy implies, and
-*refusing* the combinations the hardware forbids.
+This module makes those constraints executable — and then builds the one
+workable point in the design space into a production path:
+
+- :func:`take_snapshot` captures a booted guest; :func:`restore` replays
+  it under a stated policy, charging the cost model for the work the
+  policy implies and *refusing* the combinations the hardware forbids.
+- :class:`SnapshotStore` is a content-addressed store keyed by image
+  digest (the launch digest for SEV guests), so identical images share
+  one stored snapshot — dedup happens at the *snapshot* level, where
+  content addressing is sound, never at the ciphertext-page level, where
+  §7.1 forbids it.
+- :func:`reattest` models the restore-time re-attestation handshake: a
+  restored guest's launch measurement is stale, so the guest owner
+  demands a *fresh* report (PSP-signed, so restores contend on the PSP
+  like launches), re-proves the chip's VCEK through the certificate
+  chain, and — for repeat tenants — resumes an established session
+  instead of redoing the full exchange.  The semantics follow the
+  e-vTPM design (arXiv 2303.16463) and SNPGuard (arXiv 2406.01186).
+- :func:`restore_from_store` chains lookup -> restore -> re-attestation
+  into the single generator a platform's ``restore_factory`` runs.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Generator
+from dataclasses import dataclass, field, replace
+from functools import cached_property
+from typing import Generator, Optional
 
+from repro import perf
 from repro.common import PAGE_SIZE
+from repro.crypto.sha2 import sha256
 from repro.guest.context import GuestContext
 from repro.hw.platform import Machine
-from repro.sev.policy import SevMode
+from repro.sev.policy import GuestPolicy, SevMode
 
 
 class SnapshotError(Exception):
     """A restore policy the hardware cannot honour."""
+
+
+class ReattestationError(SnapshotError):
+    """The guest owner rejected a restored guest's fresh report."""
 
 
 class RestorePolicy(enum.Enum):
@@ -38,8 +62,10 @@ class RestorePolicy(enum.Enum):
 
     #: Plain microVM: map the snapshot copy-on-write, fault pages in.
     LAZY_COW = "lazy-cow"
-    #: SEV with the *same* guest key (weakened trust model, §7.1): copy
-    #: every page eagerly and re-validate the whole range.
+    #: SEV with the *same* guest key (weakened trust model, §7.1): the
+    #: ciphertext is (key, address)-bound, and key reuse preserves both,
+    #: so the snapshot can back a CoW mapping — provided the *guest*
+    #: revalidates (pvalidate) everything the host remaps.
     SEV_KEY_REUSE = "sev-key-reuse"
     #: SEV with a fresh key: impossible without re-running the launch
     #: flow — the snapshot's ciphertext is unreadable under the new key.
@@ -57,6 +83,22 @@ class VmSnapshot:
     launch_digest: bytes | None
     pages: dict[int, bytes] = field(default_factory=dict, hash=False, compare=False)
 
+    @cached_property
+    def image_digest(self) -> bytes:
+        """Content address of this snapshot.
+
+        For an SEV guest the launch digest already *is* a collision-
+        resistant identity of the initial image (that is what the owner
+        attests); plain snapshots hash their resident pages.
+        """
+        if self.launch_digest is not None:
+            return self.launch_digest
+        h = [self.kernel_name.encode()]
+        for index, data in sorted(self.pages.items()):
+            h.append(index.to_bytes(8, "little"))
+            h.append(data)
+        return sha256(b"".join(h))
+
 
 @dataclass(frozen=True)
 class RestoreOutcome:
@@ -64,6 +106,12 @@ class RestoreOutcome:
     restore_ms: float
     #: host memory the restored VM pins beyond shared state
     private_bytes: int
+    #: simulated time spent re-attesting (0 when no re-attestation ran)
+    reattest_ms: float = 0.0
+    #: the re-attestation resumed an established tenant session
+    resumed_session: bool = False
+    #: the measurement the owner accepted (None when no re-attestation)
+    digest: bytes | None = None
 
 
 def take_snapshot(ctx: GuestContext) -> VmSnapshot:
@@ -73,9 +121,7 @@ def take_snapshot(ctx: GuestContext) -> VmSnapshot:
     useless without the original key, which is exactly the property the
     restore policies below must respect.
     """
-    pages = {
-        index: bytes(backing) for index, backing in ctx.memory._pages.items()
-    }
+    pages = dict(ctx.memory.resident_pages())
     scale = max(
         1e-12,
         min(1.0, ctx.config.scale if ctx.config.scale > 0 else 1.0),
@@ -96,9 +142,22 @@ _COW_SETUP_MS = 2.0
 
 
 def restore(
-    machine: Machine, snapshot: VmSnapshot, policy: RestorePolicy
+    machine: Machine,
+    snapshot: VmSnapshot,
+    policy: RestorePolicy,
+    *,
+    cow: bool = True,
+    touched_fraction: Optional[float] = None,
 ) -> Generator:
     """Restore ``snapshot`` under ``policy``; process value: RestoreOutcome.
+
+    ``cow=True`` (the default) restores SEV_KEY_REUSE snapshots through
+    a copy-on-write mapping: sound because key reuse keeps the
+    (key, address) binding of the ciphertext intact, so shared read-only
+    pages decrypt correctly in every restored instance; pages privatize
+    on write, and the cooperating guest revalidates each remapped page
+    (the per-page cost is in :attr:`CostModel.cow_fault_us_per_page`).
+    ``cow=False`` models the conservative eager full copy.
 
     Raises :class:`SnapshotError` for combinations SEV forbids.
     """
@@ -123,9 +182,24 @@ def restore(
         yield machine.sim.timeout(cost.sample(_COW_SETUP_MS))
         # Pages stay shared with the snapshot until written.
         private = 0
-    else:  # SEV_KEY_REUSE
-        # Eager full copy of every snapshot page (no sharing possible),
-        # then RMP re-init and a full pvalidate sweep in the guest.
+    elif cow:  # SEV_KEY_REUSE over a CoW mapping
+        # Arm the mapping over the whole snapshot, re-init the RMP, and
+        # let the guest run its pvalidate sweep; only the working set
+        # ever privatizes (copy + fault overhead + guest revalidation).
+        yield machine.sim.timeout(cost.sample(cost.cow_map_ms(snapshot.nominal_bytes)))
+        yield machine.sim.timeout(cost.sample(cost.rmp_init_ms(snapshot.nominal_bytes)))
+        yield machine.sim.timeout(
+            cost.sample(cost.pvalidate_ms(snapshot.nominal_bytes, machine.huge_pages))
+        )
+        fraction = (
+            cost.cow_touched_fraction if touched_fraction is None else touched_fraction
+        )
+        fraction = min(max(fraction, 0.0), 1.0)
+        private = int(snapshot.nominal_bytes * fraction)
+        yield machine.sim.timeout(cost.sample(cost.cow_fault_ms(private)))
+    else:  # SEV_KEY_REUSE, eager
+        # Eager full copy of every snapshot page (no sharing), then RMP
+        # re-init and a full pvalidate sweep in the guest.
         yield machine.sim.timeout(cost.sample(cost.copy_ms(snapshot.nominal_bytes)))
         yield machine.sim.timeout(cost.sample(cost.rmp_init_ms(snapshot.nominal_bytes)))
         yield machine.sim.timeout(
@@ -136,4 +210,307 @@ def restore(
         policy=policy,
         restore_ms=machine.sim.now - start,
         private_bytes=private,
+    )
+
+
+# -- the content-addressed store ----------------------------------------------
+
+
+class SnapshotStore:
+    """Snapshots keyed by image digest, deduplicated at the image level.
+
+    Modeled on :class:`repro.sev.api.PageCryptoCache`'s content
+    addressing, but at snapshot granularity: two functions booting the
+    same image produce the same launch digest and share one stored
+    snapshot.  That is the dedup §7.1 *permits* — the shared object is
+    the whole (key-bound) image, not cross-VM ciphertext pages.
+
+    Unlike the wall-clock caches in :mod:`repro.perf`, the store is part
+    of the platform's *semantics* (what restores are possible), so it is
+    never gated by ``REPRO_CACHES`` — a switch flip must not change
+    virtual-time results.  Occupancy and traffic land in the metrics
+    registry (``snapshot.store.*``).
+    """
+
+    def __init__(self) -> None:
+        self._by_digest: dict[bytes, VmSnapshot] = {}
+
+    @staticmethod
+    def _registry():
+        from repro.obs.metrics import default_registry
+
+        return default_registry()
+
+    def put(self, snapshot: VmSnapshot) -> bytes:
+        """Store (or dedupe against) ``snapshot``; returns its digest."""
+        digest = snapshot.image_digest
+        registry = self._registry()
+        if digest in self._by_digest:
+            registry.counter("snapshot.store.dedup_hits").inc()
+        else:
+            self._by_digest[digest] = snapshot
+            registry.gauge("snapshot.store.entries").set(len(self._by_digest))
+            registry.gauge("snapshot.store.bytes").set(self.stored_bytes)
+        return digest
+
+    def get(self, digest: bytes) -> VmSnapshot | None:
+        snapshot = self._by_digest.get(digest)
+        self._registry().counter(
+            "snapshot.store.lookups", result="hit" if snapshot else "miss"
+        ).inc()
+        return snapshot
+
+    def lookup(self, machine: Machine, digest: bytes) -> Generator:
+        """Timed store probe; process value: the snapshot.
+
+        Charges :attr:`CostModel.snapshot_lookup_ms` and raises
+        :class:`SnapshotError` when the digest is unknown.
+        """
+        yield machine.sim.timeout(
+            machine.cost.sample(machine.cost.snapshot_lookup_ms)
+        )
+        snapshot = self.get(digest)
+        if snapshot is None:
+            raise SnapshotError(f"no snapshot stored for digest {digest.hex()[:16]}")
+        return snapshot
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+    def __contains__(self, digest: bytes) -> bool:
+        return digest in self._by_digest
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(s.resident_bytes for s in self._by_digest.values())
+
+
+# -- restore-time re-attestation ----------------------------------------------
+
+
+class SessionCache:
+    """Established attestation sessions, for resumption on repeat restores.
+
+    A session is keyed by (tenant, chip, image digest): once a tenant's
+    owner has accepted a report from this chip for this image, later
+    restores of the same image on the same chip run the abbreviated
+    exchange (e-vTPM §5, SNPGuard §IV) instead of the full network round
+    trip plus chain walk.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: set[tuple[str, bytes, bytes]] = set()
+
+    def establish(self, tenant: str, chip_id: bytes, digest: bytes) -> None:
+        self._sessions.add((tenant, chip_id, digest))
+
+    def resumable(self, tenant: str, chip_id: bytes, digest: bytes) -> bool:
+        return (tenant, chip_id, digest) in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+
+@dataclass(frozen=True)
+class ReattestOutcome:
+    reattest_ms: float
+    resumed: bool
+    digest: bytes
+
+
+def reattest(
+    machine: Machine,
+    snapshot: VmSnapshot,
+    owner,
+    *,
+    tenant: str = "default",
+    sessions: SessionCache | None = None,
+) -> Generator:
+    """Re-attest a restored guest; process value: :class:`ReattestOutcome`.
+
+    A restored guest's launch-time attestation is stale — the report the
+    owner saw belongs to the *original* VM instance.  Before releasing
+    secrets to the restored instance the owner demands a fresh report
+    over a fresh nonce (e-vTPM arXiv 2303.16463; SNPGuard arXiv
+    2406.01186).  The report request occupies the PSP for
+    :attr:`CostModel.psp_report_ms` like any launch command, so restores
+    contend with in-flight launches exactly as Fig. 12's concurrent
+    boots do.  First-contact tenants then pay the full network exchange
+    plus the ARK->ASK->VCEK chain walk; repeat tenants resume their
+    session.  ``owner`` is a :class:`repro.sev.guestowner.GuestOwner`;
+    a rejected report raises :class:`ReattestationError`.
+    """
+    from repro.obs.metrics import default_registry
+    from repro.sev.api import GuestSevContext, SevState
+    from repro.sev.guestowner import AttestationFailure, GuestOwner
+
+    if snapshot.sev_mode is None or snapshot.launch_digest is None:
+        raise ReattestationError(
+            "only SEV snapshots carry a launch measurement to re-attest"
+        )
+    cost = machine.cost
+    psp = machine.psp
+    start = machine.sim.now
+    # The restored VM needs a live ASID to issue guest requests; its SEV
+    # context reuses the snapshot's key and finished launch state.
+    ctx = GuestSevContext(
+        asid=psp.allocate_asid(),
+        policy=GuestPolicy(mode=snapshot.sev_mode),
+        state=SevState.LAUNCH_FINISHED,
+        launch_digest=snapshot.launch_digest,
+    )
+    try:
+        nonce = sha256(b"reattest-nonce" + ctx.asid.to_bytes(8, "little"))[:32]
+        # Fresh transport key generated inside encrypted guest memory.
+        transport_key = sha256(
+            b"reattest-transport" + ctx.asid.to_bytes(8, "little") + nonce
+        )
+        report_data = GuestOwner.bind_report_data(nonce, transport_key)
+        report = yield from psp.attestation_report(ctx, report_data)
+        resumed = sessions is not None and sessions.resumable(
+            tenant, psp.chip_id, snapshot.image_digest
+        )
+        if resumed:
+            yield machine.sim.timeout(cost.sample(cost.reattest_resume_ms))
+        else:
+            # Full exchange: chain walk to prove the VCEK, then the
+            # owner-side round trip (§6.1's attestation server).
+            yield machine.sim.timeout(cost.sample(cost.cert_chain_verify_ms))
+            yield machine.sim.timeout(cost.sample(cost.attestation_network_ms))
+        try:
+            owner.validate_and_release(report, nonce, transport_key)
+        except AttestationFailure as exc:
+            default_registry().counter("sev.reattest", result="rejected").inc()
+            raise ReattestationError(f"re-attestation rejected: {exc}") from exc
+        if sessions is not None:
+            sessions.establish(tenant, psp.chip_id, snapshot.image_digest)
+    finally:
+        psp.release(ctx)
+    elapsed = machine.sim.now - start
+    registry = default_registry()
+    registry.counter(
+        "sev.reattest", result="resumed" if resumed else "full"
+    ).inc()
+    registry.histogram("sev.reattest_ms").observe(elapsed)
+    return ReattestOutcome(
+        reattest_ms=elapsed, resumed=resumed, digest=report.measurement
+    )
+
+
+def restore_from_store(
+    machine: Machine,
+    store: SnapshotStore,
+    digest: bytes,
+    owner,
+    *,
+    policy: RestorePolicy = RestorePolicy.SEV_KEY_REUSE,
+    tenant: str = "default",
+    sessions: SessionCache | None = None,
+    cow: bool = True,
+    touched_fraction: Optional[float] = None,
+) -> Generator:
+    """The production restore path: lookup -> restore -> re-attestation.
+
+    Process value: a :class:`RestoreOutcome` whose ``restore_ms`` covers
+    the whole sequence (so a platform's ``restore_factory`` charges one
+    number), with the re-attestation share split out in ``reattest_ms``.
+    SEV snapshots re-attest exactly once per restore; plain snapshots
+    have nothing to prove and skip the handshake.
+    """
+    start = machine.sim.now
+    snapshot = yield from store.lookup(machine, digest)
+    base = yield from restore(
+        machine, snapshot, policy, cow=cow, touched_fraction=touched_fraction
+    )
+    if snapshot.sev_mode is not None:
+        reat = yield from reattest(
+            machine, snapshot, owner, tenant=tenant, sessions=sessions
+        )
+        return replace(
+            base,
+            restore_ms=machine.sim.now - start,
+            reattest_ms=reat.reattest_ms,
+            resumed_session=reat.resumed,
+            digest=reat.digest,
+        )
+    return replace(base, restore_ms=machine.sim.now - start)
+
+
+# -- building snapshots without a live platform -------------------------------
+
+
+def snapshot_cold_boot(config, machine: Machine | None = None) -> VmSnapshot:
+    """Boot one SEVeriFast guest to completion and capture it.
+
+    Stages the images, pre-encrypts the root of trust, runs the boot
+    verifier and the Linux boot, and snapshots the resulting guest — the
+    offline step a provider runs once per image before enabling restores.
+    Deterministic for a given ``(config, chip_seed)``: jitter is a cost-
+    model property and the captured bytes never depend on it.
+    """
+    from repro.core.config import KernelFormat
+    from repro.core.digest_tool import preencrypted_regions
+    from repro.core.oob_hash import hash_boot_components
+    from repro.formats.kernels import build_initrd, build_kernel
+    from repro.guest.bootverifier import BootVerifier, verifier_binary
+    from repro.guest.linuxboot import LinuxGuest
+    from repro.vmm.timeline import BootTimeline
+
+    if config.kernel_format is not KernelFormat.BZIMAGE:
+        raise SnapshotError(
+            "snapshot_cold_boot stages bzImage configs; snapshot a "
+            "vmlinux guest through the VMM pipeline instead"
+        )
+    machine = machine or Machine()
+    artifacts = build_kernel(config.kernel, config.scale)
+    initrd = build_initrd(config.scale)
+    kernel_blob = artifacts.bzimage
+    hashes = hash_boot_components(kernel_blob, initrd)
+
+    sev_ctx = machine.new_sev_context(config.sev_policy)
+    memory = machine.new_guest_memory(config.memory_size, sev_ctx)
+    ctx = GuestContext(
+        machine=machine,
+        config=config,
+        memory=memory,
+        sev=sev_ctx,
+        timeline=BootTimeline(machine.sim),
+    )
+    memory.host_write(config.layout.kernel_stage_addr, kernel_blob.data)
+    memory.host_write(config.layout.initrd_stage_addr, initrd.data)
+    regions = preencrypted_regions(config, verifier_binary(), hashes)
+    for gpa, data, _nominal in regions:
+        memory.host_write(gpa, data)
+    if memory.rmp is not None:
+        memory.rmp.assign_all()
+
+    def launch():
+        psp = machine.psp
+        yield from psp.launch_start(sev_ctx, config.sev_policy)
+        memory.engine = sev_ctx.engine
+        for gpa, data, nominal in regions:
+            yield from psp.launch_update_data(
+                sev_ctx, memory, gpa, len(data), nominal_size=nominal
+            )
+        yield from psp.launch_finish(sev_ctx)
+
+    machine.sim.run_process(launch())
+    verified = machine.sim.run_process(BootVerifier(ctx).run())
+    guest = LinuxGuest(ctx)
+    entry = machine.sim.run_process(guest.bootstrap_loader(verified))
+    machine.sim.run_process(guest.linux_boot(verified, entry))
+    return take_snapshot(ctx)
+
+
+#: Built snapshots per (config, chip seed) — a build cache like the
+#: kernel caches (``gated=False``: the artifact is deterministic, so the
+#: cache is a pure wall-clock lever even in no-accel runs).
+_SNAPSHOT_CACHE = perf.LRUCache("snapshot.image", capacity=8, gated=False)
+
+
+def cached_snapshot(config, chip_seed: bytes) -> VmSnapshot:
+    """The per-process snapshot build cache used by fleet/bulk units."""
+    return _SNAPSHOT_CACHE.get_or_compute(
+        (config, chip_seed),
+        lambda: snapshot_cold_boot(config, Machine(chip_seed=chip_seed)),
     )

@@ -185,3 +185,23 @@ class TestSharedRegions:
         mem.guest_read(0x8000, 16, c_bit=False)  # shared read: fine
         with pytest.raises(VmmCommunicationException):
             mem.guest_read(0x8000, 16, c_bit=True)  # private read: #VC
+
+
+# -- resident-page iteration (snapshot capture's public view) -----------------
+
+
+def test_resident_pages_ordered_immutable_copies(mem):
+    mem.host_write(5 * PAGE_SIZE, b"later")
+    mem.host_write(2 * PAGE_SIZE + 7, b"earlier")
+    pages = list(mem.resident_pages())
+    assert [index for index, _ in pages] == [2, 5]
+    assert all(len(data) == PAGE_SIZE for _, data in pages)
+    assert pages[0][1][7:14] == b"earlier"
+    # The copies are stable: later guest writes don't mutate them.
+    mem.host_write(2 * PAGE_SIZE + 7, b"XXXXXXX")
+    assert pages[0][1][7:14] == b"earlier"
+    assert len(pages) * PAGE_SIZE == mem.resident_bytes
+
+
+def test_resident_pages_empty_memory(mem):
+    assert list(mem.resident_pages()) == []

@@ -157,6 +157,41 @@ def test_autouse_fixture_gives_fresh_default_registry():
     assert fresh.families() == []
 
 
+# -- restore metrics through the sharded runner -------------------------------
+
+
+def test_restore_metrics_survive_parallel_merge():
+    """Restore-path metrics land in the merged default registry, and the
+    workload itself is worker-count invariant (virtual time unchanged)."""
+    from repro.serverless.bulk import run_bulk_traffic
+
+    kwargs = dict(segments=2, seed=3, functions=3, horizon_s=5.0, restore=True)
+    serial = run_bulk_traffic(workers=1, **kwargs)
+    assert serial["restored_starts"] > 0
+    assert serial["restore_digest_ok"]
+    reg = default_registry()
+    assert (
+        reg.histogram("serverless.restore_ms").count == serial["restored_starts"]
+    )
+    # Every restore re-attests exactly once.
+    assert reg.histogram("sev.reattest_ms").count == serial["restored_starts"]
+    assert reg.value("snapshot.store.lookups", result="hit") >= serial[
+        "restored_starts"
+    ]
+
+    reset_default_registry()
+    parallel = run_bulk_traffic(workers=2, **kwargs)
+    assert parallel["restored_starts"] == serial["restored_starts"]
+    assert parallel["restore_hit_rate"] == serial["restore_hit_rate"]
+    assert parallel["p50_restore_ms"] == serial["p50_restore_ms"]
+    merged = default_registry()
+    assert (
+        merged.histogram("serverless.restore_ms").count
+        == parallel["restored_starts"]
+    )
+    assert merged.histogram("sev.reattest_ms").count == parallel["restored_starts"]
+
+
 # -- span-stream merging ------------------------------------------------------
 
 

@@ -94,6 +94,82 @@ def test_wallclock_v2_parallel_bands():
     assert report.regressions[0].path == "workloads.engine_events.events_s"
 
 
+def test_parallel_gate_bound_reads_recorded_flag():
+    from repro.obs.regress import parallel_gate_bound
+
+    doc = {
+        "host_cpus": 1,
+        "workloads": {"fig9_parallel": {"workers": 4, "gate_bound": False}},
+    }
+    assert parallel_gate_bound(doc) is False
+    doc["workloads"]["fig9_parallel"]["gate_bound"] = True
+    assert parallel_gate_bound(doc) is True
+    # Legacy documents without the flag fall back to cpus vs workers.
+    legacy = {"host_cpus": 8, "workloads": {"fig9_parallel": {"workers": 4}}}
+    assert parallel_gate_bound(legacy) is True
+    legacy["host_cpus"] = 2
+    assert parallel_gate_bound(legacy) is False
+    assert parallel_gate_bound({"workloads": {}}) is None
+
+
+def test_unbound_baseline_skips_parallel_scaling_bands():
+    """A baseline recorded on an oversubscribed host must not gate
+    parallel speedup: the number is scheduling noise, not a bound."""
+    base = {
+        "schema": "repro-perfbench-v2",
+        "workers": 4,
+        "host_cpus": 2,  # oversubscribed recorder
+        "workloads": {
+            "fig9_parallel": {
+                "boots": 100,
+                "workers": 4,
+                "gate_bound": False,
+                "parallel_boots_s": 400.0,
+                "parallel_speedup": 3.0,
+            },
+        },
+    }
+    _kind, rules = rules_for_document(base)
+    cur = copy.deepcopy(base)
+    cur["workloads"]["fig9_parallel"]["parallel_speedup"] = 0.1
+    cur["workloads"]["fig9_parallel"]["parallel_boots_s"] = 1.0
+    assert compare_documents(base, cur, rules).ok
+    # A bound baseline keeps the band: the same collapse regresses.
+    bound = copy.deepcopy(base)
+    bound["host_cpus"] = 8
+    bound["workloads"]["fig9_parallel"]["gate_bound"] = True
+    _kind, rules = rules_for_document(bound)
+    report = compare_documents(bound, cur, rules)
+    assert not report.ok
+
+
+def test_restore_metrics_have_bands():
+    """The restore series is gated: hit rate and latencies get bands."""
+    base = {
+        "schema": "repro-perfbench-v2",
+        "workers": 1,
+        "host_cpus": 8,
+        "workloads": {
+            "serverless_restore": {
+                "invocations": 100,
+                "restored_starts": 8,
+                "restore_hit_rate": 0.2,
+                "p50_restore_ms": 82.0,
+                "p50_full_cold_boot_ms": 160.0,
+                "restore_digest_ok": True,
+            },
+        },
+    }
+    _kind, rules = rules_for_document(base)
+    cur = copy.deepcopy(base)
+    cur["workloads"]["serverless_restore"]["restore_hit_rate"] = 0.0
+    report = compare_documents(base, cur, rules)
+    assert not report.ok  # losing all restores is a regression
+    cur["workloads"]["serverless_restore"]["restore_hit_rate"] = 0.2
+    cur["workloads"]["serverless_restore"]["p50_restore_ms"] = 40.0
+    assert compare_documents(base, cur, rules).ok  # faster restores: fine
+
+
 def test_rel_tol_override_preserves_direction_and_ignores():
     base = {"experiment": "chaos", "detection_rate": 1.0, "p99_boot_ms": 100.0}
     _kind, rules = rules_for_document(base, rel_tol=0.5)

@@ -7,12 +7,19 @@ from repro.formats.kernels import AWS
 from repro.guest.bootverifier import BootVerifier
 from repro.guest.linuxboot import LinuxGuest
 from repro.hw.platform import Machine
+from repro.obs.metrics import default_registry
 from repro.serverless.snapshots import (
+    ReattestationError,
     RestorePolicy,
+    SessionCache,
     SnapshotError,
+    SnapshotStore,
+    reattest,
     restore,
+    restore_from_store,
     take_snapshot,
 )
+from repro.sev.guestowner import GuestOwner
 from repro.sev.policy import GuestPolicy, SevMode
 
 from tests.guest.util import stage_and_launch
@@ -92,15 +99,43 @@ def test_plain_lazy_restore_is_nearly_free(machine):
     assert outcome.private_bytes == 0
 
 
-def test_sev_key_reuse_restore_costs_full_copy(machine):
+def test_sev_key_reuse_eager_restore_costs_full_copy(machine):
     ctx = _booted_sev_ctx(machine)
     snapshot = take_snapshot(ctx)
     outcome = machine.sim.run_process(
-        restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE)
+        restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE, cow=False)
     )
     assert outcome.private_bytes == snapshot.nominal_bytes
     # Still much cheaper than a cold boot (~160 ms), but far from free.
     assert 3.0 < outcome.restore_ms < 120.0
+
+
+def test_sev_cow_restore_cheaper_than_eager(machine):
+    snapshot = take_snapshot(_booted_sev_ctx(machine))
+    cow = machine.sim.run_process(
+        restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE)
+    )
+    eager = machine.sim.run_process(
+        restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE, cow=False)
+    )
+    assert cow.restore_ms < eager.restore_ms
+    # Only the touched working set privatizes under CoW.
+    expected = int(snapshot.nominal_bytes * machine.cost.cow_touched_fraction)
+    assert cow.private_bytes == expected
+    assert cow.private_bytes < eager.private_bytes
+
+
+def test_cow_touched_fraction_override(machine):
+    snapshot = take_snapshot(_booted_sev_ctx(machine))
+    full = machine.sim.run_process(
+        restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE, touched_fraction=1.0)
+    )
+    assert full.private_bytes == snapshot.nominal_bytes
+    cold = machine.sim.run_process(
+        restore(machine, snapshot, RestorePolicy.SEV_KEY_REUSE, touched_fraction=0.0)
+    )
+    assert cold.private_bytes == 0
+    assert cold.restore_ms < full.restore_ms
 
 
 def test_sev_restore_faster_than_cold_boot_but_slower_than_cow():
@@ -115,6 +150,147 @@ def test_sev_restore_faster_than_cold_boot_but_slower_than_cow():
         restore(machine2, plain_snapshot, RestorePolicy.LAZY_COW)
     )
     assert plain_outcome.restore_ms < sev_outcome.restore_ms
+
+
+def _owner_for(machine, snapshot, **overrides):
+    kwargs = dict(
+        trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+        cert_chain=machine.psp.cert_chain,
+        expected_digest=snapshot.launch_digest,
+        secret=b"test-function-secret",
+    )
+    kwargs.update(overrides)
+    return GuestOwner.with_chain(**kwargs)
+
+
+class TestSnapshotStore:
+    """Content addressing dedups at the image level, never per page."""
+
+    def test_put_dedupes_by_image_digest(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(machine))
+        store = SnapshotStore()
+        first = store.put(snapshot)
+        second = store.put(snapshot)
+        assert first == second == snapshot.image_digest
+        assert len(store) == 1
+        assert store.stored_bytes == snapshot.resident_bytes
+        assert default_registry().value("snapshot.store.dedup_hits") == 1
+
+    def test_same_image_same_digest_across_machines(self, machine):
+        # Two guests of the same image share one stored snapshot: the
+        # launch digest is the content address §7.1 lets us dedup on.
+        a = take_snapshot(_booted_sev_ctx(machine))
+        b = take_snapshot(_booted_sev_ctx(Machine()))
+        assert a.image_digest == b.image_digest
+        store = SnapshotStore()
+        store.put(a)
+        store.put(b)
+        assert len(store) == 1
+
+    def test_plain_snapshot_digest_covers_pages(self, machine):
+        snapshot = take_snapshot(_plain_ctx(machine))
+        assert snapshot.launch_digest is None
+        assert len(snapshot.image_digest) == 32
+        # A different resident image addresses a different entry.
+        other_ctx = _plain_ctx(Machine())
+        other_ctx.memory.host_write(0x200000, b"\xcc" * 4096)
+        other = take_snapshot(other_ctx)
+        assert other.image_digest != snapshot.image_digest
+
+    def test_lookup_charges_time_and_raises_on_miss(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(machine))
+        store = SnapshotStore()
+        digest = store.put(snapshot)
+        before = machine.sim.now
+        found = machine.sim.run_process(store.lookup(machine, digest))
+        assert found is snapshot
+        assert machine.sim.now > before
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            machine.sim.run_process(store.lookup(machine, b"\x00" * 32))
+        reg = default_registry()
+        assert reg.value("snapshot.store.lookups", result="hit") == 1
+        assert reg.value("snapshot.store.lookups", result="miss") == 1
+
+
+class TestReattestation:
+    """Restored guests must re-prove themselves (e-vTPM, SNPGuard)."""
+
+    def test_reattest_demands_fresh_psp_report(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(machine))
+        owner = _owner_for(machine, snapshot)
+        outcome = machine.sim.run_process(reattest(machine, snapshot, owner))
+        assert outcome.digest == snapshot.launch_digest
+        assert not outcome.resumed
+        # Full first contact: report + chain walk + network round trip.
+        assert outcome.reattest_ms > machine.cost.attestation_network_ms
+        reg = default_registry()
+        assert reg.value("sev.reattest", result="full") == 1
+        assert reg.histogram("sev.reattest_ms").count == 1
+
+    def test_session_resumption_is_cheaper(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(machine))
+        owner = _owner_for(machine, snapshot)
+        sessions = SessionCache()
+        first = machine.sim.run_process(
+            reattest(machine, snapshot, owner, tenant="t", sessions=sessions)
+        )
+        second = machine.sim.run_process(
+            reattest(machine, snapshot, owner, tenant="t", sessions=sessions)
+        )
+        assert not first.resumed and second.resumed
+        assert second.reattest_ms < first.reattest_ms
+        # A different tenant has no session to resume.
+        other = machine.sim.run_process(
+            reattest(machine, snapshot, owner, tenant="u", sessions=sessions)
+        )
+        assert not other.resumed
+
+    def test_rejected_report_raises(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(machine))
+        owner = _owner_for(machine, snapshot, expected_digest=b"\xff" * 32)
+        with pytest.raises(ReattestationError):
+            machine.sim.run_process(reattest(machine, snapshot, owner))
+        assert default_registry().value("sev.reattest", result="rejected") == 1
+
+    def test_plain_snapshot_has_nothing_to_reattest(self, machine):
+        snapshot = take_snapshot(_plain_ctx(machine))
+        owner = object()
+        with pytest.raises(ReattestationError, match="only SEV"):
+            machine.sim.run_process(reattest(machine, snapshot, owner))
+
+    def test_restore_from_store_reattests_exactly_once(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(machine))
+        store = SnapshotStore()
+        digest = store.put(snapshot)
+        owner = _owner_for(machine, snapshot)
+        outcome = machine.sim.run_process(
+            restore_from_store(machine, store, digest, owner)
+        )
+        assert outcome.digest == snapshot.launch_digest
+        assert outcome.reattest_ms > 0
+        assert outcome.restore_ms > outcome.reattest_ms  # lookup + CoW too
+        reg = default_registry()
+        assert reg.histogram("sev.reattest_ms").count == 1
+        assert reg.value("sev.reattest", result="full") == 1
+
+    def test_restore_from_store_resumes_repeat_tenants(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(machine))
+        store = SnapshotStore()
+        digest = store.put(snapshot)
+        owner = _owner_for(machine, snapshot)
+        sessions = SessionCache()
+        first = machine.sim.run_process(
+            restore_from_store(
+                machine, store, digest, owner, tenant="t", sessions=sessions
+            )
+        )
+        second = machine.sim.run_process(
+            restore_from_store(
+                machine, store, digest, owner, tenant="t", sessions=sessions
+            )
+        )
+        assert not first.resumed_session and second.resumed_session
+        assert second.reattest_ms < first.reattest_ms
 
 
 class TestRestoreBackedPlatform:
@@ -178,3 +354,66 @@ class TestRestoreBackedPlatform:
         )
         stats = platform.run(trace)
         assert stats.restored_starts == 0
+
+
+class TestPlatformEnforcedRejection:
+    """Forbidden restores fall back to a full boot — never a dead fn."""
+
+    def _run_with_factory(self, machine, restore_factory):
+        from repro.core.severifast import SEVeriFast
+        from repro.serverless.platform import ServerlessPlatform
+        from repro.serverless.trace import Invocation, InvocationTrace
+        from repro.vmm.firecracker import FirecrackerVMM
+
+        config = VmConfig(kernel=AWS, attest=False)
+        prepared = SEVeriFast(machine=machine).prepare(config, machine)
+
+        def boot():
+            vmm = FirecrackerVMM(machine)
+            result = yield from vmm.boot_severifast(
+                config, prepared.artifacts, prepared.initrd, hashes=prepared.hashes
+            )
+            return result
+
+        platform = ServerlessPlatform(
+            machine.sim, boot, keepalive_ms=100.0, restore_factory=restore_factory
+        )
+        trace = InvocationTrace(
+            invocations=[
+                Invocation(arrival_ms=0.0, function="fn", exec_ms=10.0),
+                Invocation(arrival_ms=5000.0, function="fn", exec_ms=10.0),
+            ],
+            horizon_ms=6000.0,
+        )
+        return platform.run(trace)
+
+    def test_forbidden_policy_falls_back_to_full_boot(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(Machine()))
+
+        def lazy_cow_factory():
+            outcome = yield from restore(machine, snapshot, RestorePolicy.LAZY_COW)
+            return outcome
+
+        stats = self._run_with_factory(machine, lazy_cow_factory)
+        assert stats.restored_starts == 0
+        assert stats.cold_starts == 2  # second cold start re-booted in full
+        assert stats.failed_invocations == 0
+        reg = default_registry()
+        assert reg.value("serverless.restore_fallbacks", reason="policy") == 1
+
+    def test_rejected_reattestation_falls_back_to_full_boot(self, machine):
+        snapshot = take_snapshot(_booted_sev_ctx(machine))
+        store = SnapshotStore()
+        digest = store.put(snapshot)
+        # Owner expects a different measurement: re-attestation rejects.
+        owner = _owner_for(machine, snapshot, expected_digest=b"\xff" * 32)
+
+        def reattest_fail_factory():
+            outcome = yield from restore_from_store(machine, store, digest, owner)
+            return outcome
+
+        stats = self._run_with_factory(machine, reattest_fail_factory)
+        assert stats.restored_starts == 0
+        assert stats.failed_invocations == 0
+        reg = default_registry()
+        assert reg.value("serverless.restore_fallbacks", reason="reattest") == 1

@@ -103,6 +103,66 @@ def test_clear_all_caches_and_stats():
     assert stats["test.clearable"]["entries"] == 0
 
 
+def test_merged_cache_stats_counter_derived():
+    """Every field of the merged view folds out of counters, so the view
+    stays self-consistent after cross-process merge_snapshot() folding —
+    the regression behind the old `entries: 0, hits: 128` baselines."""
+    # Record through the default registry like real workers do.
+    cache2 = perf.LRUCache("test.mergedview", capacity=2)
+    with perf.scoped(caches=True):
+        assert cache2.get("a") is None  # miss
+        cache2.put("a", 1)
+        cache2.put("b", 2)
+        cache2.put("c", 3)  # evicts a
+        assert cache2.get("b") == 2  # hit
+        cache2.put("b", 20)  # overwrite: NOT a new insertion
+    stats = perf.merged_cache_stats()["test.mergedview"]
+    assert stats["insertions"] == 3
+    assert stats["evictions"] == 1
+    assert stats["removals"] == 0
+    assert stats["entries"] == 2  # insertions - evictions - removals
+    assert stats["entries"] == len(cache2)
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] <= stats["insertions"]
+
+
+def test_merged_cache_stats_survive_registry_merge():
+    """Folding two worker snapshots keeps entries consistent."""
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    workers = []
+    for w in range(2):
+        reg = MetricsRegistry()
+        with use_registry(reg), perf.scoped(caches=True):
+            cache = perf.LRUCache(f"scratch.w", capacity=8)
+            cache.clear()
+            assert cache.get("k") is None
+            cache.put("k", w)
+            assert cache.get("k") == w
+        workers.append(reg.snapshot())
+    merged = MetricsRegistry()
+    for snap in workers:
+        merged.merge_snapshot(snap)
+    stats = perf.merged_cache_stats(merged)["scratch.w"]
+    # Two workers each inserted one entry into their own process-local
+    # cache; the folded view reports the fleet-wide totals coherently.
+    assert stats["insertions"] == 2
+    assert stats["hits"] == 2 and stats["misses"] == 2
+    assert stats["entries"] == 2
+    assert stats["entries"] <= stats["misses"] + stats["insertions"]
+
+
+def test_clear_counts_removals():
+    cache = perf.LRUCache("test.removal", capacity=4)
+    with perf.scoped(caches=True):
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.clear()
+    stats = perf.merged_cache_stats()["test.removal"]
+    assert stats["removals"] == 2
+    assert stats["entries"] == 0
+
+
 def test_fleet_boot_caches_hit_on_shared_chip():
     """Repeat boots of one image on one host hit every boot-path cache.
 
