@@ -3,7 +3,7 @@
 PY ?= python3
 
 .PHONY: install test bench examples report trace-smoke perfbench chaos \
-	obs-smoke regress parallel-smoke restore-smoke all
+	obs-smoke regress parallel-smoke restore-smoke engine-bench all
 
 install:
 	$(PY) setup.py develop
@@ -30,6 +30,12 @@ PERFBENCH_ARGS ?=
 perfbench:
 	PYTHONPATH=src PERFBENCH_WORKERS=$(PERFBENCH_WORKERS) \
 		$(PY) benchmarks/perfbench.py $(PERFBENCH_ARGS)
+
+# Engine event-core microbench: both cores (calendar-queue array vs
+# legacy object heap) on the contended-resource workload, with the
+# dispatch-count/clock parity check as the exit status.
+engine-bench:
+	PYTHONPATH=src $(PY) benchmarks/enginebench.py
 
 # Sharded-runner smoke: the parallel test package (serial == parallel,
 # bit for bit) plus a 2-worker fleet and chaos sweep through the CLI.

@@ -1,0 +1,106 @@
+"""Engine event-core microbench (`make engine-bench`).
+
+Runs the perfbench engine workload — ``procs`` generator processes each
+cycling ``steps`` times through a contended capacity-``capacity``
+resource — on *both* event cores and prints events/s side by side, plus
+the dispatch-count parity check.  This is the quick inner-loop tool for
+engine work; ``benchmarks/perfbench.py`` records the numbers that the
+``repro regress`` gate enforces (including the array core's absolute
+events/s floor).
+
+    PYTHONPATH=src python benchmarks/enginebench.py [--repeats N]
+
+Exit status is 0 when both cores dispatch identical event counts and
+finish at the identical virtual clock; the throughput itself is not
+gated here (that is regress's job, against a recorded baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from perfbench import ENGINE_CAPACITY, ENGINE_PROCS, ENGINE_STEPS  # noqa: E402
+
+from repro.obs import metrics  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+
+def run_core(
+    core: str,
+    procs: int = ENGINE_PROCS,
+    steps: int = ENGINE_STEPS,
+    capacity: int = ENGINE_CAPACITY,
+    repeats: int = 5,
+) -> dict:
+    """Best-of-``repeats`` engine throughput for one core."""
+    rates = []
+    events = 0
+    clock = 0.0
+    for _ in range(repeats):
+        registry = metrics.MetricsRegistry()
+        with metrics.use_registry(registry):
+            sim = Simulator(core=core)
+            res = sim.resource(capacity=capacity, name="dev")
+
+            def worker(sim, res):
+                for _ in range(steps):
+                    grant = yield res.request()
+                    yield sim.timeout(1.0)
+                    res.release(grant)
+
+            for _ in range(procs):
+                sim.process(worker(sim, res))
+            start = time.perf_counter()
+            clock = sim.run()
+            elapsed = time.perf_counter() - start
+            events = int(registry.value("sim.events_dispatched"))
+        rates.append(events / elapsed)
+    return {
+        "core": core,
+        "events_s": max(rates),
+        "median_events_s": sorted(rates)[len(rates) // 2],
+        "dispatched": events,
+        "clock": clock,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--procs", type=int, default=ENGINE_PROCS)
+    parser.add_argument("--steps", type=int, default=ENGINE_STEPS)
+    parser.add_argument("--capacity", type=int, default=ENGINE_CAPACITY)
+    args = parser.parse_args(argv)
+
+    rows = [
+        run_core(
+            core,
+            procs=args.procs,
+            steps=args.steps,
+            capacity=args.capacity,
+            repeats=args.repeats,
+        )
+        for core in ("object", "array")
+    ]
+    for row in rows:
+        print(
+            f"{row['core']:<8} {row['events_s']:>12,.0f} ev/s best "
+            f"(median {row['median_events_s']:>12,.0f}, "
+            f"{row['dispatched']} dispatched, clock {row['clock']:g})"
+        )
+    obj, arr = rows
+    print(f"array/object speedup: {arr['events_s'] / obj['events_s']:.2f}x")
+    parity = (
+        obj["dispatched"] == arr["dispatched"] and obj["clock"] == arr["clock"]
+    )
+    print(f"dispatch/clock parity: {'PASS' if parity else 'FAIL'}")
+    return 0 if parity else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

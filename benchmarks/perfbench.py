@@ -15,9 +15,9 @@ Launch digests are asserted byte-identical between modes and worker
 counts — neither the perf layer nor the process pool may be visible in
 any output byte.
 
-Writes ``BENCH_wallclock.json`` (schema ``repro-perfbench-v2``: worker
-count and host cores recorded) at the repo root so successive PRs can
-track the trajectory::
+Writes ``BENCH_wallclock.json`` (schema ``repro-perfbench-v3``: worker
+count, host cores, and the engine core variant recorded) at the repo
+root so successive PRs can track the trajectory::
 
     PYTHONPATH=src python benchmarks/perfbench.py [--workers N]
 
@@ -81,12 +81,14 @@ def _bench_engine(
     steps: int = ENGINE_STEPS,
     capacity: int = ENGINE_CAPACITY,
     repeats: int = 5,
+    core: str = "array",
 ) -> tuple[float, int]:
     """(events/s, events dispatched) for the engine hot-loop microbench.
 
     ``procs`` generator processes each cycle ``steps`` times through a
     capacity-``capacity`` resource — the request/timeout/release pattern
-    every simulated boot is made of.  Best of ``repeats``.
+    every simulated boot is made of.  Best of ``repeats``, on the given
+    engine ``core`` (array = calendar queue, object = legacy heap).
     """
     from repro.obs.metrics import default_registry
     from repro.sim.engine import Simulator
@@ -94,7 +96,7 @@ def _bench_engine(
     def once() -> tuple[float, int]:
         registry = default_registry()
         before = registry.value("sim.events_dispatched")
-        sim = Simulator()
+        sim = Simulator(core=core)
         res = sim.resource(capacity=capacity, name="dev")
 
         def worker(sim, res):
@@ -167,7 +169,7 @@ def run(
         workers = default_workers()
     workers = max(1, workers)
     report: dict = {
-        "schema": "repro-perfbench-v2",
+        "schema": "repro-perfbench-v3",
         "scale": BENCH_SCALE,
         "workers": workers,
         "host_cpus": os.cpu_count() or 1,
@@ -191,13 +193,24 @@ def run(
     report["workloads"]["memenc_bulk"] = memenc
 
     # -- engine event-loop microbench -------------------------------------
-    events_s, events = _bench_engine()
+    # both cores run the identical workload; events_s (the gated leaf)
+    # is the production array core, the object-core series tracks the
+    # container swap's contribution on the same host at the same moment
+    events_s, events = _bench_engine(core="array")
+    object_events_s, object_events = _bench_engine(core="object", repeats=3)
+    assert events == object_events, (
+        f"engine cores dispatched different event counts: "
+        f"array={events} object={object_events}"
+    )
     report["workloads"]["engine_events"] = {
         "procs": ENGINE_PROCS,
         "steps": ENGINE_STEPS,
         "capacity": ENGINE_CAPACITY,
+        "core": "array",
         "dispatched": events,
         "events_s": round(events_s, 1),
+        "object_core_events_s": round(object_events_s, 1),
+        "core_speedup": round(events_s / object_events_s, 2),
     }
 
     # -- Fig. 9: sequential boot fleet ------------------------------------
@@ -355,7 +368,10 @@ def main(argv: list[str] | None = None) -> int:
             f"memenc {mode:<9} {row['slow_mb_s']:>9.2f} -> {row['fast_mb_s']:>9.2f} MB/s"
             f"  ({row['speedup']}x)"
         )
-    print(f"engine events/s: {engine['events_s']:>12.0f}")
+    print(
+        f"engine events/s: {engine['object_core_events_s']:>12.0f} -> "
+        f"{engine['events_s']:>12.0f}  ({engine['core_speedup']}x array core)"
+    )
     print(
         f"fig9   sequential {fig9['slow_boots_s']:>7.2f} -> {fig9['fast_boots_s']:>7.2f}"
         f" boots/s  ({fig9['speedup']}x)"

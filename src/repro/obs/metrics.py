@@ -190,6 +190,17 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def observe_n(self, value: Number, n: int) -> None:
+        """Record ``n`` identical observations in one bucket lookup.
+
+        Deferred-flush call sites (resource wait times) tally duplicate
+        values first; the sum accumulates ``value * n``, which may differ
+        from ``n`` sequential adds by float ulps.
+        """
+        self.bucket_counts[bisect_left(self.bounds, value)] += n
+        self.sum += value * n
+        self.count += n
+
     def cumulative(self) -> list[tuple[str, int]]:
         """(upper-bound label, cumulative count) pairs, ending at +Inf."""
         out: list[tuple[str, int]] = []
@@ -227,6 +238,35 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        self._collectors: list = []
+        self._collecting = False
+
+    # -- collectors ----------------------------------------------------------
+
+    def register_collector(self, fn) -> None:
+        """Register a flush hook run before any read of this registry.
+
+        Hot paths (the simulation engine's resource grants, timer
+        creation) accumulate into plain Python ints/lists and only fold
+        the totals into instruments when someone actually looks: every
+        read-side entry point (:meth:`value`, :meth:`counter_values`,
+        :meth:`snapshot`, :meth:`to_prometheus_text`, :meth:`merge`,
+        :meth:`reset`) calls :meth:`collect` first, so lazily-maintained
+        metrics are indistinguishable from eagerly-maintained ones.
+        Collectors must be idempotent between updates.
+        """
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        """Run all registered collectors (re-entrancy safe)."""
+        if self._collecting or not self._collectors:
+            return
+        self._collecting = True
+        try:
+            for fn in self._collectors:
+                fn()
+        finally:
+            self._collecting = False
 
     # -- instrument accessors ----------------------------------------------
 
@@ -293,6 +333,7 @@ class MetricsRegistry:
         This is the view the :mod:`repro.perf` compat shim exposes as
         ``counters_snapshot()``.
         """
+        self.collect()
         out: dict[str, Number] = {}
         for name in sorted(self._families):
             family = self._families[name]
@@ -304,6 +345,7 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels: Any) -> Number:
         """Current value of a counter/gauge child (0 when absent)."""
+        self.collect()
         family = self._families.get(name)
         if family is None or family.kind == "histogram":
             return 0
@@ -314,6 +356,7 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Zero every instrument (families and buckets are kept)."""
+        self.collect()
         for family in self._families.values():
             for child in family.children.values():
                 if isinstance(child, Histogram):
@@ -337,6 +380,7 @@ class MetricsRegistry:
         Counters and histograms add; gauges take the other registry's
         value (last write wins).  Histogram bucket layouts must agree.
         """
+        other.collect()
         for name, family in other._families.items():
             for key, child in family.children.items():
                 labels = dict(key)
@@ -398,6 +442,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         """A plain-data, deterministically ordered copy of everything."""
+        self.collect()
         counters: dict[str, Number] = {}
         gauges: dict[str, Number] = {}
         histograms: dict[str, Any] = {}
@@ -434,6 +479,7 @@ class MetricsRegistry:
         Dotted names become underscore names; no ``# EOF`` / timestamps,
         so the output is stable across identical runs.
         """
+        self.collect()
         lines: list[str] = []
         for name in sorted(self._families):
             family = self._families[name]

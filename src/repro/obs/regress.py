@@ -46,11 +46,19 @@ class Tolerance:
     *good* direction for one-sided metrics (``direction`` of
     ``higher_is_better`` / ``lower_is_better``; ``both`` treats any
     large move as a regression).
+
+    ``floor`` is an *absolute* hard minimum on the current value,
+    judged before any relative band: a metric below its floor is a
+    regression no matter how the baseline moved or how wide
+    ``--rel-tol`` made the band.  Floors encode one-time acceptance
+    criteria (the engine microbench's 3×-over-seed throughput) that
+    must never silently erode across PRs.
     """
 
     rel: float = 0.1
     abs_tol: float = 0.0
     direction: str = "both"
+    floor: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.direction not in ("both", "higher_is_better", "lower_is_better"):
@@ -63,6 +71,8 @@ class Tolerance:
 
     def judge(self, baseline: Number, current: Number) -> str:
         """``ok`` / ``improved`` / ``regressed`` for one metric pair."""
+        if self.floor is not None and current < self.floor:
+            return "regressed"
         delta = current - baseline
         if abs(delta) <= self.allowed(baseline):
             return "ok"
@@ -198,6 +208,12 @@ def compare_documents(
 
 # -- built-in rule sets ------------------------------------------------------
 
+#: the calendar-queue engine core's acceptance floor: 3x the 704,837
+#: events/s recorded by the last object-core baseline.  The events_s
+#: leaf may drift with the machine inside its relative band, but it may
+#: never fall below this — the 10x-path win is a ratchet, not a trend.
+ENGINE_EVENTS_FLOOR = 3 * 704_837.0
+
 #: wall-clock rates differ machine to machine; compare only throughput
 #: leaves, direction-aware, with deliberately generous default bands
 WALLCLOCK_RULES: tuple[Rule, ...] = (
@@ -270,7 +286,11 @@ def parallel_gate_bound(doc: dict) -> Optional[bool]:
 
 def detect_kind(baseline: dict) -> str:
     """``wallclock`` / ``chaos`` / ``generic`` from the document shape."""
-    if baseline.get("schema") in ("repro-perfbench-v1", "repro-perfbench-v2"):
+    if baseline.get("schema") in (
+        "repro-perfbench-v1",
+        "repro-perfbench-v2",
+        "repro-perfbench-v3",
+    ):
         return "wallclock"
     if baseline.get("experiment") == "chaos":
         return "chaos"
@@ -290,6 +310,20 @@ def rules_for_document(
     kind = detect_kind(baseline)
     if kind == "wallclock":
         rules = WALLCLOCK_RULES
+        if baseline.get("schema") == "repro-perfbench-v3":
+            # The v3 schema records the calendar-queue (array) engine
+            # core; its acceptance floor is part of the contract.  v1/v2
+            # baselines predate the array core and keep the plain band.
+            rules = (
+                (
+                    "workloads.engine_events.events_s",
+                    Tolerance(
+                        rel=0.5,
+                        direction="higher_is_better",
+                        floor=ENGINE_EVENTS_FLOOR,
+                    ),
+                ),
+            ) + rules
         if parallel_gate_bound(baseline) is False:
             # The baseline was recorded where the parallel gate could
             # not bind; its speedup is an artifact of the recording
@@ -316,6 +350,7 @@ def rules_for_document(
                     rel=rel_tol,
                     abs_tol=tolerance.abs_tol,
                     direction=tolerance.direction,
+                    floor=tolerance.floor,  # floors survive re-banding
                 ),
             )
             for pattern, tolerance in rules

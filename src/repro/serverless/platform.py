@@ -13,6 +13,7 @@ substrate makes that cost visible under realistic arrival processes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Generator, Optional
 
 from repro.analysis.stats import percentile
@@ -20,7 +21,7 @@ from repro.faults.retry import RetryPolicy, sev_retryable
 from repro.obs import metrics
 from repro.guest.bootverifier import VerificationError
 from repro.serverless.snapshots import ReattestationError, SnapshotError
-from repro.serverless.trace import InvocationTrace
+from repro.serverless.trace import Invocation, InvocationTrace
 from repro.sev.api import SevLaunchError
 from repro.sim import Simulator
 from repro.vmm.timeline import BootResult
@@ -389,19 +390,27 @@ class ServerlessPlatform:
             )
         )
 
-    def _dispatcher(self, trace: InvocationTrace) -> Generator:
-        for inv in trace:
-            delay = inv.arrival_ms - self.sim.now
-            if delay > 0:
-                yield self.sim.timeout(delay)
-            self.sim.process(
-                self._handle(inv.function, inv.arrival_ms, inv.exec_ms),
-                name=f"invoke-{inv.function}",
-            )
+    def _spawn_invocation(self, inv: Invocation, _event) -> None:
+        self.sim.process(
+            self._handle(inv.function, inv.arrival_ms, inv.exec_ms),
+            name=f"invoke-{inv.function}",
+        )
 
     def run(self, trace: InvocationTrace) -> PlatformStats:
-        """Run the whole trace to completion; returns the statistics."""
-        self.sim.process(self._dispatcher(trace), name="dispatcher")
+        """Run the whole trace to completion; returns the statistics.
+
+        The whole arrival schedule is batch-inserted up front
+        (:meth:`~repro.sim.engine.Simulator.schedule_batch` groups
+        same-millisecond arrivals into one bucket insertion) instead of
+        running a dispatcher process that re-enters the event loop once
+        per invocation.  Same-time arrivals spawn in trace order, which
+        is the order the dispatcher spawned them.
+        """
+        now = self.sim.now
+        self.sim.schedule_batch(
+            (max(0.0, inv.arrival_ms - now), partial(self._spawn_invocation, inv), None)
+            for inv in trace
+        )
         self.sim.run()
         self.stats.outcomes.sort(key=lambda o: o.arrival_ms)
         return self.stats

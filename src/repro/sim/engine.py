@@ -1,4 +1,4 @@
-"""Generator-based discrete-event simulation engine.
+"""Generator-based discrete-event simulation engine with pluggable cores.
 
 Processes are Python generators that ``yield`` events.  A process is
 suspended until the yielded event fires, at which point it is resumed with
@@ -8,12 +8,34 @@ is fully deterministic: simultaneous events fire in scheduling order.
 This is deliberately a small subset of SimPy's semantics — events, timeouts,
 processes, FIFO resources, and all-of/any-of conditions — which is all the
 boot-time experiments need.
+
+Two interchangeable event cores implement the scheduler (see
+docs/ENGINE.md for the design):
+
+- **array** (default): a calendar queue — a dict of per-timestamp record
+  buckets plus a small heap of distinct timestamps.  The dispatch loop
+  drives process generators *directly* from flat ``(fn, proc, event)``
+  records (no per-event callback object, no resume wrapper), timers are
+  materialised lazily as records at registration time (``timeout()``
+  itself never touches the queue), and same-timestamp records dispatch
+  in insertion order, matching the classic ``(t, seq)`` heap order.
+- **object**: the legacy binary-heap container (``(t, seq, ...)`` tuples,
+  one ``heappush`` per record).  Kept selectable so benches can compare
+  the containers; it shares the record format and the entire
+  Event/Process/Resource shell with the array core, so both cores
+  produce identical event orders, dispatch counts, and metrics.
+
+Select a core with ``REPRO_ENGINE_CORE=object|array`` or explicitly with
+``Simulator(core="object")``.  Cancelled deliveries (interrupted waiters)
+are tombstoned in place and compacted lazily once they outnumber live
+records (``sim.events_tombstoned`` counts them).
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import deque
+import os
+from collections import Counter as _Tally, deque
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 from repro.obs import metrics
@@ -43,13 +65,17 @@ class Event:
     """A one-shot event.
 
     An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
-    *triggers* it, scheduling all registered callbacks at the current
+    *triggers* it, scheduling all registered waiters at the current
     simulation time.  Once triggered it cannot be triggered again.
 
     ``__slots__`` (including the optional attributes the engine's own
-    machinery attaches — timeout payloads, resource bookkeeping, trace
-    spans) keeps the per-event footprint small; events are the single
-    most-allocated object in any run.
+    machinery attaches — resource bookkeeping, trace spans) keeps the
+    per-event footprint small; events are the single most-allocated
+    object in any run.  ``_callbacks`` holds a mix of waiting
+    :class:`Process` objects (resumed directly by the dispatch loop) and
+    plain callables (invoked with the event); it is ``None`` until the
+    first waiter registers, so the common single-waiter path allocates
+    exactly one list.
     """
 
     __slots__ = (
@@ -58,9 +84,9 @@ class Event:
         "value",
         "_ok",
         "_callbacks",
-        # timeout payload (set by Simulator.timeout)
-        "_timeout_value",
-        # resource bookkeeping (set by Resource.request/_grant)
+        # resource bookkeeping (set by Resource.request); after a grant,
+        # _requested_at holds the grant time and _resource_token the
+        # owning Resource (None once released)
         "_requested_at",
         "_cancel_hook",
         "_resource_token",
@@ -69,20 +95,27 @@ class Event:
         "_trace_hold",
     )
 
+    #: timers override this with their absolute deadline; ``None`` means
+    #: "not a timer" and keeps the hot-path check a single attribute read.
+    _deadline: Optional[float] = None
+
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
         self.value: Any = None
         self._ok: Optional[bool] = None  # None=pending, True=ok, False=failed
-        self._callbacks: list[Callable[["Event"], None]] = []
+        self._callbacks: Optional[list] = None
 
     @property
     def triggered(self) -> bool:
+        d = self._deadline
+        if d is not None and d > self.sim.now:
+            return False  # an eager timer is observably pending until its deadline
         return self._ok is not None
 
     @property
     def ok(self) -> bool:
-        return self._ok is True
+        return self._ok is True and self.triggered
 
     def succeed(self, value: Any = None) -> "Event":
         if self._ok is not None:
@@ -102,40 +135,84 @@ class Event:
         self.sim._schedule_event(self)
         return self
 
-    def add_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self._ok is not None:
-            # Already triggered: run the callback at the current time.
-            self.sim._schedule_callback(callback, self)
+    def add_callback(self, callback) -> None:
+        """Register a waiter: a plain callable or a :class:`Process`."""
+        sim = self.sim
+        d = self._deadline
+        if d is not None:
+            # Eager timer: deliver at the deadline (or now if it passed).
+            # The implicit fire was accounted at creation (``_n_timeouts``).
+            if isinstance(callback, Process):
+                rec = (callback._send, callback, self)
+            else:
+                rec = (callback, None, self)
+            sim._append_at(d if d > sim.now else sim.now, rec)
+        elif self._ok is None:
+            cbs = self._callbacks
+            if cbs is None:
+                self._callbacks = [callback]
+            else:
+                cbs.append(callback)
         else:
-            self._callbacks.append(callback)
+            if isinstance(callback, Process):
+                rec = (
+                    callback._send if self._ok else callback._throw,
+                    callback,
+                    self,
+                )
+            else:
+                rec = (callback, None, self)
+            sim._append_at(sim.now, rec)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
-        return f"<Event {self.name!r} {state} at t={self.sim.now}>"
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        name = getattr(self, "name", "")
+        return f"<Event {name!r} {state} at t={self.sim.now}>"
+
+
+class _TimerEvent(Event):
+    """A timeout.  Triggered eagerly at creation; delivered at ``_deadline``.
+
+    ``timeout()`` never touches the event queue — the delivery record is
+    inserted when a waiter registers, which collapses the classic
+    fire-then-resume double dispatch into a single record (counted as one
+    dispatch plus one fused fire, preserving ``sim.events_dispatched``).
+    The ``name`` class attribute shadows the base slot, making the name
+    read-only and saving a per-timer write.
+    """
+
+    __slots__ = ("_deadline",)
+    name = "timeout"
 
 
 class Process(Event):
     """A running process.  Completes (as an Event) when its generator returns.
 
-    The generator may yield:
-
-    - an :class:`Event` (including another Process or a Timeout): the
-      process resumes with ``event.value`` when the event fires, or the
-      event's exception is thrown in if the event failed.
+    The generator may yield an :class:`Event` (including another Process
+    or a Timeout): the process resumes with ``event.value`` when the
+    event fires, or the event's exception is thrown in if the event
+    failed.
     """
 
-    __slots__ = ("_gen", "_waiting_on", "_trace_span")
+    __slots__ = ("_gen", "_send", "_throw", "_waiting_on", "_trace_span")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
-        super().__init__(sim, name or getattr(gen, "__name__", "process"))
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self.value = None
+        self._ok = None
+        self._callbacks = None
         self._gen = gen
-        self._waiting_on: Optional[Event] = None
-        self._trace_span: Optional["Span"] = None
+        self._send = gen.send
+        self._throw = gen.throw
+        self._trace_span = None
         if sim.tracer is not None:
             self._trace_span = sim.tracer.begin(
                 self.name, "process", f"proc:{self.name}"
             )
-        sim._schedule_callback(self._resume, _InitEvent(sim))
+        init = sim._init_event
+        self._waiting_on = init
+        sim._append_at(sim.now, (self._send, self, init))
 
     @property
     def is_alive(self) -> bool:
@@ -154,60 +231,88 @@ class Process(Event):
         If the process was waiting on an event that supports cancellation
         (e.g. a queued :meth:`Resource.request`) and no other waiter
         remains, the pending request is withdrawn so the resource slot is
-        not granted into a process that will never use it.
+        not granted into a process that will never use it.  A pending
+        timer delivery becomes a tombstone record, skipped (and counted)
+        when its bucket is reached.
         """
-        if not self.is_alive:
+        if self._ok is not None:
             raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        sim = self.sim
         target = self._waiting_on
-        if target is not None and target._ok is None:
-            # Detach from whatever we were waiting for.
-            try:
-                target._callbacks.remove(self._resume)
-            except ValueError:
-                pass
-            if not target._callbacks:
-                cancel = getattr(target, "_cancel_hook", None)
-                if cancel is not None:
-                    cancel(target)
-        self._waiting_on = None
-        evt = _InitEvent(self.sim)
-        evt.value = Interrupt(cause)
+        if target is not None:
+            if target._deadline is not None:
+                # Waiting on a timer means its delivery record sits in a
+                # bucket; it is now a tombstone.  Un-account the implicit
+                # fire so dispatch counts stay contractual.
+                sim._unfused += 1
+                sim._note_tombstone()
+            elif target._ok is None:
+                cbs = target._callbacks
+                if cbs:
+                    try:
+                        cbs.remove(self)
+                    except ValueError:
+                        pass
+                if not cbs:
+                    hook = getattr(target, "_cancel_hook", None)
+                    if hook is not None:
+                        hook(target)
+        evt = _InitEvent(sim)
         evt._ok = False
-        self.sim._schedule_callback(self._resume, evt)
+        evt.value = Interrupt(cause)
+        self._waiting_on = evt
+        sim._append_at(sim.now, (self._deliver, None, evt))
 
-    def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+    def _deliver(self, event: Event) -> None:
+        """Cold-path delivery (interrupt injection, legacy callbacks).
+
+        Mirrors the dispatch loop's inline resume logic; hot deliveries
+        never come through here.
+        """
+        if self._ok is not None or self._waiting_on is not event:
             return
-        self._waiting_on = None
         try:
             if event._ok:
-                target = self._gen.send(event.value)
+                target = self._send(event.value)
             else:
-                target = self._gen.throw(event.value)
+                target = self._throw(event.value)
         except StopIteration as stop:
-            self._close_trace_span()
-            self.succeed(stop.value)
+            _finish(self, True, stop.value)
             return
         except Interrupt:
             # An uncaught interrupt kills the process silently; this mirrors
             # "the process was cancelled" semantics used by the scheduler.
-            self._close_trace_span()
-            self.succeed(None)
+            _finish(self, True, None)
             return
         except Exception as exc:
-            self._close_trace_span(failed=True)
-            self.fail(exc)
-            return
-        if not isinstance(target, Event):
-            self._close_trace_span(failed=True)
-            self.fail(
-                SimulationError(
-                    f"process {self.name!r} yielded {target!r}, expected an Event"
-                )
-            )
+            _finish(self, False, exc)
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        try:
+            target.add_callback(self)
+        except AttributeError:
+            _bad_yield(self, target)
+
+
+def _finish(proc: Process, ok: bool, value: Any) -> None:
+    """Complete a process: close its span, trigger it, wake joiners."""
+    proc._waiting_on = None
+    proc._close_trace_span(failed=not ok)
+    proc._ok = ok
+    proc.value = value
+    proc.sim._schedule_event(proc)
+
+
+def _bad_yield(proc: Process, target: Any) -> None:
+    if isinstance(target, Event):  # pragma: no cover - genuine engine bug
+        raise
+    _finish(
+        proc,
+        False,
+        SimulationError(
+            f"process {proc.name!r} yielded {target!r}, expected an Event"
+        ),
+    )
 
 
 class _InitEvent(Event):
@@ -216,8 +321,11 @@ class _InitEvent(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator"):
-        super().__init__(sim, "init")
+        self.sim = sim
+        self.name = "init"
+        self.value = None
         self._ok = True
+        self._callbacks = None
 
 
 class _Condition(Event):
@@ -251,7 +359,7 @@ class AllOf(_Condition):
         super().__init__(sim, events, "all_of")
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         if not event._ok:
             self.fail(event.value)
@@ -270,7 +378,7 @@ class AnyOf(_Condition):
         super().__init__(sim, events, "any_of")
 
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         if not event._ok:
             self.fail(event.value)
@@ -286,9 +394,20 @@ class Resource:
     models a strictly serializing device — the PSP.
 
     A request that will never be used (its process was interrupted while
-    queued) must be withdrawn with :meth:`cancel`; :meth:`Process.interrupt`
+    queued) is withdrawn with :meth:`cancel`; :meth:`Process.interrupt`
     does this automatically, so a slot is never granted into a dead
-    process and leaked.
+    process and leaked.  Cancellation is lazy: the queue entry is
+    tombstoned in place (O(1)) and skipped at grant time; tombstones are
+    compacted once they outnumber live entries.
+
+    The request/release fast paths are closures bound in ``__init__`` —
+    they capture the queue, the pending-wait buffer, and the simulator's
+    current-timestep append so the per-request cost is a handful of
+    attribute writes.  Released grant events are recycled through a small
+    pool (their identity must not be relied on across a release).  Wait
+    times are buffered and folded into the ``sim.resource.wait_ms``
+    histogram by a registry collector, keeping ``observe()`` off the
+    grant path.
     """
 
     def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
@@ -300,110 +419,255 @@ class Resource:
         self._request_name = f"{name}.request"
         self._in_use = 0
         self._queue: deque[Event] = deque()
+        self._rtombs = 0  # tombstoned (lazily cancelled) queue entries
         # Statistics for contention analysis.
         self.total_requests = 0
         self.total_cancels = 0
-        self.total_wait_time = 0.0
+        self._total_wait_time = 0.0
         self.busy_time = 0.0
-        self._grant_times: dict[int, float] = {}
-        # Registry instruments, bound once (labels by resource name so
-        # every same-named resource in the process aggregates together).
         registry = metrics.default_registry()
-        self._m_requests = registry.counter("sim.resource.requests", resource=name)
+        m_requests = registry.counter("sim.resource.requests", resource=name)
         self._m_cancels = registry.counter("sim.resource.cancels", resource=name)
-        self._m_queue_depth = registry.gauge("sim.resource.queue_depth", resource=name)
-        self._m_wait_ms = registry.histogram("sim.resource.wait_ms", resource=name)
+        m_queue_depth = registry.gauge("sim.resource.queue_depth", resource=name)
+        m_wait = registry.histogram("sim.resource.wait_ms", resource=name)
+        self._m_requests = m_requests
+        self._m_queue_depth = m_queue_depth
+        self._m_wait_ms = m_wait
+
+        queue = self._queue
+        pending: list[float] = []
+        pool: list[Event] = []
+        rself = self
+        req_name = self._request_name
+        append_now = sim._append_now
+        synced = [0]
+
+        def flush() -> None:
+            if pending:
+                # waits repeat heavily (0.0 for uncontended grants, a few
+                # distinct values per wave) — tally first, one bucket
+                # lookup per distinct value
+                observe_n = m_wait.observe_n
+                total = 0.0
+                for w, n in _Tally(pending).items():
+                    observe_n(w, n)
+                    total += w * n
+                rself._total_wait_time += total
+                pending.clear()
+            delta = rself.total_requests - synced[0]
+            if delta:
+                m_requests.value += delta
+                synced[0] = rself.total_requests
+            m_queue_depth.value = len(queue) - rself._rtombs
+
+        self._flush = flush
+        sim._collectors.append(flush)
+        registry.register_collector(flush)
+
+        pool_pop = pool.pop
+        pool_append = pool.append
+        pend_append = pending.append
+        cancel = self.cancel
+
+        def request() -> Event:
+            rself.total_requests += 1
+            if pool:
+                evt = pool_pop()
+            else:
+                evt = Event.__new__(Event)
+                evt.sim = sim
+                evt.name = req_name
+                evt.value = None
+                # constant for this resource's events, pooled along with
+                # them — no per-request write
+                evt._cancel_hook = cancel
+            now = sim.now
+            evt._requested_at = now
+            if rself._in_use < rself.capacity:
+                rself._in_use += 1
+                pend_append(0.0)
+                evt._resource_token = rself
+                evt._ok = True
+                evt.value = evt
+                return evt
+            evt._ok = None
+            evt._callbacks = None
+            queue.append(evt)
+            return evt
+
+        def release(grant: Event) -> None:
+            try:
+                owner = grant._resource_token
+            except AttributeError:
+                owner = None
+            if owner is not rself:
+                raise SimulationError(
+                    f"release of {rself.name} without matching grant"
+                )
+            now = sim.now
+            rself.busy_time += now - grant._requested_at
+            grant._resource_token = None
+            pool_append(grant)
+            while queue:
+                nxt = queue.popleft()
+                waited = nxt._requested_at
+                if waited is None:  # tombstoned (lazily cancelled) entry
+                    rself._rtombs -= 1
+                    continue
+                pend_append(now - waited)
+                nxt._requested_at = now
+                nxt._resource_token = rself
+                nxt._ok = True
+                nxt.value = nxt
+                cbs = nxt._callbacks
+                if cbs is not None:
+                    nxt._callbacks = None
+                    for p in cbs:
+                        try:
+                            append_now((p._send, p, nxt))
+                        except AttributeError:
+                            append_now((p, None, nxt))
+                return
+            rself._in_use -= 1
+
+        self._pend = pending
+        self.request = request
+        self.release = release
+        # Tracing swaps the closures for span-emitting method variants —
+        # the fast paths carry zero per-call tracer checks.
+        sim._resources.append(self)
+        if sim.tracer is not None:
+            self._bind_traced()
+
+    def _bind_traced(self) -> None:
+        """Swap in the traced request/release paths (idempotent)."""
+        self.request = self._request_traced
+        self.release = self._release_traced
+
+    # -- read-side statistics -------------------------------------------
+
+    @property
+    def total_wait_time(self) -> float:
+        self._flush()
+        return self._total_wait_time
 
     @property
     def queue_length(self) -> int:
-        return len(self._queue)
+        return len(self._queue) - self._rtombs
 
     @property
     def in_use(self) -> int:
         return self._in_use
 
-    def request(self) -> Event:
+    # -- cold paths ------------------------------------------------------
+
+    def _request_traced(self) -> Event:
+        """Tracer-attached request path: seed-fidelity spans/counters."""
+        sim = self.sim
         self.total_requests += 1
-        self._m_requests.value += 1
-        evt = Event(self.sim, self._request_name)
-        evt._requested_at = self.sim.now  # type: ignore[attr-defined]
-        evt._cancel_hook = self.cancel  # type: ignore[attr-defined]
-        tracer = self.sim.tracer
-        if tracer is not None:
-            evt._trace_wait = tracer.begin(  # type: ignore[attr-defined]
-                f"{self.name}.wait", "resource.wait", f"{self.name}.queue"
-            )
+        evt = Event(sim, self._request_name)
+        evt._requested_at = sim.now
+        evt._cancel_hook = self.cancel
+        tracer = sim.tracer
+        evt._trace_wait = tracer.begin(
+            f"{self.name}.wait", "resource.wait", f"{self.name}.queue"
+        )
         if self._in_use < self.capacity:
             self._in_use += 1
-            self._grant(evt)
-        else:
-            self._queue.append(evt)
-            self._m_queue_depth.value = len(self._queue)
-            if tracer is not None:
-                tracer.counter(f"{self.name}.queue_depth", len(self._queue))
+            self._pend.append(0.0)
+            evt._resource_token = self
+            evt._ok = True
+            evt.value = evt
+            self._grant_traced(evt, 0.0)
+            return evt
+        self._queue.append(evt)
+        tracer.counter(f"{self.name}.queue_depth", self.queue_length)
         return evt
 
-    def _grant(self, evt: Event) -> None:
-        waited = self.sim.now - evt._requested_at  # type: ignore[attr-defined]
-        self.total_wait_time += waited
-        self._m_wait_ms.observe(waited)
-        self._grant_times[id(evt)] = self.sim.now
-        evt._resource_token = id(evt)  # type: ignore[attr-defined]
-        tracer = self.sim.tracer
-        if tracer is not None:
-            wait_span = getattr(evt, "_trace_wait", None)
-            if wait_span is not None:
-                tracer.end(wait_span)
-            evt._trace_hold = tracer.begin(  # type: ignore[attr-defined]
-                f"{self.name}.hold", "resource.hold", self.name, wait_ms=waited
-            )
-            tracer.counter(f"{self.name}.in_use", self._in_use)
-        evt.succeed(evt)
-
-    def release(self, grant: Event) -> None:
-        token = getattr(grant, "_resource_token", None)
-        if token is None or token not in self._grant_times:
+    def _release_traced(self, grant: Event) -> None:
+        """Tracer-attached release path (no event pooling: spans keep
+        event identity meaningful)."""
+        try:
+            owner = grant._resource_token
+        except AttributeError:
+            owner = None
+        if owner is not self:
             raise SimulationError(f"release of {self.name} without matching grant")
-        self.busy_time += self.sim.now - self._grant_times.pop(token)
+        sim = self.sim
+        now = sim.now
+        self.busy_time += now - grant._requested_at
+        grant._resource_token = None
+        tracer = sim.tracer
+        hold = getattr(grant, "_trace_hold", None)
+        if hold is not None:
+            tracer.end(hold)
+        queue = self._queue
+        append_now = sim._append_now
+        while queue:
+            nxt = queue.popleft()
+            waited = nxt._requested_at
+            if waited is None:  # tombstoned (lazily cancelled) entry
+                self._rtombs -= 1
+                continue
+            waited = now - waited
+            self._pend.append(waited)
+            nxt._requested_at = now
+            nxt._resource_token = self
+            nxt._ok = True
+            nxt.value = nxt
+            tracer.counter(f"{self.name}.queue_depth", self.queue_length)
+            self._grant_traced(nxt, waited)
+            cbs = nxt._callbacks
+            if cbs is not None:
+                nxt._callbacks = None
+                for p in cbs:
+                    try:
+                        append_now((p._send, p, nxt))
+                    except AttributeError:
+                        append_now((p, None, nxt))
+            return
+        self._in_use -= 1
+        tracer.counter(f"{self.name}.in_use", self._in_use)
+
+    def _grant_traced(self, evt: Event, waited: float) -> None:
         tracer = self.sim.tracer
-        if tracer is not None:
-            hold_span = getattr(grant, "_trace_hold", None)
-            if hold_span is not None:
-                tracer.end(hold_span)
-        if self._queue:
-            nxt = self._queue.popleft()
-            self._m_queue_depth.value = len(self._queue)
-            if tracer is not None:
-                tracer.counter(f"{self.name}.queue_depth", len(self._queue))
-            self._grant(nxt)
-        else:
-            self._in_use -= 1
-            if tracer is not None:
-                tracer.counter(f"{self.name}.in_use", self._in_use)
+        wait_span = getattr(evt, "_trace_wait", None)
+        if wait_span is not None:
+            tracer.end(wait_span)
+        evt._trace_hold = tracer.begin(
+            f"{self.name}.hold", "resource.hold", self.name, wait_ms=waited
+        )
+        tracer.counter(f"{self.name}.in_use", self._in_use)
 
     def cancel(self, request: Event) -> None:
         """Withdraw a ``request()`` whose result will never be consumed.
 
-        Still-queued requests are removed from the queue; already-granted
+        Still-queued requests are tombstoned in place; already-granted
         requests are released, handing the slot to the next waiter.  A
         request that was already released or cancelled is a no-op, so
         interrupt handling can call this without knowing how far the
         grant got.
         """
-        token = getattr(request, "_resource_token", None)
-        if token is not None and token in self._grant_times:
+        if getattr(request, "_resource_token", None) is self:
             self.release(request)
             return
-        try:
-            self._queue.remove(request)
-        except ValueError:
-            return
+        if request._ok is not None or request._requested_at is None:
+            return  # never queued, already granted+released, or cancelled
+        request._requested_at = None
         self.total_cancels += 1
+        self._rtombs += 1
         self._m_cancels.inc()
-        self._m_queue_depth.set(len(self._queue))
+        self.sim._note_tombstone(engine_queue=False)
+        if self._rtombs * 2 > len(self._queue):
+            # in place: request/release closures capture the deque identity
+            live = [e for e in self._queue if e._requested_at is not None]
+            self._queue.clear()
+            self._queue.extend(live)
+            self._rtombs = 0
+        self._m_queue_depth.set(self.queue_length)
         tracer = self.sim.tracer
         if tracer is not None:
-            tracer.counter(f"{self.name}.queue_depth", len(self._queue))
+            tracer.counter(f"{self.name}.queue_depth", self.queue_length)
             wait_span = getattr(request, "_trace_wait", None)
             if wait_span is not None:
                 tracer.end(wait_span, cancelled=True)
@@ -417,27 +681,46 @@ class Resource:
             self.release(grant)
 
 
-def _fire_timeout(evt: Event) -> None:
-    # Trigger at the deadline; waiters were registered while pending.
-    # Module-level (not a method) so the heap entry holds a plain
-    # function reference with no bound-method allocation per timeout.
-    evt.succeed(evt._timeout_value)  # type: ignore[attr-defined]
+_VALID_CORES = ("array", "object")
+
+
+def _resolve_core(core: Optional[str]) -> str:
+    if core is None:
+        core = os.environ.get("REPRO_ENGINE_CORE", "array")
+    core = core.strip().lower()
+    if core not in _VALID_CORES:
+        raise SimulationError(
+            f"unknown engine core {core!r}; expected one of {_VALID_CORES}"
+        )
+    return core
 
 
 class Simulator:
     """Deterministic event loop with a floating-point virtual clock.
 
     Time units are **milliseconds** throughout this repository.
+
+    ``Simulator(...)`` is a factory: it returns an :class:`ArraySimulator`
+    (calendar-queue core, the default) or an :class:`ObjectSimulator`
+    (legacy heap core) depending on the ``core=`` argument or the
+    ``REPRO_ENGINE_CORE`` environment variable.  Both cores share this
+    class's entire API and produce identical event orders and metrics.
     """
 
-    def __init__(self):
+    core = "array"
+
+    def __new__(cls, core: Optional[str] = None):
+        if cls is Simulator:
+            cls = ArraySimulator if _resolve_core(core) == "array" else ObjectSimulator
+        return object.__new__(cls)
+
+    def __init__(self, core: Optional[str] = None):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[Event], None], Event]] = []
-        self._seq = 0
         registry = metrics.default_registry()
         self._m_dispatched = registry.counter("sim.events_dispatched")
         self._m_processes = registry.counter("sim.processes")
         self._m_timeouts = registry.counter("sim.timeouts")
+        self._m_tombstoned = registry.counter("sim.events_tombstoned")
         #: optional :class:`~repro.sim.trace.Tracer`; ``None`` keeps every
         #: instrumentation hook in the repository a single attribute check.
         self.tracer: Optional["Tracer"] = None
@@ -445,6 +728,51 @@ class Simulator:
         #: every injection site a single attribute check (attach with
         #: :meth:`inject`).
         self.faults: Optional["FaultPlan"] = None
+        #: flush hooks (resource wait buffers, lazy counters) run on every
+        #: run() exit and whenever the metrics registry is read.
+        self._collectors: list[Callable[[], None]] = []
+        #: resources rebind their hot paths when a tracer attaches
+        self._resources: list[Resource] = []
+        #: timer fires whose dispatch was fused into the delivery record
+        #: and then cancelled by an interrupt; the net fused-fire count
+        #: added to ``sim.events_dispatched`` (so counts match the
+        #: classic fire-then-resume accounting) is
+        #: ``_n_timeouts - _unfused``, which keeps ``timeout()`` down to
+        #: a single counter bump on the hot path.
+        self._unfused = 0
+        self._tombs = 0  # live tombstones in the engine queue
+        self._init_event = _InitEvent(self)
+        self._n_timeouts = 0
+        sself = self
+        synced = [0]
+
+        def timeout(delay: float, value: Any = None) -> Event:
+            """An event that fires ``delay`` time units from now."""
+            if delay < 0:
+                raise SimulationError(f"negative timeout: {delay}")
+            evt = _TimerEvent.__new__(_TimerEvent)
+            evt.sim = sself
+            evt.value = value
+            evt._ok = True
+            evt._callbacks = ()
+            evt._deadline = sself.now + delay
+            # One bump accounts both the sim.timeouts metric and the
+            # implicit fire (like the pre-calendar-queue engine's
+            # creation-time trigger), keeping it off the dispatch loop's
+            # timer branch — see ``_unfused``.
+            sself._n_timeouts += 1
+            return evt
+
+        self.timeout = timeout
+
+        def _sync_counters() -> None:
+            delta = sself._n_timeouts - synced[0]
+            if delta:
+                sself._m_timeouts.value += delta
+                synced[0] = sself._n_timeouts
+
+        self._collectors.append(_sync_counters)
+        registry.register_collector(_sync_counters)
 
     def inject(self, plan: "FaultPlan") -> "FaultPlan":
         """Attach (and return) a fault plan for this simulation.
@@ -468,49 +796,82 @@ class Simulator:
 
         if self.tracer is None:
             self.tracer = Tracer(self)
+            for resource in self._resources:
+                resource._bind_traced()
         return self.tracer
 
     # -- scheduling ------------------------------------------------------
+    # Core subclasses implement _append_now/_append_at/_push_batch/run.
+
+    def _append_now(self, rec: tuple) -> None:
+        raise NotImplementedError
+
+    def _append_at(self, t: float, rec: tuple) -> None:
+        raise NotImplementedError
+
+    def _push_batch(self, t: float, recs: list) -> None:
+        raise NotImplementedError
 
     def _schedule_callback(
         self, callback: Callable[[Event], None], event: Event, delay: float = 0.0
     ) -> None:
-        # Internal call sites only ever pass delay >= 0 (timeout() guards
-        # the public path), so no negative check on this hot path.
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, event))
+        self._append_at(self.now + delay, (callback, None, event))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        callbacks = event._callbacks
-        if not callbacks:
+        cbs = event._callbacks
+        if not cbs:
             return
-        event._callbacks = []
-        t = self.now + delay
-        heap = self._heap
-        seq = self._seq
-        push = heapq.heappush
-        for cb in callbacks:
-            seq += 1
-            push(heap, (t, seq, cb, event))
-        self._seq = seq
+        event._callbacks = None
+        ok = event._ok
+        recs = []
+        for cb in cbs:
+            if isinstance(cb, Process):
+                recs.append((cb._send if ok else cb._throw, cb, event))
+            else:
+                recs.append((cb, None, event))
+        self._push_batch(self.now + delay, recs)
+
+    def schedule_batch(
+        self, items: Iterable[tuple[float, Callable[[Event], None], Event]]
+    ) -> int:
+        """Batch-insert ``(delay, callback, event)`` entries.
+
+        Groups the entries by absolute timestamp and extends each
+        timestamp's bucket once, instead of one queue insertion per
+        entry.  Fan-out call sites (an event with many waiters, the
+        serverless arrival schedule) use this to keep insertion cost
+        per-timestamp rather than per-entry.  Returns the number of
+        entries scheduled.
+        """
+        now = self.now
+        groups: dict[float, list] = {}
+        n = 0
+        for delay, callback, event in items:
+            if delay < 0:
+                raise SimulationError(f"negative delay in batch: {delay}")
+            groups.setdefault(now + delay, []).append((callback, None, event))
+            n += 1
+        for t in sorted(groups):
+            self._push_batch(t, groups[t])
+        return n
+
+    def _note_tombstone(self, engine_queue: bool = True) -> None:
+        self._m_tombstoned.inc()
+        if engine_queue:
+            self._tombs += 1
+            if self._tombs * 2 > self._pending_records():
+                self._compact()
+
+    def _pending_records(self) -> int:
+        raise NotImplementedError
+
+    def _compact(self) -> None:
+        raise NotImplementedError
 
     # -- public API ------------------------------------------------------
 
     def event(self, name: str = "") -> Event:
         return Event(self, name)
-
-    def timeout(self, delay: float, value: Any = None) -> Event:
-        """An event that fires ``delay`` time units from now."""
-        if delay < 0:
-            raise SimulationError(f"negative timeout: {delay}")
-        evt = Event(self, "timeout")
-        self._m_timeouts.value += 1
-        evt._timeout_value = value  # type: ignore[attr-defined]
-        self._seq += 1
-        heapq.heappush(
-            self._heap, (self.now + delay, self._seq, _fire_timeout, evt)
-        )
-        return evt
 
     def process(self, gen: Generator, name: str = "") -> Process:
         self._m_processes.inc()
@@ -526,47 +887,7 @@ class Simulator:
         return AnyOf(self, events)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the event queue drains or the clock reaches ``until``.
-
-        An event scheduled exactly at ``until`` still fires (the boundary
-        is inclusive); only events strictly later are left in the heap for
-        a subsequent ``run()``.  Returns the final clock value.
-
-        The loop is the single hottest code path in the repository, so it
-        trades a little readability for speed: locals alias the heap and
-        ``heappop``, the ``until`` check is hoisted into a dedicated
-        variant, and the ``sim.events_dispatched`` counter is accumulated
-        locally and flushed once on exit instead of bumped per event.
-        """
-        heap = self._heap
-        pop = heapq.heappop
-        dispatched = 0
-        try:
-            if until is None:
-                while heap:
-                    t, _seq, callback, event = pop(heap)
-                    if t < self.now - 1e-12:
-                        raise SimulationError("event scheduled in the past")
-                    self.now = t
-                    dispatched += 1
-                    callback(event)
-            else:
-                while heap:
-                    t = heap[0][0]
-                    if t > until:
-                        self.now = until
-                        return self.now
-                    t, _seq, callback, event = pop(heap)
-                    if t < self.now - 1e-12:
-                        raise SimulationError("event scheduled in the past")
-                    self.now = t
-                    dispatched += 1
-                    callback(event)
-                self.now = max(self.now, until)
-        finally:
-            if dispatched:
-                self._m_dispatched.value += dispatched
-        return self.now
+        raise NotImplementedError
 
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Run a single process to completion and return its value.
@@ -580,3 +901,332 @@ class Simulator:
         if not proc.ok:
             raise proc.value
         return proc.value
+
+
+def _is_live(rec: tuple) -> bool:
+    proc = rec[1]
+    return proc is None or proc._waiting_on is rec[2]
+
+
+def _noop(_event: "Event") -> None:
+    """Placeholder callback left behind by tombstone compaction."""
+
+
+#: what compaction swaps in for a dead record.  Dead records are *not*
+#: removed: the legacy heap popped them (advancing the clock and the
+#: dispatch count) and callers observe both, so compaction must be
+#: invisible — it only drops the generator/event references, which is
+#: the memory the tombstones were pinning.  A no-op record pops exactly
+#: like the dead record it replaces.
+_NOOP_REC = (_noop, None, None)
+
+
+class ArraySimulator(Simulator):
+    """Calendar-queue core: per-timestamp record buckets + a time heap.
+
+    ``_cur`` is the current timestep's record list.  Its identity is
+    stable for the simulator's lifetime (it is refilled in place), so
+    resource/process hot paths capture ``_cur.append`` once.  Records are
+    ``(fn, proc, event)``: ``fn`` is the process generator's bound
+    ``send``/``throw`` (called directly by the dispatch loop — no resume
+    wrapper) or, when ``proc`` is None, a plain callback invoked with the
+    event.  A record whose process has moved on (``_waiting_on`` no
+    longer matches) is a tombstone and is skipped.
+    """
+
+    core = "array"
+
+    def __init__(self, core: Optional[str] = None):
+        super().__init__()
+        self._cur: list = []  # stable identity: refilled in place, never rebound
+        self._cur_idx = 0
+        self._buckets: dict[float, list] = {}
+        self._times: list[float] = []
+        self._append_now = self._cur.append
+
+    def _append_at(self, t: float, rec: tuple) -> None:
+        if t <= self.now:
+            self._cur.append(rec)
+            return
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = [rec]
+            heapq.heappush(self._times, t)
+        else:
+            b.append(rec)
+
+    def _push_batch(self, t: float, recs: list) -> None:
+        if t <= self.now:
+            self._cur.extend(recs)
+            return
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = list(recs)
+            heapq.heappush(self._times, t)
+        else:
+            b.extend(recs)
+
+    def _pending_records(self) -> int:
+        return (
+            len(self._cur)
+            - self._cur_idx
+            + sum(len(b) for b in self._buckets.values())
+        )
+
+    def _compact(self) -> None:
+        # In place: run()'s bucket memo may alias any bucket, so the
+        # lists are filtered without rebinding, and no bucket (or times
+        # entry) is ever dropped — see _NOOP_REC for why dead records
+        # are swapped rather than removed.
+        for b in self._buckets.values():
+            b[:] = [rec if _is_live(rec) else _NOOP_REC for rec in b]
+        self._tombs = 0
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or the clock reaches ``until``.
+
+        An event scheduled exactly at ``until`` still fires (the boundary
+        is inclusive); only events strictly later stay queued for a
+        subsequent ``run()``.  Returns the final clock value.
+
+        This loop is the single hottest code path in the repository: it
+        iterates the current bucket directly (appends during iteration
+        extend the same pass), resumes generators with a pre-bound
+        ``send``/``throw`` from the record, and inlines waiter
+        registration — including the lazy timer insertion, with a
+        one-bucket memo for the common all-timers-same-deadline pattern.
+        """
+        cur = self._cur
+        if self._cur_idx:  # resuming after an exception mid-timestep
+            del cur[: self._cur_idx]
+            self._cur_idx = 0
+        buckets = self._buckets
+        times = self._times
+        pop_t = heapq.heappop
+        push_t = heapq.heappush
+        cur_append = cur.append  # cur's identity is stable — alias once
+        get_bucket = buckets.get
+        now = self.now
+        fused0 = self._n_timeouts - self._unfused
+        records = 0
+        count = 0
+        last_t: Optional[float] = None
+        last_b: Optional[list] = None
+        try:
+            while True:
+                for fn, proc, evt in cur:
+                    count += 1
+                    if proc is None:
+                        fn(evt)
+                        continue
+                    if proc._waiting_on is not evt:
+                        continue  # tombstone: waiter moved on (interrupted)
+                    try:
+                        target = fn(evt.value)
+                    except StopIteration as stop:
+                        _finish(proc, True, stop.value)
+                        continue
+                    except Interrupt:
+                        _finish(proc, True, None)
+                        continue
+                    except Exception as exc:
+                        _finish(proc, False, exc)
+                        continue
+                    proc._waiting_on = target
+                    try:
+                        d = target._deadline
+                    except AttributeError:
+                        _bad_yield(proc, target)
+                        continue
+                    if d is not None:
+                        # Timer: insert the delivery record at the deadline
+                        # (the implicit fire was accounted at creation).
+                        if d > now:
+                            send = proc._send
+                            if d == last_t:
+                                last_b.append((send, proc, target))
+                            else:
+                                b = get_bucket(d)
+                                if b is None:
+                                    b = buckets[d] = []
+                                    push_t(times, d)
+                                b.append((send, proc, target))
+                                last_t = d
+                                last_b = b
+                        else:
+                            cur_append((proc._send, proc, target))
+                    elif target._ok is None:
+                        cbs = target._callbacks
+                        if cbs is None:
+                            target._callbacks = [proc]
+                        else:
+                            cbs.append(proc)
+                    else:
+                        cur_append(
+                            (
+                                proc._send if target._ok else proc._throw,
+                                proc,
+                                target,
+                            )
+                        )
+                records += count
+                count = 0
+                del cur[:]
+                if not times:
+                    if until is not None and until > now:
+                        now = until
+                    break
+                t = times[0]
+                if until is not None and t > until:
+                    if until > now:
+                        now = until
+                    break
+                pop_t(times)
+                if t == last_t:
+                    last_t = None
+                now = t
+                self.now = t
+                cur[:] = buckets.pop(t)
+        finally:
+            self.now = now
+            self._cur_idx = count
+            dispatched = records + count + (self._n_timeouts - self._unfused - fused0)
+            if dispatched:
+                self._m_dispatched.value += dispatched
+            for flush in self._collectors:
+                flush()
+        return now
+
+
+class ObjectSimulator(Simulator):
+    """Legacy binary-heap core: one ``(t, seq, fn, proc, event)`` tuple per
+    record, one ``heappush`` per insertion.
+
+    Shares the Event/Process/Resource shell (and therefore the exact
+    record semantics, dispatch counting, and tombstone handling) with
+    :class:`ArraySimulator`; only the container differs.  The ``seq``
+    tiebreaker reproduces insertion order at equal timestamps, which is
+    what the array core's bucket order gives structurally.
+    """
+
+    core = "object"
+
+    def __init__(self, core: Optional[str] = None):
+        super().__init__()
+        self._heap: list = []
+        self._seq = 0
+
+    def _append_now(self, rec: tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, rec[0], rec[1], rec[2]))
+
+    def _append_at(self, t: float, rec: tuple) -> None:
+        if t < self.now:
+            t = self.now
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, rec[0], rec[1], rec[2]))
+
+    def _push_batch(self, t: float, recs: list) -> None:
+        if t < self.now:
+            t = self.now
+        heap = self._heap
+        seq = self._seq
+        push = heapq.heappush
+        for fn, proc, evt in recs:
+            seq += 1
+            push(heap, (t, seq, fn, proc, evt))
+        self._seq = seq
+
+    def _pending_records(self) -> int:
+        return len(self._heap)
+
+    def _compact(self) -> None:
+        # In place: run() aliases the heap for the loop's lifetime.  Dead
+        # entries keep their (t, seq) slot — swapping in a no-op record
+        # preserves heap order, the clock advance, and the dispatch
+        # count, while releasing the generator/event references.
+        self._heap[:] = [
+            entry
+            if _is_live((entry[2], entry[3], entry[4]))
+            else (entry[0], entry[1], _noop, None, None)
+            for entry in self._heap
+        ]
+        self._tombs = 0
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Heap-pop dispatch loop; registration logic mirrors the array core."""
+        heap = self._heap
+        pop = heapq.heappop
+        now = self.now
+        fused0 = self._n_timeouts - self._unfused
+        records = 0
+        try:
+            while heap:
+                t = heap[0][0]
+                if t > now:
+                    if until is not None and t > until:
+                        if until > now:
+                            now = until
+                        break
+                    now = t
+                    self.now = t
+                _t, _seq, fn, proc, evt = pop(heap)
+                records += 1
+                if proc is None:
+                    fn(evt)
+                    continue
+                if proc._waiting_on is not evt:
+                    continue
+                try:
+                    target = fn(evt.value)
+                except StopIteration as stop:
+                    _finish(proc, True, stop.value)
+                    continue
+                except Interrupt:
+                    _finish(proc, True, None)
+                    continue
+                except Exception as exc:
+                    _finish(proc, False, exc)
+                    continue
+                proc._waiting_on = target
+                try:
+                    d = target._deadline
+                except AttributeError:
+                    _bad_yield(proc, target)
+                    continue
+                if d is not None:
+                    # The implicit fire was accounted at timer creation.
+                    self._seq += 1
+                    heapq.heappush(
+                        heap,
+                        (d if d > now else now, self._seq, proc._send, proc, target),
+                    )
+                elif target._ok is None:
+                    cbs = target._callbacks
+                    if cbs is None:
+                        target._callbacks = [proc]
+                    else:
+                        cbs.append(proc)
+                else:
+                    self._seq += 1
+                    heapq.heappush(
+                        heap,
+                        (
+                            now,
+                            self._seq,
+                            proc._send if target._ok else proc._throw,
+                            proc,
+                            target,
+                        ),
+                    )
+            else:
+                if until is not None and until > now:
+                    now = until
+        finally:
+            self.now = now
+            dispatched = records + (self._n_timeouts - self._unfused - fused0)
+            if dispatched:
+                self._m_dispatched.value += dispatched
+            for flush in self._collectors:
+                flush()
+        return now

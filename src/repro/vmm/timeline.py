@@ -22,6 +22,29 @@ from repro.obs import metrics
 from repro.sim import Simulator
 
 
+#: interned ``boot.phase_ms`` histogram children, keyed by phase label.
+#: Every phase exit used to walk registry.histogram()'s family/label
+#: lookup; boots have 6+ phase exits each and fleets run thousands of
+#: boots, so the children are cached per registry (the identity check
+#: keeps per-run ``use_registry`` swaps correct).
+_phase_instr_registry: metrics.MetricsRegistry | None = None
+_phase_instruments: dict[str, metrics.Histogram] = {}
+
+
+def _phase_histogram(phase_value: str) -> metrics.Histogram:
+    global _phase_instr_registry
+    registry = metrics.default_registry()
+    if registry is not _phase_instr_registry:
+        _phase_instr_registry = registry
+        _phase_instruments.clear()
+    instr = _phase_instruments.get(phase_value)
+    if instr is None:
+        instr = _phase_instruments[phase_value] = registry.histogram(
+            "boot.phase_ms", phase=phase_value
+        )
+    return instr
+
+
 class BootPhase(enum.Enum):
     """The phases the paper's figures break boot time into."""
 
@@ -90,9 +113,7 @@ class BootTimeline:
             self.records.append(PhaseRecord(phase, start, self.sim.now))
             if span is not None:
                 span.end = self.sim.now
-            metrics.default_registry().histogram(
-                "boot.phase_ms", phase=phase.value
-            ).observe(self.sim.now - start)
+            _phase_histogram(phase.value).observe(self.sim.now - start)
 
     def mark(self, label: str) -> None:
         """A point event (debug-port write)."""

@@ -1,0 +1,314 @@
+"""Cross-core equivalence: the calendar-queue array core must be a
+drop-in for the legacy object heap.
+
+Both cores run the same workloads — a Fig. 9 SEVeriFast boot, a chaos
+sweep, the contended-resource microbench — and must agree on every
+virtual-time observable: final clock, dispatch counts, launch digests,
+boot breakdowns, and merged metric snapshots.  Wall-clock counters
+(``cache.*``, ``crypto.*``) are excluded per docs/PARALLELISM.md: they
+track process-local work, not simulated behaviour.
+"""
+
+import os
+
+import pytest
+
+from repro.core import SEVeriFast, VmConfig
+from repro.faults.chaos import run_chaos_sweep
+from repro.formats.kernels import AWS
+from repro.hw.costmodel import CostModel
+from repro.hw.platform import Machine
+from repro.obs import metrics
+from repro.parallel.runners import run_boot_fleet
+from repro.sim.engine import (
+    ArraySimulator,
+    ObjectSimulator,
+    SimulationError,
+    Simulator,
+)
+
+#: wall-clock counters legitimately differ across cores/processes; the
+#: equivalence contract covers the virtual-time series only.
+WALLCLOCK_PREFIXES = ("cache.", "crypto.")
+
+
+def _virtual(series: dict) -> dict:
+    return {
+        k: v for k, v in series.items() if not k.startswith(WALLCLOCK_PREFIXES)
+    }
+
+
+def _virtual_snapshot(registry: metrics.MetricsRegistry) -> dict:
+    snap = registry.snapshot()
+    snap["counters"] = _virtual(snap["counters"])
+    return snap
+
+
+# -- factory / selection -----------------------------------------------------
+
+
+def test_core_kwarg_selects_class():
+    assert isinstance(Simulator(core="array"), ArraySimulator)
+    assert isinstance(Simulator(core="object"), ObjectSimulator)
+    # subclass construction bypasses the factory switch
+    assert type(ArraySimulator()) is ArraySimulator
+    assert type(ObjectSimulator()) is ObjectSimulator
+
+
+def test_core_env_var_selects_class(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_CORE", "object")
+    assert isinstance(Simulator(), ObjectSimulator)
+    monkeypatch.setenv("REPRO_ENGINE_CORE", "array")
+    assert isinstance(Simulator(), ArraySimulator)
+    monkeypatch.delenv("REPRO_ENGINE_CORE")
+    assert isinstance(Simulator(), ArraySimulator)  # default
+
+
+def test_unknown_core_rejected(monkeypatch):
+    with pytest.raises(SimulationError, match="unknown engine core"):
+        Simulator(core="linked-list")
+    monkeypatch.setenv("REPRO_ENGINE_CORE", "bogus")
+    with pytest.raises(SimulationError, match="unknown engine core"):
+        Simulator()
+
+
+# -- Fig. 9 boot equivalence -------------------------------------------------
+
+
+def _boot_under(core: str):
+    """One attested SEVeriFast boot on the named core, with its metrics."""
+    registry = metrics.MetricsRegistry()
+    with metrics.use_registry(registry):
+        machine = Machine(
+            sim=Simulator(core=core),
+            cost=CostModel(jitter_rel=0.0, jitter_seed=11),
+            chip_seed=b"core-equivalence-host",
+        )
+        sf = SEVeriFast()
+        result = sf.cold_boot(VmConfig(kernel=AWS), machine=machine)
+        return result, machine.sim.now, _virtual_snapshot(registry)
+
+
+def test_fig9_boot_identical_across_cores():
+    obj_result, obj_clock, obj_metrics = _boot_under("object")
+    arr_result, arr_clock, arr_metrics = _boot_under("array")
+
+    assert arr_result.launch_digest == obj_result.launch_digest
+    assert arr_result.launch_digest is not None
+    assert arr_result.attested and obj_result.attested
+    assert arr_result.boot_ms == obj_result.boot_ms
+    assert arr_result.total_ms == obj_result.total_ms
+    assert arr_result.timeline.breakdown() == obj_result.timeline.breakdown()
+    assert arr_clock == obj_clock
+    assert arr_metrics == obj_metrics  # dispatch counts, phase histograms, all
+
+
+# -- chaos-scenario equivalence ----------------------------------------------
+
+
+def _chaos_under(core: str, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE_CORE", core)
+    registry = metrics.MetricsRegistry()
+    with metrics.use_registry(registry):
+        sweep = run_chaos_sweep(
+            (0.0, 0.2), seed=777, functions=3, horizon_s=4.0, rate_per_s=2.0
+        )
+        return sweep, _virtual_snapshot(registry)
+
+
+def test_chaos_sweep_identical_across_cores(monkeypatch):
+    obj_sweep, obj_metrics = _chaos_under("object", monkeypatch)
+    arr_sweep, arr_metrics = _chaos_under("array", monkeypatch)
+    assert arr_sweep == obj_sweep  # byte-identical rows + detection rate
+    assert arr_metrics == obj_metrics
+
+
+# -- microbench-shaped workload: dispatch-count parity -----------------------
+
+
+def _contended_run(core: str, procs: int = 40, steps: int = 25, capacity: int = 4):
+    registry = metrics.MetricsRegistry()
+    with metrics.use_registry(registry):
+        sim = Simulator(core=core)
+        res = sim.resource(capacity=capacity, name="dev")
+
+        def worker():
+            for _ in range(steps):
+                grant = yield res.request()
+                yield sim.timeout(1.0)
+                res.release(grant)
+
+        for _ in range(procs):
+            sim.process(worker())
+        clock = sim.run()
+        return clock, registry.counter_values()
+
+
+def test_contended_resource_dispatch_parity():
+    obj_clock, obj_counters = _contended_run("object")
+    arr_clock, arr_counters = _contended_run("array")
+    assert arr_clock == obj_clock
+    assert arr_counters == obj_counters
+    assert arr_counters["sim.events_dispatched"] > 0
+
+
+# -- parallel determinism under the array core -------------------------------
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_array_core_parallel_matches_serial(monkeypatch, workers):
+    monkeypatch.setenv("REPRO_ENGINE_CORE", "array")
+    serial = run_boot_fleet(6, seed=5, workers=1)
+    parallel = run_boot_fleet(6, seed=5, workers=workers)
+    assert [r["digest"] for r in serial.results] == [
+        r["digest"] for r in parallel.results
+    ]
+    assert [r["boot_ms"] for r in serial.results] == [
+        r["boot_ms"] for r in parallel.results
+    ]
+    assert _virtual(serial.metrics["counters"]) == _virtual(
+        parallel.metrics["counters"]
+    )
+    sh, ph = serial.metrics["histograms"], parallel.metrics["histograms"]
+    assert set(sh) == set(ph)
+    for name in sh:
+        assert sh[name]["buckets"] == ph[name]["buckets"], name
+        assert sh[name]["count"] == ph[name]["count"], name
+        assert sh[name]["sum"] == pytest.approx(ph[name]["sum"], rel=1e-12)
+
+
+# -- tombstones + compaction -------------------------------------------------
+
+
+def _interrupt_scenario(core):
+    registry = metrics.MetricsRegistry()
+    with metrics.use_registry(registry):
+        sim = Simulator(core=core)
+        done = []
+
+        def sleeper(i):
+            try:
+                yield sim.timeout(1000.0)
+                done.append(("slept", i))
+            except Exception:  # Interrupt
+                done.append(("interrupted", i))
+
+        victims = [sim.process(sleeper(i)) for i in range(64)]
+
+        def killer():
+            yield sim.timeout(1.0)
+            for v in victims:
+                v.interrupt("die")
+
+        sim.process(killer())
+        clock = sim.run()
+        assert done == [("interrupted", i) for i in range(64)]
+        assert registry.value("sim.events_tombstoned") == 64
+        # dead records still pop (clock advance + dispatch count are the
+        # legacy contract); compaction only drops their references
+        assert clock == 1000.0
+        return clock, registry.value("sim.events_dispatched")
+
+
+@pytest.mark.parametrize("core", ["array", "object"])
+def test_interrupt_tombstones_are_counted(core):
+    _interrupt_scenario(core)
+
+
+def test_interrupt_tombstone_accounting_matches_across_cores():
+    assert _interrupt_scenario("array") == _interrupt_scenario("object")
+
+
+@pytest.mark.parametrize("core", ["array", "object"])
+def test_resource_cancel_tombstones(core):
+    registry = metrics.MetricsRegistry()
+    with metrics.use_registry(registry):
+        sim = Simulator(core=core)
+        res = sim.resource(capacity=1)
+        order = []
+
+        def holder():
+            grant = yield res.request()
+            yield sim.timeout(10.0)
+            res.release(grant)
+
+        def quitter(i):
+            req = res.request()
+            yield sim.any_of([req, sim.timeout(1.0)])
+            res.cancel(req)
+            order.append(("gave-up", i))
+
+        def patient():
+            grant = yield res.request()
+            order.append(("granted", sim.now))
+            res.release(grant)
+
+        sim.process(holder())
+        for i in range(8):
+            sim.process(quitter(i))
+        sim.process(patient())
+        sim.run()
+        # the patient waiter still gets the grant after the holder frees it
+        assert ("granted", 10.0) in order
+        assert registry.value("sim.events_tombstoned") >= 8
+
+
+# -- schedule_batch ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("core", ["array", "object"])
+def test_schedule_batch_groups_and_orders(core):
+    sim = Simulator(core=core)
+    fired = []
+    n = sim.schedule_batch(
+        (delay, (lambda d: lambda _evt: fired.append((sim.now, d)))(delay), None)
+        for delay in (5.0, 1.0, 5.0, 3.0, 1.0)
+    )
+    assert n == 5
+    sim.run()
+    assert fired == [
+        (1.0, 1.0),
+        (1.0, 1.0),
+        (3.0, 3.0),
+        (5.0, 5.0),
+        (5.0, 5.0),
+    ]
+    assert sim.now == 5.0
+
+
+@pytest.mark.parametrize("core", ["array", "object"])
+def test_schedule_batch_rejects_negative_delay(core):
+    sim = Simulator(core=core)
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.schedule_batch([(-0.5, lambda _evt: None, None)])
+
+
+@pytest.mark.parametrize("core", ["array", "object"])
+def test_schedule_batch_interleaves_with_processes(core):
+    sim = Simulator(core=core)
+    log = []
+
+    def proc():
+        yield sim.timeout(2.0)
+        log.append(("proc", sim.now))
+
+    sim.process(proc())
+    sim.schedule_batch(
+        [
+            (1.0, lambda _evt: log.append(("batch", sim.now)), None),
+            (3.0, lambda _evt: log.append(("batch", sim.now)), None),
+        ]
+    )
+    sim.run()
+    assert log == [("batch", 1.0), ("proc", 2.0), ("batch", 3.0)]
+
+
+# -- env hygiene -------------------------------------------------------------
+
+
+def test_default_core_is_array_unless_overridden():
+    # The suite runs under whatever REPRO_ENGINE_CORE the CI matrix sets;
+    # this only asserts the resolution logic, not the ambient value.
+    ambient = os.environ.get("REPRO_ENGINE_CORE", "array")
+    expected = ArraySimulator if ambient == "array" else ObjectSimulator
+    assert isinstance(Simulator(), expected)
