@@ -3,7 +3,8 @@
 PY ?= python3
 
 .PHONY: install test bench examples report trace-smoke perfbench chaos \
-	obs-smoke regress parallel-smoke restore-smoke engine-bench all
+	obs-smoke regress parallel-smoke restore-smoke engine-bench \
+	fleet fleet-smoke all
 
 install:
 	$(PY) setup.py develop
@@ -59,6 +60,22 @@ restore-smoke:
 # BENCH_chaos.json and fails if any tampered boot completed.
 chaos:
 	PYTHONPATH=src $(PY) -m repro.cli chaos
+
+# Multi-host fleet run under the full chaos mix: placement, health
+# monitoring, drain, and failover.  Exit status gates on the fleet SLOs
+# (tamper detection 1.0, failover success >= 0.99, zero lost
+# invocations).
+fleet:
+	PYTHONPATH=src $(PY) -m repro.cli fleet --chaos --crash-hosts 1 \
+		--rate 4 --workers 2
+
+# Small-fleet smoke for CI: one forced host crash mid-horizon, the SLO
+# gates as the exit status, plus the fleet test package.
+fleet-smoke:
+	PYTHONPATH=src $(PY) -m repro.cli fleet --cells 1 --hosts 4 \
+		--chaos --fault-rate 0.12 --crash-hosts 1 --rate 4 --seed 1 \
+		--out /tmp/repro-fleet-smoke.json
+	PYTHONPATH=src $(PY) -m pytest tests/fleet -q
 
 # Boot one SEVeriFast VM with tracing on, validate the exported Chrome
 # trace JSON, then run the full export-schema test file.

@@ -322,6 +322,33 @@ def run(
         "speedup": round(fast_rate12 / slow_rate12, 2),
     }
 
+    # -- fleet: multi-host placement, health, and failover -----------------
+    from repro.fleet.experiment import run_fleet
+
+    with perf.scoped(vectorized=True, caches=True):
+        fleet_doc = run_fleet(
+            cells=2, seed=FLEET_SEED, workers=1, hosts=4,
+            fault_rate=0.1, crash_hosts=1, scale=BENCH_SCALE,
+            rate_per_s=4.0,
+        )
+    report["workloads"]["fleet"] = {
+        "cells": fleet_doc["cells"],
+        "hosts": fleet_doc["hosts"],
+        "scheduler": fleet_doc["scheduler"],
+        "fault_rate": fleet_doc["fault_rate"],
+        "invocations": fleet_doc["invocations"],
+        "invocations_s": round(
+            fleet_doc["invocations"] / max(fleet_doc["elapsed_s"], 1e-9), 3
+        ),
+        "lost_invocations": fleet_doc["lost_invocations"],
+        "host_crashes": fleet_doc["host_crashes"],
+        "invocations_with_failover": fleet_doc["invocations_with_failover"],
+        "failover_success_rate": fleet_doc["failover_success_rate"],
+        "detection_rate": fleet_doc["detection_rate"],
+        "p99_cold_start_virtual_ms": fleet_doc["p99_cold_start_ms"],
+        "elapsed_s": fleet_doc["elapsed_s"],
+    }
+
     # Counter-derived stats stay self-consistent after worker-registry
     # merges (LRUCache.stats()'s local entry count does not — the old
     # "entries: 0, hits: 128" artifact).
@@ -410,6 +437,23 @@ def main(argv: list[str] | None = None) -> int:
         f"{'PASS' if restore_ok else 'FAIL'}"
     )
     ok = ok and restore_ok
+    fleet = report["workloads"]["fleet"]
+    print(
+        f"fleet  {fleet['cells']}x{fleet['hosts']} hosts "
+        f"{fleet['invocations_s']:>7.2f} invocations/s  "
+        f"(failover {fleet['failover_success_rate']:.3f}, "
+        f"detection {fleet['detection_rate']:.3f})"
+    )
+    fleet_ok = (
+        fleet["lost_invocations"] == 0
+        and fleet["detection_rate"] == 1.0
+        and fleet["failover_success_rate"] >= 0.99
+    )
+    print(
+        "acceptance (fleet: zero lost, detection 1.0, failover >= 0.99): "
+        f"{'PASS' if fleet_ok else 'FAIL'}"
+    )
+    ok = ok and fleet_ok
     # the parallel scaling gate only binds where the host can physically
     # run the workers concurrently (a 1-core container cannot speed up)
     if fig9p["gate_bound"]:

@@ -340,6 +340,35 @@ def _cmd_serverless_bulk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_series(seed: int, block: Optional[dict] = None, workers: int = 1):
+    """The ``fleet`` block of BENCH_chaos.json.
+
+    A chaos-mode fleet run at the canonical small shape (or at the
+    parameters a baseline block recorded, so ``repro regress`` can
+    regenerate like-for-like), summarized without the bulky sample
+    arrays.
+    """
+    from repro.fleet.experiment import fleet_bench_summary, run_fleet
+
+    block = block or {}
+    doc = run_fleet(
+        block.get("cells", 2),
+        seed=block.get("seed", seed),
+        workers=workers,
+        hosts=block.get("hosts", 4),
+        scheduler=block.get("scheduler", "cache-affinity"),
+        fault_rate=block.get("fault_rate", 0.1),
+        kernel=block.get("kernel", "aws"),
+        scale=block.get("scale", 1.0 / 1024.0),
+        functions=block.get("functions", 6),
+        horizon_s=block.get("horizon_s", 20.0),
+        rate_per_s=block.get("rate_per_s", 4.0),
+        keepalive_ms=block.get("keepalive_ms", 4000.0),
+        crash_hosts=block.get("crash_hosts", 1),
+    )
+    return fleet_bench_summary(doc)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-injection sweep over a serverless fleet (robustness gate).
 
@@ -369,6 +398,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         from repro.faults import run_chaos_sweep
 
         report = run_chaos_sweep(rates=tuple(args.rates), **kwargs)
+    # the fleet series rides along in the same baseline document: the
+    # same robustness gate covers multi-host failover
+    report["fleet"] = _fleet_series(args.seed, workers=args.workers)
     rows = [
         [
             f"{r['fault_rate']:.2f}",
@@ -398,16 +430,131 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             title=f"chaos sweep (seed {args.seed})",
         )
     )
+    fleet = report["fleet"]
+    print(
+        f"fleet: {fleet['cells']} cells x {fleet['hosts']} hosts, "
+        f"failover {fleet['failover_success_rate']:.3f}, "
+        f"detection {fleet['detection_rate']:.3f}, "
+        f"lost {fleet['lost_invocations']}"
+    )
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
+    failed = False
     if report["detection_rate"] < 1.0:
         print(
             f"DETECTION FAILURE: {report['undetected_tampered_boots']} "
             "tampered boot(s) completed"
         )
-        return 1
-    return 0
+        failed = True
+    if fleet["detection_rate"] < 1.0:
+        print(
+            f"FLEET DETECTION FAILURE: {fleet['undetected_tampered_boots']} "
+            "tampered boot(s) completed"
+        )
+        failed = True
+    if fleet["failover_success_rate"] < 0.99:
+        print(
+            "FLEET FAILOVER FAILURE: success rate "
+            f"{fleet['failover_success_rate']:.3f} < 0.99"
+        )
+        failed = True
+    if fleet["lost_invocations"] > 0:
+        print(f"FLEET LOST INVOCATIONS: {fleet['lost_invocations']}")
+        failed = True
+    return 1 if failed else 0
+
+
+def _scheduler_names() -> list:
+    from repro.fleet.scheduler import SCHEDULERS
+
+    return list(SCHEDULERS)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Multi-host fleet run with placement, health, and failover.
+
+    Exits non-zero if any fleet-level SLO gate fails: tamper detection
+    below 1.0, failover success below the floor, or a lost invocation.
+    """
+    import json
+    import pathlib
+
+    from repro.fleet.experiment import run_fleet
+
+    fault_rate = args.fault_rate if args.chaos else 0.0
+    report = run_fleet(
+        args.cells,
+        seed=args.seed,
+        workers=args.workers,
+        hosts=args.hosts,
+        scheduler=args.scheduler,
+        fault_rate=fault_rate,
+        kernel=args.kernel,
+        scale=args.scale,
+        functions=args.functions,
+        horizon_s=args.horizon_s,
+        rate_per_s=args.rate,
+        keepalive_ms=args.keepalive_ms,
+        crash_hosts=args.crash_hosts,
+    )
+    rows = [
+        [
+            str(r["cell"]),
+            str(r["invocations"]),
+            str(r["restored_starts"]),
+            str(r["degraded_full_boots"]),
+            str(r["host_crashes"]),
+            str(r["invocations_with_failover"]),
+            f"{r['failover_success_rate']:.3f}",
+            f"{r['detection_rate']:.3f}",
+            f"{r['p99_cold_start_ms']:.1f}",
+        ]
+        for r in report["cells_detail"]
+    ]
+    print(
+        format_table(
+            [
+                "cell",
+                "invocations",
+                "restored",
+                "degraded",
+                "crashes",
+                "failovers",
+                "fo success",
+                "detection",
+                "p99 cold (ms)",
+            ],
+            rows,
+            title=(
+                f"fleet: {args.cells}x{args.hosts} hosts, "
+                f"{args.scheduler}, fault rate {fault_rate} "
+                f"(seed {args.seed})"
+            ),
+        )
+    )
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    failed = []
+    if report["detection_rate"] < 1.0:
+        failed.append(
+            f"DETECTION FAILURE: {report['undetected_tampered_boots']} "
+            "tampered boot(s) completed"
+        )
+    if report["failover_success_rate"] < 0.99:
+        failed.append(
+            "FAILOVER FAILURE: success rate "
+            f"{report['failover_success_rate']:.3f} < 0.99"
+        )
+    if report["lost_invocations"] > 0:
+        failed.append(
+            f"LOST INVOCATIONS: {report['lost_invocations']} never resolved"
+        )
+    for line in failed:
+        print(line)
+    return 1 if failed else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -652,20 +799,30 @@ def _cmd_regress(args: argparse.Namespace) -> int:
             # Re-run only the first two fault rates; gate against the
             # matching baseline sweep rows and the detection invariant.
             rates = rates[:2]
-            baseline = {
+            reduced = {
                 "experiment": "chaos",
                 "detection_rate": baseline["detection_rate"],
                 "sweep": baseline.get("sweep", [])[: len(rates)],
             }
+            if "fleet" in baseline:
+                reduced["fleet"] = baseline["fleet"]
+            baseline, full_baseline = reduced, baseline
+        else:
+            full_baseline = baseline
         current = run_chaos_sweep(
             rates=tuple(rates),
-            seed=baseline.get("seed", 1234),
-            kernel=baseline.get("kernel", "aws"),
-            scale=baseline.get("scale", 1.0 / 1024.0),
-            functions=baseline.get("functions", 6),
-            horizon_s=baseline.get("horizon_s", 20.0),
-            rate_per_s=baseline.get("rate_per_s", 2.0),
+            seed=full_baseline.get("seed", 1234),
+            kernel=full_baseline.get("kernel", "aws"),
+            scale=full_baseline.get("scale", 1.0 / 1024.0),
+            functions=full_baseline.get("functions", 6),
+            horizon_s=full_baseline.get("horizon_s", 20.0),
+            rate_per_s=full_baseline.get("rate_per_s", 2.0),
         )
+        if "fleet" in baseline:
+            # regenerate the fleet series at the baseline's own shape
+            current["fleet"] = _fleet_series(
+                full_baseline.get("seed", 1234), block=baseline["fleet"]
+            )
     elif kind == "wallclock":
         import importlib.util
 
@@ -838,6 +995,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--out", default="BENCH_chaos.json")
     chaos.set_defaults(func=_cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-host fleet with placement, health, and failover",
+    )
+    _add_kernel_arg(fleet)
+    fleet.add_argument("--hosts", type=int, default=4)
+    fleet.add_argument(
+        "--cells", type=int, default=2,
+        help="independent fleet cells (the parallel unit)",
+    )
+    fleet.add_argument(
+        "--scheduler", choices=sorted(_scheduler_names()),
+        default="cache-affinity",
+    )
+    fleet.add_argument(
+        "--chaos", action="store_true",
+        help="arm the fleet fault mix at --fault-rate",
+    )
+    fleet.add_argument(
+        "--fault-rate", type=float, default=0.1,
+        help="overall chaos rate knob (only with --chaos)",
+    )
+    fleet.add_argument(
+        "--crash-hosts", type=int, default=0,
+        help="force this many host crashes mid-horizon (deterministic)",
+    )
+    fleet.add_argument("--seed", type=int, default=1234)
+    fleet.add_argument("--functions", type=int, default=6)
+    fleet.add_argument("--horizon-s", type=float, default=20.0)
+    fleet.add_argument("--rate", type=float, default=2.0)
+    fleet.add_argument("--scale", type=float, default=1.0 / 1024.0)
+    fleet.add_argument("--keepalive-ms", type=float, default=4000.0)
+    fleet.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes, one cell per unit "
+        "(results are identical for any value)",
+    )
+    fleet.add_argument("--out", default=None)
+    fleet.set_defaults(func=_cmd_fleet)
 
     trace = sub.add_parser(
         "trace", help="boot with tracing; export Chrome trace JSON + summary"

@@ -71,6 +71,11 @@ def default_plan(seed: int, rate: float) -> FaultPlan:
                 min_bytes=TAMPER_MIN_BYTES,
             ),
             FaultSpec("serverless.cold_boot", rate * 0.5),
+            FaultSpec(
+                "serverless.restore",
+                rate * 0.5,
+                kinds=(("lookup", 0.5), ("reattest", 0.5)),
+            ),
         ),
     )
 
@@ -97,10 +102,17 @@ def run_chaos_fleet(
     from repro.formats.kernels import KERNEL_CONFIGS
     from repro.hw.platform import Machine
     from repro.serverless.platform import ServerlessPlatform
+    from repro.serverless.snapshots import (
+        SessionCache,
+        SnapshotStore,
+        cached_snapshot,
+        restore_from_store,
+    )
     from repro.serverless.trace import synthesize_trace
+    from repro.sev.guestowner import GuestOwner
     from repro.vmm.firecracker import FirecrackerVMM
 
-    machine = Machine()
+    machine = Machine(chip_seed=b"repro-chaos-host")
     if asid_capacity is not None:
         machine.psp.asid_capacity = asid_capacity
     plan = machine.sim.inject(default_plan(seed, fault_rate))
@@ -120,10 +132,43 @@ def run_chaos_fleet(
         )
         return result
 
+    # Repeat cold starts go through the PR-6 restore path so the chaos
+    # mix exercises the ``serverless.restore`` site and its fallback to
+    # a full measured boot.  The snapshot is built offline on a fault-
+    # free machine (the provider's image pipeline is not the system
+    # under test here) under a scratch registry, so whether the build
+    # cache was warm or cold never shows in the run's own metrics.
+    from repro.obs.metrics import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()):
+        snapshot = cached_snapshot(config, b"repro-chaos-host")
+    store = SnapshotStore()
+    snapshot_digest = store.put(snapshot)
+    sessions = SessionCache()
+    owner = GuestOwner.with_chain(
+        trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+        cert_chain=machine.psp.cert_chain,
+        expected_digest=snapshot.launch_digest,
+        secret=b"chaos-function-secret",
+    )
+    sessions.establish("chaos", machine.psp.chip_id, snapshot.image_digest)
+
+    def restore_factory():
+        outcome = yield from restore_from_store(
+            machine,
+            store,
+            snapshot_digest,
+            owner,
+            tenant="chaos",
+            sessions=sessions,
+        )
+        return outcome
+
     platform = ServerlessPlatform(
         machine.sim,
         boot,
         keepalive_ms=keepalive_ms,
+        restore_factory=restore_factory,
         boot_retry=BOOT_RETRY,
     )
     trace = synthesize_trace(
@@ -139,8 +184,10 @@ def run_chaos_fleet(
     detection_rate = 1.0 if tampered == 0 else 1.0 - undetected / tampered
     return {
         "fault_rate": fault_rate,
+        "sites": plan.sites,
         "invocations": len(stats.outcomes),
         "cold_starts": stats.cold_starts,
+        "restored_starts": stats.restored_starts,
         "failed_invocations": stats.failed_invocations,
         "success_rate": round(stats.success_rate, 6),
         "boot_success_rate": round(stats.boot_success_rate, 6),

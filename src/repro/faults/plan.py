@@ -19,6 +19,19 @@ Injection sites instrumented across the repository:
 ``image.stage``            staged kernel/initrd corruption in the VMM
                            (kinds: ``bitflip``, ``truncate``)
 ``serverless.cold_boot``   the sandbox manager fails to spawn a microVM
+``serverless.restore``     snapshot restore path (kinds: ``lookup``,
+                           ``reattest``) — exercises the fallback to a
+                           full measured boot
+``host.crash``             a fleet host dies mid-run (in-flight work is
+                           interrupted and failed over)
+``host.psp_wedge``         a fleet host's PSP wedges: a stuck command
+                           holds the single-server resource, queue depth
+                           grows until the health monitor drains the host
+``host.heartbeat_loss``    one heartbeat from a fleet host is dropped;
+                           enough consecutive losses and the controller
+                           fences the host
+``fleet.placement``        the placement RPC to a chosen host fails
+                           (retried under the failover ``RetryPolicy``)
 =========================  ==================================================
 
 Sites absent from the plan (or with ``rate <= 0``) consume no
@@ -117,7 +130,9 @@ class FaultPlan:
 
     @property
     def sites(self) -> list[str]:
-        return sorted(self._specs)
+        """Configured sites in insertion order (deterministic: specs are
+        declared in code, never discovered at runtime)."""
+        return list(self._specs)
 
     def spec(self, site: str) -> Optional[FaultSpec]:
         return self._specs.get(site)
@@ -196,8 +211,14 @@ class FaultPlan:
         return self.stats.get("injected", 0)
 
     def summary(self) -> dict[str, int]:
-        """A sorted copy of the counters (for reports)."""
-        return {name: self.stats[name] for name in sorted(self.stats)}
+        """A copy of the counters in first-bump order (for reports).
+
+        Counter creation follows the deterministic event schedule, so
+        insertion order is byte-stable across runs with identical seeds —
+        unlike sorted order it also groups related counters (a site's
+        ``injected:*`` family appears where the site first fired).
+        """
+        return dict(self.stats)
 
 
 # -- deterministic payload helpers (shared by memory + VMM tampering) -----

@@ -49,12 +49,19 @@ class RetryPolicy:
     base_delay_ms: float = 5.0
     multiplier: float = 2.0
     max_delay_ms: float = 500.0
+    #: optional virtual-time budget for the whole retried operation; once
+    #: ``sim.now`` has advanced past ``start + max_elapsed_ms`` no further
+    #: retry is attempted and the original error propagates.  Keeps
+    #: failover retries from stalling a boot past its SLO.
+    max_elapsed_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.base_delay_ms < 0 or self.max_delay_ms < 0:
             raise ValueError("backoff delays must be non-negative")
+        if self.max_elapsed_ms is not None and self.max_elapsed_ms < 0:
+            raise ValueError("max_elapsed_ms must be non-negative")
 
     def delay_ms(self, retry_index: int) -> float:
         return min(
@@ -81,6 +88,7 @@ class RetryPolicy:
         """
         from repro.sim.engine import Interrupt, SimulationError
 
+        start_ms = sim.now
         attempt = 0
         while True:
             try:
@@ -90,6 +98,13 @@ class RetryPolicy:
                 raise
             except Exception as exc:
                 if attempt + 1 >= self.max_attempts or not retryable(exc):
+                    raise
+                if self.max_elapsed_ms is not None and (
+                    (sim.now - start_ms) + self.delay_ms(attempt)
+                    > self.max_elapsed_ms
+                ):
+                    # The budget would be blown before the next attempt
+                    # even starts: surface the failure we actually saw.
                     raise
                 if on_retry is not None:
                     on_retry(exc, attempt)

@@ -1,0 +1,53 @@
+"""Multi-host fleet layer: hosts, placement, health, and failover.
+
+See docs/ROBUSTNESS.md (fleet section) for the topology, fault sites,
+failover semantics, and SLO gates.
+"""
+
+from repro.fleet.controller import (
+    DEFAULT_FAILOVER,
+    FailoverError,
+    FleetController,
+    FleetOutcome,
+    FleetStats,
+)
+from repro.fleet.experiment import (
+    fleet_bench_summary,
+    fleet_plan,
+    run_fleet,
+    run_fleet_cell,
+)
+from repro.fleet.hosts import HostCrash, HostState, SimHost
+from repro.fleet.scheduler import (
+    SCHEDULERS,
+    CacheAffinityScheduler,
+    LeastLoadedScheduler,
+    NoEligibleHostError,
+    PlacementError,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "DEFAULT_FAILOVER",
+    "FailoverError",
+    "FleetController",
+    "FleetOutcome",
+    "FleetStats",
+    "HostCrash",
+    "HostState",
+    "SimHost",
+    "SCHEDULERS",
+    "CacheAffinityScheduler",
+    "LeastLoadedScheduler",
+    "NoEligibleHostError",
+    "PlacementError",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "make_scheduler",
+    "fleet_bench_summary",
+    "fleet_plan",
+    "run_fleet",
+    "run_fleet_cell",
+]

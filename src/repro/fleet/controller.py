@@ -1,0 +1,744 @@
+"""The fleet controller: lifecycle, placement, health, and failover.
+
+The policy half of the host-agent split (see
+:mod:`repro.fleet.hosts`).  One controller owns N :class:`SimHost`\\ s on
+a shared simulator and:
+
+- exposes the supervisord-style lifecycle API — :meth:`create_host`,
+  :meth:`destroy_host`, :meth:`list_hosts`, :meth:`drain_host` /
+  :meth:`resume_host`;
+- places every invocation through a pluggable
+  :class:`~repro.fleet.scheduler.Scheduler`, with the
+  ``fleet.placement`` fault site on the placement RPC;
+- runs the health model: per-host heartbeat processes (the
+  ``host.heartbeat_loss`` site drops beats) and a monitor that fences
+  hosts on heartbeat timeout, drains hosts whose PSP queue runs deep
+  (the ``host.psp_wedge`` site), and samples the per-host
+  ``fleet.psp_queue_depth`` SLO gauge;
+- fails over: work in flight on a crashed or fenced host is interrupted
+  with :class:`~repro.fleet.hosts.HostCrash` and re-placed on a
+  survivor under a :class:`~repro.faults.retry.RetryPolicy` (attempt-
+  and ``max_elapsed_ms``-bounded), degrading to a full measured boot
+  when the survivor's store lacks the snapshot ("the snapshot's home
+  host is gone");
+- re-places *warm* work on graceful drains by pre-warming survivors
+  through the restore path.  Warm state on a *crashed* host is simply
+  lost: an SEV guest's memory is (key, address)-bound to its chip
+  (§7.1), so live state cannot move — only the content-addressed
+  snapshot can, and the successor must re-attest.
+
+Every invocation gets a terminal :class:`FleetOutcome` — success,
+degraded success, tamper-abort, or exhausted failover — which is the
+"zero lost invocations" contract the chaos gate enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Generator, Optional, Sequence
+
+from repro.analysis.stats import percentile
+from repro.faults.retry import RetryPolicy
+from repro.fleet.hosts import HostCrash, HostState, SimHost
+from repro.fleet.scheduler import (
+    NoEligibleHostError,
+    PlacementError,
+    Scheduler,
+)
+from repro.guest.bootverifier import VerificationError
+from repro.obs import metrics
+from repro.serverless.platform import ColdBootError
+from repro.serverless.snapshots import SnapshotError, VmSnapshot
+from repro.serverless.trace import InvocationTrace
+from repro.sev.api import SevLaunchError
+from repro.sim.engine import Interrupt, Simulator
+
+
+class FailoverError(Exception):
+    """An attempt died with its host; retryable under the failover policy."""
+
+
+class TamperAbort(Exception):
+    """The boot verifier refused a tampered boot (detection success)."""
+
+
+#: default failover policy: bounded attempts *and* a virtual-time budget,
+#: so a crash storm cannot stall one invocation past its SLO
+DEFAULT_FAILOVER = RetryPolicy(
+    max_attempts=5,
+    base_delay_ms=5.0,
+    multiplier=2.0,
+    max_delay_ms=80.0,
+    max_elapsed_ms=30_000.0,
+)
+
+
+@dataclass
+class FleetOutcome:
+    """Terminal record of one invocation."""
+
+    function: str
+    arrival_ms: float
+    host: str = ""
+    cold: bool = False
+    restored: bool = False
+    #: a repeat cold start that had to full-boot because the placed
+    #: host's store lacked the snapshot (home host gone / not yet warm)
+    degraded: bool = False
+    boot_ms: float = 0.0
+    reattest_ms: float = 0.0
+    start_delay_ms: float = 0.0
+    end_ms: float = 0.0
+    failovers: int = 0
+    placement_retries: int = 0
+    boot_retries: int = 0
+    failed: bool = False
+    failure: str = ""
+    tamper_detected: bool = False
+
+
+@dataclass
+class FleetStats:
+    """Aggregated fleet run results."""
+
+    expected: int
+    outcomes: list[FleetOutcome] = field(default_factory=list)
+
+    @property
+    def lost_invocations(self) -> int:
+        """Arrivals that never got a terminal outcome (must be 0)."""
+        return self.expected - len(self.outcomes)
+
+    @property
+    def cold_starts(self) -> int:
+        return sum(1 for o in self.outcomes if o.cold)
+
+    @property
+    def warm_starts(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cold and not o.failed)
+
+    @property
+    def restored_starts(self) -> int:
+        return sum(1 for o in self.outcomes if o.restored)
+
+    @property
+    def degraded_full_boots(self) -> int:
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def failed_invocations(self) -> int:
+        return sum(1 for o in self.outcomes if o.failed)
+
+    @property
+    def tamper_aborts(self) -> int:
+        return sum(1 for o in self.outcomes if o.tamper_detected)
+
+    @property
+    def failovers(self) -> int:
+        return sum(o.failovers for o in self.outcomes)
+
+    @property
+    def invocations_with_failover(self) -> int:
+        return sum(1 for o in self.outcomes if o.failovers > 0)
+
+    @property
+    def failover_successes(self) -> int:
+        """Failed-over invocations that reached a *good* terminal state.
+
+        A tamper-abort after failover counts as success: the failover
+        machinery delivered the work to a live host; the verifier then
+        did its job.  Only exhausted/raised failover is a failure.
+        """
+        return sum(
+            1
+            for o in self.outcomes
+            if o.failovers > 0 and (not o.failed or o.tamper_detected)
+        )
+
+    @property
+    def failover_success_rate(self) -> float:
+        attempted = self.invocations_with_failover
+        return 1.0 if attempted == 0 else self.failover_successes / attempted
+
+    @property
+    def placement_retries(self) -> int:
+        return sum(o.placement_retries for o in self.outcomes)
+
+    @property
+    def boot_retries(self) -> int:
+        return sum(o.boot_retries for o in self.outcomes)
+
+    def cold_start_percentile(self, q: float) -> float:
+        """Fleet cold-start SLO percentile over full boots *and* restores."""
+        samples = [o.boot_ms for o in self.outcomes if o.cold and not o.failed]
+        return percentile(samples, q) if samples else 0.0
+
+    def start_delay_percentile(self, q: float) -> float:
+        samples = [o.start_delay_ms for o in self.outcomes if not o.failed]
+        return percentile(samples, q) if samples else 0.0
+
+
+class FleetController:
+    """N hosts, one scheduler, one health model, one failover policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config,
+        scheduler: Scheduler,
+        *,
+        cell: int = 0,
+        hosts: int = 4,
+        snapshot: Optional[VmSnapshot] = None,
+        seed_snapshot_hosts: int = 1,
+        keepalive_ms: float = 4000.0,
+        warm_start_ms: float = 1.0,
+        launch_retry: Optional[RetryPolicy] = None,
+        boot_retry: Optional[RetryPolicy] = None,
+        failover: RetryPolicy = DEFAULT_FAILOVER,
+        placement_rpc_ms: float = 0.25,
+        heartbeat_ms: float = 250.0,
+        down_after_ms: float = 900.0,
+        monitor_ms: float = 250.0,
+        drain_queue_depth: int = 4,
+        resume_queue_depth: int = 1,
+        crash_hosts: int = 0,
+        tenant: str = "fleet",
+    ):
+        if hosts < 1:
+            raise ValueError("a fleet needs at least one host")
+        self.sim = sim
+        self.config = config
+        self.scheduler = scheduler
+        self.cell = cell
+        self.keepalive_ms = keepalive_ms
+        self.warm_start_ms = warm_start_ms
+        self.launch_retry = launch_retry
+        self.boot_retry = boot_retry
+        self.failover = failover
+        self.placement_rpc_ms = placement_rpc_ms
+        self.heartbeat_ms = heartbeat_ms
+        self.down_after_ms = down_after_ms
+        self.monitor_ms = monitor_ms
+        self.drain_queue_depth = drain_queue_depth
+        self.resume_queue_depth = resume_queue_depth
+        self.crash_hosts = crash_hosts
+        self.tenant = tenant
+        self.hosts: list[SimHost] = []
+        self.stats = FleetStats(expected=0)
+        self.forced_crashes = 0
+        self._snapshot = snapshot
+        self._digest = snapshot.image_digest if snapshot is not None else None
+        self._snapshotted: set[str] = set()
+        self._running = False
+        self._horizon_ms = 0.0
+        for _ in range(hosts):
+            self.create_host()
+        # Seed the image snapshot onto the first hosts' stores — the
+        # provider's pre-publication.  Everyone else earns it after
+        # their first clean full boot.
+        if snapshot is not None:
+            for host in self.hosts[: max(0, seed_snapshot_hosts)]:
+                host.store.put(snapshot)
+
+    # -- host-agent lifecycle API -------------------------------------------
+
+    def create_host(self) -> SimHost:
+        """Provision one more host (index = position, forever)."""
+        host = SimHost(
+            self.sim,
+            len(self.hosts),
+            self.config,
+            cell=self.cell,
+            keepalive_ms=self.keepalive_ms,
+            warm_start_ms=self.warm_start_ms,
+            launch_retry=self.launch_retry,
+        )
+        self.hosts.append(host)
+        if self._running:
+            host.last_heartbeat = self.sim.now
+            self._start_heartbeat(host)
+        return host
+
+    def destroy_host(self, host_id: str) -> None:
+        """Immediate decommission: in-flight work fails over."""
+        host = self._host(host_id)
+        host.crash(reason="destroyed")
+        host.state = HostState.DOWN
+
+    def list_hosts(self) -> list[dict]:
+        """The control-socket view: one status dict per host."""
+        return [
+            {
+                "host": h.host_id,
+                "state": h.state.value,
+                "alive": h.alive,
+                "warm": h.warm_count,
+                "inflight": h.inflight_count,
+                "psp_queue_depth": h.psp_queue_depth,
+                "boots": h.boots,
+                "restores": h.restores,
+            }
+            for h in self.hosts
+        ]
+
+    def drain_host(self, host_id: str, reason: str = "manual") -> None:
+        """Stop placing onto the host; in-flight work finishes; warm
+        work is re-placed onto survivors through the restore path."""
+        host = self._host(host_id)
+        if host.state is not HostState.RUNNING:
+            return
+        host.state = HostState.DRAINING
+        host.auto_drained = reason != "manual"
+        metrics.default_registry().counter("fleet.drains", reason=reason).inc()
+        self._replace_warm(host)
+
+    def resume_host(self, host_id: str) -> None:
+        host = self._host(host_id)
+        if host.state is HostState.DRAINING and host.alive:
+            host.state = HostState.RUNNING
+            host.auto_drained = False
+            metrics.default_registry().counter("fleet.undrains").inc()
+
+    def _host(self, host_id: str) -> SimHost:
+        for host in self.hosts:
+            if host.host_id == host_id:
+                return host
+        raise KeyError(f"no such host: {host_id}")
+
+    # -- the run -------------------------------------------------------------
+
+    def run(
+        self, trace: InvocationTrace, *, horizon_ms: Optional[float] = None
+    ) -> FleetStats:
+        """Drive the whole trace to completion; returns the statistics."""
+        invocations = list(trace)
+        self.stats = FleetStats(expected=len(invocations))
+        self._horizon_ms = (
+            horizon_ms
+            if horizon_ms is not None
+            else (max((i.arrival_ms for i in invocations), default=0.0) + 1000.0)
+        )
+        now = self.sim.now
+        self.sim.schedule_batch(
+            (max(0.0, inv.arrival_ms - now), partial(self._spawn, inv), None)
+            for inv in invocations
+        )
+        self._running = True
+        self._arm_host_faults()
+        for host in self.hosts:
+            host.last_heartbeat = self.sim.now
+            self._start_heartbeat(host)
+        self.sim.process(self._monitor(), name="fleet-monitor")
+        self.sim.run()
+        self.stats.outcomes.sort(key=lambda o: (o.arrival_ms, o.function))
+        return self.stats
+
+    @property
+    def _finished(self) -> bool:
+        return len(self.stats.outcomes) >= self.stats.expected
+
+    # -- fault arming --------------------------------------------------------
+
+    def _arm_host_faults(self) -> None:
+        """One Bernoulli draw per host per site at start, with the fire
+        time and (for wedges) duration derived from the event salt.
+
+        Crashes are capped at ``len(hosts) - 1`` so at least one host
+        survives — a fleet with zero capacity has no failover story to
+        measure, only a trivial all-fail one.  ``crash_hosts`` forces
+        the first N hosts to crash regardless of draws (the smoke tests'
+        "one injected host crash").  Draws still happen for every host
+        so the per-site streams stay aligned across configs.
+        """
+        plan = self.sim.faults
+        horizon = self._horizon_ms
+        crashes = 0
+        max_crashes = len(self.hosts) - 1
+        for host in self.hosts:
+            crash_event = plan.draw("host.crash") if plan is not None else None
+            forced = host.index < self.crash_hosts
+            if (forced or crash_event is not None) and crashes < max_crashes:
+                if crash_event is not None:
+                    frac = 0.15 + 0.55 * ((crash_event.salt & 0xFFFF) / 0xFFFF)
+                else:
+                    # forced crashes land mid-horizon, staggered
+                    frac = 0.35 + 0.08 * host.index
+                self.sim.process(
+                    self._crash_later(host, horizon * frac),
+                    name=f"chaos-crash-{host.host_id}",
+                )
+                crashes += 1
+                if forced and crash_event is None:
+                    self.forced_crashes += 1
+            wedge_event = (
+                plan.draw("host.psp_wedge") if plan is not None else None
+            )
+            if wedge_event is not None:
+                frac = 0.10 + 0.60 * ((wedge_event.salt & 0xFFFF) / 0xFFFF)
+                duration = 300.0 + (wedge_event.salt >> 16) % 1200
+                self.sim.process(
+                    self._wedge_later(host, horizon * frac, duration),
+                    name=f"chaos-wedge-{host.host_id}",
+                )
+
+    def _crash_later(self, host: SimHost, at_ms: float) -> Generator:
+        yield self.sim.timeout(at_ms)
+        if not self._finished and host.alive:
+            host.crash()
+
+    def _wedge_later(
+        self, host: SimHost, at_ms: float, duration_ms: float
+    ) -> Generator:
+        yield self.sim.timeout(at_ms)
+        if not self._finished and host.alive:
+            yield from host.wedge(duration_ms)
+
+    # -- health model --------------------------------------------------------
+
+    def _start_heartbeat(self, host: SimHost) -> None:
+        self.sim.process(
+            self._heartbeat(host), name=f"heartbeat-{host.host_id}"
+        )
+
+    def _heartbeat(self, host: SimHost) -> Generator:
+        """The host agent's liveness beacon (ground truth side)."""
+        while host.alive and not self._finished:
+            yield self.sim.timeout(self.heartbeat_ms)
+            if not host.alive:
+                break
+            plan = self.sim.faults
+            if plan is not None and plan.draw("host.heartbeat_loss") is not None:
+                continue  # this beat got dropped on the wire
+            host.last_heartbeat = self.sim.now
+
+    def _monitor(self) -> Generator:
+        """The controller's health loop (view side): sample SLO gauges,
+        fence silent hosts, drain wedged ones, resume the recovered."""
+        registry = metrics.default_registry()
+        while not self._finished:
+            yield self.sim.timeout(self.monitor_ms)
+            for host in self.hosts:
+                if host.state is HostState.DOWN:
+                    continue
+                depth = host.psp_queue_depth
+                host.max_queue_depth = max(host.max_queue_depth, depth)
+                registry.gauge(
+                    "fleet.psp_queue_depth", host=host.host_id
+                ).set(depth)
+                if self.sim.now - host.last_heartbeat > self.down_after_ms:
+                    self._fence(host, reason="heartbeat-timeout")
+                elif (
+                    host.state is HostState.RUNNING
+                    and depth >= self.drain_queue_depth
+                ):
+                    self.drain_host(host.host_id, reason="psp-queue")
+                elif (
+                    host.state is HostState.DRAINING
+                    and host.auto_drained
+                    and depth <= self.resume_queue_depth
+                ):
+                    self.resume_host(host.host_id)
+
+    def _fence(self, host: SimHost, reason: str) -> None:
+        """Declare a silent host down and re-place its work.
+
+        If the host truly crashed its in-flight work is already failing
+        over; if it is alive but partitioned (consecutive heartbeat
+        losses), fencing kills its work *from the controller's side* so
+        exactly one copy runs on a survivor.  The last live host is
+        never fenced — losing it converts a liveness blip into a total
+        outage with nothing left to fail over to.
+        """
+        registry = metrics.default_registry()
+        others_alive = any(
+            h.alive for h in self.hosts if h is not host and h.state is not HostState.DOWN
+        )
+        if host.alive and not others_alive:
+            registry.counter("fleet.fence_suppressed").inc()
+            return
+        if host.crashed_at is not None:
+            registry.histogram("fleet.detect_ms").observe(
+                self.sim.now - host.crashed_at
+            )
+        host.crash(reason="fenced")
+        host.state = HostState.DOWN
+        registry.counter("fleet.host_down", reason=reason).inc()
+        self._replace_warm(host)
+
+    # -- warm-work re-placement ---------------------------------------------
+
+    def _replace_warm(self, host: SimHost) -> None:
+        """Re-place a drained host's warm work by pre-warming survivors.
+
+        Warm SEV state cannot migrate (ciphertext is chip-bound, §7.1);
+        what moves is the content-addressed snapshot — the survivor
+        restores and re-attests, then parks the VM in its pool.
+        """
+        registry = metrics.default_registry()
+        functions = host.warm_functions()
+        host._pool.clear()
+        for function in functions:
+            survivors = [
+                h
+                for h in self.hosts
+                if h is not host and h.alive and h.state is HostState.RUNNING
+            ]
+            if not survivors or self._snapshot is None:
+                registry.counter("fleet.prewarm_skipped").inc()
+                continue
+            target = min(
+                survivors, key=lambda h: (h.psp_queue_depth, h.index)
+            )
+            ref: dict = {}
+            ref["proc"] = self.sim.process(
+                self._prewarm(target, function, ref),
+                name=f"prewarm-{function}@{target.host_id}",
+            )
+            registry.counter("fleet.warm_replaced").inc()
+
+    def _prewarm(self, target: SimHost, function: str, ref: dict) -> Generator:
+        assert self._snapshot is not None and self._digest is not None
+        proc = ref["proc"]
+        target.register(proc)
+        try:
+            if self._digest not in target.store:
+                # ship the snapshot over the network first
+                yield self.sim.timeout(
+                    target.machine.cost.sample(
+                        target.machine.cost.copy_ms(
+                            self._snapshot.resident_bytes
+                        )
+                    )
+                )
+                target.store.put(self._snapshot)
+            owner = target.owner(self._snapshot.launch_digest, b"fleet-secret")
+            yield from target.restore_snapshot(
+                self._digest, owner, tenant=self.tenant
+            )
+        except (Interrupt, SnapshotError, SevLaunchError):
+            # best-effort: a failed pre-warm just means a cold start later
+            metrics.default_registry().counter("fleet.prewarm_failed").inc()
+            return
+        finally:
+            target.unregister(proc)
+        target.put_warm(function)
+
+    # -- placement + invocation ---------------------------------------------
+
+    def _spawn(self, inv, _event) -> None:
+        ref: dict = {}
+        ref["proc"] = self.sim.process(
+            self._invoke(inv, ref), name=f"invoke-{inv.function}"
+        )
+
+    def _eligible_hosts(self) -> list[SimHost]:
+        eligible = [h for h in self.hosts if h.state is HostState.RUNNING]
+        if not eligible:
+            # degraded mode: a draining host beats no host
+            eligible = [h for h in self.hosts if h.state is HostState.DRAINING]
+        return eligible
+
+    def _place(self, function: str, state: dict) -> Generator:
+        """One placement RPC; process value: the chosen live host."""
+        registry = metrics.default_registry()
+        yield self.sim.timeout(self.placement_rpc_ms)
+        plan = self.sim.faults
+        if plan is not None and plan.draw("fleet.placement") is not None:
+            state["placement_retries"] += 1
+            registry.counter("fleet.placement_faults").inc()
+            raise PlacementError("placement RPC failed (injected)")
+        eligible = self._eligible_hosts()
+        if not eligible:
+            state["placement_retries"] += 1
+            raise NoEligibleHostError("no eligible hosts in the fleet")
+        host = self.scheduler.choose(eligible, function, self._digest)
+        if not host.alive:
+            # Stale view: the controller has not noticed the crash yet,
+            # but the dispatch RPC to the corpse fails immediately —
+            # and connection-refused is itself a health signal, so the
+            # host is fenced now rather than at the heartbeat timeout
+            # (otherwise every retry would re-pick the quiet, affine
+            # corpse until the failover budget ran out).
+            state["placement_retries"] += 1
+            registry.counter("fleet.stale_placements").inc()
+            self._fence(host, reason="rpc-refused")
+            raise PlacementError(f"{host.host_id} unreachable")
+        return host
+
+    def _run_on(self, host: SimHost, inv, state: dict) -> Generator:
+        """Serve one invocation on a chosen host (may be interrupted)."""
+        registry = metrics.default_registry()
+        state["host"] = host.host_id
+        warm = host.take_warm(inv.function)
+        if warm:
+            yield self.sim.timeout(self.warm_start_ms)
+            start_kind = "warm"
+        else:
+            state["cold"] = True
+            start = self.sim.now
+            restored = False
+            can_restore = (
+                self._snapshot is not None
+                and inv.function in self._snapshotted
+                and self._digest in host.store
+            )
+            if can_restore:
+                owner = host.owner(
+                    self._snapshot.launch_digest, b"fleet-secret"
+                )
+                try:
+                    outcome = yield from host.restore_snapshot(
+                        self._digest, owner, tenant=self.tenant
+                    )
+                except (SnapshotError, SevLaunchError) as exc:
+                    registry.counter(
+                        "fleet.restore_fallbacks",
+                        reason=type(exc).__name__,
+                    ).inc()
+                else:
+                    restored = True
+                    state["restored"] = True
+                    state["reattest_ms"] = outcome.reattest_ms
+            if not restored:
+                if (
+                    self._snapshot is not None
+                    and inv.function in self._snapshotted
+                    and not can_restore
+                ):
+                    # the snapshot's home host is gone: degrade to a
+                    # full measured boot instead of failing the arrival
+                    state["degraded"] = True
+                    registry.counter("fleet.degraded_full_boots").inc()
+                result = yield from self._boot_full(host, state)
+                if result.aborted:
+                    raise TamperAbort(result.abort_reason or "boot aborted")
+                state["boot_retries"] += result.launch_retries
+                if self._snapshot is not None and self._digest not in host.store:
+                    # a clean full boot of the image makes this host a
+                    # restore (and cache-affinity) target from now on
+                    host.store.put(self._snapshot)
+            state["boot_ms"] = self.sim.now - start
+            registry.histogram("fleet.cold_start_ms").observe(state["boot_ms"])
+            self._snapshotted.add(inv.function)
+            start_kind = "restored" if restored else "cold"
+        registry.counter("fleet.invocations", start=start_kind).inc()
+        state["start_delay_ms"] = self.sim.now - inv.arrival_ms
+        yield self.sim.timeout(inv.exec_ms)
+        host.put_warm(inv.function)
+
+    def _boot_full(self, host: SimHost, state: dict):
+        def on_retry(_exc, _attempt):
+            state["boot_retries"] += 1
+
+        if self.boot_retry is not None:
+            return self.boot_retry.run(
+                self.sim,
+                host.boot_cold,
+                label="fleet.cold_boot",
+                retryable=self._boot_retryable,
+                on_retry=on_retry,
+            )
+        return host.boot_cold()
+
+    @staticmethod
+    def _boot_retryable(exc: BaseException) -> bool:
+        from repro.faults.retry import sev_retryable
+
+        return isinstance(exc, ColdBootError) or sev_retryable(exc)
+
+    def _invoke(self, inv, ref: dict) -> Generator:
+        registry = metrics.default_registry()
+        state = {
+            "host": "",
+            "cold": False,
+            "restored": False,
+            "degraded": False,
+            "boot_ms": 0.0,
+            "reattest_ms": 0.0,
+            "start_delay_ms": 0.0,
+            "failovers": 0,
+            "placement_retries": 0,
+            "boot_retries": 0,
+        }
+
+        def attempt() -> Generator:
+            # a fresh attempt starts from a clean per-attempt slate but
+            # keeps the cross-attempt counters
+            state.update(
+                cold=False,
+                restored=False,
+                degraded=False,
+                boot_ms=0.0,
+                reattest_ms=0.0,
+            )
+            host = yield from self._place(inv.function, state)
+            proc = ref["proc"]
+            host.register(proc)
+            try:
+                yield from self._run_on(host, inv, state)
+            except Interrupt as intr:
+                cause = intr.cause
+                if isinstance(cause, HostCrash):
+                    state["failovers"] += 1
+                    registry.counter("fleet.failovers").inc()
+                    raise FailoverError(
+                        f"{inv.function} lost to {cause.host_id} "
+                        f"({cause.reason})"
+                    ) from intr
+                raise
+            finally:
+                host.unregister(proc)
+
+        failed = False
+        failure = ""
+        tamper = False
+        try:
+            yield from self.failover.run(
+                self.sim,
+                attempt,
+                label="fleet.failover",
+                retryable=lambda e: isinstance(
+                    e, (FailoverError, PlacementError)
+                ),
+            )
+        except TamperAbort as exc:
+            failed = True
+            failure = str(exc)
+            tamper = True
+        except (
+            FailoverError,
+            PlacementError,
+            ColdBootError,
+            SevLaunchError,
+            VerificationError,
+        ) as exc:
+            failed = True
+            failure = str(exc)
+            if isinstance(exc, FailoverError):
+                registry.counter("fleet.failover_exhausted").inc()
+        finally:
+            registry.histogram("fleet.placement_retries").observe(
+                state["placement_retries"]
+            )
+            self.stats.outcomes.append(
+                FleetOutcome(
+                    function=inv.function,
+                    arrival_ms=inv.arrival_ms,
+                    host=state["host"],
+                    cold=state["cold"],
+                    restored=state["restored"],
+                    degraded=state["degraded"],
+                    boot_ms=state["boot_ms"],
+                    reattest_ms=state["reattest_ms"],
+                    start_delay_ms=state["start_delay_ms"],
+                    end_ms=self.sim.now,
+                    failovers=state["failovers"],
+                    placement_retries=state["placement_retries"],
+                    boot_retries=state["boot_retries"],
+                    failed=failed,
+                    failure=failure,
+                    tamper_detected=tamper,
+                )
+            )

@@ -1,0 +1,321 @@
+"""Fleet experiment drivers: one cell, or many cells sharded.
+
+A *cell* is one complete fleet simulation — N hosts on one shared
+simulator, one controller, one fault plan, one arrival trace.  Cells are
+fully independent (their own seeds, machines, and metric labels), so the
+parallel unit of :func:`run_fleet` is the cell: cross-host failover needs
+one virtual clock, so sharding *within* a cell would change semantics,
+while sharding *across* cells is exact (the same serial == parallel
+contract as every other :mod:`repro.parallel` driver).
+
+``crash_hosts`` forces that many hosts to crash mid-horizon regardless
+of the seeded ``host.crash`` draws — the deterministic "one injected
+host crash" the fleet-smoke CI job asserts failover against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.faults.chaos import (
+    BOOT_RETRY,
+    LAUNCH_RETRY,
+    TAMPER_MIN_BYTES,
+)
+from repro.faults.plan import FaultPlan, FaultSpec
+
+#: chip seed of the offline image-builder machine (snapshot contents are
+#: chip-independent; one build serves every host of every cell)
+FLEET_IMAGE_CHIP = b"repro-fleet-image-builder"
+
+DEFAULT_HOSTS = 4
+DEFAULT_CELLS = 2
+DEFAULT_SCHEDULER = "cache-affinity"
+
+
+def _build_snapshot(config):
+    """Build (or fetch) the fleet image snapshot under a scratch metrics
+    registry: the offline image build is a provider-side step, and its
+    PSP/engine counters would otherwise land in whichever process first
+    pays for the build — breaking the serial == parallel metrics
+    contract for fleet runs."""
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.serverless.snapshots import cached_snapshot
+
+    with use_registry(MetricsRegistry()):
+        return cached_snapshot(config, FLEET_IMAGE_CHIP)
+
+
+def fleet_plan(seed: int, rate: float) -> FaultPlan:
+    """The fleet chaos mix: the full single-host mix plus host-lifecycle
+    and placement sites, all scaled by one overall ``rate`` knob."""
+    return FaultPlan(
+        seed=seed,
+        specs=(
+            FaultSpec(
+                "psp.command",
+                rate * 0.5,
+                kinds=(("busy", 0.6), ("reset", 0.3), ("fatal", 0.1)),
+            ),
+            FaultSpec("psp.activate", rate * 0.2),
+            FaultSpec(
+                "image.stage",
+                rate,
+                kinds=(("bitflip", 0.7), ("truncate", 0.3)),
+            ),
+            FaultSpec(
+                "mem.host_tamper",
+                rate * 0.3,
+                kinds=(("bitflip", 1.0),),
+                min_bytes=TAMPER_MIN_BYTES,
+            ),
+            FaultSpec("serverless.cold_boot", rate * 0.5),
+            FaultSpec(
+                "serverless.restore",
+                rate * 0.5,
+                kinds=(("lookup", 0.5), ("reattest", 0.5)),
+            ),
+            # host-lifecycle sites: one draw per host at fleet start
+            # (crash/wedge) or per beat (heartbeat loss)
+            FaultSpec("host.crash", rate * 0.5),
+            FaultSpec("host.psp_wedge", rate * 0.6),
+            FaultSpec("host.heartbeat_loss", rate * 0.3),
+            FaultSpec("fleet.placement", rate * 0.4),
+        ),
+    )
+
+
+def run_fleet_cell(
+    cell: int,
+    seed: int,
+    *,
+    hosts: int = DEFAULT_HOSTS,
+    scheduler: str = DEFAULT_SCHEDULER,
+    fault_rate: float = 0.0,
+    kernel: str = "aws",
+    scale: float = 1.0 / 1024.0,
+    functions: int = 6,
+    horizon_s: float = 20.0,
+    rate_per_s: float = 2.0,
+    keepalive_ms: float = 4000.0,
+    crash_hosts: int = 0,
+    asid_capacity: Optional[int] = None,
+) -> dict[str, Any]:
+    """One fleet cell at one fault rate; returns the JSON-safe row."""
+    from repro.core.config import VmConfig
+    from repro.fleet.controller import FleetController
+    from repro.fleet.hosts import HostState
+    from repro.fleet.scheduler import make_scheduler
+    from repro.formats.kernels import KERNEL_CONFIGS
+    from repro.serverless.trace import synthesize_trace
+    from repro.sim import Simulator
+
+    config = VmConfig(kernel=KERNEL_CONFIGS[kernel], scale=scale, attest=False)
+    snapshot = _build_snapshot(config)
+
+    sim = Simulator()
+    # inject before any host exists so every instrumented path sees it
+    plan = sim.inject(fleet_plan(seed, fault_rate))
+    controller = FleetController(
+        sim,
+        config,
+        make_scheduler(scheduler),
+        cell=cell,
+        hosts=hosts,
+        snapshot=snapshot,
+        keepalive_ms=keepalive_ms,
+        launch_retry=LAUNCH_RETRY,
+        boot_retry=BOOT_RETRY,
+        crash_hosts=crash_hosts,
+    )
+    if asid_capacity is not None:
+        for host in controller.hosts:
+            host.machine.psp.asid_capacity = asid_capacity
+    trace = synthesize_trace(
+        num_functions=functions,
+        horizon_ms=horizon_s * 1000.0,
+        mean_rate_per_s=rate_per_s,
+        seed=seed,
+    )
+    stats = controller.run(trace, horizon_ms=horizon_s * 1000.0)
+
+    tampered = plan.stats.get("tampered_boots", 0)
+    undetected = plan.stats.get("undetected_tampered_boots", 0)
+    host_crashes = sum(1 for h in controller.hosts if h.crashed_at is not None)
+    return {
+        "cell": cell,
+        "seed": seed,
+        "hosts": hosts,
+        "scheduler": scheduler,
+        "fault_rate": fault_rate,
+        "sites": plan.sites,
+        "invocations": len(stats.outcomes),
+        "lost_invocations": stats.lost_invocations,
+        "cold_starts": stats.cold_starts,
+        "warm_starts": stats.warm_starts,
+        "restored_starts": stats.restored_starts,
+        "degraded_full_boots": stats.degraded_full_boots,
+        "failed_invocations": stats.failed_invocations,
+        "tamper_aborts": stats.tamper_aborts,
+        "boot_retries": stats.boot_retries,
+        "failovers": stats.failovers,
+        "invocations_with_failover": stats.invocations_with_failover,
+        "failover_successes": stats.failover_successes,
+        "failover_success_rate": round(stats.failover_success_rate, 6),
+        "placement_retries": stats.placement_retries,
+        "host_crashes": host_crashes,
+        "forced_crashes": controller.forced_crashes,
+        "hosts_down": sum(
+            1 for h in controller.hosts if h.state is HostState.DOWN
+        ),
+        "tampered_boots": tampered,
+        "undetected_tampered_boots": undetected,
+        "detection_rate": (
+            1.0 if tampered == 0 else round(1.0 - undetected / tampered, 6)
+        ),
+        "p50_cold_start_ms": round(stats.cold_start_percentile(50), 3),
+        "p99_cold_start_ms": round(stats.cold_start_percentile(99), 3),
+        # raw samples so the parent pools exact fleet-level percentiles
+        "cold_start_ms": [
+            round(o.boot_ms, 6)
+            for o in stats.outcomes
+            if o.cold and not o.failed
+        ],
+        "start_delays_ms": [
+            round(o.start_delay_ms, 6)
+            for o in stats.outcomes
+            if not o.failed
+        ],
+        "per_host": [
+            {
+                "host": h.host_id,
+                "state": h.state.value,
+                "boots": h.boots,
+                "restores": h.restores,
+                "max_psp_queue_depth": h.max_queue_depth,
+            }
+            for h in controller.hosts
+        ],
+        "faults": plan.summary(),
+    }
+
+
+def run_fleet(
+    cells: int = DEFAULT_CELLS,
+    *,
+    seed: int = 0,
+    workers: int = 1,
+    hosts: int = DEFAULT_HOSTS,
+    scheduler: str = DEFAULT_SCHEDULER,
+    fault_rate: float = 0.0,
+    kernel: str = "aws",
+    scale: float = 1.0 / 1024.0,
+    functions: int = 6,
+    horizon_s: float = 20.0,
+    rate_per_s: float = 2.0,
+    keepalive_ms: float = 4000.0,
+    crash_hosts: int = 0,
+) -> dict[str, Any]:
+    """Run ``cells`` independent fleet cells, sharded; exact aggregate.
+
+    Returns the ``fleet`` series document recorded in BENCH files: same
+    rows and aggregates for every ``workers`` value (per-cell seeds come
+    from :func:`repro.parallel.shard.unit_seed`).
+    """
+    from repro.analysis.stats import percentile
+    from repro.obs.metrics import default_registry
+    from repro.parallel.pool import run_sharded
+    from repro.parallel.runners import fleet_unit, prime_fleet_caches
+
+    payload = {
+        "hosts": hosts,
+        "scheduler": scheduler,
+        "fault_rate": fault_rate,
+        "kernel": kernel,
+        "scale": scale,
+        "functions": functions,
+        "horizon_s": horizon_s,
+        "rate_per_s": rate_per_s,
+        "keepalive_ms": keepalive_ms,
+        "crash_hosts": crash_hosts,
+    }
+    run = run_sharded(
+        fleet_unit,
+        cells,
+        seed=seed,
+        workers=workers,
+        unit_args=payload,
+        prime=prime_fleet_caches,
+    )
+    default_registry().merge_snapshot(run.metrics)
+    rows = run.results
+    colds = [c for row in rows for c in row["cold_start_ms"]]
+    delays = [d for row in rows for d in row["start_delays_ms"]]
+    tampered = sum(r["tampered_boots"] for r in rows)
+    undetected = sum(r["undetected_tampered_boots"] for r in rows)
+    attempted = sum(r["invocations_with_failover"] for r in rows)
+    succeeded = sum(r["failover_successes"] for r in rows)
+    return {
+        "experiment": "fleet",
+        "seed": seed,
+        "cells": cells,
+        "workers": run.workers,
+        "hosts": hosts,
+        "scheduler": scheduler,
+        "fault_rate": fault_rate,
+        "crash_hosts": crash_hosts,
+        "kernel": kernel,
+        "scale": scale,
+        "functions": functions,
+        "horizon_s": horizon_s,
+        "rate_per_s": rate_per_s,
+        "keepalive_ms": keepalive_ms,
+        "invocations": sum(r["invocations"] for r in rows),
+        "lost_invocations": sum(r["lost_invocations"] for r in rows),
+        "cold_starts": sum(r["cold_starts"] for r in rows),
+        "warm_starts": sum(r["warm_starts"] for r in rows),
+        "restored_starts": sum(r["restored_starts"] for r in rows),
+        "degraded_full_boots": sum(r["degraded_full_boots"] for r in rows),
+        "failed_invocations": sum(r["failed_invocations"] for r in rows),
+        "tamper_aborts": sum(r["tamper_aborts"] for r in rows),
+        "failovers": sum(r["failovers"] for r in rows),
+        "invocations_with_failover": attempted,
+        "failover_success_rate": (
+            1.0 if attempted == 0 else round(succeeded / attempted, 6)
+        ),
+        "placement_retries": sum(r["placement_retries"] for r in rows),
+        "host_crashes": sum(r["host_crashes"] for r in rows),
+        "hosts_down": sum(r["hosts_down"] for r in rows),
+        "tampered_boots": tampered,
+        "undetected_tampered_boots": undetected,
+        "detection_rate": (
+            1.0 if tampered == 0 else round(1.0 - undetected / tampered, 6)
+        ),
+        "p50_cold_start_ms": round(percentile(colds, 50), 3) if colds else 0.0,
+        "p99_cold_start_ms": round(percentile(colds, 99), 3) if colds else 0.0,
+        "p50_start_delay_ms": (
+            round(percentile(delays, 50), 3) if delays else 0.0
+        ),
+        "p99_start_delay_ms": (
+            round(percentile(delays, 99), 3) if delays else 0.0
+        ),
+        "elapsed_s": round(run.elapsed_s, 3),
+        "cells_detail": rows,
+    }
+
+
+def fleet_bench_summary(doc: dict[str, Any]) -> dict[str, Any]:
+    """The ``fleet`` block recorded in BENCH_chaos.json: the aggregate
+    gates plus per-cell rows with the bulky sample arrays dropped."""
+    summary = {
+        key: value for key, value in doc.items() if key != "cells_detail"
+    }
+    summary["cells_detail"] = [
+        {
+            k: v
+            for k, v in row.items()
+            if k not in ("cold_start_ms", "start_delays_ms", "per_host")
+        }
+        for row in doc["cells_detail"]
+    ]
+    return summary

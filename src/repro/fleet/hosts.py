@@ -1,0 +1,283 @@
+"""Simulated fleet hosts: one PSP, warm pool, and snapshot store each.
+
+A :class:`SimHost` is the per-machine half of the supervisord-style
+host-agent split (modeled on one-process-per-VM managers with a control
+socket): it owns the mechanics — a :class:`~repro.hw.platform.Machine`
+with its own PSP, a keepalive-bounded warm pool, a content-addressed
+:class:`~repro.serverless.snapshots.SnapshotStore`, and the registry of
+in-flight work — while :class:`~repro.fleet.controller.FleetController`
+owns the policy (create/destroy/list/drain, placement, health, failover).
+
+All hosts in one fleet cell share a single
+:class:`~repro.sim.engine.Simulator`: cross-host failover is a causal
+chain (crash -> interrupt -> re-place) that only makes sense on one
+virtual clock.  Each host still has its *own* PSP resource, so the
+Fig. 12 bottleneck is per-host, which is exactly what gives the
+placement scheduler something to balance.
+
+The controller's *view* of a host (:class:`HostState`) is deliberately
+distinct from the host's ground truth (:attr:`SimHost.alive`): a crashed
+host is dead immediately, but the controller only learns it when the
+heartbeat timeout fires — until then the scheduler may still place onto
+the corpse, and the placement RPC fails fast instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.obs import metrics
+from repro.serverless.snapshots import SessionCache, SnapshotStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Process, Simulator
+
+
+class HostState(enum.Enum):
+    """The controller's view of a host (not its ground truth)."""
+
+    RUNNING = "running"
+    DRAINING = "draining"
+    DOWN = "down"
+
+
+class HostCrash:
+    """Interrupt cause delivered to in-flight work when its host dies.
+
+    Carried on :class:`~repro.sim.engine.Interrupt` so the failover path
+    can distinguish "my host died under me" (re-place on a survivor)
+    from any other interruption (propagate).
+    """
+
+    __slots__ = ("host_id", "reason")
+
+    def __init__(self, host_id: str, reason: str = "crash"):
+        self.host_id = host_id
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HostCrash({self.host_id!r}, {self.reason!r})"
+
+
+class _WarmVm:
+    __slots__ = ("function", "idle_since")
+
+    def __init__(self, function: str, idle_since: float):
+        self.function = function
+        self.idle_since = idle_since
+
+
+class SimHost:
+    """One simulated machine of the fleet, behind the host-agent API."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        index: int,
+        config,
+        *,
+        cell: int = 0,
+        chip_seed: Optional[bytes] = None,
+        keepalive_ms: float = 4000.0,
+        warm_start_ms: float = 1.0,
+        launch_retry=None,
+    ):
+        from repro.core.severifast import SEVeriFast
+        from repro.hw.platform import Machine
+        from repro.vmm.firecracker import FirecrackerVMM
+
+        self.sim = sim
+        self.index = index
+        self.host_id = f"c{cell}:host-{index}"
+        self.config = config
+        # Explicit chip seeds: auto-drawn seeds depend on process-global
+        # construction order, which would make cell results depend on
+        # what ran earlier in the worker — fleet runs must not.
+        self.machine = Machine(
+            sim=sim,
+            chip_seed=chip_seed or f"repro-fleet-c{cell}-host-{index}".encode(),
+        )
+        self.keepalive_ms = keepalive_ms
+        self.warm_start_ms = warm_start_ms
+        self.state = HostState.RUNNING
+        #: ground truth, flipped by :meth:`crash` — the controller's
+        #: ``state`` lags it by up to one heartbeat timeout
+        self.alive = True
+        self.crashed_at: Optional[float] = None
+        self.last_heartbeat = 0.0
+        #: set while an injected ``host.psp_wedge`` holds the PSP
+        self.wedged = False
+        #: the monitor auto-drained this host (so it may auto-resume)
+        self.auto_drained = False
+        self.store = SnapshotStore()
+        self.sessions = SessionCache()
+        self.max_queue_depth = 0
+        self.boots = 0
+        self.restores = 0
+        self._pool: list[_WarmVm] = []
+        self._inflight: dict[int, "Process"] = {}
+
+        sf = SEVeriFast(machine=self.machine)
+        self._prepared = sf.prepare(config, self.machine)
+        self._vmm = FirecrackerVMM(
+            self.machine, retry=launch_retry, release_on_exit=True
+        )
+        self._owner = None
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def expected_digest(self) -> bytes:
+        return self._prepared.expected_digest
+
+    @property
+    def psp_queue_depth(self) -> int:
+        """Commands queued or executing on this host's PSP."""
+        resource = self.machine.psp.resource
+        return resource.queue_length + resource.in_use
+
+    @property
+    def eligible(self) -> bool:
+        return self.state is HostState.RUNNING
+
+    def owner(self, expected_digest: bytes, secret: bytes):
+        """The guest owner that accepts restores on this host's chip."""
+        if self._owner is None:
+            from repro.sev.guestowner import GuestOwner
+
+            self._owner = GuestOwner.with_chain(
+                trusted_ark=self.machine.psp.key_hierarchy.ark_key.public,
+                cert_chain=self.machine.psp.cert_chain,
+                expected_digest=expected_digest,
+                secret=secret,
+            )
+        return self._owner
+
+    # -- warm pool -----------------------------------------------------------
+
+    def take_warm(self, function: str) -> bool:
+        """Claim a live warm VM for ``function``; expired entries drop."""
+        now = self.sim.now
+        self._pool = [
+            vm for vm in self._pool if now - vm.idle_since <= self.keepalive_ms
+        ]
+        for i, vm in enumerate(self._pool):
+            if vm.function == function:
+                del self._pool[i]
+                return True
+        return False
+
+    def put_warm(self, function: str) -> None:
+        if self.alive and self.state is not HostState.DOWN:
+            self._pool.append(_WarmVm(function, self.sim.now))
+
+    def warm_functions(self) -> list[str]:
+        """Distinct functions with a live warm VM, pool order."""
+        now = self.sim.now
+        seen: dict[str, None] = {}
+        for vm in self._pool:
+            if now - vm.idle_since <= self.keepalive_ms:
+                seen.setdefault(vm.function, None)
+        return list(seen)
+
+    @property
+    def warm_count(self) -> int:
+        now = self.sim.now
+        return sum(
+            1 for vm in self._pool if now - vm.idle_since <= self.keepalive_ms
+        )
+
+    # -- in-flight registry (interrupt targets on crash) ---------------------
+
+    def register(self, proc: "Process") -> None:
+        self._inflight[id(proc)] = proc
+
+    def unregister(self, proc: "Process") -> None:
+        self._inflight.pop(id(proc), None)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    # -- boot paths ----------------------------------------------------------
+
+    def boot_cold(self) -> Generator:
+        """One full measured boot attempt (spawn + launch flow).
+
+        Mirrors the single-host platform's cold boot: the
+        ``serverless.cold_boot`` site models the sandbox spawn failing
+        before the VMM starts, costing one warm-start of wasted work.
+        Process value: :class:`~repro.vmm.timeline.BootResult`.
+        """
+        from repro.serverless.platform import ColdBootError
+
+        plan = self.sim.faults
+        if plan is not None and plan.draw("serverless.cold_boot") is not None:
+            yield self.sim.timeout(self.warm_start_ms)
+            raise ColdBootError(
+                "sandbox manager failed to spawn the microVM (injected)"
+            )
+        result = yield from self._vmm.boot_severifast(
+            self.config,
+            self._prepared.artifacts,
+            self._prepared.initrd,
+            hashes=self._prepared.hashes,
+        )
+        self.boots += 1
+        return result
+
+    def restore_snapshot(
+        self, digest: bytes, owner, *, tenant: str = "fleet"
+    ) -> Generator:
+        """Restore ``digest`` from this host's store (lookup -> CoW ->
+        re-attestation).  Process value: RestoreOutcome."""
+        from repro.serverless.snapshots import restore_from_store
+
+        outcome = yield from restore_from_store(
+            self.machine,
+            self.store,
+            digest,
+            owner,
+            tenant=tenant,
+            sessions=self.sessions,
+        )
+        self.restores += 1
+        return outcome
+
+    # -- failure mechanics ---------------------------------------------------
+
+    def crash(self, reason: str = "crash") -> None:
+        """Kill the host: warm pool gone, in-flight work interrupted.
+
+        Every interrupted process receives :class:`HostCrash` as its
+        interrupt cause; the controller's failover path catches it and
+        re-places the work on a survivor.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.crashed_at = self.sim.now
+        self._pool.clear()
+        victims = list(self._inflight.values())
+        self._inflight.clear()
+        cause = HostCrash(self.host_id, reason)
+        for proc in victims:
+            if proc.is_alive:
+                proc.interrupt(cause)
+        metrics.default_registry().counter(
+            "fleet.host_crashes", reason=reason
+        ).inc()
+
+    def wedge(self, duration_ms: float) -> Generator:
+        """An injected stuck PSP command: holds the single-server PSP
+        resource for ``duration_ms`` so queue depth builds behind it —
+        the signal the health monitor drains the host on."""
+        resource = self.machine.psp.resource
+        grant = yield resource.request()
+        self.wedged = True
+        try:
+            yield self.sim.timeout(duration_ms)
+        finally:
+            self.wedged = False
+            resource.release(grant)

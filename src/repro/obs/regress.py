@@ -214,9 +214,24 @@ def compare_documents(
 #: never fall below this — the 10x-path win is a ratchet, not a trend.
 ENGINE_EVENTS_FLOOR = 3 * 704_837.0
 
+#: fleet failover success may drift within its band but never below
+#: this — the ISSUE 8 acceptance criterion, ratcheted like the engine
+#: floor (a chaos run that strands work on dead hosts is a regression
+#: regardless of what the baseline happened to record)
+FLEET_FAILOVER_FLOOR = 0.99
+
 #: wall-clock rates differ machine to machine; compare only throughput
 #: leaves, direction-aware, with deliberately generous default bands
 WALLCLOCK_RULES: tuple[Rule, ...] = (
+    # the fleet workload: wall-clock throughput gets the usual generous
+    # band; its SLO gates (detection, failover floor, zero lost) are
+    # invariants, and the rest of its leaves are run configuration
+    ("workloads.fleet.invocations_s", Tolerance(rel=0.5, direction="higher_is_better")),
+    ("workloads.fleet.detection_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better")),
+    ("workloads.fleet.failover_success_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better", floor=FLEET_FAILOVER_FLOOR)),
+    ("workloads.fleet.lost_invocations", Tolerance(rel=0.0, abs_tol=0.0, direction="lower_is_better")),
+    ("workloads.fleet.p99_cold_start_virtual_ms", Tolerance(rel=0.1, direction="lower_is_better")),
+    ("workloads.fleet.*", None),
     # parallel scaling is a property of the host's core count as much as
     # of the code; its bands are the widest (a 1-core runner simply
     # cannot reproduce a 4-core baseline's speedup)
@@ -245,6 +260,19 @@ WALLCLOCK_RULES: tuple[Rule, ...] = (
 #: small bands absorb float noise, the detection invariant absorbs nothing
 CHAOS_RULES: tuple[Rule, ...] = (
     ("sweep.*.faults.*", None),  # raw fault counters are config-ish detail
+    # the fleet series (the `fleet` block of BENCH_chaos.json): the SLO
+    # gates are invariants; structural counters are config-ish detail
+    ("fleet.*.faults.*", None),
+    ("fleet.detection_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better")),
+    ("fleet.*.detection_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better")),
+    ("fleet.undetected_tampered_boots", Tolerance(rel=0.0, abs_tol=0.0, direction="lower_is_better")),
+    ("fleet.*.undetected_tampered_boots", Tolerance(rel=0.0, abs_tol=0.0, direction="lower_is_better")),
+    ("fleet.failover_success_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better", floor=FLEET_FAILOVER_FLOOR)),
+    ("fleet.*.failover_success_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better", floor=FLEET_FAILOVER_FLOOR)),
+    ("fleet.lost_invocations", Tolerance(rel=0.0, abs_tol=0.0, direction="lower_is_better")),
+    ("fleet.*.lost_invocations", Tolerance(rel=0.0, abs_tol=0.0, direction="lower_is_better")),
+    ("fleet.p99_cold_start_ms", Tolerance(rel=0.1, direction="lower_is_better")),
+    ("fleet.*", None),
     ("detection_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better")),
     ("sweep.*.detection_rate", Tolerance(rel=0.0, abs_tol=1e-9, direction="higher_is_better")),
     ("undetected_tampered_boots", Tolerance(rel=0.0, abs_tol=0.0, direction="lower_is_better")),

@@ -196,6 +196,45 @@ def run_restore_fleet(
     )
 
 
+# -- fleet cells --------------------------------------------------------------
+
+
+def prime_fleet_caches(payload: dict) -> None:
+    """Warm boot caches plus the fleet image snapshot before a worker's
+    first cell (the snapshot is chip-independent; one build serves all)."""
+    from repro.fleet.experiment import _build_snapshot
+
+    prime_boot_caches(payload)
+    _build_snapshot(_boot_config(payload))
+
+
+def fleet_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
+    """One fleet cell (N hosts, one shared clock, one fault plan).
+
+    The cell — not the host — is the parallel unit: cross-host failover
+    is a causal chain on one virtual clock, so sharding within a cell
+    would change semantics.  The pool's sha256-derived per-unit ``seed``
+    makes rows identical for every ``workers`` value.
+    """
+    from repro.fleet.experiment import run_fleet_cell
+
+    return run_fleet_cell(
+        index,
+        seed,
+        hosts=payload.get("hosts", 4),
+        scheduler=payload.get("scheduler", "cache-affinity"),
+        fault_rate=payload.get("fault_rate", 0.0),
+        kernel=payload.get("kernel", "aws"),
+        scale=payload.get("scale", 1.0 / 1024.0),
+        functions=payload.get("functions", 6),
+        horizon_s=payload.get("horizon_s", 20.0),
+        rate_per_s=payload.get("rate_per_s", 2.0),
+        keepalive_ms=payload.get("keepalive_ms", 4000.0),
+        crash_hosts=payload.get("crash_hosts", 0),
+        asid_capacity=payload.get("asid_capacity"),
+    )
+
+
 # -- chaos sweeps -------------------------------------------------------------
 
 

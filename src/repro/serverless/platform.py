@@ -275,17 +275,19 @@ class ServerlessPlatform:
             start = self.sim.now
             try:
                 outcome = yield from self.restore_factory()
-            except SnapshotError as exc:
-                # A restore the hardware (or the owner) refuses degrades
-                # to a full cold boot — the function still runs, it just
-                # pays the launch flow again.
+            except (SnapshotError, SevLaunchError) as exc:
+                # A restore the hardware (or the owner) refuses — or a
+                # PSP fault while re-attesting — degrades to a full cold
+                # boot: the function still runs, it just pays the launch
+                # flow again.
+                if isinstance(exc, ReattestationError):
+                    reason = "reattest"
+                elif isinstance(exc, SevLaunchError):
+                    reason = "psp"
+                else:
+                    reason = "policy"
                 registry.counter(
-                    "serverless.restore_fallbacks",
-                    reason=(
-                        "reattest"
-                        if isinstance(exc, ReattestationError)
-                        else "policy"
-                    ),
+                    "serverless.restore_fallbacks", reason=reason
                 ).inc()
             else:
                 boot_ms = self.sim.now - start

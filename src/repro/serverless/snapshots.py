@@ -416,8 +416,27 @@ def restore_from_store(
     number), with the re-attestation share split out in ``reattest_ms``.
     SEV snapshots re-attest exactly once per restore; plain snapshots
     have nothing to prove and skip the handshake.
+
+    Injection site ``serverless.restore`` (kinds ``lookup`` /
+    ``reattest``) fires here: a ``lookup`` fault models store corruption
+    or eviction races (the digest probe fails), a ``reattest`` fault
+    models an owner-side rejection of the fresh report.  Both surface as
+    the :class:`SnapshotError` family, which the serverless platform
+    degrades to a full measured boot.
     """
     start = machine.sim.now
+    plan = machine.sim.faults
+    fault = plan.draw("serverless.restore") if plan is not None else None
+    if fault is not None:
+        # The failure manifests after the (charged) store probe.
+        yield machine.sim.timeout(
+            machine.cost.sample(machine.cost.snapshot_lookup_ms)
+        )
+        if fault.kind == "reattest":
+            raise ReattestationError(
+                "injected re-attestation rejection on restore"
+            )
+        raise SnapshotError("injected snapshot lookup failure on restore")
     snapshot = yield from store.lookup(machine, digest)
     base = yield from restore(
         machine, snapshot, policy, cow=cow, touched_fraction=touched_fraction

@@ -141,3 +141,83 @@ class TestPspCommand:
         )
         assert result == "activated"
         assert machine.psp.active_guests == 1
+
+
+class TestElapsedBudget:
+    """max_elapsed_ms: a virtual-time budget across the whole run."""
+
+    def _always_busy(self):
+        state = {"attempts": 0}
+
+        def factory():
+            state["attempts"] += 1
+            raise SevLaunchError("injected", code=SevErrorCode.BUSY)
+            yield  # pragma: no cover - generator marker
+
+        return factory, state
+
+    def test_budget_exhaustion_raises_original_error(self):
+        sim = Simulator()
+        factory, state = self._always_busy()
+        # delays 10, 20, 40, ... — a 25ms budget admits only the first
+        # retry (10ms); the second would land at 30ms > 25ms.
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_ms=10.0, multiplier=2.0,
+            max_elapsed_ms=25.0,
+        )
+        with pytest.raises(SevLaunchError, match="injected"):
+            sim.run_process(policy.run(sim, factory, label="t"))
+        assert state["attempts"] == 2
+        assert sim.now <= 25.0
+
+    def test_budget_admits_success_within_window(self):
+        sim = Simulator()
+        factory, state = self._flaky_for_budget(2)
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_ms=5.0, max_elapsed_ms=100.0
+        )
+        result = sim.run_process(policy.run(sim, factory, label="t"))
+        assert result == "ok"
+        assert state["attempts"] == 3
+
+    def test_no_budget_means_attempt_bound_only(self):
+        sim = Simulator()
+        factory, state = self._always_busy()
+        policy = RetryPolicy(max_attempts=4, base_delay_ms=1.0)
+        with pytest.raises(SevLaunchError):
+            sim.run_process(policy.run(sim, factory, label="t"))
+        assert state["attempts"] == 4
+
+    def test_budget_counts_from_run_start_not_sim_zero(self):
+        sim = Simulator()
+        factory, state = self._always_busy()
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_ms=10.0, multiplier=2.0,
+            max_elapsed_ms=25.0,
+        )
+
+        def late():
+            yield sim.timeout(500.0)
+            yield from policy.run(sim, factory, label="t")
+
+        with pytest.raises(SevLaunchError):
+            sim.run_process(late())
+        # same two attempts as at t=0: the budget is relative
+        assert state["attempts"] == 2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed_ms=-1.0)
+
+    def _flaky_for_budget(self, failures: int):
+        state = {"left": failures, "attempts": 0}
+
+        def factory():
+            state["attempts"] += 1
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise SevLaunchError("injected", code=SevErrorCode.BUSY)
+            return "ok"
+            yield  # pragma: no cover - generator marker
+
+        return factory, state

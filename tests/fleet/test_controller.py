@@ -1,0 +1,154 @@
+"""FleetController: lifecycle API, warm re-placement, failover SLOs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.fleet.controller import FleetController
+from repro.fleet.experiment import FLEET_IMAGE_CHIP, run_fleet_cell
+from repro.fleet.hosts import HostState
+from repro.fleet.scheduler import RoundRobinScheduler
+from repro.formats.kernels import AWS
+from repro.obs.metrics import default_registry
+from repro.serverless.snapshots import cached_snapshot
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def config() -> VmConfig:
+    return VmConfig(kernel=AWS, attest=False)
+
+
+@pytest.fixture
+def snapshot(config):
+    return cached_snapshot(config, FLEET_IMAGE_CHIP)
+
+
+def _controller(config, snapshot, hosts=2) -> FleetController:
+    return FleetController(
+        Simulator(),
+        config,
+        RoundRobinScheduler(),
+        hosts=hosts,
+        snapshot=snapshot,
+    )
+
+
+class TestLifecycleApi:
+    def test_list_hosts_shape(self, config, snapshot):
+        controller = _controller(config, snapshot)
+        listed = controller.list_hosts()
+        assert [h["host"] for h in listed] == ["c0:host-0", "c0:host-1"]
+        for status in listed:
+            assert status["state"] == "running"
+            assert status["alive"] is True
+            assert status["inflight"] == 0
+
+    def test_create_host_appends(self, config, snapshot):
+        controller = _controller(config, snapshot)
+        host = controller.create_host()
+        assert host.host_id == "c0:host-2"
+        assert len(controller.list_hosts()) == 3
+
+    def test_drain_and_resume(self, config, snapshot):
+        controller = _controller(config, snapshot)
+        controller.drain_host("c0:host-0")
+        assert controller.hosts[0].state is HostState.DRAINING
+        controller.resume_host("c0:host-0")
+        assert controller.hosts[0].state is HostState.RUNNING
+
+    def test_destroy_is_terminal(self, config, snapshot):
+        controller = _controller(config, snapshot)
+        controller.destroy_host("c0:host-1")
+        host = controller.hosts[1]
+        assert host.state is HostState.DOWN
+        assert not host.alive
+        # resume cannot revive a dead host
+        controller.resume_host("c0:host-1")
+        assert host.state is HostState.DOWN
+
+    def test_unknown_host_rejected(self, config, snapshot):
+        controller = _controller(config, snapshot)
+        with pytest.raises(KeyError):
+            controller.drain_host("c0:host-9")
+
+
+class TestWarmReplacement:
+    def test_drain_prewarms_survivor(self, config, snapshot):
+        """Warm SEV state cannot migrate; the survivor restores from the
+        content-addressed snapshot and parks the VM in its pool."""
+        controller = _controller(config, snapshot)
+        source, survivor = controller.hosts
+        source.put_warm("fn")
+        controller.drain_host(source.host_id)
+        controller.sim.run()  # drive the pre-warm restore
+        assert source.warm_count == 0
+        assert survivor.take_warm("fn")
+        assert survivor.restores == 1
+        snap = default_registry().snapshot()["counters"]
+        assert snap.get("fleet.warm_replaced", 0) == 1
+
+    def test_no_survivor_skips_prewarm(self, config, snapshot):
+        controller = _controller(config, snapshot)
+        controller.destroy_host("c0:host-1")
+        controller.hosts[0].put_warm("fn")
+        controller.drain_host("c0:host-0")
+        controller.sim.run()
+        snap = default_registry().snapshot()["counters"]
+        assert snap.get("fleet.prewarm_skipped", 0) == 1
+
+
+class TestFenceSuppression:
+    def test_last_live_host_never_fenced(self, config, snapshot):
+        controller = _controller(config, snapshot)
+        controller.destroy_host("c0:host-1")
+        survivor = controller.hosts[0]
+        controller._fence(survivor, reason="heartbeat")
+        assert survivor.alive
+        assert survivor.state is HostState.RUNNING
+        snap = default_registry().snapshot()["counters"]
+        assert snap.get("fleet.fence_suppressed", 0) == 1
+
+
+class TestFleetSlos:
+    """The ISSUE acceptance gates, pinned on one seeded chaos cell."""
+
+    def test_clean_cell_loses_nothing(self):
+        row = run_fleet_cell(
+            0, 1, hosts=2, fault_rate=0.0, rate_per_s=2.0, horizon_s=10.0
+        )
+        assert row["lost_invocations"] == 0
+        assert row["failed_invocations"] == 0
+        assert row["failovers"] == 0
+        assert row["detection_rate"] == 1.0
+        # the seeded snapshot makes the first cold starts restores
+        assert row["restored_starts"] >= 1
+        assert row["warm_starts"] >= 1
+        assert (
+            row["cold_starts"] + row["warm_starts"] == row["invocations"]
+        )
+
+    def test_chaos_cell_meets_gates(self):
+        row = run_fleet_cell(
+            0, 1, hosts=4, fault_rate=0.12, crash_hosts=1, rate_per_s=4.0
+        )
+        # the three fleet-level SLO gates
+        assert row["lost_invocations"] == 0
+        assert row["detection_rate"] == 1.0
+        assert row["failover_success_rate"] >= 0.99
+        # and the machinery those gates exercise actually fired
+        assert row["host_crashes"] >= 1
+        assert row["invocations_with_failover"] >= 1
+        assert row["degraded_full_boots"] >= 1
+        assert row["tamper_aborts"] >= 1
+        assert row["hosts_down"] >= 1
+
+    def test_forced_crash_is_deterministic(self):
+        a = run_fleet_cell(0, 5, hosts=4, fault_rate=0.0, crash_hosts=1)
+        b = run_fleet_cell(0, 5, hosts=4, fault_rate=0.0, crash_hosts=1)
+        assert a == b
+        assert a["forced_crashes"] == 1
+        assert a["host_crashes"] == 1
+        assert a["lost_invocations"] == 0
+        assert a["failover_success_rate"] == 1.0

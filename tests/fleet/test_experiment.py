@@ -1,0 +1,146 @@
+"""Fleet experiment driver: determinism across workers, site coverage."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.faults.plan
+from repro.fleet.experiment import fleet_bench_summary, fleet_plan, run_fleet
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+#: wall-clock perf counters track process-local cache warmth, which
+#: legitimately depends on worker count (tests/parallel/test_determinism.py)
+WALLCLOCK_PREFIXES = ("cache.", "crypto.")
+
+
+def _virtual(series: dict) -> dict:
+    return {
+        k: v for k, v in series.items() if not k.startswith(WALLCLOCK_PREFIXES)
+    }
+
+
+def _run(workers: int):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        doc = run_fleet(
+            cells=3,
+            seed=7,
+            workers=workers,
+            hosts=4,
+            fault_rate=0.12,
+            crash_hosts=1,
+            rate_per_s=4.0,
+        )
+    doc.pop("elapsed_s")
+    doc.pop("workers")
+    return doc, registry.snapshot()
+
+
+class TestWorkerInvariance:
+    """Serial and sharded fleet runs are the same experiment (ISSUE gate:
+    identical merged metrics snapshots at 1/2/4 workers)."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return {w: _run(w) for w in (1, 2, 4)}
+
+    def test_rows_and_aggregates_identical(self, runs):
+        docs = [doc for doc, _ in runs.values()]
+        assert docs[0] == docs[1] == docs[2]
+        assert docs[0]["lost_invocations"] == 0
+        assert docs[0]["detection_rate"] == 1.0
+        assert docs[0]["failover_success_rate"] >= 0.99
+        assert docs[0]["invocations_with_failover"] >= 1
+
+    def test_virtual_counters_identical(self, runs):
+        counters = [
+            _virtual(snap["counters"]) for _, snap in runs.values()
+        ]
+        assert counters[0] == counters[1] == counters[2]
+        assert counters[0].get("fleet.failovers", 0) >= 1
+
+    def test_gauges_identical(self, runs):
+        gauges = [_virtual(snap["gauges"]) for _, snap in runs.values()]
+        assert gauges[0] == gauges[1] == gauges[2]
+
+    def test_histograms_identical(self, runs):
+        # bucket counts are integer-exact; sums may differ by an ulp
+        # because float addition is not associative across shard order
+        hists = [snap["histograms"] for _, snap in runs.values()]
+        assert set(hists[0]) == set(hists[1]) == set(hists[2])
+        for name in _virtual(hists[0]):
+            for other in hists[1:]:
+                assert hists[0][name]["buckets"] == other[name]["buckets"]
+                assert hists[0][name]["count"] == other[name]["count"]
+                assert hists[0][name]["sum"] == pytest.approx(
+                    other[name]["sum"], rel=1e-12
+                )
+
+
+class TestSiteExhaustiveness:
+    """Every fault site documented in the FaultPlan table is armed by an
+    instrumented call path, and every draw() site is documented."""
+
+    def _documented_sites(self) -> set:
+        doc = repro.faults.plan.__doc__
+        return set(re.findall(r"^``([a-z_]+(?:\.[a-z_]+)+)``", doc, re.M))
+
+    def _instrumented_sites(self) -> set:
+        src_root = Path(repro.__file__).parent
+        sites = set()
+        for path in src_root.rglob("*.py"):
+            sites.update(
+                re.findall(r"""draw\(\s*["']([a-z_.]+)["']""", path.read_text())
+            )
+        return sites
+
+    def test_every_documented_site_is_instrumented(self):
+        documented = self._documented_sites()
+        assert documented, "failed to parse the plan.py site table"
+        missing = documented - self._instrumented_sites()
+        assert not missing, f"documented but never drawn: {sorted(missing)}"
+
+    def test_every_instrumented_site_is_documented(self):
+        undocumented = self._instrumented_sites() - self._documented_sites()
+        assert not undocumented, (
+            f"drawn but not in the plan.py table: {sorted(undocumented)}"
+        )
+
+    def test_fleet_plan_covers_all_host_sites(self):
+        sites = set(fleet_plan(0, 0.1).sites)
+        for site in (
+            "host.crash",
+            "host.psp_wedge",
+            "host.heartbeat_loss",
+            "fleet.placement",
+            "serverless.restore",
+        ):
+            assert site in sites
+
+
+class TestPlanDeterminism:
+    def test_sites_preserve_insertion_order(self):
+        plan = fleet_plan(3, 0.1)
+        assert plan.sites == [spec.site for spec in plan._specs.values()]
+        assert plan.sites == fleet_plan(99, 0.2).sites
+
+
+class TestBenchSummary:
+    def test_drops_bulky_sample_arrays(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            doc = run_fleet(
+                cells=1, seed=2, hosts=2, fault_rate=0.0, horizon_s=5.0
+            )
+        summary = fleet_bench_summary(doc)
+        assert summary["detection_rate"] == doc["detection_rate"]
+        assert summary["lost_invocations"] == 0
+        for row in summary["cells_detail"]:
+            assert "cold_start_ms" not in row
+            assert "start_delays_ms" not in row
+            assert "per_host" not in row
+            assert "p99_cold_start_ms" in row

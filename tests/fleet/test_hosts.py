@@ -1,0 +1,90 @@
+"""SimHost: warm pool, crash semantics, cold boot accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import VmConfig
+from repro.fleet.hosts import HostCrash, HostState, SimHost
+from repro.formats.kernels import AWS
+from repro.sim import Interrupt, Simulator
+
+
+@pytest.fixture
+def config() -> VmConfig:
+    return VmConfig(kernel=AWS, attest=False)
+
+
+@pytest.fixture
+def host(config) -> SimHost:
+    return SimHost(Simulator(), 0, config, cell=3, keepalive_ms=100.0)
+
+
+def _advance(sim: Simulator, ms: float) -> None:
+    def tick():
+        yield sim.timeout(ms)
+
+    sim.run_process(tick())
+
+
+class TestWarmPool:
+    def test_take_claims_exactly_once(self, host):
+        host.put_warm("f")
+        assert host.take_warm("f")
+        assert not host.take_warm("f")
+
+    def test_keepalive_expiry(self, host):
+        host.put_warm("f")
+        _advance(host.sim, 150.0)
+        assert host.warm_count == 0
+        assert not host.take_warm("f")
+
+    def test_warm_functions_live_only(self, host):
+        host.put_warm("old")
+        _advance(host.sim, 60.0)
+        host.put_warm("new")
+        _advance(host.sim, 60.0)  # "old" now 120ms idle, "new" 60ms
+        assert host.warm_functions() == ["new"]
+
+
+class TestCrash:
+    def test_interrupts_inflight_with_host_crash_cause(self, host):
+        sim = host.sim
+        seen = []
+
+        def victim():
+            try:
+                yield sim.timeout(1000.0)
+            except Interrupt as intr:
+                assert isinstance(intr.cause, HostCrash)
+                seen.append(intr.cause.host_id)
+
+        proc = sim.process(victim())
+        host.register(proc)
+
+        def killer():
+            yield sim.timeout(10.0)
+            host.crash()
+
+        sim.process(killer())
+        sim.run()
+        assert seen == [host.host_id]
+        assert not host.alive
+        assert host.crashed_at == pytest.approx(10.0)
+
+    def test_crash_drops_warm_pool(self, host):
+        host.put_warm("f")
+        host.crash()
+        assert host.warm_count == 0
+
+
+class TestIdentityAndBoot:
+    def test_host_id_embeds_cell(self, host):
+        assert host.host_id == "c3:host-0"
+        assert host.state is HostState.RUNNING
+        assert host.eligible
+
+    def test_boot_cold_counts(self, host, config):
+        result = host.sim.run_process(host.boot_cold())
+        assert host.boots == 1
+        assert result.boot_ms > 0

@@ -1,0 +1,88 @@
+"""Placement schedulers: pure functions of deterministic host state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.scheduler import (
+    SCHEDULERS,
+    CacheAffinityScheduler,
+    LeastLoadedScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+
+DIGEST = b"\xaa" * 32
+
+
+class FakeHost:
+    """Just enough surface for Scheduler.choose."""
+
+    def __init__(self, index: int, depth: int = 0, has_digest: bool = False):
+        self.index = index
+        self.psp_queue_depth = depth
+        self.store = {DIGEST: object()} if has_digest else {}
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        hosts = [FakeHost(i) for i in range(3)]
+        sched = RoundRobinScheduler()
+        picks = [sched.choose(hosts, "f", None).index for _ in range(5)]
+        assert picks == [0, 1, 2, 0, 1]
+
+    def test_cursor_survives_shrinking_pool(self):
+        hosts = [FakeHost(i) for i in range(3)]
+        sched = RoundRobinScheduler()
+        sched.choose(hosts, "f", None)
+        sched.choose(hosts, "f", None)
+        # a host went away; the cursor keeps rotating over survivors
+        assert sched.choose(hosts[:2], "f", None).index in (0, 1)
+
+
+class TestLeastLoaded:
+    def test_minimizes_queue_depth(self):
+        hosts = [FakeHost(0, depth=3), FakeHost(1, depth=1), FakeHost(2, depth=2)]
+        assert LeastLoadedScheduler().choose(hosts, "f", None).index == 1
+
+    def test_ties_break_on_index(self):
+        hosts = [FakeHost(2, depth=1), FakeHost(0, depth=1), FakeHost(1, depth=1)]
+        assert LeastLoadedScheduler().choose(hosts, "f", None).index == 0
+
+
+class TestCacheAffinity:
+    def test_prefers_host_with_snapshot(self):
+        hosts = [FakeHost(0), FakeHost(1, has_digest=True), FakeHost(2)]
+        sched = CacheAffinityScheduler()
+        assert sched.choose(hosts, "f", DIGEST).index == 1
+
+    def test_spills_when_affine_host_overloaded(self):
+        hosts = [
+            FakeHost(0, depth=0),
+            FakeHost(1, depth=5, has_digest=True),
+        ]
+        sched = CacheAffinityScheduler(spill_depth=2)
+        assert sched.choose(hosts, "f", DIGEST).index == 0
+
+    def test_stays_affine_within_spill_depth(self):
+        hosts = [
+            FakeHost(0, depth=0),
+            FakeHost(1, depth=2, has_digest=True),
+        ]
+        sched = CacheAffinityScheduler(spill_depth=2)
+        assert sched.choose(hosts, "f", DIGEST).index == 1
+
+    def test_no_digest_falls_back_to_least_loaded(self):
+        hosts = [FakeHost(0, depth=2), FakeHost(1, depth=0, has_digest=True)]
+        sched = CacheAffinityScheduler()
+        assert sched.choose(hosts, "f", None).index == 1
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in SCHEDULERS:
+            assert make_scheduler(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("coin-flip")
