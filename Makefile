@@ -4,7 +4,7 @@ PY ?= python3
 
 .PHONY: install test bench examples report trace-smoke perfbench chaos \
 	obs-smoke regress parallel-smoke restore-smoke engine-bench \
-	fleet fleet-smoke all
+	fleet fleet-smoke explain-smoke all
 
 install:
 	$(PY) setup.py develop
@@ -76,6 +76,26 @@ fleet-smoke:
 		--chaos --fault-rate 0.12 --crash-hosts 1 --rate 4 --seed 1 \
 		--out /tmp/repro-fleet-smoke.json
 	PYTHONPATH=src $(PY) -m pytest tests/fleet -q
+
+# End-to-end invocation-tracing smoke: a small crashy fleet with otrace
+# on, then (1) every failed-over invocation must resolve its complete
+# causal chain via `repro explain --verify-failovers`, (2) the burn-rate
+# alert engine must fire the failover rule deterministically, and (3)
+# the otrace/alert test files run.  Seed 7 forces real failover hops at
+# this shape.
+explain-smoke:
+	PYTHONPATH=src $(PY) -m repro.cli fleet --cells 1 --hosts 4 \
+		--chaos --fault-rate 0.12 --crash-hosts 1 --rate 4 --seed 7 \
+		--trace-out /tmp/repro-explain-smoke-trace.json \
+		--out /tmp/repro-explain-smoke.json
+	PYTHONPATH=src $(PY) -m repro.cli explain \
+		--input /tmp/repro-explain-smoke-trace.json --verify-failovers
+	PYTHONPATH=src $(PY) -m repro.cli alerts \
+		--input /tmp/repro-explain-smoke-trace.json \
+		--expect failover-burn \
+		--out /tmp/repro-explain-smoke-alerts.json
+	PYTHONPATH=src $(PY) -m pytest tests/obs/test_otrace.py \
+		tests/obs/test_alerts.py tests/obs/test_exemplars.py -q
 
 # Boot one SEVeriFast VM with tracing on, validate the exported Chrome
 # trace JSON, then run the full export-schema test file.

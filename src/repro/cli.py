@@ -483,6 +483,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.fleet.experiment import run_fleet
 
     fault_rate = args.fault_rate if args.chaos else 0.0
+    trace_out = getattr(args, "trace_out", None)
     report = run_fleet(
         args.cells,
         seed=args.seed,
@@ -497,7 +498,22 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         rate_per_s=args.rate,
         keepalive_ms=args.keepalive_ms,
         crash_hosts=args.crash_hosts,
+        otrace=bool(trace_out),
     )
+    if trace_out:
+        from repro.fleet.experiment import fleet_trace_doc, strip_otrace
+
+        trace_doc = fleet_trace_doc(report)
+        strip_otrace(report)  # keep the fleet report identical to untraced
+        trace_path = pathlib.Path(trace_out)
+        trace_path.write_text(
+            json.dumps(trace_doc, indent=2, sort_keys=True) + "\n"
+        )
+        traced = sum(len(c["invocations"]) for c in trace_doc["cells"])
+        print(
+            f"wrote {trace_path} ({traced} traced invocations; "
+            f"inspect with `repro explain --input {trace_path} --list`)"
+        )
     rows = [
         [
             str(r["cell"]),
@@ -555,6 +571,146 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     for line in failed:
         print(line)
     return 1 if failed else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Render one invocation's full causal chain from an otrace artifact.
+
+    ``repro fleet --trace-out trace.json`` produces the artifact;
+    ``repro explain <trace-id> --input trace.json`` then prints the span
+    tree (placement -> attempts -> boot/restore -> PSP commands ->
+    re-attestation), the per-phase virtual-time split (queue-wait vs
+    PSP-exec vs crypto vs network), and every injected fault that
+    touched the invocation.  ``--list`` summarises all trace IDs;
+    ``--verify-failovers`` exits non-zero unless every failed-over
+    invocation's chain resolves end to end.
+    """
+    import json
+    import pathlib
+
+    from repro.obs.otrace import explain, list_trace_ids, verify_failovers
+
+    doc = json.loads(pathlib.Path(args.input).read_text())
+    if args.list:
+        rows = [
+            [
+                r.get("trace_id", "?"),
+                str(r.get("cell", "?")),
+                str(r.get("index", "?")),
+                r.get("function", "?"),
+                r.get("host", ""),
+                str(r.get("failovers", 0)),
+                (
+                    "tamper-abort"
+                    if r.get("tamper_detected")
+                    else ("failed" if r.get("failed") else "ok")
+                ),
+            ]
+            for r in list_trace_ids(doc)
+        ]
+        print(
+            format_table(
+                ["trace id", "cell", "idx", "function", "host", "fo", "status"],
+                rows,
+                title=f"{len(rows)} traced invocations",
+            )
+        )
+        return 0
+    if args.verify_failovers:
+        problems = verify_failovers(doc)
+        failed_over = sum(
+            1
+            for r in list_trace_ids(doc)
+            if int(r.get("failovers", 0)) > 0
+        )
+        if problems:
+            for p in problems:
+                print(f"UNRESOLVED: {p}")
+            print(f"{len(problems)} of {failed_over} failover chains broken")
+            return 1
+        print(f"all {failed_over} failed-over invocations resolve end to end")
+        if args.trace_id is None:
+            return 0
+    if args.trace_id is None:
+        print("explain: give a TRACE_ID, or --list / --verify-failovers")
+        return 2
+    try:
+        exp = explain(doc, args.trace_id)
+    except KeyError as exc:
+        print(str(exc.args[0]) if exc.args else str(exc))
+        return 1
+    print(exp.render())
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    """Evaluate the SLO burn-rate rule pack over an otrace artifact.
+
+    Multi-window burn-rate rules (failover pressure, restore misses,
+    cold-start latency, tamper) run on virtual time, so the firings —
+    and the bounded flight-recorder dump attached to each — are a pure
+    function of the artifact.  ``--expect RULE`` exits non-zero unless
+    that rule fired (the CI smoke assertion); ``--out`` writes the
+    alerts document JSON.
+    """
+    import json
+    import pathlib
+
+    from repro.obs.alerts import BOOT_SLO_MS, evaluate_trace_doc
+
+    doc = json.loads(pathlib.Path(args.input).read_text())
+    boot_slo_ms = (
+        args.boot_slo_ms if args.boot_slo_ms is not None else BOOT_SLO_MS
+    )
+    report = evaluate_trace_doc(
+        doc,
+        boot_slo_ms=boot_slo_ms,
+        recorder_capacity=args.recorder_capacity,
+    )
+    firings = report["firings"]
+    if firings:
+        rows = [
+            [
+                str(f["cell"]),
+                f"{f['at_ms']:.2f}",
+                f["rule"],
+                f"{f['burn_long']:.2f}",
+                f"{f['burn_short']:.2f}",
+                f"{f['window_errors']}/{f['window_events']}",
+                f["trace_id"],
+            ]
+            for f in firings
+        ]
+        print(
+            format_table(
+                [
+                    "cell",
+                    "at (ms)",
+                    "rule",
+                    "burn long",
+                    "burn short",
+                    "errors",
+                    "trace id",
+                ],
+                rows,
+                title=(
+                    f"{len(firings)} firing(s) over {report['cells']} "
+                    f"cell(s), boot SLO {boot_slo_ms:g} ms"
+                ),
+            )
+        )
+    else:
+        print(f"no firings over {report['cells']} cell(s)")
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    missing = [
+        rule for rule in (args.expect or []) if rule not in report["fired_rules"]
+    ]
+    for rule in missing:
+        print(f"EXPECTED RULE DID NOT FIRE: {rule}")
+    return 1 if missing else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1034,7 +1190,58 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are identical for any value)",
     )
     fleet.add_argument("--out", default=None)
+    fleet.add_argument(
+        "--trace-out", default=None, dest="trace_out",
+        help="run with per-invocation tracing and write the otrace "
+        "artifact here (for `repro explain` / `repro alerts`)",
+    )
     fleet.set_defaults(func=_cmd_fleet)
+
+    explain = sub.add_parser(
+        "explain",
+        help="render one invocation's causal chain from an otrace artifact",
+    )
+    explain.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="trace ID to explain (see --list)",
+    )
+    explain.add_argument(
+        "--input", required=True,
+        help="otrace artifact from `repro fleet --trace-out`",
+    )
+    explain.add_argument(
+        "--list", action="store_true",
+        help="list every traced invocation instead of explaining one",
+    )
+    explain.add_argument(
+        "--verify-failovers", action="store_true", dest="verify_failovers",
+        help="exit non-zero unless every failed-over invocation's chain "
+        "resolves end to end",
+    )
+    explain.set_defaults(func=_cmd_explain)
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="evaluate SLO burn-rate rules over an otrace artifact",
+    )
+    alerts.add_argument(
+        "--input", required=True,
+        help="otrace artifact from `repro fleet --trace-out`",
+    )
+    alerts.add_argument(
+        "--boot-slo-ms", type=float, default=None, dest="boot_slo_ms",
+        help="cold-start latency SLO for the boot-latency rule",
+    )
+    alerts.add_argument(
+        "--recorder-capacity", type=int, default=32, dest="recorder_capacity",
+        help="flight-recorder ring size dumped on each firing",
+    )
+    alerts.add_argument(
+        "--expect", action="append", default=None,
+        help="exit non-zero unless this rule fired (repeatable)",
+    )
+    alerts.add_argument("--out", help="write the alerts document JSON here")
+    alerts.set_defaults(func=_cmd_alerts)
 
     trace = sub.add_parser(
         "trace", help="boot with tracing; export Chrome trace JSON + summary"

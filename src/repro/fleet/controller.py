@@ -48,6 +48,7 @@ from repro.fleet.scheduler import (
 )
 from repro.guest.bootverifier import VerificationError
 from repro.obs import metrics
+from repro.obs.otrace import TraceContext, derive_trace_id, propagate
 from repro.serverless.platform import ColdBootError
 from repro.serverless.snapshots import SnapshotError, VmSnapshot
 from repro.serverless.trace import InvocationTrace
@@ -96,6 +97,9 @@ class FleetOutcome:
     failed: bool = False
     failure: str = ""
     tamper_detected: bool = False
+    #: deterministic invocation trace ID (only set when the controller
+    #: runs with ``otrace_seed`` and a tracer attached)
+    trace_id: str = ""
 
 
 @dataclass
@@ -205,6 +209,7 @@ class FleetController:
         resume_queue_depth: int = 1,
         crash_hosts: int = 0,
         tenant: str = "fleet",
+        otrace_seed: Optional[int] = None,
     ):
         if hosts < 1:
             raise ValueError("a fleet needs at least one host")
@@ -225,6 +230,10 @@ class FleetController:
         self.resume_queue_depth = resume_queue_depth
         self.crash_hosts = crash_hosts
         self.tenant = tenant
+        #: when set (and a tracer is attached), every invocation gets a
+        #: deterministic trace ID derived from (seed, cell, arrival
+        #: index) and its whole frame runs under that trace context
+        self.otrace_seed = otrace_seed
         self.hosts: list[SimHost] = []
         self.stats = FleetStats(expected=0)
         self.forced_crashes = 0
@@ -322,8 +331,8 @@ class FleetController:
         )
         now = self.sim.now
         self.sim.schedule_batch(
-            (max(0.0, inv.arrival_ms - now), partial(self._spawn, inv), None)
-            for inv in invocations
+            (max(0.0, inv.arrival_ms - now), partial(self._spawn, inv, index), None)
+            for index, inv in enumerate(invocations)
         )
         self._running = True
         self._arm_host_faults()
@@ -527,11 +536,29 @@ class FleetController:
 
     # -- placement + invocation ---------------------------------------------
 
-    def _spawn(self, inv, _event) -> None:
+    def _spawn(self, inv, index: int, _event) -> None:
         ref: dict = {}
-        ref["proc"] = self.sim.process(
-            self._invoke(inv, ref), name=f"invoke-{inv.function}"
-        )
+        gen = self._invoke(inv, ref)
+        tracer = self.sim.tracer
+        if tracer is not None and self.otrace_seed is not None:
+            ctx = TraceContext(
+                trace_id=derive_trace_id(self.otrace_seed, self.cell, index),
+                function=inv.function,
+                cell=self.cell,
+                index=index,
+                arrival_ms=inv.arrival_ms,
+            )
+            ref["ctx"] = ctx
+            gen = propagate(tracer, ctx, gen)
+            # stamp the process-creation span too
+            prev = tracer.context
+            tracer.context = ctx
+            try:
+                ref["proc"] = self.sim.process(gen, name=f"invoke-{inv.function}")
+            finally:
+                tracer.context = prev
+        else:
+            ref["proc"] = self.sim.process(gen, name=f"invoke-{inv.function}")
 
     def _eligible_hosts(self) -> list[SimHost]:
         eligible = [h for h in self.hosts if h.state is HostState.RUNNING]
@@ -543,6 +570,23 @@ class FleetController:
     def _place(self, function: str, state: dict) -> Generator:
         """One placement RPC; process value: the chosen live host."""
         registry = metrics.default_registry()
+        tracer = self.sim.tracer
+        span = (
+            tracer.begin(f"place:{function}", "fleet.placement", "fleet.placement")
+            if tracer is not None
+            else None
+        )
+        try:
+            host = yield from self._place_inner(function, state, registry)
+        except BaseException as exc:
+            if span is not None:
+                tracer.end(span, outcome=type(exc).__name__)
+            raise
+        if span is not None:
+            tracer.end(span, host=host.host_id, scheduler=type(self.scheduler).__name__)
+        return host
+
+    def _place_inner(self, function: str, state: dict, registry) -> Generator:
         yield self.sim.timeout(self.placement_rpc_ms)
         plan = self.sim.faults
         if plan is not None and plan.draw("fleet.placement") is not None:
@@ -570,6 +614,7 @@ class FleetController:
     def _run_on(self, host: SimHost, inv, state: dict) -> Generator:
         """Serve one invocation on a chosen host (may be interrupted)."""
         registry = metrics.default_registry()
+        tracer = self.sim.tracer
         state["host"] = host.host_id
         warm = host.take_warm(inv.function)
         if warm:
@@ -620,12 +665,32 @@ class FleetController:
                     # restore (and cache-affinity) target from now on
                     host.store.put(self._snapshot)
             state["boot_ms"] = self.sim.now - start
-            registry.histogram("fleet.cold_start_ms").observe(state["boot_ms"])
+            ctx = tracer.context if tracer is not None else None
+            hist = registry.histogram("fleet.cold_start_ms")
+            if ctx is not None:
+                # exemplar: a fat-tailed bucket links straight to an
+                # explainable invocation (`repro explain <trace-id>`)
+                hist.observe_ex(state["boot_ms"], ctx.trace_id)
+            else:
+                hist.observe(state["boot_ms"])
             self._snapshotted.add(inv.function)
             start_kind = "restored" if restored else "cold"
         registry.counter("fleet.invocations", start=start_kind).inc()
         state["start_delay_ms"] = self.sim.now - inv.arrival_ms
-        yield self.sim.timeout(inv.exec_ms)
+        if tracer is not None:
+            espan = tracer.begin(
+                f"exec:{inv.function}",
+                "fleet.exec",
+                "fleet.exec",
+                host=host.host_id,
+                start=start_kind,
+            )
+            try:
+                yield self.sim.timeout(inv.exec_ms)
+            finally:
+                tracer.end(espan)
+        else:
+            yield self.sim.timeout(inv.exec_ms)
         host.put_warm(inv.function)
 
     def _boot_full(self, host: SimHost, state: dict):
@@ -673,23 +738,49 @@ class FleetController:
                 boot_ms=0.0,
                 reattest_ms=0.0,
             )
-            host = yield from self._place(inv.function, state)
-            proc = ref["proc"]
-            host.register(proc)
+            tracer = self.sim.tracer
+            span = None
+            if tracer is not None:
+                state["attempts"] = state.get("attempts", 0) + 1
+                span = tracer.begin(
+                    f"attempt:{inv.function}",
+                    "fleet.attempt",
+                    "fleet.attempts",
+                    attempt=state["attempts"],
+                )
             try:
-                yield from self._run_on(host, inv, state)
-            except Interrupt as intr:
-                cause = intr.cause
-                if isinstance(cause, HostCrash):
-                    state["failovers"] += 1
-                    registry.counter("fleet.failovers").inc()
-                    raise FailoverError(
-                        f"{inv.function} lost to {cause.host_id} "
-                        f"({cause.reason})"
-                    ) from intr
+                host = yield from self._place(inv.function, state)
+                if span is not None:
+                    span.args["host"] = host.host_id
+                proc = ref["proc"]
+                host.register(proc)
+                try:
+                    yield from self._run_on(host, inv, state)
+                except Interrupt as intr:
+                    cause = intr.cause
+                    if isinstance(cause, HostCrash):
+                        state["failovers"] += 1
+                        registry.counter("fleet.failovers").inc()
+                        if span is not None:
+                            span.args["crashed_host"] = cause.host_id
+                        raise FailoverError(
+                            f"{inv.function} lost to {cause.host_id} "
+                            f"({cause.reason})"
+                        ) from intr
+                    raise
+                finally:
+                    host.unregister(proc)
+            except BaseException as exc:
+                if span is not None:
+                    outcome = (
+                        "failover"
+                        if isinstance(exc, FailoverError)
+                        else type(exc).__name__
+                    )
+                    tracer.end(span, outcome=outcome)
                 raise
-            finally:
-                host.unregister(proc)
+            if span is not None:
+                tracer.end(span, outcome="ok")
 
         failed = False
         failure = ""
@@ -722,10 +813,34 @@ class FleetController:
             registry.histogram("fleet.placement_retries").observe(
                 state["placement_retries"]
             )
+            ctx = ref.get("ctx")
+            tracer = self.sim.tracer
+            if tracer is not None and ctx is not None:
+                # the root span of the invocation's causal chain:
+                # arrival to terminal outcome, on its own track
+                status = (
+                    "tamper-abort"
+                    if tamper
+                    else ("failed" if failed else "ok")
+                )
+                tracer.complete(
+                    f"invoke:{inv.function}",
+                    "fleet.invocation",
+                    "fleet.invocations",
+                    inv.arrival_ms,
+                    self.sim.now,
+                    status=status,
+                    host=state["host"],
+                    failovers=state["failovers"],
+                    cold=state["cold"],
+                    restored=state["restored"],
+                    degraded=state["degraded"],
+                )
             self.stats.outcomes.append(
                 FleetOutcome(
                     function=inv.function,
                     arrival_ms=inv.arrival_ms,
+                    trace_id=ctx.trace_id if ctx is not None else "",
                     host=state["host"],
                     cold=state["cold"],
                     restored=state["restored"],

@@ -100,8 +100,18 @@ def run_fleet_cell(
     keepalive_ms: float = 4000.0,
     crash_hosts: int = 0,
     asid_capacity: Optional[int] = None,
+    otrace: bool = False,
 ) -> dict[str, Any]:
-    """One fleet cell at one fault rate; returns the JSON-safe row."""
+    """One fleet cell at one fault rate; returns the JSON-safe row.
+
+    With ``otrace=True`` the cell runs under an attached tracer and
+    every invocation gets a deterministic trace ID (derived from seed,
+    cell, and arrival index); the row grows an ``otrace`` block — the
+    exported span stream plus per-invocation terminal records — that
+    :mod:`repro.obs.otrace` and :mod:`repro.obs.alerts` consume.  All
+    timing and every other row field is identical either way: tracing
+    adds no virtual time.
+    """
     from repro.core.config import VmConfig
     from repro.fleet.controller import FleetController
     from repro.fleet.hosts import HostState
@@ -114,6 +124,11 @@ def run_fleet_cell(
     snapshot = _build_snapshot(config)
 
     sim = Simulator()
+    tracer = sim.trace() if otrace else None
+    if tracer is not None:
+        # host/cell labels ride on the exported stream so merged
+        # multi-host (and multi-cell) span output stays unambiguous
+        tracer.labels = {"cell": str(cell), "seed": str(seed)}
     # inject before any host exists so every instrumented path sees it
     plan = sim.inject(fleet_plan(seed, fault_rate))
     controller = FleetController(
@@ -127,6 +142,7 @@ def run_fleet_cell(
         launch_retry=LAUNCH_RETRY,
         boot_retry=BOOT_RETRY,
         crash_hosts=crash_hosts,
+        otrace_seed=seed if otrace else None,
     )
     if asid_capacity is not None:
         for host in controller.hosts:
@@ -142,7 +158,7 @@ def run_fleet_cell(
     tampered = plan.stats.get("tampered_boots", 0)
     undetected = plan.stats.get("undetected_tampered_boots", 0)
     host_crashes = sum(1 for h in controller.hosts if h.crashed_at is not None)
-    return {
+    row = {
         "cell": cell,
         "seed": seed,
         "hosts": hosts,
@@ -198,6 +214,73 @@ def run_fleet_cell(
         ],
         "faults": plan.summary(),
     }
+    if tracer is not None:
+        from repro.obs.otrace import derive_trace_id
+
+        index_of = {
+            derive_trace_id(seed, cell, i): i
+            for i in range(len(stats.outcomes))
+        }
+        row["otrace"] = {
+            "cell": cell,
+            "seed": seed,
+            "invocations": sorted(
+                (
+                    {
+                        "trace_id": o.trace_id,
+                        "index": index_of.get(o.trace_id, -1),
+                        "function": o.function,
+                        "arrival_ms": round(o.arrival_ms, 6),
+                        "end_ms": round(o.end_ms, 6),
+                        "host": o.host,
+                        "cold": o.cold,
+                        "restored": o.restored,
+                        "degraded": o.degraded,
+                        "boot_ms": round(o.boot_ms, 6),
+                        "reattest_ms": round(o.reattest_ms, 6),
+                        "start_delay_ms": round(o.start_delay_ms, 6),
+                        "failovers": o.failovers,
+                        "placement_retries": o.placement_retries,
+                        "boot_retries": o.boot_retries,
+                        "failed": o.failed,
+                        "failure": o.failure,
+                        "tamper_detected": o.tamper_detected,
+                    }
+                    for o in stats.outcomes
+                ),
+                key=lambda r: r["index"],
+            ),
+            "stream": tracer.export_spans(),
+        }
+    return row
+
+
+def fleet_trace_doc(doc: dict[str, Any]) -> dict[str, Any]:
+    """Assemble the otrace artifact from an ``otrace=True`` fleet doc.
+
+    The artifact is what ``repro explain`` and ``repro alerts`` read:
+    one record per cell (span stream + per-invocation terminals) under
+    the versioned schema of :mod:`repro.obs.otrace`.
+    """
+    from repro.obs.otrace import TRACE_SCHEMA
+
+    return {
+        "schema": TRACE_SCHEMA,
+        "seed": doc.get("seed"),
+        "cells": [
+            row["otrace"]
+            for row in doc.get("cells_detail", [])
+            if "otrace" in row
+        ],
+    }
+
+
+def strip_otrace(doc: dict[str, Any]) -> dict[str, Any]:
+    """Drop the (bulky) per-cell otrace blocks from a fleet doc, so the
+    written fleet report stays byte-identical to an untraced run."""
+    for row in doc.get("cells_detail", []):
+        row.pop("otrace", None)
+    return doc
 
 
 def run_fleet(
@@ -215,6 +298,7 @@ def run_fleet(
     rate_per_s: float = 2.0,
     keepalive_ms: float = 4000.0,
     crash_hosts: int = 0,
+    otrace: bool = False,
 ) -> dict[str, Any]:
     """Run ``cells`` independent fleet cells, sharded; exact aggregate.
 
@@ -238,6 +322,7 @@ def run_fleet(
         "rate_per_s": rate_per_s,
         "keepalive_ms": keepalive_ms,
         "crash_hosts": crash_hosts,
+        "otrace": otrace,
     }
     run = run_sharded(
         fleet_unit,
@@ -314,7 +399,7 @@ def fleet_bench_summary(doc: dict[str, Any]) -> dict[str, Any]:
         {
             k: v
             for k, v in row.items()
-            if k not in ("cold_start_ms", "start_delays_ms", "per_host")
+            if k not in ("cold_start_ms", "start_delays_ms", "per_host", "otrace")
         }
         for row in doc["cells_detail"]
     ]

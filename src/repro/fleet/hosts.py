@@ -97,6 +97,9 @@ class SimHost:
         self.machine = Machine(
             sim=sim,
             chip_seed=chip_seed or f"repro-fleet-c{cell}-host-{index}".encode(),
+            # host-labelled trace tracks (psp rows, VM tracks) keep
+            # multi-host merged traces unambiguous; metrics unaffected
+            label=self.host_id,
         )
         self.keepalive_ms = keepalive_ms
         self.warm_start_ms = warm_start_ms

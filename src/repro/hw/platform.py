@@ -42,6 +42,12 @@ class Machine:
     #: single testbed machine: chip-keyed caches then hit across
     #: machines.  Launch digests do not depend on the chip seed.
     chip_seed: bytes | None = None
+    #: display label for this machine in trace exports (e.g. a fleet
+    #: host ID like ``c0:host-2``).  Empty (the default) keeps all
+    #: trace track names exactly as before; when set, the PSP's span
+    #: track and resource rows are prefixed so merged multi-host traces
+    #: stay unambiguous.  Never affects metrics labels.
+    label: str = ""
     psp: PlatformSecurityProcessor = field(init=False)
 
     #: monotone counter giving every machine a distinct (but reproducible
@@ -59,6 +65,7 @@ class Machine:
             engine_mode=self.engine_mode,
             huge_pages=self.huge_pages,
             parallelism=self.psp_parallelism,
+            label=self.label,
         )
 
     def new_sev_context(self, policy: GuestPolicy | None = None) -> GuestSevContext:

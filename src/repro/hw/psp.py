@@ -49,16 +49,30 @@ class PlatformSecurityProcessor:
         huge_pages: bool = True,
         parallelism: int = 1,
         asid_capacity: int = 509,
+        label: str = "",
     ):
         """``parallelism`` models the paper's future-work what-if: real
         PSPs are a single ARM core (capacity 1); raising it shows how the
-        Fig. 12 slope would divide with a multi-core security processor."""
+        Fig. 12 slope would divide with a multi-core security processor.
+
+        ``label`` (a host ID in fleet runs) prefixes the PSP's trace
+        track and resource rows so merged multi-host traces keep each
+        host's PSP distinguishable; it never touches metrics labels, so
+        virtual metrics are identical with or without it.
+        """
         from repro.sev.certchain import AmdKeyHierarchy
 
         self.sim = sim
         self.cost = cost or CostModel()
         self.huge_pages = huge_pages
-        self.resource = sim.resource(capacity=parallelism, name="psp")
+        self.label = label
+        #: trace display row for command spans (per-host in fleet runs)
+        self.track = f"{label}/psp.commands" if label else "psp.commands"
+        self.resource = sim.resource(
+            capacity=parallelism,
+            name="psp",
+            trace_name=f"{label}/psp" if label else None,
+        )
         #: the ARK->ASK->VCEK hierarchy for this chip (§6.1 attestation)
         self.key_hierarchy = AmdKeyHierarchy.generate(chip_seed)
         self.vcek = self.key_hierarchy.vcek_key
@@ -243,8 +257,10 @@ class PlatformSecurityProcessor:
                     span_args["vm"] = ctx.track
             if fault is not None:
                 span_args["fault"] = fault.kind
+            if self.label:
+                span_args["host"] = self.label
             span = tracer.begin(
-                command, "psp", "psp.commands", wait_ms=wait_ms, **span_args
+                command, "psp", self.track, wait_ms=wait_ms, **span_args
             )
         granted_at = self.sim.now
         try:

@@ -17,6 +17,12 @@ it (see docs/OBSERVABILITY.md):
   gate.
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    BurnRateRule,
+    FlightRecorder,
+    evaluate_trace_doc,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -28,6 +34,13 @@ from repro.obs.metrics import (
     set_default_registry,
     use_registry,
 )
+from repro.obs.otrace import (
+    TraceContext,
+    derive_trace_id,
+    explain,
+    propagate,
+    verify_failovers,
+)
 from repro.obs.profiler import BootProfile, profile
 from repro.obs.regress import (
     RegressionReport,
@@ -38,20 +51,29 @@ from repro.obs.regress import (
 )
 
 __all__ = [
+    "AlertEngine",
     "BootProfile",
+    "BurnRateRule",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricError",
     "MetricsRegistry",
     "RegressionReport",
     "Tolerance",
+    "TraceContext",
     "compare_documents",
     "default_registry",
+    "derive_trace_id",
+    "evaluate_trace_doc",
+    "explain",
     "parallel_gate_bound",
     "profile",
+    "propagate",
     "reset_default_registry",
     "rules_for_document",
     "set_default_registry",
     "use_registry",
+    "verify_failovers",
 ]

@@ -1,0 +1,396 @@
+"""SLO burn-rate alerting and a flight recorder for fleet runs.
+
+The tracer answers "what happened to *this* invocation"; this module
+answers "is the fleet eating its error budget too fast".  It consumes
+the per-invocation records of a fleet otrace artifact (see
+:mod:`repro.obs.otrace`) and evaluates **multi-window burn-rate rules**
+(the SRE-workbook shape): a rule fires when the error-budget burn rate
+exceeds its threshold over a *long* window (sustained damage) **and**
+over a *short* window (still happening now).  The two-window AND keeps
+one ancient spike from paging forever while still catching an active
+incident quickly.
+
+Everything runs on virtual time and plain data, so alert evaluation is
+a pure function of the artifact: the same seed produces byte-identical
+firings (and flight-recorder dumps) at 1, 2, or 4 workers, because the
+per-cell invocation records are worker-invariant.
+
+On every firing the engine snapshots a bounded **flight recorder** —
+the last :attr:`FlightRecorder.capacity` terminal invocation records
+before the breach — so the JSON artifact carries the context an
+operator (or a test) needs without shipping the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+ALERTS_SCHEMA = "repro-fleet-alerts-v1"
+
+#: fleet cold-start SLO used by the ``boot-latency`` rule (virtual ms);
+#: the canonical small-scale fleet boots far under this, so only a
+#: genuinely fat tail (PSP queueing, degraded full boots) breaches it
+BOOT_SLO_MS = 400.0
+
+
+@dataclass(frozen=True)
+class SloEvent:
+    """One SLO-relevant observation on a cell's virtual clock."""
+
+    at_ms: float
+    ok: bool
+    trace_id: str = ""
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """A multi-window burn-rate alert over a stream of SLO events.
+
+    ``budget`` is the allowed error fraction (1 - SLO target); the burn
+    rate of a window is ``error_rate / budget``, so burn 1.0 means
+    "exactly on budget" and burn 10 means "spending a month of budget
+    in three days".  The rule fires when **both** windows burn at or
+    above ``threshold`` and the long window holds at least
+    ``min_events`` events (tiny windows produce garbage rates).
+    """
+
+    name: str
+    description: str = ""
+    budget: float = 0.01
+    long_window_ms: float = 10_000.0
+    short_window_ms: float = 2_500.0
+    threshold: float = 1.0
+    min_events: int = 3
+
+
+#: the fleet rule pack: failover pressure, restore-path health, the
+#: cold-start latency SLO, and tamper detections (any tamper pages)
+DEFAULT_RULES: tuple[BurnRateRule, ...] = (
+    BurnRateRule(
+        name="failover-burn",
+        description="invocations needing failover (host loss pressure)",
+        budget=0.02,
+        long_window_ms=10_000.0,
+        short_window_ms=2_500.0,
+        threshold=1.0,
+        min_events=3,
+    ),
+    BurnRateRule(
+        name="restore-miss",
+        description="cold starts that full-booted instead of restoring",
+        budget=0.25,
+        long_window_ms=10_000.0,
+        short_window_ms=2_500.0,
+        threshold=2.0,
+        min_events=4,
+    ),
+    BurnRateRule(
+        name="boot-latency",
+        description=f"cold starts over the {BOOT_SLO_MS:g} ms SLO",
+        budget=0.05,
+        long_window_ms=10_000.0,
+        short_window_ms=2_500.0,
+        threshold=2.0,
+        min_events=4,
+    ),
+    BurnRateRule(
+        name="tamper-burn",
+        description="tamper-aborted invocations (any is an incident)",
+        budget=0.001,
+        long_window_ms=20_000.0,
+        short_window_ms=5_000.0,
+        threshold=1.0,
+        min_events=1,
+    ),
+)
+
+
+def rule_by_name(name: str, rules: Sequence[BurnRateRule] = DEFAULT_RULES):
+    for rule in rules:
+        if rule.name == name:
+            return rule
+    raise KeyError(f"no such alert rule: {name}")
+
+
+def slo_events(
+    rule_name: str,
+    invocations: Iterable[dict],
+    *,
+    boot_slo_ms: float = BOOT_SLO_MS,
+) -> list[SloEvent]:
+    """Project invocation records into a rule's SLO event stream.
+
+    Events land at the invocation's terminal time (``end_ms``) — that
+    is when the controller knows the outcome, hence when a real alert
+    pipeline would see it.  Streams are sorted by (time, trace id) so
+    evaluation order is total and deterministic.
+    """
+    if rule_name not in (
+        "failover-burn",
+        "restore-miss",
+        "boot-latency",
+        "tamper-burn",
+    ):
+        raise KeyError(f"no event projection for rule: {rule_name}")
+    events: list[SloEvent] = []
+    for inv in invocations:
+        at = float(inv.get("end_ms", inv.get("arrival_ms", 0.0)))
+        tid = inv.get("trace_id", "")
+        if rule_name == "failover-burn":
+            events.append(
+                SloEvent(
+                    at_ms=at,
+                    ok=int(inv.get("failovers", 0)) == 0
+                    and not inv.get("failed", False),
+                    trace_id=tid,
+                    value=float(inv.get("failovers", 0)),
+                )
+            )
+        elif rule_name == "restore-miss":
+            if inv.get("cold") and not inv.get("failed"):
+                events.append(
+                    SloEvent(
+                        at_ms=at,
+                        ok=bool(inv.get("restored", False)),
+                        trace_id=tid,
+                    )
+                )
+        elif rule_name == "boot-latency":
+            if inv.get("cold") and not inv.get("failed"):
+                boot_ms = float(inv.get("boot_ms", 0.0))
+                events.append(
+                    SloEvent(
+                        at_ms=at,
+                        ok=boot_ms <= boot_slo_ms,
+                        trace_id=tid,
+                        value=boot_ms,
+                    )
+                )
+        elif rule_name == "tamper-burn":
+            events.append(
+                SloEvent(
+                    at_ms=at,
+                    ok=not inv.get("tamper_detected", False),
+                    trace_id=tid,
+                )
+            )
+    events.sort(key=lambda e: (e.at_ms, e.trace_id))
+    return events
+
+
+class FlightRecorder:
+    """A bounded ring of terminal invocation records.
+
+    The engine feeds it every terminal outcome in virtual-time order;
+    :meth:`snapshot` returns the last ``capacity`` records — the JSON
+    dump attached to each alert firing.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError("flight recorder needs capacity >= 1")
+        self.capacity = capacity
+        self._ring: list[dict] = []
+        self.recorded = 0
+
+    def record(self, entry: dict) -> None:
+        self.recorded += 1
+        self._ring.append(entry)
+        if len(self._ring) > self.capacity:
+            del self._ring[0 : len(self._ring) - self.capacity]
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "records": [dict(r) for r in self._ring],
+        }
+
+
+def _window_burn(
+    events: Sequence[SloEvent], upto: int, at_ms: float, window_ms: float,
+    budget: float,
+) -> tuple[float, int, int]:
+    """Burn rate over ``(at_ms - window_ms, at_ms]`` ending at index
+    ``upto`` (inclusive); returns (burn, events, errors)."""
+    lo = at_ms - window_ms
+    total = errors = 0
+    for i in range(upto, -1, -1):
+        ev = events[i]
+        if ev.at_ms <= lo:
+            break
+        total += 1
+        if not ev.ok:
+            errors += 1
+    if total == 0:
+        return 0.0, 0, 0
+    return (errors / total) / budget, total, errors
+
+
+class AlertEngine:
+    """Evaluate burn-rate rules over one cell's invocation records.
+
+    Firing semantics: walk events chronologically; when a rule's long
+    *and* short windows both burn at or past threshold it fires once,
+    then stays latched until the condition clears — so a sustained
+    breach produces one page, and a clear-then-breach produces two.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[BurnRateRule] = DEFAULT_RULES,
+        *,
+        boot_slo_ms: float = BOOT_SLO_MS,
+        recorder_capacity: int = 32,
+    ):
+        self.rules = tuple(rules)
+        self.boot_slo_ms = boot_slo_ms
+        self.recorder_capacity = recorder_capacity
+
+    def evaluate_cell(self, cell_record: dict) -> list[dict]:
+        """All firings for one cell of the otrace artifact, ordered by
+        (virtual time, rule name)."""
+        cell = int(cell_record.get("cell", 0))
+        invocations = sorted(
+            cell_record.get("invocations", []),
+            key=lambda r: (
+                float(r.get("end_ms", 0.0)),
+                r.get("trace_id", ""),
+            ),
+        )
+        recorder = FlightRecorder(self.recorder_capacity)
+        streams = {
+            rule.name: slo_events(
+                rule.name, invocations, boot_slo_ms=self.boot_slo_ms
+            )
+            for rule in self.rules
+        }
+        cursor = {rule.name: 0 for rule in self.rules}
+        latched = {rule.name: False for rule in self.rules}
+        firings: list[dict] = []
+        for inv in invocations:
+            recorder.record(self._flight_entry(inv))
+            at = float(inv.get("end_ms", 0.0))
+            tid = inv.get("trace_id", "")
+            for rule in self.rules:
+                events = streams[rule.name]
+                i = cursor[rule.name]
+                # advance through every event at or before this terminal
+                while i < len(events) and (
+                    (events[i].at_ms, events[i].trace_id) <= (at, tid)
+                ):
+                    fired = self._step(
+                        rule, events, i, latched, recorder, cell
+                    )
+                    if fired is not None:
+                        firings.append(fired)
+                    i += 1
+                cursor[rule.name] = i
+        firings.sort(key=lambda f: (f["at_ms"], f["rule"]))
+        return firings
+
+    def _step(
+        self,
+        rule: BurnRateRule,
+        events: Sequence[SloEvent],
+        i: int,
+        latched: dict,
+        recorder: FlightRecorder,
+        cell: int,
+    ) -> Optional[dict]:
+        ev = events[i]
+        burn_long, n_long, err_long = _window_burn(
+            events, i, ev.at_ms, rule.long_window_ms, rule.budget
+        )
+        burn_short, n_short, err_short = _window_burn(
+            events, i, ev.at_ms, rule.short_window_ms, rule.budget
+        )
+        breach = (
+            n_long >= rule.min_events
+            and burn_long >= rule.threshold
+            and burn_short >= rule.threshold
+        )
+        if not breach:
+            latched[rule.name] = False
+            return None
+        if latched[rule.name]:
+            return None
+        latched[rule.name] = True
+        return {
+            "rule": rule.name,
+            "cell": cell,
+            "at_ms": round(ev.at_ms, 6),
+            "trace_id": ev.trace_id,
+            "burn_long": round(burn_long, 6),
+            "burn_short": round(burn_short, 6),
+            "window_events": n_long,
+            "window_errors": err_long,
+            "short_events": n_short,
+            "short_errors": err_short,
+            "budget": rule.budget,
+            "threshold": rule.threshold,
+            "flight_recorder": recorder.snapshot(),
+        }
+
+    @staticmethod
+    def _flight_entry(inv: dict) -> dict:
+        keep = (
+            "trace_id",
+            "index",
+            "function",
+            "arrival_ms",
+            "end_ms",
+            "host",
+            "cold",
+            "restored",
+            "degraded",
+            "boot_ms",
+            "failovers",
+            "failed",
+            "tamper_detected",
+        )
+        return {k: inv[k] for k in keep if k in inv}
+
+
+def evaluate_trace_doc(
+    doc: dict,
+    *,
+    rules: Sequence[BurnRateRule] = DEFAULT_RULES,
+    boot_slo_ms: float = BOOT_SLO_MS,
+    recorder_capacity: int = 32,
+) -> dict[str, Any]:
+    """Evaluate the rule pack over a fleet otrace artifact.
+
+    Returns the alerts document: per-cell firings (each carrying its
+    flight-recorder dump) ordered by (cell, virtual time, rule), plus
+    the rule pack so the artifact is self-describing.
+    """
+    engine = AlertEngine(
+        rules, boot_slo_ms=boot_slo_ms, recorder_capacity=recorder_capacity
+    )
+    firings: list[dict] = []
+    for cell_record in doc.get("cells", []):
+        firings.extend(engine.evaluate_cell(cell_record))
+    firings.sort(key=lambda f: (f["cell"], f["at_ms"], f["rule"]))
+    return {
+        "schema": ALERTS_SCHEMA,
+        "seed": doc.get("seed"),
+        "cells": len(doc.get("cells", [])),
+        "boot_slo_ms": boot_slo_ms,
+        "rules": [
+            {
+                "name": r.name,
+                "description": r.description,
+                "budget": r.budget,
+                "long_window_ms": r.long_window_ms,
+                "short_window_ms": r.short_window_ms,
+                "threshold": r.threshold,
+                "min_events": r.min_events,
+            }
+            for r in rules
+        ],
+        "firings": firings,
+        "fired_rules": sorted({f["rule"] for f in firings}),
+    }

@@ -65,24 +65,41 @@ def _label_items(labels: dict[str, Any]) -> LabelItems:
     return tuple((k, str(v)) for k, v in sorted(labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape ``\\``, ``"`` and newlines (the Prometheus label rules)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+_UNESCAPE = re.compile(r"\\(.)")
+
+
+def _unescape_label_value(value: str) -> str:
+    return _UNESCAPE.sub(lambda m: "\n" if m.group(1) == "n" else m.group(1), value)
+
+
 def flat_name(name: str, labels: LabelItems = ()) -> str:
-    """The canonical flattened name: ``name{k="v",...}`` (sorted labels)."""
+    """The canonical flattened name: ``name{k="v",...}`` (sorted labels).
+
+    Label values are escaped (``\\`` -> ``\\\\``, ``"`` -> ``\\"``,
+    newline -> ``\\n``) so any string — fault sites, image digests,
+    host IDs — round-trips through :func:`parse_flat_name`.
+    """
     if not labels:
         return name
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
-_FLAT_LABEL = re.compile(r'([A-Za-z0-9_.:-]+)="([^"]*)"')
+_FLAT_LABEL = re.compile(r'([A-Za-z0-9_.:-]+)="((?:[^"\\]|\\.)*)"')
 
 
 def parse_flat_name(flat: str) -> tuple[str, LabelItems]:
     """Invert :func:`flat_name`: ``name{k="v",...}`` -> (name, items).
 
-    Label values containing ``"`` cannot round-trip (none of the
-    built-in seams produce them); everything else does, which is what
-    lets a :meth:`MetricsRegistry.snapshot` cross a process boundary
-    and be folded back with :meth:`MetricsRegistry.merge_snapshot`.
+    Escaped label values (``\\``, ``"``, newlines) round-trip exactly,
+    which is what lets a :meth:`MetricsRegistry.snapshot` cross a
+    process boundary and be folded back with
+    :meth:`MetricsRegistry.merge_snapshot`.
     """
     brace = flat.find("{")
     if brace < 0:
@@ -91,7 +108,10 @@ def parse_flat_name(flat: str) -> tuple[str, LabelItems]:
         raise MetricError(f"malformed flat metric name: {flat!r}")
     name = flat[:brace]
     inner = flat[brace + 1 : -1]
-    items = tuple((m.group(1), m.group(2)) for m in _FLAT_LABEL.finditer(inner))
+    items = tuple(
+        (m.group(1), _unescape_label_value(m.group(2)))
+        for m in _FLAT_LABEL.finditer(inner)
+    )
     return name, items
 
 
@@ -119,8 +139,13 @@ def prom_name(name: str) -> str:
     return out
 
 
-def _prom_escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+#: Prometheus label values share the flat-name escaping rules.
+_prom_escape = _escape_label_value
+
+
+def _prom_escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline (but not quotes)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 # -- instruments -------------------------------------------------------------
@@ -160,15 +185,25 @@ class Gauge:
         self.value -= amount
 
 
+#: exemplars kept per histogram bucket (the last N trace IDs observed)
+EXEMPLAR_LIMIT = 4
+
+
 class Histogram:
     """Fixed-bucket histogram: counts per upper bound, plus sum/count.
 
     ``bounds`` are inclusive upper bounds in ascending order; an implicit
     ``+Inf`` bucket catches the tail.  Bucket counts are *cumulative* on
     export (the Prometheus convention).
+
+    Buckets can carry **exemplars** — the last few trace IDs that landed
+    in each bucket (:meth:`observe_ex`) — so a fat tail in an exported
+    histogram links directly to concrete, explainable invocations.
+    Exemplars are lazily allocated and only exported when present, so
+    histograms that never see one snapshot byte-identically to before.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+    __slots__ = ("bounds", "bucket_counts", "sum", "count", "exemplars")
     kind = "histogram"
 
     def __init__(self, bounds: Sequence[float]) -> None:
@@ -181,6 +216,8 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds_t) + 1)  # +Inf tail
         self.sum: float = 0.0
         self.count: int = 0
+        #: bucket index -> [[trace_id, value], ...] (last N, lazy)
+        self.exemplars: Optional[dict[int, list[list[Any]]]] = None
 
     def observe(self, value: Number) -> None:
         # bisect_left finds the first bound >= value (the inclusive
@@ -189,6 +226,53 @@ class Histogram:
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.sum += value
         self.count += 1
+
+    def observe_ex(
+        self, value: Number, trace_id: str, limit: int = EXEMPLAR_LIMIT
+    ) -> None:
+        """Observe ``value`` and keep ``trace_id`` as a bucket exemplar."""
+        idx = bisect_left(self.bounds, value)
+        self.bucket_counts[idx] += 1
+        self.sum += value
+        self.count += 1
+        if not trace_id:
+            return
+        if self.exemplars is None:
+            self.exemplars = {}
+        ring = self.exemplars.setdefault(idx, [])
+        ring.append([trace_id, float(value)])
+        if len(ring) > limit:
+            del ring[: len(ring) - limit]
+
+    def _le_label(self, idx: int) -> str:
+        return "+Inf" if idx >= len(self.bounds) else _fmt(self.bounds[idx])
+
+    def exemplars_by_le(self) -> dict[str, list[list[Any]]]:
+        """Exemplars keyed by upper-bound label (empty when none kept)."""
+        if not self.exemplars:
+            return {}
+        return {
+            self._le_label(idx): list(self.exemplars[idx])
+            for idx in sorted(self.exemplars)
+        }
+
+    def _fold_exemplars(
+        self, other: dict[int, list[list[Any]]], limit: int = EXEMPLAR_LIMIT
+    ) -> None:
+        """Merge another histogram's exemplars, keeping the last N.
+
+        Callers fold shards in index order, so the surviving exemplars
+        are deterministic across worker counts.
+        """
+        if not other:
+            return
+        if self.exemplars is None:
+            self.exemplars = {}
+        for idx in sorted(other):
+            ring = self.exemplars.setdefault(idx, [])
+            ring.extend(other[idx])
+            if len(ring) > limit:
+                del ring[: len(ring) - limit]
 
     def observe_n(self, value: Number, n: int) -> None:
         """Record ``n`` identical observations in one bucket lookup.
@@ -363,6 +447,7 @@ class MetricsRegistry:
                     child.bucket_counts = [0] * len(child.bucket_counts)
                     child.sum = 0.0
                     child.count = 0
+                    child.exemplars = None
                 else:
                     child.value = 0
 
@@ -401,6 +486,10 @@ class MetricsRegistry:
                         mine.bucket_counts[i] += n
                     mine.sum += child.sum
                     mine.count += child.count
+                    if child.exemplars:
+                        mine._fold_exemplars(
+                            {i: list(ex) for i, ex in child.exemplars.items()}
+                        )
 
     def merge_snapshot(self, snap: dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` dict into this registry.
@@ -437,6 +526,16 @@ class MetricsRegistry:
                 running = cum
             mine.sum += data["sum"]
             mine.count += data["count"]
+            exemplars = data.get("exemplars")
+            if exemplars:
+                le_to_idx = {le: i for i, (le, _) in enumerate(cumulative)}
+                mine._fold_exemplars(
+                    {
+                        le_to_idx[le]: [list(e) for e in ring]
+                        for le, ring in exemplars.items()
+                        if le in le_to_idx
+                    }
+                )
 
     # -- exporters -----------------------------------------------------------
 
@@ -457,11 +556,15 @@ class MetricsRegistry:
                     gauges[flat] = child.value  # type: ignore[union-attr]
                 else:
                     assert isinstance(child, Histogram)
-                    histograms[flat] = {
+                    data: dict[str, Any] = {
                         "buckets": [[le, n] for le, n in child.cumulative()],
                         "sum": child.sum,
                         "count": child.count,
                     }
+                    exemplars = child.exemplars_by_le()
+                    if exemplars:
+                        data["exemplars"] = exemplars
+                    histograms[flat] = data
         return {
             "schema": "repro-metrics-v1",
             "counters": counters,
@@ -485,18 +588,27 @@ class MetricsRegistry:
             family = self._families[name]
             pname = prom_name(name)
             if family.help:
-                lines.append(f"# HELP {pname} {family.help}")
+                lines.append(f"# HELP {pname} {_prom_escape_help(family.help)}")
             lines.append(f"# TYPE {pname} {family.kind}")
             for key in sorted(family.children):
                 child = family.children[key]
                 if family.kind == "histogram":
                     assert isinstance(child, Histogram)
-                    for le, cumulative in child.cumulative():
+                    for idx, (le, cumulative) in enumerate(child.cumulative()):
                         label_str = ",".join(
                             [f'{k}="{_prom_escape(v)}"' for k, v in key]
                             + [f'le="{le}"']
                         )
-                        lines.append(f"{pname}_bucket{{{label_str}}} {cumulative}")
+                        line = f"{pname}_bucket{{{label_str}}} {cumulative}"
+                        if child.exemplars and idx in child.exemplars:
+                            # OpenMetrics-style exemplar: the most recent
+                            # trace ID that landed in this bucket
+                            tid, val = child.exemplars[idx][-1]
+                            line += (
+                                f' # {{trace_id="{_prom_escape(str(tid))}"}}'
+                                f" {_fmt(val)}"
+                            )
+                        lines.append(line)
                     suffix = _prom_labels(key)
                     lines.append(f"{pname}_sum{suffix} {_fmt(child.sum)}")
                     lines.append(f"{pname}_count{suffix} {_fmt(child.count)}")

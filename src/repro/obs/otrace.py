@@ -1,0 +1,396 @@
+"""Per-invocation distributed tracing for the fleet (``repro explain``).
+
+The fleet layer runs every serverless invocation as one simulation
+process that crosses many subsystems: the placement RPC, the scheduler
+decision, a host's warm pool or snapshot store, the PSP command queue,
+restore-time re-attestation, and — under chaos — failover hops and
+fallbacks to a full measured boot.  The tracer records all of those as
+spans, but nothing ties them back to *which invocation* they served.
+
+This module adds that thread:
+
+- :func:`derive_trace_id` — a deterministic per-invocation trace ID
+  from ``(seed, cell, arrival index)``.  Never wall clock, so the same
+  seed always yields the same IDs at any worker count.
+- :class:`TraceContext` + :func:`propagate` — generator middleware that
+  activates the context on the tracer around every resume of the
+  invocation's process, so every span/instant recorded from inside the
+  invocation's frame (PSP commands, boot phases, retry backoff, fault
+  instants, restore/re-attestation steps) is stamped with
+  ``args["trace_id"]``.  With no context active the tracer records
+  exactly as before, and with no tracer attached nothing here runs at
+  all — untraced runs stay byte-identical.
+- :func:`explain` — reconstruct one invocation's causal chain from a
+  fleet otrace artifact: the span tree (nested by virtual-time
+  containment), the per-phase split (queue-wait vs PSP-exec vs crypto
+  vs network), and annotations for every injected fault that touched
+  the invocation.
+
+Artifact format (``repro fleet --trace-out``)::
+
+    {"schema": "repro-fleet-otrace-v1",
+     "seed": <run seed>,
+     "cells": [{"cell": 0, "seed": <cell seed>,
+                "stream": <Tracer.export_spans()>,
+                "invocations": [<invocation record>, ...]}, ...]}
+
+Invocation records carry the outcome the controller observed (status,
+host, cold/restored/degraded, failovers, boot/reattest ms) so
+``repro explain`` can cross-check the span tree against the control
+plane's own account.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Generator, Iterable, Optional
+
+#: schema tag for fleet otrace artifacts
+TRACE_SCHEMA = "repro-fleet-otrace-v1"
+
+#: span categories whose virtual time is charged to the "crypto" bucket
+CRYPTO_CATEGORIES = ("crypto",)
+#: span categories charged to the "network" bucket
+NETWORK_CATEGORIES = ("network",)
+
+
+def derive_trace_id(seed: int, cell: int, index: int) -> str:
+    """The deterministic trace ID for one invocation.
+
+    Derived from the run seed, the cell, and the invocation's arrival
+    index — never from wall clock — so trace IDs are stable across
+    reruns and worker counts (cells are the parallel unit; the arrival
+    index orders invocations within a cell).
+    """
+    digest = hashlib.sha256(f"otrace:{seed}:{cell}:{index}".encode()).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one traced invocation, active while its frame runs."""
+
+    trace_id: str
+    function: str = ""
+    cell: int = 0
+    index: int = 0
+    arrival_ms: float = 0.0
+
+
+def propagate(tracer: Any, ctx: TraceContext, gen: Generator) -> Generator:
+    """Wrap a process generator so its whole frame runs under ``ctx``.
+
+    The discrete-event engine drives a process by ``send``/``throw`` on
+    its generator; everything an invocation does (``yield from`` chains
+    through controller, host, VMM, PSP, snapshot store) executes inside
+    that one frame.  This middleware sets ``tracer.context`` before
+    every resume and restores the previous context at every suspension,
+    so spans recorded by *other* processes interleaved on the same
+    clock are never mis-stamped.  Interrupts (``gen.throw``) are
+    forwarded so crash delivery behaves identically to an unwrapped
+    process, and the inner generator's return value is preserved.
+    """
+    send, throw = gen.send, gen.throw
+    to_send: Any = None
+    to_throw: Optional[BaseException] = None
+    while True:
+        prev = tracer.context
+        tracer.context = ctx
+        try:
+            if to_throw is not None:
+                item = throw(to_throw)
+            else:
+                item = send(to_send)
+        except StopIteration as stop:
+            return stop.value
+        finally:
+            tracer.context = prev
+        to_send, to_throw = None, None
+        try:
+            to_send = yield item
+        except BaseException as exc:
+            to_throw = exc
+
+
+# -- explain: reconstructing one invocation's causal chain -------------------
+
+
+@dataclass
+class ExplainNode:
+    """One span in the invocation's chain, nested by containment."""
+
+    name: str
+    category: str
+    track: str
+    start: float
+    end: float
+    args: dict[str, Any] = field(default_factory=dict)
+    children: list["ExplainNode"] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return self.end - self.start
+
+    def walk(self, depth: int = 0) -> Iterable[tuple[int, "ExplainNode"]]:
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+@dataclass
+class Explanation:
+    """Everything ``repro explain <trace-id>`` knows about an invocation."""
+
+    trace_id: str
+    invocation: dict[str, Any] = field(default_factory=dict)
+    roots: list[ExplainNode] = field(default_factory=list)
+    #: injected faults that touched this invocation: (ts, name, args)
+    faults: list[tuple[float, str, dict[str, Any]]] = field(default_factory=list)
+    #: other instants stamped with the trace id
+    marks: list[tuple[float, str, dict[str, Any]]] = field(default_factory=list)
+
+    @property
+    def spans(self) -> list[ExplainNode]:
+        return [node for root in self.roots for _d, node in root.walk()]
+
+    def phase_split(self) -> dict[str, float]:
+        """Where this invocation's virtual time went, by cost bucket.
+
+        - ``psp.wait`` — queueing behind other guests' PSP commands
+          (the per-command ``wait_ms`` tag, same source the boot
+          profiler's critical path uses);
+        - ``psp.exec`` — commands holding the PSP;
+        - ``crypto`` — guest-owner cert-chain verification;
+        - ``network`` — attestation round trips / session resumption;
+        - ``backoff`` — retry/failover backoff intervals;
+        - ``boot.<phase>`` — the boot timeline phases.
+        """
+        split: dict[str, float] = {}
+
+        def add(key: str, ms: float) -> None:
+            if ms:
+                split[key] = split.get(key, 0.0) + ms
+
+        for node in self.spans:
+            if node.category == "psp":
+                add("psp.wait", float(node.args.get("wait_ms", 0.0)))
+                add("psp.exec", node.total_ms)
+            elif node.category in CRYPTO_CATEGORIES:
+                add("crypto", node.total_ms)
+            elif node.category in NETWORK_CATEGORIES:
+                add("network", node.total_ms)
+            elif node.category == "fault":
+                add("backoff", node.total_ms)
+        for name, ms in self.boot_phase_ms().items():
+            add(f"boot.{name}", ms)
+        return split
+
+    def boot_phase_ms(self) -> dict[str, float]:
+        """``boot.phase`` totals for this invocation (profiler-comparable)."""
+        out: dict[str, float] = {}
+        for node in self.spans:
+            if node.category == "boot.phase":
+                out[node.name] = out.get(node.name, 0.0) + node.total_ms
+        return out
+
+    def boot_tracks(self) -> list[str]:
+        """VM tracks this invocation booted on (one per boot attempt)."""
+        seen: dict[str, None] = {}
+        for node in self.spans:
+            if node.category == "boot.phase":
+                seen.setdefault(node.track)
+        return list(seen)
+
+    def hops(self) -> list[dict[str, Any]]:
+        """The invocation's attempt sequence (placement -> run), in order."""
+        return [
+            dict(node.args, start_ms=node.start, duration_ms=node.total_ms)
+            for node in self.spans
+            if node.category == "fleet.attempt"
+        ]
+
+    def render(self, width: int = 100) -> str:
+        """The ``repro explain`` text transcript."""
+        inv = self.invocation
+        lines = [f"trace {self.trace_id}"]
+        if inv:
+            head = (
+                f"  invocation {inv.get('function', '?')!r}"
+                f" cell={inv.get('cell', '?')} index={inv.get('index', '?')}"
+                f" arrival={inv.get('arrival_ms', 0.0):.2f} ms"
+            )
+            lines.append(head)
+            status = inv.get("status") or (
+                "tamper-abort"
+                if inv.get("tamper_detected")
+                else ("failed" if inv.get("failed") else "ok")
+            )
+            detail = []
+            for key in ("host", "cold", "restored", "degraded", "failovers"):
+                if key in inv:
+                    detail.append(f"{key}={inv[key]}")
+            lines.append(f"  outcome: {status} ({', '.join(detail)})")
+        if not self.roots:
+            lines.append("  (no spans recorded for this trace id)")
+            return "\n".join(lines)
+        lines.append("  causal chain:")
+        for root in sorted(self.roots, key=lambda n: (n.start, n.end)):
+            for depth, node in root.walk():
+                indent = "    " + "  " * depth
+                annot = ""
+                if "fault" in node.args:
+                    annot = f"  !fault={node.args['fault']}"
+                if node.category == "psp" and node.args.get("wait_ms"):
+                    annot += f"  wait={float(node.args['wait_ms']):.2f}ms"
+                label = f"{indent}{node.name} [{node.category}]"
+                span_txt = f"{node.start:.2f}→{node.end:.2f} ({node.total_ms:.2f} ms)"
+                pad = max(1, width - len(label) - len(span_txt))
+                lines.append(f"{label}{' ' * pad}{span_txt}{annot}")
+        split = self.phase_split()
+        if split:
+            lines.append("  phase split (virtual ms):")
+            for key in sorted(split, key=lambda k: -split[k]):
+                lines.append(f"    {key:<28} {split[key]:>10.3f}")
+        if self.faults:
+            lines.append("  injected faults:")
+            for ts, name, args in self.faults:
+                kind = args.get("kind", "?")
+                lines.append(f"    @{ts:.2f} ms  {name} kind={kind}")
+        return "\n".join(lines)
+
+
+_EPS = 1e-9
+
+
+def build_span_tree(
+    spans: list[tuple[str, str, str, float, float, dict[str, Any]]],
+) -> list[ExplainNode]:
+    """Nest one invocation's spans by virtual-time containment.
+
+    The invocation is a single simulation process, so its spans form a
+    sequential chain punctuated by waits — interval containment across
+    tracks recovers the call structure (attempt contains placement,
+    boot contains its PSP commands) without any parent pointers.
+    """
+    nodes = [
+        ExplainNode(name, category, track, start, end, dict(args))
+        for name, category, track, start, end, args in sorted(
+            spans, key=lambda s: (s[3], -(s[4]), s[0])
+        )
+    ]
+    roots: list[ExplainNode] = []
+    stack: list[ExplainNode] = []
+    for node in nodes:
+        while stack and node.start >= stack[-1].end - _EPS:
+            stack.pop()
+        if stack and node.end <= stack[-1].end + _EPS:
+            stack[-1].children.append(node)
+        else:
+            while stack:
+                stack.pop()
+            roots.append(node)
+        stack.append(node)
+    return roots
+
+
+def _stream_spans(stream: dict[str, Any]) -> list:
+    return stream.get("spans", [])
+
+
+def _stream_instants(stream: dict[str, Any]) -> list:
+    return stream.get("instants", [])
+
+
+def explain_stream(
+    stream: dict[str, Any],
+    trace_id: str,
+    invocation: Optional[dict[str, Any]] = None,
+) -> Explanation:
+    """Build an :class:`Explanation` from one exported span stream."""
+    exp = Explanation(trace_id=trace_id, invocation=dict(invocation or {}))
+    picked = [
+        (name, category, track, start, end, args)
+        for name, category, track, start, end, args in _stream_spans(stream)
+        if args.get("trace_id") == trace_id
+    ]
+    exp.roots = build_span_tree(picked)
+    for name, track, ts, args in _stream_instants(stream):
+        if args.get("trace_id") != trace_id:
+            continue
+        if name.startswith("fault:"):
+            exp.faults.append((ts, name, dict(args)))
+        else:
+            exp.marks.append((ts, name, dict(args)))
+    exp.faults.sort(key=lambda f: f[0])
+    exp.marks.sort(key=lambda m: m[0])
+    return exp
+
+
+def _check_schema(doc: dict[str, Any]) -> None:
+    schema = doc.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(f"unsupported otrace artifact schema: {schema!r}")
+
+
+def iter_invocations(doc: dict[str, Any]) -> Iterable[tuple[dict, dict]]:
+    """Yield ``(cell_entry, invocation_record)`` pairs from an artifact."""
+    _check_schema(doc)
+    for cell_entry in doc.get("cells", []):
+        for inv in cell_entry.get("invocations", []):
+            rec = dict(inv)
+            rec.setdefault("cell", cell_entry.get("cell", 0))
+            yield cell_entry, rec
+
+
+def list_trace_ids(doc: dict[str, Any]) -> list[dict[str, Any]]:
+    """Summarise every invocation in an artifact (``repro explain --list``)."""
+    out = []
+    for _cell_entry, inv in iter_invocations(doc):
+        out.append(dict(inv))
+    out.sort(key=lambda r: (r.get("cell", 0), r.get("index", 0)))
+    return out
+
+
+def explain(doc: dict[str, Any], trace_id: str) -> Explanation:
+    """Reconstruct one invocation's causal chain from an artifact."""
+    for cell_entry, inv in iter_invocations(doc):
+        if inv.get("trace_id") == trace_id:
+            return explain_stream(cell_entry.get("stream", {}), trace_id, inv)
+    raise KeyError(f"trace id {trace_id!r} not found in artifact")
+
+
+def verify_failovers(doc: dict[str, Any]) -> list[str]:
+    """Check every failed-over invocation's trace resolves end to end.
+
+    Returns problems (empty list = pass): each invocation that recorded
+    failovers must have spans under its trace ID, at least one
+    ``fleet.attempt`` hop per attempt (failovers + 1 when it finally
+    succeeded), and a host-crash or fault annotation explaining *why*
+    it failed over.
+    """
+    problems: list[str] = []
+    for cell_entry, inv in iter_invocations(doc):
+        failovers = int(inv.get("failovers", 0))
+        if failovers <= 0:
+            continue
+        tid = inv.get("trace_id", "")
+        exp = explain_stream(cell_entry.get("stream", {}), tid, inv)
+        if not exp.roots:
+            problems.append(f"{tid}: failed-over invocation has no spans")
+            continue
+        hops = exp.hops()
+        ok = not inv.get("failed", False)
+        if len(hops) < failovers + (1 if ok else 0):
+            problems.append(
+                f"{tid}: {failovers} failovers but only {len(hops)} "
+                "attempt spans"
+            )
+        crashed = any(
+            h.get("outcome") in ("failover", "crashed") for h in hops
+        ) or bool(exp.faults)
+        if not crashed:
+            problems.append(
+                f"{tid}: no crash/fault annotation explains the failover"
+            )
+    return problems

@@ -232,6 +232,7 @@ def fleet_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
         keepalive_ms=payload.get("keepalive_ms", 4000.0),
         crash_hosts=payload.get("crash_hosts", 0),
         asid_capacity=payload.get("asid_capacity"),
+        otrace=payload.get("otrace", False),
     )
 
 

@@ -370,13 +370,46 @@ def reattest(
         resumed = sessions is not None and sessions.resumable(
             tenant, psp.chip_id, snapshot.image_digest
         )
+        tracer = machine.sim.tracer
+        track = (
+            f"{machine.label}/attestation" if machine.label else "attestation"
+        )
         if resumed:
-            yield machine.sim.timeout(cost.sample(cost.reattest_resume_ms))
+            if tracer is not None:
+                span = tracer.begin("session_resume", "network", track)
+                try:
+                    yield machine.sim.timeout(
+                        cost.sample(cost.reattest_resume_ms)
+                    )
+                finally:
+                    tracer.end(span)
+            else:
+                yield machine.sim.timeout(cost.sample(cost.reattest_resume_ms))
         else:
             # Full exchange: chain walk to prove the VCEK, then the
             # owner-side round trip (§6.1's attestation server).
-            yield machine.sim.timeout(cost.sample(cost.cert_chain_verify_ms))
-            yield machine.sim.timeout(cost.sample(cost.attestation_network_ms))
+            if tracer is not None:
+                span = tracer.begin("cert_chain_verify", "crypto", track)
+                try:
+                    yield machine.sim.timeout(
+                        cost.sample(cost.cert_chain_verify_ms)
+                    )
+                finally:
+                    tracer.end(span)
+                span = tracer.begin("attestation_rtt", "network", track)
+                try:
+                    yield machine.sim.timeout(
+                        cost.sample(cost.attestation_network_ms)
+                    )
+                finally:
+                    tracer.end(span)
+            else:
+                yield machine.sim.timeout(
+                    cost.sample(cost.cert_chain_verify_ms)
+                )
+                yield machine.sim.timeout(
+                    cost.sample(cost.attestation_network_ms)
+                )
         try:
             owner.validate_and_release(report, nonce, transport_key)
         except AttestationFailure as exc:
@@ -441,16 +474,36 @@ def restore_from_store(
     base = yield from restore(
         machine, snapshot, policy, cow=cow, touched_fraction=touched_fraction
     )
+    tracer = machine.sim.tracer
+    restore_track = f"{machine.label}/restore" if machine.label else "restore"
     if snapshot.sev_mode is not None:
         reat = yield from reattest(
             machine, snapshot, owner, tenant=tenant, sessions=sessions
         )
+        if tracer is not None:
+            tracer.complete(
+                f"restore:{digest.hex()[:8]}",
+                "serverless.restore",
+                restore_track,
+                start,
+                machine.sim.now,
+                resumed=reat.resumed,
+                reattest_ms=reat.reattest_ms,
+            )
         return replace(
             base,
             restore_ms=machine.sim.now - start,
             reattest_ms=reat.reattest_ms,
             resumed_session=reat.resumed,
             digest=reat.digest,
+        )
+    if tracer is not None:
+        tracer.complete(
+            f"restore:{digest.hex()[:8]}",
+            "serverless.restore",
+            restore_track,
+            start,
+            machine.sim.now,
         )
     return replace(base, restore_ms=machine.sim.now - start)
 

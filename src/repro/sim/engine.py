@@ -410,12 +410,24 @@ class Resource:
     grant path.
     """
 
-    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: int = 1,
+        name: str = "resource",
+        trace_name: str | None = None,
+    ):
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        #: display name for trace spans/counter tracks only — lets many
+        #: same-named resources (one "psp" per fleet host) stay on
+        #: distinct rows in a merged trace while sharing one metrics
+        #: label (``resource="psp"``), keeping virtual metrics identical
+        #: whether or not hosts carry labels
+        self.trace_name = trace_name or name
         self._request_name = f"{name}.request"
         self._in_use = 0
         self._queue: deque[Event] = deque()
@@ -570,7 +582,7 @@ class Resource:
         evt._cancel_hook = self.cancel
         tracer = sim.tracer
         evt._trace_wait = tracer.begin(
-            f"{self.name}.wait", "resource.wait", f"{self.name}.queue"
+            f"{self.trace_name}.wait", "resource.wait", f"{self.trace_name}.queue"
         )
         if self._in_use < self.capacity:
             self._in_use += 1
@@ -581,7 +593,7 @@ class Resource:
             self._grant_traced(evt, 0.0)
             return evt
         self._queue.append(evt)
-        tracer.counter(f"{self.name}.queue_depth", self.queue_length)
+        tracer.counter(f"{self.trace_name}.queue_depth", self.queue_length)
         return evt
 
     def _release_traced(self, grant: Event) -> None:
@@ -615,7 +627,7 @@ class Resource:
             nxt._resource_token = self
             nxt._ok = True
             nxt.value = nxt
-            tracer.counter(f"{self.name}.queue_depth", self.queue_length)
+            tracer.counter(f"{self.trace_name}.queue_depth", self.queue_length)
             self._grant_traced(nxt, waited)
             cbs = nxt._callbacks
             if cbs is not None:
@@ -627,7 +639,7 @@ class Resource:
                         append_now((p, None, nxt))
             return
         self._in_use -= 1
-        tracer.counter(f"{self.name}.in_use", self._in_use)
+        tracer.counter(f"{self.trace_name}.in_use", self._in_use)
 
     def _grant_traced(self, evt: Event, waited: float) -> None:
         tracer = self.sim.tracer
@@ -635,9 +647,12 @@ class Resource:
         if wait_span is not None:
             tracer.end(wait_span)
         evt._trace_hold = tracer.begin(
-            f"{self.name}.hold", "resource.hold", self.name, wait_ms=waited
+            f"{self.trace_name}.hold",
+            "resource.hold",
+            self.trace_name,
+            wait_ms=waited,
         )
-        tracer.counter(f"{self.name}.in_use", self._in_use)
+        tracer.counter(f"{self.trace_name}.in_use", self._in_use)
 
     def cancel(self, request: Event) -> None:
         """Withdraw a ``request()`` whose result will never be consumed.
@@ -667,7 +682,7 @@ class Resource:
         self._m_queue_depth.set(self.queue_length)
         tracer = self.sim.tracer
         if tracer is not None:
-            tracer.counter(f"{self.name}.queue_depth", self.queue_length)
+            tracer.counter(f"{self.trace_name}.queue_depth", self.queue_length)
             wait_span = getattr(request, "_trace_wait", None)
             if wait_span is not None:
                 tracer.end(wait_span, cancelled=True)
@@ -877,8 +892,13 @@ class Simulator:
         self._m_processes.inc()
         return Process(self, gen, name)
 
-    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
-        return Resource(self, capacity, name)
+    def resource(
+        self,
+        capacity: int = 1,
+        name: str = "resource",
+        trace_name: str | None = None,
+    ) -> Resource:
+        return Resource(self, capacity, name, trace_name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

@@ -97,6 +97,18 @@ class Tracer:
         #: counter name -> [(ts, value), ...] time series
         self.counters: dict[str, list[tuple[float, float]]] = {}
         self._track_seq: dict[str, int] = {}
+        #: active invocation trace context (duck-typed: needs a
+        #: ``trace_id`` attribute).  While set, every span/instant
+        #: recorded is stamped with ``args["trace_id"]`` — the hook
+        #: :func:`repro.obs.otrace.propagate` uses to follow one
+        #: invocation across placement, boot, PSP, and failover hops.
+        #: ``None`` (the default) records exactly as before.
+        self.context: Any = None
+        #: stream-level labels (e.g. ``{"cell": "3"}``) attached to
+        #: :meth:`export_spans` output; :func:`merge_span_streams` folds
+        #: them into every merged span so multi-host fleet shards stay
+        #: unambiguous.  Empty by default (and then not exported).
+        self.labels: dict[str, str] = {}
         #: fault-layer counters (injected/detected/retried/aborted and
         #: per-site breakdowns), mirrored from an attached
         #: :class:`~repro.faults.plan.FaultPlan`; rendered as the
@@ -130,6 +142,13 @@ class Tracer:
         self, name: str, category: str, track: str, **args: Any
     ) -> Span:
         """Open a span at the current virtual time."""
+        ctx = self.context
+        if ctx is not None and category != "resource.hold":
+            # resource.hold spans for queued waiters are begun from the
+            # *releasing* process's frame (see Resource._grant_traced),
+            # so stamping them here would attribute the hold to the
+            # wrong invocation; everything else begins in-frame.
+            args.setdefault("trace_id", ctx.trace_id)
         span = Span(name, category, track, self.sim.now, None, args)
         self.spans.append(span)
         return span
@@ -151,11 +170,17 @@ class Tracer:
         **args: Any,
     ) -> Span:
         """Record an already-finished span."""
+        ctx = self.context
+        if ctx is not None and category != "resource.hold":
+            args.setdefault("trace_id", ctx.trace_id)
         span = Span(name, category, track, start, end, args)
         self.spans.append(span)
         return span
 
     def instant(self, name: str, track: str, **args: Any) -> None:
+        ctx = self.context
+        if ctx is not None:
+            args.setdefault("trace_id", ctx.trace_id)
         self.instants.append(Instant(name, track, self.sim.now, args))
 
     def counter(self, name: str, value: float) -> None:
@@ -246,7 +271,7 @@ class Tracer:
         the shards with :func:`merge_span_streams`.
         """
         now = self.sim.now
-        return {
+        out: dict[str, Any] = {
             "schema": "repro-trace-v1",
             "now": now,
             "spans": [
@@ -269,6 +294,9 @@ class Tracer:
             },
             "fault_counters": dict(self.fault_counters),
         }
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
     def to_chrome_trace(self) -> dict[str, Any]:
         """The Chrome trace-event JSON document (as a dict).
@@ -467,6 +495,12 @@ def merge_span_streams(
     counter series are renamed ``<prefix><i>/<name>`` so same-named
     tracks from different workers stay on distinct display rows.
     Fault-counter totals add across shards.
+
+    Streams carrying a ``labels`` dict (set via :attr:`Tracer.labels`,
+    e.g. ``{"cell": "3"}`` on a fleet shard) have those labels folded
+    into every merged span's and instant's args (without overwriting
+    same-named args), so spans from different hosts/cells remain
+    attributable after the merge.
     """
     if offsets == "concat":
         resolved: list[float] = []
@@ -493,12 +527,15 @@ def merge_span_streams(
                 return name
             return f"{track_prefix}{i}/{name}"
 
+        labels = stream.get("labels") or {}
         for name, category, track, start, end, args in stream["spans"]:
             args = dict(args)
             if "vm" in args:
                 # `vm` span tags are track references (PSP -> VM
                 # attribution in the profiler); rename them in step.
                 args["vm"] = rename(args["vm"])
+            for k, v in labels.items():
+                args.setdefault(k, v)
             merged.spans.append(
                 Span(
                     name,
@@ -510,8 +547,11 @@ def merge_span_streams(
                 )
             )
         for name, track, ts, args in stream["instants"]:
+            args = dict(args)
+            for k, v in labels.items():
+                args.setdefault(k, v)
             merged.instants.append(
-                Instant(name, rename(track), ts + offset, dict(args))
+                Instant(name, rename(track), ts + offset, args)
             )
         for name, series in stream["counters"].items():
             merged.counters.setdefault(rename(name), []).extend(

@@ -82,6 +82,8 @@ class FirecrackerVMM:
         memory = self.machine.new_guest_memory(config.memory_size, sev_ctx)
         sim = self.machine.sim
         label = f"fc:{config.kernel.name}" + (f"/asid{sev_ctx.asid}" if sev_ctx else "")
+        if self.machine.label:
+            label = f"{self.machine.label}/{label}"
         if sim.tracer is not None:
             label = sim.tracer.new_track(label)
         if sev_ctx is not None:

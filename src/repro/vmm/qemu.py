@@ -101,6 +101,8 @@ class QemuVMM:
         label = f"qemu:{config.kernel.name}" + (
             f"/asid{sev_ctx.asid}" if sev_ctx else ""
         )
+        if self.machine.label:
+            label = f"{self.machine.label}/{label}"
         if sim.tracer is not None:
             label = sim.tracer.new_track(label)
         if sev_ctx is not None:

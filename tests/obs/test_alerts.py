@@ -1,0 +1,235 @@
+"""Burn-rate alerting: window math, latching, flight recorder, fleet runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.experiment import fleet_trace_doc, run_fleet
+from repro.obs.alerts import (
+    ALERTS_SCHEMA,
+    AlertEngine,
+    BurnRateRule,
+    FlightRecorder,
+    evaluate_trace_doc,
+    rule_by_name,
+    slo_events,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+def _inv(index, end_ms, **kw):
+    rec = {
+        "trace_id": f"t{index:04d}",
+        "index": index,
+        "function": "fn-0",
+        "arrival_ms": max(0.0, end_ms - 10.0),
+        "end_ms": end_ms,
+        "host": "c0:host-0",
+        "cold": False,
+        "restored": False,
+        "degraded": False,
+        "boot_ms": 0.0,
+        "failovers": 0,
+        "failed": False,
+        "tamper_detected": False,
+    }
+    rec.update(kw)
+    return rec
+
+
+def _cell(invocations, cell=0):
+    return {"cell": cell, "seed": 0, "invocations": invocations, "stream": {}}
+
+
+#: a permissive rule for unit tests: 10% budget, burn 1x fires
+RULE = BurnRateRule(
+    name="failover-burn",
+    budget=0.1,
+    long_window_ms=100.0,
+    short_window_ms=20.0,
+    threshold=1.0,
+    min_events=2,
+)
+
+
+class TestEventProjection:
+    def test_failover_burn_counts_failovers_and_failures(self):
+        invs = [
+            _inv(0, 10.0),
+            _inv(1, 20.0, failovers=2),
+            _inv(2, 30.0, failed=True),
+        ]
+        events = slo_events("failover-burn", invs)
+        assert [e.ok for e in events] == [True, False, False]
+
+    def test_restore_miss_only_cold(self):
+        invs = [
+            _inv(0, 10.0),  # warm: not an event
+            _inv(1, 20.0, cold=True, restored=True),
+            _inv(2, 30.0, cold=True),
+        ]
+        events = slo_events("restore-miss", invs)
+        assert [e.ok for e in events] == [True, False]
+
+    def test_boot_latency_against_slo(self):
+        invs = [
+            _inv(0, 10.0, cold=True, boot_ms=100.0),
+            _inv(1, 20.0, cold=True, boot_ms=900.0),
+        ]
+        events = slo_events("boot-latency", invs, boot_slo_ms=400.0)
+        assert [e.ok for e in events] == [True, False]
+
+    def test_tamper_burn(self):
+        invs = [_inv(0, 10.0), _inv(1, 20.0, tamper_detected=True, failed=True)]
+        events = slo_events("tamper-burn", invs)
+        assert [e.ok for e in events] == [True, False]
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            slo_events("nope", [])
+        with pytest.raises(KeyError):
+            rule_by_name("nope")
+
+    def test_events_sorted_by_time(self):
+        invs = [_inv(0, 30.0), _inv(1, 10.0), _inv(2, 20.0)]
+        events = slo_events("failover-burn", invs)
+        assert [e.at_ms for e in events] == [10.0, 20.0, 30.0]
+
+
+class TestEngine:
+    def test_fires_when_both_windows_burn(self):
+        invs = [
+            _inv(0, 10.0),
+            _inv(1, 15.0, failovers=1),
+            _inv(2, 18.0, failovers=1),
+        ]
+        engine = AlertEngine([RULE])
+        firings = engine.evaluate_cell(_cell(invs))
+        assert len(firings) == 1
+        f = firings[0]
+        assert f["rule"] == "failover-burn"
+        assert f["at_ms"] == 15.0
+        assert f["burn_long"] >= 1.0 and f["burn_short"] >= 1.0
+        assert f["trace_id"] == "t0001"
+
+    def test_min_events_suppresses_tiny_windows(self):
+        invs = [_inv(0, 10.0, failovers=1)]
+        firings = AlertEngine([RULE]).evaluate_cell(_cell(invs))
+        assert firings == []
+
+    def test_short_window_gates_old_spikes(self):
+        # errors long ago, healthy now: long window still burns but the
+        # short window has recovered -> no new firing at the late event
+        invs = [
+            _inv(0, 10.0, failovers=1),
+            _inv(1, 12.0, failovers=1),
+            _inv(2, 90.0),
+            _inv(3, 95.0),
+        ]
+        firings = AlertEngine([RULE]).evaluate_cell(_cell(invs))
+        assert [f["at_ms"] for f in firings] == [12.0]
+
+    def test_latches_until_clear_then_refires(self):
+        invs = [
+            _inv(0, 10.0, failovers=1),
+            _inv(1, 12.0, failovers=1),  # fires here
+            _inv(2, 14.0, failovers=1),  # still breaching: latched
+            # burn clears (a run of healthy events outside short window)
+            _inv(3, 200.0),
+            _inv(4, 210.0),
+            _inv(5, 220.0),
+            # breach again -> second firing (at 402: the 400 event alone
+            # cannot satisfy min_events in the long window)
+            _inv(6, 400.0, failovers=1),
+            _inv(7, 402.0, failovers=1),
+        ]
+        firings = AlertEngine([RULE]).evaluate_cell(_cell(invs))
+        assert [f["at_ms"] for f in firings] == [12.0, 402.0]
+
+    def test_firing_carries_flight_recorder_dump(self):
+        invs = [
+            _inv(0, 10.0),
+            _inv(1, 15.0, failovers=1),
+            _inv(2, 18.0, failovers=1),
+        ]
+        engine = AlertEngine([RULE], recorder_capacity=2)
+        f = engine.evaluate_cell(_cell(invs))[0]
+        dump = f["flight_recorder"]
+        assert dump["capacity"] == 2
+        assert len(dump["records"]) <= 2
+        # the ring holds the most recent terminals before the breach
+        assert dump["records"][-1]["trace_id"] == "t0001"
+
+    def test_evaluation_is_pure(self):
+        invs = [
+            _inv(0, 10.0),
+            _inv(1, 15.0, failovers=1),
+            _inv(2, 18.0, failovers=1),
+        ]
+        engine = AlertEngine([RULE])
+        a = engine.evaluate_cell(_cell(invs))
+        b = engine.evaluate_cell(_cell(invs))
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestFlightRecorder:
+    def test_bounded_ring(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(10):
+            rec.record({"i": i})
+        snap = rec.snapshot()
+        assert snap["recorded"] == 10
+        assert [r["i"] for r in snap["records"]] == [7, 8, 9]
+
+    def test_snapshot_copies(self):
+        rec = FlightRecorder(capacity=2)
+        rec.record({"i": 0})
+        snap = rec.snapshot()
+        snap["records"][0]["i"] = 99
+        assert rec.snapshot()["records"][0]["i"] == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestFleetIntegration:
+    @pytest.fixture(scope="class")
+    def alert_docs(self):
+        """Alert documents from identical fleet runs at 1/2/4 workers."""
+        out = {}
+        for workers in (1, 2, 4):
+            with use_registry(MetricsRegistry()):
+                doc = run_fleet(
+                    cells=2,
+                    seed=7,
+                    workers=workers,
+                    hosts=4,
+                    fault_rate=0.12,
+                    crash_hosts=1,
+                    rate_per_s=4.0,
+                    otrace=True,
+                )
+            out[workers] = evaluate_trace_doc(fleet_trace_doc(doc))
+        return out
+
+    def test_deterministic_across_workers(self, alert_docs):
+        dumps = [
+            json.dumps(doc, sort_keys=True) for doc in alert_docs.values()
+        ]
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    def test_failover_rule_fires_on_crashy_fleet(self, alert_docs):
+        report = alert_docs[1]
+        assert report["schema"] == ALERTS_SCHEMA
+        assert "failover-burn" in report["fired_rules"]
+        for f in report["firings"]:
+            assert f["flight_recorder"]["records"]
+            assert f["trace_id"]
+
+    def test_firings_ordered(self, alert_docs):
+        firings = alert_docs[1]["firings"]
+        keys = [(f["cell"], f["at_ms"], f["rule"]) for f in firings]
+        assert keys == sorted(keys)

@@ -1,0 +1,186 @@
+"""Exemplars, label-value escaping, and collector/observe_n merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    EXEMPLAR_LIMIT,
+    MetricsRegistry,
+    flat_name,
+    parse_flat_name,
+)
+
+
+class TestLabelEscaping:
+    """Satellite: Prometheus/flat-name escaping for hostile label values."""
+
+    CASES = [
+        'plain',
+        'with "quotes"',
+        "back\\slash",
+        "new\nline",
+        'all \\ of "them"\ntogether',
+        '\\"',
+        "trailing backslash \\",
+    ]
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_flat_name_round_trips(self, value):
+        flat = flat_name("m", (("site", value),))
+        name, items = parse_flat_name(flat)
+        assert name == "m"
+        assert dict(items) == {"site": value}
+
+    def test_multiple_labels_round_trip(self):
+        labels = (("a", 'x"y'), ("b", "p\\q"), ("c", "r\ns"))
+        name, items = parse_flat_name(flat_name("m", labels))
+        assert items == labels
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_snapshot_merge_round_trips(self, value):
+        src = MetricsRegistry()
+        src.counter("faults", site=value).inc(3)
+        src.histogram("lat_ms", buckets=(1.0, 10.0), site=value).observe(5.0)
+        dst = MetricsRegistry()
+        dst.merge_snapshot(src.snapshot())
+        assert dst.counter("faults", site=value).value == 3
+        assert dst.histogram("lat_ms", buckets=(1.0, 10.0), site=value).count == 1
+
+    def test_prometheus_text_escapes_values_and_help(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "faults", help="counts \\ injected\nfaults", site='a"b\\c\nd'
+        ).inc()
+        text = reg.to_prometheus_text()
+        assert '# HELP faults counts \\\\ injected\\nfaults' in text
+        assert 'site="a\\"b\\\\c\\nd"' in text
+        assert "\nd\"" not in text  # no raw newline leaks into a label
+
+    def test_snapshot_label_order_deterministic(self):
+        a = MetricsRegistry()
+        a.counter("c", x="1", y="2").inc()
+        b = MetricsRegistry()
+        b.counter("c", y="2", x="1").inc()
+        assert a.snapshot() == b.snapshot()
+
+
+class TestExemplars:
+    def test_observe_ex_keeps_last_n(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(10.0, 100.0))
+        for i in range(EXEMPLAR_LIMIT + 3):
+            hist.observe_ex(5.0, f"trace-{i}")
+        by_le = hist.exemplars_by_le()
+        assert list(by_le) == ["10"]
+        assert len(by_le["10"]) == EXEMPLAR_LIMIT
+        assert by_le["10"][-1] == [f"trace-{EXEMPLAR_LIMIT + 2}", 5.0]
+
+    def test_empty_trace_id_not_kept(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=(10.0,))
+        hist.observe_ex(5.0, "")
+        assert hist.count == 1
+        assert hist.exemplars is None
+
+    def test_no_exemplars_means_identical_snapshot(self):
+        """Histograms that never saw an exemplar snapshot exactly as
+        before the feature existed (byte-identity guarantee)."""
+        plain = MetricsRegistry()
+        plain.histogram("h", buckets=(10.0,)).observe(5.0)
+        snap = plain.snapshot()
+        assert "exemplars" not in snap["histograms"]["h"]
+
+    def test_snapshot_merge_carries_exemplars(self):
+        src = MetricsRegistry()
+        src.histogram("h", buckets=(10.0, 100.0)).observe_ex(50.0, "tid-1")
+        dst = MetricsRegistry()
+        dst.merge_snapshot(src.snapshot())
+        hist = dst.histogram("h", buckets=(10.0, 100.0))
+        assert hist.exemplars_by_le() == {"100": [["tid-1", 50.0]]}
+        assert hist.count == 1
+
+    def test_prometheus_bucket_line_carries_exemplar(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(10.0,)).observe_ex(5.0, "tid-9")
+        text = reg.to_prometheus_text()
+        assert '# {trace_id="tid-9"} 5' in text
+
+    def test_merge_registries_folds_exemplars(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(10.0,)).observe_ex(1.0, "tid-a")
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(10.0,)).observe_ex(2.0, "tid-b")
+        a.merge(b)
+        by_le = a.histogram("h", buckets=(10.0,)).exemplars_by_le()
+        assert by_le == {"10": [["tid-a", 1.0], ["tid-b", 2.0]]}
+
+
+class TestCollectorObserveNMerge:
+    """Satellite: observe_n + register_collector under snapshot merge."""
+
+    @staticmethod
+    def _shard(observations, flushes):
+        """A registry whose histogram is fed lazily via a collector
+        (the engine's deferred-flush pattern: tally first, fold on read)."""
+        reg = MetricsRegistry()
+        pending = list(observations)
+
+        def collector():
+            flushes.append(1)
+            if not pending:
+                return
+            hist = reg.histogram("wait_ms", buckets=(1.0, 10.0, 100.0))
+            tally: dict[float, int] = {}
+            for value in pending:
+                tally[value] = tally.get(value, 0) + 1
+            for value, n in sorted(tally.items()):
+                hist.observe_n(value, n)
+            pending.clear()
+
+        reg.register_collector(collector)
+        return reg
+
+    def test_collector_flushed_exactly_once_per_export(self):
+        flushes: list[int] = []
+        reg = self._shard([5.0, 5.0, 50.0], flushes)
+        snap1 = reg.snapshot()
+        assert len(flushes) == 1
+        snap2 = reg.snapshot()
+        assert len(flushes) == 2
+        # idempotent between updates: second export sees the same totals
+        assert snap1 == snap2
+        assert snap1["histograms"]["wait_ms"]["count"] == 3
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_counts_identical_across_worker_counts(self, workers):
+        values = [0.5, 5.0, 5.0, 50.0, 50.0, 50.0, 500.0, 5.0]
+        shards = [values[i::workers] for i in range(workers)]
+        flushes: list[int] = []
+        merged = MetricsRegistry()
+        for shard_values in shards:
+            merged.merge_snapshot(
+                self._shard(shard_values, flushes).snapshot()
+            )
+        assert len(flushes) == workers  # one flush per shard export
+        hist = merged.histogram("wait_ms", buckets=(1.0, 10.0, 100.0))
+        assert hist.count == len(values)
+        assert hist.sum == pytest.approx(sum(values))
+        assert hist.cumulative() == [
+            ("1", 1),
+            ("10", 4),
+            ("100", 7),
+            ("+Inf", 8),
+        ]
+
+    def test_observe_n_matches_sequential_observes(self):
+        a = MetricsRegistry()
+        ha = a.histogram("h", buckets=(1.0, 10.0))
+        ha.observe_n(5.0, 3)
+        b = MetricsRegistry()
+        hb = b.histogram("h", buckets=(1.0, 10.0))
+        for _ in range(3):
+            hb.observe(5.0)
+        assert ha.bucket_counts == hb.bucket_counts
+        assert ha.count == hb.count
+        assert ha.sum == pytest.approx(hb.sum)

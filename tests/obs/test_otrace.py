@@ -1,0 +1,305 @@
+"""Per-invocation tracing: IDs, propagation, explain, and byte-identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.experiment import fleet_trace_doc, run_fleet_cell
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.otrace import (
+    TRACE_SCHEMA,
+    TraceContext,
+    build_span_tree,
+    derive_trace_id,
+    explain,
+    explain_stream,
+    iter_invocations,
+    list_trace_ids,
+    propagate,
+    verify_failovers,
+)
+from repro.obs.profiler import profile
+from repro.sim.trace import merge_span_streams
+
+#: the explain-smoke shape: one cell, one forced crash, chaos mix on
+SMOKE = dict(hosts=4, fault_rate=0.12, crash_hosts=1, rate_per_s=4.0)
+
+
+def _cell(seed: int = 1, **kw):
+    with use_registry(MetricsRegistry()):
+        return run_fleet_cell(0, seed, **{**SMOKE, **kw, "otrace": True})
+
+
+@pytest.fixture(scope="module")
+def crashy():
+    """One traced chaos cell with real failover hops, plus its artifact."""
+    row = _cell(seed=1)
+    doc = {
+        "schema": TRACE_SCHEMA,
+        "seed": 1,
+        "cells": [row["otrace"]],
+    }
+    return row, doc
+
+
+class TestTraceIds:
+    def test_deterministic(self):
+        assert derive_trace_id(7, 0, 3) == derive_trace_id(7, 0, 3)
+        assert len(derive_trace_id(7, 0, 3)) == 16
+
+    def test_distinct_across_seed_cell_index(self):
+        ids = {
+            derive_trace_id(s, c, i)
+            for s in (0, 1)
+            for c in (0, 1)
+            for i in (0, 1, 2)
+        }
+        assert len(ids) == 12
+
+    def test_every_outcome_has_unique_id(self, crashy):
+        row, _doc = crashy
+        records = row["otrace"]["invocations"]
+        ids = [r["trace_id"] for r in records]
+        assert len(set(ids)) == len(ids) == row["invocations"]
+        for r in records:
+            assert r["trace_id"] == derive_trace_id(1, 0, r["index"])
+
+
+class TestPropagate:
+    class _FakeTracer:
+        def __init__(self):
+            self.context = None
+            self.seen = []
+
+    def test_context_active_only_inside_frame(self):
+        tracer = self._FakeTracer()
+        ctx = TraceContext(trace_id="abc")
+
+        def gen():
+            tracer.seen.append(tracer.context)
+            got = yield "first"
+            tracer.seen.append(tracer.context)
+            return got
+
+        wrapped = propagate(tracer, ctx, gen())
+        item = wrapped.send(None)
+        assert item == "first"
+        # suspended: previous context (None) restored
+        assert tracer.context is None
+        with pytest.raises(StopIteration) as stop:
+            wrapped.send("value")
+        assert stop.value.value == "value"
+        assert tracer.seen == [ctx, ctx]
+
+    def test_throw_is_forwarded(self):
+        tracer = self._FakeTracer()
+        ctx = TraceContext(trace_id="abc")
+
+        def gen():
+            try:
+                yield "x"
+            except KeyError:
+                tracer.seen.append(tracer.context)
+                return "handled"
+
+        wrapped = propagate(tracer, ctx, gen())
+        wrapped.send(None)
+        with pytest.raises(StopIteration) as stop:
+            wrapped.throw(KeyError("boom"))
+        assert stop.value.value == "handled"
+        assert tracer.seen == [ctx]
+
+    def test_nested_contexts_restore(self):
+        tracer = self._FakeTracer()
+        outer = TraceContext(trace_id="outer")
+        tracer.context = outer
+
+        def gen():
+            yield "x"
+
+        wrapped = propagate(tracer, TraceContext(trace_id="inner"), gen())
+        wrapped.send(None)
+        assert tracer.context is outer
+
+
+class TestSpanTree:
+    def test_containment_nesting(self):
+        spans = [
+            ("parent", "a", "t", 0.0, 10.0, {}),
+            ("child", "b", "t", 1.0, 4.0, {}),
+            ("grandchild", "c", "t", 2.0, 3.0, {}),
+            ("sibling", "b", "t", 5.0, 9.0, {}),
+            ("next-root", "a", "t", 11.0, 12.0, {}),
+        ]
+        roots = build_span_tree(spans)
+        assert [r.name for r in roots] == ["parent", "next-root"]
+        parent = roots[0]
+        assert [c.name for c in parent.children] == ["child", "sibling"]
+        assert parent.children[0].children[0].name == "grandchild"
+
+
+class TestExplain:
+    def test_every_invocation_explains(self, crashy):
+        row, doc = crashy
+        for _cell_entry, inv in iter_invocations(doc):
+            exp = explain(doc, inv["trace_id"])
+            assert exp.roots, f"no spans for {inv['trace_id']}"
+            # the root invocation span covers arrival -> terminal
+            top = [n for n in exp.spans if n.category == "fleet.invocation"]
+            assert len(top) == 1
+            assert top[0].start == pytest.approx(inv["arrival_ms"], abs=1e-6)
+            assert top[0].end == pytest.approx(inv["end_ms"], abs=1e-6)
+
+    def test_unknown_trace_id_raises(self, crashy):
+        _row, doc = crashy
+        with pytest.raises(KeyError):
+            explain(doc, "no-such-trace")
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_invocations({"schema": "bogus", "cells": []}))
+
+    def test_failed_over_chains_resolve(self, crashy):
+        row, doc = crashy
+        failed_over = [
+            r for r in row["otrace"]["invocations"] if r["failovers"] > 0
+        ]
+        assert failed_over, "smoke shape must produce failovers"
+        assert verify_failovers(doc) == []
+        for rec in failed_over:
+            exp = explain(doc, rec["trace_id"])
+            hops = exp.hops()
+            assert len(hops) >= rec["failovers"] + (
+                1 if not rec["failed"] else 0
+            )
+            assert any(
+                h.get("outcome") == "failover" or "crashed_host" in h
+                for h in hops
+            ) or exp.faults
+
+    def test_verify_catches_missing_spans(self, crashy):
+        row, _doc = crashy
+        cell = dict(row["otrace"])
+        cell["stream"] = {"spans": [], "instants": []}
+        broken = {"schema": TRACE_SCHEMA, "seed": 1, "cells": [cell]}
+        problems = verify_failovers(broken)
+        assert problems and "no spans" in problems[0]
+
+    def test_list_trace_ids_sorted(self, crashy):
+        _row, doc = crashy
+        rows = list_trace_ids(doc)
+        assert [r["index"] for r in rows] == sorted(r["index"] for r in rows)
+        assert all("cell" in r for r in rows)
+
+    def test_render_mentions_chain_and_faults(self, crashy):
+        row, doc = crashy
+        rec = next(
+            r for r in row["otrace"]["invocations"] if r["failovers"] > 0
+        )
+        text = explain(doc, rec["trace_id"]).render()
+        assert rec["trace_id"] in text
+        assert "causal chain:" in text
+        assert "phase split" in text
+
+    def test_phase_split_buckets(self, crashy):
+        row, doc = crashy
+        cold = next(
+            r
+            for r in row["otrace"]["invocations"]
+            if r["cold"] and not r["failed"] and not r["restored"]
+        )
+        split = explain(doc, cold["trace_id"]).phase_split()
+        assert split.get("psp.exec", 0.0) > 0.0
+        assert any(k.startswith("boot.") for k in split)
+
+    def test_restored_invocation_has_crypto_or_network(self, crashy):
+        row, doc = crashy
+        restored = [
+            r for r in row["otrace"]["invocations"] if r["restored"]
+        ]
+        assert restored, "smoke shape must produce restores"
+        split = explain(doc, restored[0]["trace_id"]).phase_split()
+        assert split.get("crypto", 0.0) > 0.0 or split.get("network", 0.0) > 0.0
+
+
+class TestPhaseSumsMatchProfiler:
+    def test_within_one_percent(self, crashy):
+        """Explain's per-boot phase totals agree with the boot profiler
+        (same spans, independent reconstruction)."""
+        row, doc = crashy
+        stream = row["otrace"]["stream"]
+        merged = merge_span_streams(
+            [stream], offsets="overlay", track_prefix=None
+        )
+        prof = profile(merged)
+        checked = 0
+        for _cell_entry, inv in iter_invocations(doc):
+            exp = explain(doc, inv["trace_id"])
+            for track in exp.boot_tracks():
+                if track not in prof.vms:
+                    continue
+                prof_phases = prof.vm(track).phase_ms()
+                exp_phases = {
+                    name: ms
+                    for name, ms in (
+                        (n.name, n.total_ms)
+                        for n in exp.spans
+                        if n.category == "boot.phase" and n.track == track
+                    )
+                }
+                # fold duplicates (a track's phases within one boot)
+                folded: dict[str, float] = {}
+                for n in exp.spans:
+                    if n.category == "boot.phase" and n.track == track:
+                        folded[n.name] = folded.get(n.name, 0.0) + n.total_ms
+                exp_phases = folded
+                for name, ms in exp_phases.items():
+                    assert prof_phases[name] == pytest.approx(ms, rel=0.01)
+                checked += 1
+        assert checked > 0
+
+
+class TestByteIdentity:
+    def test_tracing_off_rows_identical(self):
+        """otrace=True changes nothing but the otrace block itself."""
+        with use_registry(MetricsRegistry()):
+            plain = run_fleet_cell(0, 1, **SMOKE)
+        traced = _cell(seed=1)
+        traced = dict(traced)
+        traced.pop("otrace")
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            traced, sort_keys=True
+        )
+
+    def test_stream_carries_cell_labels(self, crashy):
+        row, _doc = crashy
+        assert row["otrace"]["stream"]["labels"] == {"cell": "0", "seed": "1"}
+
+    def test_merge_folds_labels_into_spans(self, crashy):
+        row, _doc = crashy
+        merged = merge_span_streams([row["otrace"]["stream"]])
+        assert merged.spans
+        assert all(s.args.get("cell") == "0" for s in merged.spans)
+
+
+class TestArtifactAssembly:
+    def test_fleet_trace_doc_shape(self, crashy):
+        row, _doc = crashy
+        doc = fleet_trace_doc({"seed": 1, "cells_detail": [row]})
+        assert doc["schema"] == TRACE_SCHEMA
+        assert len(doc["cells"]) == 1
+        assert doc["cells"][0]["invocations"]
+
+    def test_explain_stream_ignores_other_traces(self, crashy):
+        row, _doc = crashy
+        stream = row["otrace"]["stream"]
+        records = row["otrace"]["invocations"]
+        a, b = records[0], records[1]
+        exp = explain_stream(stream, a["trace_id"], a)
+        for node in exp.spans:
+            assert node.args.get("trace_id") == a["trace_id"]
+        assert b["trace_id"] not in {
+            n.args.get("trace_id") for n in exp.spans
+        }
