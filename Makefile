@@ -4,7 +4,7 @@ PY ?= python3
 
 .PHONY: install test bench examples report trace-smoke perfbench chaos \
 	obs-smoke regress parallel-smoke restore-smoke engine-bench \
-	fleet fleet-smoke explain-smoke all
+	attest-bench fleet fleet-smoke explain-smoke all
 
 install:
 	$(PY) setup.py develop
@@ -37,6 +37,14 @@ perfbench:
 # dispatch-count/clock parity check as the exit status.
 engine-bench:
 	PYTHONPATH=src $(PY) benchmarks/enginebench.py
+
+# Guest-owner attestation verify throughput: the batched
+# VerifierService vs per-report serial verification over one mixed
+# report stream (several chips, repeat tenants, forged reports,
+# tampered chains).  Exit status gates on identical verdicts and
+# batched >= 3x serial reports/s.
+attest-bench:
+	PYTHONPATH=src $(PY) benchmarks/attestbench.py
 
 # Sharded-runner smoke: the parallel test package (serial == parallel,
 # bit for bit) plus a 2-worker fleet and chaos sweep through the CLI.

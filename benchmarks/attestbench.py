@@ -1,0 +1,246 @@
+"""Guest-owner attestation verification throughput (`make attest-bench`).
+
+Times the owner-side verify path — wall-clock, like ``perfbench`` — in
+the two deployments ROADMAP item 4 contrasts:
+
+- **serial**: the paper's §6.1 attestation server, reproduced honestly:
+  every report pays a full ARK→ASK→VCEK chain walk plus a scalar report
+  verify, with vectorization and content-addressed caches disabled
+  (:func:`repro.sev.verifier.verify_report_serial`);
+- **batched**: the :class:`repro.sev.verifier.VerifierService` — a
+  batching window amortizes the precomputed ECDSA tables across the
+  batch (:func:`repro.crypto.ecdsa.verify_batch`), each distinct VCEK
+  chain is walked once, and repeat tenants resume session tickets.
+
+The two runs must produce **byte-identical verdicts** over the same
+report stream (including pinpointing every forged report) — throughput
+is only comparable at equal answers, and the identity is asserted, not
+sampled.  The stream mixes several chips, repeat tenants, forged report
+signatures, and tampered chains, so every code path (walk, amortized,
+ticket, both rejection kinds) is exercised.
+
+Standalone run (writes nothing; exit status gates on the acceptance
+criterion, batched >= 3x serial reports/s at identical verdicts)::
+
+    PYTHONPATH=src python benchmarks/attestbench.py [--reports N]
+
+``perfbench`` embeds the same series as ``workloads.attest_throughput``
+in ``BENCH_wallclock.json``, where ``repro regress`` holds the 3x floor
+(``ATTEST_SPEEDUP_FLOOR``) ratchet-style across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from repro import perf  # noqa: E402
+from repro.crypto import ecdsa  # noqa: E402
+from repro.hw.costmodel import DEFAULT_COST_MODEL  # noqa: E402
+from repro.sev.attestation import AttestationReport  # noqa: E402
+from repro.sev.certchain import AmdKeyHierarchy  # noqa: E402
+from repro.sev.verifier import VerifierService, verify_report_serial  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+ATTEST_REPORTS = 160
+ATTEST_CHIPS = 4
+ATTEST_TENANTS = 3
+#: every Nth report carries a forged signature; every Mth a bad chain
+FORGE_EVERY = 16
+TAMPER_EVERY = 40
+
+ACCEPT_SPEEDUP = 3.0
+
+
+def build_request_stream(
+    reports: int = ATTEST_REPORTS,
+    chips: int = ATTEST_CHIPS,
+    tenants: int = ATTEST_TENANTS,
+) -> tuple[list[tuple[AttestationReport, tuple, str]], object]:
+    """(requests, trusted_ark) — a deterministic mixed report stream.
+
+    Requests cycle over ``chips`` distinct VCEK chains and ``tenants``
+    tenant identities.  Every ``FORGE_EVERY``-th report is signed by the
+    wrong key (rejected as ``report-signature``); every
+    ``TAMPER_EVERY``-th presents a truncated chain (rejected as
+    ``chain:length``).  Both verifiers must agree on every one.
+    """
+    hierarchies = [
+        AmdKeyHierarchy.generate(b"attest-bench-chip-%02d" % i)
+        for i in range(chips)
+    ]
+    trusted_ark = hierarchies[0].ark_key.public
+    forger = ecdsa.SigningKey.from_seed(b"attest-bench-forger")
+    requests: list[tuple[AttestationReport, tuple, str]] = []
+    for i in range(reports):
+        hierarchy = hierarchies[i % chips]
+        forged = FORGE_EVERY > 0 and i % FORGE_EVERY == FORGE_EVERY - 1
+        signer = forger if forged else hierarchy.vcek_key
+        report = AttestationReport.sign(
+            signing_key=signer,
+            policy=b"\x00\x00\x00\x01",
+            measurement=bytes([i % 251]) * 48,
+            report_data=(b"attest-bench-%04d" % i).ljust(64, b"\x00"),
+            chip_id=bytes([i % chips]) * 32,
+        )
+        chain = hierarchy.chain
+        if TAMPER_EVERY > 0 and i % TAMPER_EVERY == TAMPER_EVERY - 2:
+            chain = chain[:2]  # truncated: fails the walk as chain:length
+        requests.append((report, chain, f"tenant-{i % tenants}"))
+    return requests, trusted_ark
+
+
+def _run_serial(requests, trusted_ark) -> tuple[list, float, float]:
+    """(verdicts, wall_s, virtual_ms) for the per-report serial path."""
+    sim = Simulator()
+    verdicts: list = [None] * len(requests)
+
+    def owner():
+        for i, (report, chain, _tenant) in enumerate(requests):
+            verdicts[i] = yield from verify_report_serial(
+                sim, report, chain, trusted_ark, cost=DEFAULT_COST_MODEL
+            )
+
+    sim.process(owner(), name="serial-owner")
+    start = time.perf_counter()
+    sim.run()
+    wall_s = time.perf_counter() - start
+    return verdicts, wall_s, sim.now
+
+
+def _run_batched(
+    requests, trusted_ark, *, workers: int, batch_window_ms: float,
+    max_batch: int,
+) -> tuple[list, float, float, VerifierService]:
+    """(verdicts, wall_s, virtual_ms, service) for the batched service."""
+    sim = Simulator()
+    service = VerifierService(
+        sim,
+        trusted_ark,
+        cost=DEFAULT_COST_MODEL,
+        workers=workers,
+        batch_window_ms=batch_window_ms,
+        max_batch=max_batch,
+    )
+    verdicts: list = [None] * len(requests)
+
+    def requester(i, report, chain, tenant):
+        verdicts[i] = yield from service.verify(report, chain, tenant=tenant)
+
+    for i, (report, chain, tenant) in enumerate(requests):
+        sim.process(requester(i, report, chain, tenant), name=f"req-{i}")
+    start = time.perf_counter()
+    sim.run()
+    wall_s = time.perf_counter() - start
+    return verdicts, wall_s, sim.now, service
+
+
+def run_attest_throughput(
+    reports: int = ATTEST_REPORTS,
+    *,
+    chips: int = ATTEST_CHIPS,
+    tenants: int = ATTEST_TENANTS,
+    workers: int = 2,
+    batch_window_ms: float = 2.0,
+    max_batch: int = 32,
+) -> dict:
+    """The ``attest_throughput`` series: serial vs batched, one stream.
+
+    Serial runs in the pre-service configuration (no vectorized crypto,
+    no content-addressed caches — the honest reference cost); batched
+    runs with the accelerations on, since sharing precomputed tables
+    *is* the optimization being measured.  Verdict identity between the
+    two is asserted.
+    """
+    requests, trusted_ark = build_request_stream(reports, chips, tenants)
+
+    with perf.scoped(vectorized=False, caches=False):
+        perf.clear_all_caches()
+        serial_verdicts, serial_wall_s, serial_virtual_ms = _run_serial(
+            requests, trusted_ark
+        )
+    with perf.scoped(vectorized=True, caches=True):
+        perf.clear_all_caches()
+        batched_verdicts, batched_wall_s, batched_virtual_ms, service = (
+            _run_batched(
+                requests,
+                trusted_ark,
+                workers=workers,
+                batch_window_ms=batch_window_ms,
+                max_batch=max_batch,
+            )
+        )
+
+    serial_answers = [(v.accepted, v.reason) for v in serial_verdicts]
+    batched_answers = [(v.accepted, v.reason) for v in batched_verdicts]
+    assert serial_answers == batched_answers, (
+        "batched verifier disagrees with serial verification: "
+        + str(
+            [
+                (i, s, b)
+                for i, (s, b) in enumerate(
+                    zip(serial_answers, batched_answers)
+                )
+                if s != b
+            ][:5]
+        )
+    )
+    rejected = sum(1 for accepted, _ in serial_answers if not accepted)
+    resumed = sum(1 for v in batched_verdicts if v.resumed)
+    return {
+        "reports": reports,
+        "chips": chips,
+        "tenants": tenants,
+        "verifier_workers": workers,
+        "batch_window_ms": batch_window_ms,
+        "max_batch": max_batch,
+        "rejected": rejected,
+        "tickets_resumed": resumed,
+        "chain_walks": service.proven_chains,
+        "serial_reports_s": round(reports / serial_wall_s, 1),
+        "batched_reports_s": round(reports / batched_wall_s, 1),
+        "speedup": round(serial_wall_s / batched_wall_s, 2),
+        "serial_virtual_ms": round(serial_virtual_ms, 3),
+        "batched_virtual_ms": round(batched_virtual_ms, 3),
+        "virtual_speedup": round(serial_virtual_ms / batched_virtual_ms, 2),
+        "verdicts_identical": True,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reports", type=int, default=ATTEST_REPORTS)
+    parser.add_argument("--chips", type=int, default=ATTEST_CHIPS)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batch-window-ms", type=float, default=2.0)
+    parser.add_argument("--max-batch", type=int, default=32)
+    args = parser.parse_args(argv)
+
+    row = run_attest_throughput(
+        args.reports,
+        chips=args.chips,
+        workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+    )
+    print(
+        f"attest {row['reports']} reports ({row['chips']} chips, "
+        f"{row['rejected']} rejected, {row['tickets_resumed']} resumed): "
+        f"{row['serial_reports_s']:>8.1f} -> {row['batched_reports_s']:>8.1f}"
+        f" reports/s  ({row['speedup']}x wall, "
+        f"{row['virtual_speedup']}x virtual)"
+    )
+    ok = row["verdicts_identical"] and row["speedup"] >= ACCEPT_SPEEDUP
+    print(
+        f"acceptance (verdicts identical, batched >= {ACCEPT_SPEEDUP:.0f}x "
+        f"serial): {'PASS' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

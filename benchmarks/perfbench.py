@@ -9,8 +9,11 @@ Times the simulator itself — not the simulated hardware — in two modes:
 Workloads: the memenc bulk-encryption microbench (MB/s), the engine
 event-loop microbench (events/s through a contended resource), the
 Fig. 9 100-boot sequential fleet (boots/s) — serial *and* sharded across
-``--workers`` processes via :mod:`repro.parallel` — and the Fig. 12
-concurrent fleet (boots/s; a single simulation, inherently serial).
+``--workers`` processes via :mod:`repro.parallel` — the Fig. 12
+concurrent fleet (boots/s; a single simulation, inherently serial), and
+the guest-owner attestation verify path (reports/s, batched
+:class:`repro.sev.verifier.VerifierService` vs per-report serial
+verification, identical verdicts asserted — see ``attestbench``).
 Launch digests are asserted byte-identical between modes and worker
 counts — neither the perf layer nor the process pool may be visible in
 any output byte.
@@ -309,6 +312,11 @@ def run(
         "restore_digest_ok": restore_bulk["restore_digest_ok"],
     }
 
+    # -- attestation: batched guest-owner verify path vs serial ------------
+    from attestbench import run_attest_throughput
+
+    report["workloads"]["attest_throughput"] = run_attest_throughput()
+
     # -- Fig. 12: concurrent fleet ----------------------------------------
     with perf.scoped(vectorized=False, caches=False):
         slow_rate12, slow_d12 = _fig12_fleet(max(2, fig12_guests // 4))
@@ -388,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
     fig9p = report["workloads"]["fig9_parallel"]
     fig9r = report["workloads"]["fig9_restore"]
     sless = report["workloads"]["serverless_restore"]
+    attest = report["workloads"]["attest_throughput"]
     fig12 = report["workloads"]["fig12_concurrent"]
     print(f"wrote {OUT_PATH}")
     for mode, row in memenc.items():
@@ -420,6 +429,11 @@ def main(argv: list[str] | None = None) -> int:
         f"(hit rate {sless['restore_hit_rate']:.2f})"
     )
     print(
+        f"attest batched    {attest['serial_reports_s']:>7.1f} -> "
+        f"{attest['batched_reports_s']:>7.1f} reports/s  "
+        f"({attest['speedup']}x wall, {attest['virtual_speedup']}x virtual)"
+    )
+    print(
         f"fig12  concurrent {fig12['slow_boots_s']:>7.2f} -> {fig12['fast_boots_s']:>7.2f}"
         f" boots/s  ({fig12['speedup']}x)"
     )
@@ -437,6 +451,12 @@ def main(argv: list[str] | None = None) -> int:
         f"{'PASS' if restore_ok else 'FAIL'}"
     )
     ok = ok and restore_ok
+    attest_ok = attest["verdicts_identical"] and attest["speedup"] >= 3.0
+    print(
+        "acceptance (attest: verdicts identical, batched >= 3x serial): "
+        f"{'PASS' if attest_ok else 'FAIL'}"
+    )
+    ok = ok and attest_ok
     fleet = report["workloads"]["fleet"]
     print(
         f"fleet  {fleet['cells']}x{fleet['hosts']} hosts "

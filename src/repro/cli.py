@@ -286,6 +286,8 @@ def _cmd_serverless_bulk(args: argparse.Namespace) -> int:
         horizon_s=args.horizon_s,
         rate_per_s=args.rate,
         restore=args.restore,
+        verifier_window_ms=args.verifier_window,
+        verifier_workers=args.verifier_workers,
     )
     rows = [
         ["segments", str(report["segments"])],
@@ -499,6 +501,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         keepalive_ms=args.keepalive_ms,
         crash_hosts=args.crash_hosts,
         otrace=bool(trace_out),
+        verifier_window_ms=args.verifier_window,
+        verifier_workers=args.verifier_workers,
     )
     if trace_out:
         from repro.fleet.experiment import fleet_trace_doc, strip_otrace
@@ -1109,6 +1113,16 @@ def build_parser() -> argparse.ArgumentParser:
         "store (CoW restore + re-attestation); exit status gates on "
         "restore hit rate and digest correctness",
     )
+    serverless.add_argument(
+        "--verifier-window", type=float, default=None, dest="verifier_window",
+        help="with --bulk --restore: route re-attestation chain proofs "
+        "through a batched verifier service with this batching window "
+        "(ms); default keeps the standalone per-report exchange",
+    )
+    serverless.add_argument(
+        "--verifier-workers", type=int, default=1, dest="verifier_workers",
+        help="concurrent batch workers in the verifier service",
+    )
     serverless.add_argument("--out", help="also write the --bulk report JSON here")
     serverless.set_defaults(func=_cmd_serverless)
 
@@ -1188,6 +1202,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes, one cell per unit "
         "(results are identical for any value)",
+    )
+    fleet.add_argument(
+        "--verifier-window", type=float, default=None, dest="verifier_window",
+        help="attach one batched guest-owner verifier service per cell "
+        "with this batching window (ms); re-attestations queue there "
+        "instead of paying the per-report chain walk",
+    )
+    fleet.add_argument(
+        "--verifier-workers", type=int, default=1, dest="verifier_workers",
+        help="concurrent batch workers per cell verifier",
     )
     fleet.add_argument("--out", default=None)
     fleet.add_argument(

@@ -210,6 +210,9 @@ class FleetController:
         crash_hosts: int = 0,
         tenant: str = "fleet",
         otrace_seed: Optional[int] = None,
+        verifier_window_ms: Optional[float] = None,
+        verifier_workers: int = 1,
+        verifier_max_batch: int = 32,
     ):
         if hosts < 1:
             raise ValueError("a fleet needs at least one host")
@@ -242,8 +245,31 @@ class FleetController:
         self._snapshotted: set[str] = set()
         self._running = False
         self._horizon_ms = 0.0
+        #: cell-shared guest-owner verification service (opt-in): every
+        #: host's re-attestation chain proof queues here, contended like
+        #: the PSP, and amortized across the whole cell's chains/tenants
+        self.verifier = None
+        self._verifier_opts = (
+            (verifier_window_ms, verifier_workers, verifier_max_batch)
+            if verifier_window_ms is not None
+            else None
+        )
         for _ in range(hosts):
             self.create_host()
+        if self._verifier_opts is not None:
+            from repro.sev.verifier import VerifierService
+
+            window, workers, max_batch = self._verifier_opts
+            # One trusted AMD root for the whole fleet: ARK/ASK are
+            # product-line keys, only the VCEK is chip-unique.
+            self.verifier = VerifierService(
+                sim,
+                self.hosts[0].machine.psp.key_hierarchy.ark_key.public,
+                workers=workers,
+                batch_window_ms=window,
+                max_batch=max_batch,
+                label=f"c{cell}",
+            )
         # Seed the image snapshot onto the first hosts' stores — the
         # provider's pre-publication.  Everyone else earns it after
         # their first clean full boot.
@@ -524,7 +550,7 @@ class FleetController:
                 target.store.put(self._snapshot)
             owner = target.owner(self._snapshot.launch_digest, b"fleet-secret")
             yield from target.restore_snapshot(
-                self._digest, owner, tenant=self.tenant
+                self._digest, owner, tenant=self.tenant, verifier=self.verifier
             )
         except (Interrupt, SnapshotError, SevLaunchError):
             # best-effort: a failed pre-warm just means a cold start later
@@ -635,7 +661,10 @@ class FleetController:
                 )
                 try:
                     outcome = yield from host.restore_snapshot(
-                        self._digest, owner, tenant=self.tenant
+                        self._digest,
+                        owner,
+                        tenant=self.tenant,
+                        verifier=self.verifier,
                     )
                 except (SnapshotError, SevLaunchError) as exc:
                     registry.counter(

@@ -101,6 +101,8 @@ def run_fleet_cell(
     crash_hosts: int = 0,
     asid_capacity: Optional[int] = None,
     otrace: bool = False,
+    verifier_window_ms: Optional[float] = None,
+    verifier_workers: int = 1,
 ) -> dict[str, Any]:
     """One fleet cell at one fault rate; returns the JSON-safe row.
 
@@ -143,6 +145,8 @@ def run_fleet_cell(
         boot_retry=BOOT_RETRY,
         crash_hosts=crash_hosts,
         otrace_seed=seed if otrace else None,
+        verifier_window_ms=verifier_window_ms,
+        verifier_workers=verifier_workers,
     )
     if asid_capacity is not None:
         for host in controller.hosts:
@@ -299,6 +303,8 @@ def run_fleet(
     keepalive_ms: float = 4000.0,
     crash_hosts: int = 0,
     otrace: bool = False,
+    verifier_window_ms: Optional[float] = None,
+    verifier_workers: int = 1,
 ) -> dict[str, Any]:
     """Run ``cells`` independent fleet cells, sharded; exact aggregate.
 
@@ -323,6 +329,8 @@ def run_fleet(
         "keepalive_ms": keepalive_ms,
         "crash_hosts": crash_hosts,
         "otrace": otrace,
+        "verifier_window_ms": verifier_window_ms,
+        "verifier_workers": verifier_workers,
     }
     run = run_sharded(
         fleet_unit,

@@ -231,10 +231,14 @@ class SimHost:
         return result
 
     def restore_snapshot(
-        self, digest: bytes, owner, *, tenant: str = "fleet"
+        self, digest: bytes, owner, *, tenant: str = "fleet", verifier=None
     ) -> Generator:
         """Restore ``digest`` from this host's store (lookup -> CoW ->
-        re-attestation).  Process value: RestoreOutcome."""
+        re-attestation).  Process value: RestoreOutcome.
+
+        ``verifier`` routes the re-attestation chain proof through a
+        (typically cell-shared) :class:`repro.sev.verifier.VerifierService`
+        instead of the local per-report walk."""
         from repro.serverless.snapshots import restore_from_store
 
         outcome = yield from restore_from_store(
@@ -244,6 +248,7 @@ class SimHost:
             owner,
             tenant=tenant,
             sessions=self.sessions,
+            verifier=verifier,
         )
         self.restores += 1
         return outcome

@@ -128,6 +128,20 @@ class CostModel:
     #: handshake (session resumption, e-vTPM §5 / SNPGuard §IV).
     reattest_resume_ms: float = 12.0
 
+    # -- guest-owner verification service (repro.sev.verifier) ---------------
+    #: Scalar ECDSA verify of one report on the owner's CPU (two point
+    #: multiplications; the serial per-report baseline).
+    report_verify_ms: float = 1.4
+    #: Per-report verify cost inside a batch: the batch shares the
+    #: precomputed windowed base-point tables and the per-key comb, so
+    #: each report pays roughly one interleaved ladder's marginal work.
+    report_verify_batched_ms: float = 0.35
+    #: Fixed per-batch cost of a service step (request framing, table
+    #: residency, response fan-out) — amortized across the batch.
+    verify_batch_overhead_ms: float = 0.6
+    #: Session-resumption ticket check: one MAC, no ECDSA at all.
+    ticket_verify_ms: float = 0.05
+
     # -- snapshot restore (§7.1) ----------------------------------------------
     #: Content-addressed snapshot-store lookup (index probe + metadata
     #: read; the page payload is charged separately by the restore path).

@@ -214,6 +214,12 @@ def compare_documents(
 #: never fall below this — the 10x-path win is a ratchet, not a trend.
 ENGINE_EVENTS_FLOOR = 3 * 704_837.0
 
+#: the batched guest-owner verify path's acceptance floor (ISSUE 10):
+#: batched verification must stay >= 3x serial reports/s at identical
+#: verdicts.  Wall-clock rates drift with the machine; the *ratio* is
+#: machine-relative and ratchets like the engine floor.
+ATTEST_SPEEDUP_FLOOR = 3.0
+
 #: fleet failover success may drift within its band but never below
 #: this — the ISSUE 8 acceptance criterion, ratcheted like the engine
 #: floor (a chaos run that strands work on dead hosts is a regression
@@ -238,6 +244,16 @@ WALLCLOCK_RULES: tuple[Rule, ...] = (
     ("workloads.*.parallel_speedup", Tolerance(rel=0.75, direction="higher_is_better")),
     ("workloads.*.parallel_boots_s", Tolerance(rel=0.75, direction="higher_is_better")),
     ("workloads.*.elapsed_s", None),
+    # the attestation verify series: the serial/batched wall-clock ratio
+    # carries the acceptance floor; the raw rates get the generous
+    # machine-to-machine bands; virtual-time leaves are deterministic
+    # (jitter 0) so their bands are tight; counts are run configuration
+    ("workloads.attest_throughput.speedup", Tolerance(rel=0.5, direction="higher_is_better", floor=ATTEST_SPEEDUP_FLOOR)),
+    ("workloads.attest_throughput.virtual_speedup", Tolerance(rel=0.05, direction="higher_is_better")),
+    ("workloads.attest_throughput.*_reports_s", Tolerance(rel=0.5, direction="higher_is_better")),
+    ("workloads.attest_throughput.*_virtual_ms", Tolerance(rel=0.05, direction="lower_is_better")),
+    ("workloads.attest_throughput.rejected", Tolerance(rel=0.0, abs_tol=0.0)),
+    ("workloads.attest_throughput.*", None),
     # the restore series: wall-clock rates get the usual generous bands;
     # the *virtual*-time restore/boot latencies are seed-driven and vary
     # only through sample composition, so their bands are tight

@@ -233,6 +233,8 @@ def fleet_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
         crash_hosts=payload.get("crash_hosts", 0),
         asid_capacity=payload.get("asid_capacity"),
         otrace=payload.get("otrace", False),
+        verifier_window_ms=payload.get("verifier_window_ms"),
+        verifier_workers=payload.get("verifier_workers", 1),
     )
 
 

@@ -223,6 +223,18 @@ class LRUCache:
         self._data.clear()
         self._weight = 0
 
+    def resize(self, capacity: int) -> None:
+        """Re-bound the cache, evicting LRU entries if it shrank.
+
+        Capacity is operational tuning (a fleet with more distinct chips
+        than the default hierarchy-cache capacity would thrash), so it
+        is adjustable at runtime without losing the hot entries.
+        """
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._evict()
+
     def __len__(self) -> int:
         return len(self._data)
 

@@ -89,6 +89,18 @@ def bulk_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
         # so in-platform restores resume the tenant's session.
         sessions.establish("bulk", machine.psp.chip_id, snapshot.image_digest)
 
+        verifier = None
+        window = payload.get("verifier_window_ms")
+        if window is not None:
+            from repro.sev.verifier import VerifierService
+
+            verifier = VerifierService(
+                machine.sim,
+                machine.psp.key_hierarchy.ark_key.public,
+                workers=payload.get("verifier_workers", 1),
+                batch_window_ms=window,
+            )
+
         def restore_factory():
             outcome = yield from restore_from_store(
                 machine,
@@ -97,6 +109,7 @@ def bulk_unit(index: int, seed: int, payload: dict) -> dict[str, Any]:
                 owner,
                 tenant="bulk",
                 sessions=sessions,
+                verifier=verifier,
             )
             return outcome
 
@@ -157,12 +170,18 @@ def run_bulk_traffic(
     rate_per_s: float = 2.0,
     keepalive_ms: float = 4000.0,
     restore: bool = False,
+    verifier_window_ms: float | None = None,
+    verifier_workers: int = 1,
 ) -> dict[str, Any]:
     """Drive ``segments`` independent traffic segments; exact aggregate.
 
     With ``restore=True`` every segment serves repeat cold starts from a
     content-addressed snapshot store (CoW restore + re-attestation, see
     :mod:`repro.serverless.snapshots`) instead of a full launch flow.
+    ``verifier_window_ms`` additionally routes each segment's
+    re-attestation chain proofs through a per-segment batched
+    :class:`repro.sev.verifier.VerifierService` with that batching
+    window (``None`` keeps the standalone per-report exchange).
     """
     from repro.analysis.stats import percentile
     from repro.obs.metrics import default_registry
@@ -178,6 +197,8 @@ def run_bulk_traffic(
         "rate_per_s": rate_per_s,
         "keepalive_ms": keepalive_ms,
         "restore": restore,
+        "verifier_window_ms": verifier_window_ms,
+        "verifier_workers": verifier_workers,
     }
     run: ParallelResult = run_sharded(
         bulk_unit,

@@ -325,6 +325,7 @@ def reattest(
     *,
     tenant: str = "default",
     sessions: SessionCache | None = None,
+    verifier=None,
 ) -> Generator:
     """Re-attest a restored guest; process value: :class:`ReattestOutcome`.
 
@@ -339,6 +340,13 @@ def reattest(
     plus the ARK->ASK->VCEK chain walk; repeat tenants resume their
     session.  ``owner`` is a :class:`repro.sev.guestowner.GuestOwner`;
     a rejected report raises :class:`ReattestationError`.
+
+    With a :class:`repro.sev.verifier.VerifierService` passed as
+    ``verifier``, the first-contact chain walk runs *in the service*
+    (queued, batched, amortized across tenants and restores) instead of
+    charging the local :attr:`CostModel.cert_chain_verify_ms` constant —
+    the production owner-at-traffic path.  ``verifier=None`` (the
+    default) keeps the historical standalone exchange.
     """
     from repro.obs.metrics import default_registry
     from repro.sev.api import GuestSevContext, SevState
@@ -385,6 +393,41 @@ def reattest(
                     tracer.end(span)
             else:
                 yield machine.sim.timeout(cost.sample(cost.reattest_resume_ms))
+        elif verifier is not None:
+            # Full exchange through the verification service: the chain
+            # proof queues, batches, and amortizes in the service; the
+            # network round trip is unchanged.
+            if tracer is not None:
+                span = tracer.begin("verifier_verify", "crypto", track)
+                try:
+                    verdict = yield from verifier.verify(
+                        report, psp.cert_chain, tenant=tenant
+                    )
+                finally:
+                    tracer.end(span)
+            else:
+                verdict = yield from verifier.verify(
+                    report, psp.cert_chain, tenant=tenant
+                )
+            if not verdict.accepted:
+                default_registry().counter(
+                    "sev.reattest", result="rejected"
+                ).inc()
+                raise ReattestationError(
+                    f"re-attestation rejected: {verdict.reason}"
+                )
+            if tracer is not None:
+                span = tracer.begin("attestation_rtt", "network", track)
+                try:
+                    yield machine.sim.timeout(
+                        cost.sample(cost.attestation_network_ms)
+                    )
+                finally:
+                    tracer.end(span)
+            else:
+                yield machine.sim.timeout(
+                    cost.sample(cost.attestation_network_ms)
+                )
         else:
             # Full exchange: chain walk to prove the VCEK, then the
             # owner-side round trip (§6.1's attestation server).
@@ -439,6 +482,7 @@ def restore_from_store(
     policy: RestorePolicy = RestorePolicy.SEV_KEY_REUSE,
     tenant: str = "default",
     sessions: SessionCache | None = None,
+    verifier=None,
     cow: bool = True,
     touched_fraction: Optional[float] = None,
 ) -> Generator:
@@ -478,7 +522,12 @@ def restore_from_store(
     restore_track = f"{machine.label}/restore" if machine.label else "restore"
     if snapshot.sev_mode is not None:
         reat = yield from reattest(
-            machine, snapshot, owner, tenant=tenant, sessions=sessions
+            machine,
+            snapshot,
+            owner,
+            tenant=tenant,
+            sessions=sessions,
+            verifier=verifier,
         )
         if tracer is not None:
             tracer.complete(

@@ -9,6 +9,9 @@
   chip-unique key (Fig. 1 steps 5-6).
 - :mod:`repro.sev.guestowner` — the remote guest owner: validates reports
   and releases wrapped secrets (Fig. 1 steps 7-8).
+- :mod:`repro.sev.verifier` — the guest owner *at traffic*: a batched
+  verification service with chain-proof caching and session tickets
+  (see docs/ATTESTATION.md).
 """
 
 from repro.sev.policy import GuestPolicy, SevMode
@@ -20,17 +23,25 @@ from repro.sev.certchain import (
     AmdKeyHierarchy,
     Certificate,
     ChainError,
+    check_report_with_chain,
+    prove_chain,
     verify_chain,
     verify_report_with_chain,
 )
+from repro.sev.verifier import TicketStore, VerifierService, VerifyVerdict
 
 __all__ = [
     "AmdKeyHierarchy",
     "AttestationFailure",
     "Certificate",
     "ChainError",
+    "check_report_with_chain",
+    "prove_chain",
     "verify_chain",
     "verify_report_with_chain",
+    "TicketStore",
+    "VerifierService",
+    "VerifyVerdict",
     "AttestationReport",
     "GuestOwner",
     "GuestPolicy",

@@ -14,6 +14,7 @@ public key, issuer — enough to exercise every verification failure mode
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass
 
@@ -21,13 +22,54 @@ from repro import perf
 from repro.crypto import ecdsa
 from repro.sev.attestation import AttestationReport
 
+
+def _default_hierarchy_capacity() -> int:
+    raw = os.environ.get("REPRO_HIERARCHY_CACHE", "").strip()
+    try:
+        return max(1, int(raw)) if raw else 64
+    except ValueError:
+        return 64
+
+
 #: hierarchies are deterministic in the chip seed, so every Machine built
-#: on the same chip (the whole Fig. 9 fleet) shares one keygen cost
-_HIERARCHY_CACHE = perf.LRUCache("certchain.hierarchy", capacity=64)
+#: on the same chip (the whole Fig. 9 fleet) shares one keygen cost.
+#: Capacity must cover the fleet's distinct chips or keygen thrashes —
+#: tune with ``REPRO_HIERARCHY_CACHE`` or :func:`set_hierarchy_capacity`;
+#: ``cache.certchain.hierarchy.{hits,misses,evictions}`` counters on the
+#: metrics registry make thrash visible instead of silent.
+_HIERARCHY_CACHE = perf.LRUCache(
+    "certchain.hierarchy", capacity=_default_hierarchy_capacity()
+)
+
+#: proven chains, content-addressed by the chain's own bytes: a fleet's
+#: thousands of reports arrive under a handful of distinct VCEK chains,
+#: so each chain pays the three-signature walk exactly once
+_CHAIN_PROOF_CACHE = perf.LRUCache("certchain.proof", capacity=256)
+
+
+def set_hierarchy_capacity(capacity: int) -> None:
+    """Re-bound the hierarchy cache (shrinking evicts LRU chips)."""
+    _HIERARCHY_CACHE.resize(capacity)
+
+
+def hierarchy_cache_stats() -> dict[str, int]:
+    """Occupancy and hit/miss traffic of the hierarchy keygen cache."""
+    return _HIERARCHY_CACHE.stats()
 
 
 class ChainError(Exception):
-    """Certificate-chain validation failure."""
+    """Certificate-chain validation failure.
+
+    ``reason`` is a stable slug (``length`` / ``roles`` /
+    ``untrusted-root`` / ``ark-self-signature`` / ``ask-signature`` /
+    ``vcek-signature``) used as the ``sev.chain_failures{reason}``
+    metric label, so fleets can tell a truncated chain from a forged one
+    without parsing messages.
+    """
+
+    def __init__(self, message: str, reason: str = "invalid"):
+        super().__init__(message)
+        self.reason = reason
 
 
 @dataclass(frozen=True)
@@ -144,19 +186,89 @@ def verify_chain(
 ) -> ecdsa.PublicKey:
     """Validate a VCEK→ASK→ARK chain; returns the proven VCEK public key."""
     if len(chain) != 3:
-        raise ChainError(f"expected a 3-certificate chain, got {len(chain)}")
+        raise ChainError(
+            f"expected a 3-certificate chain, got {len(chain)}", "length"
+        )
     vcek, ask, ark = chain
     if (vcek.role, ask.role, ark.role) != ("vcek", "ask", "ark"):
-        raise ChainError("certificate roles out of order")
+        raise ChainError("certificate roles out of order", "roles")
     if ark.public_key != trusted_ark:
-        raise ChainError("root certificate is not the trusted AMD root")
+        raise ChainError(
+            "root certificate is not the trusted AMD root", "untrusted-root"
+        )
     if not ark.verify_signed_by(trusted_ark):
-        raise ChainError("ARK self-signature invalid")
+        raise ChainError("ARK self-signature invalid", "ark-self-signature")
     if ask.issuer != ark.subject or not ask.verify_signed_by(ark.public_key):
-        raise ChainError("ASK not signed by the ARK")
+        raise ChainError("ASK not signed by the ARK", "ask-signature")
     if vcek.issuer != ask.subject or not vcek.verify_signed_by(ask.public_key):
-        raise ChainError("VCEK not signed by the ASK")
+        raise ChainError("VCEK not signed by the ASK", "vcek-signature")
     return vcek.public_key
+
+
+def chain_bytes(
+    chain: tuple[Certificate, ...], trusted_ark: ecdsa.PublicKey
+) -> bytes:
+    """The content address of a chain *as presented to a verifier*.
+
+    Covers every byte the walk judges — each certificate's TBS and
+    signature, plus the root the verifier trusts — so two chains collide
+    only if the walk would return the identical verdict for both.
+    """
+    parts = [trusted_ark.to_bytes()]
+    for cert in chain:
+        parts.append(cert.tbs())
+        parts.append(cert.signature.to_bytes())
+    return b"".join(parts)
+
+
+def prove_chain(
+    chain: tuple[Certificate, ...], trusted_ark: ecdsa.PublicKey
+) -> ecdsa.PublicKey:
+    """:func:`verify_chain` behind the content-addressed proof cache.
+
+    Verdicts — proven VCEK key or the :class:`ChainError` reason — are
+    cached keyed by :func:`chain_bytes`, so each distinct chain pays the
+    three-ECDSA walk once and every later report under it is a lookup.
+    """
+    key = chain_bytes(chain, trusted_ark)
+    cached = _CHAIN_PROOF_CACHE.get(key)
+    if cached is not None:
+        verdict, payload = cached
+        if verdict:
+            return payload
+        raise ChainError(*payload)
+    try:
+        vcek_public = verify_chain(chain, trusted_ark)
+    except ChainError as exc:
+        _CHAIN_PROOF_CACHE.put(key, (False, (str(exc), exc.reason)))
+        raise
+    _CHAIN_PROOF_CACHE.put(key, (True, vcek_public))
+    return vcek_public
+
+
+def check_report_with_chain(
+    report: AttestationReport,
+    chain: tuple[Certificate, ...],
+    trusted_ark: ecdsa.PublicKey,
+) -> tuple[bool, str | None]:
+    """End-to-end verdict plus the rejection reason.
+
+    The reason is ``chain:<slug>`` for a chain-walk failure (also
+    counted as ``sev.chain_failures{reason}``) or ``report-signature``
+    for a bad report under a proven chain; ``None`` on acceptance.
+    """
+    from repro.obs.metrics import default_registry
+
+    try:
+        vcek_public = prove_chain(chain, trusted_ark)
+    except ChainError as exc:
+        default_registry().counter(
+            "sev.chain_failures", reason=exc.reason
+        ).inc()
+        return False, f"chain:{exc.reason}"
+    if not report.verify(vcek_public):
+        return False, "report-signature"
+    return True, None
 
 
 def verify_report_with_chain(
@@ -164,9 +276,11 @@ def verify_report_with_chain(
     chain: tuple[Certificate, ...],
     trusted_ark: ecdsa.PublicKey,
 ) -> bool:
-    """End-to-end: prove the VCEK through the chain, then check the report."""
-    try:
-        vcek_public = verify_chain(chain, trusted_ark)
-    except ChainError:
-        return False
-    return report.verify(vcek_public)
+    """End-to-end: prove the VCEK through the chain, then check the report.
+
+    Chain-walk failures are no longer swallowed into a bare ``False``:
+    the reason lands in ``sev.chain_failures{reason}`` (and callers that
+    need it programmatically use :func:`check_report_with_chain`).
+    """
+    ok, _reason = check_report_with_chain(report, chain, trusted_ark)
+    return ok

@@ -75,9 +75,9 @@ class GuestOwner:
         with AMD's tooling).  Raises
         :class:`repro.sev.certchain.ChainError` if the chain is bad.
         """
-        from repro.sev.certchain import verify_chain
+        from repro.sev.certchain import prove_chain
 
-        vcek_public = verify_chain(cert_chain, trusted_ark)
+        vcek_public = prove_chain(cert_chain, trusted_ark)
         return cls(
             trusted_vcek=vcek_public,
             expected_digest=expected_digest,

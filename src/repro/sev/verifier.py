@@ -1,0 +1,403 @@
+"""The guest-owner verification service: batched report verification.
+
+The paper's guest owner (§6.1) verifies one report at a time: walk the
+ARK→ASK→VCEK chain (three ECDSA verifies), then check the report
+signature.  That is fine for one launch; it is the bottleneck once the
+fleet drives thousands of boots and restores through re-attestation
+(ROADMAP item 4).  This module models the owner side *as a service*
+under virtual time, with the three amortizations a production verifier
+actually deploys:
+
+1. **batching** — requests queue behind a configurable batching window;
+   a worker drains up to ``max_batch`` of them in one service step whose
+   per-report cost (:attr:`CostModel.report_verify_batched_ms`) is far
+   below the scalar cost, because the batch shares the precomputed
+   ECDSA tables (:func:`repro.crypto.ecdsa.verify_batch`);
+2. **chain-proof amortization** — each distinct VCEK chain is walked
+   exactly once per service lifetime (keyed by
+   :func:`repro.sev.certchain.chain_bytes`); every later report under a
+   known chain skips the walk.  The proven-chain set is *semantic*
+   state, like :class:`~repro.serverless.snapshots.SnapshotStore`: it is
+   never gated by ``REPRO_CACHES``, so a wall-clock switch flip cannot
+   change virtual-time results;
+3. **session tickets** — after the service accepts a report for a
+   (tenant, chain) pair it issues a resumption ticket; a repeat tenant
+   presenting the *same* chain skips the walk for a cheap ticket check
+   (e-vTPM arXiv 2303.16463 §5, SNPGuard arXiv 2406.01186 §IV).
+
+Verdicts are pure functions of (report, chain, trusted root), so they
+are identical to per-report serial verification — the property test in
+``tests/sev/test_verifier.py`` and the ``attest_throughput`` perfbench
+series both pin that.  Workers contend on a FIFO
+:class:`~repro.sim.engine.Resource` exactly like launches contend on the
+PSP; one service per fleet cell is the intended deployment
+(see :class:`repro.fleet.controller.FleetController`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.crypto import ecdsa
+from repro.hw.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.obs import metrics
+from repro.sev.attestation import AttestationReport
+from repro.sev.certchain import (
+    Certificate,
+    ChainError,
+    chain_bytes,
+    prove_chain,
+    verify_chain,
+)
+from repro.sim.engine import Event, Resource, Simulator
+
+
+@dataclass(frozen=True)
+class VerifyVerdict:
+    """Terminal record of one verification request."""
+
+    accepted: bool
+    #: ``None`` on acceptance, ``chain:<slug>`` for a chain-walk failure,
+    #: ``report-signature`` for a forged report under a proven chain
+    reason: Optional[str]
+    #: served off a session-resumption ticket (no chain work at all)
+    resumed: bool
+    #: the chain verdict was amortized (proven earlier in this service's
+    #: lifetime) rather than walked for this request
+    chain_amortized: bool
+    #: submit -> service start (batching window + worker queue)
+    queue_ms: float
+    #: duration of the batch service step this request rode in
+    service_ms: float
+    #: how many requests shared that service step
+    batch_size: int
+
+
+class TicketStore:
+    """Session-resumption tickets: (tenant, chain bytes) → proven VCEK.
+
+    A ticket is issued when the service *accepts* a report for a tenant
+    under a chain; a later request from the same tenant presenting the
+    byte-identical chain resumes — the chain verdict is already known
+    good, so only the report signature needs checking.  Keying on the
+    chain bytes (not just the chip) keeps verdicts identical to serial
+    verification: any tampering with the presented chain misses the
+    ticket and pays the full walk, which then fails exactly as the
+    serial path would.
+    """
+
+    def __init__(self) -> None:
+        self._tickets: dict[tuple[str, bytes], ecdsa.PublicKey] = {}
+
+    def issue(
+        self, tenant: str, chain_key: bytes, vcek: ecdsa.PublicKey
+    ) -> None:
+        self._tickets[(tenant, chain_key)] = vcek
+
+    def lookup(
+        self, tenant: str, chain_key: bytes
+    ) -> Optional[ecdsa.PublicKey]:
+        return self._tickets.get((tenant, chain_key))
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+
+class _Pending:
+    """One queued verification request."""
+
+    __slots__ = ("report", "chain", "tenant", "done", "enqueued_at")
+
+    def __init__(
+        self,
+        report: AttestationReport,
+        chain: tuple[Certificate, ...],
+        tenant: str,
+        done: Event,
+        enqueued_at: float,
+    ):
+        self.report = report
+        self.chain = chain
+        self.tenant = tenant
+        self.done = done
+        self.enqueued_at = enqueued_at
+
+
+class VerifierService:
+    """A batched guest-owner verify path under virtual time.
+
+    ``workers`` bounds concurrent batch service steps (a FIFO resource,
+    contended like the PSP); ``batch_window_ms`` is how long a
+    non-full batch waits for company before service begins;
+    ``max_batch`` caps how many requests one service step drains.
+    ``batch_window_ms=0, max_batch=1`` degenerates to an unbatched
+    service that still amortizes chain proofs and tickets — the true
+    per-report serial baseline is :func:`verify_report_serial`.
+
+    Verdict-affecting state (the proven-chain map, the ticket store) is
+    semantic and worker-count-independent: the same request stream gets
+    the same verdicts at any ``workers`` setting; only waiting time
+    changes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trusted_ark: ecdsa.PublicKey,
+        *,
+        cost: Optional[CostModel] = None,
+        workers: int = 1,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 32,
+        tickets: Optional[TicketStore] = None,
+        name: str = "verifier",
+        label: str = "",
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be >= 0")
+        self.sim = sim
+        self.trusted_ark = trusted_ark
+        self.cost = cost if cost is not None else DEFAULT_COST_MODEL
+        self.batch_window_ms = batch_window_ms
+        self.max_batch = max_batch
+        self.name = name
+        self.resource = Resource(
+            sim,
+            capacity=workers,
+            name=name,
+            trace_name=f"{label}/{name}" if label else name,
+        )
+        self.tickets = tickets if tickets is not None else TicketStore()
+        #: semantic chain-proof map: chain bytes → (ok, VCEK | (msg, slug)).
+        #: Never gated by REPRO_CACHES — amortization is part of the
+        #: service's virtual-time behaviour, not a wall-clock lever.
+        self._proven: dict[bytes, tuple[bool, object]] = {}
+        self._queue: deque[_Pending] = deque()
+        self._wakeup: Optional[Event] = None
+        self._dispatching = False
+        self.submitted = 0
+        self.completed = 0
+        self._batch_seq = 0
+
+    # -- request intake ------------------------------------------------------
+
+    def submit(
+        self,
+        report: AttestationReport,
+        chain: tuple[Certificate, ...],
+        *,
+        tenant: str = "default",
+    ) -> Event:
+        """Enqueue one request; the returned event fires with its
+        :class:`VerifyVerdict`."""
+        done = Event(self.sim, f"{self.name}.verdict")
+        self._queue.append(
+            _Pending(report, chain, tenant, done, self.sim.now)
+        )
+        self.submitted += 1
+        if not self._dispatching:
+            self._dispatching = True
+            self.sim.process(self._dispatch(), name=f"{self.name}-dispatch")
+        elif self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return done
+
+    def verify(
+        self,
+        report: AttestationReport,
+        chain: tuple[Certificate, ...],
+        *,
+        tenant: str = "default",
+    ) -> Generator:
+        """Submit and wait; process value: :class:`VerifyVerdict`."""
+        verdict = yield self.submit(report, chain, tenant=tenant)
+        return verdict
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests enqueued but not yet picked into a batch."""
+        return len(self._queue)
+
+    @property
+    def proven_chains(self) -> int:
+        return len(self._proven)
+
+    # -- dispatch + service --------------------------------------------------
+
+    def _dispatch(self) -> Generator:
+        while True:
+            if not self._queue:
+                self._wakeup = Event(self.sim, f"{self.name}.wakeup")
+                yield self._wakeup
+                self._wakeup = None
+            # A non-full batch waits the window so company can join; a
+            # full one goes straight to a worker.
+            if self.batch_window_ms > 0 and len(self._queue) < self.max_batch:
+                yield self.sim.timeout(self.batch_window_ms)
+            take = min(len(self._queue), self.max_batch)
+            if take == 0:
+                continue
+            batch = [self._queue.popleft() for _ in range(take)]
+            self._batch_seq += 1
+            self.sim.process(
+                self._worker(batch),
+                name=f"{self.name}-batch-{self._batch_seq}",
+            )
+
+    def _worker(self, batch: list[_Pending]) -> Generator:
+        grant = yield self.resource.request()
+        try:
+            yield from self._service(batch)
+        finally:
+            self.resource.release(grant)
+
+    def _service(self, batch: list[_Pending]) -> Generator:
+        registry = metrics.default_registry()
+        start = self.sim.now
+        cost = self.cost
+        # Classify every request before charging time: the virtual cost
+        # of the batch depends only on what work the batch needs, never
+        # on wall-clock cache state.
+        new_chains: dict[bytes, tuple[Certificate, ...]] = {}
+        kinds: list[tuple[_Pending, bytes, str]] = []
+        for item in batch:
+            key = chain_bytes(item.chain, self.trusted_ark)
+            if self.tickets.lookup(item.tenant, key) is not None:
+                kind = "ticket"
+            elif key in self._proven:
+                kind = "amortized"
+            else:
+                kind = "walk"
+                new_chains.setdefault(key, item.chain)
+            kinds.append((item, key, kind))
+        service_ms = cost.verify_batch_overhead_ms
+        service_ms += len(new_chains) * cost.cert_chain_verify_ms
+        for _item, _key, kind in kinds:
+            if kind == "ticket":
+                service_ms += cost.ticket_verify_ms
+            else:
+                service_ms += cost.report_verify_batched_ms
+        yield self.sim.timeout(cost.sample(service_ms))
+        # Walk each new chain once; the verdict lands in the semantic map
+        # (prove_chain adds wall-clock caching across services — the
+        # virtual cost above was already charged from the semantic map).
+        for key, chain in new_chains.items():
+            try:
+                vcek = prove_chain(chain, self.trusted_ark)
+            except ChainError as exc:
+                self._proven[key] = (False, (str(exc), exc.reason))
+            else:
+                self._proven[key] = (True, vcek)
+            registry.counter("verifier.chain_walks").inc()
+        # Report signatures verify as one batch over the shared tables.
+        items: list[tuple[ecdsa.PublicKey, bytes, ecdsa.Signature]] = []
+        positions: list[int] = []
+        prepared: list[tuple[_Pending, str, Optional[str], object]] = []
+        for index, (item, key, kind) in enumerate(kinds):
+            if kind == "ticket":
+                vcek = self.tickets.lookup(item.tenant, key)
+            else:
+                ok, payload = self._proven[key]
+                if not ok:
+                    _msg, slug = payload
+                    registry.counter(
+                        "sev.chain_failures", reason=slug
+                    ).inc()
+                    prepared.append((item, kind, f"chain:{slug}", None))
+                    continue
+                vcek = payload
+            items.append((vcek, item.report.body(), item.report.signature))
+            positions.append(len(prepared))
+            prepared.append((item, kind, None, (key, vcek)))
+        sig_ok = ecdsa.verify_batch(items)
+        for ok, pos in zip(sig_ok, positions):
+            item, kind, _reason, extra = prepared[pos]
+            if not ok:
+                prepared[pos] = (item, kind, "report-signature", extra)
+        elapsed = self.sim.now - start
+        batch_size = len(batch)
+        registry.counter("verifier.batches").inc()
+        registry.histogram("verifier.batch_size").observe(batch_size)
+        registry.histogram("verifier.service_ms").observe(elapsed)
+        queue_hist = registry.histogram("verifier.queue_ms")
+        for item, kind, reason, extra in prepared:
+            accepted = reason is None
+            if accepted and kind != "ticket":
+                key, vcek = extra
+                self.tickets.issue(item.tenant, key, vcek)
+            if kind == "ticket":
+                registry.counter("verifier.tickets_resumed").inc()
+            elif kind == "amortized":
+                registry.counter("verifier.chain_amortized").inc()
+            registry.counter(
+                "verifier.requests",
+                outcome="accepted" if accepted else "rejected",
+            ).inc()
+            queue_ms = start - item.enqueued_at
+            queue_hist.observe(queue_ms)
+            self.completed += 1
+            item.done.succeed(
+                VerifyVerdict(
+                    accepted=accepted,
+                    reason=reason,
+                    resumed=kind == "ticket",
+                    chain_amortized=kind != "walk",
+                    queue_ms=queue_ms,
+                    service_ms=elapsed,
+                    batch_size=batch_size,
+                )
+            )
+
+
+def verify_report_serial(
+    sim: Simulator,
+    report: AttestationReport,
+    chain: tuple[Certificate, ...],
+    trusted_ark: ecdsa.PublicKey,
+    *,
+    cost: Optional[CostModel] = None,
+) -> Generator:
+    """The pre-service baseline: one full walk + scalar verify per report.
+
+    No batching, no chain amortization, no tickets — every report pays
+    :attr:`CostModel.cert_chain_verify_ms` plus
+    :attr:`CostModel.report_verify_ms`, exactly what the paper's §6.1
+    attestation server does per request.  Process value:
+    :class:`VerifyVerdict`.  The ``attest_throughput`` benchmark measures
+    this path against :class:`VerifierService` at identical verdicts.
+    """
+    cost = cost if cost is not None else DEFAULT_COST_MODEL
+    start = sim.now
+    yield sim.timeout(
+        cost.sample(cost.cert_chain_verify_ms + cost.report_verify_ms)
+    )
+    registry = metrics.default_registry()
+    try:
+        vcek = verify_chain(chain, trusted_ark)
+    except ChainError as exc:
+        registry.counter("sev.chain_failures", reason=exc.reason).inc()
+        accepted, reason = False, f"chain:{exc.reason}"
+    else:
+        if report.verify(vcek):
+            accepted, reason = True, None
+        else:
+            accepted, reason = False, "report-signature"
+    registry.counter(
+        "verifier.serial_requests",
+        outcome="accepted" if accepted else "rejected",
+    ).inc()
+    return VerifyVerdict(
+        accepted=accepted,
+        reason=reason,
+        resumed=False,
+        chain_amortized=False,
+        queue_ms=0.0,
+        service_ms=sim.now - start,
+        batch_size=1,
+    )

@@ -1,0 +1,146 @@
+"""Batch/Shamir ECDSA verification agrees exactly with the scalar path.
+
+The batched guest-owner verify path is only a *throughput* change: for
+any mix of valid and defective ``(key, message, signature)`` triples,
+:func:`repro.crypto.ecdsa.verify_batch` must accept and reject exactly
+the same items as a scalar ``verify`` loop — including pinpointing a
+single forged signature hiding in an otherwise valid batch.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.crypto.ecdsa import (
+    _COMB_THRESHOLD,
+    N,
+    Signature,
+    SigningKey,
+    verify,
+    verify_batch,
+)
+
+
+def _scalar_verdicts(items):
+    """The reference answer: the pure double-and-add ladder, uncached."""
+    with perf.scoped(vectorized=False, caches=False):
+        return [verify(public, message, sig) for public, message, sig in items]
+
+
+def _batch_verdicts(items):
+    with perf.scoped(vectorized=True, caches=True):
+        perf.clear_all_caches()
+        return verify_batch(items)
+
+
+def _make_item(seed: bytes, message: bytes, defect: str):
+    """One triple with a chosen defect (or none)."""
+    key = SigningKey.from_seed(seed)
+    sig = key.sign(message)
+    if defect == "message":
+        message = message + b"!"
+    elif defect == "signature":
+        sig = Signature(sig.r, (sig.s % (N - 2)) + 1 if sig.s != 1 else 2)
+    elif defect == "wrong-key":
+        key = SigningKey.from_seed(seed + b"-other")
+    return key.public, message, sig
+
+
+@given(
+    defects=st.lists(
+        st.sampled_from(["ok", "message", "signature", "wrong-key"]),
+        min_size=1,
+        max_size=12,
+    ),
+    keys=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_batch_matches_scalar_on_any_mix(defects, keys):
+    """Property: identical accept/reject sets for arbitrary defect mixes."""
+    items = [
+        _make_item(b"batch-key-%d" % (i % keys), b"report body %d" % i, defect)
+        for i, defect in enumerate(defects)
+    ]
+    assert _batch_verdicts(items) == _scalar_verdicts(items)
+
+
+@given(forged_at=st.integers(min_value=0, max_value=9))
+@settings(max_examples=10, deadline=None)
+def test_batch_pinpoints_single_forgery(forged_at):
+    """One forged signature in a valid batch is located, not smeared."""
+    items = [
+        _make_item(
+            b"fleet-vcek",
+            b"attestation report %d" % i,
+            "signature" if i == forged_at else "ok",
+        )
+        for i in range(10)
+    ]
+    verdicts = _batch_verdicts(items)
+    assert verdicts == [i != forged_at for i in range(10)]
+
+
+def test_batch_above_comb_threshold_matches_scalar():
+    """The comb-table path (hot key signing many items) stays exact."""
+    count = _COMB_THRESHOLD + 4
+    items = [
+        _make_item(b"hot-vcek", b"report %d" % i, "ok") for i in range(count)
+    ]
+    items[count // 2] = _make_item(b"hot-vcek", b"report x", "signature")
+    verdicts = _batch_verdicts(items)
+    assert verdicts == _scalar_verdicts(items)
+    assert verdicts.count(False) == 1
+
+
+def test_empty_batch():
+    assert verify_batch([]) == []
+
+
+def test_shamir_single_verify_matches_reference():
+    """The fast single-verify path (Shamir window) agrees with the
+    reference ladder on both accepting and rejecting inputs."""
+    key = SigningKey.from_seed(b"shamir-check")
+    good = key.sign(b"measurement")
+    bad = Signature(good.r ^ 1, good.s)
+    for sig, expected in ((good, True), (bad, False)):
+        with perf.scoped(vectorized=True, caches=False):
+            fast = verify(key.public, b"measurement", sig)
+        with perf.scoped(vectorized=False, caches=False):
+            slow = verify(key.public, b"measurement", sig)
+        assert fast == slow == expected
+
+
+def test_batch_with_vectorization_off_is_the_scalar_loop():
+    """REPRO_VECTORIZE=0 must not change verify_batch's answers."""
+    items = [
+        _make_item(b"k%d" % i, b"m%d" % i, "ok" if i % 2 else "message")
+        for i in range(6)
+    ]
+    with perf.scoped(vectorized=False, caches=False):
+        off = verify_batch(items)
+    assert off == _batch_verdicts(items)
+
+
+def test_out_of_range_and_off_curve_items_rejected_in_batch():
+    """Degenerate signatures get per-item False, never an exception."""
+    key = SigningKey.from_seed(b"degenerate")
+    good = key.sign(b"m")
+    items = [
+        (key.public, b"m", good),
+        (key.public, b"m", Signature(0, 1)),
+        (key.public, b"m", Signature(N, 1)),
+        (key.public, b"m", Signature(1, 0)),
+    ]
+    assert _batch_verdicts(items) == [True, False, False, False]
+    assert _scalar_verdicts(items) == [True, False, False, False]
+
+
+@pytest.mark.parametrize("repeats", [2, 5])
+def test_repeated_triples_served_consistently(repeats):
+    """The same triple many times in one batch: one verdict, repeated."""
+    item = _make_item(b"dup", b"dup message", "ok")
+    forged = _make_item(b"dup", b"dup message", "signature")
+    items = [item] * repeats + [forged] + [item] * repeats
+    verdicts = _batch_verdicts(items)
+    assert verdicts == [True] * repeats + [False] + [True] * repeats

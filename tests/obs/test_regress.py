@@ -170,6 +170,49 @@ def test_restore_metrics_have_bands():
     assert compare_documents(base, cur, rules).ok  # faster restores: fine
 
 
+def test_attest_speedup_floor_survives_rebanding():
+    """The batched-verify 3x floor is absolute: a baseline recorded at
+    13x cannot be walked down below 3x even with --rel-tol 0.75."""
+    base = {
+        "schema": "repro-perfbench-v3",
+        "workers": 1,
+        "host_cpus": 8,
+        "workloads": {
+            "attest_throughput": {
+                "reports": 160,
+                "rejected": 14,
+                "serial_reports_s": 54.0,
+                "batched_reports_s": 715.0,
+                "speedup": 13.2,
+                "serial_virtual_ms": 624.0,
+                "batched_virtual_ms": 29.3,
+                "virtual_speedup": 21.3,
+            },
+        },
+    }
+    _kind, rules = rules_for_document(base, rel_tol=0.75)
+    cur = copy.deepcopy(base)
+    cur["workloads"]["attest_throughput"]["speedup"] = 2.9
+    cur["workloads"]["attest_throughput"]["batched_reports_s"] = 160.0
+    report = compare_documents(base, cur, rules)
+    assert not report.ok
+    assert any(
+        d.path == "workloads.attest_throughput.speedup"
+        and d.status == "regressed"
+        for d in report.deltas
+    )
+    # within the band and above the floor: fine (machines vary)
+    cur["workloads"]["attest_throughput"]["speedup"] = 7.0
+    cur["workloads"]["attest_throughput"]["batched_reports_s"] = 400.0
+    assert compare_documents(base, cur, rules).ok
+    # run-configuration leaves are ignored, never "missing"
+    del cur["workloads"]["attest_throughput"]["reports"]
+    assert compare_documents(base, cur, rules).ok
+    # but rejected-count drift would mean verdicts changed: gated
+    cur["workloads"]["attest_throughput"]["rejected"] = 13
+    assert not compare_documents(base, cur, rules).ok
+
+
 def test_rel_tol_override_preserves_direction_and_ignores():
     base = {"experiment": "chaos", "detection_rate": 1.0, "p99_boot_ms": 100.0}
     _kind, rules = rules_for_document(base, rel_tol=0.5)

@@ -1,0 +1,178 @@
+"""Every chain-validation failure mode, its reason slug, and its counter.
+
+``verify_report_with_chain`` used to swallow chain failures into a bare
+``False``; now every rejection carries a stable reason slug
+(:class:`repro.sev.certchain.ChainError`'s ``reason``) and lands in the
+``sev.chain_failures{reason}`` counter, so a fleet can tell a truncated
+chain from a forged one without parsing exception text.
+"""
+
+import pytest
+
+from repro import perf
+from repro.crypto import ecdsa
+from repro.obs.metrics import default_registry
+from repro.sev.attestation import AttestationReport
+from repro.sev.certchain import (
+    AmdKeyHierarchy,
+    Certificate,
+    ChainError,
+    check_report_with_chain,
+    chain_bytes,
+    hierarchy_cache_stats,
+    prove_chain,
+    set_hierarchy_capacity,
+    verify_chain,
+    verify_report_with_chain,
+)
+
+
+@pytest.fixture(scope="module")
+def hierarchy() -> AmdKeyHierarchy:
+    return AmdKeyHierarchy.generate(b"failure-modes-chip")
+
+
+@pytest.fixture()
+def report(hierarchy) -> AttestationReport:
+    return AttestationReport.sign(
+        hierarchy.vcek_key,
+        policy=b"\x00\x00\x00\x01",
+        measurement=b"\x11" * 48,
+        report_data=b"\x00" * 64,
+        chip_id=b"\x22" * 32,
+    )
+
+
+def _broken_chains(hierarchy):
+    """(name, chain, trusted root, expected reason slug) for every mode."""
+    vcek, ask, ark = hierarchy.chain
+    rogue = ecdsa.SigningKey.from_seed(b"rogue")
+    rogue_ark_cert = Certificate.issue(
+        "Rogue Root", "ark", rogue.public, "Rogue Root", rogue
+    )
+    forged_ark = Certificate.issue(
+        ark.subject, "ark", hierarchy.ark_key.public, ark.subject, rogue
+    )
+    forged_ask = Certificate.issue(
+        ask.subject, "ask", ask.public_key, ark.subject, rogue
+    )
+    forged_vcek = Certificate.issue(
+        vcek.subject, "vcek", vcek.public_key, ask.subject, rogue
+    )
+    trusted = hierarchy.ark_key.public
+    return [
+        ("truncated", (vcek, ask), trusted, "length"),
+        ("role-confusion", (ask, vcek, ark), trusted, "roles"),
+        ("untrusted-root", (vcek, ask, rogue_ark_cert), trusted, "untrusted-root"),
+        # same trusted key in the ARK slot, but its self-signature forged
+        ("bad-ark-self-sig", (vcek, ask, forged_ark), trusted, "ark-self-signature"),
+        ("bad-ask-sig", (vcek, forged_ask, ark), trusted, "ask-signature"),
+        ("bad-vcek-sig", (forged_vcek, ask, ark), trusted, "vcek-signature"),
+    ]
+
+
+def test_every_failure_mode_has_a_distinct_slug(hierarchy):
+    seen = set()
+    for name, chain, trusted, slug in _broken_chains(hierarchy):
+        with pytest.raises(ChainError) as excinfo:
+            verify_chain(chain, trusted)
+        assert excinfo.value.reason == slug, name
+        seen.add(slug)
+    assert len(seen) == 6
+
+
+def test_check_report_records_reason_and_counter(hierarchy, report):
+    registry = default_registry()
+    for name, chain, trusted, slug in _broken_chains(hierarchy):
+        before = registry.value("sev.chain_failures", reason=slug)
+        ok, reason = check_report_with_chain(report, chain, trusted)
+        assert not ok, name
+        assert reason == f"chain:{slug}", name
+        assert registry.value("sev.chain_failures", reason=slug) == before + 1
+
+
+def test_verify_report_no_longer_swallows_failures(hierarchy, report):
+    """The boolean wrapper still answers False, but the counter moves."""
+    registry = default_registry()
+    truncated = hierarchy.chain[:2]
+    assert not verify_report_with_chain(
+        report, truncated, hierarchy.ark_key.public
+    )
+    assert registry.value("sev.chain_failures", reason="length") == 1
+
+
+def test_forged_report_under_good_chain_is_not_a_chain_failure(
+    hierarchy, report
+):
+    forged = AttestationReport(
+        version=report.version,
+        policy=report.policy,
+        measurement=report.measurement,
+        report_data=report.report_data,
+        chip_id=report.chip_id,
+        signature=ecdsa.Signature(report.signature.r ^ 1, report.signature.s),
+    )
+    ok, reason = check_report_with_chain(
+        forged, hierarchy.chain, hierarchy.ark_key.public
+    )
+    assert (ok, reason) == (False, "report-signature")
+    assert default_registry().value("sev.chain_failures", reason="length") == 0
+
+
+def test_prove_chain_caches_failure_verdicts(hierarchy):
+    """A broken chain's verdict is content-addressed like a good one's —
+    re-presenting it re-raises the same reason without a second walk."""
+    truncated = hierarchy.chain[:2]
+    with perf.scoped(caches=True):
+        perf.clear_all_caches()
+        for _ in range(2):
+            with pytest.raises(ChainError) as excinfo:
+                prove_chain(truncated, hierarchy.ark_key.public)
+            assert excinfo.value.reason == "length"
+
+
+def test_chain_bytes_distinguishes_tampering(hierarchy):
+    """The content address covers every byte the walk judges."""
+    trusted = hierarchy.ark_key.public
+    good = chain_bytes(hierarchy.chain, trusted)
+    assert chain_bytes(hierarchy.chain, trusted) == good
+    for name, chain, trusted_key, _slug in _broken_chains(hierarchy):
+        assert chain_bytes(chain, trusted_key) != good, name
+    rogue = ecdsa.SigningKey.from_seed(b"other-root").public
+    assert chain_bytes(hierarchy.chain, rogue) != good
+
+
+def test_hierarchy_cache_capacity_is_configurable():
+    """Shrinking the keygen cache evicts LRU chips and counts traffic."""
+    set_hierarchy_capacity(2)
+    try:
+        with perf.scoped(caches=True):
+            perf.clear_all_caches()
+            a = AmdKeyHierarchy.generate(b"cap-chip-a")
+            AmdKeyHierarchy.generate(b"cap-chip-b")
+            AmdKeyHierarchy.generate(b"cap-chip-c")  # evicts chip-a
+            stats = hierarchy_cache_stats()
+            assert stats["entries"] == 2
+            assert stats["misses"] >= 3
+            # chip-a was evicted: regenerating misses again but is equal
+            again = AmdKeyHierarchy.generate(b"cap-chip-a")
+            assert again.vcek_key.public == a.vcek_key.public
+            assert again.chain == a.chain
+            assert hierarchy_cache_stats()["misses"] >= 4
+            # a warm chip is a hit
+            AmdKeyHierarchy.generate(b"cap-chip-c")
+            assert hierarchy_cache_stats()["hits"] >= 1
+    finally:
+        set_hierarchy_capacity(64)
+        perf.clear_all_caches()
+
+
+def test_hierarchy_env_default(monkeypatch):
+    from repro.sev.certchain import _default_hierarchy_capacity
+
+    monkeypatch.setenv("REPRO_HIERARCHY_CACHE", "17")
+    assert _default_hierarchy_capacity() == 17
+    monkeypatch.setenv("REPRO_HIERARCHY_CACHE", "not-a-number")
+    assert _default_hierarchy_capacity() == 64
+    monkeypatch.delenv("REPRO_HIERARCHY_CACHE")
+    assert _default_hierarchy_capacity() == 64

@@ -1,0 +1,287 @@
+"""The batched guest-owner verification service.
+
+Two properties are load-bearing: (1) the service's verdicts are exactly
+what per-report serial verification returns for the same stream — at
+any worker count — and (2) the batching/amortization shows up only in
+virtual *time*, never in answers.  Plus the deployment wiring: snapshot
+re-attestation through a service, and the fleet controller's per-cell
+service.
+"""
+
+import pytest
+
+from repro.crypto import ecdsa
+from repro.hw.costmodel import CostModel
+from repro.obs.metrics import default_registry
+from repro.sev.attestation import AttestationReport
+from repro.sev.certchain import AmdKeyHierarchy
+from repro.sev.verifier import (
+    TicketStore,
+    VerifierService,
+    VerifyVerdict,
+    verify_report_serial,
+)
+from repro.sim.engine import Simulator
+
+COST = CostModel()  # deterministic (jitter 0)
+
+
+@pytest.fixture(scope="module")
+def hierarchies():
+    return [
+        AmdKeyHierarchy.generate(b"verifier-chip-%d" % i) for i in range(3)
+    ]
+
+
+def _report(hierarchy, i, *, forged=False):
+    signer = (
+        ecdsa.SigningKey.from_seed(b"forger")
+        if forged
+        else hierarchy.vcek_key
+    )
+    return AttestationReport.sign(
+        signer,
+        policy=b"\x00\x00\x00\x01",
+        measurement=bytes([i % 251]) * 48,
+        report_data=(b"req-%03d" % i).ljust(64, b"\x00"),
+        chip_id=bytes([i % 7]) * 32,
+    )
+
+
+def _stream(hierarchies, count=18):
+    """A mixed stream: 3 chips, repeat tenants, forgeries, a bad chain."""
+    requests = []
+    for i in range(count):
+        hierarchy = hierarchies[i % len(hierarchies)]
+        report = _report(hierarchy, i, forged=(i % 7 == 6))
+        chain = hierarchy.chain
+        if i % 11 == 10:
+            chain = (chain[1], chain[0], chain[2])  # role confusion
+        requests.append((report, chain, f"tenant-{i % 2}"))
+    return requests
+
+
+def _run_service(requests, trusted_ark, **kwargs):
+    sim = Simulator()
+    service = VerifierService(sim, trusted_ark, cost=COST, **kwargs)
+    verdicts: list = [None] * len(requests)
+
+    def requester(i, report, chain, tenant):
+        verdicts[i] = yield from service.verify(report, chain, tenant=tenant)
+
+    for i, (report, chain, tenant) in enumerate(requests):
+        sim.process(requester(i, report, chain, tenant))
+    sim.run()
+    assert all(isinstance(v, VerifyVerdict) for v in verdicts)
+    return verdicts, sim.now, service
+
+
+def _run_serial(requests, trusted_ark):
+    sim = Simulator()
+    verdicts: list = [None] * len(requests)
+
+    def owner():
+        for i, (report, chain, _tenant) in enumerate(requests):
+            verdicts[i] = yield from verify_report_serial(
+                sim, report, chain, trusted_ark, cost=COST
+            )
+
+    sim.process(owner())
+    sim.run()
+    return verdicts, sim.now
+
+
+def _answers(verdicts):
+    return [(v.accepted, v.reason) for v in verdicts]
+
+
+def test_verdicts_match_serial_exactly(hierarchies):
+    requests = _stream(hierarchies)
+    trusted = hierarchies[0].ark_key.public
+    serial, _ = _run_serial(requests, trusted)
+    batched, _, _ = _run_service(requests, trusted)
+    assert _answers(batched) == _answers(serial)
+    # the stream exercises both rejection kinds
+    reasons = {v.reason for v in serial if not v.accepted}
+    assert "report-signature" in reasons
+    assert "chain:roles" in reasons
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_worker_count_never_changes_answers(hierarchies, workers):
+    requests = _stream(hierarchies, count=24)
+    trusted = hierarchies[0].ark_key.public
+    reference, _, _ = _run_service(requests, trusted, workers=1)
+    verdicts, _, _ = _run_service(requests, trusted, workers=workers)
+    assert _answers(verdicts) == _answers(reference)
+
+
+def test_batching_wins_virtual_time(hierarchies):
+    requests = _stream(hierarchies, count=20)
+    trusted = hierarchies[0].ark_key.public
+    _, serial_ms = _run_serial(requests, trusted)
+    verdicts, batched_ms, service = _run_service(requests, trusted)
+    assert batched_ms < serial_ms / 3
+    assert max(v.batch_size for v in verdicts) > 1
+    # the stream presents 4 distinct chains (3 valid chips + 1 tampered
+    # variant at i=10): each is walked exactly once, then amortized
+    assert service.proven_chains == 4
+
+
+def test_max_batch_caps_service_groups(hierarchies):
+    requests = _stream(hierarchies, count=12)
+    trusted = hierarchies[0].ark_key.public
+    verdicts, _, _ = _run_service(requests, trusted, max_batch=4)
+    assert all(v.batch_size <= 4 for v in verdicts)
+    assert default_registry().value("verifier.batches") >= 3
+
+
+def test_unbatched_degenerate_configuration(hierarchies):
+    """window=0, max_batch=1 is a valid (slow) service; same answers."""
+    requests = _stream(hierarchies, count=10)
+    trusted = hierarchies[0].ark_key.public
+    serial, _ = _run_serial(requests, trusted)
+    verdicts, _, _ = _run_service(
+        requests, trusted, batch_window_ms=0.0, max_batch=1
+    )
+    assert _answers(verdicts) == _answers(serial)
+    assert all(v.batch_size == 1 for v in verdicts)
+
+
+def test_tickets_resume_only_exact_tenant_and_chain(hierarchies):
+    hierarchy = hierarchies[0]
+    trusted = hierarchy.ark_key.public
+    good = [
+        (_report(hierarchy, i), hierarchy.chain, "tenant-a") for i in range(2)
+    ]
+    verdicts, _, service = _run_service(good, trusted)
+    assert all(v.accepted for v in verdicts)
+    assert len(service.tickets) == 1
+
+    # same tenant, same chain, new service run sharing the ticket store
+    sim = Simulator()
+    service2 = VerifierService(
+        sim, trusted, cost=COST, tickets=service.tickets
+    )
+    out = {}
+
+    def run(tag, report, chain, tenant):
+        out[tag] = yield from service2.verify(report, chain, tenant=tenant)
+
+    tampered = (hierarchy.chain[1], hierarchy.chain[0], hierarchy.chain[2])
+    sim.process(run("resumed", _report(hierarchy, 10), hierarchy.chain, "tenant-a"))
+    sim.process(run("other-tenant", _report(hierarchy, 11), hierarchy.chain, "tenant-b"))
+    sim.process(run("tampered", _report(hierarchy, 12), tampered, "tenant-a"))
+    sim.run()
+    assert out["resumed"].resumed and out["resumed"].accepted
+    # a new tenant cannot ride another tenant's ticket, but the chain
+    # proof itself is amortized service-wide
+    assert not out["other-tenant"].resumed and out["other-tenant"].accepted
+    # tampering with the presented chain misses the ticket and fails the
+    # walk exactly as serial verification would
+    assert not out["tampered"].resumed
+    assert (out["tampered"].accepted, out["tampered"].reason) == (
+        False,
+        "chain:roles",
+    )
+
+
+def test_forged_report_cannot_ride_a_ticket(hierarchies):
+    """A ticket skips the chain walk, never the report signature."""
+    hierarchy = hierarchies[0]
+    trusted = hierarchy.ark_key.public
+    tickets = TicketStore()
+    warm = [(_report(hierarchy, 0), hierarchy.chain, "t")]
+    _run_service(warm, trusted, tickets=tickets)
+    forged = [(_report(hierarchy, 1, forged=True), hierarchy.chain, "t")]
+    verdicts, _, _ = _run_service(forged, trusted, tickets=tickets)
+    assert verdicts[0].resumed  # it did take the ticket path...
+    assert (verdicts[0].accepted, verdicts[0].reason) == (
+        False,
+        "report-signature",
+    )  # ...and was still rejected
+
+
+def test_queue_and_service_metrics(hierarchies):
+    requests = _stream(hierarchies, count=8)
+    trusted = hierarchies[0].ark_key.public
+    _run_service(requests, trusted)
+    registry = default_registry()
+    assert registry.value("verifier.requests", outcome="accepted") > 0
+    assert registry.value("verifier.requests", outcome="rejected") > 0
+    assert registry.value("verifier.chain_walks") >= 1
+    snapshot = registry.snapshot()
+    assert "verifier.service_ms" in snapshot["histograms"]
+    assert "verifier.queue_ms" in snapshot["histograms"]
+
+
+# -- deployment wiring --------------------------------------------------------
+
+
+def test_reattestation_through_a_verifier_service():
+    """restore_from_store routes the owner check through the service."""
+    from repro.core.config import VmConfig
+    from repro.formats.kernels import KERNEL_CONFIGS
+    from repro.hw.platform import Machine
+    from repro.serverless.snapshots import (
+        SnapshotStore,
+        restore_from_store,
+        snapshot_cold_boot,
+    )
+    from repro.sev.guestowner import GuestOwner
+
+    config = VmConfig(kernel=KERNEL_CONFIGS["aws"], scale=1.0 / 1024.0)
+    machine = Machine(chip_seed=b"verifier-wiring-chip")
+    snapshot = snapshot_cold_boot(config, machine)
+    store = SnapshotStore()
+    digest = store.put(snapshot)
+    owner = GuestOwner.with_chain(
+        trusted_ark=machine.psp.key_hierarchy.ark_key.public,
+        cert_chain=machine.psp.cert_chain,
+        expected_digest=snapshot.launch_digest,
+        secret=b"wiring-secret",
+    )
+    fresh = Machine(chip_seed=b"verifier-wiring-chip")
+    verifier = VerifierService(
+        fresh.sim, fresh.psp.key_hierarchy.ark_key.public, cost=COST
+    )
+    outcome = fresh.sim.run_process(
+        restore_from_store(
+            fresh, store, digest, owner, tenant="wired", verifier=verifier
+        )
+    )
+    assert outcome.digest == snapshot.launch_digest
+    assert not outcome.resumed_session
+    registry = default_registry()
+    assert registry.value("verifier.requests", outcome="accepted") == 1
+    assert registry.value("verifier.chain_walks") == 1
+
+
+def test_fleet_cell_shares_one_verifier_service():
+    """The controller builds one service per cell and routes restores
+    through it; results stay deterministic for a given seed."""
+    from repro.fleet.experiment import run_fleet_cell
+
+    doc = run_fleet_cell(
+        0,
+        42,
+        hosts=3,
+        horizon_s=6.0,
+        scale=1.0 / 1024.0,
+        verifier_window_ms=2.0,
+        verifier_workers=2,
+    )
+    again = run_fleet_cell(
+        0,
+        42,
+        hosts=3,
+        horizon_s=6.0,
+        scale=1.0 / 1024.0,
+        verifier_window_ms=2.0,
+        verifier_workers=2,
+    )
+    assert doc == again
+    assert doc["lost_invocations"] == 0
+    registry = default_registry()
+    if registry.value("verifier.requests", outcome="accepted"):
+        assert registry.value("verifier.batches") >= 1
